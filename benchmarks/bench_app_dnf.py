@@ -1,0 +1,55 @@
+"""E13 — SAT-DNF: the generic pipeline vs Karp–Luby ([KL83]).
+
+Both are FPRASes for #DNF; the point is parity of *guarantee*, not speed
+(Karp–Luby is specialized and wins on constants).  Recorded: error and
+runtime of each on shared formulas.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines.karp_luby import karp_luby_count
+from repro.core.fpras import approx_count_nfa
+from repro.dnf.formulas import random_dnf
+from repro.dnf.relation import SatDnfRelation
+from repro.utils.stats import relative_error
+from workloads import BENCH_FPRAS, SEED
+
+
+@pytest.mark.parametrize("num_vars,num_terms,width", [(10, 5, 3), (12, 6, 4)])
+def test_dnf_generic_vs_karp_luby(benchmark, observe, num_vars, num_terms, width):
+    phi = random_dnf(num_vars, num_terms, width, rng=SEED)
+    exact = phi.count_models_brute()
+    compiled = SatDnfRelation().compile(phi)
+
+    def generic():
+        return approx_count_nfa(
+            compiled.nfa, compiled.length, delta=0.3, rng=1, params=BENCH_FPRAS
+        )
+
+    start = time.perf_counter()
+    generic_estimate = benchmark.pedantic(generic, rounds=1, iterations=1)
+    generic_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    kl_estimate = karp_luby_count(phi, delta=0.1, rng=1)
+    kl_time = time.perf_counter() - start
+
+    observe(
+        "E13",
+        f"vars={num_vars} terms={num_terms} exact={exact}: "
+        f"generic err={relative_error(generic_estimate, exact):5.3f} ({generic_time:5.2f}s) | "
+        f"karp-luby err={relative_error(kl_estimate, exact):5.3f} ({kl_time:5.2f}s)",
+    )
+    assert relative_error(generic_estimate, exact) <= 0.4
+    assert relative_error(kl_estimate, exact) <= 0.3
+
+
+def test_karp_luby_throughput(benchmark, observe):
+    phi = random_dnf(20, 10, 4, rng=SEED)
+    estimate = benchmark(karp_luby_count, phi, 0.1, 0.05, 7)
+    observe("E13", f"karp-luby at 20 vars / 10 terms: estimate={estimate:.0f}")
+    assert estimate > 0

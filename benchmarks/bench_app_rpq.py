@@ -1,0 +1,61 @@
+"""E11 — regular path queries (Corollary 8): count & sample paths.
+
+Grid graphs give closed-form ground truth (binomial coefficients); the
+social-style graph exercises combined complexity with a star query.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphdb.graph import grid_graph, social_graph
+from repro.graphdb.rpq import RPQ, RpqEvaluator
+from workloads import SEED
+
+
+@pytest.mark.parametrize("side", [4, 6, 8])
+def test_rpq_grid_counts(benchmark, observe, side):
+    g = grid_graph(side, side)
+    n = 2 * (side - 1)
+
+    def evaluate():
+        return RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (side - 1, side - 1), n)
+
+    evaluator = benchmark.pedantic(evaluate, rounds=2, iterations=1)
+    count = evaluator.count_exact()
+    expected = math.comb(n, side - 1)
+    observe("E11", f"grid {side}x{side} paths={count} (closed form C({n},{side-1})={expected})")
+    assert count == expected
+
+
+def test_rpq_grid_sampling(benchmark, observe):
+    side = 6
+    g = grid_graph(side, side)
+    n = 2 * (side - 1)
+    evaluator = RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (side - 1, side - 1), n)
+    benchmark(evaluator.sample, 0)
+    paths = [evaluator.sample(seed) for seed in range(20)]
+    assert all(p.is_path_of(g) for p in paths)
+    observe("E11", f"grid sampling: 20/20 sampled paths valid, e.g. {''.join(paths[0].label_word)}")
+
+
+def test_rpq_social_star_query(benchmark, observe):
+    g = social_graph(30, rng=SEED)
+    people = sorted(g.vertices)
+    source, target = people[0], people[1]
+
+    def evaluate():
+        evaluator = RpqEvaluator(g, RPQ("k(k|f)*k"), source, target, 5, rng=4)
+        return evaluator, evaluator.count()
+
+    (evaluator, count) = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    exact = evaluator.count_exact()
+    observe(
+        "E11",
+        f"social |V|=30 query=k(k|f)*k n=5: count={count:.1f} exact={exact} "
+        f"unambiguous={evaluator.unambiguous}",
+    )
+    if exact:
+        assert abs(count - exact) <= 0.5 * exact

@@ -1,0 +1,48 @@
+"""E6 — the KSM95-style comparator's quasi-polynomial cost.
+
+The previous best approximation scheme needs an n^{O(log n)} sample
+schedule to hold its error across ambiguity regimes; the recorded series
+shows the schedule (and hence runtime) growing super-polynomially in n
+while the FPRAS leg grows polynomially — the separation that makes
+Theorem 22 the headline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.automata.random_gen import ambiguity_blowup
+from repro.baselines.kannan import kannan_style_count, ksm_sample_schedule
+from repro.core.exact import count_words_exact
+from repro.core.fpras import approx_count_nfa
+from repro.utils.stats import relative_error
+from workloads import BENCH_FPRAS
+
+
+@pytest.mark.parametrize("depth", [3, 5, 7, 9])
+def test_kannan_runtime_growth(benchmark, observe, depth):
+    nfa = ambiguity_blowup(depth)
+    n = 2 * depth
+    exact = count_words_exact(nfa, n)
+    schedule = ksm_sample_schedule(n, 0.3)
+
+    def run():
+        return kannan_style_count(nfa, n, delta=0.3, rng=5)
+
+    start = time.perf_counter()
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ksm_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fpras_estimate = approx_count_nfa(nfa, n, delta=0.3, rng=5, params=BENCH_FPRAS)
+    fpras_time = time.perf_counter() - start
+
+    observe(
+        "E6",
+        f"n={n:<3} KSM-schedule={schedule:<7} KSM-time={ksm_time:6.2f}s "
+        f"err={relative_error(result.estimate, exact):5.3f} | "
+        f"FPRAS-time={fpras_time:6.2f}s err={relative_error(fpras_estimate, exact):5.3f}",
+    )
+    assert result.samples == schedule or result.samples <= schedule

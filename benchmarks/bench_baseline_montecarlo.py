@@ -1,0 +1,55 @@
+"""E5 — the §6.1 naive Monte Carlo estimator collapses under ambiguity.
+
+The paper's motivating negative result: the unbiased path-sampling
+estimator needs exponentially many samples on families whose per-word
+run counts diverge.  At an equal (small) sample budget we record both
+methods' relative errors across the blowup depth sweep: the FPRAS stays
+within δ while the Monte Carlo error explodes — the "who wins" shape, with
+the crossover essentially at the first nontrivial depth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.montecarlo import naive_montecarlo_count
+from repro.core.exact import count_words_exact
+from repro.core.fpras import approx_count_nfa
+from repro.utils.stats import relative_error
+from workloads import BENCH_FPRAS, blowup_sweep
+
+SAMPLES = 400  # equal budget for the MC leg
+
+
+@pytest.mark.parametrize("depth,nfa", blowup_sweep(depths=(4, 6, 8, 10)), ids=lambda v: str(v) if isinstance(v, int) else "")
+def test_montecarlo_vs_fpras(benchmark, observe, depth, nfa):
+    n = 2 * depth
+    exact = count_words_exact(nfa, n)
+
+    def run_mc():
+        return naive_montecarlo_count(nfa, n, samples=SAMPLES, rng=3)
+
+    mc = benchmark.pedantic(run_mc, rounds=1, iterations=1)
+    mc_errors = [
+        relative_error(
+            naive_montecarlo_count(nfa, n, samples=SAMPLES, rng=seed).estimate, exact
+        )
+        for seed in range(6)
+    ]
+    fpras_errors = [
+        relative_error(
+            approx_count_nfa(nfa, n, delta=0.3, rng=seed, params=BENCH_FPRAS), exact
+        )
+        for seed in range(6)
+    ]
+    mc_median = sorted(mc_errors)[len(mc_errors) // 2]
+    fpras_median = sorted(fpras_errors)[len(fpras_errors) // 2]
+    observe(
+        "E5",
+        f"depth={depth:<3} exact={exact:<6} MC-median-err={mc_median:6.3f} "
+        f"(rel-std {mc.empirical_relative_std:6.2f})  FPRAS-median-err={fpras_median:6.3f}",
+    )
+    # The qualitative claim: by depth 8 the MC spread dwarfs the FPRAS's.
+    if depth >= 8:
+        assert mc.empirical_relative_std > 1.0
+        assert fpras_median <= 0.3

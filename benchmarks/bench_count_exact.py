@@ -1,0 +1,31 @@
+"""E3 — exact counting for UFAs in polynomial time (§5.3.2).
+
+Claim: |L_n(N)| for unambiguous N is computable in O(n·|δ|) bignum steps.
+The sweep shows near-linear runtime growth in m at fixed n, and exact
+agreement with brute force is enforced at a small size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.naive import brute_force_count
+from repro.core.exact import count_accepting_runs_of_length
+from workloads import ufa_sweep
+
+N = 64
+
+
+@pytest.mark.parametrize("m,ufa", ufa_sweep(), ids=lambda v: str(v) if isinstance(v, int) else "")
+def test_exact_count_ufa(benchmark, observe, m, ufa):
+    count = benchmark(count_accepting_runs_of_length, ufa, N)
+    observe("E3", f"m={m:<4} n={N} |L_n|={count}")
+    assert count >= 0
+
+
+def test_exact_count_agrees_with_brute_force(benchmark, observe):
+    m, ufa = ufa_sweep(sizes=(10,))[0]
+    fast = benchmark(count_accepting_runs_of_length, ufa, 10)
+    slow = brute_force_count(ufa, 10)
+    observe("E3", f"ground-truth check at m={m}, n=10: DP={fast} brute={slow}")
+    assert fast == slow

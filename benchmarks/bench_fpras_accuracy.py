@@ -1,0 +1,67 @@
+"""E4a — FPRAS accuracy (Theorem 22): relative error within δ, prob ≥ 3/4.
+
+For each instance family we run a small seed battery at δ = 0.3 and
+record the error distribution against the exact subset-construction
+count.  The FPRAS contract requires ≥ 3/4 of runs within δ; the observed
+fraction (at our practical k = 64, far below the paper's (nm/δ)^64) is
+the headline datapoint of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import count_words_exact
+from repro.core.fpras import approx_count_nfa
+from repro.utils.stats import relative_error, summarize_errors
+from workloads import BENCH_FPRAS, blowup_sweep, pattern_instance
+
+DELTA = 0.3
+SEEDS = range(8)
+
+
+@pytest.mark.parametrize("depth,nfa", blowup_sweep(), ids=lambda v: str(v) if isinstance(v, int) else "")
+def test_fpras_accuracy_blowup(benchmark, observe, depth, nfa):
+    n = 2 * depth
+    exact = count_words_exact(nfa, n)
+
+    def run():
+        return approx_count_nfa(nfa, n, delta=DELTA, rng=7, params=BENCH_FPRAS)
+
+    estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    errors = [
+        relative_error(
+            approx_count_nfa(nfa, n, delta=DELTA, rng=seed, params=BENCH_FPRAS), exact
+        )
+        for seed in SEEDS
+    ]
+    summary = summarize_errors(errors, DELTA)
+    observe(
+        "E4",
+        f"blowup depth={depth} n={n} exact={exact} sample-est={estimate:.1f} "
+        f"median-err={summary.median:.3f} within-δ={summary.within_delta_fraction:.2f}",
+    )
+    assert summary.within_delta_fraction >= 0.75
+
+
+def test_fpras_accuracy_pattern(benchmark, observe):
+    nfa, n = pattern_instance()
+    exact = count_words_exact(nfa, n)
+    benchmark.pedantic(
+        lambda: approx_count_nfa(nfa, n, delta=DELTA, rng=99, params=BENCH_FPRAS),
+        rounds=1,
+        iterations=1,
+    )
+    errors = [
+        relative_error(
+            approx_count_nfa(nfa, n, delta=DELTA, rng=seed, params=BENCH_FPRAS), exact
+        )
+        for seed in SEEDS
+    ]
+    summary = summarize_errors(errors, DELTA)
+    observe(
+        "E4",
+        f"pattern Σ*101Σ* n={n} exact={exact} median-err={summary.median:.3f} "
+        f"within-δ={summary.within_delta_fraction:.2f}",
+    )
+    assert summary.within_delta_fraction >= 0.75

@@ -1,0 +1,62 @@
+"""E4b — FPRAS runtime scaling (Theorem 22): polynomial in n, m, 1/δ.
+
+Sweeps each of the three parameters with the others fixed; the recorded
+series should grow polynomially (the log-log slope stays bounded),
+in contrast to E6's quasi-polynomial comparator.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.automata.random_gen import ambiguity_blowup
+from repro.core.fpras import FprasParameters, FprasState
+from workloads import SEED
+from repro.automata.random_gen import random_nfa
+
+PARAMS = FprasParameters(sample_size=48)
+
+
+@pytest.mark.parametrize("depth", [4, 6, 8, 10])
+def test_scaling_in_n(benchmark, observe, depth):
+    nfa = ambiguity_blowup(depth)
+    n = 2 * depth
+
+    def run():
+        return FprasState(nfa, n, delta=0.3, rng=1, params=PARAMS).count_estimate
+
+    start = time.perf_counter()
+    estimate = benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    observe("E4", f"scaling-in-n: depth={depth} n={n} time={elapsed:6.2f}s est={estimate:.0f}")
+
+
+@pytest.mark.parametrize("m", [6, 10, 14])
+def test_scaling_in_m(benchmark, observe, m):
+    nfa = random_nfa(m, rng=SEED + m, density=1.8, ensure_nonempty_length=10)
+
+    def run():
+        return FprasState(nfa, 10, delta=0.3, rng=1, params=PARAMS).count_estimate
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    observe("E4", f"scaling-in-m: m={m} n=10 time={elapsed:6.2f}s")
+
+
+@pytest.mark.parametrize("k", [16, 32, 64])
+def test_scaling_in_k(benchmark, observe, k):
+    """1/δ enters through k; sweeping k directly isolates that axis."""
+    nfa = ambiguity_blowup(6)
+
+    def run():
+        return FprasState(
+            nfa, 12, delta=0.3, rng=1, params=FprasParameters(sample_size=k)
+        ).count_estimate
+
+    start = time.perf_counter()
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    observe("E4", f"scaling-in-k: k={k} time={elapsed:6.2f}s")

@@ -1,0 +1,36 @@
+"""Benchmark-suite configuration.
+
+Makes the in-repo ``benchmarks`` directory importable as a package root
+(so bench modules can ``import workloads``) and registers a session-wide
+results collector that prints each experiment's observation rows at the
+end of the run — the "same rows/series" record that EXPERIMENTS.md
+snapshots.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+_OBSERVATIONS: list[str] = []
+
+
+def record(experiment: str, row: str) -> None:
+    """Collect one observation row for the end-of-run report."""
+    _OBSERVATIONS.append(f"[{experiment}] {row}")
+
+
+@pytest.fixture
+def observe():
+    return record
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _OBSERVATIONS:
+        terminalreporter.write_sep("=", "experiment observations")
+        for line in _OBSERVATIONS:
+            terminalreporter.write_line(line)

@@ -1,0 +1,50 @@
+"""Shared workload builders for the benchmark suite.
+
+The paper has no datasets; every experiment runs on synthetic families
+with fixed seeds (DESIGN.md §5).  Sizes here are chosen so the whole
+benchmark suite completes in minutes on a laptop while still showing the
+scaling *shapes* EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.automata.random_gen import (
+    ambiguity_blowup,
+    contains_pattern_nfa,
+    random_nfa,
+    random_ufa,
+)
+from repro.core.fpras import FprasParameters
+
+#: The FPRAS budget used across benchmarks (ablation A1 varies it).
+BENCH_FPRAS = FprasParameters(sample_size=64)
+
+#: Seeds are fixed so every run regenerates the same instances.
+SEED = 20190621  # the paper's arXiv date
+
+
+def ufa_sweep(sizes=(10, 20, 40, 80)) -> list[tuple[int, NFA]]:
+    """Unambiguous automata of growing state count (E1/E3/E7)."""
+    return [
+        (m, random_ufa(m, rng=SEED + m, completeness=0.9, ensure_nonempty_length=16))
+        for m in sizes
+    ]
+
+
+def nfa_sweep(sizes=(10, 20, 40)) -> list[tuple[int, NFA]]:
+    """Ambiguous automata of growing state count (E2/E4)."""
+    return [
+        (m, random_nfa(m, rng=SEED + m, density=1.8, ensure_nonempty_length=12))
+        for m in sizes
+    ]
+
+
+def blowup_sweep(depths=(4, 6, 8)) -> list[tuple[int, NFA]]:
+    """The Monte-Carlo-killer family at growing depth (E5/E6)."""
+    return [(depth, ambiguity_blowup(depth)) for depth in depths]
+
+
+def pattern_instance() -> tuple[NFA, int]:
+    """The Σ*·pattern·Σ* stress instance used by several experiments."""
+    return contains_pattern_nfa("101"), 14

@@ -1,0 +1,55 @@
+"""Document spanners: count, enumerate and sample extractions (§4.1).
+
+Run:  python examples/information_extraction.py
+
+A miniature information-extraction task in the framework of Corollaries
+6–7: a variable-set automaton captures the value field after each
+``k=`` marker in a noisy log-like document.  The evaluator reports the
+number of extractions, lists them, and samples one uniformly — useful
+for auditing extraction rules on documents where materializing all
+mappings would be too expensive.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.spanners.eva import extraction_eva
+from repro.spanners.evaluation import SpannerEvaluator
+
+
+def make_document(entries: int, seed: int = 3) -> str:
+    generator = random.Random(seed)
+    chunks = []
+    for _ in range(entries):
+        noise = "".join(generator.choice("cd") for _ in range(generator.randrange(1, 4)))
+        value = "".join(generator.choice("cd") for _ in range(generator.randrange(1, 5)))
+        chunks.append(noise + "ab" + value)
+    return "".join(chunks)
+
+
+def main() -> None:
+    # Rule: after the two-character marker 'ab', capture a nonempty block
+    # of value characters (c/d) into variable V.
+    rule = extraction_eva("ab", "V", content_symbols="cd", alphabet="abcd")
+    document = make_document(entries=5)
+    print(f"document ({len(document)} chars): {document}")
+
+    evaluator = SpannerEvaluator(rule, document, rng=0)
+    print(f"compiled automaton: {evaluator.nfa}")
+    print(f"unambiguous instance: {evaluator.unambiguous}")
+    print(f"number of extractions: {evaluator.count_exact()}")
+
+    print("\nall extractions (constant/poly delay enumeration):")
+    for mapping in evaluator.mappings():
+        span = mapping["V"]
+        print(f"  V = {span!r} → {span.content(document)!r}")
+
+    print("\nthree uniform samples:")
+    for seed in range(3):
+        mapping = evaluator.sample(seed)
+        print(f"  {mapping} → {mapping.contents(document)['V']!r}")
+
+
+if __name__ == "__main__":
+    main()

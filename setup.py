@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+PEP 660 editable installs need `wheel`/`build` machinery that may be
+absent in offline environments; this shim lets `pip install -e .
+--no-build-isolation` fall back to the classic `setup.py develop` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,169 @@
+"""repro — enumeration, counting and uniform generation for logspace classes.
+
+A faithful, production-oriented reproduction of
+
+    Arenas, Croquevielle, Jayaram, Riveros.
+    "Efficient Logspace Classes for Enumeration, Counting, and Uniform
+    Generation."  PODS 2019 (arXiv:1906.09226).
+
+Quick tour::
+
+    import repro
+
+    # Compile a regex to an NFA and work with its fixed-length language.
+    nfa = repro.compile_regex("(ab|ba)*(a|b)?", alphabet="ab")
+
+    repro.count_words(nfa, 9)              # exact count (any NFA)
+    repro.approx_count_nfa(nfa, 9, 0.1)    # the paper's FPRAS (Theorem 22)
+    list(repro.enumerate_words(nfa, 9))    # constant/poly delay enumeration
+    repro.uniform_sample(nfa, 9, rng=0)    # uniform witness (exact or PLVUG)
+
+The top-level helpers dispatch between the two complexity classes the way
+the paper's theorems do: unambiguous automata get the exact polynomial
+algorithms of RelationUL (Theorem 5), general NFAs get the FPRAS and the
+Las Vegas generator of RelationNL (Theorem 2 / 22 / Corollary 23).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.automata import (
+    EPSILON,
+    NFA,
+    DFA,
+    compile_regex,
+    determinize,
+    is_unambiguous,
+    minimize,
+    word,
+    word_str,
+)
+from repro.core import (
+    ExactUniformSampler,
+    FprasParameters,
+    FprasState,
+    LasVegasUniformGenerator,
+    RelationNL,
+    RelationNLSolver,
+    RelationUL,
+    RelationULSolver,
+    SpanLFunction,
+    approx_count_nfa,
+    count_accepting_runs_of_length,
+    count_words_exact,
+    count_words_ufa,
+    enumerate_words,
+    enumerate_words_nfa,
+    enumerate_words_ufa,
+    sample_word_ufa,
+)
+from repro.errors import (
+    AmbiguityError,
+    EmptyWitnessSetError,
+    GenerationFailedError,
+    InvalidAutomatonError,
+    InvalidRegexError,
+    ReproError,
+)
+from repro.utils.rng import make_rng
+
+__version__ = "1.0.0"
+
+
+def count_words(nfa: NFA, n: int) -> int:
+    """Exact ``|L_n(nfa)|``, choosing the right exact algorithm.
+
+    Unambiguous automata use the polynomial-time run-count DP of Section
+    5.3.2; ambiguous ones fall back to the subset-construction counter
+    (exponential worst case — use :func:`approx_count_nfa` at scale).
+    """
+    stripped = nfa.without_epsilon().trim()
+    if is_unambiguous(stripped):
+        return count_accepting_runs_of_length(stripped, n)
+    return count_words_exact(stripped, n)
+
+
+def uniform_sample(
+    nfa: NFA,
+    n: int,
+    rng: random.Random | int | None = None,
+    delta: float = 0.1,
+):
+    """One uniform witness of ``L_n(nfa)`` (None when the set is empty).
+
+    Unambiguous automata get the exact uniform sampler of Section 5.3.3;
+    general NFAs get the Las Vegas generator of Corollary 23.
+    """
+    generator = make_rng(rng)
+    stripped = nfa.without_epsilon().trim()
+    if is_unambiguous(stripped):
+        from repro.core.exact_sampler import sample_word_ufa_or_none
+
+        return sample_word_ufa_or_none(stripped, n, rng=generator, check=False)
+    return LasVegasUniformGenerator(stripped, n, delta=delta, rng=generator).generate()
+
+
+def uniform_samples(
+    nfa: NFA,
+    n: int,
+    count: int,
+    rng: random.Random | int | None = None,
+    delta: float = 0.1,
+) -> list:
+    """``count`` independent uniform witnesses of ``L_n(nfa)``.
+
+    Amortizes preprocessing across draws (one sampler / one PLVUG state).
+    Raises :class:`EmptyWitnessSetError` if there are no witnesses.
+    """
+    generator = make_rng(rng)
+    stripped = nfa.without_epsilon().trim()
+    if is_unambiguous(stripped):
+        sampler = ExactUniformSampler(stripped, n, check=False)
+        return sampler.sample_many(count, rng=generator)
+    plvug = LasVegasUniformGenerator(stripped, n, delta=delta, rng=generator)
+    return plvug.sample_many(count)
+
+
+__all__ = [
+    "__version__",
+    # automata
+    "NFA",
+    "DFA",
+    "EPSILON",
+    "word",
+    "word_str",
+    "compile_regex",
+    "determinize",
+    "minimize",
+    "is_unambiguous",
+    # top-level dispatchers
+    "count_words",
+    "uniform_sample",
+    "uniform_samples",
+    # core
+    "enumerate_words",
+    "enumerate_words_ufa",
+    "enumerate_words_nfa",
+    "count_words_ufa",
+    "count_words_exact",
+    "count_accepting_runs_of_length",
+    "approx_count_nfa",
+    "sample_word_ufa",
+    "ExactUniformSampler",
+    "FprasState",
+    "FprasParameters",
+    "LasVegasUniformGenerator",
+    "RelationNL",
+    "RelationUL",
+    "RelationNLSolver",
+    "RelationULSolver",
+    "SpanLFunction",
+    # errors
+    "ReproError",
+    "InvalidAutomatonError",
+    "AmbiguityError",
+    "EmptyWitnessSetError",
+    "GenerationFailedError",
+    "InvalidRegexError",
+]

@@ -1,0 +1,176 @@
+"""Brzozowski derivatives: a third, independent regex semantics.
+
+The derivative of a language L by a symbol a is a⁻¹L = {w : aw ∈ L} —
+exactly the residual the ψ self-reduction of §5.2 computes on automata.
+On regex ASTs the derivative is a syntactic rewrite (Brzozowski 1964),
+which gives us:
+
+* :func:`derivative` — the rewrite itself (with light smart-constructor
+  simplification so derivative chains stay small);
+* :func:`matches` — derivative-based matching, a regex semantics that is
+  completely independent of the Thompson/Glushkov compilers and of the
+  brute-force matcher — three-way cross-validation in the test suite;
+* :func:`brzozowski_dfa` — the derivative automaton: states are
+  simplified derivatives, which yields a (often small) DFA directly and
+  hence yet another route into the RelationUL algorithms.
+
+The derivative construction terminates because derivatives are taken
+modulo the similarity rules (associativity/commutativity/idempotence of
+union), approximated here by the smart constructors plus a hard cap that
+turns pathological blow-ups into a clear error instead of a hang.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA
+from repro.automata.regex import (
+    AnyChar,
+    CharClass,
+    Concat,
+    Empty,
+    EpsilonNode,
+    Literal,
+    Optional,
+    Plus,
+    Regex,
+    Repeat,
+    Star,
+    Union,
+    _expand_repeats,
+)
+from repro.errors import InvalidRegexError
+
+
+def _union(*options: Regex) -> Regex:
+    """Smart union: drop ∅, flatten, deduplicate."""
+    flat: list[Regex] = []
+    seen: set = set()
+    stack = list(options)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, Empty):
+            continue
+        if isinstance(node, Union):
+            stack = list(node.options) + stack
+            continue
+        if node not in seen:
+            seen.add(node)
+            flat.append(node)
+    if not flat:
+        return Empty()
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def _concat(*parts: Regex) -> Regex:
+    """Smart concatenation: ∅ annihilates, ε is the unit."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Empty):
+            return Empty()
+        if isinstance(part, EpsilonNode):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EpsilonNode()
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def nullable(node: Regex) -> bool:
+    """Does the language contain ε?"""
+    if isinstance(node, (EpsilonNode, Star, Optional)):
+        return True
+    if isinstance(node, (Empty, Literal, AnyChar, CharClass)):
+        return False
+    if isinstance(node, Concat):
+        return all(nullable(part) for part in node.parts)
+    if isinstance(node, Union):
+        return any(nullable(option) for option in node.options)
+    if isinstance(node, Plus):
+        return nullable(node.inner)
+    if isinstance(node, Repeat):
+        return node.low == 0 or nullable(node.inner)
+    raise TypeError(f"unknown node {node!r}")
+
+
+def derivative(node: Regex, symbol: str, alphabet: frozenset) -> Regex:
+    """The Brzozowski derivative ∂_symbol(node)."""
+    if isinstance(node, (Empty, EpsilonNode)):
+        return Empty()
+    if isinstance(node, Literal):
+        return EpsilonNode() if node.symbol == symbol else Empty()
+    if isinstance(node, AnyChar):
+        return EpsilonNode() if symbol in alphabet else Empty()
+    if isinstance(node, CharClass):
+        return EpsilonNode() if symbol in node.resolve(alphabet) else Empty()
+    if isinstance(node, Union):
+        return _union(*(derivative(option, symbol, alphabet) for option in node.options))
+    if isinstance(node, Concat):
+        head, tail = node.parts[0], node.parts[1:]
+        rest = _concat(*tail) if tail else EpsilonNode()
+        first = _concat(derivative(head, symbol, alphabet), rest)
+        if nullable(head):
+            return _union(first, derivative(rest, symbol, alphabet))
+        return first
+    if isinstance(node, Star):
+        return _concat(derivative(node.inner, symbol, alphabet), node)
+    if isinstance(node, Plus):
+        return _concat(derivative(node.inner, symbol, alphabet), Star(node.inner))
+    if isinstance(node, Optional):
+        return derivative(node.inner, symbol, alphabet)
+    if isinstance(node, Repeat):
+        return derivative(_expand_repeats(node), symbol, alphabet)
+    raise TypeError(f"unknown node {node!r}")
+
+
+def matches(node: Regex, w, alphabet) -> bool:
+    """Derivative-based matching: nullable(∂_{w_k}…∂_{w_1} node)."""
+    alphabet = frozenset(alphabet)
+    current = node
+    for symbol in w:
+        current = derivative(current, symbol, alphabet)
+        if isinstance(current, Empty):
+            return False
+    return nullable(current)
+
+
+def brzozowski_dfa(node: Regex, alphabet, max_states: int = 10_000) -> NFA:
+    """The derivative DFA of a regex (as an :class:`NFA` value).
+
+    States are derivative ASTs (canonicalized by the smart constructors);
+    a state is final iff nullable.  Deterministic by construction, hence
+    unambiguous — the RelationUL suite applies to any pattern compiled
+    this way.
+    """
+    alphabet = frozenset(alphabet)
+    ordered_symbols = sorted(alphabet, key=repr)
+    start = node
+    index_of: dict[Regex, int] = {start: 0}
+    order: list[Regex] = [start]
+    transitions: list[tuple] = []
+    position = 0
+    while position < len(order):
+        current = order[position]
+        position += 1
+        for symbol in ordered_symbols:
+            next_node = derivative(current, symbol, alphabet)
+            if isinstance(next_node, Empty):
+                continue  # dead state omitted (partial DFA)
+            if next_node not in index_of:
+                if len(index_of) >= max_states:
+                    raise InvalidRegexError(
+                        repr(node), 0,
+                        f"derivative construction exceeded {max_states} states; "
+                        "the pattern needs the Glushkov route",
+                    )
+                index_of[next_node] = len(index_of)
+                order.append(next_node)
+            transitions.append((index_of[current], symbol, index_of[next_node]))
+    finals = [index_of[state] for state in order if nullable(state)]
+    return NFA(range(len(order)), alphabet, transitions, 0, finals).trim()

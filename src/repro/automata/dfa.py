@@ -1,0 +1,307 @@
+"""Deterministic finite automata, determinization and minimization.
+
+DFAs appear in this library only as *substrates for exact baselines and
+testing*: the paper's point is precisely that the interesting problems are
+about NFAs, where determinization costs an exponential blow-up.  We still
+implement the full classical toolkit —
+
+* subset-construction determinization (:func:`determinize`),
+* completion with a sink state (:meth:`DFA.completed`),
+* Hopcroft's partition-refinement minimization (:func:`minimize`),
+* complement and language-equality checking —
+
+because the test suite validates every approximate algorithm against exact
+language-level ground truth, and language equality of NFAs is decided via
+their minimal DFAs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Mapping
+
+from repro.automata.nfa import EPSILON, NFA, State, Symbol
+from repro.errors import InvalidAutomatonError
+
+
+class DFA:
+    """An immutable deterministic finite automaton.
+
+    ``transitions`` maps ``(state, symbol)`` to the unique successor.  The
+    automaton may be partial (missing entries mean rejection); use
+    :meth:`completed` to make it total.
+    """
+
+    __slots__ = ("_states", "_alphabet", "_delta", "_initial", "_finals", "_hash")
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        alphabet: Iterable[Symbol],
+        transitions: Mapping[tuple, State],
+        initial: State,
+        finals: Iterable[State],
+    ):
+        self._states = frozenset(states)
+        self._alphabet = frozenset(alphabet)
+        self._delta = dict(transitions)
+        self._initial = initial
+        self._finals = frozenset(finals)
+        self._hash = None
+        self._validate()
+
+    def _validate(self) -> None:
+        if self._initial not in self._states:
+            raise InvalidAutomatonError(f"initial state {self._initial!r} not in states")
+        if not self._finals <= self._states:
+            raise InvalidAutomatonError("final states must be a subset of states")
+        for (source, symbol), target in self._delta.items():
+            if source not in self._states or target not in self._states:
+                raise InvalidAutomatonError(
+                    f"transition ({source!r}, {symbol!r}) -> {target!r} leaves the state set"
+                )
+            if symbol not in self._alphabet:
+                raise InvalidAutomatonError(f"symbol {symbol!r} not in alphabet")
+            if symbol is EPSILON:
+                raise InvalidAutomatonError("DFAs cannot have ε-transitions")
+
+    @property
+    def states(self) -> frozenset:
+        return self._states
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self._alphabet
+
+    @property
+    def initial(self) -> State:
+        return self._initial
+
+    @property
+    def finals(self) -> frozenset:
+        return self._finals
+
+    @property
+    def num_states(self) -> int:
+        return len(self._states)
+
+    def successor(self, state: State, symbol: Symbol) -> State | None:
+        """The unique successor, or None if the transition is undefined."""
+        return self._delta.get((state, symbol))
+
+    def transitions_dict(self) -> dict[tuple, State]:
+        return dict(self._delta)
+
+    def accepts(self, input_word: Iterable[Symbol]) -> bool:
+        state = self._initial
+        for symbol in input_word:
+            state = self._delta.get((state, symbol))
+            if state is None:
+                return False
+        return state in self._finals
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DFA):
+            return NotImplemented
+        return (
+            self._states == other._states
+            and self._alphabet == other._alphabet
+            and self._delta == other._delta
+            and self._initial == other._initial
+            and self._finals == other._finals
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self._states,
+                    self._alphabet,
+                    frozenset(self._delta.items()),
+                    self._initial,
+                    self._finals,
+                )
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"DFA(states={self.num_states}, alphabet={sorted(map(repr, self._alphabet))})"
+
+    # ------------------------------------------------------------------
+
+    def completed(self, sink_label: State = ("__sink__",)) -> "DFA":
+        """Total DFA: add a rejecting sink for all missing transitions."""
+        missing = [
+            (state, symbol)
+            for state in self._states
+            for symbol in self._alphabet
+            if (state, symbol) not in self._delta
+        ]
+        if not missing:
+            return self
+        if sink_label in self._states:
+            raise InvalidAutomatonError(f"sink label {sink_label!r} collides with a state")
+        delta = dict(self._delta)
+        for state, symbol in missing:
+            delta[(state, symbol)] = sink_label
+        for symbol in self._alphabet:
+            delta[(sink_label, symbol)] = sink_label
+        return DFA(
+            set(self._states) | {sink_label}, self._alphabet, delta, self._initial, self._finals
+        )
+
+    def complement(self) -> "DFA":
+        """DFA for the complement language (completes first)."""
+        total = self.completed()
+        return DFA(
+            total._states,
+            total._alphabet,
+            total._delta,
+            total._initial,
+            total._states - total._finals,
+        )
+
+    def to_nfa(self) -> NFA:
+        """View this DFA as an NFA (same structure)."""
+        transitions = [
+            (source, symbol, target) for (source, symbol), target in self._delta.items()
+        ]
+        return NFA(self._states, self._alphabet, transitions, self._initial, self._finals)
+
+    def reachable(self) -> "DFA":
+        """Restrict to states reachable from the initial state."""
+        seen = {self._initial}
+        frontier = deque([self._initial])
+        while frontier:
+            state = frontier.popleft()
+            for symbol in self._alphabet:
+                target = self._delta.get((state, symbol))
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        delta = {
+            (source, symbol): target
+            for (source, symbol), target in self._delta.items()
+            if source in seen
+        }
+        return DFA(seen, self._alphabet, delta, self._initial, self._finals & seen)
+
+
+def determinize(nfa: NFA) -> DFA:
+    """Subset-construction determinization.
+
+    States of the result are frozensets of NFA states (ε-closed).  Worst
+    case exponential — this is exactly the blow-up the paper's FPRAS
+    avoids; we use determinization only for exact ground truth on small
+    instances and for language-equality testing.
+    """
+    start = nfa.epsilon_closure({nfa.initial})
+    states: set[frozenset] = {start}
+    delta: dict[tuple, frozenset] = {}
+    frontier = deque([start])
+    while frontier:
+        subset = frontier.popleft()
+        for symbol in nfa.alphabet:
+            target = nfa.step(subset, symbol)
+            delta[(subset, symbol)] = target
+            if target not in states:
+                states.add(target)
+                frontier.append(target)
+    finals = {subset for subset in states if subset & nfa.finals}
+    return DFA(states, nfa.alphabet, delta, start, finals)
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Hopcroft's O(m·|Σ|·log m) DFA minimization.
+
+    The input is completed and restricted to reachable states first; the
+    result is the canonical minimal total DFA for the language (up to
+    state naming — states are frozensets of merged original states).
+    """
+    total = dfa.completed().reachable()
+    states = list(total.states)
+    finals = total.finals
+    nonfinals = total.states - finals
+
+    # Reverse transition index: (symbol, target) -> set of sources.
+    reverse: dict[tuple, set] = {}
+    for (source, symbol), target in total.transitions_dict().items():
+        reverse.setdefault((symbol, target), set()).add(source)
+
+    partition: list[set] = [set(block) for block in (finals, nonfinals) if block]
+    worklist: list[frozenset] = [frozenset(block) for block in partition]
+
+    while worklist:
+        splitter = worklist.pop()
+        for symbol in total.alphabet:
+            predecessors: set = set()
+            for target in splitter:
+                predecessors |= reverse.get((symbol, target), set())
+            if not predecessors:
+                continue
+            next_partition: list[set] = []
+            for block in partition:
+                inside = block & predecessors
+                outside = block - predecessors
+                if inside and outside:
+                    next_partition.append(inside)
+                    next_partition.append(outside)
+                    frozen_block = frozenset(block)
+                    if frozen_block in worklist:
+                        worklist.remove(frozen_block)
+                        worklist.append(frozenset(inside))
+                        worklist.append(frozenset(outside))
+                    else:
+                        smaller = inside if len(inside) <= len(outside) else outside
+                        worklist.append(frozenset(smaller))
+                else:
+                    next_partition.append(block)
+            partition = next_partition
+
+    block_of: dict[State, frozenset] = {}
+    for block in partition:
+        frozen = frozenset(block)
+        for state in block:
+            block_of[state] = frozen
+    delta = {
+        (block_of[source], symbol): block_of[target]
+        for (source, symbol), target in total.transitions_dict().items()
+    }
+    new_states = set(block_of.values())
+    new_finals = {block for block in new_states if block & finals}
+    return DFA(new_states, total.alphabet, delta, block_of[total.initial], new_finals)
+
+
+def languages_equal(left: NFA, right: NFA) -> bool:
+    """Decide L(left) = L(right) via Hopcroft–Karp style pair exploration.
+
+    Runs a synchronous BFS over the pair graph of the two determinized
+    automata, bailing out at the first distinguishing pair.  Exponential in
+    the worst case (inherent), fine at test sizes.
+    """
+    if left.alphabet != right.alphabet:
+        # Different alphabets can still be language-equal only if neither
+        # uses the extra symbols; comparing over the union is correct.
+        alphabet = left.alphabet | right.alphabet
+    else:
+        alphabet = left.alphabet
+    left = left.without_epsilon()
+    right = right.without_epsilon()
+    start = (
+        left.epsilon_closure({left.initial}),
+        right.epsilon_closure({right.initial}),
+    )
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        subset_l, subset_r = frontier.popleft()
+        accept_l = bool(subset_l & left.finals)
+        accept_r = bool(subset_r & right.finals)
+        if accept_l != accept_r:
+            return False
+        for symbol in alphabet:
+            nxt = (left.step(subset_l, symbol), right.step(subset_r, symbol))
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return True

@@ -1,0 +1,253 @@
+"""Reproducible random and structured automaton generators.
+
+The paper has no datasets: its "workloads" are whatever automata a caller
+brings.  For the experiments we therefore need instance families with
+controllable size, density and — crucially — *ambiguity*, since ambiguity
+is what separates the easy UL world from the NL world where only the
+FPRAS works:
+
+* :func:`random_nfa` — Erdős–Rényi-style random transition relation.
+* :func:`random_ufa` — random *unambiguous* NFA built as a random DFA with
+  extra unreachable-for-any-word redundancy removed (a DFA is trivially a
+  UFA; randomized partial DFAs give non-trivial languages).
+* :func:`ambiguity_blowup` — the ``(a | aa)ᵏ``-style family from the
+  discussion in Section 6.1: the number of accepting runs per word grows
+  exponentially with the word length, which makes the naive Monte Carlo
+  estimator's variance explode while the FPRAS is unaffected.  This is the
+  E5 workload.
+* :func:`unary_counter` / :func:`divisibility_dfa` — structured families
+  with known exact counts (used as self-checking ground truth).
+* :func:`binary_counter_nfa` — accepts binary words containing a given
+  pattern; known inclusion–exclusion counts.
+
+Every generator takes a seed (or ``random.Random``) and is deterministic
+given it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.automata.nfa import NFA
+from repro.utils.rng import make_rng
+
+BINARY = ("0", "1")
+
+
+def random_nfa(
+    num_states: int,
+    alphabet: Sequence[str] = BINARY,
+    density: float = 1.5,
+    final_fraction: float = 0.3,
+    rng: random.Random | int | None = None,
+    ensure_nonempty_length: int | None = None,
+) -> NFA:
+    """A random NFA with ~``density`` outgoing edges per (state, symbol).
+
+    ``density`` is the expected number of successors for each (state,
+    symbol) pair; values above 1 produce genuinely ambiguous automata.
+    If ``ensure_nonempty_length`` is given, the generator retries (with
+    fresh randomness from the same stream) until the automaton accepts at
+    least one word of that length — convenient for sampling experiments
+    that need a non-empty witness set.
+    """
+    generator = make_rng(rng)
+    if num_states < 1:
+        raise ValueError("num_states must be ≥ 1")
+    probability = min(1.0, density / max(1, num_states))
+    for _ in range(1000):
+        states = list(range(num_states))
+        transitions = [
+            (source, symbol, target)
+            for source in states
+            for symbol in alphabet
+            for target in states
+            if generator.random() < probability
+        ]
+        num_finals = max(1, round(final_fraction * num_states))
+        finals = generator.sample(states, num_finals)
+        candidate = NFA(states, alphabet, transitions, 0, finals).trim()
+        if ensure_nonempty_length is None:
+            return candidate
+        if _accepts_some_word(candidate, ensure_nonempty_length):
+            return candidate
+    raise RuntimeError(
+        "could not generate an NFA with a nonempty witness set; "
+        "increase density or num_states"
+    )
+
+
+def _accepts_some_word(nfa: NFA, length: int) -> bool:
+    """Does the automaton accept at least one word of this length?
+
+    Layered reachability: forward sets of states reachable in exactly i
+    steps; accept iff the length-th set meets the finals.  O(length·|δ|).
+    """
+    stripped = nfa.without_epsilon()
+    current = {stripped.initial}
+    for _ in range(length):
+        nxt: set = set()
+        for state in current:
+            for symbol in stripped.alphabet:
+                nxt |= stripped.successors(state, symbol)
+        current = nxt
+        if not current:
+            return False
+    return bool(current & stripped.finals)
+
+
+def random_ufa(
+    num_states: int,
+    alphabet: Sequence[str] = BINARY,
+    completeness: float = 0.8,
+    final_fraction: float = 0.3,
+    rng: random.Random | int | None = None,
+    ensure_nonempty_length: int | None = None,
+) -> NFA:
+    """A random *unambiguous* NFA (a random partial DFA, trimmed).
+
+    A deterministic automaton has at most one run per word, hence is
+    unambiguous; partiality (each (state, symbol) has a transition with
+    probability ``completeness``) keeps the language non-trivial.
+    """
+    generator = make_rng(rng)
+    for _ in range(1000):
+        states = list(range(num_states))
+        transitions = [
+            (source, symbol, generator.choice(states))
+            for source in states
+            for symbol in alphabet
+            if generator.random() < completeness
+        ]
+        num_finals = max(1, round(final_fraction * num_states))
+        finals = generator.sample(states, num_finals)
+        candidate = NFA(states, alphabet, transitions, 0, finals).trim()
+        if ensure_nonempty_length is None:
+            return candidate
+        if _accepts_some_word(candidate, ensure_nonempty_length):
+            return candidate
+    raise RuntimeError("could not generate a UFA with a nonempty witness set")
+
+
+def ambiguity_blowup(depth: int, alphabet: Sequence[str] = BINARY) -> NFA:
+    """The Monte-Carlo-killer family of Section 6.1 (experiment E5).
+
+    A chain of ``depth`` diamond gadgets over symbol ``alphabet[0]``; each
+    gadget can be crossed by one step in two distinct ways, so the word
+    ``a^depth`` has ``2^depth`` accepting runs, while words that mix in
+    ``alphabet[1]`` (taken via a deterministic bypass at each stage) have
+    exactly one.  The run-count imbalance between accepted words is then
+    exponential in ``depth``, which drives the variance of the naive
+    path-sampling estimator through the roof while leaving the FPRAS
+    untouched.
+    """
+    if depth < 1:
+        raise ValueError("depth must be ≥ 1")
+    a, b = alphabet[0], alphabet[1]
+    transitions: list[tuple] = []
+    # States: hub_i for i in 0..depth; mid_i two parallel mid states per gadget.
+    for i in range(depth):
+        hub, nxt = f"h{i}", f"h{i + 1}"
+        # Two parallel 'a' edges realized via two distinct epsilon-free paths:
+        # duplicate intermediate states collapse to parallel edges; an NFA
+        # cannot have two identical (q, a, q') transitions, so we route one
+        # through a doubling state pair with the same total length 1 —
+        # instead we make TWO distinct successors that then merge on the
+        # next symbol.  Simpler and standard: hub --a--> m0_i and
+        # hub --a--> m1_i, then m0_i --a--> next and m1_i --a--> next.
+        # Each gadget thus consumes 'aa' with 2 runs; 'ab' has 1 run.
+        m0, m1 = f"m0_{i}", f"m1_{i}"
+        transitions.append((hub, a, m0))
+        transitions.append((hub, a, m1))
+        transitions.append((m0, a, nxt))
+        transitions.append((m1, a, nxt))
+        # Deterministic bypass consuming 'b' then 'a' (keeps lengths equal).
+        bypass = f"bp_{i}"
+        transitions.append((hub, b, bypass))
+        transitions.append((bypass, a, nxt))
+    states = {source for source, _, _ in transitions} | {
+        target for _, _, target in transitions
+    }
+    return NFA(states, tuple(alphabet), transitions, "h0", [f"h{depth}"])
+
+
+def unary_counter(modulus: int, residues: Sequence[int], symbol: str = "0") -> NFA:
+    """DFA over a unary alphabet accepting lengths ≡ r (mod modulus).
+
+    ``|L_n| = 1`` if ``n mod modulus ∈ residues`` else 0 — trivially
+    verifiable ground truth for the counting pipeline's corner cases.
+    """
+    if modulus < 1:
+        raise ValueError("modulus must be ≥ 1")
+    bad = [r for r in residues if not 0 <= r < modulus]
+    if bad:
+        raise ValueError(f"residues out of range: {bad}")
+    states = list(range(modulus))
+    transitions = [(i, symbol, (i + 1) % modulus) for i in states]
+    return NFA(states, [symbol], transitions, 0, list(residues))
+
+
+def divisibility_dfa(base: int, divisor: int) -> NFA:
+    """DFA accepting base-``base`` numerals divisible by ``divisor``.
+
+    Symbols are the digit characters ``"0"..``; the state is the value
+    mod ``divisor``.  Exact counts of length-n members have a clean
+    closed form for divisor values coprime with the base (≈ baseⁿ/divisor),
+    making this a good sanity family for the FPRAS.
+    """
+    if base < 2 or divisor < 1:
+        raise ValueError("need base ≥ 2 and divisor ≥ 1")
+    digits = [str(d) for d in range(base)]
+    states = list(range(divisor))
+    transitions = [
+        (value, digit, (value * base + int(digit)) % divisor)
+        for value in states
+        for digit in digits
+    ]
+    return NFA(states, digits, transitions, 0, [0])
+
+
+def contains_pattern_nfa(pattern: Sequence[str], alphabet: Sequence[str] = BINARY) -> NFA:
+    """The classical ambiguous NFA for Σ*·pattern·Σ*.
+
+    The textbook nondeterministic 'guess where the pattern starts'
+    automaton: heavily ambiguous (every occurrence of the pattern gives a
+    distinct accepting run), with known counts via inclusion–exclusion on
+    small cases — a natural FPRAS stress family.
+    """
+    w = tuple(pattern)
+    if not w:
+        raise ValueError("pattern must be nonempty")
+    states = list(range(len(w) + 1))
+    transitions: list[tuple] = []
+    for symbol in alphabet:
+        transitions.append((0, symbol, 0))            # loop before the guess
+        transitions.append((len(w), symbol, len(w)))  # loop after the match
+    for i, symbol in enumerate(w):
+        transitions.append((i, symbol, i + 1))
+    return NFA(states, tuple(alphabet), transitions, 0, [len(w)])
+
+
+def chain_of_unions(num_blocks: int, block_words: Sequence[Sequence[str]]) -> NFA:
+    """Concatenation of ``num_blocks`` copies of a finite-word union block.
+
+    With blocks like ("a", "aa") this generalizes the classical ambiguous
+    families; counts are computable by convolution (the tests do so), and
+    ambiguity is tunable through overlapping block words.
+    """
+    from repro.automata import operations as ops
+
+    if num_blocks < 1:
+        raise ValueError("num_blocks must be ≥ 1")
+    words = [tuple(w) for w in block_words]
+    if not words:
+        raise ValueError("need at least one block word")
+    alphabet = {symbol for w in words for symbol in w}
+    block = NFA.single_word(words[0], alphabet)
+    for w in words[1:]:
+        block = ops.union(block, NFA.single_word(w, alphabet))
+    result = block
+    for _ in range(num_blocks - 1):
+        result = ops.concatenate(result, block)
+    return result.without_epsilon().trim().renumbered()

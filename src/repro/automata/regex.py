@@ -1,0 +1,642 @@
+"""Regular expressions: AST, parser, and compilation to NFAs.
+
+The calibration notes for this reproduction flag "uniform regex/NFA
+sampling" as the novel capability with no canonical OSS tool.  This module
+is the user-facing front end for it: parse a pattern, compile to an NFA,
+then hand the NFA to the Section 5/6 machinery::
+
+    >>> from repro import compile_regex, count_words, sample_word
+    >>> nfa = compile_regex("(ab|ba)*a?")
+    >>> count_words(nfa, 5)          # exact (this pattern is ambiguous → NFA route)
+    ...
+
+Supported syntax (a deliberate, clean subset of POSIX/Python syntax):
+
+* literals, ``.`` wildcard (over the declared alphabet)
+* character classes ``[abc]``, ranges ``[a-z]``, negation ``[^abc]``
+* grouping ``( )``, alternation ``|``, concatenation
+* quantifiers ``*``, ``+``, ``?``, ``{m}``, ``{m,}``, ``{m,n}``
+* escapes ``\\(``, ``\\*``, ... for metacharacters
+
+Two compilation strategies are provided:
+
+* :func:`thompson` — the classical Thompson construction: O(|pattern|)
+  states, ε-transitions (removed afterwards for the counting pipeline).
+* :func:`glushkov` — the position automaton: ε-free by construction,
+  |pattern|+1 states; often *unambiguous* for deterministic-ish patterns,
+  in which case the fast RelationUL algorithms apply.
+
+Both yield language-equivalent NFAs (property-tested against a
+brute-force matcher).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata import operations as ops
+from repro.errors import InvalidRegexError
+
+METACHARACTERS = set("()[]{}|*+?.\\")
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class for regex AST nodes."""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return render(self)
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language ∅ (no strings)."""
+
+
+@dataclass(frozen=True)
+class EpsilonNode(Regex):
+    """The language {ε}."""
+
+
+@dataclass(frozen=True)
+class Literal(Regex):
+    """A single symbol."""
+
+    symbol: str
+
+
+@dataclass(frozen=True)
+class CharClass(Regex):
+    """A set of symbols (one character of the class)."""
+
+    symbols: frozenset
+    negated: bool = False
+
+    def resolve(self, alphabet: frozenset) -> frozenset:
+        """Concrete symbol set relative to ``alphabet``."""
+        if self.negated:
+            return alphabet - self.symbols
+        return self.symbols & alphabet if self.symbols <= alphabet else self.symbols
+
+
+@dataclass(frozen=True)
+class AnyChar(Regex):
+    """The ``.`` wildcard: any single symbol of the alphabet."""
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    parts: tuple
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("Concat needs at least two parts")
+
+
+@dataclass(frozen=True)
+class Union(Regex):
+    options: tuple
+
+    def __post_init__(self):
+        if len(self.options) < 2:
+            raise ValueError("Union needs at least two options")
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    inner: Regex
+
+
+@dataclass(frozen=True)
+class Plus(Regex):
+    inner: Regex
+
+
+@dataclass(frozen=True)
+class Optional(Regex):
+    inner: Regex
+
+
+@dataclass(frozen=True)
+class Repeat(Regex):
+    inner: Regex
+    low: int
+    high: int | None  # None = unbounded
+
+
+def render(node: Regex) -> str:
+    """Pretty-print an AST back to (parenthesized) pattern syntax."""
+    if isinstance(node, Empty):
+        return "[]"  # an empty class matches nothing
+    if isinstance(node, EpsilonNode):
+        return "()"
+    if isinstance(node, Literal):
+        return "\\" + node.symbol if node.symbol in METACHARACTERS else node.symbol
+    if isinstance(node, AnyChar):
+        return "."
+    if isinstance(node, CharClass):
+        body = "".join(sorted(node.symbols))
+        return f"[^{body}]" if node.negated else f"[{body}]"
+    if isinstance(node, Concat):
+        return "".join(
+            f"({render(part)})" if isinstance(part, Union) else render(part)
+            for part in node.parts
+        )
+    if isinstance(node, Union):
+        return "|".join(render(option) for option in node.options)
+    if isinstance(node, (Star, Plus, Optional)):
+        suffix = {"Star": "*", "Plus": "+", "Optional": "?"}[type(node).__name__]
+        return f"({render(node.inner)}){suffix}"
+    if isinstance(node, Repeat):
+        high = "" if node.high is None else str(node.high)
+        bounds = f"{{{node.low},{high}}}" if node.high != node.low else f"{{{node.low}}}"
+        return f"({render(node.inner)}){bounds}"
+    raise TypeError(f"unknown node {node!r}")
+
+
+# ----------------------------------------------------------------------
+# Parser (recursive descent)
+# ----------------------------------------------------------------------
+
+
+class _Parser:
+    """Recursive-descent parser for the supported regex subset."""
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.position = 0
+
+    def error(self, message: str) -> InvalidRegexError:
+        return InvalidRegexError(self.pattern, self.position, message)
+
+    def peek(self) -> str | None:
+        if self.position < len(self.pattern):
+            return self.pattern[self.position]
+        return None
+
+    def take(self) -> str:
+        char = self.peek()
+        if char is None:
+            raise self.error("unexpected end of pattern")
+        self.position += 1
+        return char
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}")
+        self.position += 1
+
+    def parse(self) -> Regex:
+        node = self.parse_union()
+        if self.position != len(self.pattern):
+            raise self.error(f"unexpected {self.peek()!r}")
+        return node
+
+    def parse_union(self) -> Regex:
+        options = [self.parse_concat()]
+        while self.peek() == "|":
+            self.take()
+            options.append(self.parse_concat())
+        if len(options) == 1:
+            return options[0]
+        return Union(tuple(options))
+
+    def parse_concat(self) -> Regex:
+        parts: list[Regex] = []
+        while self.peek() is not None and self.peek() not in "|)":
+            parts.append(self.parse_quantified())
+        if not parts:
+            return EpsilonNode()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+
+    def parse_quantified(self) -> Regex:
+        atom = self.parse_atom()
+        while True:
+            char = self.peek()
+            if char == "*":
+                self.take()
+                atom = Star(atom)
+            elif char == "+":
+                self.take()
+                atom = Plus(atom)
+            elif char == "?":
+                self.take()
+                atom = Optional(atom)
+            elif char == "{":
+                atom = self.parse_bounds(atom)
+            else:
+                return atom
+
+    def parse_bounds(self, atom: Regex) -> Regex:
+        self.expect("{")
+        low = self.parse_number()
+        high: int | None
+        if self.peek() == ",":
+            self.take()
+            if self.peek() == "}":
+                high = None
+            else:
+                high = self.parse_number()
+        else:
+            high = low
+        self.expect("}")
+        if high is not None and high < low:
+            raise self.error(f"repetition bounds out of order: {{{low},{high}}}")
+        return Repeat(atom, low, high)
+
+    def parse_number(self) -> int:
+        digits = []
+        while self.peek() is not None and self.peek().isdigit():
+            digits.append(self.take())
+        if not digits:
+            raise self.error("expected a number")
+        return int("".join(digits))
+
+    def parse_atom(self) -> Regex:
+        char = self.peek()
+        if char is None:
+            raise self.error("expected an atom")
+        if char == "(":
+            self.take()
+            inner = self.parse_union()
+            self.expect(")")
+            return inner
+        if char == "[":
+            return self.parse_class()
+        if char == ".":
+            self.take()
+            return AnyChar()
+        if char == "\\":
+            self.take()
+            return Literal(self.take())
+        if char in "*+?{":
+            raise self.error(f"quantifier {char!r} with nothing to repeat")
+        if char in ")|":
+            raise self.error(f"unexpected {char!r}")
+        self.take()
+        return Literal(char)
+
+    def parse_class(self) -> Regex:
+        self.expect("[")
+        negated = False
+        if self.peek() == "^":
+            self.take()
+            negated = True
+        symbols: set[str] = set()
+        while self.peek() != "]":
+            if self.peek() is None:
+                raise self.error("unterminated character class")
+            first = self.take()
+            if first == "\\":
+                first = self.take()
+            if self.peek() == "-" and self.position + 1 < len(self.pattern) and self.pattern[
+                self.position + 1
+            ] != "]":
+                self.take()  # the dash
+                last = self.take()
+                if last == "\\":
+                    last = self.take()
+                if ord(last) < ord(first):
+                    raise self.error(f"character range {first}-{last} out of order")
+                symbols.update(chr(code) for code in range(ord(first), ord(last) + 1))
+            else:
+                symbols.add(first)
+        self.expect("]")
+        if not symbols and not negated:
+            return Empty()
+        return CharClass(frozenset(symbols), negated=negated)
+
+
+def parse(pattern: str) -> Regex:
+    """Parse ``pattern`` into a :class:`Regex` AST."""
+    return _Parser(pattern).parse()
+
+
+# ----------------------------------------------------------------------
+# Alphabet inference
+# ----------------------------------------------------------------------
+
+
+def pattern_symbols(node: Regex) -> frozenset:
+    """All concrete symbols mentioned in the AST (ignoring negation/wildcards)."""
+    if isinstance(node, Literal):
+        return frozenset({node.symbol})
+    if isinstance(node, CharClass):
+        return node.symbols
+    if isinstance(node, Concat):
+        out: frozenset = frozenset()
+        for part in node.parts:
+            out |= pattern_symbols(part)
+        return out
+    if isinstance(node, Union):
+        out = frozenset()
+        for option in node.options:
+            out |= pattern_symbols(option)
+        return out
+    if isinstance(node, (Star, Plus, Optional, Repeat)):
+        return pattern_symbols(node.inner)
+    return frozenset()
+
+
+def _resolve_alphabet(node: Regex, alphabet: Iterable[str] | None) -> frozenset:
+    symbols = pattern_symbols(node)
+    if alphabet is None:
+        if any_wildcards(node):
+            raise InvalidRegexError(
+                render(node), 0, "patterns with '.' or negated classes need an explicit alphabet"
+            )
+        if not symbols:
+            raise InvalidRegexError(render(node), 0, "cannot infer an alphabet (no symbols)")
+        return symbols
+    resolved = frozenset(alphabet)
+    if not symbols <= resolved:
+        missing = symbols - resolved
+        raise InvalidRegexError(
+            render(node), 0, f"pattern symbols outside the alphabet: {sorted(missing)}"
+        )
+    return resolved
+
+
+def any_wildcards(node: Regex) -> bool:
+    """True if the AST contains ``.`` or a negated class (alphabet-relative)."""
+    if isinstance(node, AnyChar):
+        return True
+    if isinstance(node, CharClass):
+        return node.negated
+    if isinstance(node, Concat):
+        return any(any_wildcards(part) for part in node.parts)
+    if isinstance(node, Union):
+        return any(any_wildcards(option) for option in node.options)
+    if isinstance(node, (Star, Plus, Optional, Repeat)):
+        return any_wildcards(node.inner)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Thompson construction
+# ----------------------------------------------------------------------
+
+
+def thompson(node: Regex, alphabet: Iterable[str] | None = None) -> NFA:
+    """Compile an AST to an NFA by the Thompson construction.
+
+    Builds via the :mod:`repro.automata.operations` algebra, then trims.
+    The result may contain ε-transitions; callers heading into the
+    counting pipeline should call :meth:`NFA.without_epsilon`.
+    """
+    resolved = _resolve_alphabet(node, alphabet)
+
+    def build(n: Regex) -> NFA:
+        if isinstance(n, Empty):
+            return NFA.empty_language(resolved)
+        if isinstance(n, EpsilonNode):
+            return NFA.only_empty_word(resolved)
+        if isinstance(n, Literal):
+            return NFA.single_word((n.symbol,), resolved)
+        if isinstance(n, AnyChar):
+            return _class_nfa(resolved, resolved)
+        if isinstance(n, CharClass):
+            return _class_nfa(n.resolve(resolved), resolved)
+        if isinstance(n, Concat):
+            result = build(n.parts[0])
+            for part in n.parts[1:]:
+                result = ops.concatenate(result, part if isinstance(part, NFA) else build(part))
+            return result
+        if isinstance(n, Union):
+            result = build(n.options[0])
+            for option in n.options[1:]:
+                result = ops.union(result, build(option))
+            return result
+        if isinstance(n, Star):
+            return ops.star(build(n.inner))
+        if isinstance(n, Plus):
+            return ops.plus(build(n.inner))
+        if isinstance(n, Optional):
+            return ops.optional(build(n.inner))
+        if isinstance(n, Repeat):
+            return ops.repeat(build(n.inner), n.low, n.high)
+        raise TypeError(f"unknown node {n!r}")
+
+    return build(node).trim().renumbered()
+
+
+def _class_nfa(symbols: frozenset, alphabet: frozenset) -> NFA:
+    transitions = [(0, symbol, 1) for symbol in symbols]
+    return NFA([0, 1], alphabet, transitions, 0, [1])
+
+
+# ----------------------------------------------------------------------
+# Glushkov (position) construction
+# ----------------------------------------------------------------------
+
+
+def glushkov(node: Regex, alphabet: Iterable[str] | None = None) -> NFA:
+    """Compile an AST to the ε-free Glushkov position automaton.
+
+    States are 0 (initial) plus one state per symbol *position* of the
+    linearized pattern.  The construction computes nullable/first/last/
+    follow sets over positions; bounded repetitions are expanded first
+    (so `a{3}` contributes three positions).
+    """
+    resolved = _resolve_alphabet(node, alphabet)
+    expanded = _expand_repeats(node)
+
+    positions: list[frozenset] = []  # index -> set of symbols at that position
+
+    def linearize(n: Regex) -> Regex:
+        """Replace each leaf with a Literal carrying its position index."""
+        if isinstance(n, (Empty, EpsilonNode)):
+            return n
+        if isinstance(n, Literal):
+            positions.append(frozenset({n.symbol}))
+            return Literal(f"@{len(positions) - 1}")
+        if isinstance(n, AnyChar):
+            positions.append(resolved)
+            return Literal(f"@{len(positions) - 1}")
+        if isinstance(n, CharClass):
+            concrete = n.resolve(resolved)
+            if not concrete:
+                return Empty()
+            positions.append(concrete)
+            return Literal(f"@{len(positions) - 1}")
+        if isinstance(n, Concat):
+            return Concat(tuple(linearize(part) for part in n.parts))
+        if isinstance(n, Union):
+            return Union(tuple(linearize(option) for option in n.options))
+        if isinstance(n, Star):
+            return Star(linearize(n.inner))
+        if isinstance(n, Plus):
+            return Plus(linearize(n.inner))
+        if isinstance(n, Optional):
+            return Optional(linearize(n.inner))
+        raise TypeError(f"unexpected node after expansion: {n!r}")
+
+    linear = linearize(expanded)
+
+    def position_of(n: Literal) -> int:
+        return int(n.symbol[1:])
+
+    def analyze(n: Regex) -> tuple[bool, frozenset, frozenset]:
+        """Return (nullable, first-positions, last-positions) and fill follow."""
+        if isinstance(n, Empty):
+            return False, frozenset(), frozenset()
+        if isinstance(n, EpsilonNode):
+            return True, frozenset(), frozenset()
+        if isinstance(n, Literal):
+            index = position_of(n)
+            return False, frozenset({index}), frozenset({index})
+        if isinstance(n, Concat):
+            nullable, first, last = True, frozenset(), frozenset()
+            for part in n.parts:
+                p_nullable, p_first, p_last = analyze(part)
+                for source in last:
+                    follow.setdefault(source, set()).update(p_first)
+                first = first | p_first if nullable else first
+                if not first:
+                    first = p_first
+                last = last | p_last if p_nullable else p_last
+                nullable = nullable and p_nullable
+            return nullable, first, last
+        if isinstance(n, Union):
+            nullable, first, last = False, frozenset(), frozenset()
+            for option in n.options:
+                o_nullable, o_first, o_last = analyze(option)
+                nullable = nullable or o_nullable
+                first |= o_first
+                last |= o_last
+            return nullable, first, last
+        if isinstance(n, (Star, Plus)):
+            i_nullable, i_first, i_last = analyze(n.inner)
+            for source in i_last:
+                follow.setdefault(source, set()).update(i_first)
+            nullable = True if isinstance(n, Star) else i_nullable
+            return nullable, i_first, i_last
+        if isinstance(n, Optional):
+            i_nullable, i_first, i_last = analyze(n.inner)
+            return True, i_first, i_last
+        raise TypeError(f"unexpected node: {n!r}")
+
+    follow: dict[int, set] = {}
+    nullable, first, last = analyze(linear)
+
+    states = [-1] + list(range(len(positions)))  # -1 is the initial state
+    transitions: list[tuple] = []
+    for target in first:
+        for symbol in positions[target]:
+            transitions.append((-1, symbol, target))
+    for source, targets in follow.items():
+        for target in targets:
+            for symbol in positions[target]:
+                transitions.append((source, symbol, target))
+    finals = set(last)
+    if nullable:
+        finals.add(-1)
+    return NFA(states, resolved, transitions, -1, finals).trim().renumbered()
+
+
+def _expand_repeats(node: Regex) -> Regex:
+    """Rewrite Repeat nodes into concat/optional/star form (for Glushkov)."""
+    if isinstance(node, Repeat):
+        inner = _expand_repeats(node.inner)
+        parts: list[Regex] = [inner] * node.low
+        if node.high is None:
+            parts.append(Star(inner))
+        else:
+            parts.extend([Optional(inner)] * (node.high - node.low))
+        if not parts:
+            return EpsilonNode()
+        if len(parts) == 1:
+            return parts[0]
+        return Concat(tuple(parts))
+    if isinstance(node, Concat):
+        return Concat(tuple(_expand_repeats(part) for part in node.parts))
+    if isinstance(node, Union):
+        return Union(tuple(_expand_repeats(option) for option in node.options))
+    if isinstance(node, Star):
+        return Star(_expand_repeats(node.inner))
+    if isinstance(node, Plus):
+        return Plus(_expand_repeats(node.inner))
+    if isinstance(node, Optional):
+        return Optional(_expand_repeats(node.inner))
+    return node
+
+
+def compile_regex(
+    pattern: str,
+    alphabet: Iterable[str] | None = None,
+    method: str = "glushkov",
+) -> NFA:
+    """Parse and compile a regex pattern into an ε-free trimmed NFA.
+
+    ``method`` is ``"glushkov"`` (default; ε-free by construction, often
+    unambiguous) or ``"thompson"`` (classical; ε-removed afterwards).
+    """
+    ast = parse(pattern)
+    if method == "glushkov":
+        return glushkov(ast, alphabet)
+    if method == "thompson":
+        return thompson(ast, alphabet).without_epsilon().trim().renumbered()
+    raise ValueError(f"unknown method {method!r}; use 'glushkov' or 'thompson'")
+
+
+def match_brute_force(node: Regex, w: Sequence[str], alphabet: frozenset) -> bool:
+    """Reference matcher by structural recursion (exponential; tests only)."""
+    if isinstance(node, Empty):
+        return False
+    if isinstance(node, EpsilonNode):
+        return len(w) == 0
+    if isinstance(node, Literal):
+        return len(w) == 1 and w[0] == node.symbol
+    if isinstance(node, AnyChar):
+        return len(w) == 1 and w[0] in alphabet
+    if isinstance(node, CharClass):
+        return len(w) == 1 and w[0] in node.resolve(alphabet)
+    if isinstance(node, Concat):
+        return _match_concat(node.parts, w, alphabet)
+    if isinstance(node, Union):
+        return any(match_brute_force(option, w, alphabet) for option in node.options)
+    if isinstance(node, Star):
+        return _match_star(node.inner, w, alphabet, allow_empty=True)
+    if isinstance(node, Plus):
+        return _match_star(node.inner, w, alphabet, allow_empty=False)
+    if isinstance(node, Optional):
+        return len(w) == 0 or match_brute_force(node.inner, w, alphabet)
+    if isinstance(node, Repeat):
+        return match_brute_force(_expand_repeats(node), w, alphabet)
+    raise TypeError(f"unknown node {node!r}")
+
+
+def _match_concat(parts: tuple, w: Sequence[str], alphabet: frozenset) -> bool:
+    if not parts:
+        return len(w) == 0
+    head, rest = parts[0], parts[1:]
+    for split in range(len(w) + 1):
+        if match_brute_force(head, w[:split], alphabet):
+            if len(rest) == 1:
+                if match_brute_force(rest[0], w[split:], alphabet):
+                    return True
+            elif not rest:
+                if split == len(w):
+                    return True
+            elif _match_concat(rest, w[split:], alphabet):
+                return True
+    return False
+
+
+def _match_star(inner: Regex, w: Sequence[str], alphabet: frozenset, allow_empty: bool) -> bool:
+    if len(w) == 0:
+        return allow_empty or match_brute_force(inner, w, alphabet)
+    for split in range(1, len(w) + 1):
+        if match_brute_force(inner, w[:split], alphabet):
+            if split == len(w) or _match_star(inner, w[split:], alphabet, allow_empty=True):
+                return True
+    return allow_empty and len(w) == 0

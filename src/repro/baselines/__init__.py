@@ -1,0 +1,30 @@
+"""Baselines the paper discusses or is measured against.
+
+* :mod:`repro.baselines.naive` — exhaustive ground truth.
+* :mod:`repro.baselines.montecarlo` — the unbiased path-sampling
+  estimator of Section 6.1 whose variance explodes with ambiguity.
+* :mod:`repro.baselines.kannan` — a KSM95-flavoured comparator: the same
+  estimator run at the quasi-polynomial sampling schedule the previous
+  best analysis required.
+* :mod:`repro.baselines.karp_luby` — the classical DNF FPRAS [KL83].
+"""
+
+from repro.baselines.naive import brute_force_count, brute_force_words
+from repro.baselines.montecarlo import (
+    MonteCarloEstimate,
+    naive_montecarlo_count,
+    uniform_run_sampler,
+)
+from repro.baselines.kannan import kannan_style_count, ksm_sample_schedule
+from repro.baselines.karp_luby import karp_luby_count
+
+__all__ = [
+    "brute_force_count",
+    "brute_force_words",
+    "naive_montecarlo_count",
+    "uniform_run_sampler",
+    "MonteCarloEstimate",
+    "kannan_style_count",
+    "ksm_sample_schedule",
+    "karp_luby_count",
+]

@@ -1,0 +1,74 @@
+"""The Karp–Luby FPRAS for DNF counting ([KL83]).
+
+The paper cites DNF counting as the canonical #P-complete problem that
+already had an FPRAS; experiment E13 compares it against the generic
+RelationNL pipeline on the same formulas.
+
+The classical coverage algorithm: let ``U = ⊎_i M(D_i)`` be the disjoint
+union of per-term model sets (``|U| = Σ_i 2^{n - |D_i|}``, computable
+exactly).  Sample ``(i, σ)`` uniformly from ``U`` (term ∝ its model
+count, then σ uniform among the term's models) and test whether ``i`` is
+the *first* term σ satisfies; the success probability is ``|M(φ)| / |U|``
+and ``|U| ≤ m · |M(φ)|``, so ``O(m · log(1/ε) / δ²)`` samples give an
+(δ, ε)-approximation.  Exact bignum arithmetic for the weights; the
+number of samples follows the standard ``⌈4m·ln(2/ε)/δ²⌉`` bound.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.dnf.formulas import DNFFormula
+from repro.utils.rng import make_rng
+
+
+def karp_luby_count(
+    formula: DNFFormula,
+    delta: float = 0.1,
+    epsilon: float = 0.05,
+    rng: random.Random | int | None = None,
+    samples: int | None = None,
+) -> float:
+    """Estimate ``|M(φ)|`` within relative error δ with prob ≥ 1 - ε."""
+    generator = make_rng(rng)
+    n = formula.num_variables
+    live = [term for term in formula.terms if term.satisfiable]
+    if not live:
+        return 0.0
+    weights = [term.count_models(n) for term in live]
+    universe = sum(weights)
+    if universe == 0:
+        return 0.0
+    if samples is None:
+        samples = math.ceil(4 * len(live) * math.log(2 / epsilon) / (delta**2))
+
+    cumulative = []
+    running = 0
+    for weight in weights:
+        running += weight
+        cumulative.append(running)
+
+    hits = 0
+    for _ in range(samples):
+        # Uniform element of the disjoint union: pick a term ∝ weight...
+        pick = generator.randrange(universe)
+        term_index = next(
+            index for index, bound in enumerate(cumulative) if pick < bound
+        )
+        term = live[term_index]
+        forced = term.as_dict()
+        # ...then a uniform model of that term.
+        assignment = [
+            forced[index] if index in forced else generator.randrange(2)
+            for index in range(n)
+        ]
+        # Success iff this is the canonical (first-satisfying) copy of σ.
+        first = next(
+            index
+            for index, candidate in enumerate(live)
+            if candidate.satisfied_by(assignment)
+        )
+        if first == term_index:
+            hits += 1
+    return universe * hits / samples

@@ -1,0 +1,108 @@
+"""The naive Monte Carlo estimator of Section 6.1 — and why it fails.
+
+The estimator the paper dismisses before presenting its FPRAS:
+
+1. count the total number ``P`` of accepting *paths* of length ``n``
+   (easy: the run-count DP);
+2. sample an accepting path uniformly (backward-count walk), read off
+   its word ``x``;
+3. compute ``P_x``, the number of accepting paths labelled ``x``;
+4. output the average of ``P / P_x`` over ``N`` samples.
+
+It is unbiased: each word ``x`` is drawn with probability ``P_x / P``
+and contributes ``P / P_x``, so the expectation is the number of accepted
+words.  But its variance is driven by ``max_x P/P_x · |L|``-style ratios:
+on families where run counts differ exponentially across words (e.g.
+:func:`repro.automata.random_gen.ambiguity_blowup`), achieving relative
+error δ needs exponentially many samples — experiment E5 measures exactly
+this collapse against the FPRAS at equal sample budgets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.automata.nfa import NFA, Word
+from repro.core.exact import backward_run_table, forward_run_table
+from repro.core.unroll import unroll_trimmed
+from repro.errors import EmptyWitnessSetError
+from repro.utils.rng import make_rng
+
+
+class uniform_run_sampler:
+    """Sample uniform accepting *runs* (paths) of length ``n``.
+
+    The run distribution is exactly what the Section 5.3.3 sampler uses —
+    but over runs, not words: on ambiguous automata the induced word
+    distribution is biased toward high-multiplicity words, which is the
+    whole problem.  (Class with __call__ rather than a closure so the DP
+    tables are inspectable in experiments.)
+    """
+
+    def __init__(self, nfa: NFA, n: int):
+        self.nfa = nfa.without_epsilon()
+        self.n = n
+        self.dag = unroll_trimmed(self.nfa, n)
+        self.back = backward_run_table(self.dag)
+        self.total_runs = self.back[0].get(self.nfa.initial, 0)
+
+    def __call__(self, rng: random.Random | int | None = None) -> Word:
+        if self.total_runs == 0:
+            raise EmptyWitnessSetError(f"no accepting runs of length {self.n}")
+        generator = make_rng(rng)
+        state = self.nfa.initial
+        symbols: list = []
+        for t in range(self.n):
+            pick = generator.randrange(self.back[t][state])
+            accumulated = 0
+            for symbol, target in self.dag.ordered_successors(t, state):
+                weight = self.back[t + 1].get(target, 0)
+                accumulated += weight
+                if pick < accumulated:
+                    symbols.append(symbol)
+                    state = target
+                    break
+        return tuple(symbols)
+
+
+@dataclass
+class MonteCarloEstimate:
+    """The E5 observable bundle: estimate plus variance diagnostics."""
+
+    estimate: float
+    total_paths: int
+    samples: int
+    ratios: list  # the per-sample P/P_x values
+
+    @property
+    def empirical_relative_std(self) -> float:
+        if not self.ratios or self.estimate == 0:
+            return 0.0
+        mean = sum(self.ratios) / len(self.ratios)
+        variance = sum((r - mean) ** 2 for r in self.ratios) / max(1, len(self.ratios) - 1)
+        return (variance**0.5) / mean if mean else 0.0
+
+
+def naive_montecarlo_count(
+    nfa: NFA,
+    n: int,
+    samples: int,
+    rng: random.Random | int | None = None,
+) -> MonteCarloEstimate:
+    """Run the Section 6.1 estimator with ``samples`` path draws."""
+    generator = make_rng(rng)
+    stripped = nfa.without_epsilon()
+    sampler = uniform_run_sampler(stripped, n)
+    if sampler.total_runs == 0:
+        return MonteCarloEstimate(estimate=0.0, total_paths=0, samples=0, ratios=[])
+    total_paths = sampler.total_runs
+    ratios: list[float] = []
+    for _ in range(samples):
+        w = sampler(generator)
+        multiplicity = stripped.count_accepting_runs(w)
+        ratios.append(total_paths / multiplicity)
+    estimate = sum(ratios) / len(ratios)
+    return MonteCarloEstimate(
+        estimate=estimate, total_paths=total_paths, samples=samples, ratios=ratios
+    )

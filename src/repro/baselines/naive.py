@@ -1,0 +1,35 @@
+"""Exhaustive baselines: the ground truth everything is validated against.
+
+Enumerating ``Σⁿ`` and filtering through the automaton is exponential in
+``n`` by construction; these functions exist so the experiments can
+report *true* relative errors at small sizes and so the tests have an
+algorithm-independent oracle (they do not share code with the counting
+pipeline beyond ``NFA.accepts``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.automata.nfa import NFA, Word
+
+
+def brute_force_words(nfa: NFA, n: int) -> list[Word]:
+    """All length-``n`` accepted words by full Σⁿ sweep (no pruning).
+
+    Deliberately the dumbest possible implementation — it must not share
+    failure modes with :func:`repro.automata.operations.words_of_length`
+    (which prunes via the transition structure under test).
+    """
+    stripped = nfa.without_epsilon()
+    symbols = sorted(stripped.alphabet, key=repr)
+    return [
+        w
+        for w in itertools.product(symbols, repeat=n)
+        if stripped.accepts(w)
+    ]
+
+
+def brute_force_count(nfa: NFA, n: int) -> int:
+    """``|L_n(nfa)|`` by the same full sweep."""
+    return len(brute_force_words(nfa, n))

@@ -1,0 +1,35 @@
+"""Binary decision diagrams (Section 4.3): OBDDs and nOBDDs.
+
+``EVAL-OBDD`` (assignments evaluating an ordered BDD to 1) is in
+RelationUL — each satisfying assignment has exactly one witnessing path —
+so enumeration is constant delay and counting/sampling are exact
+(Corollary 9).  Nondeterministic OBDDs lose the single-witness property:
+``EVAL-nOBDD`` is in RelationNL, and the FPRAS/PLVUG of Corollary 10 —
+new results of the paper — apply.
+"""
+
+from repro.bdd.obdd import OBDD, OBDDNode, TERMINAL_FALSE, TERMINAL_TRUE
+from repro.bdd.nobdd import NOBDD
+from repro.bdd.builders import obdd_from_formula, random_nobdd, FormulaNode, var, conj, disj, neg
+from repro.bdd.apply import apply, bdd_and, bdd_or, bdd_xor, negate, restrict
+
+__all__ = [
+    "apply",
+    "bdd_and",
+    "bdd_or",
+    "bdd_xor",
+    "negate",
+    "restrict",
+    "OBDD",
+    "OBDDNode",
+    "NOBDD",
+    "TERMINAL_TRUE",
+    "TERMINAL_FALSE",
+    "obdd_from_formula",
+    "random_nobdd",
+    "FormulaNode",
+    "var",
+    "conj",
+    "disj",
+    "neg",
+]

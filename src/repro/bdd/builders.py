@@ -1,0 +1,161 @@
+"""Constructing BDDs: from boolean formulas, and random nOBDD workloads.
+
+:func:`obdd_from_formula` builds a (reduced) OBDD by Shannon expansion
+with memoization over (level, cofactor) — the classical construction,
+adequate for the experiment sizes.  The tiny formula AST here exists so
+the BDD subsystem has a self-contained front end; the DNF subsystem in
+:mod:`repro.dnf` has its own richer clause form.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.bdd.nobdd import DecisionNode, GuessNode, NOBDD
+from repro.bdd.obdd import OBDD, OBDDNode, TERMINAL_FALSE, TERMINAL_TRUE
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class FormulaNode:
+    """A boolean formula: 'var' | 'and' | 'or' | 'not' | 'const'."""
+
+    kind: str
+    payload: object = None
+    children: tuple = ()
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        if self.kind == "var":
+            return assignment[self.payload]
+        if self.kind == "const":
+            return int(bool(self.payload))
+        if self.kind == "not":
+            return 1 - self.children[0].evaluate(assignment)
+        if self.kind == "and":
+            return int(all(child.evaluate(assignment) for child in self.children))
+        if self.kind == "or":
+            return int(any(child.evaluate(assignment) for child in self.children))
+        raise ValueError(f"unknown formula kind {self.kind!r}")
+
+    def variables(self) -> frozenset:
+        if self.kind == "var":
+            return frozenset({self.payload})
+        out: frozenset = frozenset()
+        for child in self.children:
+            out |= child.variables()
+        return out
+
+
+def var(name: str) -> FormulaNode:
+    return FormulaNode("var", name)
+
+
+def conj(*parts: FormulaNode) -> FormulaNode:
+    return FormulaNode("and", children=tuple(parts))
+
+
+def disj(*parts: FormulaNode) -> FormulaNode:
+    return FormulaNode("or", children=tuple(parts))
+
+
+def neg(part: FormulaNode) -> FormulaNode:
+    return FormulaNode("not", children=(part,))
+
+
+def obdd_from_formula(formula: FormulaNode, order: Sequence[str]) -> OBDD:
+    """Shannon-expand ``formula`` along ``order`` into a reduced OBDD.
+
+    Memoizes on the restriction (level, frozen partial assignment of the
+    formula's support seen so far) — exponential worst case like any BDD
+    construction, linear-ish for the structured formulas the benchmarks
+    use.  Reduction: children equal ⇒ skip the test (no node); shared
+    cofactors ⇒ shared node ids.
+    """
+    order = tuple(order)
+    support = formula.variables()
+    missing = support - set(order)
+    if missing:
+        raise ValueError(f"order misses formula variables: {sorted(missing)}")
+
+    nodes: dict[object, OBDDNode] = {}
+    cache: dict[tuple, object] = {}
+    interned: dict[OBDDNode, object] = {}
+
+    def build(level: int, assignment: tuple) -> object:
+        if level == len(order):
+            value = formula.evaluate(dict(assignment))
+            return TERMINAL_TRUE if value else TERMINAL_FALSE
+        key = (level, assignment)
+        if key in cache:
+            return cache[key]
+        variable = order[level]
+        if variable not in support:
+            result = build(level + 1, assignment)
+        else:
+            lo = build(level + 1, assignment + ((variable, 0),))
+            hi = build(level + 1, assignment + ((variable, 1),))
+            if lo == hi:
+                result = lo
+            else:
+                node = OBDDNode(variable, lo, hi)
+                if node in interned:
+                    result = interned[node]
+                else:
+                    result = f"n{len(nodes)}"
+                    nodes[result] = node
+                    interned[node] = result
+        cache[key] = result
+        return result
+
+    root = build(0, ())
+    return OBDD(nodes, root, order)
+
+
+def random_nobdd(
+    num_variables: int,
+    num_guess_nodes: int = 3,
+    branches: int = 2,
+    rng: random.Random | int | None = None,
+) -> NOBDD:
+    """A random *consistent* nOBDD: a union of random OBDD branches.
+
+    Construction guarantees consistency by design: the root is a guess
+    node over ``branches`` independently built random decision chains
+    that each end in either terminal; since the represented function is
+    the OR of branch functions, no assignment can reach both terminals
+    ... which is false in general!  Consistency in the paper's sense
+    demands all paths of one assignment agree.  We therefore post-process:
+    branches are random *subfunction selectors* — each chain tests all
+    variables, and rejected assignments *die* (the corresponding child
+    edge is absent, which the paper's "at most two children" allows):
+    every path for an assignment either dies or reaches ⊤, so all
+    terminal-reaching paths agree and consistency holds by construction.
+    The represented function is the union of branch functions; ambiguity
+    = overlap between branches (tunable via ``branches``).
+    """
+    generator = make_rng(rng)
+    order = [f"x{i}" for i in range(num_variables)]
+    nodes: dict[object, object] = {}
+
+    def random_chain(tag: str) -> object:
+        """A decision chain over all variables ending at ⊤, with random
+        per-level dead ends — i.e. a random conjunction-with-wildcards."""
+        current: object = TERMINAL_TRUE
+        for level in range(num_variables - 1, -1, -1):
+            node_id = f"{tag}_d{level}"
+            choice = generator.random()
+            if choice < 0.4:
+                nodes[node_id] = DecisionNode(order[level], current, None)
+            elif choice < 0.8:
+                nodes[node_id] = DecisionNode(order[level], None, current)
+            else:
+                nodes[node_id] = DecisionNode(order[level], current, current)
+            current = node_id
+        return current
+
+    children = tuple(random_chain(f"b{i}") for i in range(branches))
+    root = "root"
+    nodes[root] = GuessNode(children)
+    return NOBDD(nodes, root, order)

@@ -1,0 +1,242 @@
+"""Nondeterministic OBDDs (nOBDDs) and their RelationNL compilation.
+
+An nOBDD (Section 4.3, after [ACMS18]) extends an OBDD with *guess
+nodes*: unlabeled nodes (``var = None``) with a set of children; reading
+an assignment may follow several paths.  The structure promises
+*consistency*: for each assignment, all maximal paths end in the same
+terminal — the represented function is still well-defined, but an
+accepted assignment may have many witnessing paths, which is exactly the
+loss of unambiguity that drops ``EVAL-nOBDD`` from RelationUL to
+RelationNL.  Corollary 10 (new in the paper): counting models admits an
+FPRAS and uniform model sampling a PLVUG.
+
+The compilation mirrors :meth:`repro.bdd.obdd.OBDD.to_nfa`, with guess
+nodes contributing ε-like silent fan-out (realized as same-level
+nondeterministic transitions folded into the next bit read, keeping the
+automaton ε-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.automata.nfa import NFA, Word
+from repro.bdd.obdd import TERMINAL_FALSE, TERMINAL_TRUE
+from repro.core.relations import AutomatonBackedRelation, CompiledInstance
+from repro.errors import InconsistentBDDError, InvalidAutomatonError
+
+
+@dataclass(frozen=True)
+class DecisionNode:
+    """A variable-testing node.
+
+    The paper's nodes have *at most* two children; ``None`` for ``lo`` or
+    ``hi`` means the edge is absent and the path dies there.  Dying is
+    how a consistent nOBDD rejects along one branch while another branch
+    accepts the same assignment — routing rejection to the ⊥ terminal
+    instead would collide with an accepting path and violate consistency.
+    """
+
+    var: str
+    lo: object | None
+    hi: object | None
+
+
+@dataclass(frozen=True)
+class GuessNode:
+    """A nondeterministic node: follow any child (``var = ⊥`` in the paper)."""
+
+    children: tuple
+
+
+class NOBDD:
+    """A nondeterministic OBDD over a variable order."""
+
+    def __init__(self, nodes: Mapping[object, object], root, order: Sequence[str]):
+        self.nodes = dict(nodes)
+        self.root = root
+        self.order = tuple(order)
+        self._rank = {variable: index for index, variable in enumerate(self.order)}
+        self._validate()
+
+    def _validate(self) -> None:
+        for node_id, node in self.nodes.items():
+            if node_id in (TERMINAL_TRUE, TERMINAL_FALSE):
+                raise InvalidAutomatonError("terminal sentinel used as node id")
+            if isinstance(node, DecisionNode):
+                if node.var not in self._rank:
+                    raise InvalidAutomatonError(f"unknown variable {node.var!r}")
+                children = tuple(c for c in (node.lo, node.hi) if c is not None)
+            elif isinstance(node, GuessNode):
+                if not node.children:
+                    raise InvalidAutomatonError("guess node with no children")
+                children = node.children
+            else:
+                raise InvalidAutomatonError(f"unknown node kind {node!r}")
+            for child in children:
+                if child in (TERMINAL_TRUE, TERMINAL_FALSE):
+                    continue
+                if child not in self.nodes:
+                    raise InvalidAutomatonError(f"dangling child {child!r}")
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.order)
+
+    # ------------------------------------------------------------------
+
+    def _guess_closure(self, node_ids: set) -> set:
+        """Follow guess nodes until decision nodes / terminals."""
+        closure: set = set()
+        stack = list(node_ids)
+        while stack:
+            node_id = stack.pop()
+            node = self.nodes.get(node_id)
+            if isinstance(node, GuessNode):
+                stack.extend(node.children)
+            else:
+                closure.add(node_id)
+        return closure
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """D(σ), with the consistency promise verified on this assignment.
+
+        Raises :class:`InconsistentBDDError` if some path reaches 1 and
+        another reaches 0 for the same assignment.
+        """
+        current = self._guess_closure({self.root})
+        for variable in self.order:
+            value = assignment[variable]
+            nxt: set = set()
+            for node_id in current:
+                if node_id in (TERMINAL_TRUE, TERMINAL_FALSE):
+                    nxt.add(node_id)
+                    continue
+                node = self.nodes[node_id]
+                if node.var == variable:
+                    child = node.hi if value else node.lo
+                    if child is not None:
+                        nxt.add(child)
+                    # absent edge: this path dies
+                else:
+                    nxt.add(node_id)  # tests a later variable: unaffected
+            current = self._guess_closure(nxt)
+        outcomes = {
+            1 if node_id == TERMINAL_TRUE else 0
+            for node_id in current
+            if node_id in (TERMINAL_TRUE, TERMINAL_FALSE)
+        }
+        if len(outcomes) > 1:
+            raise InconsistentBDDError(
+                f"assignment {dict(assignment)!r} reaches both terminals"
+            )
+        if not outcomes:
+            # All paths died before a terminal: treat as 0 (no accepting path).
+            return 0
+        return outcomes.pop()
+
+    def check_consistency(self) -> bool:
+        """Exhaustively verify the consistency promise (exponential; tests)."""
+        for mask in range(2**self.num_variables):
+            assignment = {
+                variable: (mask >> index) & 1
+                for index, variable in enumerate(self.order)
+            }
+            try:
+                self.evaluate(assignment)
+            except InconsistentBDDError:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+
+    def to_nfa(self) -> NFA:
+        """The (generally ambiguous) level automaton for EVAL-nOBDD.
+
+        States are ``(node, level)`` with guess closure applied eagerly,
+        so the automaton stays ε-free; each accepting path of the nOBDD
+        for an assignment becomes a distinct accepting run.
+        """
+        n = self.num_variables
+        transitions: list[tuple] = []
+        states: set = set()
+
+        initial_closure = frozenset(self._guess_closure({self.root}))
+        start = ("start",)
+        states.add(start)
+        frontier: list = []
+
+        def targets_for(node_id, variable: str, bit: str) -> set:
+            """One-bit step of a single (closed) node at a given variable."""
+            if node_id == TERMINAL_FALSE:
+                return set()
+            if node_id == TERMINAL_TRUE:
+                return {TERMINAL_TRUE}
+            node = self.nodes[node_id]
+            if node.var == variable:
+                child = node.hi if bit == "1" else node.lo
+                if child is None:
+                    return set()
+                return self._guess_closure({child})
+            return {node_id}
+
+        # Build per-node, per-level transitions; a state is (node, level).
+        seen: set = set()
+
+        def push(node_id, level):
+            key = (node_id, level)
+            if key not in seen:
+                seen.add(key)
+                frontier.append(key)
+            return key
+
+        for node_id in initial_closure:
+            # Represent the initial guess closure by ε-free fan-out: the
+            # start state carries the same out-edges each closure member
+            # would have at level 0.
+            push(node_id, 0)
+        while frontier:
+            node_id, level = frontier.pop()
+            if level == n:
+                continue
+            variable = self.order[level]
+            for bit in ("0", "1"):
+                for child in targets_for(node_id, variable, bit):
+                    target = push(child, level + 1)
+                    transitions.append(((node_id, level), bit, target))
+
+        # Wire the start state to mirror the level-0 out-edges of each
+        # initial-closure member.
+        for node_id in initial_closure:
+            variable = self.order[0] if n > 0 else None
+            if n == 0:
+                continue
+            for bit in ("0", "1"):
+                for child in targets_for(node_id, variable, bit):
+                    transitions.append((start, bit, (child, 1)))
+
+        all_states = {start} | seen
+        finals = {(TERMINAL_TRUE, n)} & all_states
+        if n == 0:
+            # Constant function: accepts ε iff TRUE is in the closure.
+            if TERMINAL_TRUE in initial_closure:
+                finals = {start}
+                return NFA([start], ("0", "1"), [], start, finals)
+            return NFA([start], ("0", "1"), [], start, [])
+        return NFA(all_states, ("0", "1"), transitions, start, finals).trim()
+
+
+class EvalNobddRelation(AutomatonBackedRelation):
+    """``EVAL-nOBDD``: inputs are nOBDDs, witnesses their models (Cor. 10)."""
+
+    name = "EVAL-nOBDD"
+
+    def compile(self, instance: NOBDD) -> CompiledInstance:
+        return CompiledInstance(nfa=instance.to_nfa(), length=instance.num_variables)
+
+    def decode_witness(self, instance: NOBDD, w: Word) -> dict:
+        return {variable: int(bit) for variable, bit in zip(instance.order, w)}
+
+    def encode_witness(self, instance: NOBDD, witness: Mapping[str, int]) -> Word:
+        return tuple(str(witness[variable]) for variable in instance.order)

@@ -1,0 +1,178 @@
+"""Ordered binary decision diagrams and their RelationUL compilation.
+
+An OBDD ``D`` is a rooted DAG: internal nodes test a variable and branch
+to ``lo`` (value 0) / ``hi`` (value 1); the two sinks are labelled 0 and
+1.  Variables respect a global order along every path, but a path need
+not test every variable — skipped variables are unconstrained.
+
+Compilation to MEM-UFA (Corollary 9): an assignment over the ordered
+variables ``x₁ < … < xₙ`` is a length-``n`` binary word.  The automaton's
+states are ``(node, level)`` pairs:
+
+* at level ``i``, if the node tests ``x_{i+1}``, bits 0/1 move to
+  ``(lo, i+1)`` / ``(hi, i+1)``;
+* if the node tests a later variable (or is the 1-sink), the skipped
+  variable is free: both bits loop to ``(node, i+1)``;
+* accepting state: ``(1-sink, n)``.
+
+The automaton is *deterministic*, hence unambiguous, so the full
+RelationUL suite applies: constant-delay model enumeration, exact model
+counting, exact uniform model sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.automata.nfa import NFA, Word
+from repro.core.relations import AutomatonBackedRelation, CompiledInstance
+from repro.errors import InvalidAutomatonError
+
+TERMINAL_TRUE = "⊤"
+TERMINAL_FALSE = "⊥"
+
+
+@dataclass(frozen=True)
+class OBDDNode:
+    """An internal OBDD node: test ``var``, branch to ``lo`` / ``hi``.
+
+    ``lo``/``hi`` are node ids (other internal nodes or the terminals).
+    """
+
+    var: str
+    lo: object
+    hi: object
+
+
+class OBDD:
+    """An ordered BDD over the variable order ``order``.
+
+    Parameters
+    ----------
+    nodes:
+        ``{node_id: OBDDNode}``; ids are arbitrary hashables distinct from
+        the two terminal sentinels.
+    root:
+        The initial node id (may itself be a terminal for constant
+        functions).
+    order:
+        The global variable order ``x₁ < x₂ < …``; every path must test a
+        strictly increasing subsequence of it (validated).
+    """
+
+    def __init__(self, nodes: Mapping[object, OBDDNode], root, order: Sequence[str]):
+        self.nodes = dict(nodes)
+        self.root = root
+        self.order = tuple(order)
+        self._rank = {variable: index for index, variable in enumerate(self.order)}
+        if len(self._rank) != len(self.order):
+            raise InvalidAutomatonError("variable order contains duplicates")
+        self._validate()
+
+    def _validate(self) -> None:
+        for node_id, node in self.nodes.items():
+            if node_id in (TERMINAL_TRUE, TERMINAL_FALSE):
+                raise InvalidAutomatonError("terminal sentinel used as a node id")
+            if node.var not in self._rank:
+                raise InvalidAutomatonError(f"node {node_id!r} tests unknown variable {node.var!r}")
+            for child in (node.lo, node.hi):
+                if child in (TERMINAL_TRUE, TERMINAL_FALSE):
+                    continue
+                if child not in self.nodes:
+                    raise InvalidAutomatonError(f"dangling child {child!r} of node {node_id!r}")
+                if self._rank[self.nodes[child].var] <= self._rank[node.var]:
+                    raise InvalidAutomatonError(
+                        f"order violation: {node.var!r} → {self.nodes[child].var!r}"
+                    )
+        if self.root not in self.nodes and self.root not in (TERMINAL_TRUE, TERMINAL_FALSE):
+            raise InvalidAutomatonError("root is neither a node nor a terminal")
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.order)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """D(σ) ∈ {0, 1} by following the assignment from the root."""
+        current = self.root
+        while current not in (TERMINAL_TRUE, TERMINAL_FALSE):
+            node = self.nodes[current]
+            value = assignment[node.var]
+            current = node.hi if value else node.lo
+        return 1 if current == TERMINAL_TRUE else 0
+
+    def evaluate_word(self, w: Word) -> int:
+        """Evaluate on a word over {'0','1'} in variable order."""
+        if len(w) != self.num_variables:
+            raise ValueError("word length must equal the number of variables")
+        assignment = {variable: int(bit) for variable, bit in zip(self.order, w)}
+        return self.evaluate(assignment)
+
+    # ------------------------------------------------------------------
+
+    def to_nfa(self) -> NFA:
+        """The deterministic level-tracking automaton (see module docstring)."""
+        n = self.num_variables
+        states: set = set()
+        transitions: list[tuple] = []
+
+        def level_of(node_id) -> int | None:
+            """Variable rank the node tests; None for terminals."""
+            if node_id in (TERMINAL_TRUE, TERMINAL_FALSE):
+                return None
+            return self._rank[self.nodes[node_id].var]
+
+        initial = (self.root, 0)
+        frontier = [initial]
+        states.add(initial)
+        while frontier:
+            node_id, level = frontier.pop()
+            if level == n:
+                continue
+            if node_id == TERMINAL_FALSE:
+                continue  # dead branch: never accepts
+            rank = level_of(node_id)
+            if rank is not None and rank == level:
+                node = self.nodes[node_id]
+                branch_pairs = (("0", node.lo), ("1", node.hi))
+            else:
+                # Terminal-1 below, or a node testing a later variable:
+                # the current variable is free.
+                branch_pairs = (("0", node_id), ("1", node_id))
+            for bit, child in branch_pairs:
+                if child == TERMINAL_FALSE:
+                    continue
+                target = (child, level + 1)
+                transitions.append(((node_id, level), bit, target))
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+        finals = {(TERMINAL_TRUE, n)} & states
+        return NFA(states, ("0", "1"), transitions, initial, finals).trim()
+
+    def satisfying_assignments_brute(self) -> list[dict]:
+        """All models by truth-table sweep (exponential; tests only)."""
+        out = []
+        n = self.num_variables
+        for mask in range(2**n):
+            assignment = {
+                variable: (mask >> index) & 1 for index, variable in enumerate(self.order)
+            }
+            if self.evaluate(assignment):
+                out.append(assignment)
+        return out
+
+
+class EvalObddRelation(AutomatonBackedRelation):
+    """``EVAL-OBDD``: inputs are OBDDs, witnesses their models (Cor. 9)."""
+
+    name = "EVAL-OBDD"
+
+    def compile(self, instance: OBDD) -> CompiledInstance:
+        return CompiledInstance(nfa=instance.to_nfa(), length=instance.num_variables)
+
+    def decode_witness(self, instance: OBDD, w: Word) -> dict:
+        return {variable: int(bit) for variable, bit in zip(instance.order, w)}
+
+    def encode_witness(self, instance: OBDD, witness: Mapping[str, int]) -> Word:
+        return tuple(str(witness[variable]) for variable in instance.order)

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+count     exact or FPRAS count of the length-n language of a regex/NFA
+sample    uniform witnesses (exact / Las Vegas, per the class dispatch)
+enum      enumerate witnesses (constant/polynomial delay)
+inspect   automaton facts: size, ambiguity, per-length spectrum
+dot       Graphviz DOT of the automaton or its unrolled DAG
+
+Input is a regular expression (``--regex``, with ``--alphabet``) or a
+JSON automaton file produced by :func:`repro.automata.serialization.
+nfa_to_json` (``--nfa-json``).  All randomness is seedable (``--seed``)
+for reproducible pipelines.
+
+Examples::
+
+    python -m repro count  --regex '(ab|ba)*' --alphabet ab -n 10
+    python -m repro count  --regex '(a|b)*a(a|b)*' --alphabet ab -n 40 --approx --delta 0.2
+    python -m repro sample --regex '(ab|ba)*' --alphabet ab -n 10 --count 5 --seed 7
+    python -m repro enum   --regex 'a*b' --alphabet ab -n 6 --limit 20
+    python -m repro dot    --regex 'a*b' --alphabet ab --unroll 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.automata.nfa import NFA, word_str
+from repro.automata.regex import compile_regex
+from repro.automata.serialization import nfa_from_json, nfa_to_dot, unrolled_dag_to_dot
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.enumeration import enumerate_words
+from repro.core.exact import count_accepting_runs_of_length, count_words_exact
+from repro.core.fpras import FprasParameters, approx_count_nfa
+from repro.core.unroll import unroll_trimmed
+from repro.errors import ReproError
+
+
+def _load_automaton(args) -> NFA:
+    if args.regex is not None:
+        alphabet = list(args.alphabet) if args.alphabet else None
+        return compile_regex(args.regex, alphabet=alphabet)
+    if args.nfa_json is not None:
+        with open(args.nfa_json, "r", encoding="utf-8") as handle:
+            return nfa_from_json(handle.read())
+    raise SystemExit("one of --regex or --nfa-json is required")
+
+
+def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--regex", help="regular expression to compile")
+    parser.add_argument("--alphabet", help="alphabet characters, e.g. 'ab'")
+    parser.add_argument("--nfa-json", help="path to a repro.nfa JSON file")
+
+
+def _command_count(args) -> int:
+    nfa = _load_automaton(args)
+    if args.approx:
+        params = FprasParameters(sample_size=args.sketch_size)
+        estimate = approx_count_nfa(
+            nfa, args.length, delta=args.delta, rng=args.seed, params=params
+        )
+        print(f"{estimate:.6g}")
+        return 0
+    stripped = nfa.without_epsilon().trim()
+    if is_unambiguous(stripped):
+        print(count_accepting_runs_of_length(stripped, args.length))
+    else:
+        print(count_words_exact(stripped, args.length))
+    return 0
+
+
+def _command_sample(args) -> int:
+    import repro
+
+    nfa = _load_automaton(args)
+    samples = repro.uniform_samples(
+        nfa, args.length, args.count, rng=args.seed, delta=args.delta
+    )
+    for w in samples:
+        print(word_str(w))
+    return 0
+
+
+def _command_enum(args) -> int:
+    nfa = _load_automaton(args)
+    emitted = 0
+    for w in enumerate_words(nfa, args.length):
+        print(word_str(w))
+        emitted += 1
+        if args.limit is not None and emitted >= args.limit:
+            break
+    return 0
+
+
+def _command_inspect(args) -> int:
+    nfa = _load_automaton(args).without_epsilon().trim()
+    unambiguous = is_unambiguous(nfa)
+    print(f"states        : {nfa.num_states}")
+    print(f"transitions   : {nfa.num_transitions}")
+    print(f"alphabet      : {''.join(sorted(map(str, nfa.alphabet)))}")
+    print(f"unambiguous   : {unambiguous}")
+    print(f"class         : {'RelationUL (exact suite)' if unambiguous else 'RelationNL (FPRAS/PLVUG)'}")
+    if args.spectrum:
+        counter = (
+            count_accepting_runs_of_length if unambiguous else count_words_exact
+        )
+        for length in range(args.spectrum + 1):
+            print(f"|L_{length:<3}|       : {counter(nfa, length)}")
+    return 0
+
+
+def _command_dot(args) -> int:
+    nfa = _load_automaton(args).without_epsilon().trim()
+    if args.unroll is not None:
+        print(unrolled_dag_to_dot(unroll_trimmed(nfa, args.unroll)))
+    else:
+        print(nfa_to_dot(nfa))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="enumerate / count / uniformly sample NFA and regex languages "
+        "(Arenas et al., PODS 2019)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    count = commands.add_parser("count", help="count length-n witnesses")
+    _add_input_arguments(count)
+    count.add_argument("-n", "--length", type=int, required=True)
+    count.add_argument("--approx", action="store_true", help="use the FPRAS")
+    count.add_argument("--delta", type=float, default=0.1)
+    count.add_argument("--sketch-size", type=int, default=64)
+    count.add_argument("--seed", type=int, default=None)
+    count.set_defaults(run=_command_count)
+
+    sample = commands.add_parser("sample", help="draw uniform witnesses")
+    _add_input_arguments(sample)
+    sample.add_argument("-n", "--length", type=int, required=True)
+    sample.add_argument("--count", type=int, default=1)
+    sample.add_argument("--delta", type=float, default=0.1)
+    sample.add_argument("--seed", type=int, default=None)
+    sample.set_defaults(run=_command_sample)
+
+    enum = commands.add_parser("enum", help="enumerate witnesses")
+    _add_input_arguments(enum)
+    enum.add_argument("-n", "--length", type=int, required=True)
+    enum.add_argument("--limit", type=int, default=None)
+    enum.set_defaults(run=_command_enum)
+
+    inspect = commands.add_parser("inspect", help="automaton facts")
+    _add_input_arguments(inspect)
+    inspect.add_argument("--spectrum", type=int, default=None, metavar="N",
+                         help="print |L_0..N|")
+    inspect.set_defaults(run=_command_inspect)
+
+    dot = commands.add_parser("dot", help="Graphviz DOT output")
+    _add_input_arguments(dot)
+    dot.add_argument("--unroll", type=int, default=None, metavar="N",
+                     help="render the pruned n-step unrolling instead")
+    dot.set_defaults(run=_command_dot)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    raise SystemExit(main())

@@ -1,0 +1,579 @@
+"""The FPRAS for #NFA (Section 6, Algorithms 2, 4 and 5) — the paper's headline.
+
+Given an NFA ``N`` with ``m`` states, a length ``n`` (unary) and an error
+``δ``, estimate ``|L_n(N)|`` within relative error δ, in time polynomial
+in ``n``, ``m`` and ``1/δ``.  The algorithm:
+
+1. Unroll ``N`` into the layered DAG ``N_unroll`` (reachable vertices
+   only — Algorithm 5 step 3).
+2. Process vertices layer by layer.  For each live vertex ``s`` keep
+
+   * ``R(s)`` — an estimate of ``|U(s)|``, the number of distinct strings
+     labelling start→``s`` paths, and
+   * ``X(s)`` — a *sketch*: a multiset of ``k`` uniform samples of
+     ``U(s)`` (or ``U(s)`` itself when ``|U(s)| ≤ k`` — the vertex is then
+     *exactly handled*, Algorithm 5 step 4).
+
+3. ``R(s)`` for a sketched vertex is assembled from the predecessors'
+   sketches by the ≺-ordered inclusion–exclusion estimate
+
+   ``W̃_b = Σ_{s' ∈ T_b} R(s') · |X(s') ∖ ⋃_{s'' ≺ s'} U(s'')| / |X(s')|``
+
+   (Algorithm 5 step 5a), where membership ``x ∈ U(s'')`` is decided
+   exactly by running ``x`` through the automaton (a reachability check,
+   memoized).
+
+4. Samples for ``X(s)`` are drawn by the backward random walk ``Sample``
+   (Algorithm 4): starting from ``{s}``, repeatedly partition the current
+   vertex set's predecessors by symbol, pick a symbol with probability
+   proportional to its ``W̃`` estimate, prepend it to the word, and
+   finally *reject* with the accumulated probability correction
+   ``φ = e⁻⁴/R(s) · Π p_b⁻¹`` — the Jerrum–Valiant–Vazirani trick that
+   converts approximately-uniform proposals into exactly uniform output
+   (Proposition 18).
+
+5. The final estimate is ``R(s_final)`` where ``s_final`` aggregates the
+   accepting states of the last layer (Remark 1's virtual vertex).
+
+Faithfulness vs. practicality
+-----------------------------
+The paper sets ``k = ⌈(nm/δ)^64⌉`` and retry budget ``⌈(nm/δ)^4⌉`` so the
+Hoeffding/union-bound bookkeeping in the proof goes through; those values
+are astronomically infeasible to *run*.  :class:`FprasParameters` keeps
+every structural element of the algorithm and makes the two budgets
+tunable; ``FprasParameters.paper_faithful()`` reproduces the proof
+constants, ``FprasParameters.practical()`` (default) uses
+``k = clamp((nm/δ)^ε)`` with ε = 1 and a generous retry budget.  The
+ablation benchmark A1 maps the k-vs-error frontier empirically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.automata.nfa import NFA, State, Symbol, Word
+from repro.core.exact import count_words_exact
+from repro.core.unroll import UnrolledDAG, unroll
+from repro.errors import EmptyWitnessSetError
+from repro.utils.rng import make_rng
+
+#: Acceptance constant of Algorithm 5: samples are accepted with
+#: probability φ that starts at e⁻⁴/R(s).  (See Proposition 18: with good
+#: estimates, e⁻⁵ ≤ φ·R/|U| ≤ e⁻³, so acceptance stays bounded away from
+#: both 0 and 1.)
+REJECTION_CONSTANT = math.exp(-4)
+
+
+@dataclass(frozen=True)
+class FprasParameters:
+    """Tunable budgets of the FPRAS (see module docstring).
+
+    Attributes
+    ----------
+    sample_size:
+        Explicit sketch size ``k``; when None, derived as
+        ``clamp((n·m/δ)^sample_size_exponent, min_sample_size,
+        max_sample_size)``.
+    sample_size_exponent:
+        The paper's 64; default 1.0 (ablation A1 explores this).
+    min_sample_size / max_sample_size:
+        Clamps for the derived ``k``.
+    retry_budget:
+        Attempts allowed per needed sample before declaring failure; the
+        paper's ⌈(nm/δ)⁴⌉.  None derives ``max(64, 40·e⁴)`` ≈ expected
+        number of tries for 2⁻ⁿ escape probability at the paper's
+        acceptance rate.
+    rejection_constant:
+        The e⁻⁴ of Algorithm 5 (ablation A2 explores this).
+    exhaustive_length:
+        Below this ``n``, count exactly by brute force (Algorithm 5
+        step 1 uses n ≤ 12 for the binary alphabet).
+    """
+
+    sample_size: int | None = None
+    sample_size_exponent: float = 1.0
+    min_sample_size: int = 16
+    max_sample_size: int = 4096
+    retry_budget: int | None = None
+    rejection_constant: float = REJECTION_CONSTANT
+    exhaustive_length: int = 6
+
+    @classmethod
+    def paper_faithful(cls) -> "FprasParameters":
+        """The literal constants of Algorithm 5 — for contemplation.
+
+        ``k = (nm/δ)^64`` with no clamps; running this on any nontrivial
+        instance will exhaust the lifetime of the solar system, which is
+        the gap Section 7 of the paper acknowledges.
+        """
+        return cls(
+            sample_size=None,
+            sample_size_exponent=64.0,
+            min_sample_size=1,
+            max_sample_size=10**300,
+            retry_budget=None,
+            exhaustive_length=12,
+        )
+
+    @classmethod
+    def practical(cls, k: int | None = None) -> "FprasParameters":
+        """Defaults tuned for laptop-scale runs (the library default)."""
+        return cls(sample_size=k)
+
+    def resolve_k(self, n: int, m: int, delta: float) -> int:
+        if self.sample_size is not None:
+            return max(1, self.sample_size)
+        base = (max(1, n) * max(1, m)) / delta
+        derived = math.ceil(base**self.sample_size_exponent)
+        return int(min(self.max_sample_size, max(self.min_sample_size, derived)))
+
+    def resolve_retries(self) -> int:
+        if self.retry_budget is not None:
+            return max(1, self.retry_budget)
+        # Expected ~e⁴/φ₀-ish tries per success; 40·e⁴ ≈ 2184 gives a
+        # < e⁻⁴⁰ chance of spuriously failing a healthy vertex.
+        return max(64, math.ceil(40 * math.e**4))
+
+
+@dataclass
+class _Entry:
+    """Per-vertex bookkeeping: the pair (R(s), X(s)) of Algorithm 5."""
+
+    estimate: float                 # R(s)
+    sketch: list                    # X(s): list of words (multiset)
+    exact: bool                     # exactly handled?
+    exact_set: frozenset | None     # U(s) when exactly handled
+
+
+class FprasFailure(Exception):
+    """Internal signal: the algorithm hit a failure event (outputs 0).
+
+    Mirrors Algorithm 5 steps 5(b)/5(c)(iii).  :func:`approx_count_nfa`
+    converts it into the paper's "output 0" convention; callers that
+    prefer an exception can use ``FprasState`` directly.
+    """
+
+
+@dataclass
+class FprasDiagnostics:
+    """Observability counters for experiments and tests."""
+
+    k: int = 0
+    exactly_handled: int = 0
+    sketched: int = 0
+    sample_draws: int = 0
+    sample_rejections: int = 0
+    sample_walk_failures: int = 0
+    reach_cache_misses: int = 0
+    used_exhaustive: bool = False
+    layers: int = 0
+
+
+class FprasState:
+    """The preprocessed FPRAS data structures for one ``(N, n, δ)`` instance.
+
+    Construction runs Algorithm 5's layer loop and therefore does all the
+    heavy lifting; afterwards
+
+    * :attr:`estimate` is the count estimate ``R(s_final)``, and
+    * :meth:`sample_witness` draws exactly-uniform witnesses using the
+      same ``Sample`` machinery (this is what the PLVUG of Corollary 23
+      wraps).
+    """
+
+    def __init__(
+        self,
+        nfa: NFA,
+        n: int,
+        delta: float = 0.1,
+        rng: random.Random | int | None = None,
+        params: FprasParameters | None = None,
+    ):
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        if n < 0:
+            raise ValueError("n must be ≥ 0")
+        self.nfa = nfa.without_epsilon()
+        self.n = n
+        self.delta = delta
+        self.params = params or FprasParameters()
+        self.rng = make_rng(rng)
+        self.diagnostics = FprasDiagnostics()
+        self.dag: UnrolledDAG = unroll(self.nfa, n)
+        self.k = self.params.resolve_k(n, self.nfa.num_states, delta)
+        self.retries = self.params.resolve_retries()
+        self.diagnostics.k = self.k
+        self.diagnostics.layers = n
+        self._entries: list[dict[State, _Entry]] = [dict() for _ in range(n + 1)]
+        self._reach_cache: dict[Word, frozenset] = {(): frozenset({self.nfa.initial})}
+        # W̃ and predecessor-set memos.  Entries at a layer are immutable
+        # once written, and the walks revisit the same vertex sets heavily
+        # (k draws per sketched vertex), so both caches are sound and hot.
+        self._w_cache: dict[tuple[int, frozenset], float] = {}
+        self._pred_cache: dict[tuple[int, frozenset], dict] = {}
+        self._order_key = repr  # the fixed linear order ≺ on states
+        self.failed = False
+        self.estimate: float = 0.0
+        self._final_exact_union: frozenset | None = None
+        self._run()
+
+    # ------------------------------------------------------------------
+    # Membership machinery
+    # ------------------------------------------------------------------
+
+    def _reach(self, prefix: Word) -> frozenset:
+        """States reachable from the start by reading ``prefix`` (memoized).
+
+        ``x ∈ U(s_t^j)`` ⟺ ``j ∈ reach(x)`` (with ``|x| = t``): this is the
+        breadth-first-search membership test of Algorithm 4 step 3(a),
+        shared across all sketches via the cache.
+        """
+        cached = self._reach_cache.get(prefix)
+        if cached is not None:
+            return cached
+        base = self._reach(prefix[:-1])
+        symbol = prefix[-1]
+        nxt: set = set()
+        for state in base:
+            nxt |= self.nfa.successors(state, symbol)
+        result = frozenset(nxt)
+        self._reach_cache[prefix] = result
+        self.diagnostics.reach_cache_misses += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # The W̃ estimator (Algorithm 5 step 5a / Algorithm 4 step 3a)
+    # ------------------------------------------------------------------
+
+    def _w_tilde(self, layer: int, group: Sequence[State]) -> float:
+        """Estimate ``|⋃_{s ∈ group} U(s)|`` from the groups' sketches.
+
+        ``group`` lives at ``layer``; it is processed in the global order
+        ≺, each state contributing ``R(s)`` scaled by the sketch fraction
+        that is *not* already covered by earlier states.  For a sample
+        ``x ∈ X(s)`` the earlier-coverage test reduces to: is the
+        ≺-minimum of ``reach(x) ∩ group`` equal to ``s``?  (``s`` itself
+        is always in ``reach(x)`` because ``x ∈ U(s)``.)
+        """
+        group_set = frozenset(group)
+        cache_key = (layer, group_set)
+        cached = self._w_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        ordered = sorted(group_set, key=self._order_key)
+        position = {state: index for index, state in enumerate(ordered)}
+        total = 0.0
+        for index, state in enumerate(ordered):
+            entry = self._entries[layer][state]
+            if not entry.sketch:
+                continue
+            if index == 0:
+                total += entry.estimate
+                continue
+            fresh = 0
+            for x in entry.sketch:
+                overlap = self._reach(x) & group_set
+                first = min(position[s] for s in overlap)
+                if first == index:
+                    fresh += 1
+            total += entry.estimate * (fresh / len(entry.sketch))
+        self._w_cache[cache_key] = total
+        return total
+
+    def _predecessor_sets(self, t: int, states: frozenset) -> dict:
+        key = (t, states)
+        cached = self._pred_cache.get(key)
+        if cached is None:
+            cached = self.dag.predecessor_sets(t, states)
+            self._pred_cache[key] = cached
+        return cached
+
+
+    # ------------------------------------------------------------------
+    # Sample (Algorithm 4)
+    # ------------------------------------------------------------------
+
+    def _sample_walk(self, layer: int, targets: frozenset, phi0: float) -> Word | None:
+        """One invocation of ``Sample(T, ε, φ₀)``; None on failure.
+
+        Walks backwards from ``targets`` (a set of states at ``layer``),
+        choosing symbols with probability proportional to the sketched
+        union estimates and accumulating the acceptance probability φ.
+        """
+        phi = phi0
+        if not 0 < phi < 1:
+            self.diagnostics.sample_walk_failures += 1
+            return None
+        t = layer
+        current = targets
+        suffix: list[Symbol] = []
+        while t > 0:
+            by_symbol = self._predecessor_sets(t, current)
+            if not by_symbol:
+                self.diagnostics.sample_walk_failures += 1
+                return None
+            symbols = sorted(by_symbol, key=repr)
+            weights = [self._w_tilde(t - 1, by_symbol[s]) for s in symbols]
+            total = sum(weights)
+            if total <= 0:
+                self.diagnostics.sample_walk_failures += 1
+                return None
+            pick = self.rng.random() * total
+            accumulated = 0.0
+            chosen = len(symbols) - 1
+            for index, weight in enumerate(weights):
+                accumulated += weight
+                if pick < accumulated:
+                    chosen = index
+                    break
+            probability = weights[chosen] / total
+            if probability <= 0:
+                self.diagnostics.sample_walk_failures += 1
+                return None
+            phi /= probability
+            if phi >= 1:
+                # Step 1 of Algorithm 4 at the next recursion level.
+                self.diagnostics.sample_walk_failures += 1
+                return None
+            suffix.append(symbols[chosen])
+            current = by_symbol[symbols[chosen]]
+            t -= 1
+        # t == 0: current ⊆ {initial} by construction of the DAG.
+        word_out = tuple(reversed(suffix))
+        if self.rng.random() < phi:
+            return word_out
+        self.diagnostics.sample_rejections += 1
+        return None
+
+    def _draw_samples(self, layer: int, state: State, estimate: float, count: int) -> list:
+        """Fill a sketch with ``count`` uniform samples of ``U(state@layer)``.
+
+        Each needed sample is attempted up to the retry budget; exhausting
+        it is Algorithm 5's failure event 5(c)(iii).
+        """
+        phi0 = self.params.rejection_constant / estimate if estimate > 0 else 0.0
+        sketch: list = []
+        targets = frozenset({state})
+        while len(sketch) < count:
+            drawn = None
+            for _ in range(self.retries):
+                self.diagnostics.sample_draws += 1
+                drawn = self._sample_walk(layer, targets, phi0)
+                if drawn is not None:
+                    break
+            if drawn is None:
+                raise FprasFailure(
+                    f"sampling failed at layer {layer} state {state!r}: "
+                    f"no acceptance in {self.retries} attempts"
+                )
+            sketch.append(drawn)
+        return sketch
+
+    # ------------------------------------------------------------------
+    # The layer loop (Algorithm 5 steps 4–5)
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            self._run_inner()
+        except FprasFailure:
+            # Algorithm 5's convention: failure events output 0.
+            self.failed = True
+            self.estimate = 0.0
+
+    def _run_inner(self) -> None:
+        sigma_size = max(1, len(self.nfa.alphabet))
+        if self.n <= self.params.exhaustive_length or sigma_size**self.n <= self.k:
+            # Algorithm 5 step 1: tiny instances are counted exactly.
+            self.diagnostics.used_exhaustive = True
+            self.estimate = float(count_words_exact(self.nfa, self.n))
+            finals = self.dag.final_states
+            self._final_exact_union = None
+            self._exhaustive = True
+            return
+        self._exhaustive = False
+
+        # Layer 0: the start vertex, exactly handled with U = {ε}.
+        self._entries[0][self.nfa.initial] = _Entry(
+            estimate=1.0, sketch=[()], exact=True, exact_set=frozenset({()})
+        )
+        self.diagnostics.exactly_handled += 1
+
+        for t in range(1, self.n + 1):
+            for state in sorted(self.dag.layer(t), key=self._order_key):
+                self._process_vertex(t, state)
+
+        finals = sorted(self.dag.final_states, key=self._order_key)
+        if not finals:
+            self.estimate = 0.0
+            self._final_exact_union = frozenset()
+            return
+        if all(self._entries[self.n][s].exact for s in finals):
+            union: set = set()
+            for s in finals:
+                union |= self._entries[self.n][s].exact_set
+            self._final_exact_union = frozenset(union)
+            self.estimate = float(len(union))
+            return
+        self._final_exact_union = None
+        self.estimate = self._w_tilde(self.n, finals)
+        if self.estimate <= 0:
+            raise FprasFailure("final estimate collapsed to zero")
+
+    def _process_vertex(self, t: int, state: State) -> None:
+        predecessors = self._predecessor_sets(t, frozenset({state}))
+        # Algorithm 5 step 4: try the exactly-handled route first.
+        if all(
+            self._entries[t - 1][p].exact
+            for group in predecessors.values()
+            for p in group
+        ):
+            exact_words: set = set()
+            for symbol, group in predecessors.items():
+                for p in group:
+                    for x in self._entries[t - 1][p].exact_set:
+                        exact_words.add(x + (symbol,))
+            if len(exact_words) <= self.k:
+                self._entries[t][state] = _Entry(
+                    estimate=float(len(exact_words)),
+                    sketch=list(exact_words),
+                    exact=True,
+                    exact_set=frozenset(exact_words),
+                )
+                self.diagnostics.exactly_handled += 1
+                return
+        # Algorithm 5 step 5: sketched route.
+        estimate = 0.0
+        for symbol in sorted(predecessors, key=repr):
+            estimate += self._w_tilde(t - 1, predecessors[symbol])
+        if estimate <= 0:
+            raise FprasFailure(f"R collapsed to zero at layer {t} state {state!r}")
+        sketch = self._draw_samples_for_vertex(t, state, estimate, predecessors)
+        self._entries[t][state] = _Entry(
+            estimate=estimate, sketch=sketch, exact=False, exact_set=None
+        )
+        self.diagnostics.sketched += 1
+
+    def _draw_samples_for_vertex(
+        self,
+        t: int,
+        state: State,
+        estimate: float,
+        predecessors: dict,
+    ) -> list:
+        """k uniform samples of U(state@t): one symbol step + recursive walk.
+
+        Equivalent to ``Sample({state}, ε, e⁻⁴/R)`` — the first partition
+        of the walk is exactly ``predecessors``; we reuse the generic walk
+        by starting it at the vertex itself.
+        """
+        return self._draw_samples(t, state, estimate, self.k)
+
+    # ------------------------------------------------------------------
+    # Public results
+    # ------------------------------------------------------------------
+
+    @property
+    def count_estimate(self) -> float:
+        """The estimate ``R(s_final)`` of ``|L_n(N)|`` (0.0 on failure)."""
+        return self.estimate
+
+    def estimate_at_length(self, t: int) -> float:
+        """Estimate ``|L_t(N)|`` for any ``t ≤ n`` from the same sketches.
+
+        A practical optimization in the spirit of Section 7: the layer
+        loop already built ``(R, X)`` for every vertex of every layer, and
+        ``|L_t(N)| = |⋃_{f ∈ F} U(s_t^f)|`` is one more ≺-ordered union
+        estimate over the accepting states of layer ``t``.  One
+        preprocessing pass therefore yields the whole count spectrum
+        ``t = 0..n`` — the quantity the ≤-n semantics of
+        :mod:`repro.core.spectrum` consumes — instead of ``n`` separate
+        FPRAS runs.
+        """
+        if not 0 <= t <= self.n:
+            raise ValueError(f"length {t} outside 0..{self.n}")
+        if self.failed:
+            return 0.0
+        if self.diagnostics.used_exhaustive:
+            return float(count_words_exact(self.nfa, t))
+        finals = sorted(
+            (state for state in self.dag.layer(t) if state in self.nfa.finals),
+            key=self._order_key,
+        )
+        if not finals:
+            return 0.0
+        if all(self._entries[t][state].exact for state in finals):
+            union: set = set()
+            for state in finals:
+                union |= self._entries[t][state].exact_set
+            return float(len(union))
+        return self._w_tilde(t, finals)
+
+    def estimate_spectrum(self) -> list[float]:
+        """``[|L_0|, …, |L_n|]`` estimates from one preprocessing pass."""
+        return [self.estimate_at_length(t) for t in range(self.n + 1)]
+
+    def is_exact(self) -> bool:
+        """True when the run produced an exact count (tiny instance or all
+        accepting vertices exactly handled)."""
+        return self.diagnostics.used_exhaustive or self._final_exact_union is not None
+
+    def sample_witness(self, rng: random.Random | int | None = None) -> Word | None:
+        """Draw one uniform witness of ``L_n(N)``; None means *fail*.
+
+        This is a single Las Vegas attempt (Corollary 23's ``G``):
+        conditioned on returning a word, the distribution is uniform over
+        ``L_n(N)``.  Returns None on the rejection branch; wrap with
+        :class:`repro.core.plvug.LasVegasUniformGenerator` for retries.
+
+        Raises
+        ------
+        EmptyWitnessSetError
+            When ``L_n(N) = ∅`` (the paper's ⊥ output).
+        """
+        generator = make_rng(rng) if rng is not None else self.rng
+        finals = sorted(self.dag.final_states, key=self._order_key)
+        if not finals or (self.estimate <= 0 and not self.failed and self.is_exact()):
+            raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
+        if self.diagnostics.used_exhaustive or self._final_exact_union is not None:
+            universe = self._exhaustive_universe()
+            if not universe:
+                raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
+            return universe[generator.randrange(len(universe))]
+        if self.failed:
+            return None
+        phi0 = self.params.rejection_constant / self.estimate
+        return self._sample_walk(self.n, frozenset(finals), phi0)
+
+    def _exhaustive_universe(self) -> list:
+        """Materialized witness list for the exact regimes (cached)."""
+        cached = getattr(self, "_universe_cache", None)
+        if cached is not None:
+            return cached
+        if self._final_exact_union is not None:
+            universe = sorted(self._final_exact_union)
+        else:
+            from repro.automata.operations import words_of_length
+
+            universe = words_of_length(self.nfa, self.n)
+        self._universe_cache = universe
+        return universe
+
+
+def approx_count_nfa(
+    nfa: NFA,
+    n: int,
+    delta: float = 0.1,
+    rng: random.Random | int | None = None,
+    params: FprasParameters | None = None,
+) -> float:
+    """FPRAS estimate of ``|L_n(nfa)|`` (Theorem 22's interface).
+
+    Returns the estimate; failure events return 0.0 exactly as in
+    Algorithm 5.  For diagnostics, sampling access and exactness
+    information, build a :class:`FprasState` instead.
+    """
+    return FprasState(nfa, n, delta=delta, rng=rng, params=params).count_estimate

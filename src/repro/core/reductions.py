@@ -1,0 +1,120 @@
+"""Witness-preserving reductions and the transfer of solvers (Prop. 11).
+
+The paper's notion of reduction is deliberately strict: ``R`` reduces to
+``S`` via a polynomial-time ``f`` when ``W_R(x) = W_S(f(x))`` — the
+witness *sets are literally equal*, not merely equinumerous.  The payoff
+(Proposition 11) is that every solver — constant/polynomial-delay
+enumerators, exact counters, FPRASes, exact and Las Vegas generators —
+transfers across the reduction verbatim: run the ``S``-solver on ``f(x)``.
+
+:class:`WitnessPreservingReduction` packages an ``f`` together with that
+transfer.  The canonical instances are the Proposition 12 completeness
+maps: every relation in the library reduces to MEM-NFA (or MEM-UFA) via
+its :meth:`~repro.core.relations.AutomatonBackedRelation.compile`, and
+:func:`completeness_reduction` exposes exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.automata.nfa import Word
+from repro.core.relations import AutomatonBackedRelation, CompiledInstance
+
+SourceT = TypeVar("SourceT")
+TargetT = TypeVar("TargetT")
+
+
+@dataclass(frozen=True)
+class WitnessPreservingReduction(Generic[SourceT, TargetT]):
+    """A reduction ``f`` with ``W_R(x) = W_S(f(x))`` and its solver transfer.
+
+    ``transform`` is the polynomial-time ``f``; ``target`` names the
+    relation ``S`` whose solvers we borrow.
+    """
+
+    transform: Callable[[SourceT], TargetT]
+    target: AutomatonBackedRelation
+
+    # --- Proposition 11, bullet by bullet ---------------------------------
+
+    def enumerate(self, instance: SourceT) -> Iterator:
+        """ENUM(R) from ENUM(S): enumerate on the transformed input.
+
+        Delay class (constant / polynomial) is inherited from the target
+        solver — the transform adds only preprocessing time.
+        """
+        return self.target.witnesses(self.transform(instance))
+
+    def count_exact(self, instance: SourceT) -> int:
+        """COUNT(R) from an exact COUNT(S)."""
+        return self.target.witness_count_exact(self.transform(instance))
+
+    def count_approx(
+        self,
+        instance: SourceT,
+        delta: float = 0.1,
+        rng: random.Random | int | None = None,
+    ) -> float:
+        """COUNT(R) from an FPRAS for COUNT(S)."""
+        from repro.core.fpras import approx_count_nfa
+
+        compiled = self.target.compile(self.transform(instance))
+        return approx_count_nfa(compiled.nfa, compiled.length, delta=delta, rng=rng)
+
+    def sample(
+        self, instance: SourceT, rng: random.Random | int | None = None
+    ) -> Word | None:
+        """GEN(R) from a PLVUG for GEN(S) (None encodes ⊥)."""
+        from repro.core.plvug import LasVegasUniformGenerator
+
+        compiled = self.target.compile(self.transform(instance))
+        generator = LasVegasUniformGenerator(compiled.nfa, compiled.length, rng=rng)
+        return generator.generate()
+
+
+class MemNfaRelation(AutomatonBackedRelation):
+    """MEM-NFA itself as a relation: inputs are ``(NFA, k)`` pairs.
+
+    The identity compilation — this is the complete problem every other
+    relation reduces to (Proposition 12).
+    """
+
+    name = "MEM-NFA"
+
+    def compile(self, instance: tuple) -> CompiledInstance:
+        nfa, k = instance
+        return CompiledInstance(nfa=nfa.without_epsilon(), length=k)
+
+
+class MemUfaRelation(MemNfaRelation):
+    """MEM-UFA: the unambiguous restriction, complete for RelationUL."""
+
+    name = "MEM-UFA"
+
+    def compile(self, instance: tuple) -> CompiledInstance:
+        from repro.automata.unambiguous import require_unambiguous
+
+        nfa, k = instance
+        return CompiledInstance(
+            nfa=require_unambiguous(nfa, context="MEM-UFA"), length=k
+        )
+
+
+def completeness_reduction(
+    relation: AutomatonBackedRelation, unambiguous: bool = False
+) -> WitnessPreservingReduction:
+    """The Proposition 12 reduction of ``relation`` to MEM-NFA / MEM-UFA.
+
+    ``f(x) = (N_x, k_x)`` — the relation's own compilation, packaged as a
+    witness-preserving reduction whose target is the complete problem.
+    """
+    target = MemUfaRelation() if unambiguous else MemNfaRelation()
+
+    def transform(instance):
+        compiled = relation.compile(instance)
+        return (compiled.nfa, compiled.length)
+
+    return WitnessPreservingReduction(transform=transform, target=target)

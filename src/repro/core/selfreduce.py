@@ -1,0 +1,215 @@
+"""Self-reducibility of MEM-NFA / MEM-UFA (Section 5.2).
+
+The paper equips its complete problems with the self-reduction structure
+of [Sch09]: three polynomial-time functions
+
+* ``ℓ(x)``  — the witness length of input ``x``,
+* ``σ(x)``  — how many leading witness symbols one reduction step strips
+  (here 1, whenever witnesses are nonempty),
+* ``ψ(x, w)`` — a *smaller* input whose witnesses are the witnesses of
+  ``x`` that start with ``w``, with that prefix removed,
+
+satisfying conditions (1)–(8) listed in Section 5.2.  For MEM-NFA the
+interesting function is ψ: given ``(N, 0^k)`` and a symbol ``w``, merge
+the first "layer" ``Q_w = δ(q_0, w)`` into a fresh initial state ``q_0'``
+while rerouting every transition that touched ``Q_w`` — the construction
+spelled out in the middle of Section 5.2, including the final-state
+repair.  The construction never increases the number of states or
+transitions, which is what gives condition (5) ``|ψ(x, w)| ≤ |x|``.
+
+This module implements ψ exactly as stated (plus its multi-final-state
+generalization) and exposes the three functions both standalone and
+bundled in :class:`SelfReduction`.  The exact UFA sampler of Section
+5.3.3 has a ψ-based reference implementation in
+:mod:`repro.core.exact_sampler` that the tests compare against the fast
+DP sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.automata.nfa import NFA, Symbol
+from repro.errors import InvalidAutomatonError
+
+
+FRESH_INITIAL = ("psi", "q0'")
+
+
+def _fresh_initial(states: frozenset):
+    """A fresh-initial label that cannot collide, even across iterated ψ."""
+    fresh = FRESH_INITIAL
+    depth = 0
+    while fresh in states:
+        depth += 1
+        fresh = ("psi", "q0'", depth)
+    return fresh
+
+
+def psi(nfa: NFA, k: int, symbol: Symbol) -> tuple[NFA, int]:
+    """One self-reduction step: ``ψ((N, 0^k), w) = (N', 0^{k-1})``.
+
+    ``N'`` accepts exactly ``{y : w·y ∈ L_k(N)}`` as its length-(k-1)
+    words.
+
+    **Deviation from the paper (documented in DESIGN.md §5).**  The
+    paper's construction *merges* the whole first layer ``Q_w = δ(q₀, w)``
+    into one fresh initial state, rerouting every edge that touched
+    ``Q_w``.  Property-based testing during this reproduction found that
+    the merge is unsound when ``|Q_w| ≥ 2`` and ``Q_w`` states are
+    re-enterable later in the word: a run can enter the merged state
+    simulating one member of ``Q_w`` and leave simulating another,
+    accepting words outside the residual language (the paper proves the
+    forward run-correspondence in detail and asserts the converse is
+    "analogous" — the converse is where this fails).  See
+    :func:`psi_paper_merge` and the regression test for a concrete
+    counterexample.  When ``|Q_w| ≤ 1`` — in particular for every DFA —
+    the merge is correct.
+
+    We therefore use the standard residual construction: keep the
+    automaton intact and add a fresh initial state ``q₀'`` carrying a copy
+    of each out-edge of each member of ``Q_w`` (final iff ``Q_w`` meets
+    the final set).  This is exactly the quotient the paper *intends*
+    (``W(N') = w⁻¹·W(N)``), costs one extra state and at most
+    ``Σ_{p ∈ Q_w} outdeg(p)`` extra transitions per step — still
+    polynomial, which is all the uniform-generation argument of Section
+    5.3.3 uses.  The strict monotone-size condition (5) of [Sch09] holds
+    for the state count up to the +1 fresh state; our tests check the
+    polynomial-boundedness that the algorithms actually rely on.
+
+    Raises
+    ------
+    ValueError
+        If ``k <= 0`` (σ = 0 inputs have no reduction step) or the symbol
+        is not in the alphabet.
+    """
+    if k <= 0:
+        raise ValueError("ψ is only defined for inputs with positive witness length")
+    stripped = nfa.without_epsilon()
+    if symbol not in stripped.alphabet:
+        raise ValueError(f"symbol {symbol!r} not in the alphabet")
+
+    q_w = stripped.successors(stripped.initial, symbol)
+    fresh = _fresh_initial(stripped.states)
+
+    if not q_w:
+        # No w-successor: the residual language is empty.  Return the
+        # canonical empty automaton of the right alphabet (a correctly
+        # encoded input with no witnesses, per the paper's conventions).
+        return NFA([fresh], stripped.alphabet, [], fresh, []), k - 1
+
+    transitions: set = set(stripped.transitions)
+    for member in q_w:
+        for a, target in stripped.out_edges(member):
+            transitions.add((fresh, a, target))
+    finals = set(stripped.finals)
+    if stripped.finals & q_w:
+        finals.add(fresh)
+    reduced = NFA(
+        set(stripped.states) | {fresh}, stripped.alphabet, transitions, fresh, finals
+    )
+    # Trimming keeps the iterated chain from accumulating dead states, so
+    # sizes stay bounded by the original automaton's (plus one).
+    return reduced.trim(), k - 1
+
+
+def psi_paper_merge(nfa: NFA, k: int, symbol: Symbol) -> tuple[NFA, int]:
+    """The paper's literal §5.2 merge construction — kept for study.
+
+    Sound when ``|Q_w| ≤ 1`` (e.g. deterministic automata); for
+    ``|Q_w| ≥ 2`` with re-enterable ``Q_w`` states it may accept words
+    outside the residual language — see :func:`psi` for the analysis and
+    ``tests/test_selfreduce.py`` for the regression counterexample.  It
+    does satisfy the strict size condition (5): states and transitions
+    never increase.
+    """
+    if k <= 0:
+        raise ValueError("ψ is only defined for inputs with positive witness length")
+    stripped = nfa.without_epsilon()
+    if symbol not in stripped.alphabet:
+        raise ValueError(f"symbol {symbol!r} not in the alphabet")
+
+    q_w = stripped.successors(stripped.initial, symbol)
+    fresh = _fresh_initial(stripped.states)
+    if not q_w:
+        return NFA([fresh], stripped.alphabet, [], fresh, []), k - 1
+
+    kept = stripped.states - q_w
+    new_states = set(kept) | {fresh}
+    transitions: set = set()
+    for source, a, target in stripped.transitions:
+        source_in = source in q_w
+        target_in = target in q_w
+        if not source_in and not target_in:
+            transitions.add((source, a, target))
+        elif not source_in and target_in:
+            transitions.add((source, a, fresh))
+        elif source_in and not target_in:
+            transitions.add((fresh, a, target))
+        else:
+            transitions.add((fresh, a, fresh))
+
+    finals = set(stripped.finals & kept)
+    if stripped.finals & q_w:
+        finals.add(fresh)
+    return NFA(new_states, stripped.alphabet, transitions, fresh, finals), k - 1
+
+
+def ell(nfa: NFA, k: int) -> int:
+    """The paper's ℓ: witness length of ``(N, 0^k)`` — just ``k``.
+
+    (For incorrectly encoded inputs ℓ is 0; at the Python level such
+    inputs cannot be constructed, so ℓ is total here.)
+    """
+    if k < 0:
+        raise ValueError("k must be ≥ 0")
+    return k
+
+
+def sigma(nfa: NFA, k: int) -> int:
+    """The paper's σ: 1 when witnesses are nonempty, else 0."""
+    return 1 if k > 0 else 0
+
+
+def empty_word_is_witness(nfa: NFA) -> bool:
+    """Condition (2) of self-reducibility: the ℓ = 0 membership test.
+
+    The empty word is a witness of ``(N, 0^0)`` iff the initial state is
+    accepting (after ε-closure).
+    """
+    stripped = nfa  # ε allowed: closure handles it
+    return bool(stripped.epsilon_closure({stripped.initial}) & stripped.finals)
+
+
+@dataclass(frozen=True)
+class SelfReduction:
+    """The (ℓ, σ, ψ) bundle for a MEM-NFA instance, as one object.
+
+    Mainly a convenience for code that follows the paper's notation —
+    e.g. the ψ-based reference sampler and the condition-(1)–(8) property
+    tests.
+    """
+
+    nfa: NFA
+    k: int
+
+    def length(self) -> int:
+        return ell(self.nfa, self.k)
+
+    def strip_count(self) -> int:
+        return sigma(self.nfa, self.k)
+
+    def step(self, symbol: Symbol) -> "SelfReduction":
+        reduced, new_k = psi(self.nfa, self.k, symbol)
+        return SelfReduction(reduced, new_k)
+
+    def descend(self, prefix: tuple) -> "SelfReduction":
+        """Iterate ψ along a whole witness prefix."""
+        current = self
+        for symbol in prefix:
+            current = current.step(symbol)
+        return current
+
+    def structural_size(self) -> tuple[int, int]:
+        """(states, transitions) — the quantity condition (5) bounds."""
+        return (self.nfa.num_states, self.nfa.num_transitions)

@@ -1,0 +1,187 @@
+"""Length-spectrum semantics: witnesses of length *at most* n.
+
+Section 4.2 defines RPQ witnesses as paths of length *exactly* n, noting
+that users "usually want all paths of at most certain length".  The
+equal-length convention is what the MEM-NFA machinery needs; this module
+provides the bridge both ways:
+
+* :func:`pad_automaton` — an automaton whose length-``n`` words are the
+  padded forms ``w·⋄^{n-|w|}`` of all accepted words with ``|w| ≤ n``
+  (the paper's §2.1 padding made concrete).  Counts and the uniform
+  distribution over the ≤-n language transfer bijectively.
+* :class:`SpectrumSolver` — count / sample / enumerate over the ≤-n
+  witness set without materializing the padding at the API surface:
+  results are unpadded words.  Counting sums the exact per-length DP for
+  unambiguous automata and dispatches per-length FPRAS calls otherwise;
+  sampling picks a length with probability proportional to its (estimated)
+  count, then samples within it — the standard stratified scheme, exactly
+  uniform in the unambiguous case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.automata.nfa import NFA, Word
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.enumeration import enumerate_words_nfa, enumerate_words_ufa
+from repro.core.exact import count_accepting_runs_of_length, count_words_exact
+from repro.core.exact_sampler import ExactUniformSampler
+from repro.core.fpras import FprasParameters, FprasState
+from repro.errors import EmptyWitnessSetError
+from repro.utils.rng import make_rng
+
+PAD = ("pad", "⋄")
+
+
+def pad_automaton(nfa: NFA, pad_symbol=PAD) -> NFA:
+    """An automaton over Σ ∪ {⋄} with ``L_n = {w·⋄^{n-|w|} : w ∈ L, |w| ≤ n}``.
+
+    Adds a fresh accepting pad state reachable from every final state by
+    ⋄ and looping on ⋄.  The map ``w ↦ w·⋄^{n-|w|}`` is a bijection onto
+    the padded length-n language (⋄ does not occur in Σ, so the pad block
+    is uniquely parsed), hence counts and uniformity transfer.  If the
+    input automaton is unambiguous, the padded automaton is too (one run
+    per original word, one pad path).
+    """
+    if pad_symbol in nfa.alphabet:
+        raise ValueError(f"pad symbol {pad_symbol!r} collides with the alphabet")
+    stripped = nfa.without_epsilon()
+    pad_state = ("pad-state",)
+    serial = 0
+    while pad_state in stripped.states:
+        serial += 1
+        pad_state = ("pad-state", serial)
+    transitions = set(stripped.transitions)
+    for final in stripped.finals:
+        transitions.add((final, pad_symbol, pad_state))
+    transitions.add((pad_state, pad_symbol, pad_state))
+    return NFA(
+        set(stripped.states) | {pad_state},
+        set(stripped.alphabet) | {pad_symbol},
+        transitions,
+        stripped.initial,
+        set(stripped.finals) | {pad_state},
+    )
+
+
+def strip_padding(w: Word, pad_symbol=PAD) -> Word:
+    out = list(w)
+    while out and out[-1] == pad_symbol:
+        out.pop()
+    return tuple(out)
+
+
+class SpectrumSolver:
+    """ENUM/COUNT/GEN over ``L_{≤n}(nfa) = ⋃_{ℓ ≤ n} L_ℓ(nfa)``."""
+
+    def __init__(
+        self,
+        nfa: NFA,
+        max_length: int,
+        delta: float = 0.1,
+        rng: random.Random | int | None = None,
+        params: FprasParameters | None = None,
+    ):
+        if max_length < 0:
+            raise ValueError("max_length must be ≥ 0")
+        self.nfa = nfa.without_epsilon().trim()
+        self.max_length = max_length
+        self.rng = make_rng(rng)
+        self.delta = delta
+        self.params = params
+        self.unambiguous = is_unambiguous(self.nfa)
+        if self.unambiguous:
+            self._counts = {
+                length: count_accepting_runs_of_length(self.nfa, length)
+                for length in range(max_length + 1)
+            }
+        else:
+            self._counts = None
+
+    # ------------------------------------------------------------------
+
+    def count(self) -> int | float:
+        """|L_{≤n}| — exact for unambiguous automata, FPRAS sum otherwise.
+
+        The per-length FPRAS errors are each ≤ δ relative, so the sum is
+        within δ of the true total (relative error is preserved under
+        summation of nonnegative estimates).
+        """
+        if self._counts is not None:
+            return sum(self._counts.values())
+        total = 0.0
+        for length in range(self.max_length + 1):
+            total += FprasState(
+                self.nfa, length, delta=self.delta, rng=self.rng, params=self.params
+            ).count_estimate
+        return total
+
+    def count_exact(self) -> int:
+        """Exact |L_{≤n}| regardless of ambiguity (may be exponential)."""
+        return sum(
+            count_words_exact(self.nfa, length) for length in range(self.max_length + 1)
+        )
+
+    def enumerate(self) -> Iterator[Word]:
+        """All witnesses of length ≤ n, shortest first, duplicate-free."""
+        for length in range(self.max_length + 1):
+            if self.unambiguous:
+                yield from enumerate_words_ufa(self.nfa, length, check=False)
+            else:
+                yield from enumerate_words_nfa(self.nfa, length)
+
+    def sample(self) -> Word:
+        """One uniform witness of ``L_{≤n}`` (exact in the UFA case).
+
+        Stratified: pick a length ∝ its count, then sample within.  For
+        ambiguous automata the within-length draw is the PLVUG, so the
+        result is uniform conditioned on the (FPRAS-weighted) length
+        choice — almost uniform with the per-length estimate error.
+        """
+        if self._counts is not None:
+            total = sum(self._counts.values())
+            if total == 0:
+                raise EmptyWitnessSetError(
+                    f"no witnesses of length ≤ {self.max_length}"
+                )
+            pick = self.rng.randrange(total)
+            accumulated = 0
+            for length, weight in self._counts.items():
+                accumulated += weight
+                if pick < accumulated:
+                    if length == 0:
+                        return ()
+                    return ExactUniformSampler(self.nfa, length, check=False).sample(
+                        self.rng
+                    )
+            raise AssertionError("length stratification exhausted")
+        # Ambiguous route: estimate per-length weights once, then sample.
+        from repro.core.plvug import LasVegasUniformGenerator
+
+        weights = []
+        for length in range(self.max_length + 1):
+            weights.append(
+                FprasState(
+                    self.nfa, length, delta=self.delta, rng=self.rng, params=self.params
+                ).count_estimate
+            )
+        total = sum(weights)
+        if total <= 0:
+            raise EmptyWitnessSetError(f"no witnesses of length ≤ {self.max_length}")
+        pick = self.rng.random() * total
+        accumulated = 0.0
+        for length, weight in enumerate(weights):
+            accumulated += weight
+            if pick < accumulated:
+                if length == 0:
+                    return ()
+                generator = LasVegasUniformGenerator(
+                    self.nfa, length, delta=self.delta, rng=self.rng, params=self.params
+                )
+                drawn = generator.generate()
+                if drawn is None:
+                    raise EmptyWitnessSetError("length stratum turned out empty")
+                return drawn
+        raise AssertionError("length stratification exhausted")

@@ -1,0 +1,309 @@
+"""NL-transducers and the Lemma 13 compilation to NFAs.
+
+The paper's machine model (Section 3): a nondeterministic Turing machine
+with a read-only input tape, a write-only left-to-right output tape, and a
+work tape restricted to O(log |x|) cells.  The set of outputs ``M(x)``
+over all accepting runs defines the relation ``R(M)``; unambiguous
+machines (one accepting run per output) define RelationUL.
+
+Lemma 13 is the bridge to automata: on input ``x`` the machine has only
+polynomially many configurations ``(state, input head, work head, work
+tape)``, so the *configuration graph* — edges labelled by the symbol
+output during the step, or ε for silent steps — is a polynomial-size NFA
+``N_x`` with ``L(N_x) = M(x)``.  Two levels of API:
+
+* :class:`TuringTransducer` — the faithful tape-level model.  Configura-
+  tions are explicit tuples, the logspace bound is enforced (the work
+  tape has exactly ``⌈c·log₂(|x|+2)⌉ + d`` cells), and
+  :meth:`TuringTransducer.configuration_nfa` is the literal Lemma 13
+  construction.
+* :class:`ConfigGraphTransducer` — the pragmatic model: the user supplies
+  the configuration graph directly (initial configuration, successor
+  function with optional output, acceptance predicate) plus a bound on
+  the number of configurations.  This captures exactly what Lemma 13
+  uses about the machine while sparing applications the tape plumbing;
+  the SAT-DNF transducer of Section 3 and the Section 4 applications are
+  written this way, with configurations that are logspace-describable
+  tuples (indices into the input).
+
+Both compile through :func:`compile_to_nfa`, which BFSes the reachable
+configurations, builds the ε-labelled NFA, removes ε and trims — yielding
+``(N_x, k)`` with ``W_R(x) = L_k(N_x)``, ready for every algorithm in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Iterator
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.errors import InvalidAutomatonError, InvalidRelationInputError
+
+Config = Hashable
+Output = Hashable
+
+#: Work-tape blank symbol for TuringTransducer.
+BLANK = "␣"
+#: Input-tape end markers.
+LEFT_MARK, RIGHT_MARK = "⊢", "⊣"
+
+
+class Transducer(abc.ABC):
+    """Common interface: an object whose configuration graph Lemma 13 walks."""
+
+    #: Name for diagnostics.
+    name: str = "transducer"
+
+    @abc.abstractmethod
+    def initial_config(self, x) -> Config:
+        """The starting configuration on input ``x``."""
+
+    @abc.abstractmethod
+    def successors(self, x, config: Config) -> Iterator[tuple[Output | None, Config]]:
+        """Nondeterministic steps from ``config``: ``(output-or-None, next)``."""
+
+    @abc.abstractmethod
+    def is_accepting(self, x, config: Config) -> bool:
+        """Whether ``config`` is a halting accepting configuration."""
+
+    @abc.abstractmethod
+    def config_bound(self, x) -> int:
+        """An upper bound on the number of distinct configurations on ``x``.
+
+        Polynomial in ``|x|`` for a logspace machine — the quantitative
+        content of Lemma 13.  Compilation refuses to explore past it,
+        so a buggy (super-logspace) transducer fails loudly instead of
+        diverging.
+        """
+
+
+class ConfigGraphTransducer(Transducer):
+    """A transducer given directly by its configuration graph functions."""
+
+    def __init__(
+        self,
+        initial: Callable[[object], Config],
+        step: Callable[[object, Config], Iterable[tuple[Output | None, Config]]],
+        accepting: Callable[[object, Config], bool],
+        bound: Callable[[object], int],
+        name: str = "config-graph transducer",
+    ):
+        self._initial = initial
+        self._step = step
+        self._accepting = accepting
+        self._bound = bound
+        self.name = name
+
+    def initial_config(self, x) -> Config:
+        return self._initial(x)
+
+    def successors(self, x, config: Config) -> Iterator[tuple[Output | None, Config]]:
+        yield from self._step(x, config)
+
+    def is_accepting(self, x, config: Config) -> bool:
+        return self._accepting(x, config)
+
+    def config_bound(self, x) -> int:
+        return self._bound(x)
+
+
+@dataclass(frozen=True)
+class TMTransition:
+    """One nondeterministic TM step option.
+
+    ``input_move``/``work_move`` ∈ {-1, 0, +1}; ``output`` is the symbol
+    appended to the output tape (None = silent step).
+    """
+
+    new_state: Hashable
+    work_write: Hashable
+    input_move: int
+    work_move: int
+    output: Output | None = None
+
+
+class TuringTransducer(Transducer):
+    """The tape-level NL-transducer of Section 3.
+
+    Parameters
+    ----------
+    states / initial_state / accepting_states:
+        Finite control.
+    transitions:
+        ``(state, input_symbol, work_symbol) → iterable of TMTransition``;
+        input symbols include the end markers :data:`LEFT_MARK` /
+        :data:`RIGHT_MARK`.
+    work_alphabet:
+        Work-tape symbols (blank added automatically).
+    log_coefficient / log_offset:
+        The space bound: ``⌈log_coefficient · log₂(|x| + 2)⌉ + log_offset``
+        work cells.  Exceeding the tape is a hard error — the machine is
+        *not* logspace then.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[Hashable],
+        initial_state: Hashable,
+        accepting_states: Iterable[Hashable],
+        transitions: dict,
+        work_alphabet: Iterable[Hashable] = (),
+        log_coefficient: float = 1.0,
+        log_offset: int = 2,
+        name: str = "NL-transducer",
+    ):
+        self.states = frozenset(states)
+        self.initial_state = initial_state
+        self.accepting_states = frozenset(accepting_states)
+        self.transitions = {
+            key: tuple(options) for key, options in transitions.items()
+        }
+        self.work_alphabet = frozenset(work_alphabet) | {BLANK}
+        self.log_coefficient = log_coefficient
+        self.log_offset = log_offset
+        self.name = name
+        if initial_state not in self.states:
+            raise InvalidAutomatonError("initial state missing from state set")
+        if not self.accepting_states <= self.states:
+            raise InvalidAutomatonError("accepting states must be states")
+
+    def tape_length(self, x) -> int:
+        n = len(x)
+        return max(1, math.ceil(self.log_coefficient * math.log2(n + 2)) + self.log_offset)
+
+    def initial_config(self, x) -> Config:
+        cells = self.tape_length(x)
+        return (self.initial_state, 0, 0, (BLANK,) * cells)
+
+    def _input_symbol(self, x, position: int):
+        if position < 0:
+            return LEFT_MARK
+        if position >= len(x):
+            return RIGHT_MARK
+        return x[position]
+
+    def successors(self, x, config: Config) -> Iterator[tuple[Output | None, Config]]:
+        state, input_pos, work_pos, work_tape = config
+        key = (state, self._input_symbol(x, input_pos), work_tape[work_pos])
+        for option in self.transitions.get(key, ()):
+            new_tape = list(work_tape)
+            new_tape[work_pos] = option.work_write
+            new_input = min(len(x), max(-1, input_pos + option.input_move))
+            new_work = work_pos + option.work_move
+            if not 0 <= new_work < len(work_tape):
+                raise InvalidAutomatonError(
+                    f"{self.name}: work head left the O(log n) tape — "
+                    "the machine is not logspace under the declared bound"
+                )
+            yield option.output, (option.new_state, new_input, new_work, tuple(new_tape))
+
+    def is_accepting(self, x, config: Config) -> bool:
+        return config[0] in self.accepting_states
+
+    def config_bound(self, x) -> int:
+        cells = self.tape_length(x)
+        # |Q| · (|x| + 2) input positions · cells · |Γ|^cells — the count in
+        # the proof of Lemma 13.
+        return (
+            len(self.states)
+            * (len(x) + 2)
+            * cells
+            * len(self.work_alphabet) ** cells
+        )
+
+
+@dataclass
+class CompilationReport:
+    """Size accounting for Lemma 13 compilation (experiment E9)."""
+
+    configurations: int = 0
+    edges: int = 0
+    accepting: int = 0
+    nfa_states: int = 0
+    nfa_transitions: int = 0
+
+
+def compile_to_nfa(
+    transducer: Transducer, x, report: CompilationReport | None = None
+) -> NFA:
+    """Lemma 13: the configuration-graph NFA ``N_x`` with ``L(N_x) = M(x)``.
+
+    BFS from the initial configuration; each step contributes an edge
+    labelled by its output symbol (ε when silent).  ε-transitions are then
+    removed and the automaton trimmed — both standard, language-preserving
+    steps the paper performs in Appendix A.1.
+
+    Raises
+    ------
+    InvalidRelationInputError
+        If the exploration exceeds the transducer's declared configuration
+        bound — the machine is not logspace (or the bound is wrong).
+    """
+    bound = transducer.config_bound(x)
+    start = transducer.initial_config(x)
+    seen: dict[Config, int] = {start: 0}
+    order: list[Config] = [start]
+    transitions: list[tuple] = []
+    alphabet: set = set()
+    index = 0
+    while index < len(order):
+        config = order[index]
+        index += 1
+        for output, nxt in transducer.successors(x, config):
+            if nxt not in seen:
+                if len(seen) >= bound:
+                    raise InvalidRelationInputError(
+                        f"{transducer.name}: configuration count exceeded the "
+                        f"declared bound {bound}; not a logspace machine?"
+                    )
+                seen[nxt] = len(seen)
+                order.append(nxt)
+            symbol = EPSILON if output is None else output
+            if output is not None:
+                alphabet.add(output)
+            transitions.append((seen[config], symbol, seen[nxt]))
+    finals = [
+        seen[config] for config in order if transducer.is_accepting(x, config)
+    ]
+    if report is not None:
+        report.configurations = len(order)
+        report.edges = len(transitions)
+        report.accepting = len(finals)
+    nfa = (
+        NFA(range(len(order)), alphabet or {"0"}, transitions, 0, finals)
+        .without_epsilon()
+        .trim()
+        .renumbered()
+    )
+    if report is not None:
+        report.nfa_states = nfa.num_states
+        report.nfa_transitions = nfa.num_transitions
+    return nfa
+
+
+def outputs_brute_force(transducer: Transducer, x, max_steps: int = 10_000) -> set:
+    """All outputs of ``M(x)`` by exhaustive run-tree search (tests only).
+
+    Follows every nondeterministic branch up to ``max_steps`` expansions.
+    Only sound for transducers whose configuration graph is acyclic along
+    output-producing paths at test sizes; used as the independent oracle
+    for the Lemma 13 compilation (``outputs == L(N_x)``).
+    """
+    results: set = set()
+    stack: list[tuple[Config, tuple]] = [(transducer.initial_config(x), ())]
+    expansions = 0
+    while stack:
+        config, written = stack.pop()
+        if transducer.is_accepting(x, config):
+            results.add(written)
+        expansions += 1
+        if expansions > max_steps:
+            raise InvalidRelationInputError(
+                "brute-force output search exceeded its step budget"
+            )
+        for output, nxt in transducer.successors(x, config):
+            stack.append((nxt, written if output is None else written + (output,)))
+    return results

@@ -1,0 +1,22 @@
+"""SAT-DNF (Section 3's worked example) through the RelationNL pipeline.
+
+The relation ``SAT-DNF = {(φ, σ) : φ in DNF, σ(φ) = 1}`` is the paper's
+introductory member of RelationNL: counting satisfying assignments of a
+DNF is #P-complete yet admits an FPRAS (Karp–Luby, [KL83]); the paper's
+point is that the *generic* #NFA FPRAS also covers it, via the simple
+NL-transducer sketched in Section 3.  We provide the transducer, the
+direct compilation, and the Karp–Luby baseline for the E13 comparison.
+"""
+
+from repro.dnf.formulas import DNFFormula, DNFTerm, parse_dnf, random_dnf
+from repro.dnf.relation import SatDnfRelation, dnf_transducer, dnf_to_nfa
+
+__all__ = [
+    "DNFFormula",
+    "DNFTerm",
+    "parse_dnf",
+    "random_dnf",
+    "SatDnfRelation",
+    "dnf_to_nfa",
+    "dnf_transducer",
+]

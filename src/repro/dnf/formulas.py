@@ -1,0 +1,161 @@
+"""DNF formulas: representation, parsing, exact counting, generators.
+
+A DNF formula over variables ``x_1 … x_n`` is a disjunction of *terms*;
+each term is a conjunction of literals.  Exact model counting is by
+inclusion–exclusion over terms (2^m worst case) or truth-table sweep
+(2^n) — both exponential, both provided for ground truth at test sizes;
+that exponential wall is the reason the FPRAS matters.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import InvalidRelationInputError
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class DNFTerm:
+    """A conjunction of literals: ``{variable_index: required_value}``.
+
+    A term with contradictory literals cannot be represented here — the
+    parser collapses e.g. ``x1 ∧ ¬x1`` to an explicitly unsatisfiable
+    term via :attr:`satisfiable` = False (mirroring the transducer's
+    "halt non-accepting on contradictory disjunct" branch in Section 3).
+    """
+
+    literals: tuple  # sorted tuple of (index, value)
+    satisfiable: bool = True
+
+    @classmethod
+    def from_dict(cls, literals: Mapping[int, int]) -> "DNFTerm":
+        return cls(tuple(sorted(literals.items())))
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self.literals)
+
+    def satisfied_by(self, assignment: Sequence[int]) -> bool:
+        if not self.satisfiable:
+            return False
+        return all(assignment[index] == value for index, value in self.literals)
+
+    def count_models(self, num_variables: int) -> int:
+        """Models of this single term: 2^(free variables)."""
+        if not self.satisfiable:
+            return 0
+        return 2 ** (num_variables - len(self.literals))
+
+
+@dataclass(frozen=True)
+class DNFFormula:
+    """A DNF formula: terms over ``num_variables`` variables (0-indexed)."""
+
+    num_variables: int
+    terms: tuple
+
+    def __post_init__(self):
+        for term in self.terms:
+            for index, value in term.literals:
+                if not 0 <= index < self.num_variables:
+                    raise InvalidRelationInputError(
+                        f"literal index {index} out of range for {self.num_variables} variables"
+                    )
+                if value not in (0, 1):
+                    raise InvalidRelationInputError(f"literal value {value!r} not boolean")
+
+    def evaluate(self, assignment: Sequence[int]) -> bool:
+        if len(assignment) != self.num_variables:
+            raise InvalidRelationInputError("assignment arity mismatch")
+        return any(term.satisfied_by(assignment) for term in self.terms)
+
+    def count_models_brute(self) -> int:
+        """Truth-table model count — 2^n, ground truth at test sizes."""
+        return sum(
+            1
+            for bits in itertools.product((0, 1), repeat=self.num_variables)
+            if self.evaluate(bits)
+        )
+
+    def count_models_inclusion_exclusion(self) -> int:
+        """Model count by inclusion–exclusion over terms (2^m worst case)."""
+        live_terms = [term for term in self.terms if term.satisfiable]
+        total = 0
+        for size in range(1, len(live_terms) + 1):
+            for subset in itertools.combinations(live_terms, size):
+                merged: dict[int, int] = {}
+                consistent = True
+                for term in subset:
+                    for index, value in term.literals:
+                        if merged.get(index, value) != value:
+                            consistent = False
+                            break
+                        merged[index] = value
+                    if not consistent:
+                        break
+                if consistent:
+                    contribution = 2 ** (self.num_variables - len(merged))
+                    total += contribution if size % 2 == 1 else -contribution
+        return total
+
+    def models_brute(self) -> list[tuple]:
+        """All satisfying assignments (exponential; tests only)."""
+        return [
+            bits
+            for bits in itertools.product((0, 1), repeat=self.num_variables)
+            if self.evaluate(bits)
+        ]
+
+
+def parse_dnf(text: str, num_variables: int | None = None) -> DNFFormula:
+    """Parse ``"x0 & !x2 | x1"``-style DNF syntax.
+
+    Terms are separated by ``|``, literals by ``&``; a literal is ``xK``
+    or ``!xK``.  Contradictory terms are kept but marked unsatisfiable
+    (they correspond to the transducer's rejecting branch).
+    """
+    terms: list[DNFTerm] = []
+    max_index = -1
+    for chunk in text.split("|"):
+        chunk = chunk.strip()
+        if not chunk:
+            raise InvalidRelationInputError("empty disjunct")
+        literals: dict[int, int] = {}
+        contradictory = False
+        for raw in chunk.split("&"):
+            raw = raw.strip()
+            negated = raw.startswith("!")
+            name = raw[1:] if negated else raw
+            if not name.startswith("x") or not name[1:].isdigit():
+                raise InvalidRelationInputError(f"bad literal {raw!r}")
+            index = int(name[1:])
+            max_index = max(max_index, index)
+            value = 0 if negated else 1
+            if literals.get(index, value) != value:
+                contradictory = True
+            literals[index] = value
+        term = DNFTerm(tuple(sorted(literals.items())), satisfiable=not contradictory)
+        terms.append(term)
+    n = num_variables if num_variables is not None else max_index + 1
+    return DNFFormula(num_variables=n, terms=tuple(terms))
+
+
+def random_dnf(
+    num_variables: int,
+    num_terms: int,
+    term_width: int,
+    rng: random.Random | int | None = None,
+) -> DNFFormula:
+    """A random DNF: each term fixes ``term_width`` random literals."""
+    generator = make_rng(rng)
+    if term_width > num_variables:
+        raise ValueError("term width exceeds the number of variables")
+    terms = []
+    for _ in range(num_terms):
+        variables = generator.sample(range(num_variables), term_width)
+        literals = {index: generator.randrange(2) for index in variables}
+        terms.append(DNFTerm.from_dict(literals))
+    return DNFFormula(num_variables=num_variables, terms=tuple(terms))

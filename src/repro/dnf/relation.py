@@ -1,0 +1,148 @@
+"""SAT-DNF as a relation: the Section 3 transducer and its compilation.
+
+The paper's worked NL-transducer: on input φ = D₁ ∨ … ∨ D_m, guess a
+disjunct D_i (two indexes into the input — logspace), reject if D_i is
+contradictory, then stream out a satisfying assignment left to right:
+forced bits where D_i mentions the variable, a nondeterministic bit
+otherwise.  Its configuration graph is tiny — (disjunct, variable
+position) pairs — and :func:`dnf_transducer` realizes it through the
+:class:`~repro.core.transducers.ConfigGraphTransducer` API so the
+Lemma 13 pipeline can be exercised end to end (experiment E9/E13).
+
+:func:`dnf_to_nfa` is the same automaton built directly (skipping the
+transducer plumbing): a union of per-term "forced-bits" chains.  One
+assignment satisfying several terms has several accepting runs — the
+ambiguity that puts SAT-DNF in RelationNL rather than RelationUL.
+"""
+
+from __future__ import annotations
+
+from repro.automata.nfa import NFA, Word
+from repro.core.relations import AutomatonBackedRelation, CompiledInstance
+from repro.core.transducers import ConfigGraphTransducer
+from repro.dnf.formulas import DNFFormula
+
+
+def dnf_to_nfa(formula: DNFFormula) -> NFA:
+    """The witness automaton: ``L_n(N_φ)`` = satisfying assignments of φ.
+
+    One chain of states per satisfiable term; at position j the chain
+    forces the term's literal bit or allows both.  States are (term
+    index, position); a shared final state ends all chains.
+    """
+    n = formula.num_variables
+    states: set = {("init",), ("final",)}
+    transitions: list[tuple] = []
+    for term_index, term in enumerate(formula.terms):
+        if not term.satisfiable:
+            continue  # the transducer halts non-accepting on this guess
+        forced = term.as_dict()
+        previous = ("init",)
+        for position in range(n):
+            target = ("final",) if position == n - 1 else (term_index, position + 1)
+            states.add(target)
+            allowed = (
+                (str(forced[position]),) if position in forced else ("0", "1")
+            )
+            for bit in allowed:
+                transitions.append((previous, bit, target))
+            previous = target
+    if n == 0:
+        # A zero-variable formula: ε is a witness iff some term is
+        # satisfiable (an empty satisfiable term is a tautology).
+        finals = [("init",)] if any(t.satisfiable and not t.literals for t in formula.terms) else []
+        return NFA(states, ("0", "1"), [], ("init",), finals)
+    return NFA(states, ("0", "1"), transitions, ("init",), [("final",)]).trim()
+
+
+def dnf_transducer() -> ConfigGraphTransducer:
+    """The Section 3 NL-transducer for SAT-DNF, as a configuration graph.
+
+    Configurations (logspace-describable, as the paper requires):
+
+    * ``("guess",)`` — initial: about to choose a disjunct;
+    * ``("emit", i, j)`` — committed to disjunct ``i``, about to output
+      the bit for variable ``j``;
+    * ``("accept", i)`` — all bits emitted.
+
+    Inputs are :class:`DNFFormula` objects (the paper's string encoding
+    of φ adds only parsing, which :func:`repro.dnf.parse_dnf` performs).
+    """
+
+    def initial(formula: DNFFormula):
+        return ("guess",)
+
+    def step(formula: DNFFormula, config):
+        kind = config[0]
+        n = formula.num_variables
+        if kind == "guess":
+            for index, term in enumerate(formula.terms):
+                # The machine checks satisfiability of the guessed
+                # disjunct in logspace and halts non-accepting if it is
+                # contradictory — modeled by simply not emitting the
+                # branch (a rejecting sink adds nothing to the output
+                # language).
+                if term.satisfiable:
+                    if n == 0:
+                        yield None, ("accept", index)
+                    else:
+                        yield None, ("emit", index, 0)
+            return
+        if kind == "emit":
+            _, index, position = config
+            term = formula.terms[index]
+            forced = term.as_dict()
+            nxt = ("accept", index) if position == n - 1 else ("emit", index, position + 1)
+            if position in forced:
+                yield str(forced[position]), nxt
+            else:
+                yield "0", nxt
+                yield "1", nxt
+            return
+        # accept: halting configuration, no successors.
+
+    def accepting(formula: DNFFormula, config) -> bool:
+        return config[0] == "accept"
+
+    def bound(formula: DNFFormula) -> int:
+        return 2 + len(formula.terms) * (formula.num_variables + 2)
+
+    return ConfigGraphTransducer(
+        initial=initial,
+        step=step,
+        accepting=accepting,
+        bound=bound,
+        name="SAT-DNF transducer (§3)",
+    )
+
+
+class SatDnfRelation(AutomatonBackedRelation):
+    """``SAT-DNF``: inputs are DNF formulas, witnesses their models.
+
+    Witness words are assignments as 0/1 tuples in variable order; decode
+    maps them to ``(v_0, …, v_{n-1})`` integer tuples.
+    """
+
+    name = "SAT-DNF"
+
+    def __init__(self, via_transducer: bool = False):
+        self.via_transducer = via_transducer
+        self._transducer = dnf_transducer() if via_transducer else None
+
+    def compile(self, instance: DNFFormula) -> CompiledInstance:
+        if self.via_transducer:
+            from repro.core.transducers import compile_to_nfa
+
+            nfa = compile_to_nfa(self._transducer, instance)
+        else:
+            nfa = dnf_to_nfa(instance)
+        return CompiledInstance(nfa=nfa, length=instance.num_variables)
+
+    def decode_witness(self, instance: DNFFormula, w: Word) -> tuple:
+        return tuple(int(bit) for bit in w)
+
+    def encode_witness(self, instance: DNFFormula, witness: tuple) -> Word:
+        return tuple(str(bit) for bit in witness)
+
+    def check(self, instance: DNFFormula, witness: tuple) -> bool:
+        return len(witness) == instance.num_variables and instance.evaluate(witness)

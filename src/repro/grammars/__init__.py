@@ -1,0 +1,18 @@
+"""Context-free extension: counting and sampling derivations of a CFG.
+
+The paper's history section leans on [GJK+97] — the quasi-polynomial
+scheme for *sampling words from a context-free language* that was, with
+KSM95, the previous best for this problem family.  This subpackage
+provides the exact substrate of that problem: Chomsky-normal-form
+grammars, the O(n³)-style dynamic program counting derivation trees per
+(nonterminal, length), exactly uniform *derivation* sampling, and — for
+unambiguous grammars, where derivations biject with words — exact uniform
+*word* sampling and counting, the context-free analogue of the paper's
+RelationUL story.  For ambiguous grammars the derivation/word gap is
+precisely the #NFA-style difficulty the paper's FPRAS resolves for the
+regular case; the module exposes the gap rather than hiding it.
+"""
+
+from repro.grammars.cfg import CNFGrammar, Rule, count_derivations, derivation_sampler
+
+__all__ = ["CNFGrammar", "Rule", "count_derivations", "derivation_sampler"]

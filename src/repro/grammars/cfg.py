@@ -1,0 +1,277 @@
+"""Chomsky-normal-form grammars: derivation counting and uniform sampling.
+
+A CNF grammar has rules ``A → B C`` (two nonterminals) and ``A → a`` (one
+terminal).  The derivation-tree count per (nonterminal, length) obeys the
+convolution recurrence
+
+    T(A, 1) = #{A → a},
+    T(A, ℓ) = Σ_{A → B C} Σ_{i=1}^{ℓ-1} T(B, i) · T(C, ℓ - i),
+
+computable exactly in O(|R|·n²) bignum steps.  Uniform derivation-tree
+sampling walks the same table top-down (choose a rule and a split point
+with probability proportional to its count) — the exact analogue of the
+paper's §5.3.3 sampler with the DAG replaced by the derivation DP.
+
+For *unambiguous* grammars each word has one derivation, so derivation
+counts/samples are word counts/samples — the context-free RelationUL
+case.  For ambiguous grammars, word counting from derivation counts
+over-counts, exactly as accepting-run counting over-counts for ambiguous
+NFAs (Section 6.1); :meth:`CNFGrammar.word_multiplicities` makes the gap
+measurable on small instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import EmptyWitnessSetError, InvalidRelationInputError
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A CNF rule: ``head → body`` with body a terminal or a pair."""
+
+    head: str
+    body: tuple  # ("a",) terminal rule, or ("B", "C") binary rule
+
+    def __post_init__(self):
+        if len(self.body) not in (1, 2):
+            raise InvalidRelationInputError(
+                f"CNF bodies have 1 terminal or 2 nonterminals, got {self.body!r}"
+            )
+
+    @property
+    def is_terminal(self) -> bool:
+        return len(self.body) == 1
+
+
+class CNFGrammar:
+    """An immutable CNF grammar.
+
+    Parameters
+    ----------
+    nonterminals / terminals:
+        Disjoint symbol sets (validated).
+    rules:
+        Iterable of :class:`Rule` (or (head, body) pairs).
+    start:
+        The start nonterminal.
+    """
+
+    def __init__(
+        self,
+        nonterminals: Iterable[str],
+        terminals: Iterable[str],
+        rules: Iterable,
+        start: str,
+    ):
+        self.nonterminals = frozenset(nonterminals)
+        self.terminals = frozenset(terminals)
+        self.start = start
+        normalized = []
+        for rule in rules:
+            if not isinstance(rule, Rule):
+                head, body = rule
+                rule = Rule(head, tuple(body))
+            normalized.append(rule)
+        self.rules = tuple(normalized)
+        self._validate()
+        self._by_head: dict[str, list[Rule]] = {}
+        for rule in self.rules:
+            self._by_head.setdefault(rule.head, []).append(rule)
+
+    def _validate(self) -> None:
+        if self.nonterminals & self.terminals:
+            raise InvalidRelationInputError("nonterminals and terminals must be disjoint")
+        if self.start not in self.nonterminals:
+            raise InvalidRelationInputError(f"start symbol {self.start!r} not a nonterminal")
+        for rule in self.rules:
+            if rule.head not in self.nonterminals:
+                raise InvalidRelationInputError(f"rule head {rule.head!r} not a nonterminal")
+            if rule.is_terminal:
+                if rule.body[0] not in self.terminals:
+                    raise InvalidRelationInputError(
+                        f"terminal rule body {rule.body[0]!r} not a terminal"
+                    )
+            else:
+                for part in rule.body:
+                    if part not in self.nonterminals:
+                        raise InvalidRelationInputError(
+                            f"binary rule body symbol {part!r} not a nonterminal"
+                        )
+
+    def rules_for(self, head: str) -> list[Rule]:
+        return self._by_head.get(head, [])
+
+    # ------------------------------------------------------------------
+    # Recognition and brute-force semantics (test oracles)
+    # ------------------------------------------------------------------
+
+    def recognizes(self, w: Sequence[str]) -> bool:
+        """CYK membership test, O(n³·|R|)."""
+        n = len(w)
+        if n == 0:
+            return False  # CNF has no ε-rules
+        table: dict[tuple, set] = {}
+        for i, symbol in enumerate(w):
+            table[(i, 1)] = {
+                rule.head for rule in self.rules if rule.is_terminal and rule.body[0] == symbol
+            }
+        for span in range(2, n + 1):
+            for i in range(n - span + 1):
+                cell: set = set()
+                for split in range(1, span):
+                    left = table.get((i, split), set())
+                    right = table.get((i + split, span - split), set())
+                    for rule in self.rules:
+                        if not rule.is_terminal and rule.body[0] in left and rule.body[1] in right:
+                            cell.add(rule.head)
+                table[(i, span)] = cell
+        return self.start in table.get((0, n), set())
+
+    def words_of_length(self, n: int, limit: int = 100_000) -> list[tuple]:
+        """All length-n words of the language (exponential; tests only)."""
+        memo: dict[tuple, set] = {}
+
+        def expand(head: str, length: int) -> set:
+            key = (head, length)
+            if key in memo:
+                return memo[key]
+            memo[key] = set()  # cycle guard: languages of shorter length only
+            out: set = set()
+            for rule in self.rules_for(head):
+                if rule.is_terminal:
+                    if length == 1:
+                        out.add((rule.body[0],))
+                else:
+                    for split in range(1, length):
+                        for left in expand(rule.body[0], split):
+                            for right in expand(rule.body[1], length - split):
+                                out.add(left + right)
+                                if len(out) > limit:
+                                    raise InvalidRelationInputError("word set too large")
+            memo[key] = out
+            return out
+
+        return sorted(expand(self.start, n)) if n > 0 else []
+
+    def word_multiplicities(self, n: int) -> dict[tuple, int]:
+        """word → number of derivation trees (ambiguity profile)."""
+        counts = count_derivations(self, n)
+        sampler = derivation_sampler(self, n, counts=counts)
+        # Exact route: recompute per word by constrained DP.
+        result: dict[tuple, int] = {}
+        for w in self.words_of_length(n):
+            result[w] = _count_derivations_of_word(self, w)
+        return result
+
+    def is_unambiguous_up_to(self, n: int) -> bool:
+        """Check derivations-per-word = 1 for all words of length ≤ n."""
+        for length in range(1, n + 1):
+            for w, multiplicity in self.word_multiplicities(length).items():
+                if multiplicity != 1:
+                    return False
+        return True
+
+
+def _count_derivations_of_word(grammar: CNFGrammar, w: Sequence[str]) -> int:
+    """Weighted CYK: number of derivation trees of this specific word."""
+    n = len(w)
+    table: dict[tuple, dict[str, int]] = {}
+    for i, symbol in enumerate(w):
+        cell: dict[str, int] = {}
+        for rule in grammar.rules:
+            if rule.is_terminal and rule.body[0] == symbol:
+                cell[rule.head] = cell.get(rule.head, 0) + 1
+        table[(i, 1)] = cell
+    for span in range(2, n + 1):
+        for i in range(n - span + 1):
+            cell = {}
+            for split in range(1, span):
+                left = table.get((i, split), {})
+                right = table.get((i + split, span - split), {})
+                for rule in grammar.rules:
+                    if rule.is_terminal:
+                        continue
+                    ways = left.get(rule.body[0], 0) * right.get(rule.body[1], 0)
+                    if ways:
+                        cell[rule.head] = cell.get(rule.head, 0) + ways
+            table[(i, span)] = cell
+    return table.get((0, n), {}).get(grammar.start, 0)
+
+
+def count_derivations(grammar: CNFGrammar, n: int) -> dict[tuple, int]:
+    """The table ``T(A, ℓ)`` for ℓ = 1..n — exact bignum counts.
+
+    ``T(A, ℓ)`` counts derivation *trees*; it equals the number of
+    length-ℓ words derivable from A iff the grammar is unambiguous.
+    """
+    table: dict[tuple, int] = {}
+    for head in grammar.nonterminals:
+        table[(head, 1)] = sum(1 for rule in grammar.rules_for(head) if rule.is_terminal)
+    for length in range(2, n + 1):
+        for head in grammar.nonterminals:
+            total = 0
+            for rule in grammar.rules_for(head):
+                if rule.is_terminal:
+                    continue
+                left_head, right_head = rule.body
+                for split in range(1, length):
+                    total += table[(left_head, split)] * table[(right_head, length - split)]
+            table[(head, length)] = total
+    return table
+
+
+class derivation_sampler:
+    """Exactly uniform sampler over derivation trees of length ``n``.
+
+    The top-down walk of the counting table: at (head, length), pick a
+    (rule, split) pair with probability proportional to its subtree
+    count, recurse.  Bignum cumulative sums + ``randrange`` — no floats,
+    exact uniformity over *derivations* (hence over words iff the grammar
+    is unambiguous; the class exposes which regime the caller is in only
+    through :meth:`CNFGrammar.is_unambiguous_up_to`, since deciding CFG
+    ambiguity in general is undecidable).
+    """
+
+    def __init__(self, grammar: CNFGrammar, n: int, counts: dict | None = None):
+        if n < 1:
+            raise ValueError("CNF languages contain no empty word; need n ≥ 1")
+        self.grammar = grammar
+        self.n = n
+        self.counts = counts if counts is not None else count_derivations(grammar, n)
+        self.total = self.counts[(grammar.start, n)]
+
+    def sample_word(self, rng: random.Random | int | None = None) -> tuple:
+        """The yield (terminal word) of one uniform derivation tree."""
+        return tuple(leaf for leaf in self._sample(self.grammar.start, self.n, make_rng(rng)))
+
+    def _sample(self, head: str, length: int, generator: random.Random) -> list:
+        total = self.counts[(head, length)]
+        if total == 0:
+            raise EmptyWitnessSetError(
+                f"no derivations of length {length} from {head!r}"
+            )
+        pick = generator.randrange(total)
+        accumulated = 0
+        for rule in self.grammar.rules_for(head):
+            if rule.is_terminal:
+                if length == 1:
+                    accumulated += 1
+                    if pick < accumulated:
+                        return [rule.body[0]]
+                continue
+            left_head, right_head = rule.body
+            for split in range(1, length):
+                weight = self.counts[(left_head, split)] * self.counts[(right_head, length - split)]
+                if not weight:
+                    continue
+                accumulated += weight
+                if pick < accumulated:
+                    return self._sample(left_head, split, generator) + self._sample(
+                        right_head, length - split, generator
+                    )
+        raise AssertionError("cumulative walk exhausted without a choice")

@@ -1,0 +1,11 @@
+"""Paper artifacts: the worked figures and the proof constants."""
+
+from repro.papers.figures import figure1_nfa, figure2_dag_description, figure2_expected_words
+from repro.papers.constants import PaperConstants
+
+__all__ = [
+    "figure1_nfa",
+    "figure2_dag_description",
+    "figure2_expected_words",
+    "PaperConstants",
+]

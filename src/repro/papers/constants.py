@@ -1,0 +1,41 @@
+"""The proof constants of Algorithm 5, in one inspectable place.
+
+The paper fixes every constant to make the union bounds in Section 6.5
+clean rather than tight.  Collecting them here serves two purposes:
+``FprasParameters.paper_faithful()`` derives its values from this table,
+and the ablation experiments (A1/A2) cite it when mapping the practical
+frontier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperConstants:
+    """Constants of Algorithm 5 / Theorem 22 (n = word length, m = states)."""
+
+    #: Sketch size exponent: k = ⌈(nm/δ)^64⌉ (Algorithm 5, step 2).
+    sample_size_exponent: int = 64
+    #: Per-sample retry budget: ⌈(nm/δ)^4⌉ (Algorithm 5, step 5(c)(ii)).
+    retry_exponent: int = 4
+    #: Rejection acceptance numerator: e⁻⁴ (the φ₀ = e⁻⁴/R(s) of §6.4).
+    rejection_constant: float = math.exp(-4)
+    #: Worst-case per-attempt acceptance bound: e⁻⁵ (Proposition 18).
+    acceptance_lower_bound: float = math.exp(-5)
+    #: Exhaustive-count threshold: n ≤ 12 (Algorithm 5, step 1).
+    exhaustive_length: int = 12
+    #: Per-layer sketch-accuracy tolerance: k^(-1/3) (Property 2).
+    sketch_tolerance_exponent: float = -1 / 3
+    #: Per-layer estimate drift: (1 ± k^(-1/4))^α (Property 1).
+    estimate_drift_exponent: float = -1 / 4
+
+    def sample_size(self, n: int, m: int, delta: float) -> int:
+        """The literal k = ⌈(nm/δ)^64⌉ — astronomically large for any real
+        instance; printed by the ablation report for perspective."""
+        return math.ceil((n * m / delta) ** self.sample_size_exponent)
+
+    def retry_budget(self, n: int, m: int, delta: float) -> int:
+        return math.ceil((n * m / delta) ** self.retry_exponent)

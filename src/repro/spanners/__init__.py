@@ -1,0 +1,46 @@
+"""Document spanners (Section 4.1): rule-based information extraction.
+
+The paper's first application: evaluating extended variable-set automata
+(eVA) over documents.  ``EVAL-eVA`` (functional eVAs) is in RelationNL —
+so counting mappings admits an FPRAS and sampling a uniform mapping a
+PLVUG (Corollary 6); ``EVAL-UeVA`` (unambiguous functional eVAs) is in
+RelationUL — constant-delay enumeration, exact counting, exact uniform
+generation (Corollary 7).
+"""
+
+from repro.spanners.spans import Mapping, Span
+from repro.spanners.eva import EVA, close_marker, open_marker
+from repro.spanners.evaluation import (
+    EvalEvaRelation,
+    EvalUevaRelation,
+    SpannerEvaluator,
+)
+from repro.spanners.combinators import (
+    alt,
+    anything,
+    build,
+    capture,
+    lit,
+    rep,
+    seq,
+    sym_class,
+)
+
+__all__ = [
+    "lit",
+    "sym_class",
+    "seq",
+    "alt",
+    "rep",
+    "capture",
+    "anything",
+    "build",
+    "Span",
+    "Mapping",
+    "EVA",
+    "open_marker",
+    "close_marker",
+    "SpannerEvaluator",
+    "EvalEvaRelation",
+    "EvalUevaRelation",
+]

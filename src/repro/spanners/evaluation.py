@@ -1,0 +1,228 @@
+"""Evaluating eVAs over documents via the RelationNL / RelationUL pipeline.
+
+The compilation behind Corollaries 6 and 7: for a functional eVA ``A``
+and a document ``d = a₁…aₙ``, build an NFA ``N_{A,d}`` over the alphabet
+of *marker sets* whose length-``(n+1)`` words are exactly the
+witness encodings of ``⟦A⟧(d)``:
+
+    word  =  (X₁, X₂, …, Xₙ₊₁)       (Xᵢ ⊆ markers, possibly ∅)
+
+— the letters are determined by the document, so a valid accepting run is
+determined by its marker-set sequence, and a marker-set sequence is
+exactly a mapping.  States of ``N_{A,d}`` are ``(eVA state, position)``
+pairs: the product of the automaton with the document, i.e. the Lemma 13
+configuration graph of the obvious NL-transducer that guesses the run
+(experiment E9 measures this construction).
+
+Functional eVAs give ambiguous NFAs in general (several runs per
+mapping): RelationNL ⇒ FPRAS + PLVUG (Corollary 6).  When additionally
+the eVA is *unambiguous* (one valid accepting run per mapping), the NFA
+is unambiguous and the RelationUL suite applies (Corollary 7).  The
+unambiguity check is performed on the compiled automaton — polynomial,
+per instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.automata.nfa import NFA, Word
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.classes import RelationNLSolver, RelationULSolver
+from repro.core.relations import AutomatonBackedRelation, CompiledInstance
+from repro.errors import InvalidRelationInputError
+from repro.spanners.eva import EVA
+from repro.spanners.spans import Mapping, Span
+
+#: The NFA symbol for "no markers at this position".
+EMPTY_SET: frozenset = frozenset()
+
+
+def compile_eva(eva: EVA, document: str) -> NFA:
+    """The product NFA ``N_{A,d}`` (see module docstring).
+
+    States ``(q, i)``: eVA state ``q`` about to process position ``i``
+    (``i = 0`` before the first marker set).  A symbol ``S`` (a frozenset
+    of markers) moves ``(q, i) → (q'', i+1)`` when ``q —S→ q' —aᵢ₊₁→ q''``
+    (with ``q' = q`` for ``S = ∅``); at the last position the letter step
+    is replaced by the acceptance test.  The resulting automaton is
+    trimmed, so its alphabet is exactly the marker sets that can occur.
+    """
+    eva.require_functional()
+    n = len(document)
+    marker_choices: set[frozenset] = {EMPTY_SET}
+    for transition in eva.variable:
+        marker_choices.add(transition.markers)
+
+    accept = ("accept",)
+    states: set = {accept}
+    transitions: list[tuple] = []
+    for i in range(n + 1):
+        for q in eva.states:
+            states.add((q, i))
+
+    def after_markers(q, symbol: frozenset) -> list:
+        if symbol == EMPTY_SET:
+            return [q]
+        return [
+            transition.target
+            for transition in eva.variable_successors(q)
+            if transition.markers == symbol
+        ]
+
+    for i in range(n + 1):
+        for q in eva.states:
+            for symbol in marker_choices:
+                for q_mid in after_markers(q, symbol):
+                    if i < n:
+                        for q_next in eva.letter_successors(q_mid, document[i]):
+                            transitions.append(((q, i), symbol, (q_next, i + 1)))
+                    else:
+                        if q_mid in eva.finals:
+                            transitions.append(((q, i), symbol, accept))
+
+    nfa = NFA(
+        states,
+        marker_choices,
+        transitions,
+        (eva.initial, 0),
+        [accept],
+    )
+    return nfa.trim()
+
+
+def decode_mapping(eva: EVA, w: Word) -> Mapping:
+    """Marker-set word → mapping (the µ^ρ of the paper)."""
+    opens: dict[str, int] = {}
+    closes: dict[str, int] = {}
+    for position, marker_set in enumerate(w, start=1):
+        for kind, variable in marker_set:
+            if kind == "open":
+                if variable in opens:
+                    raise InvalidRelationInputError(f"variable {variable} opened twice")
+                opens[variable] = position
+            else:
+                if variable in closes:
+                    raise InvalidRelationInputError(f"variable {variable} closed twice")
+                closes[variable] = position
+    if set(opens) != set(eva.variables) or set(closes) != set(eva.variables):
+        raise InvalidRelationInputError("word does not assign every variable")
+    return Mapping(
+        {variable: Span(opens[variable], closes[variable]) for variable in eva.variables}
+    )
+
+
+def encode_mapping(eva: EVA, document: str, mapping: Mapping) -> Word:
+    """Mapping → marker-set word of length ``len(document) + 1``."""
+    n = len(document)
+    sets: list[set] = [set() for _ in range(n + 1)]
+    for variable, span in mapping.items():
+        if span.end > n + 1:
+            raise InvalidRelationInputError(f"span {span!r} exceeds the document")
+        sets[span.start - 1].add(("open", variable))
+        sets[span.end - 1].add(("close", variable))
+    return tuple(frozenset(s) for s in sets)
+
+
+class EvalEvaRelation(AutomatonBackedRelation):
+    """``EVAL-eVA``: inputs are ``(functional eVA, document)`` pairs.
+
+    In RelationNL (Corollary 6): polynomial-delay enumeration, FPRAS
+    counting, PLVUG sampling — all inherited through :meth:`compile`.
+    """
+
+    name = "EVAL-eVA"
+
+    def compile(self, instance: tuple) -> CompiledInstance:
+        eva, document = instance
+        return CompiledInstance(nfa=compile_eva(eva, document), length=len(document) + 1)
+
+    def decode_witness(self, instance: tuple, w: Word) -> Mapping:
+        eva, _ = instance
+        return decode_mapping(eva, w)
+
+    def encode_witness(self, instance: tuple, witness: Mapping) -> Word:
+        eva, document = instance
+        return encode_mapping(eva, document, witness)
+
+
+class EvalUevaRelation(EvalEvaRelation):
+    """``EVAL-UeVA``: the unambiguous restriction (Corollary 7).
+
+    Compilation additionally verifies the compiled automaton is
+    unambiguous — the certificate that the RelationUL algorithms are
+    sound for this input.
+    """
+
+    name = "EVAL-UeVA"
+
+    def compile(self, instance: tuple) -> CompiledInstance:
+        compiled = super().compile(instance)
+        if not is_unambiguous(compiled.nfa):
+            raise InvalidRelationInputError(
+                "the eVA is ambiguous on this document: some mapping has more "
+                "than one valid accepting run; use EvalEvaRelation instead"
+            )
+        return compiled
+
+
+class SpannerEvaluator:
+    """The user-facing evaluator: count / enumerate / sample ``⟦A⟧(d)``.
+
+    Dispatches between the two corollaries the way the paper does: if the
+    compiled automaton is unambiguous the exact RelationUL algorithms run,
+    otherwise the FPRAS / PLVUG of RelationNL.
+    """
+
+    def __init__(
+        self,
+        eva: EVA,
+        document: str,
+        delta: float = 0.1,
+        rng: random.Random | int | None = None,
+    ):
+        self.eva = eva
+        self.document = document
+        self.nfa = compile_eva(eva, document)
+        self.length = len(document) + 1
+        self.unambiguous = is_unambiguous(self.nfa)
+        self.delta = delta
+        self._ul = (
+            RelationULSolver(self.nfa, self.length, check=False)
+            if self.unambiguous
+            else None
+        )
+        self._nl = (
+            None
+            if self.unambiguous
+            else RelationNLSolver(self.nfa, self.length, delta=delta, rng=rng)
+        )
+
+    def mappings(self) -> Iterator[Mapping]:
+        """Enumerate ⟦A⟧(d) — constant delay when unambiguous, else polynomial."""
+        solver = self._ul or self._nl
+        for w in solver.enumerate():
+            yield decode_mapping(self.eva, w)
+
+    def count(self) -> float:
+        """|⟦A⟧(d)| — exact when unambiguous, FPRAS estimate otherwise."""
+        if self._ul is not None:
+            return self._ul.count()
+        return self._nl.count_approx()
+
+    def count_exact(self) -> int:
+        """Exact |⟦A⟧(d)| regardless of ambiguity (may be exponential)."""
+        if self._ul is not None:
+            return self._ul.count()
+        return self._nl.count_exact()
+
+    def sample(self, rng: random.Random | int | None = None) -> Mapping | None:
+        """A uniform mapping (None when ⟦A⟧(d) is empty)."""
+        if self._ul is not None:
+            w = self._ul.sample_or_none(rng)
+        else:
+            w = self._nl.sample()
+        if w is None:
+            return None
+        return decode_mapping(self.eva, w)

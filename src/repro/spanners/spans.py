@@ -1,0 +1,80 @@
+"""Spans and mappings: the data objects of document spanners (§4.1).
+
+A document is a string ``d = a₁…aₙ``; a *span* ``[i, j⟩`` with
+``1 ≤ i ≤ j ≤ n+1`` denotes the (possibly empty) region whose content is
+``d[i-1 : j-1]`` in Python indexing.  A *mapping* assigns a span to each
+variable of a finite set X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping as TMapping
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A span ``[start, end⟩`` over a document, 1-indexed as in the paper."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if not 1 <= self.start <= self.end:
+            raise ValueError(f"invalid span [{self.start}, {self.end}⟩")
+
+    def content(self, document: str) -> str:
+        """The substring of ``document`` the span covers."""
+        if self.end > len(document) + 1:
+            raise ValueError(
+                f"span [{self.start}, {self.end}⟩ exceeds document length {len(document)}"
+            )
+        return document[self.start - 1 : self.end - 1]
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return f"[{self.start}, {self.end}⟩"
+
+
+class Mapping:
+    """An assignment of spans to variables (immutable, hashable)."""
+
+    __slots__ = ("_assignment", "_hash")
+
+    def __init__(self, assignment: TMapping[str, Span]):
+        self._assignment = dict(assignment)
+        self._hash = None
+
+    def __getitem__(self, variable: str) -> Span:
+        return self._assignment[variable]
+
+    def variables(self) -> frozenset:
+        return frozenset(self._assignment)
+
+    def items(self) -> Iterable[tuple[str, Span]]:
+        return self._assignment.items()
+
+    def contents(self, document: str) -> dict[str, str]:
+        """The extracted text per variable."""
+        return {
+            variable: span.content(document)
+            for variable, span in self._assignment.items()
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return self._assignment == other._assignment
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._assignment.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{variable}↦{span!r}" for variable, span in sorted(self._assignment.items())
+        )
+        return f"Mapping({inner})"

@@ -1,0 +1,26 @@
+"""Shared utilities: deterministic RNG plumbing, timing, statistics.
+
+These helpers keep the algorithmic modules free of incidental concerns.
+Every randomized algorithm in the library accepts an explicit
+``random.Random`` (or a seed) so that experiments are reproducible; see
+:func:`repro.utils.rng.make_rng`.
+"""
+
+from repro.utils.rng import make_rng
+from repro.utils.timing import DelayRecorder, time_call
+from repro.utils.stats import (
+    chi_square_uniformity,
+    empirical_distribution,
+    relative_error,
+    summarize_errors,
+)
+
+__all__ = [
+    "make_rng",
+    "DelayRecorder",
+    "time_call",
+    "chi_square_uniformity",
+    "empirical_distribution",
+    "relative_error",
+    "summarize_errors",
+]

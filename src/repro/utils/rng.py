@@ -1,0 +1,40 @@
+"""Deterministic random-number-generator plumbing.
+
+All randomized algorithms in this library (the FPRAS, the samplers, the
+workload generators) take randomness through an explicit
+``random.Random`` instance.  This module centralizes the "seed or
+generator or nothing" convention so call sites stay uniform.
+"""
+
+from __future__ import annotations
+
+import random
+
+RngLike = "random.Random | int | None"
+
+
+def make_rng(rng: random.Random | int | None = None) -> random.Random:
+    """Normalize ``rng`` into a ``random.Random`` instance.
+
+    * ``None`` — a fresh, OS-seeded generator (non-reproducible).
+    * an ``int`` — a generator seeded with that value (reproducible).
+    * a ``random.Random`` — returned unchanged, so callers can share a
+      single stream across several components.
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(f"expected Random, int or None, got {type(rng).__name__}")
+
+
+def spawn(rng: random.Random) -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    Used when a component needs its own stream that must not be perturbed
+    by how many draws sibling components make (keeps experiments stable
+    when one leg of a comparison changes its sampling behaviour).
+    """
+    return random.Random(rng.getrandbits(64))

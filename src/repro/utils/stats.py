@@ -1,0 +1,168 @@
+"""Statistics helpers for uniformity and accuracy experiments.
+
+Pure-Python (no scipy dependency at library runtime) implementations of
+the few statistical routines the samplers' validation needs: empirical
+distributions, a chi-square goodness-of-fit test against the uniform
+distribution, and relative-error summaries for FPRAS experiments.
+
+The chi-square p-value uses the regularized upper incomplete gamma
+function computed via a continued fraction / series split — standard
+numerical recipes, accurate to ~1e-10 over the ranges we use, and
+cross-validated against ``scipy.stats.chi2`` in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+
+def empirical_distribution(samples: Iterable[Hashable]) -> dict[Hashable, float]:
+    """Map each observed value to its empirical frequency."""
+    counts = Counter(samples)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {value: count / total for value, count in counts.items()}
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / truth, with the 0/0 case defined as 0."""
+    if truth == 0:
+        return 0.0 if estimate == 0 else math.inf
+    return abs(estimate - truth) / truth
+
+
+@dataclass
+class ErrorSummary:
+    """Aggregate of relative errors across repeated FPRAS runs."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+    within_delta_fraction: float
+    delta: float
+
+
+def summarize_errors(errors: Sequence[float], delta: float) -> ErrorSummary:
+    """Summarize a batch of relative errors against a target ``delta``.
+
+    ``within_delta_fraction`` is the quantity the FPRAS definition bounds:
+    it must be ≥ 3/4 for a correct scheme (Section 2.4).
+    """
+    if not errors:
+        raise ValueError("no errors to summarize")
+    ordered = sorted(errors)
+    n = len(ordered)
+    return ErrorSummary(
+        count=n,
+        mean=sum(ordered) / n,
+        median=ordered[n // 2],
+        p90=ordered[min(n - 1, math.ceil(0.9 * n) - 1)],
+        maximum=ordered[-1],
+        within_delta_fraction=sum(1 for e in ordered if e <= delta) / n,
+        delta=delta,
+    )
+
+
+def _gamma_series(a: float, x: float) -> float:
+    """Lower incomplete gamma P(a, x) by series expansion (x < a + 1)."""
+    term = 1.0 / a
+    total = term
+    denom = a
+    for _ in range(10_000):
+        denom += 1.0
+        term *= x / denom
+        total += term
+        if abs(term) < abs(total) * 1e-15:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _gamma_continued_fraction(a: float, x: float) -> float:
+    """Upper incomplete gamma Q(a, x) by continued fraction (x ≥ a + 1)."""
+    tiny = 1e-300
+    b = x + 1.0 - a
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 10_000):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def chi2_sf(statistic: float, dof: int) -> float:
+    """Survival function of the chi-square distribution (1 - CDF)."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if statistic <= 0:
+        return 1.0
+    a = dof / 2.0
+    x = statistic / 2.0
+    if x < a + 1.0:
+        return max(0.0, min(1.0, 1.0 - _gamma_series(a, x)))
+    return max(0.0, min(1.0, _gamma_continued_fraction(a, x)))
+
+
+@dataclass
+class ChiSquareResult:
+    statistic: float
+    dof: int
+    p_value: float
+
+    def rejects_uniformity(self, alpha: float = 0.001) -> bool:
+        """True if the sample is inconsistent with uniformity at level alpha.
+
+        We default to a small alpha because the test suite runs many
+        uniformity checks; individual checks must be conservative to keep
+        the suite's overall false-positive rate negligible.
+        """
+        return self.p_value < alpha
+
+
+def chi_square_uniformity(
+    samples: Sequence[Hashable],
+    support: Sequence[Hashable],
+) -> ChiSquareResult:
+    """Chi-square goodness-of-fit of ``samples`` against uniform on ``support``.
+
+    Every sample must lie in ``support`` (a sampler emitting a non-witness
+    is a correctness bug, not a statistics question — we raise).
+    """
+    support_list = list(support)
+    if not support_list:
+        raise ValueError("empty support")
+    if len(set(support_list)) != len(support_list):
+        raise ValueError("support contains duplicates")
+    counts = Counter(samples)
+    stray = set(counts) - set(support_list)
+    if stray:
+        raise ValueError(f"samples outside support: {sorted(map(repr, stray))[:5]}")
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    expected = n / len(support_list)
+    statistic = sum(
+        (counts.get(value, 0) - expected) ** 2 / expected for value in support_list
+    )
+    dof = len(support_list) - 1
+    if dof == 0:
+        # Single-point support: uniformity is trivially satisfied.
+        return ChiSquareResult(statistic=0.0, dof=1, p_value=1.0)
+    return ChiSquareResult(statistic=statistic, dof=dof, p_value=chi2_sf(statistic, dof))

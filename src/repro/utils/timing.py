@@ -1,0 +1,93 @@
+"""Timing instrumentation for the enumeration-delay experiments.
+
+The paper's central enumeration claims are about *delay*: the time between
+consecutive outputs (Section 2.3).  :class:`DelayRecorder` wraps any
+iterator and records a timestamp per item so experiments E1/E2 can report
+max/mean inter-output delay, normalized by output length for the paper's
+``c·|y|`` constant-delay criterion.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class DelayRecorder:
+    """Record per-item delays while draining an iterator.
+
+    Usage::
+
+        rec = DelayRecorder()
+        words = rec.drain(enumerate_words(nfa, n))
+        print(rec.max_delay, rec.mean_delay)
+
+    Delays are wall-clock seconds.  ``delays[0]`` is the time from calling
+    :meth:`drain` to the first output (the paper allows this to be the
+    whole preprocessing when the enumeration is two-phase; our enumerators
+    do preprocessing before returning the iterator, so ``delays[0]`` is a
+    true first-output delay).
+    """
+
+    delays: list[float] = field(default_factory=list)
+    items: list[object] = field(default_factory=list)
+    keep_items: bool = True
+
+    def drain(self, iterator: Iterable[T], limit: int | None = None) -> list[T]:
+        """Consume ``iterator`` (up to ``limit`` items), recording delays."""
+        out: list[T] = []
+        last = time.perf_counter()
+        for item in iterator:
+            now = time.perf_counter()
+            self.delays.append(now - last)
+            last = now
+            if self.keep_items:
+                self.items.append(item)
+            out.append(item)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    @property
+    def max_delay(self) -> float:
+        return max(self.delays) if self.delays else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return sum(self.delays) / len(self.delays) if self.delays else 0.0
+
+    def normalized_delays(self, lengths: Sequence[int]) -> list[float]:
+        """Delays divided by output length — the paper's ``c`` in ``c·|y|``.
+
+        ``lengths[i]`` must be the length of the i-th output.  Zero-length
+        outputs (the empty word) are normalized by 1.
+        """
+        if len(lengths) != len(self.delays):
+            raise ValueError("lengths and delays have different cardinality")
+        return [d / max(1, length) for d, length in zip(self.delays, lengths)]
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once; return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def iterate_with_budget(iterator: Iterator[T], seconds: float) -> list[T]:
+    """Drain ``iterator`` until a time budget elapses; return items seen.
+
+    Used by benchmarks that compare "how many answers does each method
+    deliver in a fixed time slice" — the practical payoff of small delay.
+    """
+    out: list[T] = []
+    deadline = time.perf_counter() + seconds
+    for item in iterator:
+        out.append(item)
+        if time.perf_counter() >= deadline:
+            break
+    return out

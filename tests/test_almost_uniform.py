@@ -1,0 +1,78 @@
+"""Tests for the rejection-free almost-uniform generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA
+from repro.automata.operations import words_of_length
+from repro.automata.random_gen import ambiguity_blowup, contains_pattern_nfa
+from repro.core.almost_uniform import AlmostUniformGenerator, total_variation_from_uniform
+from repro.core.fpras import FprasParameters
+from repro.core.plvug import LasVegasUniformGenerator
+from repro.errors import EmptyWitnessSetError
+
+FAST = FprasParameters(sample_size=48)
+
+
+class TestAlmostUniform:
+    def test_samples_are_witnesses(self, rng):
+        nfa = ambiguity_blowup(7)
+        n = 14
+        generator = AlmostUniformGenerator(nfa, n, delta=0.3, rng=rng, params=FAST)
+        stripped = nfa.without_epsilon()
+        for w in generator.sample_many(40):
+            assert stripped.accepts(w)
+            assert len(w) == n
+
+    def test_never_fails(self, rng):
+        """The whole point: no rejection branch, every call returns."""
+        nfa = contains_pattern_nfa("11")
+        generator = AlmostUniformGenerator(nfa, 10, delta=0.3, rng=rng, params=FAST)
+        assert len(generator.sample_many(100)) == 100
+
+    def test_empty_raises(self, rng):
+        generator = AlmostUniformGenerator(NFA.empty_language("01"), 4, rng=rng)
+        with pytest.raises(EmptyWitnessSetError):
+            generator.generate()
+
+    def test_exact_regime_is_uniform(self, even_zeros_dfa, rng):
+        generator = AlmostUniformGenerator(even_zeros_dfa, 4, rng=rng, params=FAST)
+        support = set(words_of_length(even_zeros_dfa, 4))
+        seen = set(generator.sample_many(200))
+        assert seen == support
+
+    def test_close_to_uniform_but_plvug_closer(self, rng):
+        """The documented trade: the PLVUG's rejection buys exactness.
+
+        On a small support we measure total-variation distance from
+        uniform for both; the PLVUG must not be (meaningfully) worse,
+        and the almost-uniform one must still be within a loose bound.
+        """
+        nfa = ambiguity_blowup(6)
+        n = 12
+        support = words_of_length(nfa, n)
+        draws = len(support) * 40
+
+        almost = AlmostUniformGenerator(nfa, n, delta=0.3, rng=1, params=FAST)
+        almost_tv = total_variation_from_uniform(almost.sample_many(draws), support)
+
+        plvug = LasVegasUniformGenerator(nfa, n, delta=0.3, rng=1, params=FAST)
+        plvug_tv = total_variation_from_uniform(plvug.sample_many(draws), support)
+
+        assert almost_tv < 0.25          # close to uniform
+        assert plvug_tv <= almost_tv + 0.05  # rejection never hurts
+
+
+class TestTotalVariationHelper:
+    def test_zero_for_perfect(self):
+        support = ["a", "b"]
+        assert total_variation_from_uniform(["a", "b"] * 50, support) == 0.0
+
+    def test_max_for_degenerate(self):
+        support = ["a", "b"]
+        assert total_variation_from_uniform(["a"] * 100, support) == pytest.approx(0.5)
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(ValueError):
+            total_variation_from_uniform([], [])

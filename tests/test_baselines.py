@@ -1,0 +1,120 @@
+"""Tests for the baselines: brute force, Monte Carlo, KSM-style, Karp–Luby."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA
+from repro.automata.random_gen import ambiguity_blowup, random_nfa
+from repro.baselines.kannan import kannan_style_count, ksm_sample_schedule
+from repro.baselines.karp_luby import karp_luby_count
+from repro.baselines.montecarlo import naive_montecarlo_count, uniform_run_sampler
+from repro.baselines.naive import brute_force_count, brute_force_words
+from repro.core.exact import count_accepting_runs_of_length, count_words_exact
+from repro.dnf.formulas import parse_dnf, random_dnf
+from repro.errors import EmptyWitnessSetError
+
+
+class TestBruteForce:
+    def test_counts(self, endswith_one_nfa):
+        for n in range(6):
+            assert brute_force_count(endswith_one_nfa, n) == 2**n - 1
+
+    def test_words_are_accepted(self, even_zeros_dfa):
+        for w in brute_force_words(even_zeros_dfa, 4):
+            assert even_zeros_dfa.accepts(w)
+
+
+class TestRunSampler:
+    def test_samples_accepted_words(self, endswith_one_nfa, rng):
+        sampler = uniform_run_sampler(endswith_one_nfa, 6)
+        for _ in range(30):
+            assert endswith_one_nfa.accepts(sampler(rng))
+
+    def test_total_runs(self, endswith_one_nfa):
+        sampler = uniform_run_sampler(endswith_one_nfa, 6)
+        assert sampler.total_runs == count_accepting_runs_of_length(
+            endswith_one_nfa, 6
+        )
+
+    def test_empty_raises(self, rng):
+        sampler = uniform_run_sampler(NFA.empty_language("01"), 3)
+        with pytest.raises(EmptyWitnessSetError):
+            sampler(rng)
+
+    def test_bias_toward_multiplicity(self, rng):
+        """The documented flaw: words with more runs are over-sampled."""
+        nfa = ambiguity_blowup(4)
+        n = 8
+        sampler = uniform_run_sampler(nfa, n)
+        all_a = tuple("0" * n)
+        hits = sum(1 for _ in range(600) if sampler(rng) == all_a)
+        # all-a has 2^4 = 16 of 3^4 = 81 runs ≈ 19.8%; uniform over the
+        # 16 words would be 6.25%.  Check we see the biased rate.
+        assert hits / 600 > 0.12
+
+
+class TestMonteCarlo:
+    def test_unbiased_on_easy_instance(self, endswith_one_nfa, rng):
+        result = naive_montecarlo_count(endswith_one_nfa, 8, samples=600, rng=rng)
+        exact = 2**8 - 1
+        assert abs(result.estimate - exact) <= 0.3 * exact
+
+    def test_empty_language(self, rng):
+        result = naive_montecarlo_count(NFA.empty_language("01"), 4, samples=10, rng=rng)
+        assert result.estimate == 0.0
+
+    def test_variance_grows_with_ambiguity(self, rng):
+        """E5's shape in miniature: relative std grows with gadget depth."""
+        shallow = naive_montecarlo_count(ambiguity_blowup(2), 4, samples=400, rng=rng)
+        deep = naive_montecarlo_count(ambiguity_blowup(6), 12, samples=400, rng=rng)
+        assert deep.empirical_relative_std > shallow.empirical_relative_std
+
+    def test_diagnostics(self, endswith_one_nfa, rng):
+        result = naive_montecarlo_count(endswith_one_nfa, 5, samples=50, rng=rng)
+        assert result.samples == 50
+        assert len(result.ratios) == 50
+        assert result.total_paths == count_accepting_runs_of_length(endswith_one_nfa, 5)
+
+
+class TestKannanStyle:
+    def test_schedule_superpolynomial(self):
+        small = ksm_sample_schedule(4, 0.2)
+        large = ksm_sample_schedule(64, 0.2)
+        assert large > small
+        # Super-polynomial shape: doubling n more than doubles the exponent's
+        # effect; at the default intensity 64 → n^3 while 4 → n^1.
+        assert large / small > (64 / 4) ** 2
+
+    def test_schedule_cap(self):
+        assert ksm_sample_schedule(1000, 0.01, cap=5000) == 5000
+
+    def test_estimates_reasonably(self, rng):
+        nfa = random_nfa(6, density=1.6, rng=3, ensure_nonempty_length=8)
+        exact = count_words_exact(nfa, 8)
+        result = kannan_style_count(nfa, 8, delta=0.3, rng=rng, cap=3000)
+        assert abs(result.estimate - exact) <= 0.6 * exact
+
+
+class TestKarpLuby:
+    def test_exact_on_single_term(self, rng):
+        phi = parse_dnf("x0 & x1", num_variables=4)
+        estimate = karp_luby_count(phi, rng=rng)
+        assert estimate == pytest.approx(4, rel=0.3)
+
+    def test_random_formulas(self, rng):
+        for seed in range(3):
+            phi = random_dnf(8, 4, 3, rng=seed)
+            exact = phi.count_models_brute()
+            estimate = karp_luby_count(phi, delta=0.15, rng=rng)
+            assert abs(estimate - exact) <= 0.25 * exact
+
+    def test_unsatisfiable(self, rng):
+        phi = parse_dnf("x0 & !x0")
+        assert karp_luby_count(phi, rng=rng) == 0.0
+
+    def test_explicit_sample_budget(self, rng):
+        phi = random_dnf(6, 3, 2, rng=1)
+        estimate = karp_luby_count(phi, rng=rng, samples=2000)
+        exact = phi.count_models_brute()
+        assert abs(estimate - exact) <= 0.3 * exact

@@ -1,0 +1,117 @@
+"""Tests for Bryant's apply algebra on OBDDs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.apply import apply, bdd_and, bdd_or, bdd_xor, negate, restrict
+from repro.bdd.builders import conj, disj, neg, obdd_from_formula, var
+from repro.errors import InvalidAutomatonError
+
+ORDER = ["a", "b", "c"]
+
+
+def build(formula):
+    return obdd_from_formula(formula, ORDER)
+
+
+def assignments():
+    for mask in range(8):
+        yield {variable: (mask >> index) & 1 for index, variable in enumerate(ORDER)}
+
+
+class TestApply:
+    def test_and_semantics(self):
+        left = build(disj(var("a"), var("b")))
+        right = build(disj(var("b"), var("c")))
+        combined = bdd_and(left, right)
+        for sigma in assignments():
+            assert combined.evaluate(sigma) == (
+                left.evaluate(sigma) and right.evaluate(sigma)
+            )
+
+    def test_or_semantics(self):
+        left = build(conj(var("a"), var("b")))
+        right = build(var("c"))
+        combined = bdd_or(left, right)
+        for sigma in assignments():
+            assert combined.evaluate(sigma) == (
+                left.evaluate(sigma) or right.evaluate(sigma)
+            )
+
+    def test_xor_semantics(self):
+        left = build(var("a"))
+        right = build(var("c"))
+        combined = bdd_xor(left, right)
+        for sigma in assignments():
+            assert combined.evaluate(sigma) == (left.evaluate(sigma) ^ right.evaluate(sigma))
+
+    def test_contradiction_collapses_to_terminal(self):
+        diagram = bdd_and(build(var("a")), build(neg(var("a"))))
+        assert not diagram.nodes  # reduced to the ⊥ terminal
+        for sigma in assignments():
+            assert diagram.evaluate(sigma) == 0
+
+    def test_tautology_collapses(self):
+        diagram = bdd_or(build(var("a")), build(neg(var("a"))))
+        assert not diagram.nodes
+        for sigma in assignments():
+            assert diagram.evaluate(sigma) == 1
+
+    def test_order_mismatch_rejected(self):
+        other = obdd_from_formula(var("a"), ["a", "z"])
+        with pytest.raises(InvalidAutomatonError):
+            bdd_and(build(var("a")), other)
+
+    def test_result_is_reduced(self):
+        # (a ∧ c) ∨ (a ∧ c) should not duplicate nodes.
+        one = build(conj(var("a"), var("c")))
+        combined = bdd_or(one, one)
+        assert len(combined.nodes) <= len(one.nodes)
+
+
+class TestNegateRestrict:
+    def test_negate(self):
+        diagram = build(disj(var("a"), conj(var("b"), var("c"))))
+        flipped = negate(diagram)
+        for sigma in assignments():
+            assert flipped.evaluate(sigma) == 1 - diagram.evaluate(sigma)
+
+    def test_double_negation(self):
+        diagram = build(var("b"))
+        for sigma in assignments():
+            assert negate(negate(diagram)).evaluate(sigma) == diagram.evaluate(sigma)
+
+    def test_restrict(self):
+        diagram = build(disj(conj(var("a"), var("b")), var("c")))
+        fixed = restrict(diagram, "a", 1)
+        for sigma in assignments():
+            forced = dict(sigma)
+            forced["a"] = 1
+            assert fixed.evaluate(sigma) == diagram.evaluate(forced)
+
+    def test_restrict_unknown_variable(self):
+        with pytest.raises(InvalidAutomatonError):
+            restrict(build(var("a")), "zz", 0)
+
+    def test_shannon_expansion_identity(self):
+        """D = (x ∧ D|_{x=1}) ∨ (¬x ∧ D|_{x=0})."""
+        diagram = build(disj(conj(var("a"), var("b")), conj(var("b"), var("c"))))
+        x = build(var("b"))
+        rebuilt = bdd_or(
+            bdd_and(x, restrict(diagram, "b", 1)),
+            bdd_and(negate(x), restrict(diagram, "b", 0)),
+        )
+        for sigma in assignments():
+            assert rebuilt.evaluate(sigma) == diagram.evaluate(sigma)
+
+
+class TestApplyFeedsCounting:
+    def test_counting_after_apply(self):
+        from repro.bdd.obdd import EvalObddRelation
+        from repro.core.exact import count_words_exact
+
+        combined = bdd_or(build(conj(var("a"), var("b"))), build(var("c")))
+        compiled = EvalObddRelation().compile(combined)
+        brute = sum(combined.evaluate(sigma) for sigma in assignments())
+        assert count_words_exact(compiled.nfa, compiled.length) == brute

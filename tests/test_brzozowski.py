@@ -1,0 +1,110 @@
+"""Tests for Brzozowski derivatives: the third regex semantics."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.brzozowski import (
+    brzozowski_dfa,
+    derivative,
+    matches,
+    nullable,
+)
+from repro.automata.dfa import languages_equal
+from repro.automata.regex import Empty, compile_regex, match_brute_force, parse
+from repro.automata.unambiguous import is_unambiguous
+
+ALPHABET = frozenset("ab")
+
+
+class TestNullable:
+    @pytest.mark.parametrize(
+        "pattern,expected",
+        [("a*", True), ("a", False), ("a?", True), ("a|", True), ("ab", False),
+         ("(ab)*", True), ("a+", False), ("a{0,2}", True), ("a{1,2}", False)],
+    )
+    def test_cases(self, pattern, expected):
+        assert nullable(parse(pattern)) == expected
+
+
+class TestDerivative:
+    def test_literal(self):
+        assert nullable(derivative(parse("a"), "a", ALPHABET))
+        assert isinstance(derivative(parse("a"), "b", ALPHABET), Empty)
+
+    def test_concat_with_nullable_head(self):
+        # ∂_b(a*b) must include ε (via the nullable a* head).
+        node = derivative(parse("a*b"), "b", ALPHABET)
+        assert nullable(node)
+
+    def test_star_unfolds(self):
+        node = derivative(parse("(ab)*"), "a", ALPHABET)
+        assert matches(node, tuple("b"), ALPHABET)
+        assert matches(node, tuple("bab"), ALPHABET)
+
+    @pytest.mark.parametrize(
+        "pattern", ["a", "ab|ba", "(a|b)*abb", "a*b*", "(a|ab)(b|ba)", "a{1,3}b?"]
+    )
+    def test_matching_agrees_with_brute_force(self, pattern):
+        ast = parse(pattern)
+        for n in range(5):
+            for w in itertools.product("ab", repeat=n):
+                assert matches(ast, w, ALPHABET) == match_brute_force(ast, w, ALPHABET), (
+                    pattern,
+                    w,
+                )
+
+
+@st.composite
+def patterns(draw, depth: int = 3):
+    if depth == 0:
+        return draw(st.sampled_from(["a", "b", "[ab]"]))
+    left = draw(patterns(depth=depth - 1))
+    right = draw(patterns(depth=depth - 1))
+    shape = draw(st.sampled_from(["cat", "alt", "star", "opt"]))
+    if shape == "cat":
+        return f"{left}{right}"
+    if shape == "alt":
+        return f"({left}|{right})"
+    if shape == "star":
+        return f"({left})*"
+    return f"({left})?"
+
+
+class TestThreeWayAgreement:
+    @given(patterns(), st.lists(st.sampled_from("ab"), max_size=5).map(tuple))
+    @settings(max_examples=80, deadline=None)
+    def test_derivatives_vs_glushkov(self, pattern, w):
+        ast = parse(pattern)
+        nfa = compile_regex(pattern, alphabet="ab")
+        assert matches(ast, w, ALPHABET) == nfa.accepts(w)
+
+
+class TestBrzozowskiDfa:
+    @pytest.mark.parametrize("pattern", ["(a|b)*abb", "a*b*", "(ab|ba)+", "a{2,4}"])
+    def test_language_equals_glushkov(self, pattern):
+        dfa_nfa = brzozowski_dfa(parse(pattern), "ab")
+        glushkov_nfa = compile_regex(pattern, alphabet="ab")
+        assert languages_equal(dfa_nfa, glushkov_nfa)
+
+    def test_result_is_deterministic_and_unambiguous(self):
+        automaton = brzozowski_dfa(parse("(a|b)*a(a|b)"), "ab")
+        assert automaton.is_deterministic()
+        assert is_unambiguous(automaton)
+
+    def test_small_state_count(self):
+        # (a|b)*abb has a 4-state minimal DFA; derivatives get close.
+        automaton = brzozowski_dfa(parse("(a|b)*abb"), "ab")
+        assert automaton.num_states <= 8
+
+    def test_exact_counting_route(self):
+        """Derivative DFA feeds the RelationUL exact counter."""
+        from repro.core.exact import count_accepting_runs_of_length
+
+        automaton = brzozowski_dfa(parse("(a|b)*a(a|b)*"), "ab")
+        # Words containing an 'a': 2^n - 1.
+        for n in range(1, 7):
+            assert count_accepting_runs_of_length(automaton, n) == 2**n - 1

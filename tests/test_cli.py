@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.serialization import nfa_to_json
+from repro.cli import main
+
+
+def run_cli(capsys, *argv) -> tuple[int, str, str]:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestCount:
+    def test_exact_unambiguous(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "count", "--regex", "(ab|ba)*", "--alphabet", "ab", "-n", "6"
+        )
+        assert code == 0
+        assert out.strip() == "8"
+
+    def test_exact_ambiguous(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "count", "--regex", "(a|b)*a(a|b)*", "--alphabet", "ab", "-n", "5"
+        )
+        assert code == 0
+        assert out.strip() == "31"
+
+    def test_approx(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "count", "--regex", "(a|b)*a(a|b)*", "--alphabet", "ab",
+            "-n", "5", "--approx", "--delta", "0.3", "--seed", "1",
+        )
+        assert code == 0
+        assert abs(float(out.strip()) - 31) <= 0.35 * 31
+
+    def test_nfa_json_input(self, capsys, tmp_path, even_zeros_dfa):
+        path = tmp_path / "machine.json"
+        path.write_text(nfa_to_json(even_zeros_dfa))
+        code, out, _ = run_cli(capsys, "count", "--nfa-json", str(path), "-n", "5")
+        assert code == 0
+        assert out.strip() == "16"
+
+    def test_missing_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["count", "-n", "3"])
+
+
+class TestSampleEnumInspect:
+    def test_sample(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sample", "--regex", "(ab|ba)*", "--alphabet", "ab",
+            "-n", "6", "--count", "3", "--seed", "5",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 6 for line in lines)
+
+    def test_enum_with_limit(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "enum", "--regex", "(a|b)*", "--alphabet", "ab", "-n", "3",
+            "--limit", "4",
+        )
+        assert code == 0
+        assert len(out.strip().splitlines()) == 4
+
+    def test_inspect(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "inspect", "--regex", "(ab|ba)*", "--alphabet", "ab",
+            "--spectrum", "4",
+        )
+        assert code == 0
+        assert "unambiguous   : True" in out
+        assert "RelationUL" in out
+        assert "|L_4  |       : 4" in out.replace("  |", "  |")  # spectrum rows present
+
+    def test_inspect_ambiguous_class(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "inspect", "--regex", "(a|b)*a(a|b)*", "--alphabet", "ab"
+        )
+        assert code == 0
+        assert "RelationNL" in out
+
+
+class TestDot:
+    def test_automaton_dot(self, capsys):
+        code, out, _ = run_cli(capsys, "dot", "--regex", "ab", "--alphabet", "ab")
+        assert code == 0
+        assert out.startswith("digraph")
+
+    def test_unrolled_dot(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "dot", "--regex", "(ab)*", "--alphabet", "ab", "--unroll", "4"
+        )
+        assert code == 0
+        assert "rank=same" in out
+
+
+class TestErrors:
+    def test_bad_regex_reports_error(self, capsys):
+        code, _, err = run_cli(capsys, "count", "--regex", "(", "-n", "3")
+        assert code == 1
+        assert "error:" in err

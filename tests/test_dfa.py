@@ -1,0 +1,135 @@
+"""Unit tests for repro.automata.dfa: determinization, minimization, equality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.dfa import DFA, determinize, languages_equal, minimize
+from repro.automata.nfa import EPSILON, NFA, word
+from repro.automata.random_gen import random_nfa
+from repro.errors import InvalidAutomatonError
+
+
+class TestDFA:
+    def test_partial_dfa_rejects_on_missing(self):
+        dfa = DFA(["a", "b"], ["0"], {("a", "0"): "b"}, "a", ["b"])
+        assert dfa.accepts(word("0"))
+        assert not dfa.accepts(word("00"))
+
+    def test_completed_adds_sink(self):
+        dfa = DFA(["a"], ["0", "1"], {}, "a", ["a"])
+        total = dfa.completed()
+        assert total.num_states == 2
+        assert total.accepts(())
+        assert not total.accepts(word("01"))
+
+    def test_completed_noop_when_total(self):
+        dfa = DFA(["a"], ["0"], {("a", "0"): "a"}, "a", ["a"])
+        assert dfa.completed() is dfa
+
+    def test_complement(self):
+        dfa = DFA(["a", "b"], ["0"], {("a", "0"): "b", ("b", "0"): "a"}, "a", ["a"])
+        comp = dfa.complement()
+        for length in range(5):
+            w = word("0" * length)
+            assert dfa.accepts(w) != comp.accepts(w)
+
+    def test_rejects_epsilon(self):
+        with pytest.raises(InvalidAutomatonError):
+            DFA(["a"], ["0", EPSILON], {("a", EPSILON): "a"}, "a", [])
+
+    def test_to_nfa_roundtrip(self):
+        dfa = DFA(["a", "b"], ["0"], {("a", "0"): "b"}, "a", ["b"])
+        nfa = dfa.to_nfa()
+        assert nfa.accepts(word("0"))
+        assert not nfa.accepts(word("00"))
+
+    def test_validation_unknown_target(self):
+        with pytest.raises(InvalidAutomatonError):
+            DFA(["a"], ["0"], {("a", "0"): "ghost"}, "a", [])
+
+
+class TestDeterminize:
+    def test_language_preserved(self, endswith_one_nfa):
+        dfa = determinize(endswith_one_nfa)
+        for w in ["", "0", "1", "010", "000", "111"]:
+            assert dfa.accepts(word(w)) == endswith_one_nfa.accepts(word(w))
+
+    def test_result_is_deterministic(self, endswith_one_nfa):
+        dfa = determinize(endswith_one_nfa)
+        assert dfa.to_nfa().is_deterministic()
+
+    def test_epsilon_handled(self):
+        nfa = NFA(
+            ["s", "m", "f"],
+            ["a"],
+            [("s", EPSILON, "m"), ("m", "a", "f")],
+            "s",
+            ["f"],
+        )
+        dfa = determinize(nfa)
+        assert dfa.accepts(word("a"))
+        assert not dfa.accepts(())
+
+    def test_random_agreement(self, rng):
+        for _ in range(10):
+            nfa = random_nfa(5, density=1.5, rng=rng)
+            dfa = determinize(nfa)
+            for _ in range(20):
+                w = tuple(rng.choice("01") for _ in range(rng.randrange(6)))
+                assert dfa.accepts(w) == nfa.accepts(w)
+
+
+class TestMinimize:
+    def test_minimal_size_even_zeros(self, even_zeros_dfa):
+        minimal = minimize(determinize(even_zeros_dfa))
+        # The language needs exactly 2 states (complete DFA).
+        assert minimal.num_states == 2
+
+    def test_redundant_states_merged(self):
+        # Two states with identical behaviour must merge.
+        dfa = DFA(
+            ["a", "b1", "b2"],
+            ["0"],
+            {("a", "0"): "b1", ("b1", "0"): "b2", ("b2", "0"): "b1"},
+            "a",
+            ["b1", "b2"],
+        )
+        minimal = minimize(dfa)
+        # L = 0+ ; minimal complete DFA: start, accept-loop... compute:
+        for length in range(1, 6):
+            assert minimal.accepts(word("0" * length))
+        assert not minimal.accepts(())
+        assert minimal.num_states == 2
+
+    def test_minimize_preserves_language_random(self, rng):
+        for _ in range(8):
+            nfa = random_nfa(4, density=1.5, rng=rng)
+            dfa = determinize(nfa)
+            minimal = minimize(dfa)
+            for _ in range(30):
+                w = tuple(rng.choice("01") for _ in range(rng.randrange(7)))
+                assert minimal.accepts(w) == nfa.accepts(w)
+
+    def test_idempotent_size(self, endswith_one_nfa):
+        m1 = minimize(determinize(endswith_one_nfa))
+        m2 = minimize(m1)
+        assert m1.num_states == m2.num_states
+
+
+class TestLanguagesEqual:
+    def test_same_language_different_shape(self, endswith_one_nfa):
+        dfa_nfa = determinize(endswith_one_nfa).to_nfa()
+        assert languages_equal(endswith_one_nfa, dfa_nfa)
+
+    def test_different_languages(self, endswith_one_nfa, even_zeros_dfa):
+        assert not languages_equal(endswith_one_nfa, even_zeros_dfa)
+
+    def test_empty_vs_nonempty(self):
+        assert not languages_equal(
+            NFA.empty_language("01"), NFA.only_empty_word("01")
+        )
+
+    def test_reflexive_on_random(self, rng):
+        nfa = random_nfa(6, rng=rng)
+        assert languages_equal(nfa, nfa)

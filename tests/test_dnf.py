@@ -1,0 +1,109 @@
+"""Tests for DNF formulas and the SAT-DNF relation (Section 3 example)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.operations import words_of_length
+from repro.core.exact import count_words_exact
+from repro.core.transducers import compile_to_nfa, outputs_brute_force
+from repro.dnf.formulas import DNFFormula, DNFTerm, parse_dnf, random_dnf
+from repro.dnf.relation import SatDnfRelation, dnf_to_nfa, dnf_transducer
+from repro.errors import InvalidRelationInputError
+
+
+class TestFormulas:
+    def test_parse_basic(self):
+        phi = parse_dnf("x0 & !x1 | x2")
+        assert phi.num_variables == 3
+        assert len(phi.terms) == 2
+        assert phi.evaluate((1, 0, 0))
+        assert phi.evaluate((0, 0, 1))
+        assert not phi.evaluate((0, 0, 0))
+
+    def test_parse_contradiction_marked(self):
+        phi = parse_dnf("x0 & !x0")
+        assert not phi.terms[0].satisfiable
+        assert phi.count_models_brute() == 0
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(InvalidRelationInputError):
+            parse_dnf("y0")
+        with pytest.raises(InvalidRelationInputError):
+            parse_dnf("x0 | | x1")
+
+    def test_term_model_count(self):
+        term = DNFTerm.from_dict({0: 1, 2: 0})
+        assert term.count_models(5) == 2**3
+
+    def test_counting_methods_agree(self):
+        for seed in range(5):
+            phi = random_dnf(7, 4, 3, rng=seed)
+            assert phi.count_models_brute() == phi.count_models_inclusion_exclusion()
+
+    def test_evaluate_arity_checked(self):
+        phi = parse_dnf("x0")
+        with pytest.raises(InvalidRelationInputError):
+            phi.evaluate((1, 0))
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(InvalidRelationInputError):
+            DNFFormula(num_variables=1, terms=(DNFTerm.from_dict({3: 1}),))
+
+
+class TestDnfToNfa:
+    def test_language_is_model_set(self):
+        phi = parse_dnf("x0 & !x1 | x2", num_variables=3)
+        nfa = dnf_to_nfa(phi)
+        models = {tuple(str(b) for b in m) for m in phi.models_brute()}
+        assert set(words_of_length(nfa, 3)) == models
+
+    def test_counts_on_random(self):
+        for seed in range(5):
+            phi = random_dnf(7, 3, 2, rng=seed)
+            assert count_words_exact(dnf_to_nfa(phi), 7) == phi.count_models_brute()
+
+    def test_contradictory_term_contributes_nothing(self):
+        phi = parse_dnf("x0 & !x0 | x1", num_variables=2)
+        assert count_words_exact(dnf_to_nfa(phi), 2) == 2
+
+    def test_tautology_zero_vars(self):
+        phi = DNFFormula(num_variables=0, terms=(DNFTerm((), satisfiable=True),))
+        nfa = dnf_to_nfa(phi)
+        assert nfa.accepts(())
+
+    def test_empty_formula(self):
+        phi = DNFFormula(num_variables=3, terms=())
+        assert count_words_exact(dnf_to_nfa(phi), 3) == 0
+
+
+class TestDnfTransducer:
+    def test_agrees_with_direct_compilation(self):
+        for seed in range(4):
+            phi = random_dnf(6, 3, 2, rng=seed)
+            via_transducer = compile_to_nfa(dnf_transducer(), phi)
+            direct = dnf_to_nfa(phi)
+            assert set(words_of_length(via_transducer, 6)) == set(
+                words_of_length(direct, 6)
+            )
+
+    def test_agrees_with_run_tree_oracle(self):
+        phi = random_dnf(5, 2, 2, rng=7)
+        outputs = outputs_brute_force(dnf_transducer(), phi)
+        models = {tuple(str(b) for b in m) for m in phi.models_brute()}
+        assert outputs == models
+
+
+class TestSatDnfRelation:
+    def test_check_and_decode(self):
+        phi = parse_dnf("x0 & x1 | !x2", num_variables=3)
+        relation = SatDnfRelation()
+        for witness in relation.witnesses(phi):
+            assert relation.check(phi, witness)
+            assert phi.evaluate(witness)
+
+    def test_transducer_route_matches(self):
+        phi = random_dnf(6, 3, 2, rng=3)
+        direct = SatDnfRelation().witness_count_exact(phi)
+        via = SatDnfRelation(via_transducer=True).witness_count_exact(phi)
+        assert direct == via == phi.count_models_brute()

@@ -1,0 +1,115 @@
+"""Unit tests for the binary-alphabet encoding (repro.automata.encoding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.encoding import (
+    BinaryEncodedNFA,
+    code_width,
+    decode_word,
+    encode_word,
+    symbol_codes,
+)
+from repro.automata.nfa import NFA, word
+from repro.automata.random_gen import random_nfa
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.exact import count_words_exact
+from repro.errors import InvalidAutomatonError
+
+
+class TestCodes:
+    def test_width(self):
+        assert code_width(1) == 1
+        assert code_width(2) == 1
+        assert code_width(3) == 2
+        assert code_width(4) == 2
+        assert code_width(5) == 3
+
+    def test_codes_distinct_fixed_width(self):
+        codes = symbol_codes("abcde")
+        widths = {len(code) for code in codes.values()}
+        assert widths == {3}
+        assert len(set(codes.values())) == 5
+
+    def test_roundtrip(self):
+        codes = symbol_codes("abc")
+        w = word("cabba")
+        assert decode_word(encode_word(w, codes), codes) == w
+
+    def test_decode_rejects_bad_length(self):
+        codes = symbol_codes("abc")
+        with pytest.raises(InvalidAutomatonError):
+            decode_word(("0",), codes)
+
+    def test_decode_rejects_unused_codeword(self):
+        codes = symbol_codes("abc")  # width 2; '11' unused
+        with pytest.raises(InvalidAutomatonError):
+            decode_word(("1", "1"), codes)
+
+    def test_encode_unknown_symbol(self):
+        codes = symbol_codes("ab")
+        with pytest.raises(InvalidAutomatonError):
+            encode_word(word("x"), codes)
+
+
+class TestBinaryEncodedNFA:
+    def test_counts_transfer(self):
+        original = NFA(
+            ["s", "f"],
+            ["a", "b", "c"],
+            [("s", "a", "f"), ("s", "b", "f"), ("f", "c", "s")],
+            "s",
+            ["f"],
+        )
+        encoded = BinaryEncodedNFA(original)
+        for n in range(4):
+            assert count_words_exact(original, n) == count_words_exact(
+                encoded.nfa, encoded.encoded_length(n)
+            )
+
+    def test_membership_transfers(self):
+        original = NFA(
+            ["s", "f"],
+            ["a", "b", "c"],
+            [("s", "a", "f"), ("f", "b", "f")],
+            "s",
+            ["f"],
+        )
+        encoded = BinaryEncodedNFA(original)
+        w = word("abb")
+        assert original.accepts(w)
+        assert encoded.nfa.accepts(encoded.encode(w))
+
+    def test_non_codeword_lengths_rejected(self):
+        original = NFA(["s", "f"], ["a", "b", "c"], [("s", "a", "f")], "s", ["f"])
+        encoded = BinaryEncodedNFA(original)
+        # width 2: no word of odd length may be accepted.
+        assert count_words_exact(encoded.nfa, 1) == 0
+
+    def test_binary_alphabet_passthrough_counts(self):
+        original = NFA(
+            ["s"], ["0", "1"], [("s", "0", "s"), ("s", "1", "s")], "s", ["s"]
+        )
+        encoded = BinaryEncodedNFA(original)
+        assert encoded.width == 1
+        for n in range(4):
+            assert count_words_exact(original, n) == count_words_exact(encoded.nfa, n)
+
+    def test_unambiguity_preserved(self, rng):
+        """Each original run maps to exactly one encoded run, so UFA→UFA."""
+        from repro.automata.random_gen import random_ufa
+
+        for _ in range(5):
+            ufa = random_ufa(5, alphabet="abc", rng=rng)
+            encoded = BinaryEncodedNFA(ufa)
+            assert is_unambiguous(encoded.nfa)
+
+    def test_random_count_transfer(self, rng):
+        for _ in range(5):
+            nfa = random_nfa(5, alphabet="abc", density=1.2, rng=rng)
+            encoded = BinaryEncodedNFA(nfa)
+            for n in range(4):
+                assert count_words_exact(nfa, n) == count_words_exact(
+                    encoded.nfa, encoded.encoded_length(n)
+                )

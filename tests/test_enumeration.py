@@ -1,0 +1,109 @@
+"""Unit tests for the enumerators (Algorithm 1 and the flashlight search)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA, word
+from repro.automata.operations import words_of_length
+from repro.automata.random_gen import ambiguity_blowup, random_nfa, random_ufa
+from repro.core.enumeration import (
+    enumerate_words,
+    enumerate_words_nfa,
+    enumerate_words_ufa,
+)
+from repro.errors import AmbiguityError
+from repro.papers.figures import figure1_nfa
+
+
+class TestConstantDelayUfa:
+    def test_complete_and_duplicate_free(self, even_zeros_dfa):
+        for n in range(6):
+            out = list(enumerate_words_ufa(even_zeros_dfa, n))
+            assert len(out) == len(set(out))
+            assert sorted(out) == words_of_length(even_zeros_dfa, n)
+
+    def test_raises_on_ambiguous(self, endswith_one_nfa):
+        with pytest.raises(AmbiguityError):
+            list(enumerate_words_ufa(endswith_one_nfa, 3))
+
+    def test_check_false_skips_verification(self, even_zeros_dfa):
+        out = list(enumerate_words_ufa(even_zeros_dfa, 3, check=False))
+        assert len(out) == 4
+
+    def test_empty_language(self):
+        assert list(enumerate_words_ufa(NFA.empty_language("01"), 3)) == []
+
+    def test_zero_length_accepting(self, even_zeros_dfa):
+        assert list(enumerate_words_ufa(even_zeros_dfa, 0)) == [()]
+
+    def test_zero_length_rejecting(self):
+        nfa = NFA.single_word(word("a"))
+        assert list(enumerate_words_ufa(nfa.without_epsilon(), 0)) == []
+
+    def test_paper_worked_example_order(self):
+        """Section 5.3.1: the first outputs are aaa then aab."""
+        out = list(enumerate_words_ufa(figure1_nfa(), 3))
+        assert out[0] == word("aaa")
+        assert out[1] == word("aab")
+        assert len(out) == 6
+
+    def test_random_ufas(self, rng):
+        for _ in range(8):
+            ufa = random_ufa(6, rng=rng)
+            for n in (0, 3, 5):
+                out = list(enumerate_words_ufa(ufa, n))
+                assert len(out) == len(set(out))
+                assert sorted(out) == words_of_length(ufa, n)
+
+    def test_lazy_first_answers(self, even_zeros_dfa):
+        """The generator yields without draining the whole language."""
+        iterator = enumerate_words_ufa(even_zeros_dfa, 40)
+        first = next(iterator)
+        assert len(first) == 40
+
+
+class TestPolyDelayNfa:
+    def test_complete_and_duplicate_free(self, endswith_one_nfa):
+        for n in range(6):
+            out = list(enumerate_words_nfa(endswith_one_nfa, n))
+            assert len(out) == len(set(out))
+            assert sorted(out) == words_of_length(endswith_one_nfa, n)
+
+    def test_ambiguity_never_duplicates(self):
+        nfa = ambiguity_blowup(3)
+        out = list(enumerate_words_nfa(nfa, 6))
+        assert len(out) == len(set(out)) == 8
+
+    def test_random_nfas(self, rng):
+        for _ in range(8):
+            nfa = random_nfa(6, density=1.8, rng=rng)
+            for n in (0, 3, 5):
+                out = list(enumerate_words_nfa(nfa, n))
+                assert len(out) == len(set(out))
+                assert sorted(out) == words_of_length(nfa, n)
+
+    def test_empty(self):
+        assert list(enumerate_words_nfa(NFA.empty_language("01"), 2)) == []
+
+    def test_lexicographic_order(self, endswith_one_nfa):
+        out = list(enumerate_words_nfa(endswith_one_nfa, 4))
+        assert out == sorted(out)
+
+
+class TestDispatch:
+    def test_uses_constant_delay_for_ufa(self, even_zeros_dfa):
+        out = list(enumerate_words(even_zeros_dfa, 4))
+        assert sorted(out) == words_of_length(even_zeros_dfa, 4)
+
+    def test_uses_poly_delay_for_nfa(self, endswith_one_nfa):
+        out = list(enumerate_words(endswith_one_nfa, 4))
+        assert sorted(out) == words_of_length(endswith_one_nfa, 4)
+
+    def test_agreement_between_enumerators_on_ufa(self, rng):
+        """On unambiguous inputs both enumerators list the same set."""
+        for _ in range(5):
+            ufa = random_ufa(5, rng=rng)
+            a = sorted(enumerate_words_ufa(ufa, 4))
+            b = sorted(enumerate_words_nfa(ufa, 4))
+            assert a == b

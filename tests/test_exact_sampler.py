@@ -1,0 +1,123 @@
+"""Unit + statistical tests for the §5.3.3 exact uniform sampler."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.automata.nfa import NFA, word
+from repro.automata.operations import words_of_length
+from repro.automata.random_gen import random_ufa
+from repro.core.exact_sampler import (
+    ExactUniformSampler,
+    sample_word_ufa,
+    sample_word_ufa_or_none,
+    sample_word_ufa_via_psi,
+)
+from repro.errors import AmbiguityError, EmptyWitnessSetError
+from repro.utils.stats import chi_square_uniformity
+
+
+class TestSamplerBasics:
+    def test_samples_are_witnesses(self, even_zeros_dfa, rng):
+        sampler = ExactUniformSampler(even_zeros_dfa, 6)
+        support = set(words_of_length(even_zeros_dfa, 6))
+        for _ in range(50):
+            assert sampler.sample(rng) in support
+
+    def test_count_byproduct(self, even_zeros_dfa):
+        sampler = ExactUniformSampler(even_zeros_dfa, 6)
+        assert sampler.count == 2**5
+
+    def test_empty_raises(self):
+        sampler = ExactUniformSampler(NFA.empty_language("01"), 4)
+        with pytest.raises(EmptyWitnessSetError):
+            sampler.sample()
+
+    def test_or_none_on_empty(self, rng):
+        assert sample_word_ufa_or_none(NFA.empty_language("01"), 4, rng=rng) is None
+
+    def test_ambiguous_rejected(self, endswith_one_nfa):
+        with pytest.raises(AmbiguityError):
+            ExactUniformSampler(endswith_one_nfa, 4)
+
+    def test_single_witness(self, rng):
+        nfa = NFA.single_word(word("abc")).without_epsilon()
+        assert sample_word_ufa(nfa, 3, rng=rng) == word("abc")
+
+    def test_zero_length(self, even_zeros_dfa, rng):
+        assert sample_word_ufa(even_zeros_dfa, 0, rng=rng) == ()
+
+    def test_deterministic_given_seed(self, even_zeros_dfa):
+        a = ExactUniformSampler(even_zeros_dfa, 8).sample_many(10, rng=99)
+        b = ExactUniformSampler(even_zeros_dfa, 8).sample_many(10, rng=99)
+        assert a == b
+
+
+class TestUniformity:
+    def test_chi_square_even_zeros(self, even_zeros_dfa, rng):
+        n = 5
+        support = words_of_length(even_zeros_dfa, n)
+        sampler = ExactUniformSampler(even_zeros_dfa, n)
+        samples = sampler.sample_many(len(support) * 100, rng=rng)
+        result = chi_square_uniformity(samples, support)
+        assert not result.rejects_uniformity()
+
+    def test_chi_square_random_ufa(self, rng):
+        ufa = random_ufa(6, rng=7, ensure_nonempty_length=6)
+        support = words_of_length(ufa, 6)
+        if len(support) < 2:
+            pytest.skip("degenerate support for this seed")
+        sampler = ExactUniformSampler(ufa, 6, check=False)
+        samples = sampler.sample_many(len(support) * 100, rng=rng)
+        result = chi_square_uniformity(samples, support)
+        assert not result.rejects_uniformity()
+
+    def test_every_witness_eventually_sampled(self, even_zeros_dfa, rng):
+        n = 4
+        support = set(words_of_length(even_zeros_dfa, n))
+        sampler = ExactUniformSampler(even_zeros_dfa, n)
+        seen = set(sampler.sample_many(len(support) * 50, rng=rng))
+        assert seen == support
+
+
+class TestPsiReferenceSampler:
+    def test_samples_are_witnesses(self, even_zeros_dfa, rng):
+        support = set(words_of_length(even_zeros_dfa, 4))
+        for _ in range(10):
+            assert sample_word_ufa_via_psi(even_zeros_dfa, 4, rng=rng) in support
+
+    def test_empty_raises(self, rng):
+        with pytest.raises(EmptyWitnessSetError):
+            sample_word_ufa_via_psi(NFA.empty_language("01"), 3, rng=rng)
+
+    def test_agrees_in_distribution_with_fast_sampler(self, even_zeros_dfa, rng):
+        """Both samplers are exactly uniform, so their empirical
+        distributions must both pass against the same support."""
+        n = 4
+        support = words_of_length(even_zeros_dfa, n)
+        psi_samples = [
+            sample_word_ufa_via_psi(even_zeros_dfa, n, rng=rng, check=False)
+            for _ in range(len(support) * 60)
+        ]
+        result = chi_square_uniformity(psi_samples, support)
+        assert not result.rejects_uniformity()
+
+    def test_distributions_match_pairwise(self, rng):
+        """Empirical frequencies of both samplers stay within noise."""
+        ufa = random_ufa(5, rng=3, ensure_nonempty_length=4)
+        n = 4
+        support = words_of_length(ufa, n)
+        if not 2 <= len(support) <= 12:
+            pytest.skip("want a small nontrivial support for this seed")
+        fast = ExactUniformSampler(ufa, n, check=False)
+        draws = len(support) * 80
+        fast_counts = Counter(fast.sample_many(draws, rng=rng))
+        psi_counts = Counter(
+            sample_word_ufa_via_psi(ufa, n, rng=rng, check=False) for _ in range(draws)
+        )
+        for w in support:
+            f = fast_counts.get(w, 0) / draws
+            p = psi_counts.get(w, 0) / draws
+            assert abs(f - p) < 0.12

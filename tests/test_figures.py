@@ -1,0 +1,60 @@
+"""Experiments F1/F2: the paper's Figures 1 and 2, programmatically."""
+
+from __future__ import annotations
+
+from repro.automata.nfa import word
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.enumeration import enumerate_words_ufa
+from repro.core.exact import count_words_ufa
+from repro.core.unroll import lemma15_graph, unroll
+from repro.papers.figures import (
+    figure1_nfa,
+    figure2_dag_description,
+    figure2_expected_words,
+)
+
+
+class TestFigure1:
+    def test_seven_states(self):
+        assert figure1_nfa().num_states == 7
+
+    def test_unambiguous(self):
+        assert is_unambiguous(figure1_nfa())
+
+    def test_unique_final(self):
+        assert figure1_nfa().finals == frozenset({"qF"})
+
+    def test_language_at_k3(self):
+        nfa = figure1_nfa()
+        expected = figure2_expected_words()
+        assert len(expected) == 6
+        for w in expected:
+            assert nfa.accepts(w)
+
+    def test_count(self):
+        assert count_words_ufa(figure1_nfa(), 3) == 6
+
+
+class TestFigure2:
+    def test_pruned_layers(self):
+        dag, start, finals = lemma15_graph(figure1_nfa(), 3)
+        for t, states in figure2_dag_description().items():
+            assert dag.layer(t) == frozenset(states)
+
+    def test_q5_only_removed_by_pruning(self):
+        # The unpruned unrolling keeps nothing of q5 either (unreachable),
+        # matching the text: "we have omitted many nodes from it".
+        dag = unroll(figure1_nfa().without_epsilon(), 3)
+        assert all("q5" not in dag.layer(t) for t in range(4))
+
+    def test_worked_enumeration(self):
+        """Section 5.3.1's narrative: aaa first, then aab, six words total."""
+        out = list(enumerate_words_ufa(figure1_nfa(), 3))
+        assert out[0] == word("aaa")
+        assert out[1] == word("aab")
+        assert sorted(out) == figure2_expected_words()
+
+    def test_vertex_count_matches_figure(self):
+        dag, _, _ = lemma15_graph(figure1_nfa(), 3)
+        # Figure 2 draws 6 vertices: (q0,0),(q1,1),(q2,1),(q3,2),(q4,2),(qF,3).
+        assert dag.vertex_count() == 6

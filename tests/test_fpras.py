@@ -1,0 +1,160 @@
+"""Unit + statistical tests for the #NFA FPRAS (Algorithm 5, Theorem 22)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA
+from repro.automata.random_gen import (
+    ambiguity_blowup,
+    contains_pattern_nfa,
+    random_nfa,
+)
+from repro.core.exact import count_words_exact
+from repro.core.fpras import FprasParameters, FprasState, approx_count_nfa
+from repro.papers.constants import PaperConstants
+
+FAST = FprasParameters(sample_size=48)
+
+
+class TestParameters:
+    def test_default_k_scales(self):
+        params = FprasParameters()
+        assert params.resolve_k(10, 10, 0.5) >= params.min_sample_size
+        assert params.resolve_k(100, 100, 0.01) == params.max_sample_size
+
+    def test_explicit_k_wins(self):
+        assert FprasParameters(sample_size=7).resolve_k(100, 100, 0.1) == 7
+
+    def test_paper_faithful_matches_constants(self):
+        paper = FprasParameters.paper_faithful()
+        constants = PaperConstants()
+        n, m, delta = 3, 2, 0.5
+        assert paper.resolve_k(n, m, delta) == constants.sample_size(n, m, delta)
+
+    def test_paper_k_is_astronomical(self):
+        # (nm/δ)^64 for a toy instance exceeds the number of atoms in the
+        # observable universe — the documented reason 'practical' exists.
+        assert PaperConstants().sample_size(4, 4, 0.1) > 10**80
+
+    def test_retry_budget_default(self):
+        assert FprasParameters().resolve_retries() >= 64
+
+    def test_delta_validation(self, even_zeros_dfa):
+        with pytest.raises(ValueError):
+            FprasState(even_zeros_dfa, 3, delta=0.0)
+        with pytest.raises(ValueError):
+            FprasState(even_zeros_dfa, 3, delta=1.5)
+
+    def test_negative_length(self, even_zeros_dfa):
+        with pytest.raises(ValueError):
+            FprasState(even_zeros_dfa, -1)
+
+
+class TestExhaustiveRegime:
+    def test_small_n_is_exact(self, endswith_one_nfa):
+        state = FprasState(endswith_one_nfa, 5, delta=0.3, rng=0, params=FAST)
+        assert state.diagnostics.used_exhaustive
+        assert state.is_exact()
+        assert state.count_estimate == 2**5 - 1
+
+    def test_empty_language(self):
+        state = FprasState(NFA.empty_language("01"), 5, delta=0.3, rng=0, params=FAST)
+        assert state.count_estimate == 0.0
+
+    def test_zero_length(self, even_zeros_dfa):
+        state = FprasState(even_zeros_dfa, 0, delta=0.3, rng=0, params=FAST)
+        assert state.count_estimate == 1.0
+
+
+class TestExactlyHandledRegime:
+    def test_thin_language_exact_via_sketches(self):
+        # A single-word language at any length: every vertex has |U| = 1,
+        # so the whole computation stays exactly handled.
+        nfa = NFA.single_word(tuple("01" * 8), alphabet="01").without_epsilon()
+        state = FprasState(nfa, 16, delta=0.3, rng=0, params=FAST)
+        assert state.count_estimate == 1.0
+        assert state.is_exact()
+        assert state.diagnostics.sketched == 0
+
+
+class TestApproximation:
+    @pytest.mark.parametrize("depth", [7, 8])
+    def test_blowup_family(self, depth):
+        nfa = ambiguity_blowup(depth)
+        n = 2 * depth
+        exact = count_words_exact(nfa, n)
+        estimate = approx_count_nfa(nfa, n, delta=0.3, rng=11, params=FAST)
+        assert abs(estimate - exact) <= 0.35 * exact
+
+    def test_pattern_family(self):
+        nfa = contains_pattern_nfa("101")
+        exact = count_words_exact(nfa, 13)
+        estimate = approx_count_nfa(nfa, 13, delta=0.3, rng=5, params=FAST)
+        assert abs(estimate - exact) <= 0.35 * exact
+
+    def test_success_probability(self):
+        """The FPRAS contract: ≥ 3/4 of runs land within δ.
+
+        We run a seed battery on one instance and require at least the
+        contract fraction (with slack for the finite battery).
+        """
+        nfa = ambiguity_blowup(6)
+        n = 12
+        exact = count_words_exact(nfa, n)
+        delta = 0.3
+        hits = 0
+        runs = 12
+        for seed in range(runs):
+            estimate = approx_count_nfa(nfa, n, delta=delta, rng=seed, params=FAST)
+            if abs(estimate - exact) <= delta * exact:
+                hits += 1
+        assert hits / runs >= 0.75
+
+    def test_deterministic_given_seed(self):
+        nfa = contains_pattern_nfa("11")
+        a = approx_count_nfa(nfa, 12, delta=0.3, rng=42, params=FAST)
+        b = approx_count_nfa(nfa, 12, delta=0.3, rng=42, params=FAST)
+        assert a == b
+
+    def test_random_nfas_reasonable(self, rng):
+        for seed in (1, 2):
+            nfa = random_nfa(8, density=1.8, rng=seed, ensure_nonempty_length=10)
+            exact = count_words_exact(nfa, 10)
+            estimate = approx_count_nfa(nfa, 10, delta=0.3, rng=rng, params=FAST)
+            assert abs(estimate - exact) <= 0.5 * exact  # generous: small k
+
+
+class TestSampling:
+    def test_witnesses_only(self):
+        nfa = ambiguity_blowup(7)
+        n = 14
+        state = FprasState(nfa, n, delta=0.3, rng=3, params=FAST)
+        stripped = nfa.without_epsilon()
+        drawn = 0
+        for _ in range(400):
+            w = state.sample_witness()
+            if w is not None:
+                assert stripped.accepts(w)
+                drawn += 1
+        assert drawn > 0
+
+    def test_exact_regime_sampling(self, endswith_one_nfa, rng):
+        state = FprasState(endswith_one_nfa, 4, delta=0.3, rng=rng, params=FAST)
+        support = set()
+        for _ in range(100):
+            w = state.sample_witness(rng)
+            assert w is not None  # exact regime never rejects
+            support.add(w)
+        assert support <= {w for w in support if endswith_one_nfa.accepts(w)}
+
+
+class TestDiagnostics:
+    def test_counters_populated(self):
+        nfa = ambiguity_blowup(7)
+        state = FprasState(nfa, 14, delta=0.3, rng=0, params=FAST)
+        d = state.diagnostics
+        assert d.k == 48
+        assert d.sketched > 0
+        assert d.sample_draws >= d.sketched * d.k
+        assert d.layers == 14

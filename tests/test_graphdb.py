@@ -1,0 +1,135 @@
+"""Tests for graph databases and RPQ evaluation (Corollary 8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InvalidAutomatonError, InvalidRelationInputError
+from repro.graphdb.graph import GraphDatabase, grid_graph, random_graph, social_graph
+from repro.graphdb.rpq import RPQ, EvalRpqRelation, Path, RpqEvaluator, compile_rpq
+
+
+class TestGraphDatabase:
+    def test_basic_structure(self):
+        g = GraphDatabase(["u", "v"], [("u", "a", "v")])
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.labels == frozenset({"a"})
+        assert g.successors("u", "a") == ["v"]
+        assert g.has_edge("u", "a", "v")
+
+    def test_rejects_dangling_edge(self):
+        with pytest.raises(InvalidAutomatonError):
+            GraphDatabase(["u"], [("u", "a", "ghost")])
+
+    def test_reachability(self):
+        g = GraphDatabase(
+            ["a", "b", "c", "island"],
+            [("a", "x", "b"), ("b", "x", "c")],
+        )
+        assert g.reachable_from("a") == frozenset({"a", "b", "c"})
+
+    def test_generators_deterministic(self):
+        assert random_graph(6, rng=3).edges == random_graph(6, rng=3).edges
+        assert social_graph(5, rng=3).edges == social_graph(5, rng=3).edges
+
+
+class TestRpqOnGrid:
+    def test_binomial_path_counts(self):
+        """Corner-to-corner monotone paths in a grid: C(n, k)."""
+        g = grid_graph(4, 4)
+        evaluator = RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (3, 3), 6)
+        assert evaluator.count_exact() == math.comb(6, 3)
+
+    def test_label_constrained(self):
+        g = grid_graph(3, 3)
+        # Exactly r r d d in any order conforming to r*d*: one path.
+        evaluator = RpqEvaluator(g, RPQ("r*d*"), (0, 0), (2, 2), 4)
+        assert evaluator.count_exact() == 1
+
+    def test_wrong_length_empty(self):
+        g = grid_graph(3, 3)
+        evaluator = RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (2, 2), 3)
+        assert evaluator.count_exact() == 0
+        assert evaluator.sample(0) is None
+
+    def test_paths_are_real_and_conform(self):
+        g = grid_graph(4, 4)
+        evaluator = RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (3, 3), 6)
+        paths = list(evaluator.paths())
+        assert len(paths) == 20
+        for path in paths:
+            assert path.is_path_of(g)
+            assert path.length == 6
+            assert path.target == (3, 3)
+
+    def test_sampling_uniform_support(self):
+        g = grid_graph(3, 3)
+        evaluator = RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (2, 2), 4)
+        universe = {tuple(p.steps) for p in evaluator.paths()}
+        seen = set()
+        for seed in range(40):
+            p = evaluator.sample(seed)
+            assert tuple(p.steps) in universe
+            seen.add(tuple(p.steps))
+        assert len(seen) == len(universe)  # C(4,2)=6 paths, 40 draws
+
+
+class TestRpqAmbiguity:
+    def test_deterministic_query_unambiguous(self):
+        g = grid_graph(3, 3)
+        evaluator = RpqEvaluator(
+            g, RPQ("(r|d)*"), (0, 0), (2, 2), 4, deterministic_query=True
+        )
+        assert evaluator.unambiguous
+
+    def test_ambiguous_query_falls_back(self):
+        # (a|aa)* is inherently ambiguous; over a single self-loop the
+        # product inherits it.
+        g = GraphDatabase(["v"], [("v", "a", "v")])
+        evaluator = RpqEvaluator(g, RPQ("(a|aa)*"), "v", "v", 6, rng=0)
+        assert not evaluator.unambiguous
+        # Exactly one path of length 6 exists (the self-loop walk).
+        assert evaluator.count_exact() == 1
+
+    def test_counts_agree_between_routes(self):
+        g = random_graph(6, rng=5, density=1.5)
+        vertices = sorted(g.vertices)
+        u, v = vertices[0], vertices[-1]
+        det = RpqEvaluator(g, RPQ("(a|b)*a"), u, v, 5, deterministic_query=True)
+        amb = RpqEvaluator(g, RPQ("(a|b)*a"), u, v, 5)
+        assert det.count_exact() == amb.count_exact()
+
+
+class TestRpqRelation:
+    def test_relation_interface(self):
+        g = grid_graph(3, 3)
+        relation = EvalRpqRelation()
+        instance = (RPQ("(r|d)*"), 4, g, (0, 0), (2, 2))
+        witnesses = list(relation.witnesses(instance))
+        assert len(witnesses) == 6
+        for path in witnesses:
+            assert isinstance(path, Path)
+            assert relation.check(instance, path)
+
+    def test_rejects_foreign_endpoints(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(InvalidRelationInputError):
+            compile_rpq(g, RPQ("r*"), (0, 0), (9, 9))
+
+
+class TestSocialWorkload:
+    def test_friend_of_friend(self):
+        g = social_graph(12, rng=1)
+        person = sorted(g.vertices)[0]
+        target = sorted(g.vertices)[1]
+        evaluator = RpqEvaluator(g, RPQ("kk"), person, target, 2)
+        # Count must equal the direct knows-of-knows 2-hop count.
+        direct = sum(
+            1
+            for mid in g.successors(person, "k")
+            if target in g.successors(mid, "k")
+        )
+        assert evaluator.count_exact() == direct

@@ -1,0 +1,166 @@
+"""Unit tests for the NFA language algebra (repro.automata.operations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata import operations as ops
+from repro.automata.dfa import languages_equal
+from repro.automata.nfa import NFA, word
+
+
+@pytest.fixture
+def lang_a():
+    return NFA.single_word(word("a"), alphabet="ab")
+
+
+@pytest.fixture
+def lang_b():
+    return NFA.single_word(word("b"), alphabet="ab")
+
+
+class TestUnion:
+    def test_contains_both(self, lang_a, lang_b):
+        u = ops.union(lang_a, lang_b)
+        assert u.accepts(word("a"))
+        assert u.accepts(word("b"))
+        assert not u.accepts(word("ab"))
+
+    def test_union_with_empty(self, lang_a):
+        u = ops.union(lang_a, NFA.empty_language("ab"))
+        assert languages_equal(u, lang_a)
+
+    def test_commutative(self, lang_a, lang_b):
+        assert languages_equal(ops.union(lang_a, lang_b), ops.union(lang_b, lang_a))
+
+
+class TestConcatenate:
+    def test_basic(self, lang_a, lang_b):
+        c = ops.concatenate(lang_a, lang_b)
+        assert c.accepts(word("ab"))
+        assert not c.accepts(word("ba"))
+        assert not c.accepts(word("a"))
+
+    def test_epsilon_identity(self, lang_a):
+        c = ops.concatenate(NFA.only_empty_word("ab"), lang_a)
+        assert languages_equal(c, lang_a)
+
+    def test_with_empty_language_is_empty(self, lang_a):
+        c = ops.concatenate(lang_a, NFA.empty_language("ab"))
+        assert languages_equal(c, NFA.empty_language("ab"))
+
+    def test_associative(self, lang_a, lang_b):
+        left = ops.concatenate(ops.concatenate(lang_a, lang_b), lang_a)
+        right = ops.concatenate(lang_a, ops.concatenate(lang_b, lang_a))
+        assert languages_equal(left, right)
+
+
+class TestStarPlusOptional:
+    def test_star_contains_powers(self, lang_a):
+        s = ops.star(lang_a)
+        for k in range(4):
+            assert s.accepts(word("a" * k))
+        assert not s.accepts(word("b"))
+
+    def test_plus_excludes_empty(self, lang_a):
+        p = ops.plus(lang_a)
+        assert not p.accepts(())
+        assert p.accepts(word("a"))
+        assert p.accepts(word("aaa"))
+
+    def test_optional(self, lang_a):
+        o = ops.optional(lang_a)
+        assert o.accepts(())
+        assert o.accepts(word("a"))
+        assert not o.accepts(word("aa"))
+
+    def test_star_of_star_same_language(self, lang_a):
+        s = ops.star(lang_a)
+        assert languages_equal(ops.star(s), s)
+
+
+class TestRepeat:
+    def test_exact(self, lang_a):
+        r = ops.repeat(lang_a, 3, 3)
+        assert r.accepts(word("aaa"))
+        assert not r.accepts(word("aa"))
+        assert not r.accepts(word("aaaa"))
+
+    def test_range(self, lang_a):
+        r = ops.repeat(lang_a, 1, 3)
+        assert not r.accepts(())
+        for k in (1, 2, 3):
+            assert r.accepts(word("a" * k))
+        assert not r.accepts(word("aaaa"))
+
+    def test_unbounded(self, lang_a):
+        r = ops.repeat(lang_a, 2, None)
+        assert not r.accepts(word("a"))
+        assert r.accepts(word("aaaaa"))
+
+    def test_invalid_bounds(self, lang_a):
+        with pytest.raises(ValueError):
+            ops.repeat(lang_a, 3, 2)
+
+
+class TestIntersectionDifferenceReverse:
+    def test_intersection(self, endswith_one_nfa, even_zeros_dfa):
+        inter = ops.intersection(endswith_one_nfa, even_zeros_dfa)
+        # Words with a '1' AND an even number of '0's.
+        assert inter.accepts(word("1"))
+        assert inter.accepts(word("100"))
+        assert not inter.accepts(word("10"))
+        assert not inter.accepts(word("00"))
+
+    def test_intersection_with_full_is_identity(self, endswith_one_nfa):
+        inter = ops.intersection(endswith_one_nfa, NFA.full_language("01"))
+        assert languages_equal(inter, endswith_one_nfa)
+
+    def test_difference(self, endswith_one_nfa, even_zeros_dfa):
+        diff = ops.difference(endswith_one_nfa, even_zeros_dfa)
+        # Has a '1' and an odd number of '0's.
+        assert diff.accepts(word("10"))
+        assert not diff.accepts(word("1"))
+        assert not diff.accepts(word("0"))
+
+    def test_de_morgan_on_lengths(self, endswith_one_nfa, even_zeros_dfa):
+        """|A ∪ B| = |A| + |B| - |A ∩ B| at each length."""
+        u = ops.union(endswith_one_nfa, even_zeros_dfa)
+        inter = ops.intersection(endswith_one_nfa, even_zeros_dfa)
+        for n in range(5):
+            union_count = len(ops.words_of_length(u, n))
+            a = len(ops.words_of_length(endswith_one_nfa, n))
+            b = len(ops.words_of_length(even_zeros_dfa, n))
+            i = len(ops.words_of_length(inter, n))
+            assert union_count == a + b - i
+
+    def test_reverse(self):
+        nfa = NFA.single_word(word("abc"), alphabet="abc")
+        rev = ops.reverse(nfa)
+        assert rev.accepts(word("cba"))
+        assert not rev.accepts(word("abc"))
+
+    def test_reverse_involution(self, endswith_one_nfa):
+        double = ops.reverse(ops.reverse(endswith_one_nfa))
+        assert languages_equal(double, endswith_one_nfa)
+
+
+class TestWordsOfLength:
+    def test_counts(self, even_zeros_dfa):
+        # Even number of zeros among length-n binary words: 2^{n-1} for n ≥ 1.
+        for n in range(1, 6):
+            assert len(ops.words_of_length(even_zeros_dfa, n)) == 2 ** (n - 1)
+
+    def test_lexicographic_order(self, endswith_one_nfa):
+        words = ops.words_of_length(endswith_one_nfa, 3)
+        assert words == sorted(words)
+
+    def test_limit(self, endswith_one_nfa):
+        words = ops.words_of_length(endswith_one_nfa, 4, limit=3)
+        assert len(words) == 3
+
+    def test_zero_length(self, even_zeros_dfa):
+        assert ops.words_of_length(even_zeros_dfa, 0) == [()]
+
+    def test_empty_language(self):
+        assert ops.words_of_length(NFA.empty_language("01"), 3) == []

@@ -1,0 +1,169 @@
+"""Hypothesis property tests across the Section 4 applications."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.operations import words_of_length
+from repro.bdd.builders import obdd_from_formula, random_nobdd
+from repro.bdd.builders import FormulaNode, conj, disj, neg, var
+from repro.bdd.nobdd import EvalNobddRelation
+from repro.bdd.obdd import EvalObddRelation
+from repro.core.exact import count_words_exact
+from repro.dnf.formulas import DNFFormula, DNFTerm
+from repro.dnf.relation import dnf_to_nfa
+from repro.graphdb.graph import GraphDatabase
+from repro.graphdb.rpq import RPQ, compile_rpq, decode_path
+from repro.spanners.eva import extraction_eva
+from repro.spanners.evaluation import SpannerEvaluator
+
+ORDER3 = ("a", "b", "c")
+
+
+@st.composite
+def formulas(draw, depth: int = 2):
+    if depth == 0:
+        return var(draw(st.sampled_from(ORDER3)))
+    shape = draw(st.sampled_from(["and", "or", "not", "leaf"]))
+    if shape == "leaf":
+        return var(draw(st.sampled_from(ORDER3)))
+    if shape == "not":
+        return neg(draw(formulas(depth=depth - 1)))
+    left = draw(formulas(depth=depth - 1))
+    right = draw(formulas(depth=depth - 1))
+    return conj(left, right) if shape == "and" else disj(left, right)
+
+
+@st.composite
+def dnf_formulas(draw):
+    num_variables = draw(st.integers(2, 6))
+    num_terms = draw(st.integers(1, 4))
+    terms = []
+    for _ in range(num_terms):
+        width = draw(st.integers(1, min(3, num_variables)))
+        variables = draw(
+            st.lists(
+                st.integers(0, num_variables - 1),
+                min_size=width,
+                max_size=width,
+                unique=True,
+            )
+        )
+        literals = {index: draw(st.integers(0, 1)) for index in variables}
+        terms.append(DNFTerm.from_dict(literals))
+    return DNFFormula(num_variables=num_variables, terms=tuple(terms))
+
+
+@st.composite
+def small_graphs(draw):
+    num_vertices = draw(st.integers(2, 5))
+    vertices = list(range(num_vertices))
+    edges = []
+    for source in vertices:
+        for label in "ab":
+            targets = draw(st.lists(st.sampled_from(vertices), max_size=2, unique=True))
+            edges.extend((source, label, target) for target in targets)
+    return GraphDatabase(vertices, edges)
+
+
+class TestObddProperties:
+    @given(formulas())
+    @settings(max_examples=50, deadline=None)
+    def test_obdd_agrees_with_formula(self, formula):
+        diagram = obdd_from_formula(formula, ORDER3)
+        for mask in range(8):
+            sigma = {v: (mask >> i) & 1 for i, v in enumerate(ORDER3)}
+            assert diagram.evaluate(sigma) == formula.evaluate(sigma)
+
+    @given(formulas())
+    @settings(max_examples=50, deadline=None)
+    def test_obdd_count_equals_truth_table(self, formula):
+        diagram = obdd_from_formula(formula, ORDER3)
+        compiled = EvalObddRelation().compile(diagram)
+        brute = sum(
+            formula.evaluate({v: (mask >> i) & 1 for i, v in enumerate(ORDER3)})
+            for mask in range(8)
+        )
+        assert count_words_exact(compiled.nfa, compiled.length) == brute
+
+
+class TestNobddProperties:
+    @given(st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_random_nobdd_count_matches_semantics(self, seed):
+        nobdd = random_nobdd(4, branches=3, rng=seed)
+        compiled = EvalNobddRelation().compile(nobdd)
+        brute = sum(
+            nobdd.evaluate({f"x{i}": (mask >> i) & 1 for i in range(4)})
+            for mask in range(16)
+        )
+        assert count_words_exact(compiled.nfa, compiled.length) == brute
+
+
+class TestDnfProperties:
+    @given(dnf_formulas())
+    @settings(max_examples=50, deadline=None)
+    def test_compiled_language_is_model_set(self, phi):
+        nfa = dnf_to_nfa(phi)
+        models = {tuple(str(bit) for bit in m) for m in phi.models_brute()}
+        assert set(words_of_length(nfa, phi.num_variables)) == models
+
+    @given(dnf_formulas())
+    @settings(max_examples=30, deadline=None)
+    def test_inclusion_exclusion_agrees(self, phi):
+        assert phi.count_models_brute() == phi.count_models_inclusion_exclusion()
+
+
+class TestRpqProperties:
+    @given(small_graphs(), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_words_decode_to_real_paths(self, graph, n):
+        vertices = sorted(graph.vertices)
+        source, target = vertices[0], vertices[-1]
+        nfa = compile_rpq(graph, RPQ("(a|b)*"), source, target)
+        for w in words_of_length(nfa, n):
+            path = decode_path(source, w)
+            assert path.is_path_of(graph)
+            assert path.target == target
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_unconstrained_count_equals_walk_dp(self, graph):
+        """Paths under (a|b)* = all length-n walks source→target."""
+        vertices = sorted(graph.vertices)
+        source, target = vertices[0], vertices[-1]
+        n = 3
+        nfa = compile_rpq(graph, RPQ("(a|b)*"), source, target)
+        # Direct DP over labeled walks (edges are distinct by (label, to)).
+        counts = {source: 1}
+        for _ in range(n):
+            nxt: dict = {}
+            for vertex, ways in counts.items():
+                for _, neighbor in graph.out_edges(vertex):
+                    nxt[neighbor] = nxt.get(neighbor, 0) + ways
+            counts = nxt
+        assert count_words_exact(nfa, n) == counts.get(target, 0)
+
+
+class TestSpannerProperties:
+    @given(st.text(alphabet="abcd", min_size=0, max_size=14))
+    @settings(max_examples=40, deadline=None)
+    def test_extraction_matches_string_scan(self, document):
+        """Spanner answers = what a direct string scan finds."""
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        evaluator = SpannerEvaluator(eva, document, rng=0)
+        found = {
+            (m["X"].start, m["X"].end) for m in evaluator.mappings()
+        }
+        expected = set()
+        for i in range(len(document) - 1):
+            if document[i : i + 2] == "ab":
+                start = i + 2
+                end = start
+                while end < len(document) and document[end] in "cd":
+                    end += 1
+                for stop in range(start + 1, end + 1):
+                    expected.add((start + 1, stop + 1))  # 1-indexed spans
+        assert found == expected

@@ -1,0 +1,163 @@
+"""Hypothesis property tests for the core algorithms."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.nfa import NFA
+from repro.automata.operations import words_of_length
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.enumeration import enumerate_words_nfa, enumerate_words_ufa
+from repro.core.exact import (
+    count_accepting_runs_of_length,
+    count_words_exact,
+)
+from repro.core.exact_sampler import ExactUniformSampler
+from repro.core.fpras import FprasParameters, FprasState
+from repro.core.selfreduce import SelfReduction, psi
+from repro.core.unroll import unroll, unroll_trimmed
+
+
+@st.composite
+def small_nfas(draw, max_states: int = 5):
+    num_states = draw(st.integers(1, max_states))
+    states = list(range(num_states))
+    transitions = []
+    for source in states:
+        for symbol in "01":
+            targets = draw(st.lists(st.sampled_from(states), max_size=2, unique=True))
+            transitions.extend((source, symbol, target) for target in targets)
+    finals = draw(st.lists(st.sampled_from(states), max_size=num_states, unique=True))
+    return NFA(states, "01", transitions, 0, finals)
+
+
+@st.composite
+def small_dfas(draw, max_states: int = 5):
+    """Random partial DFAs (hence unambiguous NFAs)."""
+    num_states = draw(st.integers(1, max_states))
+    states = list(range(num_states))
+    transitions = []
+    for source in states:
+        for symbol in "01":
+            target = draw(st.one_of(st.none(), st.sampled_from(states)))
+            if target is not None:
+                transitions.append((source, symbol, target))
+    finals = draw(st.lists(st.sampled_from(states), max_size=num_states, unique=True))
+    return NFA(states, "01", transitions, 0, finals)
+
+
+lengths = st.integers(0, 5)
+
+
+class TestCountingProperties:
+    @given(small_nfas(), lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_count_matches_enumeration(self, nfa, n):
+        assert count_words_exact(nfa, n) == len(words_of_length(nfa, n))
+
+    @given(small_dfas(), lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_run_count_equals_word_count_on_ufa(self, ufa, n):
+        assert count_accepting_runs_of_length(ufa, n) == len(words_of_length(ufa, n))
+
+    @given(small_nfas(), lengths)
+    @settings(max_examples=60, deadline=None)
+    def test_runs_dominate_words(self, nfa, n):
+        assert count_accepting_runs_of_length(nfa, n) >= count_words_exact(nfa, n)
+
+
+class TestEnumerationProperties:
+    @given(small_dfas(), lengths)
+    @settings(max_examples=50, deadline=None)
+    def test_ufa_enumeration_is_exact_set(self, ufa, n):
+        out = list(enumerate_words_ufa(ufa, n, check=False))
+        assert len(out) == len(set(out))
+        assert sorted(out) == words_of_length(ufa, n)
+
+    @given(small_nfas(), lengths)
+    @settings(max_examples=50, deadline=None)
+    def test_nfa_enumeration_is_exact_set(self, nfa, n):
+        out = list(enumerate_words_nfa(nfa, n))
+        assert len(out) == len(set(out))
+        assert sorted(out) == words_of_length(nfa, n)
+
+
+class TestUnrollProperties:
+    @given(small_nfas(), lengths)
+    @settings(max_examples=50, deadline=None)
+    def test_trimmed_layers_subset_of_reachable(self, nfa, n):
+        stripped = nfa.without_epsilon()
+        full = unroll(stripped, n)
+        trimmed = unroll_trimmed(stripped, n)
+        for t in range(n + 1):
+            assert trimmed.layer(t) <= full.layer(t)
+
+    @given(small_nfas(), lengths)
+    @settings(max_examples=50, deadline=None)
+    def test_emptiness_agrees_with_counting(self, nfa, n):
+        assert unroll_trimmed(nfa.without_epsilon(), n).is_empty == (
+            count_words_exact(nfa, n) == 0
+        )
+
+
+class TestSelfReductionProperties:
+    @given(small_nfas(), st.integers(1, 4), st.sampled_from("01"))
+    @settings(max_examples=60, deadline=None)
+    def test_psi_residual_language(self, nfa, k, symbol):
+        stripped = nfa.without_epsilon()
+        reduced, new_k = psi(stripped, k, symbol)
+        assert new_k == k - 1
+        expected = sorted(
+            w[1:] for w in words_of_length(stripped, k) if w[0] == symbol
+        )
+        assert sorted(words_of_length(reduced, new_k)) == expected
+
+    @given(small_nfas(), st.integers(1, 4), st.sampled_from("01"))
+    @settings(max_examples=60, deadline=None)
+    def test_psi_polynomially_bounded(self, nfa, k, symbol):
+        stripped = nfa.without_epsilon()
+        reduced, _ = psi(stripped, k, symbol)
+        assert reduced.num_states <= stripped.num_states + 1
+        assert reduced.num_transitions <= 2 * max(1, stripped.num_transitions)
+
+    @given(small_dfas(), st.integers(1, 4), st.sampled_from("01"))
+    @settings(max_examples=50, deadline=None)
+    def test_psi_preserves_unambiguity(self, ufa, k, symbol):
+        reduced, _ = psi(ufa.without_epsilon(), k, symbol)
+        assert is_unambiguous(reduced)
+
+    @given(small_nfas(), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_witness_decomposition(self, nfa, k):
+        """Condition (7): W(x) = ⋃_w {w ∘ y : y ∈ W(ψ(x, w))}."""
+        stripped = nfa.without_epsilon()
+        direct = set(words_of_length(stripped, k))
+        recomposed = set()
+        for symbol in "01":
+            reduced, new_k = psi(stripped, k, symbol)
+            for suffix in words_of_length(reduced, new_k):
+                recomposed.add((symbol,) + suffix)
+        assert direct == recomposed
+
+
+class TestSamplerProperties:
+    @given(small_dfas(), st.integers(0, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_samples_always_witnesses(self, ufa, n):
+        sampler = ExactUniformSampler(ufa, n, check=False)
+        if sampler.count == 0:
+            return
+        support = set(words_of_length(ufa, n))
+        for seed in range(5):
+            assert sampler.sample(seed) in support
+
+
+class TestFprasProperties:
+    @given(small_nfas(), st.integers(0, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_small_instances_exact(self, nfa, n):
+        """Below the exhaustive threshold the FPRAS must be exactly right."""
+        state = FprasState(
+            nfa, n, delta=0.5, rng=0, params=FprasParameters(sample_size=16)
+        )
+        assert state.count_estimate == count_words_exact(nfa, n)

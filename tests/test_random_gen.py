@@ -1,0 +1,114 @@
+"""Unit tests for the workload generators (repro.automata.random_gen)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import word
+from repro.automata.operations import words_of_length
+from repro.automata.random_gen import (
+    ambiguity_blowup,
+    chain_of_unions,
+    contains_pattern_nfa,
+    divisibility_dfa,
+    random_nfa,
+    random_ufa,
+    unary_counter,
+)
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.exact import count_words_exact
+
+
+class TestRandomGenerators:
+    def test_deterministic_given_seed(self):
+        assert random_nfa(8, rng=123) == random_nfa(8, rng=123)
+        assert random_ufa(8, rng=123) == random_ufa(8, rng=123)
+
+    def test_different_seeds_differ(self):
+        assert random_nfa(8, rng=1) != random_nfa(8, rng=2)
+
+    def test_ensure_nonempty(self):
+        nfa = random_nfa(6, rng=9, ensure_nonempty_length=8)
+        assert len(words_of_length(nfa, 8)) > 0
+
+    def test_ufa_is_unambiguous(self):
+        for seed in range(6):
+            assert is_unambiguous(random_ufa(6, rng=seed))
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            random_nfa(0)
+
+
+class TestAmbiguityBlowup:
+    def test_structure(self):
+        nfa = ambiguity_blowup(4)
+        n = 8
+        all_a = word("0" * 8)
+        assert nfa.accepts(all_a)
+        assert nfa.count_accepting_runs(all_a) == 2**4
+
+    def test_word_count(self):
+        # Each gadget independently reads 'aa' or 'ba' → 2^depth words.
+        for depth in (1, 2, 3):
+            nfa = ambiguity_blowup(depth)
+            assert count_words_exact(nfa, 2 * depth) == 2**depth
+
+    def test_mixed_word_single_run(self):
+        nfa = ambiguity_blowup(3)
+        w = word("10" * 3)  # bypass at every gadget
+        assert nfa.accepts(w)
+        assert nfa.count_accepting_runs(w) == 1
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            ambiguity_blowup(0)
+
+
+class TestStructuredFamilies:
+    def test_unary_counter(self):
+        nfa = unary_counter(3, [0])
+        for n in range(10):
+            expected = 1 if n % 3 == 0 else 0
+            assert len(words_of_length(nfa, n)) == expected
+
+    def test_unary_counter_multiple_residues(self):
+        nfa = unary_counter(4, [1, 3])
+        for n in range(9):
+            assert len(words_of_length(nfa, n)) == (1 if n % 4 in (1, 3) else 0)
+
+    def test_unary_counter_validation(self):
+        with pytest.raises(ValueError):
+            unary_counter(3, [3])
+
+    def test_divisibility_dfa(self):
+        nfa = divisibility_dfa(2, 3)
+        # Binary multiples of 3 of length 4 (leading zeros allowed):
+        # 0000, 0011, 0110, 1001, 1100, 1111 → values 0,3,6,9,12,15.
+        assert len(words_of_length(nfa, 4)) == 6
+
+    def test_divisibility_is_deterministic(self):
+        assert divisibility_dfa(2, 5).is_deterministic()
+
+    def test_contains_pattern(self):
+        nfa = contains_pattern_nfa("11")
+        # Length-3 binary words containing '11': 011,110,111 → 3.
+        assert len(words_of_length(nfa, 3)) == 3
+        # Ambiguous: '111' has two occurrences.
+        assert nfa.count_accepting_runs(word("111")) == 2
+
+    def test_chain_of_unions_counts(self):
+        # Blocks 'a' | 'aa': words of length n from k blocks = compositions
+        # of n into k parts from {1, 2}.
+        nfa = chain_of_unions(3, ["a", "aa"])
+        # length 4 with 3 blocks: compositions of 4 into 3 parts of 1/2 = C(3,1)=3
+        # but identical words collapse: all words are a^4 — a single word!
+        assert count_words_exact(nfa, 4) == 1
+        assert nfa.count_accepting_runs(word("aaaa")) == 3
+
+    def test_chain_of_unions_distinct_symbols(self):
+        nfa = chain_of_unions(2, ["a", "bb"])
+        # Words: aa (1+1), abb, bba (1+2, 2+1), bbbb (2+2).
+        assert count_words_exact(nfa, 2) == 1
+        assert count_words_exact(nfa, 3) == 2
+        assert count_words_exact(nfa, 4) == 1

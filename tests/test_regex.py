@@ -1,0 +1,144 @@
+"""Unit tests for the regex front end (parser + both compilers)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.automata.dfa import languages_equal
+from repro.automata.regex import (
+    compile_regex,
+    glushkov,
+    match_brute_force,
+    parse,
+    render,
+    thompson,
+)
+from repro.automata.nfa import word
+from repro.errors import InvalidRegexError
+
+
+def accepts_str(nfa, text: str) -> bool:
+    return nfa.accepts(word(text))
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "pattern",
+        ["a", "ab", "a|b", "(a|b)*", "a+b?", "[abc]", "[a-c]", "a{2,3}", "a{2,}", "a{3}", "", "()", "\\*", "(a|)(b)"],
+    )
+    def test_parses(self, pattern):
+        parse(pattern)  # must not raise
+
+    @pytest.mark.parametrize(
+        "pattern",
+        ["(", ")", "a)", "*(a)"[0:1] + "a",  # "*a"
+         "a{3,2}", "a{", "[abc", "a**"[0:3] if False else "(a", "\\"],
+    )
+    def test_rejects_malformed(self, pattern):
+        with pytest.raises(InvalidRegexError):
+            parse(pattern)
+
+    def test_quantifier_without_atom(self):
+        with pytest.raises(InvalidRegexError):
+            parse("*a")
+
+    def test_render_roundtrip(self):
+        for pattern in ["a(b|c)*", "[abc]+x?", "(ab){2,4}"]:
+            ast = parse(pattern)
+            again = parse(render(ast))
+            assert render(again) == render(ast)
+
+    def test_class_range_out_of_order(self):
+        with pytest.raises(InvalidRegexError):
+            parse("[z-a]")
+
+
+class TestCompile:
+    @pytest.mark.parametrize("method", ["glushkov", "thompson"])
+    def test_simple_language(self, method):
+        nfa = compile_regex("(ab|ba)*", alphabet="ab", method=method)
+        assert accepts_str(nfa, "")
+        assert accepts_str(nfa, "abba")
+        assert accepts_str(nfa, "baab")
+        assert not accepts_str(nfa, "aab")
+
+    @pytest.mark.parametrize("method", ["glushkov", "thompson"])
+    def test_char_class(self, method):
+        nfa = compile_regex("[ab]c", alphabet="abc", method=method)
+        assert accepts_str(nfa, "ac")
+        assert accepts_str(nfa, "bc")
+        assert not accepts_str(nfa, "cc")
+
+    @pytest.mark.parametrize("method", ["glushkov", "thompson"])
+    def test_negated_class(self, method):
+        nfa = compile_regex("[^a]", alphabet="abc", method=method)
+        assert not accepts_str(nfa, "a")
+        assert accepts_str(nfa, "b")
+        assert accepts_str(nfa, "c")
+
+    @pytest.mark.parametrize("method", ["glushkov", "thompson"])
+    def test_dot(self, method):
+        nfa = compile_regex(".a", alphabet="ab", method=method)
+        assert accepts_str(nfa, "aa")
+        assert accepts_str(nfa, "ba")
+        assert not accepts_str(nfa, "ab")
+
+    @pytest.mark.parametrize("method", ["glushkov", "thompson"])
+    def test_bounded_repetition(self, method):
+        nfa = compile_regex("a{2,3}", alphabet="a", method=method)
+        assert not accepts_str(nfa, "a")
+        assert accepts_str(nfa, "aa")
+        assert accepts_str(nfa, "aaa")
+        assert not accepts_str(nfa, "aaaa")
+
+    def test_dot_requires_alphabet(self):
+        with pytest.raises(InvalidRegexError):
+            compile_regex(".")
+
+    def test_symbols_outside_alphabet_rejected(self):
+        with pytest.raises(InvalidRegexError):
+            compile_regex("abc", alphabet="ab")
+
+    def test_alphabet_inferred(self):
+        nfa = compile_regex("ab|ba")
+        assert nfa.alphabet == frozenset({"a", "b"})
+
+    def test_glushkov_epsilon_free(self):
+        assert not compile_regex("(a|b)*abb", alphabet="ab").has_epsilon
+
+    def test_methods_agree(self):
+        for pattern in ["(a|b)*abb", "a(ba)*b?", "[ab]{1,3}", "(aa|ab|b)+"]:
+            g = compile_regex(pattern, alphabet="ab", method="glushkov")
+            t = compile_regex(pattern, alphabet="ab", method="thompson")
+            assert languages_equal(g, t), pattern
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            compile_regex("a", method="brzozowski")
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "a",
+            "ab|ba",
+            "(a|b)*",
+            "a*b*",
+            "(ab)*a?",
+            "a{0,2}b",
+            "(a|ab)(b|ba)",
+            "((a|b)(a|b))*",
+            "a+|b+",
+        ],
+    )
+    def test_exhaustive_agreement(self, pattern):
+        ast = parse(pattern)
+        alphabet = frozenset("ab")
+        nfa = compile_regex(pattern, alphabet="ab")
+        for n in range(5):
+            for w in itertools.product("ab", repeat=n):
+                expected = match_brute_force(ast, w, alphabet)
+                assert nfa.accepts(w) == expected, (pattern, w)

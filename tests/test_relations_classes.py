@@ -1,0 +1,181 @@
+"""Tests for the relation framework, reductions (Prop. 11) and class facades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA, word
+from repro.automata.operations import words_of_length
+from repro.core.classes import (
+    RelationNL,
+    RelationNLSolver,
+    RelationUL,
+    RelationULSolver,
+    SpanLFunction,
+)
+from repro.core.fpras import FprasParameters
+from repro.core.reductions import (
+    MemNfaRelation,
+    MemUfaRelation,
+    completeness_reduction,
+)
+from repro.core.relations import PaddedWitness
+from repro.dnf.formulas import random_dnf
+from repro.dnf.relation import SatDnfRelation, dnf_transducer
+from repro.errors import AmbiguityError, EmptyWitnessSetError
+
+FAST = FprasParameters(sample_size=48)
+
+
+class TestMemRelations:
+    def test_mem_nfa_identity(self, endswith_one_nfa):
+        relation = MemNfaRelation()
+        compiled = relation.compile((endswith_one_nfa, 4))
+        assert compiled.length == 4
+        assert sorted(relation.witnesses((endswith_one_nfa, 4))) == words_of_length(
+            endswith_one_nfa, 4
+        )
+
+    def test_mem_ufa_rejects_ambiguous(self, endswith_one_nfa):
+        with pytest.raises(AmbiguityError):
+            MemUfaRelation().compile((endswith_one_nfa, 4))
+
+    def test_witness_count(self, even_zeros_dfa):
+        assert MemNfaRelation().witness_count_exact((even_zeros_dfa, 5)) == 16
+
+
+class TestCompletenessReduction:
+    def test_enumeration_transfers(self):
+        phi = random_dnf(6, 3, 2, rng=4)
+        relation = SatDnfRelation()
+        reduction = completeness_reduction(relation)
+        via_reduction = sorted(reduction.enumerate(phi))
+        direct = sorted(relation.compile(phi).nfa.accepts(w) for w in via_reduction)
+        assert all(direct)
+        assert len(via_reduction) == phi.count_models_brute()
+
+    def test_counting_transfers(self):
+        phi = random_dnf(6, 3, 2, rng=4)
+        reduction = completeness_reduction(SatDnfRelation())
+        assert reduction.count_exact(phi) == phi.count_models_brute()
+
+    def test_approx_counting_transfers(self):
+        phi = random_dnf(7, 3, 2, rng=4)
+        reduction = completeness_reduction(SatDnfRelation())
+        exact = phi.count_models_brute()
+        estimate = reduction.count_approx(phi, delta=0.3, rng=0)
+        assert abs(estimate - exact) <= 0.4 * exact
+
+    def test_sampling_transfers(self):
+        phi = random_dnf(6, 3, 2, rng=4)
+        reduction = completeness_reduction(SatDnfRelation())
+        w = reduction.sample(phi, rng=1)
+        assert w is not None
+        assert phi.evaluate(tuple(int(b) for b in w))
+
+
+class TestRelationULSolver:
+    def test_full_suite(self, even_zeros_dfa, rng):
+        solver = RelationULSolver(even_zeros_dfa, 5)
+        assert solver.count() == 16
+        words = list(solver.enumerate())
+        assert len(words) == 16
+        assert solver.sample(rng) in set(words)
+
+    def test_rejects_ambiguous(self, endswith_one_nfa):
+        with pytest.raises(AmbiguityError):
+            RelationULSolver(endswith_one_nfa, 4)
+
+    def test_sample_or_none_empty(self, rng):
+        solver = RelationULSolver(NFA.empty_language("01"), 3)
+        assert solver.sample_or_none(rng) is None
+
+    def test_sample_empty_raises(self, rng):
+        solver = RelationULSolver(NFA.empty_language("01"), 3)
+        with pytest.raises(EmptyWitnessSetError):
+            solver.sample(rng)
+
+
+class TestRelationNLSolver:
+    def test_full_suite(self, endswith_one_nfa, rng):
+        solver = RelationNLSolver(endswith_one_nfa, 8, delta=0.3, rng=rng, params=FAST)
+        exact = 2**8 - 1
+        assert solver.count_exact() == exact
+        estimate = solver.count_approx()
+        assert abs(estimate - exact) <= 0.4 * exact
+        words = list(solver.enumerate())
+        assert len(words) == exact
+        w = solver.sample()
+        assert w is not None and endswith_one_nfa.accepts(w)
+
+    def test_sample_many(self, endswith_one_nfa, rng):
+        solver = RelationNLSolver(endswith_one_nfa, 8, delta=0.3, rng=rng, params=FAST)
+        samples = solver.sample_many(5)
+        assert len(samples) == 5
+
+
+class TestRelationFacades:
+    def test_relation_nl_on_dnf(self, rng):
+        phi = random_dnf(7, 3, 2, rng=8)
+        nl = RelationNL(SatDnfRelation(), delta=0.3, rng=rng, params=FAST)
+        exact = phi.count_models_brute()
+        assert nl.count_exact(phi) == exact
+        estimate = nl.count_approx(phi)
+        assert abs(estimate - exact) <= 0.4 * exact
+        assignment = nl.sample(phi)
+        assert phi.evaluate(assignment)
+        enumerated = list(nl.enumerate(phi))
+        assert len(enumerated) == exact
+
+    def test_upgrade_if_unambiguous(self, rng):
+        # A DNF whose terms are disjoint compiles to an unambiguous NFA.
+        from repro.dnf.formulas import DNFFormula, DNFTerm
+
+        phi = DNFFormula(
+            num_variables=4,
+            terms=(
+                DNFTerm.from_dict({0: 0, 1: 0}),
+                DNFTerm.from_dict({0: 1, 1: 1}),
+            ),
+        )
+        nl = RelationNL(SatDnfRelation(), rng=rng)
+        upgraded = nl.upgrade_if_unambiguous(phi)
+        assert upgraded is not None
+        assert upgraded.count() == phi.count_models_brute()
+
+    def test_relation_ul_on_disjoint_dnf(self, rng):
+        from repro.dnf.formulas import DNFFormula, DNFTerm
+
+        phi = DNFFormula(
+            num_variables=4,
+            terms=(DNFTerm.from_dict({0: 0}), DNFTerm.from_dict({0: 1, 1: 1})),
+        )
+        ul = RelationUL(SatDnfRelation())
+        assert ul.count(phi) == phi.count_models_brute()
+        assignment = ul.sample(phi, rng)
+        assert phi.evaluate(assignment)
+
+
+class TestSpanL:
+    def test_spanl_function_exact_and_approx(self):
+        phi = random_dnf(7, 3, 2, rng=9)
+        fn = SpanLFunction(
+            dnf_transducer(), witness_length=lambda f: f.num_variables, name="#DNF"
+        )
+        exact = fn.exact(phi)
+        assert exact == phi.count_models_brute()
+        estimate = fn.approx(phi, delta=0.3, rng=2, params=FAST)
+        assert abs(estimate - exact) <= 0.4 * exact
+
+
+class TestPaddedWitness:
+    def test_pad_strip_roundtrip(self):
+        helper = PaddedWitness()
+        w = word("ab")
+        padded = helper.pad(w, 5)
+        assert len(padded) == 5
+        assert helper.strip(padded) == w
+
+    def test_pad_too_long(self):
+        with pytest.raises(ValueError):
+            PaddedWitness().pad(word("abc"), 2)

@@ -1,0 +1,198 @@
+"""Unit tests for the §5.2 self-reduction (ℓ, σ, ψ) and its eight conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA, word
+from repro.automata.operations import words_of_length
+from repro.automata.random_gen import random_nfa, random_ufa
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.selfreduce import (
+    SelfReduction,
+    ell,
+    empty_word_is_witness,
+    psi,
+    psi_paper_merge,
+    sigma,
+)
+
+
+class TestScalars:
+    def test_ell_is_k(self, even_zeros_dfa):
+        assert ell(even_zeros_dfa, 7) == 7
+
+    def test_ell_rejects_negative(self, even_zeros_dfa):
+        with pytest.raises(ValueError):
+            ell(even_zeros_dfa, -1)
+
+    def test_sigma(self, even_zeros_dfa):
+        assert sigma(even_zeros_dfa, 0) == 0
+        assert sigma(even_zeros_dfa, 3) == 1
+
+    def test_condition4_sigma_positive_iff_ell_positive(self, even_zeros_dfa):
+        for k in range(4):
+            assert (ell(even_zeros_dfa, k) > 0) == (sigma(even_zeros_dfa, k) > 0)
+
+    def test_empty_word_witness(self, even_zeros_dfa):
+        assert empty_word_is_witness(even_zeros_dfa)
+        flipped = NFA(
+            even_zeros_dfa.states,
+            even_zeros_dfa.alphabet,
+            even_zeros_dfa.transitions,
+            "even",
+            ["odd"],
+        )
+        assert not empty_word_is_witness(flipped)
+
+
+class TestPsi:
+    def test_residual_language(self, even_zeros_dfa):
+        """Condition (8): witnesses of ψ(x, w) = w-suffixes of witnesses of x."""
+        reduced, k = psi(even_zeros_dfa, 4, "0")
+        assert k == 3
+        expected = sorted(w[1:] for w in words_of_length(even_zeros_dfa, 4) if w[0] == "0")
+        assert sorted(words_of_length(reduced, 3)) == expected
+
+    def test_residual_language_ambiguous(self, endswith_one_nfa):
+        for symbol in ("0", "1"):
+            reduced, k = psi(endswith_one_nfa, 3, symbol)
+            expected = sorted(
+                w[1:] for w in words_of_length(endswith_one_nfa, 3) if w[0] == symbol
+            )
+            assert sorted(words_of_length(reduced, k)) == expected
+
+    def test_size_stays_polynomial(self, rng):
+        """Our corrected ψ adds one state and ≤ Σ outdeg(Q_w) transitions —
+        the polynomial-boundedness Section 5.3.3's sampler relies on."""
+        for _ in range(10):
+            nfa = random_nfa(6, density=1.5, rng=rng).without_epsilon()
+            for symbol in ("0", "1"):
+                reduced, _ = psi(nfa, 5, symbol)
+                assert reduced.num_states <= nfa.num_states + 1
+                assert reduced.num_transitions <= 2 * nfa.num_transitions
+
+    def test_paper_merge_satisfies_condition5(self, rng):
+        """The paper's merge DOES satisfy the strict size condition (5)."""
+        for _ in range(10):
+            nfa = random_nfa(6, density=1.5, rng=rng).without_epsilon()
+            for symbol in ("0", "1"):
+                reduced, _ = psi_paper_merge(nfa, 5, symbol)
+                assert reduced.num_states <= nfa.num_states
+                assert reduced.num_transitions <= nfa.num_transitions
+
+    def test_paper_merge_counterexample(self):
+        """Regression: the literal §5.2 merge over-approximates the residual.
+
+        N: q0 -a-> p1, q0 -a-> p2 (Q_a = {p1, p2}),
+           p1 -d-> x, x -c-> p2, p1 -b-> z (final via b only from p1).
+        Residual of 'a' at length 3 contains d·c·b?  In N, 'a d c b' would
+        need p2 -b-> z, which does not exist → NOT a witness.  The merge
+        construction accepts it anyway (enter q0' as p2, leave as p1).
+        """
+        nfa = NFA(
+            ["q0", "p1", "p2", "x", "z"],
+            ["a", "b", "c", "d"],
+            [
+                ("q0", "a", "p1"),
+                ("q0", "a", "p2"),
+                ("p1", "d", "x"),
+                ("x", "c", "p2"),
+                ("p1", "b", "z"),
+            ],
+            "q0",
+            ["z"],
+        )
+        ghost = word("dcb")
+        # Ground truth: 'a'+ghost is not accepted by N.
+        assert not nfa.accepts(("a",) + ghost)
+        merged, _ = psi_paper_merge(nfa, 4, "a")
+        corrected, _ = psi(nfa, 4, "a")
+        assert merged.accepts(ghost)          # the paper construction's flaw
+        assert not corrected.accepts(ghost)   # our ψ is exact
+
+    def test_paper_merge_correct_for_deterministic_step(self, rng):
+        """With |Q_w| ≤ 1 (e.g. DFAs) the paper merge IS the residual."""
+        for _ in range(8):
+            ufa = random_ufa(6, rng=rng)
+            for symbol in ("0", "1"):
+                merged, k = psi_paper_merge(ufa, 4, symbol)
+                expected = sorted(
+                    w[1:] for w in words_of_length(ufa, 4) if w[0] == symbol
+                )
+                assert sorted(words_of_length(merged, k)) == expected
+
+    def test_condition6_length_decreases(self, even_zeros_dfa):
+        _, k = psi(even_zeros_dfa, 5, "1")
+        assert k == 4
+
+    def test_rejects_k_zero(self, even_zeros_dfa):
+        with pytest.raises(ValueError):
+            psi(even_zeros_dfa, 0, "0")
+
+    def test_rejects_foreign_symbol(self, even_zeros_dfa):
+        with pytest.raises(ValueError):
+            psi(even_zeros_dfa, 3, "x")
+
+    def test_empty_residual(self):
+        nfa = NFA.single_word(word("ab"), alphabet="ab").without_epsilon()
+        reduced, k = psi(nfa, 2, "b")  # no witness starts with 'b'
+        assert words_of_length(reduced, k) == []
+
+    def test_ufa_preserved(self, rng):
+        """ψ maps unambiguous automata to unambiguous automata (end of §5.2)."""
+        for _ in range(10):
+            ufa = random_ufa(6, rng=rng)
+            for symbol in ("0", "1"):
+                reduced, _ = psi(ufa, 5, symbol)
+                assert is_unambiguous(reduced)
+
+    def test_iterated_descent(self, even_zeros_dfa):
+        """Descending along a full witness leaves exactly the empty word."""
+        witness = word("0011")
+        chain = SelfReduction(even_zeros_dfa, 4).descend(witness)
+        assert chain.k == 0
+        assert empty_word_is_witness(chain.nfa)
+
+    def test_iterated_descent_nonwitness(self, even_zeros_dfa):
+        chain = SelfReduction(even_zeros_dfa, 4).descend(word("0001"))
+        assert chain.k == 0
+        assert not empty_word_is_witness(chain.nfa)
+
+    def test_multi_final_generalization(self):
+        """ψ handles several final states (our extension of the paper's
+        unique-final construction) without losing witnesses."""
+        nfa = NFA(
+            ["s", "f1", "f2"],
+            ["0", "1"],
+            [("s", "0", "f1"), ("s", "1", "f2"), ("f1", "0", "f2")],
+            "s",
+            ["f1", "f2"],
+        )
+        reduced, k = psi(nfa, 2, "0")
+        expected = sorted(w[1:] for w in words_of_length(nfa, 2) if w[0] == "0")
+        assert sorted(words_of_length(reduced, k)) == expected
+
+    def test_final_inside_qw_repaired(self):
+        """When a final state is merged into q0', q0' must become final."""
+        nfa = NFA(
+            ["s", "f"],
+            ["a"],
+            [("s", "a", "f"), ("f", "a", "f")],
+            "s",
+            ["f"],
+        )
+        reduced, k = psi(nfa, 3, "a")
+        assert sorted(words_of_length(reduced, 2)) == [word("aa")]
+
+
+class TestSelfReductionBundle:
+    def test_structural_size(self, even_zeros_dfa):
+        bundle = SelfReduction(even_zeros_dfa, 3)
+        assert bundle.structural_size() == (2, 4)
+
+    def test_length_and_strip(self, even_zeros_dfa):
+        bundle = SelfReduction(even_zeros_dfa, 3)
+        assert bundle.length() == 3
+        assert bundle.strip_count() == 1
+        assert bundle.step("0").length() == 2

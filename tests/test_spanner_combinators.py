@@ -1,0 +1,131 @@
+"""Tests for the spanner combinators and the FPRAS spectrum extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidAutomatonError
+from repro.spanners.combinators import (
+    alt,
+    anything,
+    build,
+    capture,
+    lit,
+    rep,
+    seq,
+    sym_class,
+)
+from repro.spanners.evaluation import SpannerEvaluator
+from repro.spanners.spans import Span
+
+
+ALPHABET = "abcd"
+
+
+def evaluate(expr, document: str):
+    eva = build(expr, ALPHABET)
+    return SpannerEvaluator(eva, document, rng=0)
+
+
+class TestCombinatorMatching:
+    def test_literal_whole_document(self):
+        expr = seq(lit("ab"), capture("X", lit("c")), lit("d"))
+        evaluator = evaluate(expr, "abcd")
+        mappings = list(evaluator.mappings())
+        assert [m["X"] for m in mappings] == [Span(3, 4)]
+
+    def test_no_match(self):
+        expr = seq(lit("ab"), capture("X", lit("c")))
+        evaluator = evaluate(expr, "abd")
+        assert list(evaluator.mappings()) == []
+        assert evaluator.sample(0) is None
+
+    def test_class_and_alternation(self):
+        expr = seq(
+            capture("X", alt(lit("a"), lit("b"))),
+            sym_class("cd"),
+        )
+        for document in ("ac", "bd"):
+            evaluator = evaluate(expr, document)
+            mappings = list(evaluator.mappings())
+            assert len(mappings) == 1
+            assert mappings[0]["X"] == Span(1, 2)
+
+    def test_repetition_star(self):
+        expr = seq(rep(lit("a")), capture("X", lit("b")))
+        evaluator = evaluate(expr, "aaab")
+        assert [m["X"] for m in evaluator.mappings()] == [Span(4, 5)]
+
+    def test_repetition_plus(self):
+        expr = seq(rep(lit("a"), min_count=1), capture("X", lit("b")))
+        assert list(evaluate(expr, "b").mappings()) == []
+        assert len(list(evaluate(expr, "ab").mappings())) == 1
+
+    def test_anything_padding(self):
+        """The classic extraction shape: Σ* ⟨X: ...⟩ Σ*."""
+        expr = seq(anything(ALPHABET), capture("X", lit("cc")), anything(ALPHABET))
+        evaluator = evaluate(expr, "accbccd")
+        spans = sorted((m["X"].start, m["X"].end) for m in evaluator.mappings())
+        assert spans == [(2, 4), (5, 7)]
+
+    def test_capture_of_variable_block(self):
+        expr = seq(
+            anything(ALPHABET),
+            lit("ab"),
+            capture("V", rep(sym_class("cd"), min_count=1)),
+            anything(ALPHABET),
+        )
+        evaluator = evaluate(expr, "aabccd")
+        contents = sorted(m["V"].content("aabccd") for m in evaluator.mappings())
+        assert contents == ["c", "cc", "ccd"]
+
+    def test_counting_and_sampling(self):
+        expr = seq(anything(ALPHABET), capture("X", sym_class("ab")), anything(ALPHABET))
+        document = "abca"
+        evaluator = evaluate(expr, document)
+        mappings = list(evaluator.mappings())
+        assert evaluator.count_exact() == len(mappings) == 3
+        assert evaluator.sample(1) in set(mappings)
+
+
+class TestCombinatorValidation:
+    def test_double_capture_rejected(self):
+        with pytest.raises(InvalidAutomatonError):
+            build(seq(capture("X", lit("a")), capture("X", lit("b"))), ALPHABET)
+
+    def test_capture_in_repetition_rejected(self):
+        with pytest.raises(InvalidAutomatonError):
+            build(rep(capture("X", lit("a"))), ALPHABET)
+
+    def test_conditional_capture_rejected(self):
+        with pytest.raises(InvalidAutomatonError):
+            build(alt(capture("X", lit("a")), lit("b")), ALPHABET)
+
+    def test_foreign_symbol_rejected(self):
+        with pytest.raises(InvalidAutomatonError):
+            build(lit("z"), ALPHABET)
+
+
+class TestFprasSpectrum:
+    def test_spectrum_matches_exact(self):
+        from repro.automata.random_gen import contains_pattern_nfa
+        from repro.core.exact import count_words_exact
+        from repro.core.fpras import FprasParameters, FprasState
+
+        nfa = contains_pattern_nfa("11")
+        state = FprasState(nfa, 12, delta=0.3, rng=2, params=FprasParameters(sample_size=48))
+        spectrum = state.estimate_spectrum()
+        assert len(spectrum) == 13
+        for t in (0, 1, 6, 12):
+            exact = count_words_exact(nfa, t)
+            if exact == 0:
+                assert spectrum[t] == 0
+            else:
+                assert abs(spectrum[t] - exact) <= 0.4 * exact
+
+    def test_spectrum_bounds_checked(self, even_zeros_dfa):
+        from repro.core.fpras import FprasState
+
+        state = FprasState(even_zeros_dfa, 4, rng=0)
+        with pytest.raises(ValueError):
+            state.estimate_at_length(9)

@@ -1,0 +1,175 @@
+"""Tests for document spanners (spans, eVAs, evaluation; Corollaries 6–7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NotFunctionalError
+from repro.spanners.eva import EVA, close_marker, extraction_eva, open_marker
+from repro.spanners.evaluation import (
+    EvalEvaRelation,
+    EvalUevaRelation,
+    SpannerEvaluator,
+    compile_eva,
+    decode_mapping,
+    encode_mapping,
+)
+from repro.spanners.spans import Mapping, Span
+
+
+class TestSpans:
+    def test_content(self):
+        assert Span(2, 4).content("abcde") == "bc"
+
+    def test_empty_span(self):
+        assert Span(3, 3).content("abcde") == ""
+
+    def test_len(self):
+        assert len(Span(1, 4)) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Span(3, 2)
+        with pytest.raises(ValueError):
+            Span(0, 1)
+
+    def test_out_of_document(self):
+        with pytest.raises(ValueError):
+            Span(1, 10).content("ab")
+
+    def test_mapping_equality_hash(self):
+        a = Mapping({"x": Span(1, 2)})
+        b = Mapping({"x": Span(1, 2)})
+        assert a == b and hash(a) == hash(b)
+
+    def test_mapping_contents(self):
+        m = Mapping({"x": Span(1, 3), "y": Span(3, 4)})
+        assert m.contents("abc") == {"x": "ab", "y": "c"}
+
+
+def capture_one_a() -> EVA:
+    """x captures a single 'a' occurrence: open, read 'a', close."""
+    return EVA(
+        states=["scan", "opened", "pre_close", "closed"],
+        initial="scan",
+        finals=["closed"],
+        letter_transitions=[
+            ("scan", "a", "scan"),
+            ("scan", "b", "scan"),
+            ("opened", "a", "pre_close"),
+            ("closed", "a", "closed"),
+            ("closed", "b", "closed"),
+        ],
+        variable_transitions=[
+            ("scan", [open_marker("x")], "opened"),
+            ("pre_close", [close_marker("x")], "closed"),
+        ],
+    )
+
+
+class TestEVA:
+    def test_functional_accepts(self):
+        assert capture_one_a().is_functional()
+
+    def test_capture_one_a_mappings(self):
+        evaluator = SpannerEvaluator(capture_one_a(), "aba", rng=0)
+        spans = sorted((m["x"].start, m["x"].end) for m in evaluator.mappings())
+        assert spans == [(1, 2), (3, 4)]
+
+    def test_non_functional_detected(self):
+        # A final state reachable with the variable never opened.
+        bad = EVA(
+            states=["s", "f"],
+            initial="s",
+            finals=["f"],
+            letter_transitions=[("s", "a", "f")],
+            variable_transitions=[("s", [open_marker("x")], "s")],
+            variables=["x"],
+        )
+        assert not bad.is_functional()
+        with pytest.raises(NotFunctionalError):
+            bad.require_functional()
+
+    def test_double_open_detected(self):
+        bad = EVA(
+            states=["s", "m", "f"],
+            initial="s",
+            finals=["f"],
+            letter_transitions=[("m", "a", "f")],
+            variable_transitions=[
+                ("s", [open_marker("x"), close_marker("x")], "m"),
+                ("m2" if False else "f", [open_marker("x")], "f"),
+            ],
+            variables=["x"],
+        )
+        assert not bad.is_functional()
+
+    def test_extraction_builder_functional(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        assert eva.is_functional()
+
+
+class TestCompileEva:
+    def test_all_mappings_found(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        doc = "aabccdaabd"
+        evaluator = SpannerEvaluator(eva, doc, rng=0)
+        mappings = list(evaluator.mappings())
+        # Occurrences of 'ab' at positions 2-3 and 8-9 (1-indexed): after
+        # 'ab' at 2-3, content blocks from position 4: c, cc, ccd? content
+        # chars are c/d: 'ccd' run of length 3 → spans [4,5⟩,[4,6⟩,[4,7⟩;
+        # after 'ab' at 8-9: 'd' → [10,11⟩.
+        spans = sorted((m["X"].start, m["X"].end) for m in mappings)
+        assert spans == [(4, 5), (4, 6), (4, 7), (10, 11)]
+
+    def test_contents_extracted(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        doc = "aabccdaabd"
+        evaluator = SpannerEvaluator(eva, doc, rng=0)
+        extracted = sorted(m.contents(doc)["X"] for m in evaluator.mappings())
+        assert extracted == ["c", "cc", "ccd", "d"]
+
+    def test_count_matches_enumeration(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        doc = "aabccdaabd"
+        evaluator = SpannerEvaluator(eva, doc, rng=0)
+        assert evaluator.count_exact() == len(list(evaluator.mappings()))
+
+    def test_sampling_returns_real_mappings(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        doc = "aabccdaabd"
+        evaluator = SpannerEvaluator(eva, doc, rng=0)
+        universe = set(evaluator.mappings())
+        for seed in range(5):
+            assert evaluator.sample(seed) in universe
+
+    def test_empty_result(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        evaluator = SpannerEvaluator(eva, "bbbb", rng=0)
+        assert list(evaluator.mappings()) == []
+        assert evaluator.sample(0) is None
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        doc = "aabccd"
+        mapping = Mapping({"X": Span(4, 6)})
+        w = encode_mapping(eva, doc, mapping)
+        assert len(w) == len(doc) + 1
+        assert decode_mapping(eva, w) == mapping
+
+    def test_relation_check(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        doc = "aabccd"
+        relation = EvalEvaRelation()
+        good = Mapping({"X": Span(4, 6)})
+        bad = Mapping({"X": Span(1, 2)})
+        assert relation.check((eva, doc), good)
+        assert not relation.check((eva, doc), bad)
+
+    def test_ueva_relation_on_unambiguous(self):
+        eva = extraction_eva("ab", "X", content_symbols="cd", alphabet="abcd")
+        doc = "aabccd"
+        compiled = EvalUevaRelation().compile((eva, doc))
+        assert compiled.length == len(doc) + 1

@@ -1,0 +1,103 @@
+"""Tests for ≤-n length-spectrum semantics (padding + stratified solver)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.nfa import NFA, word
+from repro.automata.operations import words_of_length
+from repro.automata.random_gen import random_ufa
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.exact import count_words_exact
+from repro.core.fpras import FprasParameters
+from repro.core.spectrum import PAD, SpectrumSolver, pad_automaton, strip_padding
+from repro.errors import EmptyWitnessSetError
+from repro.utils.stats import chi_square_uniformity
+
+FAST = FprasParameters(sample_size=48)
+
+
+class TestPadAutomaton:
+    def test_padded_counts(self, even_zeros_dfa):
+        padded = pad_automaton(even_zeros_dfa)
+        n = 5
+        expected = sum(count_words_exact(even_zeros_dfa, length) for length in range(n + 1))
+        assert count_words_exact(padded, n) == expected
+
+    def test_padding_is_parseable(self, even_zeros_dfa):
+        padded = pad_automaton(even_zeros_dfa)
+        w = word("11") + (PAD, PAD)
+        assert padded.accepts(w)
+        assert strip_padding(w) == word("11")
+
+    def test_pad_only_at_end(self, even_zeros_dfa):
+        padded = pad_automaton(even_zeros_dfa)
+        assert not padded.accepts((PAD, "1", "1"))
+
+    def test_preserves_unambiguity(self, even_zeros_dfa):
+        assert is_unambiguous(pad_automaton(even_zeros_dfa))
+
+    def test_collision_rejected(self):
+        nfa = NFA(["q"], [PAD], [], "q", ["q"])
+        with pytest.raises(ValueError):
+            pad_automaton(nfa)
+
+
+class TestSpectrumSolverUfa:
+    def test_count(self, even_zeros_dfa):
+        solver = SpectrumSolver(even_zeros_dfa, 5)
+        expected = sum(count_words_exact(even_zeros_dfa, length) for length in range(6))
+        assert solver.count() == expected
+        assert solver.count_exact() == expected
+
+    def test_enumeration_shortest_first(self, even_zeros_dfa):
+        solver = SpectrumSolver(even_zeros_dfa, 3)
+        out = list(solver.enumerate())
+        assert out[0] == ()
+        lengths = [len(w) for w in out]
+        assert lengths == sorted(lengths)
+        assert len(out) == len(set(out))
+
+    def test_sampling_support(self, even_zeros_dfa, rng):
+        solver = SpectrumSolver(even_zeros_dfa, 4, rng=rng)
+        support = [
+            w
+            for length in range(5)
+            for w in words_of_length(even_zeros_dfa, length)
+        ]
+        samples = [solver.sample() for _ in range(len(support) * 60)]
+        result = chi_square_uniformity(samples, support)
+        assert not result.rejects_uniformity()
+
+    def test_empty(self, rng):
+        solver = SpectrumSolver(NFA.empty_language("01"), 4, rng=rng)
+        assert solver.count() == 0
+        with pytest.raises(EmptyWitnessSetError):
+            solver.sample()
+
+    def test_random_ufa_agrees_with_exact(self, rng):
+        ufa = random_ufa(6, rng=5, ensure_nonempty_length=4)
+        solver = SpectrumSolver(ufa, 5, rng=rng)
+        assert solver.count() == solver.count_exact()
+
+
+class TestSpectrumSolverNfa:
+    def test_approx_count_tracks_exact(self, endswith_one_nfa, rng):
+        solver = SpectrumSolver(endswith_one_nfa, 7, delta=0.3, rng=rng, params=FAST)
+        exact = solver.count_exact()
+        assert exact == sum(2**length - 1 for length in range(8))
+        estimate = solver.count()
+        assert abs(estimate - exact) <= 0.35 * exact
+
+    def test_sample_is_witness(self, endswith_one_nfa, rng):
+        solver = SpectrumSolver(endswith_one_nfa, 6, delta=0.3, rng=rng, params=FAST)
+        for _ in range(5):
+            w = solver.sample()
+            assert len(w) <= 6
+            assert endswith_one_nfa.accepts(w)
+
+    def test_enumeration_complete(self, endswith_one_nfa):
+        solver = SpectrumSolver(endswith_one_nfa, 4)
+        out = list(solver.enumerate())
+        assert len(out) == sum(2**length - 1 for length in range(5))
+        assert len(out) == len(set(out))

@@ -1,0 +1,147 @@
+"""Unit tests for NL-transducers and the Lemma 13 compilation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.automata.operations import words_of_length
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.transducers import (
+    BLANK,
+    CompilationReport,
+    ConfigGraphTransducer,
+    TMTransition,
+    TuringTransducer,
+    compile_to_nfa,
+    outputs_brute_force,
+)
+from repro.errors import InvalidRelationInputError
+
+
+def copy_transducer() -> ConfigGraphTransducer:
+    """Outputs the input string itself (the identity relation)."""
+
+    def initial(x):
+        return ("at", 0)
+
+    def step(x, config):
+        _, position = config
+        if position < len(x):
+            yield x[position], ("at", position + 1)
+
+    def accepting(x, config):
+        return config[1] == len(x)
+
+    def bound(x):
+        return len(x) + 2
+
+    return ConfigGraphTransducer(initial, step, accepting, bound, name="copy")
+
+
+def subsets_transducer() -> ConfigGraphTransducer:
+    """On input of length n, outputs every binary word of length n."""
+
+    def initial(x):
+        return ("at", 0)
+
+    def step(x, config):
+        _, position = config
+        if position < len(x):
+            yield "0", ("at", position + 1)
+            yield "1", ("at", position + 1)
+
+    def accepting(x, config):
+        return config[1] == len(x)
+
+    def bound(x):
+        return len(x) + 2
+
+    return ConfigGraphTransducer(initial, step, accepting, bound, name="subsets")
+
+
+class TestConfigGraphCompilation:
+    def test_copy_language(self):
+        nfa = compile_to_nfa(copy_transducer(), "abba")
+        assert words_of_length(nfa, 4) == [tuple("abba")]
+
+    def test_subsets_language(self):
+        nfa = compile_to_nfa(subsets_transducer(), "xxx")
+        assert len(words_of_length(nfa, 3)) == 8
+
+    def test_matches_brute_force_oracle(self):
+        transducer = subsets_transducer()
+        x = "xx"
+        nfa = compile_to_nfa(transducer, x)
+        compiled = {w for w in words_of_length(nfa, 2)}
+        direct = outputs_brute_force(transducer, x)
+        assert compiled == direct
+
+    def test_unambiguous_transducer_gives_ufa(self):
+        # The subsets transducer has ONE run per output — a UL-transducer.
+        nfa = compile_to_nfa(subsets_transducer(), "xxxx")
+        assert is_unambiguous(nfa)
+
+    def test_report_populated(self):
+        report = CompilationReport()
+        compile_to_nfa(copy_transducer(), "abc", report=report)
+        assert report.configurations == 4
+        assert report.nfa_states > 0
+
+    def test_bound_enforced(self):
+        def runaway_step(x, config):
+            yield "0", ("at", config[1] + 1)  # never stops
+
+        transducer = ConfigGraphTransducer(
+            initial=lambda x: ("at", 0),
+            step=runaway_step,
+            accepting=lambda x, c: False,
+            bound=lambda x: 5,
+            name="runaway",
+        )
+        with pytest.raises(InvalidRelationInputError):
+            compile_to_nfa(transducer, "xx")
+
+
+def parity_tm() -> TuringTransducer:
+    """Tape-level machine: copies input and accepts (identity over {0,1}).
+
+    Deliberately simple — the tape-level model's value is demonstrating
+    the literal Lemma 13 pipeline, not writing large machines.
+    """
+    transitions = {}
+    for bit in "01":
+        # Read a bit, emit it, move input head right; work tape untouched.
+        transitions[("scan", bit, BLANK)] = [
+            TMTransition("scan", BLANK, +1, 0, output=bit)
+        ]
+    transitions[("scan", "⊣", BLANK)] = [TMTransition("accept", BLANK, 0, 0)]
+    return TuringTransducer(
+        states=["scan", "accept"],
+        initial_state="scan",
+        accepting_states=["accept"],
+        transitions=transitions,
+        name="identity TM",
+    )
+
+
+class TestTuringTransducer:
+    def test_identity_language(self):
+        nfa = compile_to_nfa(parity_tm(), "0110")
+        assert words_of_length(nfa, 4) == [tuple("0110")]
+
+    def test_config_bound_polynomial_shape(self):
+        tm = parity_tm()
+        small = tm.config_bound("01")
+        large = tm.config_bound("01" * 20)
+        assert small < large
+
+    def test_tape_length_logarithmic(self):
+        tm = parity_tm()
+        assert tm.tape_length("x" * 1000) <= 2 + 12  # ~ log2(1002) + 2
+
+    def test_initial_config_shape(self):
+        tm = parity_tm()
+        state, input_pos, work_pos, tape = tm.initial_config("abc")
+        assert state == "scan"
+        assert input_pos == 0 and work_pos == 0
+        assert all(cell == BLANK for cell in tape)

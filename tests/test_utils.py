@@ -1,0 +1,136 @@
+"""Tests for the utility layer (stats, timing, rng)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.utils.rng import make_rng, spawn
+from repro.utils.stats import (
+    chi2_sf,
+    chi_square_uniformity,
+    empirical_distribution,
+    relative_error,
+    summarize_errors,
+)
+from repro.utils.timing import DelayRecorder, iterate_with_budget, time_call
+
+
+class TestRng:
+    def test_from_seed_deterministic(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_passthrough(self):
+        generator = random.Random(1)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_fresh(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            make_rng("seed")
+
+    def test_spawn_independent(self):
+        parent = make_rng(7)
+        child = spawn(parent)
+        assert child.random() != parent.random()
+
+
+class TestStatsHelpers:
+    def test_empirical_distribution(self):
+        dist = empirical_distribution(["a", "a", "b", "b"])
+        assert dist == {"a": 0.5, "b": 0.5}
+
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == math.inf
+
+    def test_summarize_errors(self):
+        summary = summarize_errors([0.05, 0.15, 0.02, 0.3], delta=0.2)
+        assert summary.count == 4
+        assert summary.within_delta_fraction == 0.75
+        assert summary.maximum == 0.3
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_errors([], delta=0.1)
+
+
+class TestChiSquare:
+    def test_sf_against_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        for dof in (1, 3, 10, 30):
+            for statistic in (0.5, 2.0, 8.0, 25.0, 60.0):
+                ours = chi2_sf(statistic, dof)
+                reference = float(scipy_stats.chi2.sf(statistic, dof))
+                assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_uniform_sample_passes(self):
+        generator = random.Random(0)
+        support = list(range(10))
+        samples = [generator.choice(support) for _ in range(2000)]
+        assert not chi_square_uniformity(samples, support).rejects_uniformity()
+
+    def test_skewed_sample_fails(self):
+        generator = random.Random(0)
+        support = list(range(10))
+        samples = [generator.choice(support[:3]) for _ in range(500)]
+        assert chi_square_uniformity(samples, support).rejects_uniformity()
+
+    def test_stray_samples_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(["z"], support=["a", "b"])
+
+    def test_duplicate_support_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(["a"], support=["a", "a"])
+
+    def test_singleton_support(self):
+        result = chi_square_uniformity(["a", "a"], support=["a"])
+        assert result.p_value == 1.0
+
+
+class TestTiming:
+    def test_delay_recorder(self):
+        recorder = DelayRecorder()
+        out = recorder.drain(iter([1, 2, 3]))
+        assert out == [1, 2, 3]
+        assert len(recorder.delays) == 3
+        assert recorder.max_delay >= recorder.mean_delay >= 0
+
+    def test_drain_with_limit(self):
+        recorder = DelayRecorder()
+        out = recorder.drain(iter(range(100)), limit=5)
+        assert len(out) == 5
+
+    def test_normalized_delays(self):
+        recorder = DelayRecorder()
+        recorder.delays.extend([0.2, 0.4])
+        normalized = recorder.normalized_delays([2, 4])
+        assert normalized == [0.1, 0.1]
+
+    def test_normalized_mismatch(self):
+        recorder = DelayRecorder()
+        recorder.delays.append(0.1)
+        with pytest.raises(ValueError):
+            recorder.normalized_delays([1, 2])
+
+    def test_time_call(self):
+        result, elapsed = time_call(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0
+
+    def test_iterate_with_budget(self):
+        def slow():
+            import time
+
+            while True:
+                time.sleep(0.001)
+                yield 1
+
+        out = iterate_with_budget(slow(), seconds=0.05)
+        assert 1 <= len(out) < 1000
