@@ -11,10 +11,9 @@ import time
 
 import pytest
 
+from repro.api import WitnessSet
 from repro.baselines.karp_luby import karp_luby_count
-from repro.core.fpras import approx_count_nfa
 from repro.dnf.formulas import random_dnf
-from repro.dnf.relation import SatDnfRelation
 from repro.utils.stats import relative_error
 from workloads import BENCH_FPRAS, SEED
 
@@ -23,19 +22,19 @@ from workloads import BENCH_FPRAS, SEED
 def test_dnf_generic_vs_karp_luby(benchmark, observe, num_vars, num_terms, width):
     phi = random_dnf(num_vars, num_terms, width, rng=SEED)
     exact = phi.count_models_brute()
-    compiled = SatDnfRelation().compile(phi)
+    # Both strategies are selected by name from the solver-backend
+    # registry, against one shared compiled WitnessSet.
+    ws = WitnessSet.from_dnf(phi, params=BENCH_FPRAS)
 
     def generic():
-        return approx_count_nfa(
-            compiled.nfa, compiled.length, delta=0.3, rng=1, params=BENCH_FPRAS
-        )
+        return ws.count(backend="fpras", delta=0.3, rng=1)
 
     start = time.perf_counter()
     generic_estimate = benchmark.pedantic(generic, rounds=1, iterations=1)
     generic_time = time.perf_counter() - start
 
     start = time.perf_counter()
-    kl_estimate = karp_luby_count(phi, delta=0.1, rng=1)
+    kl_estimate = ws.count(backend="karp_luby", delta=0.1, rng=1)
     kl_time = time.perf_counter() - start
 
     observe(

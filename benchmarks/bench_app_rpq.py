@@ -10,6 +10,7 @@ import math
 
 import pytest
 
+from repro.api import WitnessSet
 from repro.graphdb.graph import grid_graph, social_graph
 from repro.graphdb.rpq import RPQ, RpqEvaluator
 from workloads import SEED
@@ -21,10 +22,10 @@ def test_rpq_grid_counts(benchmark, observe, side):
     n = 2 * (side - 1)
 
     def evaluate():
-        return RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (side - 1, side - 1), n)
+        ws = WitnessSet.from_rpq(g, "(r|d)*", (0, 0), (side - 1, side - 1), n)
+        return ws, ws.count()
 
-    evaluator = benchmark.pedantic(evaluate, rounds=2, iterations=1)
-    count = evaluator.count_exact()
+    ws, count = benchmark.pedantic(evaluate, rounds=2, iterations=1)
     expected = math.comb(n, side - 1)
     observe("E11", f"grid {side}x{side} paths={count} (closed form C({n},{side-1})={expected})")
     assert count == expected
@@ -34,9 +35,9 @@ def test_rpq_grid_sampling(benchmark, observe):
     side = 6
     g = grid_graph(side, side)
     n = 2 * (side - 1)
-    evaluator = RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (side - 1, side - 1), n)
-    benchmark(evaluator.sample, 0)
-    paths = [evaluator.sample(seed) for seed in range(20)]
+    ws = WitnessSet.from_rpq(g, "(r|d)*", (0, 0), (side - 1, side - 1), n)
+    benchmark(ws.sample, rng=0)
+    paths = [ws.sample(rng=seed) for seed in range(20)]
     assert all(p.is_path_of(g) for p in paths)
     observe("E11", f"grid sampling: 20/20 sampled paths valid, e.g. {''.join(paths[0].label_word)}")
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Run every ``benchmarks/bench_*.py`` and consolidate a perf baseline.
+
+Usage::
+
+    python benchmarks/run_all.py [--full] [--out benchmarks/BENCH_api.json]
+
+Each bench module runs as its own pytest session (they are independent
+experiment files); per-file status, wall-clock and the tail of the
+output land in one JSON document so future PRs can diff against a
+recorded baseline.  By default pytest-benchmark's calibrated timing
+loops are disabled (``--benchmark-disable``) — the point of the default
+run is a *regression-visible wall-clock baseline*, not publication-grade
+statistics; pass ``--full`` for the calibrated run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+def run_one(path: Path, full: bool, timeout: float) -> dict:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(path),
+        "-q",
+        "-p",
+        "no:cacheprovider",
+    ]
+    if not full:
+        command.append("--benchmark-disable")
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    start = time.perf_counter()
+    try:
+        proc = subprocess.run(
+            command,
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        returncode = proc.returncode
+        tail = (proc.stdout or "").strip().splitlines()[-4:]
+    except subprocess.TimeoutExpired:
+        returncode = -1
+        tail = [f"timed out after {timeout:.0f}s"]
+    seconds = time.perf_counter() - start
+    return {
+        "status": "passed" if returncode == 0 else "failed",
+        "returncode": returncode,
+        "seconds": round(seconds, 2),
+        "tail": tail,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="keep pytest-benchmark's calibrated timing loops")
+    parser.add_argument("--out", default=str(BENCH_DIR / "BENCH_api.json"),
+                        help="consolidated output path")
+    parser.add_argument("--timeout", type=float, default=900.0,
+                        help="per-file timeout in seconds")
+    parser.add_argument("--only", default=None,
+                        help="substring filter on bench file names")
+    args = parser.parse_args(argv)
+
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if args.only:
+        files = [path for path in files if args.only in path.name]
+    if not files:
+        print("no bench_*.py files found", file=sys.stderr)
+        return 2
+
+    results: dict[str, dict] = {}
+    for path in files:
+        print(f"[run_all] {path.name} ...", flush=True)
+        results[path.name] = run_one(path, full=args.full, timeout=args.timeout)
+        entry = results[path.name]
+        print(f"[run_all]   {entry['status']} in {entry['seconds']}s", flush=True)
+
+    failed = [name for name, entry in results.items() if entry["status"] != "passed"]
+    document = {
+        "format": "repro.bench",
+        "version": 1,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": sys.version.split()[0],
+        "mode": "full" if args.full else "quick",
+        "summary": {
+            "total": len(results),
+            "passed": len(results) - len(failed),
+            "failed": len(failed),
+            "seconds": round(sum(e["seconds"] for e in results.values()), 2),
+        },
+        "results": results,
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"[run_all] wrote {out_path} "
+          f"({document['summary']['passed']}/{document['summary']['total']} passed)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

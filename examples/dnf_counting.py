@@ -2,52 +2,49 @@
 
 Run:  python examples/dnf_counting.py
 
-Counts and samples satisfying assignments of a DNF formula via
+Counts and samples satisfying assignments of a DNF formula through one
+:class:`repro.WitnessSet` whose counting strategy is chosen from the
+solver-backend registry:
 
-1. the generic RelationNL pipeline (compile to MEM-NFA, run the #NFA
-   FPRAS and the PLVUG) — the paper's point: one machinery covers it;
-2. the same pipeline but entered through the literal §3 NL-transducer
-   and the Lemma 13 configuration-graph compilation;
-3. the specialized Karp–Luby FPRAS [KL83] as the classical comparator.
+1. ``backend="fpras"`` — the generic RelationNL pipeline (compile to
+   MEM-NFA, run the #NFA FPRAS) — the paper's point: one machinery
+   covers it;
+2. the same pipeline entered through the literal §3 NL-transducer and
+   the Lemma 13 configuration-graph compilation (``via_transducer``);
+3. ``backend="karp_luby"`` — the specialized DNF FPRAS [KL83] as the
+   classical comparator, a first-class peer in the registry.
 """
 
 from __future__ import annotations
 
-from repro.baselines.karp_luby import karp_luby_count
-from repro.core.classes import RelationNL
+from repro import WitnessSet
 from repro.core.fpras import FprasParameters
-from repro.dnf.formulas import parse_dnf
-from repro.dnf.relation import SatDnfRelation
 
 
 def main() -> None:
-    phi = parse_dnf(
-        "x0 & x2 & !x5 | !x1 & x3 | x4 & x5 & x6 | !x0 & !x6 & x7",
-        num_variables=8,
-    )
+    text = "x0 & x2 & !x5 | !x1 & x3 | x4 & x5 & x6 | !x0 & !x6 & x7"
+    params = FprasParameters(sample_size=64)
+    ws = WitnessSet.from_dnf(text, delta=0.2, rng=0, params=params)
+    phi = ws.instance
     exact = phi.count_models_brute()
-    print(f"formula over 8 variables, {len(phi.terms)} terms")
+    print(f"formula over {phi.num_variables} variables, {len(phi.terms)} terms")
     print(f"exact model count (truth table): {exact}")
     print(f"exact (inclusion–exclusion):     {phi.count_models_inclusion_exclusion()}")
+    print(f"exact (facade, subset counter):  {ws.count()}")
 
-    params = FprasParameters(sample_size=64)
+    # Route 1: direct compilation, generic #NFA FPRAS.
+    print(f"\ngeneric FPRAS (direct compile):  {ws.count(backend='fpras'):.1f}")
 
-    # Route 1: direct compilation.
-    nl = RelationNL(SatDnfRelation(), delta=0.2, rng=0, params=params)
-    print(f"\ngeneric FPRAS (direct compile):  {nl.count_approx(phi):.1f}")
+    # Route 2: through the §3 transducer + Lemma 13 — same facade, the
+    # compilation route is a constructor flag.
+    ws_transducer = WitnessSet.from_dnf(text, via_transducer=True, delta=0.2, rng=0, params=params)
+    print(f"generic FPRAS (via transducer):  {ws_transducer.count(backend='fpras'):.1f}")
 
-    # Route 2: through the §3 transducer + Lemma 13.
-    nl_transducer = RelationNL(
-        SatDnfRelation(via_transducer=True), delta=0.2, rng=0, params=params
-    )
-    print(f"generic FPRAS (via transducer):  {nl_transducer.count_approx(phi):.1f}")
-
-    # Route 3: Karp–Luby.
-    print(f"Karp–Luby FPRAS [KL83]:          {karp_luby_count(phi, rng=0):.1f}")
+    # Route 3: Karp–Luby, selected by name from the registry.
+    print(f"Karp–Luby FPRAS [KL83]:          {ws.count(backend='karp_luby', rng=0):.1f}")
 
     print("\nfive uniform satisfying assignments (PLVUG):")
-    for _ in range(5):
-        assignment = nl.sample(phi)
+    for assignment in ws.sample(5):
         print(f"  {assignment}  (satisfies: {phi.evaluate(assignment)})")
 
 

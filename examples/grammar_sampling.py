@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from collections import Counter
 
+from repro import WitnessSet
 from repro.grammars import CNFGrammar, count_derivations, derivation_sampler
 
 
@@ -59,6 +60,14 @@ def main() -> None:
     sampler = derivation_sampler(two, 2)
     histogram = Counter("".join(sampler.sample_word(seed)) for seed in range(1000))
     print(f"uniform sampling over {{ab, ba}}: {dict(histogram)}")
+
+    # The same language through the unified facade: ``from_cfg``
+    # materializes the length-n slice into a trie UFA, so the exact
+    # RelationUL suite (count / enumerate / sample) applies uniformly.
+    ws = WitnessSet.from_cfg(two, 2)
+    print(f"facade: |W| = {ws.count()}, words = "
+          f"{sorted(''.join(w) for w in ws.enumerate())}, "
+          f"one uniform draw = {''.join(ws.sample(rng=0))}")
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 
+from repro import WitnessSet
 from repro.graphdb.graph import grid_graph, social_graph
 from repro.graphdb.rpq import RPQ, RpqEvaluator
 
@@ -25,11 +26,11 @@ def grid_scenario() -> None:
     side = 5
     g = grid_graph(side, side)
     n = 2 * (side - 1)
-    evaluator = RpqEvaluator(g, RPQ("(r|d)*"), (0, 0), (side - 1, side - 1), n)
-    count = evaluator.count_exact()
+    ws = WitnessSet.from_rpq(g, "(r|d)*", (0, 0), (side - 1, side - 1), n)
+    count = ws.count()
     print(f"grid {side}×{side}: {count} monotone corner paths "
           f"(closed form C({n},{side - 1}) = {math.comb(n, side - 1)})")
-    path = evaluator.sample(1)
+    path = ws.sample(rng=1)
     print(f"  one uniform path: {''.join(path.label_word)} via {path.vertices()}")
 
 

@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import random
 
+from repro import WitnessSet
 from repro.spanners.eva import extraction_eva
-from repro.spanners.evaluation import SpannerEvaluator
 
 
 def make_document(entries: int, seed: int = 3) -> str:
@@ -35,19 +35,19 @@ def main() -> None:
     document = make_document(entries=5)
     print(f"document ({len(document)} chars): {document}")
 
-    evaluator = SpannerEvaluator(rule, document, rng=0)
-    print(f"compiled automaton: {evaluator.nfa}")
-    print(f"unambiguous instance: {evaluator.unambiguous}")
-    print(f"number of extractions: {evaluator.count_exact()}")
+    ws = WitnessSet.from_spanner(rule, document, rng=0)
+    print(f"compiled automaton: {ws.stripped}")
+    print(f"unambiguous instance: {ws.is_unambiguous}")
+    print(f"number of extractions: {ws.count()}")
 
     print("\nall extractions (constant/poly delay enumeration):")
-    for mapping in evaluator.mappings():
+    for mapping in ws.enumerate():
         span = mapping["V"]
         print(f"  V = {span!r} → {span.content(document)!r}")
 
     print("\nthree uniform samples:")
     for seed in range(3):
-        mapping = evaluator.sample(seed)
+        mapping = ws.sample(rng=seed)
         print(f"  {mapping} → {mapping.contents(document)['V']!r}")
 
 

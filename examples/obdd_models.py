@@ -11,10 +11,8 @@ generator instead.
 
 from __future__ import annotations
 
+from repro import WitnessSet
 from repro.bdd.builders import conj, disj, neg, obdd_from_formula, random_nobdd, var
-from repro.bdd.nobdd import EvalNobddRelation
-from repro.bdd.obdd import EvalObddRelation
-from repro.core.classes import RelationNLSolver, RelationULSolver
 from repro.core.fpras import FprasParameters
 
 
@@ -29,33 +27,23 @@ def obdd_scenario() -> None:
     obdd = obdd_from_formula(formula, order)
     print(f"OBDD: {len(obdd.nodes)} internal nodes over order {order}")
 
-    relation = EvalObddRelation()
-    compiled = relation.compile(obdd)
-    solver = RelationULSolver(compiled.nfa, compiled.length, check=False)
-    print(f"model count (exact, poly time): {solver.count()}")
+    ws = WitnessSet.from_obdd(obdd)
+    print(f"model count (exact, poly time): {ws.count()}")
     print("models (constant-delay enumeration):")
-    for w in solver.enumerate():
-        print(f"  {relation.decode_witness(obdd, w)}")
-    model = relation.decode_witness(obdd, solver.sample(0))
-    print(f"one uniform model: {model}")
+    for model in ws.enumerate():
+        print(f"  {model}")
+    print(f"one uniform model: {ws.sample(rng=0)}")
 
 
 def nobdd_scenario() -> None:
     nobdd = random_nobdd(10, branches=4, rng=21)
-    relation = EvalNobddRelation()
-    compiled = relation.compile(nobdd)
-    solver = RelationNLSolver(
-        compiled.nfa,
-        compiled.length,
-        delta=0.2,
-        rng=1,
-        params=FprasParameters(sample_size=64),
+    ws = WitnessSet.from_obdd(
+        nobdd, delta=0.2, rng=1, params=FprasParameters(sample_size=64)
     )
     print(f"\nnOBDD over 10 variables, 4 nondeterministic branches")
-    print(f"model count (FPRAS):  {solver.count_approx():.1f}")
-    print(f"model count (exact):  {solver.count_exact()}")
-    w = solver.sample()
-    model = relation.decode_witness(nobdd, w)
+    print(f"model count (FPRAS):  {ws.count(backend='fpras'):.1f}")
+    print(f"model count (exact):  {ws.count()}")
+    model = ws.sample()
     print(f"one uniform model:    {model}")
     print(f"evaluates to:         {nobdd.evaluate(model)}")
 

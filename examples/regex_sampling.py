@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro import LasVegasUniformGenerator, compile_regex, count_words_exact
+from repro import WitnessSet
 from repro.baselines.montecarlo import uniform_run_sampler
 from repro.core.fpras import FprasParameters
 
@@ -35,8 +35,10 @@ def histogram(title: str, samples: list, top: int = 6) -> None:
 def main() -> None:
     pattern = "(a|aa)*(b(a|aa)*)?"
     n = 12
-    nfa = compile_regex(pattern, alphabet="ab")
-    support_size = count_words_exact(nfa, n)
+    ws = WitnessSet.from_regex(
+        pattern, n, alphabet="ab", delta=0.3, params=FprasParameters(sample_size=64)
+    )
+    support_size = ws.count()  # exact (subset counter; the instance is small)
     print(f"pattern {pattern!r}, length {n}: {support_size} distinct strings")
     print(f"(uniform share would be {1 / support_size:.1%} each)\n")
 
@@ -44,15 +46,13 @@ def main() -> None:
 
     # The biased route: sample accepting RUNS uniformly — strings with
     # many parses (many a-runs) dominate.
-    run_sampler = uniform_run_sampler(nfa.without_epsilon(), n)
+    run_sampler = uniform_run_sampler(ws.stripped, n)
     biased = [run_sampler(seed) for seed in range(draws)]
     histogram("naive run sampling (biased toward ambiguous strings):", biased)
 
-    # The paper's route: exactly uniform conditioned on success.
-    generator = LasVegasUniformGenerator(
-        nfa, n, delta=0.3, rng=7, params=FprasParameters(sample_size=64)
-    )
-    uniform = generator.sample_many(draws // 10)  # rejection makes draws pricier
+    # The paper's route: exactly uniform conditioned on success (the
+    # facade routes ambiguous automata through the Corollary 23 PLVUG).
+    uniform = ws.sample(draws // 10, rng=7)  # rejection makes draws pricier
     print()
     histogram("PLVUG (Corollary 23, exactly uniform):", uniform)
 

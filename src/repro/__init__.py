@@ -6,28 +6,46 @@ A faithful, production-oriented reproduction of
     "Efficient Logspace Classes for Enumeration, Counting, and Uniform
     Generation."  PODS 2019 (arXiv:1906.09226).
 
-Quick tour::
+Quick tour — one query object serves every question::
 
-    import repro
+    from repro import WitnessSet
 
-    # Compile a regex to an NFA and work with its fixed-length language.
-    nfa = repro.compile_regex("(ab|ba)*(a|b)?", alphabet="ab")
+    # Compile once; every question reuses the cached preprocessing.
+    ws = WitnessSet.from_regex("(ab|ba)*(a|b)?", 9, alphabet="ab")
 
-    repro.count_words(nfa, 9)              # exact count (any NFA)
-    repro.approx_count_nfa(nfa, 9, 0.1)    # the paper's FPRAS (Theorem 22)
-    list(repro.enumerate_words(nfa, 9))    # constant/poly delay enumeration
-    repro.uniform_sample(nfa, 9, rng=0)    # uniform witness (exact or PLVUG)
+    ws.count()                                 # exact |L_9|
+    ws.count(backend="fpras", epsilon=0.1)     # the paper's FPRAS (Thm 22)
+    ws.sample(5, rng=0)                        # 5 exactly-uniform witnesses
+    list(ws.enumerate(limit=10))               # constant/poly delay ENUM
+    ws.spectrum()                              # {length: |L_length|}
+    ws.is_unambiguous                          # RelationUL vs RelationNL
 
-The top-level helpers dispatch between the two complexity classes the way
-the paper's theorems do: unambiguous automata get the exact polynomial
-algorithms of RelationUL (Theorem 5), general NFAs get the FPRAS and the
-Las Vegas generator of RelationNL (Theorem 2 / 22 / Corollary 23).
+The same facade fronts every application domain of the paper —
+``WitnessSet.from_dnf`` (satisfying assignments), ``from_obdd`` (BDD
+models), ``from_rpq`` (graph paths), ``from_spanner`` (document
+extractions), ``from_cfg`` (grammar words) — and dispatches between the
+two complexity classes the way the paper's theorems do: unambiguous
+automata get the exact polynomial algorithms of RelationUL (Theorem 5),
+general NFAs the FPRAS and Las Vegas generator of RelationNL (Theorem
+2 / 22 / Corollary 23).  Counting strategies — including the baselines
+the paper measures against — are selected by name through the pluggable
+registry in :mod:`repro.backends`.
+
+.. deprecated:: 1.1
+   The free functions :func:`count_words`, :func:`uniform_sample` and
+   :func:`uniform_samples` predate the facade.  They now delegate to a
+   process-wide shared :class:`WitnessSet` cache (so repeated calls on
+   the same automaton are O(1) after the first), but new code should
+   construct a :class:`WitnessSet` directly.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 
+from repro import backends
+from repro.api import CacheStats, WitnessSet, shared as shared_witness_set
 from repro.automata import (
     EPSILON,
     NFA,
@@ -60,28 +78,40 @@ from repro.core import (
 )
 from repro.errors import (
     AmbiguityError,
+    BackendError,
     EmptyWitnessSetError,
     GenerationFailedError,
     InvalidAutomatonError,
     InvalidRegexError,
     ReproError,
+    UnknownBackendError,
 )
 from repro.utils.rng import make_rng
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.{name}() is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def count_words(nfa: NFA, n: int) -> int:
     """Exact ``|L_n(nfa)|``, choosing the right exact algorithm.
 
-    Unambiguous automata use the polynomial-time run-count DP of Section
-    5.3.2; ambiguous ones fall back to the subset-construction counter
-    (exponential worst case — use :func:`approx_count_nfa` at scale).
+    .. deprecated:: 1.1  Use ``WitnessSet.from_nfa(nfa, n).count()``.
+
+    Delegates to the shared :class:`WitnessSet` cache: unambiguous
+    automata use the polynomial-time run-count DP of Section 5.3.2,
+    ambiguous ones the subset-construction counter (exponential worst
+    case — use the ``fpras`` backend at scale).  Repeated calls on the
+    same automaton reuse all preprocessing.
     """
-    stripped = nfa.without_epsilon().trim()
-    if is_unambiguous(stripped):
-        return count_accepting_runs_of_length(stripped, n)
-    return count_words_exact(stripped, n)
+    _deprecated("count_words", "WitnessSet.from_nfa(nfa, n).count()")
+    return shared_witness_set(nfa, n).count_exact()
 
 
 def uniform_sample(
@@ -92,16 +122,15 @@ def uniform_sample(
 ):
     """One uniform witness of ``L_n(nfa)`` (None when the set is empty).
 
-    Unambiguous automata get the exact uniform sampler of Section 5.3.3;
-    general NFAs get the Las Vegas generator of Corollary 23.
-    """
-    generator = make_rng(rng)
-    stripped = nfa.without_epsilon().trim()
-    if is_unambiguous(stripped):
-        from repro.core.exact_sampler import sample_word_ufa_or_none
+    .. deprecated:: 1.1  Use ``WitnessSet.from_nfa(nfa, n).sample(rng=...)``.
 
-        return sample_word_ufa_or_none(stripped, n, rng=generator, check=False)
-    return LasVegasUniformGenerator(stripped, n, delta=delta, rng=generator).generate()
+    Unambiguous automata get the exact uniform sampler of Section 5.3.3;
+    general NFAs the Las Vegas generator of Corollary 23 — both through
+    the shared :class:`WitnessSet` cache, so the per-automaton
+    preprocessing is paid once across calls.
+    """
+    _deprecated("uniform_sample", "WitnessSet.from_nfa(nfa, n).sample(rng=...)")
+    return shared_witness_set(nfa, n, delta=delta).sample(rng=make_rng(rng))
 
 
 def uniform_samples(
@@ -113,20 +142,21 @@ def uniform_samples(
 ) -> list:
     """``count`` independent uniform witnesses of ``L_n(nfa)``.
 
-    Amortizes preprocessing across draws (one sampler / one PLVUG state).
+    .. deprecated:: 1.1  Use ``WitnessSet.from_nfa(nfa, n).sample(count)``.
+
     Raises :class:`EmptyWitnessSetError` if there are no witnesses.
     """
-    generator = make_rng(rng)
-    stripped = nfa.without_epsilon().trim()
-    if is_unambiguous(stripped):
-        sampler = ExactUniformSampler(stripped, n, check=False)
-        return sampler.sample_many(count, rng=generator)
-    plvug = LasVegasUniformGenerator(stripped, n, delta=delta, rng=generator)
-    return plvug.sample_many(count)
+    _deprecated("uniform_samples", "WitnessSet.from_nfa(nfa, n).sample(count)")
+    return shared_witness_set(nfa, n, delta=delta).sample(count, rng=make_rng(rng))
 
 
 __all__ = [
     "__version__",
+    # the facade
+    "WitnessSet",
+    "CacheStats",
+    "backends",
+    "shared_witness_set",
     # automata
     "NFA",
     "DFA",
@@ -137,7 +167,7 @@ __all__ = [
     "determinize",
     "minimize",
     "is_unambiguous",
-    # top-level dispatchers
+    # deprecated top-level dispatchers (thin shims over the facade)
     "count_words",
     "uniform_sample",
     "uniform_samples",
@@ -163,6 +193,8 @@ __all__ = [
     "ReproError",
     "InvalidAutomatonError",
     "AmbiguityError",
+    "BackendError",
+    "UnknownBackendError",
     "EmptyWitnessSetError",
     "GenerationFailedError",
     "InvalidRegexError",

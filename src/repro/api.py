@@ -1,0 +1,560 @@
+"""The unified query facade: one :class:`WitnessSet` per compiled instance.
+
+The paper's central point is architectural: *every* application —
+SAT-DNF, OBDDs, RPQs, document spanners — goes through one pipeline:
+compile the instance to an automaton ``(N, n)`` whose fixed-length
+language is the witness set, then dispatch to the exact RelationUL
+algorithms or the FPRAS/PLVUG of RelationNL.  :class:`WitnessSet` is that
+pipeline as a single query object:
+
+* uniform constructors ``from_nfa / from_regex / from_dnf / from_obdd /
+  from_rpq / from_spanner / from_cfg`` replace the per-domain ad-hoc
+  entrypoints;
+* all shared preprocessing (ε-strip + trim, the ambiguity check, the
+  pruned unrolling, the backward count table, the FPRAS sketch) is
+  computed lazily **exactly once** and reused by every subsequent
+  ``count`` / ``sample`` / ``enumerate`` / ``spectrum`` call — a count
+  followed by a sample on the same language no longer pays twice;
+* counting strategies are pluggable via the solver-backend registry
+  (:mod:`repro.backends`): ``ws.count(backend="fpras" | "montecarlo" |
+  "kannan" | "karp_luby" | ...)``.
+
+Quick tour::
+
+    from repro import WitnessSet
+
+    ws = WitnessSet.from_regex("(ab|ba)*(a|b)?", 9, alphabet="ab")
+    ws.count()                      # exact |W|
+    ws.count(backend="fpras", epsilon=0.1)   # the paper's FPRAS
+    ws.sample(5, rng=0)             # 5 exactly-uniform witnesses
+    list(ws.enumerate(limit=10))    # constant/poly-delay enumeration
+    ws.spectrum()                   # {length: |L_length|}
+    ws.is_unambiguous               # which complexity class applies
+
+:data:`shared` is the bounded process-wide cache behind the deprecated
+free functions (``repro.count_words`` etc.), so legacy call sites are
+O(1) after the first query on a given automaton.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections import OrderedDict
+from typing import Iterator
+
+from repro import backends as _backends
+from repro.automata.nfa import NFA, Word
+from repro.automata.regex import compile_regex
+from repro.automata.unambiguous import is_unambiguous
+from repro.core.enumeration import enumerate_words_dag, enumerate_words_nfa
+from repro.core.exact import backward_run_table, count_words_exact, length_spectrum
+from repro.core.exact_sampler import ExactUniformSampler
+from repro.core.fpras import FprasParameters, FprasState
+from repro.core.plvug import DEFAULT_ATTEMPTS_PER_CALL
+from repro.core.relations import AutomatonBackedRelation, CompiledInstance
+from repro.core.unroll import UnrolledDAG, accepted_word_exists, unroll_trimmed
+from repro.errors import (
+    EmptyWitnessSetError,
+    GenerationFailedError,
+    InvalidRelationInputError,
+)
+from repro.utils.rng import make_rng
+
+
+class CacheStats:
+    """Per-artifact hit/miss counters for a :class:`WitnessSet`'s cache.
+
+    Tests (and curious users) read these to verify the no-recompilation
+    guarantee: after the first query, further queries only ever *hit*.
+    """
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self):
+        self.hits: dict = {}
+        self.misses: dict = {}
+
+    def record(self, key, hit: bool) -> None:
+        table = self.hits if hit else self.misses
+        table[key] = table.get(key, 0) + 1
+
+    @property
+    def hit_count(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def miss_count(self) -> int:
+        return sum(self.misses.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"<CacheStats hits={self.hit_count} misses={self.miss_count}>"
+
+
+class WitnessSet:
+    """The witness set ``W = L_n(N)`` of one compiled instance, queryable.
+
+    Parameters
+    ----------
+    nfa, n:
+        The Lemma 13 artifact: witnesses are the length-``n`` words of
+        ``nfa`` (possibly decoded into domain objects, see ``relation``).
+    relation, instance:
+        Optional :class:`AutomatonBackedRelation` and the input it was
+        compiled from; when present, witnesses are decoded into domain
+        objects (assignments, paths, mappings, ...) and ``instance`` is
+        available to source-specific backends (e.g. Karp–Luby).
+    source:
+        A kind tag (``"regex"``, ``"dnf"``, ``"rpq"``, ...) used by
+        backends to state applicability and by reports.
+    delta, params, rng:
+        Default FPRAS accuracy, parameters and randomness for the
+        approximate/randomized routes.
+    """
+
+    def __init__(
+        self,
+        nfa: NFA,
+        n: int,
+        *,
+        relation: AutomatonBackedRelation | None = None,
+        instance=None,
+        source: str = "nfa",
+        delta: float = 0.1,
+        params: FprasParameters | None = None,
+        rng: random.Random | int | None = None,
+    ):
+        if n < 0:
+            raise ValueError("witness length must be ≥ 0")
+        self.nfa = nfa
+        self.n = n
+        self.relation = relation
+        self.instance = instance
+        self.source = source
+        self.delta = delta
+        self.params = params
+        self.rng = make_rng(rng)
+        self.stats = CacheStats()
+        self._cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # The cache: every expensive artifact goes through here exactly once.
+    # ------------------------------------------------------------------
+
+    def _cached(self, key, build):
+        if key in self._cache:
+            self.stats.record(key, hit=True)
+            return self._cache[key]
+        self.stats.record(key, hit=False)
+        value = build()
+        self._cache[key] = value
+        return value
+
+    @property
+    def stripped(self) -> NFA:
+        """The ε-free trimmed automaton every algorithm consumes."""
+        return self._cached("stripped", lambda: self.nfa.without_epsilon().trim())
+
+    @property
+    def is_unambiguous(self) -> bool:
+        """The class-membership certificate (RelationUL vs RelationNL)."""
+        return self._cached("unambiguous", lambda: is_unambiguous(self.stripped))
+
+    @property
+    def nonempty(self) -> bool:
+        """Exact emptiness test (a reachability check, Lemma 15)."""
+        return self._cached(
+            "nonempty", lambda: accepted_word_exists(self.stripped, self.n)
+        )
+
+    @property
+    def dag(self) -> UnrolledDAG:
+        """The Lemma 15 pruned unrolling, shared by enumerator and sampler."""
+        return self._cached("dag", lambda: unroll_trimmed(self.stripped, self.n))
+
+    @property
+    def backward_table(self) -> list:
+        """Per-layer accepting-completion counts over :attr:`dag`."""
+        return self._cached("backward_table", lambda: backward_run_table(self.dag))
+
+    @property
+    def exact_sampler(self) -> ExactUniformSampler:
+        """The §5.3.3 sampler, reusing the cached DAG and count table."""
+        return self._cached(
+            "exact_sampler",
+            lambda: ExactUniformSampler(
+                self.stripped, self.n, check=False, dag=self.dag, back=self.backward_table
+            ),
+        )
+
+    def fpras_state(
+        self,
+        delta: float | None = None,
+        rng: random.Random | int | None = None,
+    ) -> FprasState:
+        """The FPRAS sketch (Algorithm 5's preprocessing), cached per δ.
+
+        Integer ``rng`` seeds get their own cache entry (reproducible
+        pipelines); ``None`` / shared ``Random`` streams reuse the first
+        sketch built at that δ.
+        """
+        resolved = delta if delta is not None else self.delta
+        seed = rng if isinstance(rng, int) else None
+        key = ("fpras", resolved, seed)
+        generator = self.rng if rng is None else make_rng(rng)
+        return self._cached(
+            key,
+            lambda: FprasState(
+                self.stripped, self.n, delta=resolved, rng=generator, params=self.params
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # COUNT
+    # ------------------------------------------------------------------
+
+    def count_exact(self) -> int:
+        """Exact ``|W|``: run-count DP when unambiguous, subset counter
+        otherwise (exponential worst case — use an approximate backend at
+        scale)."""
+        if self.is_unambiguous:
+            # On the pruned DAG, runs = words; the backward table's layer-0
+            # total is the count, and it is shared with the exact sampler.
+            return self._cached(
+                "count_exact",
+                lambda: sum(
+                    self.backward_table[0].get(state, 0) for state in self.dag.layer(0)
+                ),
+            )
+        return self._cached(
+            "count_exact", lambda: count_words_exact(self.stripped, self.n)
+        )
+
+    def count(
+        self,
+        backend: str | None = None,
+        *,
+        method: str | None = None,
+        delta: float | None = None,
+        epsilon: float | None = None,
+        rng: random.Random | int | None = None,
+        **options,
+    ):
+        """``|W|`` via a registered solver backend (default ``"exact"``).
+
+        ``method=`` is an alias for ``backend=``; ``epsilon=`` for
+        ``delta=`` (the FPRAS's relative-error bound).  Remaining keyword
+        options are forwarded to the backend (e.g. ``samples=`` for
+        ``montecarlo``).
+        """
+        if backend is not None and method is not None and backend != method:
+            raise ValueError("pass either backend= or its alias method=, not both")
+        name = backend or method or "exact"
+        solver = _backends.get(name)
+        solver.check_applicable(self)
+        resolved_delta = delta if delta is not None else epsilon
+        if not solver.exact:
+            options["delta"] = resolved_delta
+            options["rng"] = rng
+        return solver.count(self, **options)
+
+    def spectrum(self, max_length: int | None = None) -> dict[int, int]:
+        """Exact ``{ℓ: |L_ℓ(N)|}`` for ``ℓ = 0..max_length`` (default n)."""
+        bound = self.n if max_length is None else max_length
+        return self._cached(
+            ("spectrum", bound),
+            lambda: length_spectrum(
+                self.stripped, range(bound + 1), exact_nfa=not self.is_unambiguous
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # ENUM
+    # ------------------------------------------------------------------
+
+    def words(self, limit: int | None = None) -> Iterator[Word]:
+        """Enumerate raw witness words (constant delay when unambiguous,
+        polynomial delay otherwise), reusing the cached DAG."""
+        if self.is_unambiguous:
+            iterator = enumerate_words_dag(self.dag)
+        else:
+            iterator = enumerate_words_nfa(self.stripped, self.n)
+        return iterator if limit is None else itertools.islice(iterator, limit)
+
+    def enumerate(self, limit: int | None = None) -> Iterator:
+        """Enumerate decoded witnesses (same delay guarantees)."""
+        for w in self.words(limit=limit):
+            yield self.decode(w)
+
+    # ------------------------------------------------------------------
+    # GEN
+    # ------------------------------------------------------------------
+
+    def _sample_word_or_none(self, generator: random.Random) -> Word | None:
+        if not self.nonempty:
+            return None
+        if self.is_unambiguous:
+            return self.exact_sampler.sample(generator)
+        state = self.fpras_state()
+        for _ in range(DEFAULT_ATTEMPTS_PER_CALL):
+            w = state.sample_witness(generator)
+            if w is not None:
+                return w
+        raise GenerationFailedError(DEFAULT_ATTEMPTS_PER_CALL)
+
+    def sample(self, k: int | None = None, rng: random.Random | int | None = None):
+        """Uniform witnesses: one (or ``None`` when ``W = ∅``) by default,
+        a list of ``k`` independent draws when ``k`` is given (raising
+        :class:`EmptyWitnessSetError` on an empty set, mirroring the
+        batched samplers)."""
+        generator = self.rng if rng is None else make_rng(rng)
+        if k is None:
+            w = self._sample_word_or_none(generator)
+            return None if w is None else self.decode(w)
+        if k < 0:
+            raise ValueError("sample count must be ≥ 0")
+        if not self.nonempty:
+            raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
+        # Nonempty, so each draw yields a word (the NL path retries its
+        # own rejection budget internally and raises on exhaustion).
+        return [self.decode(self._sample_word_or_none(generator)) for _ in range(k)]
+
+    # ------------------------------------------------------------------
+    # Witness codec and reports
+    # ------------------------------------------------------------------
+
+    def decode(self, w: Word):
+        """Automaton word → domain witness (identity without a relation)."""
+        if self.relation is None:
+            return w
+        return self.relation.decode_witness(self.instance, w)
+
+    def encode(self, witness) -> Word:
+        """Domain witness → automaton word (identity without a relation)."""
+        if self.relation is None:
+            return witness
+        return self.relation.encode_witness(self.instance, witness)
+
+    def contains(self, witness) -> bool:
+        """Membership ``witness ∈ W`` (the p-relation check)."""
+        w = self.encode(witness)
+        return len(w) == self.n and self.stripped.accepts(w)
+
+    def describe(self) -> dict:
+        """Automaton facts for reports and ``repro inspect``."""
+        stripped = self.stripped
+        return {
+            "source": self.source,
+            "length": self.n,
+            "states": stripped.num_states,
+            "transitions": stripped.num_transitions,
+            "alphabet": stripped.alphabet,
+            "unambiguous": self.is_unambiguous,
+            "class": "RelationUL" if self.is_unambiguous else "RelationNL",
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return (
+            f"<WitnessSet source={self.source!r} n={self.n} "
+            f"states={self.nfa.num_states}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Uniform constructors: one per application domain
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_nfa(cls, nfa: NFA, n: int, **kwargs) -> "WitnessSet":
+        """Wrap a raw automaton: witnesses are ``L_n(nfa)`` verbatim."""
+        kwargs.setdefault("source", "nfa")
+        return cls(nfa, n, **kwargs)
+
+    @classmethod
+    def from_regex(
+        cls, pattern: str, n: int, alphabet=None, **kwargs
+    ) -> "WitnessSet":
+        """The headline use case: length-``n`` strings of a regex."""
+        alphabet_list = list(alphabet) if alphabet is not None else None
+        kwargs.setdefault("source", "regex")
+        return cls(compile_regex(pattern, alphabet=alphabet_list), n, **kwargs)
+
+    @classmethod
+    def from_dnf(cls, formula, via_transducer: bool = False, **kwargs) -> "WitnessSet":
+        """Satisfying assignments of a DNF formula (§3; Karp–Luby-capable).
+
+        ``formula`` is a :class:`~repro.dnf.DNFFormula` or the textual
+        ``"x0 & !x2 | x1"`` syntax of :func:`repro.dnf.parse_dnf`.
+        """
+        from repro.dnf.formulas import DNFFormula, parse_dnf
+        from repro.dnf.relation import SatDnfRelation
+
+        if isinstance(formula, str):
+            formula = parse_dnf(formula)
+        if not isinstance(formula, DNFFormula):
+            raise InvalidRelationInputError(
+                f"expected a DNFFormula or DNF text, got {type(formula).__name__}"
+            )
+        relation = SatDnfRelation(via_transducer=via_transducer)
+        compiled = relation.compile(formula)
+        kwargs.setdefault("source", "dnf")
+        return cls(
+            compiled.nfa,
+            compiled.length,
+            relation=relation,
+            instance=formula,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_obdd(cls, diagram, **kwargs) -> "WitnessSet":
+        """Models of an OBDD (Corollary 9) or nOBDD (Corollary 10)."""
+        from repro.bdd.nobdd import NOBDD, EvalNobddRelation
+        from repro.bdd.obdd import OBDD, EvalObddRelation
+
+        if isinstance(diagram, OBDD):
+            relation, source = EvalObddRelation(), "obdd"
+        elif isinstance(diagram, NOBDD):
+            relation, source = EvalNobddRelation(), "nobdd"
+        else:
+            raise InvalidRelationInputError(
+                f"expected an OBDD or NOBDD, got {type(diagram).__name__}"
+            )
+        compiled = relation.compile(diagram)
+        kwargs.setdefault("source", source)
+        return cls(
+            compiled.nfa,
+            compiled.length,
+            relation=relation,
+            instance=diagram,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_rpq(
+        cls,
+        graph,
+        query,
+        source,
+        target,
+        n: int,
+        deterministic_query: bool = False,
+        **kwargs,
+    ) -> "WitnessSet":
+        """Length-``n`` paths ``source → target`` conforming to ``query``
+        (§4.2, Corollary 8); witnesses decode to :class:`~repro.graphdb.Path`.
+
+        ``deterministic_query=True`` determinizes the query automaton so
+        the product is unambiguous and the exact suite applies.
+        """
+        from repro.graphdb.rpq import RPQ, EvalRpqRelation, compile_rpq
+
+        if isinstance(query, str):
+            query = RPQ(query)
+        nfa = compile_rpq(graph, query, source, target, deterministic_query)
+        kwargs.setdefault("source", "rpq")
+        return cls(
+            nfa,
+            n,
+            relation=EvalRpqRelation(),
+            instance=(query, n, graph, source, target),
+            **kwargs,
+        )
+
+    @classmethod
+    def from_spanner(cls, eva, document: str, **kwargs) -> "WitnessSet":
+        """Mappings ``⟦A⟧(d)`` of a functional eVA over a document
+        (§4.1, Corollaries 6–7); witnesses decode to ``Mapping`` objects."""
+        from repro.spanners.evaluation import EvalEvaRelation
+
+        relation = EvalEvaRelation()
+        compiled = relation.compile((eva, document))
+        kwargs.setdefault("source", "spanner")
+        return cls(
+            compiled.nfa,
+            compiled.length,
+            relation=relation,
+            instance=(eva, document),
+            **kwargs,
+        )
+
+    @classmethod
+    def from_cfg(cls, grammar, n: int, limit: int = 100_000, **kwargs) -> "WitnessSet":
+        """Length-``n`` words of a CNF grammar, via explicit
+        materialization into a trie UFA.
+
+        CFGs lie outside the paper's automaton classes (this is the
+        [GJK+97] setting); the constructor exists for API uniformity on
+        instance sizes where the length-``n`` slice is materializable —
+        the trie is deterministic, so the exact RelationUL suite applies.
+        """
+        try:
+            words = grammar.words_of_length(n, limit=limit)
+        except InvalidRelationInputError as error:
+            raise InvalidRelationInputError(
+                f"the grammar's length-{n} slice exceeds {limit} words; "
+                "from_cfg materializes the slice and is meant for small instances"
+            ) from error
+        alphabet = set(grammar.terminals) or {"∅"}
+        states: set = {()}
+        transitions: set = set()
+        for w in words:
+            for i in range(n):
+                states.add(w[: i + 1])
+                transitions.add((w[:i], w[i], w[: i + 1]))
+        trie = NFA(states, alphabet, transitions, (), set(words))
+        kwargs.setdefault("source", "cfg")
+        return cls(trie, n, instance=grammar, **kwargs)
+
+    @classmethod
+    def from_compiled(
+        cls,
+        relation: AutomatonBackedRelation,
+        instance,
+        compiled: CompiledInstance | None = None,
+        **kwargs,
+    ) -> "WitnessSet":
+        """Escape hatch: wrap any :class:`AutomatonBackedRelation`."""
+        compiled = compiled or relation.compile(instance)
+        kwargs.setdefault("source", getattr(relation, "name", "relation"))
+        return cls(
+            compiled.nfa,
+            compiled.length,
+            relation=relation,
+            instance=instance,
+            **kwargs,
+        )
+
+
+# ----------------------------------------------------------------------
+# The process-wide shared cache behind the deprecated free functions
+# ----------------------------------------------------------------------
+
+_SHARED_MAXSIZE = 64
+_shared_cache: "OrderedDict[tuple, WitnessSet]" = OrderedDict()
+
+
+def shared(nfa: NFA, n: int, delta: float = 0.1) -> WitnessSet:
+    """The memoized ``(nfa, n, δ) → WitnessSet`` map (bounded LRU).
+
+    NFAs compare by value, so two structurally identical automata share
+    one entry.  This is what makes the legacy free functions O(1) after
+    their first call on a given automaton.
+    """
+    key = (nfa, n, delta)
+    ws = _shared_cache.get(key)
+    if ws is not None:
+        _shared_cache.move_to_end(key)
+        return ws
+    ws = WitnessSet(nfa, n, delta=delta)
+    _shared_cache[key] = ws
+    while len(_shared_cache) > _SHARED_MAXSIZE:
+        _shared_cache.popitem(last=False)
+    return ws
+
+
+def shared_cache_clear() -> None:
+    """Drop every shared entry (tests and long-running processes)."""
+    _shared_cache.clear()
+
+
+__all__ = ["WitnessSet", "CacheStats", "shared", "shared_cache_clear"]

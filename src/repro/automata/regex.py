@@ -5,9 +5,9 @@ sampling" as the novel capability with no canonical OSS tool.  This module
 is the user-facing front end for it: parse a pattern, compile to an NFA,
 then hand the NFA to the Section 5/6 machinery::
 
-    >>> from repro import compile_regex, count_words, sample_word
-    >>> nfa = compile_regex("(ab|ba)*a?")
-    >>> count_words(nfa, 5)          # exact (this pattern is ambiguous → NFA route)
+    >>> from repro import WitnessSet
+    >>> ws = WitnessSet.from_regex("(ab|ba)*a?", 5)
+    >>> ws.count()                   # exact (this pattern is ambiguous → NFA route)
     ...
 
 Supported syntax (a deliberate, clean subset of POSIX/Python syntax):

@@ -2,136 +2,220 @@
 
 Commands
 --------
-count     exact or FPRAS count of the length-n language of a regex/NFA
+count     exact or approximate count of the witness set (``--backend``)
 sample    uniform witnesses (exact / Las Vegas, per the class dispatch)
 enum      enumerate witnesses (constant/polynomial delay)
 inspect   automaton facts: size, ambiguity, per-length spectrum
 dot       Graphviz DOT of the automaton or its unrolled DAG
 
-Input is a regular expression (``--regex``, with ``--alphabet``) or a
-JSON automaton file produced by :func:`repro.automata.serialization.
-nfa_to_json` (``--nfa-json``).  All randomness is seedable (``--seed``)
-for reproducible pipelines.
+Every command goes through the :class:`repro.api.WitnessSet` facade, so
+within one process repeated queries on the same input reuse all
+preprocessing.  Inputs:
+
+* ``--regex`` (with ``--alphabet``) — a regular expression;
+* ``--nfa-json`` — a JSON automaton file (:func:`repro.automata.
+  serialization.nfa_to_json`);
+* ``--dnf`` — a file containing ``"x0 & !x2 | x1"``-style DNF text;
+  witnesses are satisfying assignments (``-n`` defaults to the number
+  of variables);
+* ``--rpq`` — a regular path query: ``--graph-json`` (a
+  :func:`repro.graphdb.graph_to_json` file) plus ``--source``,
+  ``--target`` and the path regex in ``--regex``.
+
+Counting strategies are selected by name from the solver-backend
+registry (``--backend exact|fpras|montecarlo|kannan|karp_luby|naive``);
+``--approx`` is shorthand for ``--backend fpras``.  All randomness is
+seedable (``--seed``) for reproducible pipelines.
 
 Examples::
 
     python -m repro count  --regex '(ab|ba)*' --alphabet ab -n 10
     python -m repro count  --regex '(a|b)*a(a|b)*' --alphabet ab -n 40 --approx --delta 0.2
+    python -m repro count  --dnf formula.txt --backend karp_luby --seed 1
+    python -m repro count  --rpq --graph-json g.json --source p0 --target p7 --regex 'k(k|f)*k' -n 5
     python -m repro sample --regex '(ab|ba)*' --alphabet ab -n 10 --count 5 --seed 7
-    python -m repro enum   --regex 'a*b' --alphabet ab -n 6 --limit 20
+    python -m repro enum   --dnf formula.txt --limit 20
     python -m repro dot    --regex 'a*b' --alphabet ab --unroll 4
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
 import sys
+from typing import Hashable
 
-from repro.automata.nfa import NFA, word_str
-from repro.automata.regex import compile_regex
+from repro import backends
+from repro.api import WitnessSet
+from repro.automata.nfa import word_str
 from repro.automata.serialization import nfa_from_json, nfa_to_dot, unrolled_dag_to_dot
-from repro.automata.unambiguous import is_unambiguous
-from repro.core.enumeration import enumerate_words
-from repro.core.exact import count_accepting_runs_of_length, count_words_exact
-from repro.core.fpras import FprasParameters, approx_count_nfa
+from repro.core.fpras import FprasParameters
 from repro.core.unroll import unroll_trimmed
 from repro.errors import ReproError
 
 
-def _load_automaton(args) -> NFA:
+def _parse_vertex(graph, text: str):
+    """Map a CLI vertex argument onto a graph vertex.
+
+    Tries the raw string, then a Python literal (ints, tuples like
+    ``"(0, 0)"`` for grid graphs).
+    """
+    if text in graph.vertices:
+        return text
+    try:
+        literal = ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        literal = None
+    if isinstance(literal, Hashable) and literal is not None and literal in graph.vertices:
+        return literal
+    raise SystemExit(f"vertex {text!r} is not in the graph")
+
+
+def _require_length(args) -> int:
+    if args.length is not None:
+        return args.length
+    if getattr(args, "needs_length", True):
+        raise SystemExit("-n/--length is required for this input")
+    return 0  # inspect/dot operate on the automaton, not a fixed length
+
+
+def _load_witness_set(args) -> WitnessSet:
+    """Build the WitnessSet the command operates on, from any input kind."""
+    params = (
+        FprasParameters(sample_size=args.sketch_size)
+        if getattr(args, "sketch_size", None)
+        else None
+    )
+    kwargs = {
+        "delta": getattr(args, "delta", 0.1),
+        "params": params,
+        "rng": getattr(args, "seed", None),
+    }
+    if getattr(args, "rpq", False):
+        if args.graph_json is None or args.regex is None:
+            raise SystemExit("--rpq requires --graph-json and --regex")
+        if args.source is None or args.target is None:
+            raise SystemExit("--rpq requires --source and --target")
+        from repro.graphdb.graph import graph_from_json
+
+        with open(args.graph_json, "r", encoding="utf-8") as handle:
+            graph = graph_from_json(handle.read())
+        return WitnessSet.from_rpq(
+            graph,
+            args.regex,
+            _parse_vertex(graph, args.source),
+            _parse_vertex(graph, args.target),
+            _require_length(args),
+            **kwargs,
+        )
+    if args.dnf is not None:
+        from repro.dnf.formulas import parse_dnf
+
+        with open(args.dnf, "r", encoding="utf-8") as handle:
+            formula = parse_dnf(handle.read().strip())
+        if args.length is not None and args.length != formula.num_variables:
+            raise SystemExit(
+                f"-n {args.length} contradicts the formula's "
+                f"{formula.num_variables} variables (omit -n for --dnf)"
+            )
+        return WitnessSet.from_dnf(formula, **kwargs)
     if args.regex is not None:
-        alphabet = list(args.alphabet) if args.alphabet else None
-        return compile_regex(args.regex, alphabet=alphabet)
+        alphabet = args.alphabet if args.alphabet else None
+        return WitnessSet.from_regex(args.regex, _require_length(args), alphabet=alphabet, **kwargs)
     if args.nfa_json is not None:
         with open(args.nfa_json, "r", encoding="utf-8") as handle:
-            return nfa_from_json(handle.read())
-    raise SystemExit("one of --regex or --nfa-json is required")
+            return WitnessSet.from_nfa(nfa_from_json(handle.read()), _require_length(args), **kwargs)
+    raise SystemExit("one of --regex, --nfa-json, --dnf or --rpq is required")
 
 
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--regex", help="regular expression to compile")
+    parser.add_argument("--regex", help="regular expression (also the --rpq path pattern)")
     parser.add_argument("--alphabet", help="alphabet characters, e.g. 'ab'")
     parser.add_argument("--nfa-json", help="path to a repro.nfa JSON file")
+    parser.add_argument("--dnf", metavar="FILE", help="path to a DNF formula text file")
+    parser.add_argument("--rpq", action="store_true",
+                        help="regular path query mode (needs --graph-json/--source/--target)")
+    parser.add_argument("--graph-json", metavar="FILE", help="path to a repro.graph JSON file")
+    parser.add_argument("--source", help="RPQ source vertex")
+    parser.add_argument("--target", help="RPQ target vertex")
+    parser.add_argument("-n", "--length", type=int, default=None,
+                        help="witness length (optional for --dnf)")
+
+
+def _format_witness(witness) -> str:
+    from repro.graphdb.rpq import Path
+
+    if isinstance(witness, Path):
+        labels = "".join(map(str, witness.label_word))
+        hops = " → ".join(map(str, witness.vertices()))
+        return f"{labels}  ({hops})"
+    if isinstance(witness, tuple):
+        return word_str(tuple(str(symbol) for symbol in witness))
+    return str(witness)
 
 
 def _command_count(args) -> int:
-    nfa = _load_automaton(args)
-    if args.approx:
-        params = FprasParameters(sample_size=args.sketch_size)
-        estimate = approx_count_nfa(
-            nfa, args.length, delta=args.delta, rng=args.seed, params=params
-        )
-        print(f"{estimate:.6g}")
-        return 0
-    stripped = nfa.without_epsilon().trim()
-    if is_unambiguous(stripped):
-        print(count_accepting_runs_of_length(stripped, args.length))
+    ws = _load_witness_set(args)
+    name = args.backend or ("fpras" if args.approx else "exact")
+    if backends.get(name).exact:
+        print(ws.count(name))
     else:
-        print(count_words_exact(stripped, args.length))
+        print(f"{ws.count(name, delta=args.delta, rng=args.seed):.6g}")
     return 0
 
 
 def _command_sample(args) -> int:
-    import repro
-
-    nfa = _load_automaton(args)
-    samples = repro.uniform_samples(
-        nfa, args.length, args.count, rng=args.seed, delta=args.delta
-    )
-    for w in samples:
-        print(word_str(w))
+    ws = _load_witness_set(args)
+    for witness in ws.sample(args.count, rng=args.seed):
+        print(_format_witness(witness))
     return 0
 
 
 def _command_enum(args) -> int:
-    nfa = _load_automaton(args)
-    emitted = 0
-    for w in enumerate_words(nfa, args.length):
-        print(word_str(w))
-        emitted += 1
-        if args.limit is not None and emitted >= args.limit:
-            break
+    ws = _load_witness_set(args)
+    for witness in ws.enumerate(limit=args.limit):
+        print(_format_witness(witness))
     return 0
 
 
 def _command_inspect(args) -> int:
-    nfa = _load_automaton(args).without_epsilon().trim()
-    unambiguous = is_unambiguous(nfa)
-    print(f"states        : {nfa.num_states}")
-    print(f"transitions   : {nfa.num_transitions}")
-    print(f"alphabet      : {''.join(sorted(map(str, nfa.alphabet)))}")
-    print(f"unambiguous   : {unambiguous}")
-    print(f"class         : {'RelationUL (exact suite)' if unambiguous else 'RelationNL (FPRAS/PLVUG)'}")
+    ws = _load_witness_set(args)
+    facts = ws.describe()
+    print(f"states        : {facts['states']}")
+    print(f"transitions   : {facts['transitions']}")
+    print(f"alphabet      : {''.join(sorted(map(str, facts['alphabet'])))}")
+    print(f"unambiguous   : {facts['unambiguous']}")
+    print(f"class         : "
+          f"{'RelationUL (exact suite)' if facts['unambiguous'] else 'RelationNL (FPRAS/PLVUG)'}")
     if args.spectrum:
-        counter = (
-            count_accepting_runs_of_length if unambiguous else count_words_exact
-        )
-        for length in range(args.spectrum + 1):
-            print(f"|L_{length:<3}|       : {counter(nfa, length)}")
+        for length, count in ws.spectrum(args.spectrum).items():
+            print(f"|L_{length:<3}|       : {count}")
     return 0
 
 
 def _command_dot(args) -> int:
-    nfa = _load_automaton(args).without_epsilon().trim()
+    ws = _load_witness_set(args)
     if args.unroll is not None:
-        print(unrolled_dag_to_dot(unroll_trimmed(nfa, args.unroll)))
+        print(unrolled_dag_to_dot(unroll_trimmed(ws.stripped, args.unroll)))
     else:
-        print(nfa_to_dot(nfa))
+        print(nfa_to_dot(ws.stripped))
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="enumerate / count / uniformly sample NFA and regex languages "
+        description="enumerate / count / uniformly sample witness sets "
         "(Arenas et al., PODS 2019)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    count = commands.add_parser("count", help="count length-n witnesses")
+    count = commands.add_parser("count", help="count witnesses")
     _add_input_arguments(count)
-    count.add_argument("-n", "--length", type=int, required=True)
-    count.add_argument("--approx", action="store_true", help="use the FPRAS")
+    count.add_argument("--approx", action="store_true",
+                       help="use the FPRAS (alias for --backend fpras)")
+    count.add_argument("--backend", default=None,
+                       help="solver backend: %s" % ", ".join(backends.available()))
     count.add_argument("--delta", type=float, default=0.1)
     count.add_argument("--sketch-size", type=int, default=64)
     count.add_argument("--seed", type=int, default=None)
@@ -139,7 +223,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     sample = commands.add_parser("sample", help="draw uniform witnesses")
     _add_input_arguments(sample)
-    sample.add_argument("-n", "--length", type=int, required=True)
     sample.add_argument("--count", type=int, default=1)
     sample.add_argument("--delta", type=float, default=0.1)
     sample.add_argument("--seed", type=int, default=None)
@@ -147,7 +230,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     enum = commands.add_parser("enum", help="enumerate witnesses")
     _add_input_arguments(enum)
-    enum.add_argument("-n", "--length", type=int, required=True)
     enum.add_argument("--limit", type=int, default=None)
     enum.set_defaults(run=_command_enum)
 
@@ -155,13 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_arguments(inspect)
     inspect.add_argument("--spectrum", type=int, default=None, metavar="N",
                          help="print |L_0..N|")
-    inspect.set_defaults(run=_command_inspect)
+    inspect.set_defaults(run=_command_inspect, needs_length=False)
 
     dot = commands.add_parser("dot", help="Graphviz DOT output")
     _add_input_arguments(dot)
     dot.add_argument("--unroll", type=int, default=None, metavar="N",
                      help="render the pruned n-step unrolling instead")
-    dot.set_defaults(run=_command_dot)
+    dot.set_defaults(run=_command_dot, needs_length=False)
 
     return parser
 

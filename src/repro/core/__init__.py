@@ -32,6 +32,7 @@ from repro.core.exact import (
 )
 from repro.core.enumeration import (
     enumerate_words,
+    enumerate_words_dag,
     enumerate_words_nfa,
     enumerate_words_ufa,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "enumerate_words",
     "enumerate_words_ufa",
     "enumerate_words_nfa",
+    "enumerate_words_dag",
     "psi",
     "ell",
     "sigma",

@@ -59,6 +59,17 @@ def enumerate_words_ufa(nfa: NFA, n: int, check: bool = True) -> Iterator[Word]:
     return _algorithm1(unroll_trimmed(prepared, n))
 
 
+def enumerate_words_dag(dag: UnrolledDAG) -> Iterator[Word]:
+    """Algorithm 1 over an already-built Lemma-15 pruned DAG.
+
+    Lets callers that cache the unrolling (the :class:`repro.api.
+    WitnessSet` facade, the samplers) enumerate without re-unrolling.
+    The DAG must come from ``unroll_trimmed`` on an unambiguous ε-free
+    automaton, or the enumeration may repeat words.
+    """
+    return _algorithm1(dag)
+
+
 def _algorithm1(dag: UnrolledDAG) -> Iterator[Word]:
     """The paper's Algorithm 1 on a Lemma-15-pruned DAG.
 

@@ -45,18 +45,31 @@ class ExactUniformSampler:
     Precomputes the pruned DAG and the backward count table once; every
     :meth:`sample` is then an O(n·deg) walk.  Amortizes the Section 5.3.3
     preprocessing across many draws, which is how the uniform-generation
-    experiments (E7) use it.
+    experiments (E7) use it.  A caller that already holds the pruned DAG
+    and/or the table (e.g. the :class:`repro.api.WitnessSet` facade) can
+    pass them as ``dag`` / ``back`` to share the preprocessing; ``dag``
+    must then be the Lemma 15 trimmed unrolling of an ε-free unambiguous
+    automaton.
     """
 
-    def __init__(self, nfa: NFA, n: int, check: bool = True):
-        prepared = (
-            require_unambiguous(nfa, context="exact uniform sampling")
-            if check
-            else nfa.without_epsilon()
-        )
+    def __init__(
+        self,
+        nfa: NFA,
+        n: int,
+        check: bool = True,
+        dag: UnrolledDAG | None = None,
+        back: list | None = None,
+    ):
+        if dag is None:
+            prepared = (
+                require_unambiguous(nfa, context="exact uniform sampling")
+                if check
+                else nfa.without_epsilon()
+            )
+            dag = unroll_trimmed(prepared, n)
         self.n = n
-        self.dag: UnrolledDAG = unroll_trimmed(prepared, n)
-        self.back = backward_run_table(self.dag)
+        self.dag: UnrolledDAG = dag
+        self.back = back if back is not None else backward_run_table(self.dag)
         self.total = sum(
             self.back[0].get(state, 0) for state in self.dag.layer(0)
         )

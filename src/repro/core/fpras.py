@@ -296,13 +296,22 @@ class FprasState:
     # Sample (Algorithm 4)
     # ------------------------------------------------------------------
 
-    def _sample_walk(self, layer: int, targets: frozenset, phi0: float) -> Word | None:
+    def _sample_walk(
+        self,
+        layer: int,
+        targets: frozenset,
+        phi0: float,
+        rng: random.Random | None = None,
+    ) -> Word | None:
         """One invocation of ``Sample(T, ε, φ₀)``; None on failure.
 
         Walks backwards from ``targets`` (a set of states at ``layer``),
         choosing symbols with probability proportional to the sketched
         union estimates and accumulating the acceptance probability φ.
+        ``rng`` overrides the state's own stream (witness draws are
+        caller-seedable; the construction-time sketch draws are not).
         """
+        generator = rng if rng is not None else self.rng
         phi = phi0
         if not 0 < phi < 1:
             self.diagnostics.sample_walk_failures += 1
@@ -321,7 +330,7 @@ class FprasState:
             if total <= 0:
                 self.diagnostics.sample_walk_failures += 1
                 return None
-            pick = self.rng.random() * total
+            pick = generator.random() * total
             accumulated = 0.0
             chosen = len(symbols) - 1
             for index, weight in enumerate(weights):
@@ -343,7 +352,7 @@ class FprasState:
             t -= 1
         # t == 0: current ⊆ {initial} by construction of the DAG.
         word_out = tuple(reversed(suffix))
-        if self.rng.random() < phi:
+        if generator.random() < phi:
             return word_out
         self.diagnostics.sample_rejections += 1
         return None
@@ -546,7 +555,7 @@ class FprasState:
         if self.failed:
             return None
         phi0 = self.params.rejection_constant / self.estimate
-        return self._sample_walk(self.n, frozenset(finals), phi0)
+        return self._sample_walk(self.n, frozenset(finals), phi0, rng=generator)
 
     def _exhaustive_universe(self) -> list:
         """Materialized witness list for the exact regimes (cached)."""

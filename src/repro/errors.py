@@ -61,6 +61,26 @@ class GenerationFailedError(ReproError):
         )
 
 
+class BackendError(ReproError):
+    """A solver backend could not run on the witness set it was given.
+
+    Example: the Karp–Luby backend is only defined for DNF-sourced
+    witness sets; selecting it for a regex language raises this.
+    """
+
+
+class UnknownBackendError(BackendError):
+    """A backend name is not present in the solver-backend registry."""
+
+    def __init__(self, name: str, available: tuple = ()):
+        self.name = name
+        self.available = tuple(available)
+        listing = ", ".join(sorted(map(str, self.available))) or "none"
+        super().__init__(
+            f"unknown solver backend {name!r}; registered backends: {listing}"
+        )
+
+
 class InvalidRegexError(ReproError):
     """A regular expression could not be parsed."""
 

@@ -151,3 +151,55 @@ def social_graph(
                 if target != person:
                     edges.append((person, label, target))
     return GraphDatabase(people, edges)
+
+
+# ----------------------------------------------------------------------
+# JSON round-trips (CLI inputs and process boundaries)
+# ----------------------------------------------------------------------
+
+GRAPH_FORMAT_VERSION = 1
+
+
+def graph_to_json(graph: GraphDatabase, indent: int | None = None) -> str:
+    """Serialize a graph to a versioned JSON document.
+
+    Vertices and labels use the same tagged-atom encoding as the NFA
+    serializer (tuples survive round-trips exactly), so grid-graph
+    vertices like ``(0, 1)`` are representable.
+    """
+    import json
+
+    from repro.automata.serialization import _encode_atom
+
+    document = {
+        "format": "repro.graph",
+        "version": GRAPH_FORMAT_VERSION,
+        "vertices": [_encode_atom(v) for v in sorted(graph.vertices, key=repr)],
+        "edges": [
+            [_encode_atom(u), _encode_atom(a), _encode_atom(v)]
+            for u, a, v in sorted(graph.edges, key=repr)
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def graph_from_json(text: str) -> GraphDatabase:
+    """Inverse of :func:`graph_to_json` (validates format and version)."""
+    import json
+
+    from repro.automata.serialization import _decode_atom
+
+    document = json.loads(text)
+    if document.get("format") != "repro.graph":
+        raise InvalidAutomatonError("not a repro.graph document")
+    if document.get("version") != GRAPH_FORMAT_VERSION:
+        raise InvalidAutomatonError(
+            f"unsupported graph format version {document.get('version')!r}"
+        )
+    return GraphDatabase(
+        [_decode_atom(v) for v in document["vertices"]],
+        [
+            (_decode_atom(u), _decode_atom(a), _decode_atom(v))
+            for u, a, v in document["edges"]
+        ],
+    )

@@ -107,3 +107,97 @@ class TestErrors:
         code, _, err = run_cli(capsys, "count", "--regex", "(", "-n", "3")
         assert code == 1
         assert "error:" in err
+
+
+class TestDomainInputs:
+    """The facade-era inputs: --dnf, --rpq, and --backend selection."""
+
+    @pytest.fixture
+    def dnf_file(self, tmp_path):
+        path = tmp_path / "formula.txt"
+        path.write_text("x0 & x2 | !x1 & x3\n")
+        return str(path)
+
+    @pytest.fixture
+    def graph_file(self, tmp_path):
+        from repro.graphdb.graph import graph_to_json, grid_graph
+
+        path = tmp_path / "grid.json"
+        path.write_text(graph_to_json(grid_graph(3, 3)))
+        return str(path)
+
+    def test_dnf_count(self, capsys, dnf_file):
+        code, out, _ = run_cli(capsys, "count", "--dnf", dnf_file)
+        assert code == 0
+        assert out.strip() == "7"  # brute-force model count of the formula
+
+    def test_dnf_count_karp_luby_backend(self, capsys, dnf_file):
+        code, out, _ = run_cli(
+            capsys, "count", "--dnf", dnf_file, "--backend", "karp_luby", "--seed", "1"
+        )
+        assert code == 0
+        assert abs(float(out.strip()) - 7) <= 0.3 * 7
+
+    def test_dnf_length_mismatch_rejected(self, capsys, dnf_file):
+        with pytest.raises(SystemExit):
+            main(["count", "--dnf", dnf_file, "-n", "3"])
+
+    def test_dnf_sample_and_enum(self, capsys, dnf_file):
+        code, out, _ = run_cli(
+            capsys, "sample", "--dnf", dnf_file, "--count", "2", "--seed", "3"
+        )
+        assert code == 0
+        assert all(len(line) == 4 for line in out.strip().splitlines())
+        code, out, _ = run_cli(capsys, "enum", "--dnf", dnf_file)
+        assert code == 0
+        assert len(out.strip().splitlines()) == 7
+
+    def test_rpq_count_closed_form(self, capsys, graph_file):
+        code, out, _ = run_cli(
+            capsys,
+            "count", "--rpq", "--graph-json", graph_file,
+            "--source", "(0, 0)", "--target", "(2, 2)",
+            "--regex", "(r|d)*", "-n", "4",
+        )
+        assert code == 0
+        assert out.strip() == "6"  # C(4, 2) monotone grid paths
+
+    def test_rpq_sample_prints_paths(self, capsys, graph_file):
+        code, out, _ = run_cli(
+            capsys,
+            "sample", "--rpq", "--graph-json", graph_file,
+            "--source", "(0, 0)", "--target", "(2, 2)",
+            "--regex", "(r|d)*", "-n", "4", "--seed", "2",
+        )
+        assert code == 0
+        assert "→" in out
+
+    def test_rpq_missing_pieces_rejected(self, capsys, graph_file):
+        with pytest.raises(SystemExit):
+            main(["count", "--rpq", "--graph-json", graph_file, "-n", "4"])
+
+    def test_rpq_unknown_vertex_rejected(self, capsys, graph_file):
+        with pytest.raises(SystemExit):
+            main([
+                "count", "--rpq", "--graph-json", graph_file,
+                "--source", "nowhere", "--target", "(2, 2)",
+                "--regex", "(r|d)*", "-n", "4",
+            ])
+
+    def test_unknown_backend_reports_error(self, capsys):
+        code, _, err = run_cli(
+            capsys,
+            "count", "--regex", "(ab)*", "--alphabet", "ab", "-n", "4",
+            "--backend", "nope",
+        )
+        assert code == 1
+        assert "unknown solver backend" in err
+
+    def test_montecarlo_backend(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "count", "--regex", "(a|b)*a(a|b)*", "--alphabet", "ab",
+            "-n", "5", "--backend", "montecarlo", "--seed", "2",
+        )
+        assert code == 0
+        assert abs(float(out.strip()) - 31) <= 0.5 * 31
