@@ -1,0 +1,183 @@
+"""K1 — the array-backed CompiledDAG kernel vs the seed dict path.
+
+Claims measured (and asserted, so regressions fail the suite):
+
+* K1a: count + sample on a 200-state random NFA at n = 100 is faster
+  through the integer-indexed kernel than through the seed
+  frozenset/dict walk it replaced (tables built per-state dicts and the
+  sampler re-walked ``ordered_successors`` per step).
+* K1b: ``sample_batch(1000)`` beats 1000 single ``sample()`` calls on
+  the same prebuilt sampler — the batched layer-by-layer pass amortizes
+  the per-vertex lookups.
+* K1c: the kernel path agrees exactly with the seed path (counts and
+  distributions are the same chain) across the application reductions —
+  DNF, RPQ and CFG witness sets give identical exact counts through the
+  registry.
+
+The seed implementations are inlined below (verbatim logic from the
+pre-kernel tree) so the comparison stays honest as the library moves on.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import WitnessSet
+from repro.automata.random_gen import random_ufa
+from repro.core.exact_sampler import ExactUniformSampler
+from repro.core.kernel import compile_nfa
+from repro.core.unroll import UnrolledDAG, unroll_trimmed
+from repro.utils.rng import make_rng
+
+M = 200          # automaton states (the ISSUE-2 acceptance instance)
+N = 100          # witness length
+SAMPLES = 500    # single-draw count inside the count+sample workload
+BATCH = 1000     # batched-draw comparison size
+SEED = 20190621
+
+
+def _instance():
+    return random_ufa(M, rng=SEED, completeness=0.95, ensure_nonempty_length=N)
+
+
+# ----------------------------------------------------------------------
+# The seed dict path, inlined verbatim from the pre-kernel tree
+# ----------------------------------------------------------------------
+
+
+def seed_backward_table(dag: UnrolledDAG) -> list[dict]:
+    nfa = dag.nfa
+    table: list[dict] = [dict() for _ in range(dag.n + 1)]
+    table[dag.n] = {state: 1 for state in dag.layer(dag.n) & nfa.finals}
+    for t in range(dag.n - 1, -1, -1):
+        current: dict = {}
+        for state in dag.layer(t):
+            total = 0
+            for _, target in dag.successors(t, state):
+                total += table[t + 1].get(target, 0)
+            if total:
+                current[state] = total
+        table[t] = current
+    return table
+
+
+def seed_sample(dag: UnrolledDAG, back: list[dict], generator) -> tuple:
+    state = dag.nfa.initial
+    symbols: list = []
+    for t in range(dag.n):
+        choices: list[tuple] = []
+        for symbol, target in dag.ordered_successors(t, state):
+            weight = back[t + 1].get(target, 0)
+            if weight:
+                choices.append((symbol, target, weight))
+        total = back[t][state]
+        pick = generator.randrange(total)
+        accumulated = 0
+        for symbol, target, weight in choices:
+            accumulated += weight
+            if pick < accumulated:
+                symbols.append(symbol)
+                state = target
+                break
+    return tuple(symbols)
+
+
+def seed_count_and_sample(nfa) -> tuple[int, float]:
+    started = time.perf_counter()
+    dag = unroll_trimmed(nfa, N)
+    back = seed_backward_table(dag)
+    count = sum(back[0].get(state, 0) for state in dag.layer(0))
+    generator = make_rng(7)
+    for _ in range(SAMPLES):
+        seed_sample(dag, back, generator)
+    return count, time.perf_counter() - started
+
+
+def kernel_count_and_sample(nfa) -> tuple[int, float]:
+    started = time.perf_counter()
+    kernel = compile_nfa(nfa, N, trimmed=True)
+    count = kernel.total_runs
+    generator = make_rng(7)
+    for _ in range(SAMPLES):
+        kernel.sample_word(generator)
+    return count, time.perf_counter() - started
+
+
+def _best_of(runs: int, workload, *args):
+    result = None
+    best = float("inf")
+    for _ in range(runs):
+        result, seconds = workload(*args)
+        best = min(best, seconds)
+    return result, best
+
+
+def test_count_sample_kernel_beats_seed_dict_path(observe):
+    nfa = _instance()
+    seed_count, seed_seconds = _best_of(3, seed_count_and_sample, nfa)
+    kernel_count, kernel_seconds = _best_of(3, kernel_count_and_sample, nfa)
+    assert kernel_count == seed_count
+    speedup = seed_seconds / kernel_seconds
+    observe(
+        "K1a",
+        f"m={M} n={N} count+{SAMPLES} samples: seed={seed_seconds:.3f}s "
+        f"kernel={kernel_seconds:.3f}s speedup={speedup:.2f}x",
+    )
+    assert kernel_seconds < seed_seconds, (
+        f"kernel path ({kernel_seconds:.3f}s) must beat the seed dict path "
+        f"({seed_seconds:.3f}s)"
+    )
+
+
+def test_sample_batch_beats_single_draws(observe):
+    sampler = ExactUniformSampler(_instance(), N, check=False)
+    sampler.sample_batch(8, make_rng(0))  # warm the per-vertex weight caches
+
+    generator = make_rng(11)
+    started = time.perf_counter()
+    singles = [sampler.sample(generator) for _ in range(BATCH)]
+    single_seconds = time.perf_counter() - started
+
+    generator = make_rng(11)
+    started = time.perf_counter()
+    batch = sampler.sample_batch(BATCH, generator)
+    batch_seconds = time.perf_counter() - started
+
+    assert len(batch) == len(singles) == BATCH
+    assert len(batch[0]) == N
+    speedup = single_seconds / batch_seconds
+    observe(
+        "K1b",
+        f"{BATCH} draws at n={N}: singles={single_seconds:.3f}s "
+        f"batch={batch_seconds:.3f}s speedup={speedup:.2f}x",
+    )
+    assert batch_seconds < single_seconds, (
+        f"sample_batch ({batch_seconds:.3f}s) must beat {BATCH} single draws "
+        f"({single_seconds:.3f}s)"
+    )
+
+
+def test_kernel_agrees_across_reductions(observe):
+    """K1c: identical exact counts through the registry on the app matrix."""
+    from repro.grammars import CNFGrammar
+    from repro.graphdb.graph import grid_graph
+
+    cases = {
+        "dnf": WitnessSet.from_dnf("x0 & !x2 | x1 & x3"),
+        "rpq": WitnessSet.from_rpq(grid_graph(3, 3), "(r|d)*", (0, 0), (2, 2), 4),
+        "cfg": WitnessSet.from_cfg(
+            CNFGrammar(
+                ["S", "A", "B", "T"],
+                ["a", "b"],
+                [("S", ("A", "T")), ("T", ("S", "B")), ("S", ("A", "B")),
+                 ("A", ("a",)), ("B", ("b",))],
+                "S",
+            ),
+            8,
+        ),
+    }
+    for source, ws in cases.items():
+        exact = ws.count(backend="exact")
+        naive = ws.count(backend="naive")
+        assert exact == naive, source
+        observe("K1c", f"{source}: exact={exact} naive={naive} (agree)")

@@ -4,6 +4,7 @@
 Usage::
 
     python benchmarks/run_all.py [--full] [--out benchmarks/BENCH_api.json]
+    python benchmarks/run_all.py --compare benchmarks/BENCH_api.json
 
 Each bench module runs as its own pytest session (they are independent
 experiment files); per-file status, wall-clock and the tail of the
@@ -12,6 +13,12 @@ recorded baseline.  By default pytest-benchmark's calibrated timing
 loops are disabled (``--benchmark-disable``) — the point of the default
 run is a *regression-visible wall-clock baseline*, not publication-grade
 statistics; pass ``--full`` for the calibrated run.
+
+``--compare BASELINE`` turns the run into a regression gate: after
+running, each file's wall-clock is diffed against the baseline document
+and the process exits nonzero when any file got more than
+``--slowdown-factor`` (default 2×) slower — the CI hook for "don't
+quietly regress a hot path".
 """
 
 from __future__ import annotations
@@ -27,6 +34,44 @@ from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
+
+#: Files faster than this in the baseline are too noisy to gate on.
+MIN_GATED_SECONDS = 0.5
+
+
+def load_baseline(baseline_path: Path) -> dict:
+    """Parse (and validate) a recorded ``repro.bench`` document."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if baseline.get("format") != "repro.bench":
+        raise SystemExit(f"{baseline_path} is not a repro.bench document")
+    return baseline
+
+
+def compare_against_baseline(
+    results: dict, baseline: dict, slowdown_factor: float
+) -> list[str]:
+    """Regressed file names (``new > factor × old``), printed as a table."""
+    old_results = baseline.get("results", {})
+    regressions: list[str] = []
+    print(f"[run_all] comparing against the recorded baseline "
+          f"(>{slowdown_factor:g}x slowdown fails)")
+    for name, entry in sorted(results.items()):
+        old = old_results.get(name)
+        if old is None or old.get("status") != "passed" or entry["status"] != "passed":
+            continue
+        old_seconds = max(float(old.get("seconds", 0.0)), 1e-9)
+        ratio = entry["seconds"] / old_seconds
+        flag = ""
+        if old_seconds >= MIN_GATED_SECONDS and ratio > slowdown_factor:
+            regressions.append(name)
+            flag = "  << REGRESSION"
+        print(f"[run_all]   {name:<36} {old_seconds:>7.2f}s -> "
+              f"{entry['seconds']:>7.2f}s  ({ratio:4.2f}x){flag}")
+    if regressions:
+        print(f"[run_all] {len(regressions)} regression(s): {', '.join(regressions)}")
+    else:
+        print("[run_all] no regressions")
+    return regressions
 
 
 def run_one(path: Path, full: bool, timeout: float) -> dict:
@@ -80,7 +125,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="per-file timeout in seconds")
     parser.add_argument("--only", default=None,
                         help="substring filter on bench file names")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="diff wall-clock against a recorded baseline and "
+                             "exit nonzero on regressions")
+    parser.add_argument("--slowdown-factor", type=float, default=2.0,
+                        help="failure threshold for --compare (default 2x)")
     args = parser.parse_args(argv)
+
+    # Read the baseline up front: --compare may name the same file --out
+    # rewrites below.
+    baseline = load_baseline(Path(args.compare)) if args.compare else None
 
     files = sorted(BENCH_DIR.glob("bench_*.py"))
     if args.only:
@@ -115,7 +169,12 @@ def main(argv: list[str] | None = None) -> int:
     out_path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"[run_all] wrote {out_path} "
           f"({document['summary']['passed']}/{document['summary']['total']} passed)")
-    return 1 if failed else 0
+    regressions: list[str] = []
+    if baseline is not None:
+        regressions = compare_against_baseline(
+            results, baseline, args.slowdown_factor
+        )
+    return 1 if (failed or regressions) else 0
 
 
 if __name__ == "__main__":

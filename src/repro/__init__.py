@@ -58,6 +58,7 @@ from repro.automata import (
     word_str,
 )
 from repro.core import (
+    CompiledDAG,
     ExactUniformSampler,
     FprasParameters,
     FprasState,
@@ -68,6 +69,7 @@ from repro.core import (
     RelationULSolver,
     SpanLFunction,
     approx_count_nfa,
+    compile_nfa,
     count_accepting_runs_of_length,
     count_words_exact,
     count_words_ufa,
@@ -181,6 +183,8 @@ __all__ = [
     "approx_count_nfa",
     "sample_word_ufa",
     "ExactUniformSampler",
+    "CompiledDAG",
+    "compile_nfa",
     "FprasState",
     "FprasParameters",
     "LasVegasUniformGenerator",

@@ -11,10 +11,15 @@ pipeline as a single query object:
   from_rpq / from_spanner / from_cfg`` replace the per-domain ad-hoc
   entrypoints;
 * all shared preprocessing (ε-strip + trim, the ambiguity check, the
-  pruned unrolling, the backward count table, the FPRAS sketch) is
+  pruned unrolling, the compiled array kernel, the FPRAS sketch) is
   computed lazily **exactly once** and reused by every subsequent
   ``count`` / ``sample`` / ``enumerate`` / ``spectrum`` call — a count
   followed by a sample on the same language no longer pays twice;
+* every exact query executes on the integer-indexed
+  :class:`~repro.core.kernel.CompiledDAG` (cached as :attr:`WitnessSet.
+  kernel`, with a reachable-mode sibling for the FPRAS/spectra), and
+  bulk generation goes through the batched kernel pass
+  (:meth:`WitnessSet.sample_batch`);
 * counting strategies are pluggable via the solver-backend registry
   (:mod:`repro.backends`): ``ws.count(backend="fpras" | "montecarlo" |
   "kannan" | "karp_luby" | ...)``.
@@ -48,9 +53,10 @@ from repro.automata.nfa import NFA, Word
 from repro.automata.regex import compile_regex
 from repro.automata.unambiguous import is_unambiguous
 from repro.core.enumeration import enumerate_words_dag, enumerate_words_nfa
-from repro.core.exact import backward_run_table, count_words_exact, length_spectrum
+from repro.core.exact import count_words_exact, length_spectrum
 from repro.core.exact_sampler import ExactUniformSampler
 from repro.core.fpras import FprasParameters, FprasState
+from repro.core.kernel import CompiledDAG, compile_nfa
 from repro.core.plvug import DEFAULT_ATTEMPTS_PER_CALL
 from repro.core.relations import AutomatonBackedRelation, CompiledInstance
 from repro.core.unroll import UnrolledDAG, accepted_word_exists, unroll_trimmed
@@ -173,17 +179,41 @@ class WitnessSet:
         return self._cached("dag", lambda: unroll_trimmed(self.stripped, self.n))
 
     @property
+    def kernel(self) -> CompiledDAG:
+        """The trimmed array-backed kernel every exact query executes on.
+
+        One integer-indexed lowering of :attr:`dag` (CSR edge arrays plus
+        packed run-count tables), shared by ``count`` / ``sample`` /
+        ``enumerate``; built exactly once per witness set.
+        """
+        return self._cached("kernel", lambda: CompiledDAG.from_unrolled(self.dag))
+
+    @property
+    def reachable_kernel(self) -> CompiledDAG:
+        """The reachable-mode kernel (FPRAS sketches and length spectra).
+
+        Kept separate from :attr:`kernel` because Lemma 15 pruning is
+        relative to length ``n`` while the FPRAS's prefix sets and the
+        spectrum's per-length finals need every reachable vertex.
+        Supports in-place :meth:`~repro.core.kernel.CompiledDAG.
+        extend_to` for spectra beyond ``n``.
+        """
+        return self._cached(
+            "reachable_kernel", lambda: compile_nfa(self.stripped, self.n, trimmed=False)
+        )
+
+    @property
     def backward_table(self) -> list:
-        """Per-layer accepting-completion counts over :attr:`dag`."""
-        return self._cached("backward_table", lambda: backward_run_table(self.dag))
+        """Per-layer accepting-completion counts over :attr:`dag` (dict view)."""
+        return self._cached("backward_table", lambda: self.kernel.backward_dicts())
 
     @property
     def exact_sampler(self) -> ExactUniformSampler:
-        """The §5.3.3 sampler, reusing the cached DAG and count table."""
+        """The §5.3.3 sampler, executing on the cached compiled kernel."""
         return self._cached(
             "exact_sampler",
             lambda: ExactUniformSampler(
-                self.stripped, self.n, check=False, dag=self.dag, back=self.backward_table
+                self.stripped, self.n, check=False, kernel=self.kernel
             ),
         )
 
@@ -196,7 +226,9 @@ class WitnessSet:
 
         Integer ``rng`` seeds get their own cache entry (reproducible
         pipelines); ``None`` / shared ``Random`` streams reuse the first
-        sketch built at that δ.
+        sketch built at that δ.  Every sketch shares the cached
+        :attr:`reachable_kernel`, so rebuilding at a different δ never
+        re-unrolls the automaton.
         """
         resolved = delta if delta is not None else self.delta
         seed = rng if isinstance(rng, int) else None
@@ -205,7 +237,12 @@ class WitnessSet:
         return self._cached(
             key,
             lambda: FprasState(
-                self.stripped, self.n, delta=resolved, rng=generator, params=self.params
+                self.stripped,
+                self.n,
+                delta=resolved,
+                rng=generator,
+                params=self.params,
+                kernel=self.reachable_kernel,
             ),
         )
 
@@ -218,14 +255,9 @@ class WitnessSet:
         otherwise (exponential worst case — use an approximate backend at
         scale)."""
         if self.is_unambiguous:
-            # On the pruned DAG, runs = words; the backward table's layer-0
-            # total is the count, and it is shared with the exact sampler.
-            return self._cached(
-                "count_exact",
-                lambda: sum(
-                    self.backward_table[0].get(state, 0) for state in self.dag.layer(0)
-                ),
-            )
+            # On the pruned kernel, runs = words; the backward table's
+            # layer-0 total is the count, shared with the exact sampler.
+            return self._cached("count_exact", lambda: self.kernel.total_runs)
         return self._cached(
             "count_exact", lambda: count_words_exact(self.stripped, self.n)
         )
@@ -259,12 +291,25 @@ class WitnessSet:
         return solver.count(self, **options)
 
     def spectrum(self, max_length: int | None = None) -> dict[int, int]:
-        """Exact ``{ℓ: |L_ℓ(N)|}`` for ``ℓ = 0..max_length`` (default n)."""
+        """Exact ``{ℓ: |L_ℓ(N)|}`` for ``ℓ = 0..max_length`` (default n).
+
+        The unambiguous route reads every length off the shared
+        reachable kernel's forward table (extending it in place when
+        ``max_length > n``) — one compilation for the whole sweep.
+        """
         bound = self.n if max_length is None else max_length
+        if self.is_unambiguous:
+            def build():
+                kernel = self.reachable_kernel
+                kernel.extend_to(bound)
+                spectrum = kernel.spectrum_counts()
+                return {length: spectrum[length] for length in range(bound + 1)}
+
+            return self._cached(("spectrum", bound), build)
         return self._cached(
             ("spectrum", bound),
             lambda: length_spectrum(
-                self.stripped, range(bound + 1), exact_nfa=not self.is_unambiguous
+                self.stripped, range(bound + 1), exact_nfa=True
             ),
         )
 
@@ -274,9 +319,9 @@ class WitnessSet:
 
     def words(self, limit: int | None = None) -> Iterator[Word]:
         """Enumerate raw witness words (constant delay when unambiguous,
-        polynomial delay otherwise), reusing the cached DAG."""
+        polynomial delay otherwise), reusing the cached compiled kernel."""
         if self.is_unambiguous:
-            iterator = enumerate_words_dag(self.dag)
+            iterator = enumerate_words_dag(self.kernel)
         else:
             iterator = enumerate_words_nfa(self.stripped, self.n)
         return iterator if limit is None else itertools.islice(iterator, limit)
@@ -317,6 +362,26 @@ class WitnessSet:
             raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
         # Nonempty, so each draw yields a word (the NL path retries its
         # own rejection budget internally and raises on exhaustion).
+        return [self.decode(self._sample_word_or_none(generator)) for _ in range(k)]
+
+    def sample_batch(self, k: int, rng: random.Random | int | None = None) -> list:
+        """``k`` uniform witnesses drawn in one table-guided kernel pass.
+
+        Same distribution as :meth:`sample` with ``k`` (each draw walks
+        the identical chain), but the unambiguous route groups the
+        in-flight samples by vertex per layer so the per-vertex weight
+        lookups are paid once per layer instead of once per draw —
+        the bulk-generation API.  Ambiguous sources fall back to ``k``
+        independent Las Vegas draws.
+        """
+        if k < 0:
+            raise ValueError("sample count must be ≥ 0")
+        generator = self.rng if rng is None else make_rng(rng)
+        if not self.nonempty:
+            raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
+        if self.is_unambiguous:
+            words = self.exact_sampler.sample_batch(k, generator)
+            return [self.decode(w) for w in words]
         return [self.decode(self._sample_word_or_none(generator)) for _ in range(k)]
 
     # ------------------------------------------------------------------

@@ -53,6 +53,15 @@ class SolverBackend:
     :attr:`requires_source` (a :attr:`WitnessSet.source` kind the backend
     is restricted to, e.g. ``"dnf"`` for Karp–Luby), and implement
     :meth:`count`.
+
+    Backends execute on the witness set's compiled kernel
+    (:class:`~repro.core.kernel.CompiledDAG`): the facade caches a
+    trimmed kernel (``witness_set.kernel``) and a reachable-mode one
+    (``witness_set.reachable_kernel``), and automaton-walking strategies
+    should consume those instead of re-unrolling.  A caller holding its
+    own compilation can override per call via the ``kernel=`` option
+    (accepted by the built-in ``exact``, ``fpras`` and ``montecarlo``
+    backends).
     """
 
     #: Registry key; also what callers pass as ``backend=``.
@@ -78,6 +87,25 @@ class SolverBackend:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         kind = "exact" if self.exact else "approximate"
         return f"<SolverBackend {self.name!r} ({kind})>"
+
+
+def _check_kernel(witness_set, kernel, trimmed: bool) -> None:
+    """Reject a ``kernel=`` override that does not match the witness set.
+
+    Kernels carry their own length and automaton (and reachable-mode
+    kernels can be extended in place), so counting at ``kernel.n``
+    instead of ``witness_set.n`` would be silently wrong.
+    """
+    if kernel.n != witness_set.n or kernel.nfa != witness_set.stripped:
+        raise BackendError(
+            f"kernel mismatch: compiled for n={kernel.n} but the witness set "
+            f"has n={witness_set.n}"
+            if kernel.nfa == witness_set.stripped
+            else "kernel mismatch: compiled from a different automaton"
+        )
+    if kernel.trimmed != trimmed:
+        mode = "trimmed" if trimmed else "reachable-mode"
+        raise BackendError(f"this backend needs a {mode} kernel")
 
 
 _REGISTRY: dict[str, SolverBackend] = {}
@@ -125,13 +153,19 @@ def available() -> tuple[str, ...]:
 
 
 class ExactBackend(SolverBackend):
-    """The paper's exact route: run-count DP when unambiguous, else the
-    subset-construction counter (exponential worst case)."""
+    """The paper's exact route: run-count DP over the compiled kernel
+    when unambiguous, else the subset-construction counter (exponential
+    worst case)."""
 
     name = "exact"
     exact = True
 
-    def count(self, witness_set, **options):
+    def count(self, witness_set, kernel=None, **options):
+        if kernel is not None and witness_set.is_unambiguous:
+            # Runs = words on an unambiguous trimmed kernel; the caller's
+            # compilation replaces the facade's cached one.
+            _check_kernel(witness_set, kernel, trimmed=True)
+            return kernel.total_runs
         return witness_set.count_exact()
 
 
@@ -148,7 +182,8 @@ class NaiveBackend(SolverBackend):
 
 
 class FprasBackend(SolverBackend):
-    """Theorem 22's #NFA FPRAS, reusing the witness set's cached sketch."""
+    """Theorem 22's #NFA FPRAS, reusing the witness set's cached sketch
+    (which itself executes on the cached reachable-mode kernel)."""
 
     name = "fpras"
 
@@ -157,8 +192,20 @@ class FprasBackend(SolverBackend):
         witness_set,
         delta: float | None = None,
         rng: random.Random | int | None = None,
+        kernel=None,
         **options,
     ):
+        if kernel is not None:
+            from repro.core.fpras import FprasState
+
+            return FprasState(
+                witness_set.stripped,
+                witness_set.n,
+                delta=delta if delta is not None else witness_set.delta,
+                rng=make_rng(rng) if rng is not None else witness_set.rng,
+                params=witness_set.params,
+                kernel=kernel,
+            ).count_estimate
         return witness_set.fpras_state(delta=delta, rng=rng).count_estimate
 
 
@@ -172,12 +219,19 @@ class MonteCarloBackend(SolverBackend):
         witness_set,
         samples: int = 2000,
         rng: random.Random | int | None = None,
+        kernel=None,
         **options,
     ):
         from repro.baselines.montecarlo import naive_montecarlo_count
 
+        if kernel is not None:
+            _check_kernel(witness_set, kernel, trimmed=True)
         estimate = naive_montecarlo_count(
-            witness_set.stripped, witness_set.n, samples=samples, rng=make_rng(rng)
+            witness_set.stripped,
+            witness_set.n,
+            samples=samples,
+            rng=make_rng(rng),
+            kernel=kernel if kernel is not None else witness_set.kernel,
         )
         return estimate.estimate
 

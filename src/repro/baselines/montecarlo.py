@@ -24,9 +24,8 @@ import random
 from dataclasses import dataclass
 
 from repro.automata.nfa import NFA, Word
-from repro.core.exact import backward_run_table, forward_run_table
-from repro.core.unroll import unroll_trimmed
-from repro.errors import EmptyWitnessSetError
+from repro.core.kernel import CompiledDAG, compile_nfa
+from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
 from repro.utils.rng import make_rng
 
 
@@ -36,34 +35,34 @@ class uniform_run_sampler:
     The run distribution is exactly what the Section 5.3.3 sampler uses —
     but over runs, not words: on ambiguous automata the induced word
     distribution is biased toward high-multiplicity words, which is the
-    whole problem.  (Class with __call__ rather than a closure so the DP
-    tables are inspectable in experiments.)
+    whole problem.  Walks are table-guided over the compiled kernel
+    (pass a cached trimmed ``kernel`` to share preprocessing); the count
+    tables stay inspectable through :attr:`kernel` and :attr:`back`.
     """
 
-    def __init__(self, nfa: NFA, n: int):
+    def __init__(self, nfa: NFA, n: int, kernel: CompiledDAG | None = None):
         self.nfa = nfa.without_epsilon()
         self.n = n
-        self.dag = unroll_trimmed(self.nfa, n)
-        self.back = backward_run_table(self.dag)
-        self.total_runs = self.back[0].get(self.nfa.initial, 0)
+        if kernel is None:
+            kernel = compile_nfa(self.nfa, n, trimmed=True)
+        elif kernel.n != n or kernel.nfa != self.nfa:
+            raise InvalidAutomatonError(
+                f"kernel mismatch: compiled for n={kernel.n}, sampler needs "
+                f"length {n} of the same automaton"
+            )
+        self.kernel = kernel
+        self.dag = self.kernel
+        self.total_runs = self.kernel.total_runs
+
+    @property
+    def back(self) -> list:
+        """The backward run table in the seed dict shape (diagnostics)."""
+        return self.kernel.backward_dicts()
 
     def __call__(self, rng: random.Random | int | None = None) -> Word:
         if self.total_runs == 0:
             raise EmptyWitnessSetError(f"no accepting runs of length {self.n}")
-        generator = make_rng(rng)
-        state = self.nfa.initial
-        symbols: list = []
-        for t in range(self.n):
-            pick = generator.randrange(self.back[t][state])
-            accumulated = 0
-            for symbol, target in self.dag.ordered_successors(t, state):
-                weight = self.back[t + 1].get(target, 0)
-                accumulated += weight
-                if pick < accumulated:
-                    symbols.append(symbol)
-                    state = target
-                    break
-        return tuple(symbols)
+        return self.kernel.sample_word(make_rng(rng))
 
 
 @dataclass
@@ -89,11 +88,17 @@ def naive_montecarlo_count(
     n: int,
     samples: int,
     rng: random.Random | int | None = None,
+    kernel: CompiledDAG | None = None,
 ) -> MonteCarloEstimate:
-    """Run the Section 6.1 estimator with ``samples`` path draws."""
+    """Run the Section 6.1 estimator with ``samples`` path draws.
+
+    ``kernel`` optionally supplies an already-compiled trimmed kernel of
+    ``(nfa, n)`` (e.g. from a :class:`repro.api.WitnessSet` cache) so the
+    estimator skips its own compilation.
+    """
     generator = make_rng(rng)
     stripped = nfa.without_epsilon()
-    sampler = uniform_run_sampler(stripped, n)
+    sampler = uniform_run_sampler(stripped, n, kernel=kernel)
     if sampler.total_runs == 0:
         return MonteCarloEstimate(estimate=0.0, total_paths=0, samples=0, ratios=[])
     total_paths = sampler.total_runs

@@ -20,7 +20,10 @@ preprocessing.  Inputs:
   of variables);
 * ``--rpq`` — a regular path query: ``--graph-json`` (a
   :func:`repro.graphdb.graph_to_json` file) plus ``--source``,
-  ``--target`` and the path regex in ``--regex``.
+  ``--target`` and the path regex in ``--regex``;
+* ``--cfg`` — a file containing ``"S -> A B | a"``-style CNF grammar
+  text (:func:`repro.grammars.parse_cnf`); witnesses are the grammar's
+  length-``n`` words (``-n`` required).
 
 Counting strategies are selected by name from the solver-backend
 registry (``--backend exact|fpras|montecarlo|kannan|karp_luby|naive``);
@@ -33,7 +36,9 @@ Examples::
     python -m repro count  --regex '(a|b)*a(a|b)*' --alphabet ab -n 40 --approx --delta 0.2
     python -m repro count  --dnf formula.txt --backend karp_luby --seed 1
     python -m repro count  --rpq --graph-json g.json --source p0 --target p7 --regex 'k(k|f)*k' -n 5
+    python -m repro count  --cfg grammar.txt -n 8
     python -m repro sample --regex '(ab|ba)*' --alphabet ab -n 10 --count 5 --seed 7
+    python -m repro sample --regex '(ab|ba)*' --alphabet ab -n 10 --batch 1000 --seed 7
     python -m repro enum   --dnf formula.txt --limit 20
     python -m repro dot    --regex 'a*b' --alphabet ab --unroll 4
 """
@@ -69,6 +74,13 @@ def _parse_vertex(graph, text: str):
     if isinstance(literal, Hashable) and literal is not None and literal in graph.vertices:
         return literal
     raise SystemExit(f"vertex {text!r} is not in the graph")
+
+
+def _nonnegative(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be ≥ 0")
+    return value
 
 
 def _require_length(args) -> int:
@@ -119,13 +131,21 @@ def _load_witness_set(args) -> WitnessSet:
                 f"{formula.num_variables} variables (omit -n for --dnf)"
             )
         return WitnessSet.from_dnf(formula, **kwargs)
+    if getattr(args, "cfg", None) is not None:
+        from repro.grammars.cfg import parse_cnf
+
+        with open(args.cfg, "r", encoding="utf-8") as handle:
+            grammar = parse_cnf(handle.read())
+        if args.length is None:
+            raise SystemExit("-n/--length is required for --cfg")
+        return WitnessSet.from_cfg(grammar, args.length, **kwargs)
     if args.regex is not None:
         alphabet = args.alphabet if args.alphabet else None
         return WitnessSet.from_regex(args.regex, _require_length(args), alphabet=alphabet, **kwargs)
     if args.nfa_json is not None:
         with open(args.nfa_json, "r", encoding="utf-8") as handle:
             return WitnessSet.from_nfa(nfa_from_json(handle.read()), _require_length(args), **kwargs)
-    raise SystemExit("one of --regex, --nfa-json, --dnf or --rpq is required")
+    raise SystemExit("one of --regex, --nfa-json, --dnf, --cfg or --rpq is required")
 
 
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
@@ -133,6 +153,8 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alphabet", help="alphabet characters, e.g. 'ab'")
     parser.add_argument("--nfa-json", help="path to a repro.nfa JSON file")
     parser.add_argument("--dnf", metavar="FILE", help="path to a DNF formula text file")
+    parser.add_argument("--cfg", metavar="FILE",
+                        help="path to a CNF grammar text file ('S -> A B | a' lines)")
     parser.add_argument("--rpq", action="store_true",
                         help="regular path query mode (needs --graph-json/--source/--target)")
     parser.add_argument("--graph-json", metavar="FILE", help="path to a repro.graph JSON file")
@@ -166,7 +188,11 @@ def _command_count(args) -> int:
 
 def _command_sample(args) -> int:
     ws = _load_witness_set(args)
-    for witness in ws.sample(args.count, rng=args.seed):
+    if args.batch is not None:
+        witnesses = ws.sample_batch(args.batch, rng=args.seed)
+    else:
+        witnesses = ws.sample(args.count, rng=args.seed)
+    for witness in witnesses:
         print(_format_witness(witness))
     return 0
 
@@ -223,7 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sample = commands.add_parser("sample", help="draw uniform witnesses")
     _add_input_arguments(sample)
-    sample.add_argument("--count", type=int, default=1)
+    sample.add_argument("--count", type=_nonnegative, default=1)
+    sample.add_argument("--batch", type=_nonnegative, default=None, metavar="K",
+                        help="draw K witnesses in one batched kernel pass "
+                             "(instead of K independent --count draws)")
     sample.add_argument("--delta", type=float, default=0.1)
     sample.add_argument("--seed", type=int, default=None)
     sample.set_defaults(run=_command_sample)

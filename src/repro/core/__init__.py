@@ -8,6 +8,7 @@ Layout (paper section → module):
 * §5 reductions (Prop. 11)       → :mod:`repro.core.reductions`
 * §5.2 self-reducibility (ψ)     → :mod:`repro.core.selfreduce`
 * §5.3.1 Algorithm 1 + Lemma 15  → :mod:`repro.core.enumeration`, :mod:`repro.core.unroll`
+* array execution kernel         → :mod:`repro.core.kernel`
 * §5.3.2 exact counting          → :mod:`repro.core.exact`
 * §5.3.3 exact uniform sampling  → :mod:`repro.core.exact_sampler`
 * §6 FPRAS (Algorithms 2/4/5)    → :mod:`repro.core.fpras`
@@ -21,6 +22,7 @@ from repro.core.unroll import (
     unroll,
     unroll_trimmed,
 )
+from repro.core.kernel import CompiledDAG, as_kernel, compile_nfa
 from repro.core.exact import (
     backward_run_table,
     count_accepting_runs_of_length,
@@ -80,6 +82,9 @@ from repro.core.almost_uniform import AlmostUniformGenerator, total_variation_fr
 
 __all__ = [
     "UnrolledDAG",
+    "CompiledDAG",
+    "as_kernel",
+    "compile_nfa",
     "unroll",
     "unroll_trimmed",
     "lemma15_graph",

@@ -71,9 +71,8 @@ class AlmostUniformGenerator:
 
     def _walk_once(self) -> Word | None:
         state = self.state
-        finals = sorted(state.dag.final_states, key=state._order_key)
         t = state.n
-        current = frozenset(finals)
+        current = frozenset(state.kernel.final_indices(t))
         suffix = []
         while t > 0:
             by_symbol = state._predecessor_sets(t, current)

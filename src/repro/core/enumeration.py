@@ -31,6 +31,7 @@ from typing import Iterator
 
 from repro.automata.nfa import NFA, Symbol, Word
 from repro.automata.unambiguous import require_unambiguous
+from repro.core.kernel import CompiledDAG, as_kernel, compile_nfa
 from repro.core.unroll import UnrolledDAG, unroll_trimmed
 
 
@@ -56,85 +57,91 @@ def enumerate_words_ufa(nfa: NFA, n: int, check: bool = True) -> Iterator[Word]:
         prepared = require_unambiguous(nfa, context="constant-delay enumeration")
     else:
         prepared = nfa.without_epsilon()
-    return _algorithm1(unroll_trimmed(prepared, n))
+    return _algorithm1(compile_nfa(prepared, n, trimmed=True))
 
 
-def enumerate_words_dag(dag: UnrolledDAG) -> Iterator[Word]:
-    """Algorithm 1 over an already-built Lemma-15 pruned DAG.
+def enumerate_words_dag(dag: UnrolledDAG | CompiledDAG) -> Iterator[Word]:
+    """Algorithm 1 over an already-built Lemma-15 pruned DAG or kernel.
 
     Lets callers that cache the unrolling (the :class:`repro.api.
-    WitnessSet` facade, the samplers) enumerate without re-unrolling.
-    The DAG must come from ``unroll_trimmed`` on an unambiguous ε-free
-    automaton, or the enumeration may repeat words.
+    WitnessSet` facade, the samplers) enumerate without re-unrolling; a
+    :class:`CompiledDAG` kernel is consumed as-is, an
+    :class:`UnrolledDAG` is lowered first.  The DAG must come from the
+    trimmed unrolling of an unambiguous ε-free automaton, or the
+    enumeration may repeat words.
     """
-    return _algorithm1(dag)
+    return _algorithm1(as_kernel(dag))
 
 
-def _algorithm1(dag: UnrolledDAG) -> Iterator[Word]:
-    """The paper's Algorithm 1 on a Lemma-15-pruned DAG.
+def _algorithm1(kernel: CompiledDAG) -> Iterator[Word]:
+    """The paper's Algorithm 1 on a Lemma-15-pruned compiled kernel.
 
     State kept between outputs:
 
-    * ``decisions`` — the list of ``(layer, state, edge_index)`` decision
-      points of the current path, exactly the paper's ``list`` structure
-      (append / pop / last); only vertices with ≥ 2 live successors are
-      recorded.
+    * ``decisions`` — the list of ``(layer, state_idx, edge_index)``
+      decision points of the current path, exactly the paper's ``list``
+      structure (append / pop / last); only vertices with ≥ 2 live
+      successors are recorded.
 
     Each output is produced by replaying the stored decisions from the
     start vertex (Step 3), then backtracking to the deepest decision that
     still has an unexplored edge (Step 7) and advancing it (Step 8).
-    Every visited edge lies on an accepting path (Lemma 15 pruning), so
-    the work per output is O(n) — the paper's constant delay.
+    The kernel's CSR blocks already hold each vertex's successors in the
+    fixed total order Algorithm 1 requires, so the walk is pure integer
+    indexing; every visited edge lies on an accepting path (Lemma 15
+    pruning), so the work per output is O(n) — the paper's constant
+    delay.  Output order is identical to the seed set-based traversal.
     """
-    if dag.is_empty:
+    if kernel.is_empty:
         return
-    if dag.n == 0:
+    n = kernel.n
+    if n == 0:
         # k = 0 corner case (Section 5.2): the empty word is accepted iff
         # the initial state is final — which pruning has already decided.
         yield ()
         return
 
-    # Precompute each live vertex's ordered successor list once; Algorithm 1
-    # consults min/succ/max of this order in O(1).
-    order: dict[tuple, list] = {}
-    for t in range(dag.n):
-        for state in dag.layer(t):
-            order[(t, state)] = dag.ordered_successors(t, state)
+    symbols = kernel.symbols
+    edge_start = kernel._edge_start
+    edge_symbol = kernel._edge_symbol
+    edge_dst = kernel._edge_dst
+    start_index = kernel.index_of(0, kernel.nfa.initial)
 
-    decisions: list[tuple[int, object, int]] = []  # (layer, state, edge index)
+    decisions: list[list[int]] = []  # [layer, state index, edge index]
 
     while True:
         # Step 3: walk from the start, replaying stored decisions and taking
         # the first edge everywhere else; record new decision points.
-        symbols: list[Symbol] = []
-        state = dag.nfa.initial
+        word_out: list[Symbol] = []
+        state = start_index
         replay = 0
-        for t in range(dag.n):
-            edges = order[(t, state)]
+        for t in range(n):
+            starts = edge_start[t]
+            base = starts[state]
+            degree = starts[state + 1] - base
             if replay < len(decisions) and decisions[replay][0] == t:
                 index = decisions[replay][2]
                 replay += 1
             else:
                 index = 0
-                if len(edges) > 1:
-                    decisions.append((t, state, 0))
+                if degree > 1:
+                    decisions.append([t, state, 0])
                     replay = len(decisions)
-            symbol, target = edges[index]
-            symbols.append(symbol)
-            state = target
-        yield tuple(symbols)  # Step 4
+            word_out.append(symbols[edge_symbol[t][base + index]])
+            state = edge_dst[t][base + index]
+        yield tuple(word_out)  # Step 4
 
         # Steps 5–7: drop exhausted decision points.
         while decisions:
             t, vertex, index = decisions[-1]
-            if index + 1 < len(order[(t, vertex)]):
+            starts = edge_start[t]
+            if index + 1 < starts[vertex + 1] - starts[vertex]:
                 break
             decisions.pop()
         if not decisions:
             return  # Step 6: STOP
         # Step 8: advance the deepest non-exhausted decision.
-        t, vertex, index = decisions[-1]
-        decisions[-1] = (t, vertex, index + 1)
+        decisions[-1][2] += 1
 
 
 def enumerate_words_nfa(nfa: NFA, n: int) -> Iterator[Word]:

@@ -18,6 +18,10 @@ Provided:
 * :func:`forward_run_table` / :func:`backward_run_table` — per-layer count
   tables reused by the exact sampler and the enumerator.
 * :func:`length_spectrum` — counts across a range of lengths.
+
+All table computation runs on the integer-indexed
+:class:`~repro.core.kernel.CompiledDAG` arrays; the dict-shaped tables
+these functions return are adapter views over the packed rows.
 """
 
 from __future__ import annotations
@@ -26,47 +30,31 @@ from typing import Sequence
 
 from repro.automata.nfa import NFA, State
 from repro.automata.unambiguous import require_unambiguous
-from repro.core.unroll import UnrolledDAG, unroll
+from repro.core.kernel import CompiledDAG, as_kernel, compile_nfa
+from repro.core.unroll import UnrolledDAG
 
 
-def forward_run_table(dag: UnrolledDAG) -> list[dict[State, int]]:
+def forward_run_table(dag: UnrolledDAG | CompiledDAG) -> list[dict[State, int]]:
     """``table[t][q]`` = number of length-``t`` paths start → ``(t, q)``.
 
     Counts *runs* (paths), not words; the two coincide exactly on
-    unambiguous automata, which is the content of Section 5.3.2.
+    unambiguous automata, which is the content of Section 5.3.2.  The DP
+    runs over the integer-indexed :class:`CompiledDAG` kernel (an
+    :class:`UnrolledDAG` argument is lowered first); this adapter renders
+    the array rows back into the per-state dict shape.
     """
-    nfa = dag.nfa
-    table: list[dict[State, int]] = [{nfa.initial: 1} if nfa.initial in dag.layer(0) else {}]
-    for t in range(dag.n):
-        nxt: dict[State, int] = {}
-        layer_next = dag.layer(t + 1)
-        for state, ways in table[t].items():
-            for symbol, target in nfa.out_edges(state):
-                if target in layer_next:
-                    nxt[target] = nxt.get(target, 0) + ways
-        table.append(nxt)
-    return table
+    return as_kernel(dag).forward_dicts()
 
 
-def backward_run_table(dag: UnrolledDAG) -> list[dict[State, int]]:
+def backward_run_table(dag: UnrolledDAG | CompiledDAG) -> list[dict[State, int]]:
     """``table[t][q]`` = number of length-``(n - t)`` paths ``(t, q)`` → finals.
 
     The sampler's lookahead table: at layer ``t`` it tells each live state
-    how many accepting completions it has.
+    how many accepting completions it has.  Computed on the kernel's flat
+    edge arrays; states with zero completions are omitted from the dicts,
+    matching the seed implementation.
     """
-    nfa = dag.nfa
-    table: list[dict[State, int]] = [dict() for _ in range(dag.n + 1)]
-    table[dag.n] = {state: 1 for state in dag.layer(dag.n) & nfa.finals}
-    for t in range(dag.n - 1, -1, -1):
-        current: dict[State, int] = {}
-        for state in dag.layer(t):
-            total = 0
-            for _, target in dag.successors(t, state):
-                total += table[t + 1].get(target, 0)
-            if total:
-                current[state] = total
-        table[t] = current
-    return table
+    return as_kernel(dag).backward_dicts()
 
 
 def count_accepting_runs_of_length(nfa: NFA, n: int) -> int:
@@ -75,9 +63,7 @@ def count_accepting_runs_of_length(nfa: NFA, n: int) -> int:
     O(n·|δ|) time, bignum-exact.  Equals ``|L_n(N)|`` iff ``N`` is
     unambiguous at length ``n``.
     """
-    dag = unroll(nfa, n)
-    table = forward_run_table(dag)
-    return sum(ways for state, ways in table[n].items() if state in dag.nfa.finals)
+    return compile_nfa(nfa, n, trimmed=False).total_runs
 
 
 def count_words_ufa(nfa: NFA, n: int, check: bool = True) -> int:
@@ -135,7 +121,14 @@ def length_spectrum(nfa: NFA, lengths: Sequence[int], exact_nfa: bool = False) -
     if exact_nfa:
         return {n: count_words_exact(nfa, n) for n in lengths}
     stripped = require_unambiguous(nfa, context="length spectrum")
-    return {n: count_accepting_runs_of_length(stripped, n) for n in lengths}
+    lengths = list(lengths)
+    if not lengths:
+        return {}
+    # One reachable-mode compilation at the maximum length answers every
+    # requested length from its per-layer forward counts — a linear sweep
+    # instead of one unrolling per length.
+    spectrum = compile_nfa(stripped, max(lengths), trimmed=False).spectrum_counts()
+    return {n: spectrum[n] for n in lengths}
 
 
 def run_count_by_word(nfa: NFA, n: int) -> dict[tuple, int]:

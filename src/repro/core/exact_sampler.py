@@ -32,9 +32,10 @@ import random
 
 from repro.automata.nfa import NFA, Word
 from repro.automata.unambiguous import require_unambiguous
-from repro.core.exact import backward_run_table, count_accepting_runs_of_length
+from repro.core.exact import count_accepting_runs_of_length
+from repro.core.kernel import CompiledDAG, as_kernel, compile_nfa
 from repro.core.selfreduce import SelfReduction
-from repro.core.unroll import UnrolledDAG, unroll_trimmed
+from repro.core.unroll import UnrolledDAG
 from repro.errors import EmptyWitnessSetError
 from repro.utils.rng import make_rng
 
@@ -42,14 +43,18 @@ from repro.utils.rng import make_rng
 class ExactUniformSampler:
     """Reusable exact uniform sampler over ``L_n(nfa)`` for unambiguous ``nfa``.
 
-    Precomputes the pruned DAG and the backward count table once; every
-    :meth:`sample` is then an O(n·deg) walk.  Amortizes the Section 5.3.3
+    Compiles the pruned unrolling into the integer-indexed
+    :class:`~repro.core.kernel.CompiledDAG` once (edge arrays plus the
+    backward count table); every :meth:`sample` is then an O(n·log deg)
+    table-guided walk, and :meth:`sample_batch` draws many witnesses in a
+    single layer-by-layer pass.  Amortizes the Section 5.3.3
     preprocessing across many draws, which is how the uniform-generation
-    experiments (E7) use it.  A caller that already holds the pruned DAG
-    and/or the table (e.g. the :class:`repro.api.WitnessSet` facade) can
-    pass them as ``dag`` / ``back`` to share the preprocessing; ``dag``
-    must then be the Lemma 15 trimmed unrolling of an ε-free unambiguous
-    automaton.
+    experiments (E7) use it.  A caller that already holds the compiled
+    kernel (e.g. the :class:`repro.api.WitnessSet` facade) passes it as
+    ``kernel``; ``dag`` accepts a Lemma 15 trimmed :class:`UnrolledDAG`
+    of an ε-free unambiguous automaton and lowers it (``back`` is
+    accepted for backward compatibility but no longer consulted — the
+    kernel owns its count tables).
     """
 
     def __init__(
@@ -59,56 +64,50 @@ class ExactUniformSampler:
         check: bool = True,
         dag: UnrolledDAG | None = None,
         back: list | None = None,
+        kernel: CompiledDAG | None = None,
     ):
-        if dag is None:
-            prepared = (
-                require_unambiguous(nfa, context="exact uniform sampling")
-                if check
-                else nfa.without_epsilon()
-            )
-            dag = unroll_trimmed(prepared, n)
+        if kernel is None:
+            if dag is not None:
+                kernel = as_kernel(dag)
+            else:
+                prepared = (
+                    require_unambiguous(nfa, context="exact uniform sampling")
+                    if check
+                    else nfa.without_epsilon()
+                )
+                kernel = compile_nfa(prepared, n, trimmed=True)
         self.n = n
-        self.dag: UnrolledDAG = dag
-        self.back = back if back is not None else backward_run_table(self.dag)
-        self.total = sum(
-            self.back[0].get(state, 0) for state in self.dag.layer(0)
-        )
+        self.kernel: CompiledDAG = kernel
+        #: Adapter view kept for callers that walked ``sampler.dag``.
+        self.dag = kernel
+        self.total = kernel.total_runs
 
     @property
     def count(self) -> int:
         """|L_n(N)| — a byproduct of the table build."""
         return self.total
 
+    @property
+    def back(self) -> list:
+        """The backward table in the seed dict shape (compat view)."""
+        return self.kernel.backward_dicts()
+
     def sample(self, rng: random.Random | int | None = None) -> Word:
         """Draw one exactly-uniform word of ``L_n(N)``.
 
         Raises :class:`EmptyWitnessSetError` on an empty witness set.
         """
-        if self.total == 0:
-            raise EmptyWitnessSetError(
-                f"the automaton accepts no word of length {self.n}"
-            )
-        generator = make_rng(rng)
-        nfa = self.dag.nfa
-        state = nfa.initial
-        symbols: list = []
-        for t in range(self.n):
-            choices: list[tuple] = []  # (symbol, target, weight)
-            for symbol, target in self.dag.ordered_successors(t, state):
-                weight = self.back[t + 1].get(target, 0)
-                if weight:
-                    choices.append((symbol, target, weight))
-            # Invariant: back[t][state] = Σ weights > 0 on the pruned DAG.
-            total = self.back[t][state]
-            pick = generator.randrange(total)
-            accumulated = 0
-            for symbol, target, weight in choices:
-                accumulated += weight
-                if pick < accumulated:
-                    symbols.append(symbol)
-                    state = target
-                    break
-        return tuple(symbols)
+        return self.kernel.sample_word(make_rng(rng))
+
+    def sample_batch(self, count: int, rng: random.Random | int | None = None) -> list[Word]:
+        """``count`` independent uniform witnesses in one table-guided pass.
+
+        Same distribution as ``count`` calls to :meth:`sample` (each
+        draw walks the identical Section 5.3.3 chain) but the per-layer
+        grouping resolves each vertex's weights once per layer, not once
+        per draw.  Raises :class:`EmptyWitnessSetError` when ``W = ∅``.
+        """
+        return self.kernel.sample_batch(count, make_rng(rng))
 
     def sample_many(self, count: int, rng: random.Random | int | None = None) -> list[Word]:
         generator = make_rng(rng)

@@ -56,8 +56,8 @@ from typing import Iterable, Sequence
 
 from repro.automata.nfa import NFA, State, Symbol, Word
 from repro.core.exact import count_words_exact
-from repro.core.unroll import UnrolledDAG, unroll
-from repro.errors import EmptyWitnessSetError
+from repro.core.kernel import CompiledDAG, compile_nfa
+from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
 from repro.utils.rng import make_rng
 
 #: Acceptance constant of Algorithm 5: samples are accepted with
@@ -182,6 +182,15 @@ class FprasState:
     * :meth:`sample_witness` draws exactly-uniform witnesses using the
       same ``Sample`` machinery (this is what the PLVUG of Corollary 23
       wraps).
+
+    All per-vertex bookkeeping is integer-indexed over the compiled
+    kernel (:class:`~repro.core.kernel.CompiledDAG`): vertices are local
+    layer indices, the fixed linear order ≺ on each layer is index order
+    (indices are assigned in repr order, reproducing the seed's
+    ordering), and predecessor partitions / prefix-set steps run on the
+    kernel's flat edge arrays.  A caller holding a reachable-mode kernel
+    for ``(nfa, n)`` (e.g. the :class:`repro.api.WitnessSet` facade)
+    passes it as ``kernel`` to skip recompilation.
     """
 
     def __init__(
@@ -191,6 +200,7 @@ class FprasState:
         delta: float = 0.1,
         rng: random.Random | int | None = None,
         params: FprasParameters | None = None,
+        kernel: CompiledDAG | None = None,
     ):
         if not 0 < delta < 1:
             raise ValueError("delta must be in (0, 1)")
@@ -202,19 +212,31 @@ class FprasState:
         self.params = params or FprasParameters()
         self.rng = make_rng(rng)
         self.diagnostics = FprasDiagnostics()
-        self.dag: UnrolledDAG = unroll(self.nfa, n)
+        if kernel is None:
+            kernel = compile_nfa(self.nfa, n, trimmed=False)
+        elif kernel.trimmed or kernel.n < n or kernel.nfa != self.nfa:
+            raise InvalidAutomatonError(
+                "the FPRAS needs a reachable-mode kernel of the same "
+                f"automaton at length ≥ {n}"
+            )
+        self.kernel: CompiledDAG = kernel
+        #: Set-based adapter view of the unrolling (the kernel implements
+        #: the full UnrolledDAG API), kept for diagnostics and callers.
+        self.dag = kernel
         self.k = self.params.resolve_k(n, self.nfa.num_states, delta)
         self.retries = self.params.resolve_retries()
         self.diagnostics.k = self.k
         self.diagnostics.layers = n
-        self._entries: list[dict[State, _Entry]] = [dict() for _ in range(n + 1)]
-        self._reach_cache: dict[Word, frozenset] = {(): frozenset({self.nfa.initial})}
+        self._entries: list[dict[int, _Entry]] = [dict() for _ in range(n + 1)]
+        start = kernel.index_of(0, self.nfa.initial)
+        self._reach_cache: dict[Word, frozenset] = {
+            (): frozenset() if start is None else frozenset({start})
+        }
         # W̃ and predecessor-set memos.  Entries at a layer are immutable
         # once written, and the walks revisit the same vertex sets heavily
         # (k draws per sketched vertex), so both caches are sound and hot.
         self._w_cache: dict[tuple[int, frozenset], float] = {}
         self._pred_cache: dict[tuple[int, frozenset], dict] = {}
-        self._order_key = repr  # the fixed linear order ≺ on states
         self.failed = False
         self.estimate: float = 0.0
         self._final_exact_union: frozenset | None = None
@@ -225,21 +247,18 @@ class FprasState:
     # ------------------------------------------------------------------
 
     def _reach(self, prefix: Word) -> frozenset:
-        """States reachable from the start by reading ``prefix`` (memoized).
+        """Layer-``|prefix|`` vertex indices reachable by reading ``prefix``.
 
-        ``x ∈ U(s_t^j)`` ⟺ ``j ∈ reach(x)`` (with ``|x| = t``): this is the
-        breadth-first-search membership test of Algorithm 4 step 3(a),
-        shared across all sketches via the cache.
+        ``x ∈ U(s_t^j)`` ⟺ ``index(j) ∈ reach(x)`` (with ``|x| = t``):
+        this is the breadth-first-search membership test of Algorithm 4
+        step 3(a), shared across all sketches via the cache and stepped
+        through the kernel's flat edge arrays.
         """
         cached = self._reach_cache.get(prefix)
         if cached is not None:
             return cached
         base = self._reach(prefix[:-1])
-        symbol = prefix[-1]
-        nxt: set = set()
-        for state in base:
-            nxt |= self.nfa.successors(state, symbol)
-        result = frozenset(nxt)
+        result = self.kernel.step_indices(len(prefix) - 1, base, prefix[-1])
         self._reach_cache[prefix] = result
         self.diagnostics.reach_cache_misses += 1
         return result
@@ -248,46 +267,45 @@ class FprasState:
     # The W̃ estimator (Algorithm 5 step 5a / Algorithm 4 step 3a)
     # ------------------------------------------------------------------
 
-    def _w_tilde(self, layer: int, group: Sequence[State]) -> float:
+    def _w_tilde(self, layer: int, group: Sequence[int]) -> float:
         """Estimate ``|⋃_{s ∈ group} U(s)|`` from the groups' sketches.
 
-        ``group`` lives at ``layer``; it is processed in the global order
-        ≺, each state contributing ``R(s)`` scaled by the sketch fraction
-        that is *not* already covered by earlier states.  For a sample
-        ``x ∈ X(s)`` the earlier-coverage test reduces to: is the
-        ≺-minimum of ``reach(x) ∩ group`` equal to ``s``?  (``s`` itself
-        is always in ``reach(x)`` because ``x ∈ U(s)``.)
+        ``group`` holds vertex *indices* at ``layer``; it is processed in
+        the global order ≺ (= index order), each vertex contributing
+        ``R(s)`` scaled by the sketch fraction that is *not* already
+        covered by earlier vertices.  For a sample ``x ∈ X(s)`` the
+        earlier-coverage test reduces to: is the minimum of ``reach(x) ∩
+        group`` equal to ``s``'s index?  (``s`` itself is always in
+        ``reach(x)`` because ``x ∈ U(s)``.)
         """
         group_set = frozenset(group)
         cache_key = (layer, group_set)
         cached = self._w_cache.get(cache_key)
         if cached is not None:
             return cached
-        ordered = sorted(group_set, key=self._order_key)
-        position = {state: index for index, state in enumerate(ordered)}
+        ordered = sorted(group_set)
         total = 0.0
-        for index, state in enumerate(ordered):
-            entry = self._entries[layer][state]
+        for position, vertex in enumerate(ordered):
+            entry = self._entries[layer][vertex]
             if not entry.sketch:
                 continue
-            if index == 0:
+            if position == 0:
                 total += entry.estimate
                 continue
             fresh = 0
             for x in entry.sketch:
-                overlap = self._reach(x) & group_set
-                first = min(position[s] for s in overlap)
-                if first == index:
+                if min(self._reach(x) & group_set) == vertex:
                     fresh += 1
             total += entry.estimate * (fresh / len(entry.sketch))
         self._w_cache[cache_key] = total
         return total
 
-    def _predecessor_sets(self, t: int, states: frozenset) -> dict:
-        key = (t, states)
+    def _predecessor_sets(self, t: int, vertices: frozenset) -> dict:
+        """``{b: T_b}`` with ``T_b`` the layer-(t-1) predecessor indices."""
+        key = (t, vertices)
         cached = self._pred_cache.get(key)
         if cached is None:
-            cached = self.dag.predecessor_sets(t, states)
+            cached = self.kernel.predecessor_groups(t, vertices)
             self._pred_cache[key] = cached
         return cached
 
@@ -305,11 +323,12 @@ class FprasState:
     ) -> Word | None:
         """One invocation of ``Sample(T, ε, φ₀)``; None on failure.
 
-        Walks backwards from ``targets`` (a set of states at ``layer``),
-        choosing symbols with probability proportional to the sketched
-        union estimates and accumulating the acceptance probability φ.
-        ``rng`` overrides the state's own stream (witness draws are
-        caller-seedable; the construction-time sketch draws are not).
+        Walks backwards from ``targets`` (a set of vertex indices at
+        ``layer``), choosing symbols with probability proportional to the
+        sketched union estimates and accumulating the acceptance
+        probability φ.  ``rng`` overrides the state's own stream (witness
+        draws are caller-seedable; the construction-time sketch draws are
+        not).
         """
         generator = rng if rng is not None else self.rng
         phi = phi0
@@ -357,15 +376,15 @@ class FprasState:
         self.diagnostics.sample_rejections += 1
         return None
 
-    def _draw_samples(self, layer: int, state: State, estimate: float, count: int) -> list:
-        """Fill a sketch with ``count`` uniform samples of ``U(state@layer)``.
+    def _draw_samples(self, layer: int, vertex: int, estimate: float, count: int) -> list:
+        """Fill a sketch with ``count`` uniform samples of ``U(vertex@layer)``.
 
         Each needed sample is attempted up to the retry budget; exhausting
         it is Algorithm 5's failure event 5(c)(iii).
         """
         phi0 = self.params.rejection_constant / estimate if estimate > 0 else 0.0
         sketch: list = []
-        targets = frozenset({state})
+        targets = frozenset({vertex})
         while len(sketch) < count:
             drawn = None
             for _ in range(self.retries):
@@ -375,7 +394,7 @@ class FprasState:
                     break
             if drawn is None:
                 raise FprasFailure(
-                    f"sampling failed at layer {layer} state {state!r}: "
+                    f"sampling failed at layer {layer} vertex {vertex}: "
                     f"no acceptance in {self.retries} attempts"
                 )
             sketch.append(drawn)
@@ -399,23 +418,23 @@ class FprasState:
             # Algorithm 5 step 1: tiny instances are counted exactly.
             self.diagnostics.used_exhaustive = True
             self.estimate = float(count_words_exact(self.nfa, self.n))
-            finals = self.dag.final_states
             self._final_exact_union = None
             self._exhaustive = True
             return
         self._exhaustive = False
 
         # Layer 0: the start vertex, exactly handled with U = {ε}.
-        self._entries[0][self.nfa.initial] = _Entry(
+        start = self.kernel.index_of(0, self.nfa.initial)
+        self._entries[0][start] = _Entry(
             estimate=1.0, sketch=[()], exact=True, exact_set=frozenset({()})
         )
         self.diagnostics.exactly_handled += 1
 
         for t in range(1, self.n + 1):
-            for state in sorted(self.dag.layer(t), key=self._order_key):
-                self._process_vertex(t, state)
+            for vertex in range(self.kernel.layer_size(t)):
+                self._process_vertex(t, vertex)
 
-        finals = sorted(self.dag.final_states, key=self._order_key)
+        finals = list(self.kernel.final_indices(self.n))
         if not finals:
             self.estimate = 0.0
             self._final_exact_union = frozenset()
@@ -432,8 +451,8 @@ class FprasState:
         if self.estimate <= 0:
             raise FprasFailure("final estimate collapsed to zero")
 
-    def _process_vertex(self, t: int, state: State) -> None:
-        predecessors = self._predecessor_sets(t, frozenset({state}))
+    def _process_vertex(self, t: int, vertex: int) -> None:
+        predecessors = self._predecessor_sets(t, frozenset({vertex}))
         # Algorithm 5 step 4: try the exactly-handled route first.
         if all(
             self._entries[t - 1][p].exact
@@ -446,7 +465,7 @@ class FprasState:
                     for x in self._entries[t - 1][p].exact_set:
                         exact_words.add(x + (symbol,))
             if len(exact_words) <= self.k:
-                self._entries[t][state] = _Entry(
+                self._entries[t][vertex] = _Entry(
                     estimate=float(len(exact_words)),
                     sketch=list(exact_words),
                     exact=True,
@@ -459,9 +478,9 @@ class FprasState:
         for symbol in sorted(predecessors, key=repr):
             estimate += self._w_tilde(t - 1, predecessors[symbol])
         if estimate <= 0:
-            raise FprasFailure(f"R collapsed to zero at layer {t} state {state!r}")
-        sketch = self._draw_samples_for_vertex(t, state, estimate, predecessors)
-        self._entries[t][state] = _Entry(
+            raise FprasFailure(f"R collapsed to zero at layer {t} vertex {vertex}")
+        sketch = self._draw_samples_for_vertex(t, vertex, estimate, predecessors)
+        self._entries[t][vertex] = _Entry(
             estimate=estimate, sketch=sketch, exact=False, exact_set=None
         )
         self.diagnostics.sketched += 1
@@ -469,7 +488,7 @@ class FprasState:
     def _draw_samples_for_vertex(
         self,
         t: int,
-        state: State,
+        vertex: int,
         estimate: float,
         predecessors: dict,
     ) -> list:
@@ -479,7 +498,7 @@ class FprasState:
         of the walk is exactly ``predecessors``; we reuse the generic walk
         by starting it at the vertex itself.
         """
-        return self._draw_samples(t, state, estimate, self.k)
+        return self._draw_samples(t, vertex, estimate, self.k)
 
     # ------------------------------------------------------------------
     # Public results
@@ -508,16 +527,13 @@ class FprasState:
             return 0.0
         if self.diagnostics.used_exhaustive:
             return float(count_words_exact(self.nfa, t))
-        finals = sorted(
-            (state for state in self.dag.layer(t) if state in self.nfa.finals),
-            key=self._order_key,
-        )
+        finals = list(self.kernel.final_indices(t))
         if not finals:
             return 0.0
-        if all(self._entries[t][state].exact for state in finals):
+        if all(self._entries[t][vertex].exact for vertex in finals):
             union: set = set()
-            for state in finals:
-                union |= self._entries[t][state].exact_set
+            for vertex in finals:
+                union |= self._entries[t][vertex].exact_set
             return float(len(union))
         return self._w_tilde(t, finals)
 
@@ -544,7 +560,7 @@ class FprasState:
             When ``L_n(N) = ∅`` (the paper's ⊥ output).
         """
         generator = make_rng(rng) if rng is not None else self.rng
-        finals = sorted(self.dag.final_states, key=self._order_key)
+        finals = list(self.kernel.final_indices(self.n))
         if not finals or (self.estimate <= 0 and not self.failed and self.is_exact()):
             raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
         if self.diagnostics.used_exhaustive or self._final_exact_union is not None:

@@ -1,0 +1,609 @@
+"""The array-backed execution kernel: :class:`CompiledDAG`.
+
+Every algorithm in the library — exact counting (Section 6.2's DP),
+Lemma-15 enumeration, exact uniform generation, the length-spectrum
+sweeps and the FPRAS's prefix-set bookkeeping — consumes the same object:
+the automaton unrolled ``n`` times into a layered DAG.  The
+:class:`~repro.core.unroll.UnrolledDAG` view answers adjacency queries
+against frozensets of state objects, which keeps the correspondence with
+the paper's ``s_t^j`` vertices direct but pays Python hashing and
+allocation on every hot-path step.
+
+:class:`CompiledDAG` is the one-shot lowering of that view into dense,
+integer-indexed arrays:
+
+* per layer ``t``, the live states in a fixed total order (sorted by
+  ``repr``, matching the edge order Algorithm 1 requires), with an index
+  map state → local integer;
+* per layer, a CSR-style flat edge list ``(src_idx, symbol_idx,
+  dst_idx)`` built once from the NFA's transition maps, sorted per source
+  so traversal order is identical to ``UnrolledDAG.ordered_successors``;
+* forward/backward run-count tables stored as ``array('q')`` when every
+  entry fits a machine word, spilling to plain Python lists when the
+  bignum counts overflow 64 bits — exactness is never sacrificed;
+* a lazily built reverse CSR for backward walks (the FPRAS's
+  ``T_b(s_i^α)`` queries).
+
+All computation then streams over integer arrays; the set-based
+:class:`UnrolledDAG` API is preserved as thin adapter methods, so the
+paper-facing ``s_t^j`` correspondence documented in
+:mod:`repro.core.unroll` survives the lowering (``s_t^j`` live ⟺
+``j in kernel.layer(t)``, same as before).
+
+Reachable-mode kernels additionally support *incremental length
+extension* (:meth:`CompiledDAG.extend_to`): appending layers to an
+existing compilation instead of recompiling from scratch, which turns
+length-spectrum sweeps from quadratic into linear total work.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from random import Random
+from typing import Iterator, Sequence
+
+from repro.automata.nfa import NFA, State, Symbol, Word
+from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
+
+#: Largest count representable in the packed ``array('q')`` spine.
+_INT64_MAX = 2**63 - 1
+
+
+def _pack_counts(counts: list) -> "array | list":
+    """Pack a per-layer count row into ``array('q')``, spilling to a list.
+
+    The spill keeps exact bignum arithmetic available: both containers
+    answer ``row[i]`` with a Python int, so consumers never branch.
+    """
+    if counts and max(counts) > _INT64_MAX:
+        return counts
+    return array("q", counts)
+
+
+class CompiledDAG:
+    """Integer-indexed compilation of an unrolled layered DAG.
+
+    Parameters
+    ----------
+    nfa:
+        The underlying ε-free automaton.
+    n:
+        The word length (number of symbol layers).
+    trimmed:
+        ``True`` for the Lemma 15 pruning (every vertex lies on a
+        start→final path — the enumeration/sampling view), ``False`` for
+        reachable-only vertices (the FPRAS / spectrum view, which also
+        supports :meth:`extend_to`).
+    layers:
+        Optional precomputed live-state sets (one frozenset per layer,
+        as built by :class:`~repro.core.unroll.UnrolledDAG`); when
+        omitted they are recomputed from the automaton.
+    """
+
+    __slots__ = (
+        "nfa",
+        "n",
+        "trimmed",
+        "symbols",
+        "_symbol_index",
+        "_states",
+        "_index",
+        "_edge_start",
+        "_edge_symbol",
+        "_edge_dst",
+        "_redge",
+        "_forward",
+        "_backward",
+        "_cum",
+        "_layer_sets",
+        "_finals_idx",
+    )
+
+    def __init__(
+        self,
+        nfa: NFA,
+        n: int,
+        trimmed: bool,
+        layers: Sequence[frozenset] | None = None,
+    ):
+        if nfa.has_epsilon:
+            raise InvalidAutomatonError("kernel compilation requires an ε-free NFA")
+        if n < 0:
+            raise ValueError("word length must be ≥ 0")
+        self.nfa = nfa
+        self.n = n
+        self.trimmed = trimmed
+        if layers is None:
+            from repro.core.unroll import UnrolledDAG
+
+            layers = UnrolledDAG(nfa, n, trimmed).layers
+        self.symbols: tuple = tuple(sorted(nfa.alphabet, key=repr))
+        self._symbol_index: dict = {s: i for i, s in enumerate(self.symbols)}
+        self._states: list[tuple] = [tuple(sorted(layer, key=repr)) for layer in layers]
+        self._index: list[dict] = [
+            {state: i for i, state in enumerate(states)} for states in self._states
+        ]
+        self._edge_start: list = []
+        self._edge_symbol: list = []
+        self._edge_dst: list = []
+        for t in range(n):
+            self._append_edge_layer(t)
+        self._redge: dict[int, tuple] = {}
+        self._forward: list | None = None
+        self._backward: list | None = None
+        self._cum: dict[tuple[int, int], list] = {}
+        self._layer_sets: dict[int, frozenset] = {}
+        self._finals_idx: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_unrolled(cls, dag) -> "CompiledDAG":
+        """Lower an already-built :class:`UnrolledDAG` (live sets reused)."""
+        if isinstance(dag, CompiledDAG):
+            return dag
+        return cls(dag.nfa, dag.n, dag.trimmed, layers=dag.layers)
+
+    def _append_edge_layer(self, t: int) -> None:
+        """Build the CSR edge block for layer ``t`` → ``t + 1``."""
+        index_next = self._index[t + 1]
+        symbol_index = self._symbol_index
+        offsets = array("l", [0])
+        edge_symbol = array("l")
+        edge_dst = array("l")
+        out_edges = self.nfa.out_edges
+        for state in self._states[t]:
+            edges = []
+            for symbol, target in out_edges(state):
+                j = index_next.get(target)
+                if j is not None:
+                    edges.append((symbol_index[symbol], j))
+            # Symbol indices and dst indices are both assigned in repr
+            # order, so this integer sort reproduces the (repr(symbol),
+            # repr(state)) order of UnrolledDAG.ordered_successors.
+            edges.sort()
+            for symbol_i, j in edges:
+                edge_symbol.append(symbol_i)
+                edge_dst.append(j)
+            offsets.append(len(edge_symbol))
+        self._edge_start.append(offsets)
+        self._edge_symbol.append(edge_symbol)
+        self._edge_dst.append(edge_dst)
+
+    def extend_to(self, new_n: int) -> "CompiledDAG":
+        """Extend a reachable-mode compilation to length ``new_n`` in place.
+
+        Appends layers ``n+1 .. new_n`` (and their edge blocks and —
+        when already built — forward count rows) without recompiling the
+        prefix, so a length sweep costs the same as one compilation at
+        the final length.  Trimmed kernels cannot be extended: Lemma 15
+        pruning depends on the final layer, so extension would invalidate
+        every earlier layer.
+        """
+        if self.trimmed:
+            raise InvalidAutomatonError(
+                "incremental extension requires a reachable-mode kernel "
+                "(trimmed pruning depends on the final layer)"
+            )
+        if new_n <= self.n:
+            return self
+        out_edges = self.nfa.out_edges
+        for t in range(self.n, new_n):
+            nxt: set = set()
+            for state in self._states[t]:
+                for _, target in out_edges(state):
+                    nxt.add(target)
+            states_next = tuple(sorted(nxt, key=repr))
+            self._states.append(states_next)
+            self._index.append({state: i for i, state in enumerate(states_next)})
+            self._append_edge_layer(t)
+            if self._forward is not None:
+                self._forward.append(_pack_counts(self._forward_step(t, self._forward[t])))
+        self.n = new_n
+        # Backward counts, cumulative-weight caches and final-layer
+        # adapters depend on n; drop them (forward rows stay valid).
+        self._backward = None
+        self._cum.clear()
+        self._finals_idx.clear()
+        return self
+
+    # ------------------------------------------------------------------
+    # Integer-level structure
+    # ------------------------------------------------------------------
+
+    def layer_size(self, t: int) -> int:
+        """Number of live states at layer ``t``."""
+        return len(self._states[t])
+
+    def layer_states(self, t: int) -> tuple:
+        """Live states at layer ``t`` in index (= repr) order."""
+        return self._states[t]
+
+    def state_at(self, t: int, i: int) -> State:
+        """The state object behind index ``i`` of layer ``t``."""
+        return self._states[t][i]
+
+    def index_of(self, t: int, state: State) -> int | None:
+        """Local index of ``state`` at layer ``t`` (None when not live)."""
+        return self._index[t].get(state)
+
+    def symbol_at(self, i: int) -> Symbol:
+        """The symbol object behind symbol index ``i``."""
+        return self.symbols[i]
+
+    def out_edge_range(self, t: int, i: int) -> tuple[int, int]:
+        """Offsets ``[start, end)`` of vertex ``(t, i)``'s edges in the flat arrays."""
+        starts = self._edge_start[t]
+        return starts[i], starts[i + 1]
+
+    def final_indices(self, t: int) -> tuple[int, ...]:
+        """Indices of accepting states at layer ``t`` (ascending)."""
+        cached = self._finals_idx.get(t)
+        if cached is None:
+            finals = self.nfa.finals
+            cached = tuple(
+                i for i, state in enumerate(self._states[t]) if state in finals
+            )
+            self._finals_idx[t] = cached
+        return cached
+
+    def _reverse_edges(self, t: int) -> tuple:
+        """Reverse CSR for edges into layer ``t`` (``1 ≤ t ≤ n``), keyed by dst."""
+        cached = self._redge.get(t)
+        if cached is not None:
+            return cached
+        if not 1 <= t <= self.n:
+            raise ValueError(f"layer {t} has no incoming edges")
+        edge_symbol = self._edge_symbol[t - 1]
+        edge_dst = self._edge_dst[t - 1]
+        edge_start = self._edge_start[t - 1]
+        size = len(self._states[t])
+        counts = [0] * size
+        for j in edge_dst:
+            counts[j] += 1
+        starts = array("l", [0] * (size + 1))
+        for j in range(size):
+            starts[j + 1] = starts[j] + counts[j]
+        fill = list(starts[:size])
+        r_symbol = array("l", [0]) * len(edge_dst)
+        r_src = array("l", r_symbol)
+        for src in range(len(self._states[t - 1])):
+            for e in range(edge_start[src], edge_start[src + 1]):
+                j = edge_dst[e]
+                slot = fill[j]
+                r_symbol[slot] = edge_symbol[e]
+                r_src[slot] = src
+                fill[j] = slot + 1
+        cached = (starts, r_symbol, r_src)
+        self._redge[t] = cached
+        return cached
+
+    def in_edges_idx(self, t: int, i: int) -> Iterator[tuple[int, int]]:
+        """Iterate ``(symbol_idx, src_idx)`` over edges into vertex ``(t, i)``."""
+        starts, r_symbol, r_src = self._reverse_edges(t)
+        for e in range(starts[i], starts[i + 1]):
+            yield r_symbol[e], r_src[e]
+
+    def predecessor_groups(self, t: int, indices) -> dict[Symbol, frozenset]:
+        """``{b: T_b}`` with ``T_b`` the layer-``t-1`` predecessor *indices*.
+
+        The integer-indexed form of the paper's Algorithm 4 step 3 / the
+        ``T_b(s_i^α)`` partition of Algorithm 5 — what the FPRAS's
+        backward walks consume.
+        """
+        if t <= 0:
+            return {}
+        starts, r_symbol, r_src = self._reverse_edges(t)
+        grouped: dict[int, set] = {}
+        for i in indices:
+            for e in range(starts[i], starts[i + 1]):
+                grouped.setdefault(r_symbol[e], set()).add(r_src[e])
+        symbols = self.symbols
+        return {symbols[si]: frozenset(group) for si, group in grouped.items()}
+
+    def step_indices(self, t: int, indices, symbol: Symbol) -> frozenset:
+        """Layer-``t+1`` indices reachable from ``indices`` by one ``symbol`` edge.
+
+        The prefix-set step the FPRAS's membership machinery uses:
+        reading a word through the kernel layer by layer yields exactly
+        the ``reach`` sets of Algorithm 4 step 3(a), as local indices.
+        """
+        symbol_i = self._symbol_index.get(symbol)
+        if symbol_i is None or t >= self.n:
+            return frozenset()
+        starts = self._edge_start[t]
+        edge_symbol = self._edge_symbol[t]
+        edge_dst = self._edge_dst[t]
+        out: set = set()
+        for i in indices:
+            for e in range(starts[i], starts[i + 1]):
+                if edge_symbol[e] == symbol_i:
+                    out.add(edge_dst[e])
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # Run-count tables (array-backed, bignum-spill)
+    # ------------------------------------------------------------------
+
+    def _forward_step(self, t: int, current: Sequence[int]) -> list:
+        nxt = [0] * len(self._states[t + 1])
+        starts = self._edge_start[t]
+        edge_dst = self._edge_dst[t]
+        for i, ways in enumerate(current):
+            if not ways:
+                continue
+            for e in range(starts[i], starts[i + 1]):
+                nxt[edge_dst[e]] += ways
+        return nxt
+
+    def forward_counts(self) -> list:
+        """``table[t][i]`` = number of length-``t`` paths start → ``(t, i)``."""
+        if self._forward is None:
+            first = [0] * len(self._states[0])
+            i0 = self._index[0].get(self.nfa.initial)
+            if i0 is not None:
+                first[i0] = 1
+            table = [_pack_counts(first)]
+            for t in range(self.n):
+                table.append(_pack_counts(self._forward_step(t, table[t])))
+            self._forward = table
+        return self._forward
+
+    def backward_counts(self) -> list:
+        """``table[t][i]`` = number of paths ``(t, i)`` → accepting layer-``n`` states."""
+        if self._backward is None:
+            n = self.n
+            last = [0] * len(self._states[n])
+            for i in self.final_indices(n):
+                last[i] = 1
+            table: list = [None] * (n + 1)
+            table[n] = _pack_counts(last)
+            for t in range(n - 1, -1, -1):
+                starts = self._edge_start[t]
+                edge_dst = self._edge_dst[t]
+                nxt = table[t + 1]
+                current = [0] * len(self._states[t])
+                for i in range(len(current)):
+                    total = 0
+                    for e in range(starts[i], starts[i + 1]):
+                        total += nxt[edge_dst[e]]
+                    current[i] = total
+                table[t] = _pack_counts(current)
+            self._backward = table
+        return self._backward
+
+    @property
+    def total_runs(self) -> int:
+        """Number of accepting runs of length ``n`` (= words iff unambiguous)."""
+        back = self.backward_counts()
+        i0 = self._index[0].get(self.nfa.initial)
+        return back[0][i0] if i0 is not None else 0
+
+    def spectrum_counts(self) -> list:
+        """``[|runs_0|, …, |runs_n|]`` — per-length accepting-run counts.
+
+        One forward table read per layer: the whole spectrum costs a
+        single compilation instead of ``n`` separate unrollings.  Only
+        meaningful on reachable-mode kernels (trimmed layers are pruned
+        against length-``n`` acceptance, which would zero shorter
+        lengths' finals).
+        """
+        forward = self.forward_counts()
+        return [
+            sum(forward[t][i] for i in self.final_indices(t))
+            for t in range(self.n + 1)
+        ]
+
+    def forward_dicts(self) -> list[dict]:
+        """The forward table in the seed ``list[dict[State, int]]`` shape."""
+        forward = self.forward_counts()
+        return [
+            {
+                self._states[t][i]: ways
+                for i, ways in enumerate(forward[t])
+                if ways
+            }
+            for t in range(self.n + 1)
+        ]
+
+    def backward_dicts(self) -> list[dict]:
+        """The backward table in the seed ``list[dict[State, int]]`` shape."""
+        backward = self.backward_counts()
+        return [
+            {
+                self._states[t][i]: ways
+                for i, ways in enumerate(backward[t])
+                if ways
+            }
+            for t in range(self.n + 1)
+        ]
+
+    # ------------------------------------------------------------------
+    # Uniform run sampling (table-guided walks)
+    # ------------------------------------------------------------------
+
+    def _cum_weights(self, t: int, i: int) -> list:
+        """Cumulative backward weights over vertex ``(t, i)``'s edge block."""
+        key = (t, i)
+        cached = self._cum.get(key)
+        if cached is None:
+            start, end = self.out_edge_range(t, i)
+            nxt = self.backward_counts()[t + 1]
+            edge_dst = self._edge_dst[t]
+            cached = []
+            running = 0
+            for e in range(start, end):
+                running += nxt[edge_dst[e]]
+                cached.append(running)
+            self._cum[key] = cached
+        return cached
+
+    def sample_word(self, generator: Random) -> Word:
+        """One exactly-uniform accepting *run*'s word (uniform over words
+        iff the automaton is unambiguous — the Section 5.3.3 chain)."""
+        if self.total_runs == 0:
+            raise EmptyWitnessSetError(f"the automaton accepts no word of length {self.n}")
+        backward = self.backward_counts()
+        symbols = self.symbols
+        state = self._index[0][self.nfa.initial]
+        out: list = []
+        for t in range(self.n):
+            cum = self._cum_weights(t, state)
+            pick = generator.randrange(backward[t][state])
+            e = self._edge_start[t][state] + bisect_right(cum, pick)
+            out.append(symbols[self._edge_symbol[t][e]])
+            state = self._edge_dst[t][e]
+        return tuple(out)
+
+    def sample_batch(self, k: int, generator: Random) -> list[Word]:
+        """``k`` independent uniform draws in one table-guided pass.
+
+        Walks all ``k`` samples layer by layer, grouping the in-flight
+        samples by current vertex so each vertex's cumulative-weight
+        block and edge offsets are resolved once per layer instead of
+        once per sample — same chain, same distribution, much less
+        interpreter overhead than ``k`` independent :meth:`sample_word`
+        walks.
+        """
+        if k < 0:
+            raise ValueError("sample count must be ≥ 0")
+        if k == 0:
+            return []
+        if self.total_runs == 0:
+            raise EmptyWitnessSetError(f"the automaton accepts no word of length {self.n}")
+        backward = self.backward_counts()
+        symbols = self.symbols
+        randrange = generator.randrange
+        states = [self._index[0][self.nfa.initial]] * k
+        words: list[list] = [[] for _ in range(k)]
+        for t in range(self.n):
+            groups: dict[int, list] = {}
+            for sample_id, i in enumerate(states):
+                group = groups.get(i)
+                if group is None:
+                    groups[i] = [sample_id]
+                else:
+                    group.append(sample_id)
+            starts = self._edge_start[t]
+            edge_symbol = self._edge_symbol[t]
+            edge_dst = self._edge_dst[t]
+            for i, members in groups.items():
+                base = starts[i]
+                cum = self._cum_weights(t, i)
+                total = backward[t][i]
+                for sample_id in members:
+                    e = base + bisect_right(cum, randrange(total))
+                    words[sample_id].append(symbols[edge_symbol[e]])
+                    states[sample_id] = edge_dst[e]
+        return [tuple(w) for w in words]
+
+    # ------------------------------------------------------------------
+    # UnrolledDAG-compatible adapter views (the paper-facing s_t^j API)
+    # ------------------------------------------------------------------
+
+    @property
+    def layers(self) -> list[frozenset]:
+        """All live-state sets, in the :class:`UnrolledDAG` shape."""
+        return [self.layer(t) for t in range(self.n + 1)]
+
+    def layer(self, t: int) -> frozenset:
+        """Live states at layer ``t`` (0 ≤ t ≤ n)."""
+        cached = self._layer_sets.get(t)
+        if cached is None:
+            cached = frozenset(self._states[t])
+            self._layer_sets[t] = cached
+        return cached
+
+    @property
+    def final_states(self) -> frozenset:
+        """Live accepting states at the last layer."""
+        states = self._states[self.n]
+        return frozenset(states[i] for i in self.final_indices(self.n))
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the automaton accepts no word of length ``n``."""
+        return not self.final_indices(self.n)
+
+    def successors(self, t: int, state: State) -> Iterator[tuple[Symbol, State]]:
+        """Edges from vertex ``(t, state)`` into layer ``t + 1`` (live only)."""
+        if t >= self.n:
+            return
+        i = self._index[t].get(state)
+        if i is None:
+            return
+        symbols = self.symbols
+        states_next = self._states[t + 1]
+        edge_symbol = self._edge_symbol[t]
+        edge_dst = self._edge_dst[t]
+        start, end = self.out_edge_range(t, i)
+        for e in range(start, end):
+            yield symbols[edge_symbol[e]], states_next[edge_dst[e]]
+
+    def ordered_successors(self, t: int, state: State) -> list[tuple[Symbol, State]]:
+        """Successor edges in the fixed (repr, repr) total order.
+
+        The CSR blocks are already stored in that order, so this is a
+        plain materialization — no per-call sort.
+        """
+        return list(self.successors(t, state))
+
+    def predecessors(self, t: int, state: State, symbol: Symbol) -> frozenset:
+        """Live states ``p`` at layer ``t - 1`` with ``p --symbol--> state``."""
+        if t <= 0:
+            return frozenset()
+        i = self._index[t].get(state)
+        if i is None:
+            return frozenset()
+        symbol_i = self._symbol_index.get(symbol)
+        if symbol_i is None:
+            return frozenset()
+        states_prev = self._states[t - 1]
+        return frozenset(
+            states_prev[src] for si, src in self.in_edges_idx(t, i) if si == symbol_i
+        )
+
+    def predecessor_sets(self, t: int, states: frozenset) -> dict[Symbol, frozenset]:
+        """For each symbol b, the set ``T_b`` of layer-(t-1) predecessors (as states)."""
+        index = self._index[t]
+        indices = [index[state] for state in states if state in index]
+        states_prev = self._states[t - 1] if t >= 1 else ()
+        return {
+            symbol: frozenset(states_prev[i] for i in group)
+            for symbol, group in self.predecessor_groups(t, indices).items()
+        }
+
+    def vertex_count(self) -> int:
+        """Total number of live vertices across all layers."""
+        return sum(len(states) for states in self._states)
+
+    def edge_count(self) -> int:
+        """Total number of live edges."""
+        return sum(len(block) for block in self._edge_dst)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        mode = "trimmed" if self.trimmed else "reachable"
+        return (
+            f"<CompiledDAG n={self.n} {mode} vertices={self.vertex_count()} "
+            f"edges={self.edge_count()}>"
+        )
+
+
+def compile_nfa(nfa: NFA, n: int, trimmed: bool = True) -> CompiledDAG:
+    """Compile ``nfa``'s length-``n`` unrolling straight to the kernel.
+
+    ``trimmed=True`` gives the Lemma 15 pruning (count / sample /
+    enumerate); ``trimmed=False`` the reachable-only FPRAS / spectrum
+    view, which supports :meth:`CompiledDAG.extend_to`.
+    """
+    return CompiledDAG(nfa.without_epsilon(), n, trimmed)
+
+
+def as_kernel(dag) -> CompiledDAG:
+    """Coerce an :class:`UnrolledDAG` (or kernel) into a :class:`CompiledDAG`."""
+    if isinstance(dag, CompiledDAG):
+        return dag
+    return CompiledDAG.from_unrolled(dag)

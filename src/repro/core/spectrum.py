@@ -26,9 +26,10 @@ from typing import Iterator
 from repro.automata.nfa import NFA, Word
 from repro.automata.unambiguous import is_unambiguous
 from repro.core.enumeration import enumerate_words_nfa, enumerate_words_ufa
-from repro.core.exact import count_accepting_runs_of_length, count_words_exact
+from repro.core.exact import count_words_exact
 from repro.core.exact_sampler import ExactUniformSampler
 from repro.core.fpras import FprasParameters, FprasState
+from repro.core.kernel import compile_nfa
 from repro.errors import EmptyWitnessSetError
 from repro.utils.rng import make_rng
 
@@ -92,13 +93,33 @@ class SpectrumSolver:
         self.delta = delta
         self.params = params
         self.unambiguous = is_unambiguous(self.nfa)
+        self._samplers: dict[int, ExactUniformSampler] = {}
         if self.unambiguous:
-            self._counts = {
-                length: count_accepting_runs_of_length(self.nfa, length)
-                for length in range(max_length + 1)
-            }
+            # One reachable-mode kernel answers every length ℓ ≤ n from
+            # its per-layer forward counts — a linear sweep instead of
+            # one unrolling per length, and extend() grows it in place.
+            self._kernel = compile_nfa(self.nfa, max_length, trimmed=False)
+            self._counts = dict(enumerate(self._kernel.spectrum_counts()))
         else:
+            self._kernel = None
             self._counts = None
+
+    def extend(self, max_length: int) -> "SpectrumSolver":
+        """Grow the solver to a larger ``max_length`` without recompiling.
+
+        The unambiguous route extends the compiled kernel incrementally
+        (:meth:`~repro.core.kernel.CompiledDAG.extend_to`), so a sweep
+        ``n = 1, 2, …, N`` performed by repeated extension does linear
+        total work; the new lengths' counts are read off the appended
+        forward rows.
+        """
+        if max_length <= self.max_length:
+            return self
+        self.max_length = max_length
+        if self._kernel is not None:
+            self._kernel.extend_to(max_length)
+            self._counts = dict(enumerate(self._kernel.spectrum_counts()))
+        return self
 
     # ------------------------------------------------------------------
 
@@ -153,9 +174,11 @@ class SpectrumSolver:
                 if pick < accumulated:
                     if length == 0:
                         return ()
-                    return ExactUniformSampler(self.nfa, length, check=False).sample(
-                        self.rng
-                    )
+                    sampler = self._samplers.get(length)
+                    if sampler is None:
+                        sampler = ExactUniformSampler(self.nfa, length, check=False)
+                        self._samplers[length] = sampler
+                    return sampler.sample(self.rng)
             raise AssertionError("length stratification exhausted")
         # Ambiguous route: estimate per-length weights once, then sample.
         from repro.core.plvug import LasVegasUniformGenerator

@@ -17,6 +17,11 @@ states per layer* and answers adjacency queries against the underlying
 NFA's transition maps — same asymptotics, much less allocation, and the
 correspondence with the paper's ``s_t^j`` vertices stays direct
 (``s_t^j`` live ⟺ ``j in dag.layer(t)``).
+
+The execution hot paths run on :class:`repro.core.kernel.CompiledDAG`,
+the one-shot integer-indexed lowering of this object; the kernel
+implements this same set-based API as adapter views, so the ``s_t^j``
+correspondence above holds verbatim on either representation.
 """
 
 from __future__ import annotations
@@ -63,7 +68,6 @@ class UnrolledDAG:
             forward.append(frozenset(nxt))
 
         if trimmed:
-            backward: list[frozenset] = [frozenset(nfa.finals)] * 1
             alive: list[frozenset] = [frozenset(nfa.finals & forward[n])]
             for t in range(n - 1, -1, -1):
                 later = alive[0]

@@ -13,6 +13,12 @@ precisely the #NFA-style difficulty the paper's FPRAS resolves for the
 regular case; the module exposes the gap rather than hiding it.
 """
 
-from repro.grammars.cfg import CNFGrammar, Rule, count_derivations, derivation_sampler
+from repro.grammars.cfg import (
+    CNFGrammar,
+    Rule,
+    count_derivations,
+    derivation_sampler,
+    parse_cnf,
+)
 
-__all__ = ["CNFGrammar", "Rule", "count_derivations", "derivation_sampler"]
+__all__ = ["CNFGrammar", "Rule", "count_derivations", "derivation_sampler", "parse_cnf"]

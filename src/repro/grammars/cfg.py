@@ -177,6 +177,58 @@ class CNFGrammar:
         return True
 
 
+def parse_cnf(text: str) -> CNFGrammar:
+    """Parse the textual CNF syntax used by CLI ``--cfg`` files.
+
+    One rule per line, ``Head -> body | body | ...`` with ``#`` comments;
+    a body is either one terminal or two nonterminal names separated by
+    whitespace.  The start symbol is the head of the first rule,
+    nonterminals are exactly the rule heads, and every other body symbol
+    is a terminal.  Example::
+
+        # balanced-ish toy grammar
+        S -> A B | a
+        A -> a
+        B -> b
+
+    CNF shape violations surface through :class:`CNFGrammar`'s own
+    validation.
+    """
+    rules: list[Rule] = []
+    heads: list[str] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" not in line:
+            raise InvalidRelationInputError(
+                f"line {line_number}: expected 'Head -> body | body', got {raw!r}"
+            )
+        head, _, bodies = line.partition("->")
+        head = head.strip()
+        if not head or len(head.split()) != 1:
+            raise InvalidRelationInputError(
+                f"line {line_number}: rule head must be a single symbol, got {head!r}"
+            )
+        if head not in heads:
+            heads.append(head)
+        for body_text in bodies.split("|"):
+            body = tuple(body_text.split())
+            if len(body) not in (1, 2):
+                raise InvalidRelationInputError(
+                    f"line {line_number}: CNF bodies have 1 terminal or 2 "
+                    f"nonterminals, got {body_text.strip()!r}"
+                )
+            rules.append(Rule(head, body))
+    if not rules:
+        raise InvalidRelationInputError("no grammar rules found")
+    nonterminals = set(heads)
+    terminals = {
+        symbol for rule in rules for symbol in rule.body if symbol not in nonterminals
+    }
+    return CNFGrammar(nonterminals, terminals, rules, heads[0])
+
+
 def _count_derivations_of_word(grammar: CNFGrammar, w: Sequence[str]) -> int:
     """Weighted CYK: number of derivation trees of this specific word."""
     n = len(w)

@@ -201,3 +201,70 @@ class TestDomainInputs:
         )
         assert code == 0
         assert abs(float(out.strip()) - 31) <= 0.5 * 31
+
+
+class TestCfgInput:
+    """--cfg FILE: context-free grammars from the command line."""
+
+    @pytest.fixture
+    def cfg_file(self, tmp_path):
+        path = tmp_path / "grammar.txt"
+        # a^k b^k in CNF: exactly one word per even length.
+        path.write_text(
+            "# toy balanced grammar\n"
+            "S -> A T | A B\n"
+            "T -> S B\n"
+            "A -> a\n"
+            "B -> b\n"
+        )
+        return str(path)
+
+    def test_cfg_count(self, capsys, cfg_file):
+        code, out, _ = run_cli(capsys, "count", "--cfg", cfg_file, "-n", "6")
+        assert code == 0
+        assert out.strip() == "1"
+
+    def test_cfg_enum(self, capsys, cfg_file):
+        code, out, _ = run_cli(capsys, "enum", "--cfg", cfg_file, "-n", "4")
+        assert code == 0
+        assert out.strip() == "aabb"
+
+    def test_cfg_sample(self, capsys, cfg_file):
+        code, out, _ = run_cli(
+            capsys, "sample", "--cfg", cfg_file, "-n", "2", "--seed", "4"
+        )
+        assert code == 0
+        assert out.strip() == "ab"
+
+    def test_cfg_requires_length(self, cfg_file):
+        with pytest.raises(SystemExit):
+            main(["count", "--cfg", cfg_file])
+
+    def test_cfg_bad_syntax_rejected(self, capsys, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("S = A B\n")
+        code, _, err = run_cli(capsys, "count", "--cfg", str(path), "-n", "2")
+        assert code == 1
+        assert "error:" in err
+
+
+class TestBatchSampling:
+    def test_batch_prints_k_witnesses(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sample", "--regex", "(ab|ba)*", "--alphabet", "ab",
+            "-n", "6", "--batch", "5", "--seed", "9",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 6 and set(line) <= {"a", "b"} for line in lines)
+
+    def test_batch_zero(self, capsys):
+        code, out, _ = run_cli(
+            capsys,
+            "sample", "--regex", "(ab|ba)*", "--alphabet", "ab",
+            "-n", "4", "--batch", "0",
+        )
+        assert code == 0
+        assert out.strip() == ""

@@ -1,0 +1,99 @@
+"""Coverage for the v1.1 deprecation shims and the JSON round-trips.
+
+The free functions ``count_words`` / ``uniform_sample`` /
+``uniform_samples`` must keep working (they delegate to the shared
+WitnessSet cache) while warning; the graph serializer must survive
+round-trips on randomized graphs, including tuple-labelled vertices.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro
+from repro.automata.operations import words_of_length
+from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
+from repro.graphdb.graph import GraphDatabase, graph_from_json, graph_to_json
+
+
+class TestDeprecationShims:
+    def test_count_words_warns_and_counts(self, even_zeros_dfa):
+        with pytest.warns(DeprecationWarning, match="count_words.*deprecated"):
+            assert repro.count_words(even_zeros_dfa, 6) == 2**5
+
+    def test_uniform_sample_warns_and_samples(self, even_zeros_dfa):
+        support = set(words_of_length(even_zeros_dfa, 5))
+        with pytest.warns(DeprecationWarning, match="uniform_sample.*deprecated"):
+            assert repro.uniform_sample(even_zeros_dfa, 5, rng=3) in support
+
+    def test_uniform_samples_warns_and_samples(self, even_zeros_dfa):
+        support = set(words_of_length(even_zeros_dfa, 5))
+        with pytest.warns(DeprecationWarning, match="uniform_samples.*deprecated"):
+            drawn = repro.uniform_samples(even_zeros_dfa, 5, 7, rng=3)
+        assert len(drawn) == 7
+        assert set(drawn) <= support
+
+    def test_uniform_samples_empty_raises_through_shim(self):
+        from repro.automata.nfa import NFA
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(EmptyWitnessSetError):
+                repro.uniform_samples(NFA.empty_language("01"), 3, 2)
+
+    def test_shims_share_one_cached_witness_set(self, even_zeros_dfa):
+        from repro.api import shared, shared_cache_clear
+
+        shared_cache_clear()
+        with pytest.warns(DeprecationWarning):
+            repro.count_words(even_zeros_dfa, 6)
+            repro.uniform_sample(even_zeros_dfa, 6, rng=0)
+        ws = shared(even_zeros_dfa, 6)
+        # Both shim calls hit the same facade: the second query reused the
+        # preprocessing the first one built.
+        assert ws.stats.hit_count > 0
+
+
+def _random_graph(rng: random.Random) -> GraphDatabase:
+    """A random graph mixing string, int and tuple vertex labels."""
+    vertices: list = [f"v{i}" for i in range(rng.randrange(1, 5))]
+    vertices += [(rng.randrange(3), rng.randrange(3)) for _ in range(rng.randrange(4))]
+    vertices += list(range(rng.randrange(3)))
+    labels = ["k", "f", ("edge", "w")][: rng.randrange(1, 4)]
+    edges = []
+    for _ in range(rng.randrange(0, 12)):
+        edges.append(
+            (rng.choice(vertices), rng.choice(labels), rng.choice(vertices))
+        )
+    return GraphDatabase(vertices, edges)
+
+
+class TestGraphJsonRoundTrip:
+    def test_randomized_round_trips(self, rng):
+        for _ in range(25):
+            graph = _random_graph(rng)
+            restored = graph_from_json(graph_to_json(graph))
+            assert restored.vertices == graph.vertices
+            assert restored.edges == graph.edges
+            assert restored.labels == graph.labels
+
+    def test_indent_is_cosmetic(self, rng):
+        graph = _random_graph(rng)
+        assert graph_from_json(graph_to_json(graph, indent=2)).edges == graph.edges
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(InvalidAutomatonError):
+            graph_from_json('{"format": "not.a.graph", "version": 1}')
+        with pytest.raises(InvalidAutomatonError):
+            graph_from_json(
+                '{"format": "repro.graph", "version": 99, "vertices": [], "edges": []}'
+            )
+
+    def test_nfa_json_round_trips_randomized(self, rng):
+        from repro.automata.random_gen import random_nfa
+        from repro.automata.serialization import nfa_from_json, nfa_to_json
+
+        for _ in range(10):
+            nfa = random_nfa(6, density=1.4, rng=rng)
+            assert nfa_from_json(nfa_to_json(nfa)) == nfa
