@@ -58,8 +58,20 @@ from repro.automata import (
     word_str,
 )
 from repro.core import (
+    Atom,
     CompiledDAG,
+    Concat,
+    DocProduct,
     ExactUniformSampler,
+    GraphProduct,
+    Intersect,
+    Plan,
+    Product,
+    Relabel,
+    Star,
+    Union,
+    as_plan,
+    lower_plan,
     FprasParameters,
     FprasState,
     LasVegasUniformGenerator,
@@ -185,6 +197,19 @@ __all__ = [
     "ExactUniformSampler",
     "CompiledDAG",
     "compile_nfa",
+    # the symbolic plan IR (lazy products, lowered straight to the kernel)
+    "Plan",
+    "Atom",
+    "Product",
+    "Intersect",
+    "Union",
+    "Concat",
+    "Star",
+    "Relabel",
+    "GraphProduct",
+    "DocProduct",
+    "as_plan",
+    "lower_plan",
     "FprasState",
     "FprasParameters",
     "LasVegasUniformGenerator",

@@ -8,8 +8,14 @@ algorithms or the FPRAS/PLVUG of RelationNL.  :class:`WitnessSet` is that
 pipeline as a single query object:
 
 * uniform constructors ``from_nfa / from_regex / from_dnf / from_obdd /
-  from_rpq / from_spanner / from_cfg`` replace the per-domain ad-hoc
-  entrypoints;
+  from_rpq / from_spanner / from_cfg / from_plan / from_intersection``
+  replace the per-domain ad-hoc entrypoints;
+* composite sources (RPQ graph products, spanner document products,
+  pattern intersections) are *plan-backed*: compiled to the symbolic
+  plan IR of :mod:`repro.core.plan` and lowered on the fly into the
+  kernel, so only the forward-reachable (and backward-useful) product
+  fragment is ever allocated — ``ws.describe()["lowering"]`` shows the
+  cross-product blow-up avoided;
 * all shared preprocessing (ε-strip + trim, the ambiguity check, the
   pruned unrolling, the compiled array kernel, the FPRAS sketch) is
   computed lazily **exactly once** and reused by every subsequent
@@ -36,6 +42,10 @@ Quick tour::
     ws.spectrum()                   # {length: |L_length|}
     ws.is_unambiguous               # which complexity class applies
 
+    shared = WitnessSet.from_intersection(     # witnesses two patterns share
+        "(ab|ba)*", "(a|b)*aa(a|b)*", 10)      # (lazy product plan)
+    shared.count(), shared.describe()["lowering"]
+
 :data:`shared` is the bounded process-wide cache behind the deprecated
 free functions (``repro.count_words`` etc.), so legacy call sites are
 O(1) after the first query on a given automaton.
@@ -57,6 +67,7 @@ from repro.core.exact import count_words_exact, length_spectrum
 from repro.core.exact_sampler import ExactUniformSampler
 from repro.core.fpras import FprasParameters, FprasState
 from repro.core.kernel import CompiledDAG, compile_nfa
+from repro.core.plan import Plan, Product, as_plan, lower_plan
 from repro.core.plvug import DEFAULT_ATTEMPTS_PER_CALL
 from repro.core.relations import AutomatonBackedRelation, CompiledInstance
 from repro.core.unroll import UnrolledDAG, accepted_word_exists, unroll_trimmed
@@ -105,6 +116,16 @@ class WitnessSet:
     nfa, n:
         The Lemma 13 artifact: witnesses are the length-``n`` words of
         ``nfa`` (possibly decoded into domain objects, see ``relation``).
+        ``nfa`` may instead be a symbolic :class:`~repro.core.plan.Plan`
+        (or be ``None`` with ``plan=`` given): the witness set is then
+        *plan-backed* — exact counting, sampling, enumeration and
+        spectra lower the plan's reachable fragment straight into the
+        array kernel, and the product automaton is only materialized if
+        an ambiguous-instance fallback (FPRAS, subset counting) needs
+        it.
+    plan:
+        The symbolic plan behind a plan-backed witness set (see
+        :meth:`from_plan`).
     relation, instance:
         Optional :class:`AutomatonBackedRelation` and the input it was
         compiled from; when present, witnesses are decoded into domain
@@ -120,9 +141,10 @@ class WitnessSet:
 
     def __init__(
         self,
-        nfa: NFA,
+        nfa: NFA | Plan | None,
         n: int,
         *,
+        plan: Plan | None = None,
         relation: AutomatonBackedRelation | None = None,
         instance=None,
         source: str = "nfa",
@@ -132,7 +154,12 @@ class WitnessSet:
     ):
         if n < 0:
             raise ValueError("witness length must be ≥ 0")
+        if isinstance(nfa, Plan) and plan is None:
+            nfa, plan = None, nfa
+        if nfa is None and plan is None:
+            raise InvalidRelationInputError("a WitnessSet needs an NFA or a plan")
         self.nfa = nfa
+        self.plan = plan
         self.n = n
         self.relation = relation
         self.instance = instance
@@ -158,35 +185,76 @@ class WitnessSet:
 
     @property
     def stripped(self) -> NFA:
-        """The ε-free trimmed automaton every algorithm consumes."""
+        """The ε-free trimmed automaton the *eager* algorithms consume.
+
+        On a plan-backed witness set this **materializes** the plan's
+        reachable fragment (the eager product cost the lazy pipeline
+        otherwise avoids); only the ambiguous-instance fallbacks (FPRAS,
+        subset counting, polynomial-delay enumeration) and
+        :meth:`contains` on relation-free sets ever need it.
+        """
+        if self.plan is not None:
+            return self._cached("stripped", lambda: self.plan.to_nfa().trim())
         return self._cached("stripped", lambda: self.nfa.without_epsilon().trim())
 
     @property
     def is_unambiguous(self) -> bool:
-        """The class-membership certificate (RelationUL vs RelationNL)."""
+        """The class-membership certificate (RelationUL vs RelationNL).
+
+        Plan-backed sets run the self-product check on the lazy
+        interface — only the forward-reachable pairs of the product's
+        self-product are ever expanded, never the operand automaton.
+        """
+        if self.plan is not None:
+            return self._cached("unambiguous", lambda: is_unambiguous(self.plan))
         return self._cached("unambiguous", lambda: is_unambiguous(self.stripped))
 
     @property
     def nonempty(self) -> bool:
         """Exact emptiness test (a reachability check, Lemma 15)."""
+        if self.plan is not None:
+            return self._cached("nonempty", lambda: not self.kernel.is_empty)
         return self._cached(
             "nonempty", lambda: accepted_word_exists(self.stripped, self.n)
         )
 
     @property
     def dag(self) -> UnrolledDAG:
-        """The Lemma 15 pruned unrolling, shared by enumerator and sampler."""
+        """The Lemma 15 pruned unrolling, shared by enumerator and sampler.
+
+        Plan-backed sets answer this with the lazily lowered kernel
+        itself (it implements the full set-based adapter API)."""
+        if self.plan is not None:
+            return self.kernel
         return self._cached("dag", lambda: unroll_trimmed(self.stripped, self.n))
 
     @property
     def kernel(self) -> CompiledDAG:
         """The trimmed array-backed kernel every exact query executes on.
 
-        One integer-indexed lowering of :attr:`dag` (CSR edge arrays plus
-        packed run-count tables), shared by ``count`` / ``sample`` /
-        ``enumerate``; built exactly once per witness set.
+        One integer-indexed lowering (CSR edge arrays plus packed
+        run-count tables), shared by ``count`` / ``sample`` /
+        ``enumerate``; built exactly once per witness set.  Plan-backed
+        sets lower the plan's forward-reachable, backward-useful
+        fragment directly (:func:`repro.core.plan.lower_plan`) — no
+        intermediate NFA; the lowering's
+        :class:`~repro.core.plan.LoweringStats` are surfaced by
+        :meth:`describe`.
         """
+        if self.plan is not None:
+            return self._cached(
+                "kernel",
+                lambda: lower_plan(
+                    self.plan, self.n, trimmed=True, adjacency=self._plan_adjacency
+                ),
+            )
         return self._cached("kernel", lambda: CompiledDAG.from_unrolled(self.dag))
+
+    @property
+    def _plan_adjacency(self) -> dict:
+        """One successor memo shared by every lowering of this set's plan
+        (trimmed + reachable kernels explore the same forward states)."""
+        return self._cached("plan_adjacency", dict)
 
     @property
     def reachable_kernel(self) -> CompiledDAG:
@@ -196,8 +264,16 @@ class WitnessSet:
         relative to length ``n`` while the FPRAS's prefix sets and the
         spectrum's per-length finals need every reachable vertex.
         Supports in-place :meth:`~repro.core.kernel.CompiledDAG.
-        extend_to` for spectra beyond ``n``.
+        extend_to` for spectra beyond ``n`` (plan-backed kernels extend
+        by exploring further plan layers on demand).
         """
+        if self.plan is not None:
+            return self._cached(
+                "reachable_kernel",
+                lambda: lower_plan(
+                    self.plan, self.n, trimmed=False, adjacency=self._plan_adjacency
+                ),
+            )
         return self._cached(
             "reachable_kernel", lambda: compile_nfa(self.stripped, self.n, trimmed=False)
         )
@@ -209,11 +285,14 @@ class WitnessSet:
 
     @property
     def exact_sampler(self) -> ExactUniformSampler:
-        """The §5.3.3 sampler, executing on the cached compiled kernel."""
+        """The §5.3.3 sampler, executing on the cached compiled kernel.
+
+        The sampler runs entirely on the kernel, so plan-backed sets
+        never materialize an automaton for sampling."""
         return self._cached(
             "exact_sampler",
             lambda: ExactUniformSampler(
-                self.stripped, self.n, check=False, kernel=self.kernel
+                self.nfa, self.n, check=False, kernel=self.kernel
             ),
         )
 
@@ -401,24 +480,80 @@ class WitnessSet:
         return self.relation.encode_witness(self.instance, witness)
 
     def contains(self, witness) -> bool:
-        """Membership ``witness ∈ W`` (the p-relation check)."""
+        """Membership ``witness ∈ W`` (the p-relation check).
+
+        Plan-backed sets answer by on-the-fly subset simulation over the
+        plan — no materialization."""
         w = self.encode(witness)
-        return len(w) == self.n and self.stripped.accepts(w)
+        if len(w) != self.n:
+            return False
+        if self.plan is not None:
+            return self.plan.accepts(w)
+        return self.stripped.accepts(w)
 
     def describe(self) -> dict:
-        """Automaton facts for reports and ``repro inspect``."""
-        stripped = self.stripped
-        return {
+        """Automaton facts for reports and ``repro inspect``.
+
+        Plan-backed sets report the symbolic plan's shape and the
+        lowering statistics instead of materialized-automaton facts:
+        ``states`` / ``transitions`` are the compiled kernel's vertex and
+        edge counts, and ``lowering`` shows how many product states the
+        lazy exploration touched (``explored_states`` /
+        ``reached_states``) against the ``nominal_states`` cross-product
+        size the eager pipeline would have allocated — the blow-up
+        avoided.
+        """
+        info = {
             "source": self.source,
             "length": self.n,
-            "states": stripped.num_states,
-            "transitions": stripped.num_transitions,
-            "alphabet": stripped.alphabet,
             "unambiguous": self.is_unambiguous,
             "class": "RelationUL" if self.is_unambiguous else "RelationNL",
         }
+        if self.plan is not None:
+            kernel = self.kernel
+
+            def shape() -> tuple[int, int]:
+                # Distinct product states/transitions in the compiled
+                # kernel: the analog of the eager route's trimmed
+                # automaton size, so the numbers stay comparable across
+                # sources (per-layer unrolled sizes are in
+                # lowering.kernel_vertices/_edges).
+                states: set = set(kernel.layer_states(kernel.n))
+                transitions: set = set()
+                for t in range(kernel.n):
+                    for state in kernel.layer_states(t):
+                        states.add(state)
+                        for symbol, target in kernel.successors(t, state):
+                            transitions.add((state, symbol, target))
+                return len(states), len(transitions)
+
+            num_states, num_transitions = self._cached("plan_shape", shape)
+            info.update(
+                {
+                    "plan": self.plan.describe(),
+                    "states": num_states,
+                    "transitions": num_transitions,
+                    "alphabet": self.plan.alphabet,
+                    "lowering": kernel.lowering.as_dict(),
+                }
+            )
+            return info
+        stripped = self.stripped
+        info.update(
+            {
+                "states": stripped.num_states,
+                "transitions": stripped.num_transitions,
+                "alphabet": stripped.alphabet,
+            }
+        )
+        return info
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        if self.plan is not None:
+            return (
+                f"<WitnessSet source={self.source!r} n={self.n} "
+                f"plan={self.plan.describe()}>"
+            )
         return (
             f"<WitnessSet source={self.source!r} n={self.n} "
             f"states={self.nfa.num_states}>"
@@ -433,6 +568,37 @@ class WitnessSet:
         """Wrap a raw automaton: witnesses are ``L_n(nfa)`` verbatim."""
         kwargs.setdefault("source", "nfa")
         return cls(nfa, n, **kwargs)
+
+    @classmethod
+    def from_plan(cls, plan, n: int, **kwargs) -> "WitnessSet":
+        """Wrap a symbolic :class:`~repro.core.plan.Plan`: witnesses are
+        the length-``n`` words of the plan's language.
+
+        The plan is lowered lazily: counting, sampling, enumeration and
+        spectra compile only the forward-reachable (and backward-useful)
+        product fragment straight into the array kernel — the composed
+        automaton is never materialized unless an ambiguous-instance
+        fallback requires it.  Lowered kernels are cached per plan on
+        this witness set (``ws.stats`` records the hits and misses under
+        the ``"kernel"`` / ``"reachable_kernel"`` keys, as for NFA-backed
+        sets).
+        """
+        kwargs.setdefault("source", "plan")
+        return cls(None, n, plan=as_plan(plan), **kwargs)
+
+    @classmethod
+    def from_intersection(cls, left, right, n: int, **kwargs) -> "WitnessSet":
+        """The witnesses two patterns *share*: ``L_n(left) ∩ L_n(right)``.
+
+        ``left`` / ``right`` may be NFAs, regex strings or plans; the
+        intersection is a lazy :class:`~repro.core.plan.Product` — no
+        product automaton is built, only the reachable fragment of the
+        pair graph is explored at query time.  This is the
+        ``--intersect`` CLI workload: count / sample / enumerate the
+        strings on which two patterns agree.
+        """
+        kwargs.setdefault("source", "intersection")
+        return cls.from_plan(Product(as_plan(left), as_plan(right)), n, **kwargs)
 
     @classmethod
     def from_regex(
@@ -508,17 +674,22 @@ class WitnessSet:
         """Length-``n`` paths ``source → target`` conforming to ``query``
         (§4.2, Corollary 8); witnesses decode to :class:`~repro.graphdb.Path`.
 
+        Compiles to a lazy :class:`~repro.core.plan.GraphProduct` plan:
+        the ``G × A_R`` product is lowered on the fly, so only the
+        product states reachable from ``(source, q₀)`` within ``n``
+        steps are ever allocated — the big-graph RPQ fast path.
+
         ``deterministic_query=True`` determinizes the query automaton so
         the product is unambiguous and the exact suite applies.
         """
-        from repro.graphdb.rpq import RPQ, EvalRpqRelation, compile_rpq
+        from repro.graphdb.rpq import RPQ, EvalRpqRelation, compile_rpq_plan
 
         if isinstance(query, str):
             query = RPQ(query)
-        nfa = compile_rpq(graph, query, source, target, deterministic_query)
+        plan = compile_rpq_plan(graph, query, source, target, deterministic_query)
         kwargs.setdefault("source", "rpq")
-        return cls(
-            nfa,
+        return cls.from_plan(
+            plan,
             n,
             relation=EvalRpqRelation(),
             instance=(query, n, graph, source, target),
@@ -528,16 +699,20 @@ class WitnessSet:
     @classmethod
     def from_spanner(cls, eva, document: str, **kwargs) -> "WitnessSet":
         """Mappings ``⟦A⟧(d)`` of a functional eVA over a document
-        (§4.1, Corollaries 6–7); witnesses decode to ``Mapping`` objects."""
-        from repro.spanners.evaluation import EvalEvaRelation
+        (§4.1, Corollaries 6–7); witnesses decode to ``Mapping`` objects.
 
-        relation = EvalEvaRelation()
-        compiled = relation.compile((eva, document))
+        Compiles to a lazy :class:`~repro.core.plan.DocProduct` plan —
+        the Lemma 13 document product lowered on the fly, so only the
+        ``(state, position)`` configurations a run can visit are ever
+        allocated: the long-document spanner fast path."""
+        from repro.spanners.evaluation import EvalEvaRelation, compile_eva_plan
+
+        plan = compile_eva_plan(eva, document)
         kwargs.setdefault("source", "spanner")
-        return cls(
-            compiled.nfa,
-            compiled.length,
-            relation=relation,
+        return cls.from_plan(
+            plan,
+            len(document) + 1,
+            relation=EvalEvaRelation(),
             instance=(eva, document),
             **kwargs,
         )

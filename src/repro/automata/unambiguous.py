@@ -12,6 +12,14 @@ useful product state ``(p, q)`` with ``p ≠ q`` lies on an accepting product
 path.  That runs in O(m²·|Σ|) — polynomial, as required for a class
 membership check.
 
+The product pairs are explored through the shared lazy pair walk
+:func:`repro.automata.operations.product_transitions`, so the check
+accepts either a concrete :class:`NFA` (ε-eliminated and trimmed first)
+or any source exposing the on-the-fly successor interface — in
+particular the symbolic plans of :mod:`repro.core.plan`, whose product
+states are never materialized beyond the pairs the walk actually
+reaches.
+
 Also provided:
 
 * :func:`ambiguity_counts` — for diagnostics and the Monte Carlo baseline:
@@ -30,33 +38,46 @@ from repro.automata.nfa import NFA
 from repro.errors import AmbiguityError
 
 
-def is_unambiguous(nfa: NFA) -> bool:
+def is_unambiguous(source) -> bool:
     """Decide unambiguity in O(m²·|Σ|) via the self-product construction.
 
-    The automaton is ε-eliminated and trimmed first: ambiguity is a
-    property of *useful* runs, and dead branches must not trigger false
-    positives.
+    ``source`` is an :class:`NFA` — ε-eliminated and trimmed first, since
+    ambiguity is a property of *useful* runs and dead branches must not
+    trigger false positives — or any lazy automaton source (a
+    :class:`repro.core.plan.Plan`), checked directly on the on-the-fly
+    successor interface without materializing the operand.  Only the
+    forward-reachable pairs of the self-product ever exist; usefulness
+    of a divergent pair is decided by the backward sweep below, so the
+    explicit pre-trim is unnecessary for correctness (it only shrinks the
+    NFA walk).
     """
-    trimmed = nfa.without_epsilon().trim()
-    if not trimmed.finals:
-        return True  # empty language: vacuously unambiguous
+    if isinstance(source, NFA):
+        source = source.without_epsilon().trim()
+        if not source.finals:
+            return True  # empty language: vacuously unambiguous
+    else:
+        # Lazy sources recompute successor blocks per call; the pair walk
+        # revisits each component state many times, so memoize once here.
+        from repro.core.plan import memoized_source
 
-    # Forward BFS over pairs of states reachable by the SAME word.
-    start = (trimmed.initial, trimmed.initial)
+        source = memoized_source(source)
+
+    # One shared lazy pair walk streams the self-product transitions:
+    # record the reached pairs, the off-diagonal ("divergent") ones, and
+    # the reverse adjacency the backward sweep needs — a single pass
+    # instead of the former explore-then-re-explore duplicate of the
+    # operations.intersection product loop.
+    from repro.automata.operations import product_transitions
+
+    start = (source.initial, source.initial)
     seen = {start}
-    frontier = deque([start])
     diagonal_escaped: set = set()
-    while frontier:
-        state_a, state_b = frontier.popleft()
-        for symbol in trimmed.alphabet:
-            for target_a in trimmed.successors(state_a, symbol):
-                for target_b in trimmed.successors(state_b, symbol):
-                    pair = (target_a, target_b)
-                    if pair not in seen:
-                        seen.add(pair)
-                        frontier.append(pair)
-                    if target_a != target_b:
-                        diagonal_escaped.add(pair)
+    reverse: dict[tuple, set] = {}
+    for predecessor, _, pair in product_transitions(source, source):
+        seen.add(pair)
+        if pair[0] != pair[1]:
+            diagonal_escaped.add(pair)
+        reverse.setdefault(pair, set()).add(predecessor)
 
     if not diagonal_escaped:
         return True
@@ -64,20 +85,10 @@ def is_unambiguous(nfa: NFA) -> bool:
     # A divergent pair (p, q), p ≠ q, witnesses ambiguity iff both legs can
     # reach final states by the same word suffix — i.e. iff (p, q) can reach
     # a pair of finals in the product.  Backward BFS from final pairs.
-    final_pairs = {
-        (p, q) for p in trimmed.finals for q in trimmed.finals if (p, q) in seen
-    }
+    finals = source.finals
+    final_pairs = {(p, q) for p, q in seen if p in finals and q in finals}
     if not final_pairs:
         return True
-    # Build reverse product adjacency restricted to seen pairs.
-    reverse: dict[tuple, set] = {}
-    for state_a, state_b in seen:
-        for symbol in trimmed.alphabet:
-            for target_a in trimmed.successors(state_a, symbol):
-                for target_b in trimmed.successors(state_b, symbol):
-                    pair = (target_a, target_b)
-                    if pair in seen:
-                        reverse.setdefault(pair, set()).add((state_a, state_b))
     coreachable = set(final_pairs)
     frontier = deque(final_pairs)
     while frontier:

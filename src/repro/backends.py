@@ -94,18 +94,33 @@ def _check_kernel(witness_set, kernel, trimmed: bool) -> None:
 
     Kernels carry their own length and automaton (and reachable-mode
     kernels can be extended in place), so counting at ``kernel.n``
-    instead of ``witness_set.n`` would be silently wrong.
+    instead of ``witness_set.n`` would be silently wrong.  Plan-lowered
+    kernels carry a symbolic source instead of an NFA; those are checked
+    by plan *identity* against the witness set's plan (comparing
+    languages would force the materialization the plan route exists to
+    avoid), so a kernel lowered from one plan cannot be replayed against
+    a witness set built over another.
     """
-    if kernel.n != witness_set.n or kernel.nfa != witness_set.stripped:
+    if kernel.n != witness_set.n:
         raise BackendError(
             f"kernel mismatch: compiled for n={kernel.n} but the witness set "
             f"has n={witness_set.n}"
-            if kernel.nfa == witness_set.stripped
-            else "kernel mismatch: compiled from a different automaton"
         )
+    _check_kernel_source(witness_set, kernel)
     if kernel.trimmed != trimmed:
         mode = "trimmed" if trimmed else "reachable-mode"
         raise BackendError(f"this backend needs a {mode} kernel")
+
+
+def _check_kernel_source(witness_set, kernel) -> None:
+    """Reject a kernel built from a different automaton or plan."""
+    from repro.automata.nfa import NFA
+
+    if isinstance(kernel.nfa, NFA):
+        if kernel.nfa != witness_set.stripped:
+            raise BackendError("kernel mismatch: compiled from a different automaton")
+    elif getattr(kernel.nfa, "plan", None) is not witness_set.plan:
+        raise BackendError("kernel mismatch: lowered from a different plan")
 
 
 _REGISTRY: dict[str, SolverBackend] = {}
@@ -198,6 +213,9 @@ class FprasBackend(SolverBackend):
         if kernel is not None:
             from repro.core.fpras import FprasState
 
+            # FprasState validates length (≥ n) and reachable mode
+            # itself; the backend adds the same-source guard.
+            _check_kernel_source(witness_set, kernel)
             return FprasState(
                 witness_set.stripped,
                 witness_set.n,

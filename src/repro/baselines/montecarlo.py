@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 
 from repro.automata.nfa import NFA, Word
-from repro.core.kernel import CompiledDAG, compile_nfa
+from repro.core.kernel import CompiledDAG, compile_nfa, kernel_matches_nfa
 from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
 from repro.utils.rng import make_rng
 
@@ -45,7 +45,7 @@ class uniform_run_sampler:
         self.n = n
         if kernel is None:
             kernel = compile_nfa(self.nfa, n, trimmed=True)
-        elif kernel.n != n or kernel.nfa != self.nfa:
+        elif kernel.n != n or not kernel_matches_nfa(kernel, self.nfa):
             raise InvalidAutomatonError(
                 f"kernel mismatch: compiled for n={kernel.n}, sampler needs "
                 f"length {n} of the same automaton"

@@ -25,6 +25,13 @@ preprocessing.  Inputs:
   text (:func:`repro.grammars.parse_cnf`); witnesses are the grammar's
   length-``n`` words (``-n`` required).
 
+``--intersect REGEX`` (with ``--regex`` or ``--nfa-json`` inputs)
+restricts the witness set to the words a second pattern *also* accepts:
+the two automata are combined as a lazy
+:class:`~repro.core.plan.Product` plan and lowered on the fly into the
+array kernel — the product automaton is never materialized.  This is
+the "count / sample the witnesses two patterns share" workload.
+
 Counting strategies are selected by name from the solver-backend
 registry (``--backend exact|fpras|montecarlo|kannan|karp_luby|naive``);
 ``--approx`` is shorthand for ``--backend fpras``.  All randomness is
@@ -33,6 +40,8 @@ seedable (``--seed``) for reproducible pipelines.
 Examples::
 
     python -m repro count  --regex '(ab|ba)*' --alphabet ab -n 10
+    python -m repro count  --regex '(ab|ba)*' --intersect '(a|b)*aa(a|b)*' --alphabet ab -n 10
+    python -m repro sample --regex '(a|b)*' --intersect '(ab|ba)*' --alphabet ab -n 8 --batch 5 --seed 1
     python -m repro count  --regex '(a|b)*a(a|b)*' --alphabet ab -n 40 --approx --delta 0.2
     python -m repro count  --dnf formula.txt --backend karp_luby --seed 1
     python -m repro count  --rpq --graph-json g.json --source p0 --target p7 --regex 'k(k|f)*k' -n 5
@@ -83,6 +92,11 @@ def _nonnegative(text: str) -> int:
     return value
 
 
+def _read_nfa_json(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return nfa_from_json(handle.read())
+
+
 def _require_length(args) -> int:
     if args.length is not None:
         return args.length
@@ -103,6 +117,12 @@ def _load_witness_set(args) -> WitnessSet:
         "params": params,
         "rng": getattr(args, "seed", None),
     }
+    if getattr(args, "intersect", None) is not None and (
+        args.dnf is not None
+        or getattr(args, "cfg", None) is not None
+        or getattr(args, "rpq", False)
+    ):
+        raise SystemExit("--intersect requires a --regex or --nfa-json input")
     if getattr(args, "rpq", False):
         if args.graph_json is None or args.regex is None:
             raise SystemExit("--rpq requires --graph-json and --regex")
@@ -139,17 +159,34 @@ def _load_witness_set(args) -> WitnessSet:
         if args.length is None:
             raise SystemExit("-n/--length is required for --cfg")
         return WitnessSet.from_cfg(grammar, args.length, **kwargs)
-    if args.regex is not None:
+    if args.regex is not None or args.nfa_json is not None:
         alphabet = args.alphabet if args.alphabet else None
-        return WitnessSet.from_regex(args.regex, _require_length(args), alphabet=alphabet, **kwargs)
-    if args.nfa_json is not None:
-        with open(args.nfa_json, "r", encoding="utf-8") as handle:
-            return WitnessSet.from_nfa(nfa_from_json(handle.read()), _require_length(args), **kwargs)
+        if args.regex is not None and getattr(args, "intersect", None) is None:
+            return WitnessSet.from_regex(
+                args.regex, _require_length(args), alphabet=alphabet, **kwargs
+            )
+        from repro.automata.regex import compile_regex
+
+        alphabet_list = list(alphabet) if alphabet else None
+        base = (
+            compile_regex(args.regex, alphabet=alphabet_list)
+            if args.regex is not None
+            else _read_nfa_json(args.nfa_json)
+        )
+        if getattr(args, "intersect", None) is not None:
+            other = compile_regex(args.intersect, alphabet=alphabet_list)
+            return WitnessSet.from_intersection(
+                base, other, _require_length(args), **kwargs
+            )
+        return WitnessSet.from_nfa(base, _require_length(args), **kwargs)
     raise SystemExit("one of --regex, --nfa-json, --dnf, --cfg or --rpq is required")
 
 
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--regex", help="regular expression (also the --rpq path pattern)")
+    parser.add_argument("--intersect", metavar="REGEX", default=None,
+                        help="restrict to witnesses a second pattern also accepts "
+                             "(lazy product plan; with --regex or --nfa-json)")
     parser.add_argument("--alphabet", help="alphabet characters, e.g. 'ab'")
     parser.add_argument("--nfa-json", help="path to a repro.nfa JSON file")
     parser.add_argument("--dnf", metavar="FILE", help="path to a DNF formula text file")
@@ -213,6 +250,12 @@ def _command_inspect(args) -> int:
     print(f"unambiguous   : {facts['unambiguous']}")
     print(f"class         : "
           f"{'RelationUL (exact suite)' if facts['unambiguous'] else 'RelationNL (FPRAS/PLVUG)'}")
+    if "plan" in facts:
+        lowering = facts["lowering"]
+        print(f"plan          : {facts['plan']}")
+        print(f"lowering      : explored {lowering['explored_states']} of "
+              f"{lowering['nominal_states']} nominal product states "
+              f"({lowering['kernel_vertices']} kernel vertices)")
     if args.spectrum:
         for length, count in ws.spectrum(args.spectrum).items():
             print(f"|L_{length:<3}|       : {count}")

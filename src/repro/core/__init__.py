@@ -9,6 +9,7 @@ Layout (paper section → module):
 * §5.2 self-reducibility (ψ)     → :mod:`repro.core.selfreduce`
 * §5.3.1 Algorithm 1 + Lemma 15  → :mod:`repro.core.enumeration`, :mod:`repro.core.unroll`
 * array execution kernel         → :mod:`repro.core.kernel`
+* symbolic plan IR, lazy lowering→ :mod:`repro.core.plan`
 * §5.3.2 exact counting          → :mod:`repro.core.exact`
 * §5.3.3 exact uniform sampling  → :mod:`repro.core.exact_sampler`
 * §6 FPRAS (Algorithms 2/4/5)    → :mod:`repro.core.fpras`
@@ -23,6 +24,22 @@ from repro.core.unroll import (
     unroll_trimmed,
 )
 from repro.core.kernel import CompiledDAG, as_kernel, compile_nfa
+from repro.core.plan import (
+    Atom,
+    Concat,
+    DocProduct,
+    GraphProduct,
+    Intersect,
+    LoweringStats,
+    Plan,
+    Product,
+    Relabel,
+    Star,
+    Union,
+    as_plan,
+    lower_plan,
+    memoized_source,
+)
 from repro.core.exact import (
     backward_run_table,
     count_accepting_runs_of_length,
@@ -85,6 +102,20 @@ __all__ = [
     "CompiledDAG",
     "as_kernel",
     "compile_nfa",
+    "Plan",
+    "Atom",
+    "Product",
+    "Intersect",
+    "Union",
+    "Concat",
+    "Star",
+    "Relabel",
+    "GraphProduct",
+    "DocProduct",
+    "LoweringStats",
+    "as_plan",
+    "lower_plan",
+    "memoized_source",
     "unroll",
     "unroll_trimmed",
     "lemma15_graph",

@@ -56,7 +56,7 @@ from typing import Iterable, Sequence
 
 from repro.automata.nfa import NFA, State, Symbol, Word
 from repro.core.exact import count_words_exact
-from repro.core.kernel import CompiledDAG, compile_nfa
+from repro.core.kernel import CompiledDAG, compile_nfa, kernel_matches_nfa
 from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
 from repro.utils.rng import make_rng
 
@@ -214,7 +214,7 @@ class FprasState:
         self.diagnostics = FprasDiagnostics()
         if kernel is None:
             kernel = compile_nfa(self.nfa, n, trimmed=False)
-        elif kernel.trimmed or kernel.n < n or kernel.nfa != self.nfa:
+        elif kernel.trimmed or kernel.n < n or not kernel_matches_nfa(kernel, self.nfa):
             raise InvalidAutomatonError(
                 "the FPRAS needs a reachable-mode kernel of the same "
                 f"automaton at length ≥ {n}"

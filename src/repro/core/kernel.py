@@ -34,6 +34,15 @@ Reachable-mode kernels additionally support *incremental length
 extension* (:meth:`CompiledDAG.extend_to`): appending layers to an
 existing compilation instead of recompiling from scratch, which turns
 length-spectrum sweeps from quadratic into linear total work.
+
+The kernel is *source-generic*: construction only reads the NFA
+interface (``initial`` / ``finals`` membership / ``out_edges`` /
+``alphabet`` / ``has_epsilon``), so the lazy plan lowering of
+:mod:`repro.core.plan` hands it a memoized symbolic source instead of a
+materialized automaton and the same CSR-construction code path serves
+both.  Plan-lowered kernels carry their :class:`~repro.core.plan.
+LoweringStats` in :attr:`CompiledDAG.lowering` (``None`` for kernels
+compiled from concrete NFAs).
 """
 
 from __future__ import annotations
@@ -67,7 +76,10 @@ class CompiledDAG:
     Parameters
     ----------
     nfa:
-        The underlying ε-free automaton.
+        The underlying ε-free automaton — or any source exposing the
+        same read interface (``initial``, ``finals`` membership,
+        ``out_edges``, ``alphabet``, ``has_epsilon``), e.g. the memoized
+        plan source :func:`repro.core.plan.lower_plan` builds.
     n:
         The word length (number of symbol layers).
     trimmed:
@@ -98,6 +110,7 @@ class CompiledDAG:
         "_cum",
         "_layer_sets",
         "_finals_idx",
+        "lowering",
     )
 
     def __init__(
@@ -135,6 +148,8 @@ class CompiledDAG:
         self._cum: dict[tuple[int, int], list] = {}
         self._layer_sets: dict[int, frozenset] = {}
         self._finals_idx: dict[int, tuple] = {}
+        #: LoweringStats when this kernel came from a plan lowering.
+        self.lowering = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -600,6 +615,28 @@ def compile_nfa(nfa: NFA, n: int, trimmed: bool = True) -> CompiledDAG:
     view, which supports :meth:`CompiledDAG.extend_to`.
     """
     return CompiledDAG(nfa.without_epsilon(), n, trimmed)
+
+
+def kernel_matches_nfa(kernel: CompiledDAG, nfa: NFA) -> bool:
+    """Does ``kernel`` plausibly describe the same language as ``nfa``?
+
+    NFA-compiled kernels compare exactly.  Plan-lowered kernels carry a
+    symbolic source whose language cannot be compared without the
+    materialization the plan route avoids, so they are only *sanity*
+    checked on the cheap invariants a matching facade pairing always
+    satisfies — same initial state and same alphabet (a plan's
+    :meth:`~repro.core.plan.Plan.to_nfa` rendering preserves both).
+    That catches accidental cross-alphabet mixups but NOT two unrelated
+    plans sharing both labels; callers handing a plan-lowered kernel to
+    these expert constructors are responsible for the pairing.  The
+    strict guard lives one level up: :mod:`repro.backends` checks plan
+    *identity* against the witness set (``_check_kernel_source``), which
+    is the supported ``kernel=`` override surface.
+    """
+    source = kernel.nfa
+    if isinstance(source, NFA):
+        return source == nfa
+    return source.initial == nfa.initial and source.alphabet == nfa.alphabet
 
 
 def as_kernel(dag) -> CompiledDAG:

@@ -1,0 +1,815 @@
+"""The symbolic automaton-plan IR: lazy products lowered straight to the kernel.
+
+The paper's headline applications are *compositions*: RPQ evaluation is
+the synchronous product ``G × A_R`` (Section 4.2), spanner evaluation the
+Lemma-13 document product ``N_{A,d}`` (Section 4.1), and the unambiguity
+certificate itself is a self-product.  The eager pipeline materializes
+the full cross product as an :class:`~repro.automata.nfa.NFA` — tuple
+states, frozensets, validation — and then ``trim()`` throws most of it
+away.  On large graphs or long documents that construction dominates
+wall-clock and memory, not the counting.
+
+This module makes the composition *symbolic*.  A :class:`Plan` is an
+operator tree (:class:`Atom`, :class:`Product`, :class:`Union`,
+:class:`Concat`, :class:`Star`, :class:`Relabel`, :class:`GraphProduct`,
+:class:`DocProduct`) whose nodes expose one uniform on-the-fly
+interface — ``initial`` / ``out_edges(state)`` / ``successors(state,
+symbol)`` / ``finals`` — instead of a materialized transition set.
+Composite states exist only while the lowering's frontier touches them.
+
+:func:`lower_plan` is the fused lowering pass: it explores only the
+forward-reachable product states layer by layer (and, in trimmed mode,
+prunes to the backward-useful ones, exactly the Lemma 15 semantics of
+:mod:`repro.core.unroll`), memoizes each state's successor block exactly
+once, and writes the result *directly* into the integer-indexed CSR
+arrays of :class:`~repro.core.kernel.CompiledDAG` — no intermediate NFA
+object for composite inputs.  The lowering records a
+:class:`LoweringStats` so callers (``WitnessSet.describe()``, the
+``bench_lazy_product`` gate) can verify that no more states were ever
+materialized than the exploration reached, and how that compares to the
+nominal cross-product size the eager pipeline would have allocated.
+
+Every plan is ε-free by construction: nodes that classically introduce
+ε-transitions (:class:`Union`, :class:`Concat`, :class:`Star`) perform
+the closure on the fly, Brzozowski-derivative style — the same move that
+makes lazy regex engines (cf. :mod:`repro.automata.brzozowski`) avoid
+materializing unreachable derivative states.
+
+Interoperability: a plan implements enough of the :class:`NFA` read
+interface (``initial`` / ``finals`` membership / ``out_edges`` /
+``successors`` / ``alphabet`` / ``has_epsilon``) that the kernel, the
+lazy self-product unambiguity check
+(:func:`repro.automata.unambiguous.is_unambiguous`) and the shared
+product exploration of :mod:`repro.automata.operations` consume NFAs and
+plans through one code path.  :meth:`Plan.to_nfa` is the eager escape
+hatch for algorithms that genuinely need a materialized automaton (the
+FPRAS fallback on ambiguous instances).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.automata.nfa import NFA, State, Symbol
+from repro.core.kernel import CompiledDAG
+from repro.errors import InvalidAutomatonError
+
+
+@dataclass(frozen=True)
+class LoweringStats:
+    """What :func:`lower_plan` touched, versus what eager would have built.
+
+    Attributes
+    ----------
+    nominal_states:
+        The cross-product state count the eager construction allocates
+        (``|V|·|Q|`` for a graph product, ``|Q_L|·|Q_R|`` for an
+        intersection, ...), before any trimming.
+    explored_states:
+        Distinct plan states whose successor blocks were computed — the
+        only states that ever existed in memory.
+    reached_states:
+        Distinct plan states the forward exploration reached within
+        ``n`` layers (a state can be reached at layer ``n`` without
+        being expanded).  ``explored_states ≤ reached_states`` always:
+        the lowering never materializes a state it did not reach.
+    explored_edges:
+        Total successor edges memoized during exploration.
+    kernel_vertices / kernel_edges:
+        Size of the compiled DAG actually handed to the algorithms
+        (after trimmed-mode pruning).
+    n / trimmed:
+        The lowering request.
+    """
+
+    nominal_states: int
+    explored_states: int
+    reached_states: int
+    explored_edges: int
+    kernel_vertices: int
+    kernel_edges: int
+    n: int
+    trimmed: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "nominal_states": self.nominal_states,
+            "explored_states": self.explored_states,
+            "reached_states": self.reached_states,
+            "explored_edges": self.explored_edges,
+            "kernel_vertices": self.kernel_vertices,
+            "kernel_edges": self.kernel_edges,
+            "n": self.n,
+            "trimmed": self.trimmed,
+        }
+
+
+class _LazyFinals:
+    """Set-like view of a plan's accepting states (membership only).
+
+    The kernel and the lazy product explorations only ever ask ``state in
+    finals``; answering through :meth:`Plan.is_final` keeps composite
+    finals symbolic (no enumeration of accepting product states).
+    """
+
+    __slots__ = ("_plan",)
+
+    def __init__(self, plan: "Plan"):
+        self._plan = plan
+
+    def __contains__(self, state: object) -> bool:
+        return self._plan.is_final(state)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"<LazyFinals of {self._plan.describe()}>"
+
+
+class Plan:
+    """Base class: one node of the symbolic automaton-plan IR.
+
+    Subclasses implement :attr:`initial`, :meth:`out_edges`,
+    :meth:`is_final`, :attr:`alphabet` and :meth:`nominal_states`; the
+    uniform derived interface (:meth:`successors`, :attr:`finals`,
+    :meth:`accepts`, :meth:`to_nfa`, the ``&``/``|`` operator sugar)
+    comes for free.  ``out_edges`` must yield *distinct* ``(symbol,
+    target)`` pairs — the same contract :meth:`NFA.out_edges` satisfies —
+    because the kernel lowering turns each pair into one CSR edge.
+    """
+
+    #: Plans are ε-free by construction (the NFA-interface contract).
+    has_epsilon: bool = False
+
+    @property
+    def initial(self) -> State:
+        raise NotImplementedError
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        """Distinct ``(symbol, target)`` pairs leaving ``state`` — the
+        on-the-fly successor interface every consumer walks."""
+        raise NotImplementedError
+
+    def is_final(self, state: State) -> bool:
+        raise NotImplementedError
+
+    @property
+    def alphabet(self) -> frozenset:
+        raise NotImplementedError
+
+    def nominal_states(self) -> int:
+        """The state count of the eager (cross-product) construction."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """A short shape string for reports (`ws.describe()["plan"]`)."""
+        return type(self).__name__
+
+    # -- derived interface -------------------------------------------------
+
+    @property
+    def finals(self) -> _LazyFinals:
+        """Membership-only view of the accepting states."""
+        return _LazyFinals(self)
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset:
+        """Targets of ``state`` on ``symbol`` (the NFA-compatible form)."""
+        return frozenset(t for s, t in self.out_edges(state) if s == symbol)
+
+    def accepts(self, input_word: Iterable[Symbol]) -> bool:
+        """On-the-fly subset simulation — no materialization."""
+        current = {self.initial}
+        for symbol in input_word:
+            nxt: set = set()
+            for state in current:
+                for edge_symbol, target in self.out_edges(state):
+                    if edge_symbol == symbol:
+                        nxt.add(target)
+            if not nxt:
+                return False
+            current = nxt
+        return any(self.is_final(state) for state in current)
+
+    def to_nfa(self) -> NFA:
+        """Eagerly materialize the reachable fragment as an :class:`NFA`.
+
+        The escape hatch for algorithms that need a concrete automaton
+        (the ambiguous-instance FPRAS fallback, ``languages_equal``
+        ground-truthing in tests).  Cost is the eager product cost the
+        lazy pipeline otherwise avoids.
+        """
+        initial = self.initial
+        states = {initial}
+        transitions: list[tuple] = []
+        frontier = deque([initial])
+        while frontier:
+            state = frontier.popleft()
+            for symbol, target in self.out_edges(state):
+                transitions.append((state, symbol, target))
+                if target not in states:
+                    states.add(target)
+                    frontier.append(target)
+        finals = [state for state in states if self.is_final(state)]
+        return NFA(states, self.alphabet, transitions, initial, finals)
+
+    def __and__(self, other: "Plan | NFA") -> "Product":
+        return Product(self, as_plan(other))
+
+    def __or__(self, other: "Plan | NFA") -> "Union":
+        return Union(self, as_plan(other))
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"<Plan {self.describe()}>"
+
+
+def as_plan(source) -> Plan:
+    """Coerce an operand into a plan: plans pass through, NFAs wrap in
+    :class:`Atom`, strings compile as regexes."""
+    if isinstance(source, Plan):
+        return source
+    if isinstance(source, NFA):
+        return Atom(source)
+    if isinstance(source, str):
+        from repro.automata.regex import compile_regex
+
+        return Atom(compile_regex(source))
+    raise InvalidAutomatonError(
+        f"cannot build a plan from {type(source).__name__}; "
+        "expected a Plan, NFA or regex string"
+    )
+
+
+class Atom(Plan):
+    """A leaf: one concrete automaton (ε-eliminated at wrap time)."""
+
+    __slots__ = ("nfa",)
+
+    def __init__(self, nfa: NFA):
+        self.nfa = nfa.without_epsilon()
+
+    @property
+    def initial(self) -> State:
+        return self.nfa.initial
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        return self.nfa.out_edges(state)
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset:
+        return self.nfa.successors(state, symbol)
+
+    def is_final(self, state: State) -> bool:
+        return state in self.nfa.finals
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self.nfa.alphabet
+
+    def nominal_states(self) -> int:
+        return self.nfa.num_states
+
+    def describe(self) -> str:
+        return f"Atom(states={self.nfa.num_states})"
+
+
+class Product(Plan):
+    """Synchronous product / intersection: states are ``(left, right)``
+    pairs, expanded only when the lowering frontier reaches them.
+
+    State naming matches the eager
+    :func:`repro.automata.operations.intersection`, so the lazy lowering
+    and the eager product compile to bit-identical kernels (the
+    equivalence tests rely on this for seeded sampling comparisons).
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = as_plan(left)
+        self.right = as_plan(right)
+
+    @property
+    def initial(self) -> State:
+        return (self.left.initial, self.right.initial)
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        left_state, right_state = state
+        for symbol, left_target in self.left.out_edges(left_state):
+            for right_target in self.right.successors(right_state, symbol):
+                yield symbol, (left_target, right_target)
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset:
+        left_state, right_state = state
+        return frozenset(
+            (left_target, right_target)
+            for left_target in self.left.successors(left_state, symbol)
+            for right_target in self.right.successors(right_state, symbol)
+        )
+
+    def is_final(self, state: State) -> bool:
+        return self.left.is_final(state[0]) and self.right.is_final(state[1])
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self.left.alphabet & self.right.alphabet
+
+    def nominal_states(self) -> int:
+        return self.left.nominal_states() * self.right.nominal_states()
+
+    def describe(self) -> str:
+        return f"Product({self.left.describe()}, {self.right.describe()})"
+
+
+#: The intersection spelling of the same node.
+Intersect = Product
+
+
+class Union(Plan):
+    """L(left) ∪ L(right) with the ε-fan-out performed on the fly.
+
+    The classical construction adds a fresh initial state with
+    ε-transitions into both operands; here the fresh state's successors
+    are simply the merged successor blocks of the two operand initials,
+    and it accepts iff either operand accepts ε.
+    """
+
+    __slots__ = ("left", "right")
+
+    _INITIAL = ("∪", 0)
+
+    def __init__(self, left, right):
+        self.left = as_plan(left)
+        self.right = as_plan(right)
+
+    @property
+    def initial(self) -> State:
+        return self._INITIAL
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        if state == self._INITIAL:
+            for symbol, target in self.left.out_edges(self.left.initial):
+                yield symbol, (0, target)
+            for symbol, target in self.right.out_edges(self.right.initial):
+                yield symbol, (1, target)
+            return
+        tag, inner = state
+        child = self.left if tag == 0 else self.right
+        for symbol, target in child.out_edges(inner):
+            yield symbol, (tag, target)
+
+    def is_final(self, state: State) -> bool:
+        if state == self._INITIAL:
+            return self.left.is_final(self.left.initial) or self.right.is_final(
+                self.right.initial
+            )
+        tag, inner = state
+        return (self.left if tag == 0 else self.right).is_final(inner)
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self.left.alphabet | self.right.alphabet
+
+    def nominal_states(self) -> int:
+        return self.left.nominal_states() + self.right.nominal_states() + 1
+
+    def describe(self) -> str:
+        return f"Union({self.left.describe()}, {self.right.describe()})"
+
+
+class Concat(Plan):
+    """L(left)·L(right) with the final→initial ε-bridge taken on the fly.
+
+    Reading a symbol into a left-final state also offers the right
+    operand's initial successors (the ε-closure of the textbook
+    construction), so no ε-edges — and no unreachable right-side
+    states — ever exist.
+    """
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left, right):
+        self.left = as_plan(left)
+        self.right = as_plan(right)
+
+    @property
+    def initial(self) -> State:
+        return (0, self.left.initial)
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        tag, inner = state
+        if tag == 1:
+            for symbol, target in self.right.out_edges(inner):
+                yield symbol, (1, target)
+            return
+        # Left edges carry tag 0 and bridge edges tag 1, so the two
+        # groups can never collide — no dedup needed (unlike Star, where
+        # both groups share the child's tag).
+        for symbol, target in self.left.out_edges(inner):
+            yield symbol, (0, target)
+        if self.left.is_final(inner):
+            for symbol, target in self.right.out_edges(self.right.initial):
+                yield symbol, (1, target)
+
+    def is_final(self, state: State) -> bool:
+        tag, inner = state
+        if tag == 1:
+            return self.right.is_final(inner)
+        return self.left.is_final(inner) and self.right.is_final(self.right.initial)
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self.left.alphabet | self.right.alphabet
+
+    def nominal_states(self) -> int:
+        return self.left.nominal_states() + self.right.nominal_states()
+
+    def describe(self) -> str:
+        return f"Concat({self.left.describe()}, {self.right.describe()})"
+
+
+class Star(Plan):
+    """L(child)* with the loop-back ε taken on the fly (Thompson star,
+    hub state included so ε is accepted)."""
+
+    __slots__ = ("child",)
+
+    _HUB = ("★", 0)
+
+    def __init__(self, child):
+        self.child = as_plan(child)
+
+    @property
+    def initial(self) -> State:
+        return self._HUB
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        child = self.child
+        if state == self._HUB:
+            for symbol, target in child.out_edges(child.initial):
+                yield symbol, (0, target)
+            return
+        _, inner = state
+        seen: set = set()
+        for symbol, target in child.out_edges(inner):
+            edge = (symbol, (0, target))
+            seen.add(edge)
+            yield edge
+        if child.is_final(inner):
+            for symbol, target in child.out_edges(child.initial):
+                edge = (symbol, (0, target))
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def is_final(self, state: State) -> bool:
+        return state == self._HUB or self.child.is_final(state[1])
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self.child.alphabet
+
+    def nominal_states(self) -> int:
+        return self.child.nominal_states() + 1
+
+    def describe(self) -> str:
+        return f"Star({self.child.describe()})"
+
+
+class Relabel(Plan):
+    """Symbol relabelling through an injective mapping, applied per edge."""
+
+    __slots__ = ("child", "mapping", "_inverse")
+
+    def __init__(self, child, mapping: Mapping[Symbol, Symbol]):
+        if len(set(mapping.values())) != len(mapping):
+            raise InvalidAutomatonError("symbol mapping must be injective")
+        self.child = as_plan(child)
+        missing = self.child.alphabet - set(mapping)
+        if missing:
+            raise InvalidAutomatonError(
+                f"mapping does not cover symbols {sorted(map(repr, missing))}"
+            )
+        self.mapping = dict(mapping)
+        self._inverse = {new: old for old, new in self.mapping.items()}
+
+    @property
+    def initial(self) -> State:
+        return self.child.initial
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        mapping = self.mapping
+        for symbol, target in self.child.out_edges(state):
+            yield mapping[symbol], target
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset:
+        original = self._inverse.get(symbol)
+        if original is None:
+            return frozenset()
+        return self.child.successors(state, original)
+
+    def is_final(self, state: State) -> bool:
+        return self.child.is_final(state)
+
+    @property
+    def alphabet(self) -> frozenset:
+        return frozenset(self.mapping[s] for s in self.child.alphabet)
+
+    def nominal_states(self) -> int:
+        return self.child.nominal_states()
+
+    def describe(self) -> str:
+        return f"Relabel({self.child.describe()})"
+
+
+class GraphProduct(Plan):
+    """The RPQ product ``G × A_R`` of Section 4.2, never materialized.
+
+    States are ``(vertex, query state)`` pairs; symbols are ``(label,
+    target vertex)`` pairs so a word both *is* a path encoding and
+    carries the label word (the paths-not-pairs semantics of footnote 1).
+    Matches :func:`repro.graphdb.rpq.compile_rpq` state-for-state, but a
+    pair exists only while the lowering frontier holds it — on a large
+    graph the eager product allocates ``|V|·|Q|`` states before
+    ``trim()`` discards the bulk, while this node's lowering only ever
+    touches the pairs reachable from ``(source, q₀)`` within ``n``
+    steps.
+    """
+
+    __slots__ = ("graph", "query", "source", "target", "_alphabet")
+
+    def __init__(self, graph, query: NFA, source, target):
+        from repro.errors import InvalidRelationInputError
+
+        if source not in graph.vertices or target not in graph.vertices:
+            raise InvalidRelationInputError("endpoints must be graph vertices")
+        self.graph = graph
+        self.query = query.without_epsilon()
+        self.source = source
+        self.target = target
+        self._alphabet: frozenset | None = None
+
+    @property
+    def initial(self) -> State:
+        return (self.source, self.query.initial)
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        vertex, q = state
+        query = self.query
+        for label, next_vertex in self.graph.out_edges(vertex):
+            for q_next in query.successors(q, label):
+                yield (label, next_vertex), (next_vertex, q_next)
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset:
+        vertex, q = state
+        label, next_vertex = symbol
+        if not self.graph.has_edge(vertex, label, next_vertex):
+            return frozenset()
+        return frozenset(
+            (next_vertex, q_next) for q_next in self.query.successors(q, label)
+        )
+
+    def is_final(self, state: State) -> bool:
+        vertex, q = state
+        return vertex == self.target and q in self.query.finals
+
+    @property
+    def alphabet(self) -> frozenset:
+        if self._alphabet is None:
+            self._alphabet = frozenset(
+                (label, target) for _, label, target in self.graph.edges
+            )
+        return self._alphabet
+
+    def nominal_states(self) -> int:
+        return self.graph.num_vertices * self.query.num_states
+
+    def describe(self) -> str:
+        return (
+            f"GraphProduct(|V|={self.graph.num_vertices}, "
+            f"|E|={self.graph.num_edges}, query_states={self.query.num_states})"
+        )
+
+
+class DocProduct(Plan):
+    """The spanner document product ``N_{A,d}`` of Lemma 13 / Section 4.1.
+
+    States are ``(eVA state, position)`` pairs plus the ``accept`` sink;
+    symbols are marker sets (the witness encoding of Corollaries 6–7).
+    Mirrors :func:`repro.spanners.evaluation.compile_eva` transition for
+    transition, but the eager compiler allocates all ``|Q|·(n+1)``
+    configuration states up front and trims afterwards — this node only
+    ever yields the configurations a run can actually visit.
+    """
+
+    __slots__ = ("eva", "document", "_choices", "_options")
+
+    _ACCEPT = ("accept",)
+
+    def __init__(self, eva, document: str):
+        eva.require_functional()
+        self.eva = eva
+        self.document = document
+        self._choices = eva.marker_choices()
+        # Per eVA state: the (marker set, state after markers) pairs a run
+        # can take at one position — ∅ (stay put) plus each variable
+        # transition.  Precomputed once so the per-configuration successor
+        # walk does no marker-set scanning.
+        self._options = {
+            q: ((frozenset(), q),)
+            + tuple((t.markers, t.target) for t in eva.variable_successors(q))
+            for q in eva.states
+        }
+
+    @property
+    def initial(self) -> State:
+        return (self.eva.initial, 0)
+
+    def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
+        if state == self._ACCEPT:
+            return
+        q, position = state
+        eva = self.eva
+        document = self.document
+        n = len(document)
+        seen: set = set()
+        for symbol, q_mid in self._options[q]:
+            if position < n:
+                for q_next in eva.letter_successors(q_mid, document[position]):
+                    edge = (symbol, (q_next, position + 1))
+                    if edge not in seen:
+                        seen.add(edge)
+                        yield edge
+            elif q_mid in eva.finals:
+                edge = (symbol, self._ACCEPT)
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def is_final(self, state: State) -> bool:
+        return state == self._ACCEPT
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self._choices
+
+    def nominal_states(self) -> int:
+        return len(self.eva.states) * (len(self.document) + 1) + 1
+
+    def describe(self) -> str:
+        return (
+            f"DocProduct(eva_states={len(self.eva.states)}, "
+            f"doc_length={len(self.document)})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The fused lowering pass
+# ----------------------------------------------------------------------
+
+
+class _MemoSource:
+    """The adjacency memo :func:`lower_plan` built, wearing the NFA read
+    interface the kernel consumes.
+
+    Every successor block computed during exploration is served from the
+    memo; states first touched later (``CompiledDAG.extend_to`` growing a
+    reachable-mode kernel) fall through to the plan and are memoized
+    then.  This is what lets one CSR-construction code path serve both
+    concrete NFAs and symbolic plans.
+    """
+
+    __slots__ = ("plan", "adjacency")
+
+    has_epsilon = False
+
+    def __init__(self, plan: Plan, adjacency: dict):
+        self.plan = plan
+        self.adjacency = adjacency
+
+    @property
+    def initial(self) -> State:
+        return self.plan.initial
+
+    @property
+    def finals(self) -> _LazyFinals:
+        return self.plan.finals
+
+    @property
+    def alphabet(self) -> frozenset:
+        return self.plan.alphabet
+
+    def out_edges(self, state: State) -> tuple:
+        edges = self.adjacency.get(state)
+        if edges is None:
+            edges = tuple(self.plan.out_edges(state))
+            self.adjacency[state] = edges
+        return edges
+
+    def successors(self, state: State, symbol: Symbol) -> frozenset:
+        return frozenset(t for s, t in self.out_edges(state) if s == symbol)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"<MemoSource {self.plan.describe()} states={len(self.adjacency)}>"
+
+
+def memoized_source(plan: Plan) -> _MemoSource:
+    """Wrap ``plan`` so each state's successor block is computed once.
+
+    Used by consumers that revisit states many times (the self-product
+    ambiguity walk); :func:`lower_plan` builds its own memo internally.
+    """
+    return _MemoSource(as_plan(plan), {})
+
+
+def lower_plan(
+    plan: Plan,
+    n: int,
+    trimmed: bool = True,
+    adjacency: dict | None = None,
+) -> CompiledDAG:
+    """Lower ``plan``'s length-``n`` unrolling straight into a kernel.
+
+    One fused pass: explore the forward-reachable plan states layer by
+    layer (each state's successor block computed exactly once and
+    memoized), prune to the backward-useful vertices when ``trimmed``
+    (the Lemma 15 semantics of :func:`repro.core.unroll.unroll_trimmed`),
+    then hand the memoized adjacency and the live-layer sets to
+    :class:`~repro.core.kernel.CompiledDAG`, which writes the CSR edge
+    arrays from the memo — never from a materialized NFA.
+
+    The returned kernel is bit-identical (states, edge order, symbols) to
+    compiling the eager product NFA of the same composition, so exact
+    counts, spectra and seeded sampling streams agree with the eager
+    pipeline; only the construction cost differs.  ``kernel.lowering``
+    carries the :class:`LoweringStats`.
+
+    ``adjacency`` optionally supplies a successor memo shared across
+    several lowerings of the *same plan* (the facade passes one dict for
+    its trimmed and reachable kernels, so the exploration is paid once
+    per witness set); the stats still report only the states this
+    lowering's own forward pass reached.
+    """
+    if n < 0:
+        raise ValueError("word length must be ≥ 0")
+    plan = as_plan(plan)
+    if adjacency is None:
+        adjacency = {}
+    source = _MemoSource(plan, adjacency)
+
+    layers: list[frozenset] = [frozenset({plan.initial})]
+    for _ in range(n):
+        nxt: set = set()
+        for state in layers[-1]:
+            for _, target in source.out_edges(state):
+                nxt.add(target)
+        layers.append(frozenset(nxt))
+
+    reached: set = set()
+    for layer in layers:
+        reached |= layer
+
+    if trimmed:
+        finals = plan.finals
+        alive: list[frozenset] = [None] * (n + 1)  # type: ignore[list-item]
+        alive[n] = frozenset(state for state in layers[n] if state in finals)
+        for t in range(n - 1, -1, -1):
+            later = alive[t + 1]
+            alive[t] = frozenset(
+                state
+                for state in layers[t]
+                if any(target in later for _, target in adjacency[state])
+            )
+        layers = alive
+
+    kernel = CompiledDAG(source, n, trimmed, layers=layers)
+    # Count against `reached` (not the raw memo) so a shared adjacency
+    # dict from an earlier lowering never inflates this lowering's stats.
+    explored = [state for state in reached if state in adjacency]
+    kernel.lowering = LoweringStats(
+        nominal_states=plan.nominal_states(),
+        explored_states=len(explored),
+        reached_states=len(reached),
+        explored_edges=sum(len(adjacency[state]) for state in explored),
+        kernel_vertices=kernel.vertex_count(),
+        kernel_edges=kernel.edge_count(),
+        n=n,
+        trimmed=trimmed,
+    )
+    return kernel
+
+
+__all__ = [
+    "Plan",
+    "Atom",
+    "Product",
+    "Intersect",
+    "Union",
+    "Concat",
+    "Star",
+    "Relabel",
+    "GraphProduct",
+    "DocProduct",
+    "LoweringStats",
+    "as_plan",
+    "lower_plan",
+    "memoized_source",
+]

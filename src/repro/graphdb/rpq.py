@@ -13,6 +13,15 @@ Compilation to MEM-NFA: the synchronous product ``G × A_R`` —
 * transitions ``(w, q) —(a, w')→ (w', q')`` when ``(w, a, w') ∈ E`` and
   ``q —a→ q'`` in ``A_R``.
 
+Compilation is *symbolic* by default: :func:`compile_rpq_plan` returns a
+lazy :class:`~repro.core.plan.GraphProduct` node whose product states
+exist only while the kernel lowering's frontier touches them — on a
+large graph only the fragment reachable from ``(source, q₀)`` within
+``n`` steps is ever allocated, instead of the eager ``|V|·|Q|`` cross
+product.  :func:`compile_rpq` keeps the materialized-NFA API (it is the
+plan's eager rendering, trimmed) for callers and tests that need a
+concrete automaton.
+
 A path can have several runs only through the query automaton's own
 nondeterminism, so compiling ``R`` through a DFA (affordable for typical
 query-sized expressions) lands in RelationUL with exact algorithms, while
@@ -29,8 +38,7 @@ from typing import Iterator
 from repro.automata.dfa import determinize
 from repro.automata.nfa import NFA, Word
 from repro.automata.regex import compile_regex
-from repro.automata.unambiguous import is_unambiguous
-from repro.core.classes import RelationNLSolver, RelationULSolver
+from repro.core.plan import GraphProduct
 from repro.core.relations import AutomatonBackedRelation, CompiledInstance
 from repro.errors import InvalidRelationInputError
 from repro.graphdb.graph import GraphDatabase, Vertex
@@ -87,6 +95,25 @@ class Path:
         return True
 
 
+def compile_rpq_plan(
+    graph: GraphDatabase,
+    query: RPQ,
+    source: Vertex,
+    target: Vertex,
+    deterministic_query: bool = False,
+) -> GraphProduct:
+    """The product ``G × A_R`` as a lazy plan node — nothing materialized.
+
+    This is what the facade's :meth:`~repro.api.WitnessSet.from_rpq`
+    lowers straight into the array kernel; only forward-reachable (and
+    backward-useful) product states ever exist.
+    """
+    if isinstance(query, str):
+        query = RPQ(query)
+    query_nfa = query.automaton(graph.labels, deterministic_query)
+    return GraphProduct(graph, query_nfa, source, target)
+
+
 def compile_rpq(
     graph: GraphDatabase,
     query: RPQ,
@@ -94,29 +121,14 @@ def compile_rpq(
     target: Vertex,
     deterministic_query: bool = False,
 ) -> NFA:
-    """The product NFA whose length-n words encode the witness paths."""
-    if source not in graph.vertices or target not in graph.vertices:
-        raise InvalidRelationInputError("endpoints must be graph vertices")
-    query_nfa = query.automaton(graph.labels, deterministic_query).without_epsilon()
-    alphabet = {(a, v) for _, a, v in graph.edges}
-    states: set = set()
-    transitions: list[tuple] = []
-    initial = (source, query_nfa.initial)
-    states.add(initial)
-    frontier = [initial]
-    while frontier:
-        vertex, q = frontier.pop()
-        for label, next_vertex in graph.out_edges(vertex):
-            for q_next in query_nfa.successors(q, label):
-                pair = (next_vertex, q_next)
-                transitions.append(((vertex, q), (label, next_vertex), pair))
-                if pair not in states:
-                    states.add(pair)
-                    frontier.append(pair)
-    finals = {
-        (vertex, q) for (vertex, q) in states if vertex == target and q in query_nfa.finals
-    }
-    return NFA(states, alphabet, transitions, initial, finals).trim()
+    """The product NFA whose length-n words encode the witness paths.
+
+    The eager rendering of :func:`compile_rpq_plan` (reachable fragment,
+    trimmed) — kept for callers that need a materialized automaton; the
+    query pipeline itself goes through the plan.
+    """
+    plan = compile_rpq_plan(graph, query, source, target, deterministic_query)
+    return plan.to_nfa().trim()
 
 
 def decode_path(source: Vertex, w: Word) -> Path:
@@ -150,11 +162,16 @@ class EvalRpqRelation(AutomatonBackedRelation):
 class RpqEvaluator:
     """Count / enumerate / sample the paths ``⟦Q⟧ₙ(G, u, v)``.
 
+    A thin domain wrapper over the :class:`~repro.api.WitnessSet`
+    facade: compilation goes through the lazy plan route
+    (:func:`compile_rpq_plan` lowered straight into the array kernel),
+    so the unambiguous hot path never materializes the product NFA.
+
     ``deterministic_query=True`` routes through a determinized query
     automaton: the product is then unambiguous (each path has one run)
     and the exact RelationUL algorithms apply — the practical fast path
-    for small queries.  Otherwise ambiguity is detected per instance and
-    the FPRAS/PLVUG used when needed.
+    for small queries.  Otherwise ambiguity is detected per instance (on
+    the lazy self-product) and the FPRAS/PLVUG used when needed.
     """
 
     def __init__(
@@ -168,41 +185,50 @@ class RpqEvaluator:
         delta: float = 0.1,
         rng: random.Random | int | None = None,
     ):
+        from repro.api import WitnessSet
+
         self.graph = graph
         self.query = query
         self.source = source
+        self.target = target
         self.n = n
-        self.nfa = compile_rpq(graph, query, source, target, deterministic_query)
-        self.unambiguous = is_unambiguous(self.nfa)
-        self._ul = (
-            RelationULSolver(self.nfa, n, check=False) if self.unambiguous else None
-        )
-        self._nl = (
-            None
-            if self.unambiguous
-            else RelationNLSolver(self.nfa, n, delta=delta, rng=rng)
+        self.ws = WitnessSet.from_rpq(
+            graph,
+            query,
+            source,
+            target,
+            n,
+            deterministic_query=deterministic_query,
+            delta=delta,
+            rng=rng,
         )
 
+    @property
+    def plan(self) -> GraphProduct:
+        """The symbolic product plan the queries lower from."""
+        return self.ws.plan
+
+    @property
+    def nfa(self) -> NFA:
+        """The materialized product NFA (built on demand — eager cost)."""
+        return self.ws.stripped
+
+    @property
+    def unambiguous(self) -> bool:
+        return self.ws.is_unambiguous
+
     def paths(self) -> Iterator[Path]:
-        solver = self._ul or self._nl
-        for w in solver.enumerate():
-            yield decode_path(self.source, w)
+        return self.ws.enumerate()
 
     def count(self) -> float:
         """Number of witness paths — exact if unambiguous, else FPRAS."""
-        if self._ul is not None:
-            return self._ul.count()
-        return self._nl.count_approx()
+        if self.ws.is_unambiguous:
+            return self.ws.count_exact()
+        return self.ws.count(backend="fpras")
 
     def count_exact(self) -> int:
-        if self._ul is not None:
-            return self._ul.count()
-        return self._nl.count_exact()
+        return self.ws.count_exact()
 
     def sample(self, rng: random.Random | int | None = None) -> Path | None:
         """A uniform witness path (None when there are none)."""
-        if self._ul is not None:
-            w = self._ul.sample_or_none(rng)
-        else:
-            w = self._nl.sample()
-        return None if w is None else decode_path(self.source, w)
+        return self.ws.sample(rng=rng)

@@ -144,6 +144,18 @@ class EVA:
     def alphabet(self) -> frozenset:
         return frozenset(transition.symbol for transition in self.letter)
 
+    def marker_choices(self) -> frozenset:
+        """Every marker set a run can emit at one position, plus ∅.
+
+        This is the alphabet of the document product ``N_{A,d}``
+        (:mod:`repro.spanners.evaluation` and the lazy
+        :class:`repro.core.plan.DocProduct` share it).
+        """
+        choices = {frozenset()}
+        for transition in self.variable:
+            choices.add(transition.markers)
+        return frozenset(choices)
+
     # ------------------------------------------------------------------
     # Functionality check
     # ------------------------------------------------------------------

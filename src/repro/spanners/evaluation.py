@@ -18,8 +18,17 @@ Functional eVAs give ambiguous NFAs in general (several runs per
 mapping): RelationNL ⇒ FPRAS + PLVUG (Corollary 6).  When additionally
 the eVA is *unambiguous* (one valid accepting run per mapping), the NFA
 is unambiguous and the RelationUL suite applies (Corollary 7).  The
-unambiguity check is performed on the compiled automaton — polynomial,
-per instance.
+unambiguity check is performed on the compiled product — polynomial,
+per instance, and run on the lazy interface so the configuration graph
+is never materialized for it.
+
+Compilation is symbolic by default: :func:`compile_eva_plan` returns a
+lazy :class:`~repro.core.plan.DocProduct` whose ``(state, position)``
+configurations exist only while the kernel lowering's frontier touches
+them — on a long document the eager route allocates all ``|Q|·(n+1)``
+configurations before ``trim()`` discards the unreachable bulk.
+:func:`compile_eva` keeps the materialized-NFA API (the plan's eager
+rendering, trimmed).
 """
 
 from __future__ import annotations
@@ -28,8 +37,7 @@ import random
 from typing import Iterator
 
 from repro.automata.nfa import NFA, Word
-from repro.automata.unambiguous import is_unambiguous
-from repro.core.classes import RelationNLSolver, RelationULSolver
+from repro.core.plan import DocProduct
 from repro.core.relations import AutomatonBackedRelation, CompiledInstance
 from repro.errors import InvalidRelationInputError
 from repro.spanners.eva import EVA
@@ -39,57 +47,28 @@ from repro.spanners.spans import Mapping, Span
 EMPTY_SET: frozenset = frozenset()
 
 
-def compile_eva(eva: EVA, document: str) -> NFA:
-    """The product NFA ``N_{A,d}`` (see module docstring).
+def compile_eva_plan(eva: EVA, document: str) -> DocProduct:
+    """The document product ``N_{A,d}`` as a lazy plan node.
 
     States ``(q, i)``: eVA state ``q`` about to process position ``i``
     (``i = 0`` before the first marker set).  A symbol ``S`` (a frozenset
     of markers) moves ``(q, i) → (q'', i+1)`` when ``q —S→ q' —aᵢ₊₁→ q''``
     (with ``q' = q`` for ``S = ∅``); at the last position the letter step
-    is replaced by the acceptance test.  The resulting automaton is
-    trimmed, so its alphabet is exactly the marker sets that can occur.
+    is replaced by the acceptance test.  Functionality is verified at
+    construction (evaluation of non-functional eVAs is NP-hard, §4.1).
     """
-    eva.require_functional()
-    n = len(document)
-    marker_choices: set[frozenset] = {EMPTY_SET}
-    for transition in eva.variable:
-        marker_choices.add(transition.markers)
+    return DocProduct(eva, document)
 
-    accept = ("accept",)
-    states: set = {accept}
-    transitions: list[tuple] = []
-    for i in range(n + 1):
-        for q in eva.states:
-            states.add((q, i))
 
-    def after_markers(q, symbol: frozenset) -> list:
-        if symbol == EMPTY_SET:
-            return [q]
-        return [
-            transition.target
-            for transition in eva.variable_successors(q)
-            if transition.markers == symbol
-        ]
+def compile_eva(eva: EVA, document: str) -> NFA:
+    """The product NFA ``N_{A,d}`` materialized (see module docstring).
 
-    for i in range(n + 1):
-        for q in eva.states:
-            for symbol in marker_choices:
-                for q_mid in after_markers(q, symbol):
-                    if i < n:
-                        for q_next in eva.letter_successors(q_mid, document[i]):
-                            transitions.append(((q, i), symbol, (q_next, i + 1)))
-                    else:
-                        if q_mid in eva.finals:
-                            transitions.append(((q, i), symbol, accept))
-
-    nfa = NFA(
-        states,
-        marker_choices,
-        transitions,
-        (eva.initial, 0),
-        [accept],
-    )
-    return nfa.trim()
+    The eager rendering of :func:`compile_eva_plan` — reachable
+    configurations only, trimmed so its useful states and transitions
+    match the classical allocate-everything construction exactly.  The
+    alphabet is the eVA's marker choices (the symbols a run can emit).
+    """
+    return compile_eva_plan(eva, document).to_nfa().trim()
 
 
 def decode_mapping(eva: EVA, w: Word) -> Mapping:
@@ -158,6 +137,8 @@ class EvalUevaRelation(EvalEvaRelation):
     name = "EVAL-UeVA"
 
     def compile(self, instance: tuple) -> CompiledInstance:
+        from repro.automata.unambiguous import is_unambiguous
+
         compiled = super().compile(instance)
         if not is_unambiguous(compiled.nfa):
             raise InvalidRelationInputError(
@@ -170,9 +151,13 @@ class EvalUevaRelation(EvalEvaRelation):
 class SpannerEvaluator:
     """The user-facing evaluator: count / enumerate / sample ``⟦A⟧(d)``.
 
-    Dispatches between the two corollaries the way the paper does: if the
-    compiled automaton is unambiguous the exact RelationUL algorithms run,
-    otherwise the FPRAS / PLVUG of RelationNL.
+    A thin domain wrapper over the :class:`~repro.api.WitnessSet`
+    facade: the document product is compiled as a lazy plan and lowered
+    straight into the array kernel, so the unambiguous hot path never
+    materializes the configuration graph.  Dispatches between the two
+    corollaries the way the paper does: if the compiled product is
+    unambiguous the exact RelationUL algorithms run, otherwise the
+    FPRAS / PLVUG of RelationNL.
     """
 
     def __init__(
@@ -182,47 +167,42 @@ class SpannerEvaluator:
         delta: float = 0.1,
         rng: random.Random | int | None = None,
     ):
+        from repro.api import WitnessSet
+
         self.eva = eva
         self.document = document
-        self.nfa = compile_eva(eva, document)
         self.length = len(document) + 1
-        self.unambiguous = is_unambiguous(self.nfa)
         self.delta = delta
-        self._ul = (
-            RelationULSolver(self.nfa, self.length, check=False)
-            if self.unambiguous
-            else None
-        )
-        self._nl = (
-            None
-            if self.unambiguous
-            else RelationNLSolver(self.nfa, self.length, delta=delta, rng=rng)
-        )
+        self.ws = WitnessSet.from_spanner(eva, document, delta=delta, rng=rng)
+
+    @property
+    def plan(self) -> DocProduct:
+        """The symbolic document-product plan the queries lower from."""
+        return self.ws.plan
+
+    @property
+    def nfa(self) -> NFA:
+        """The materialized ``N_{A,d}`` (built on demand — eager cost)."""
+        return self.ws.stripped
+
+    @property
+    def unambiguous(self) -> bool:
+        return self.ws.is_unambiguous
 
     def mappings(self) -> Iterator[Mapping]:
         """Enumerate ⟦A⟧(d) — constant delay when unambiguous, else polynomial."""
-        solver = self._ul or self._nl
-        for w in solver.enumerate():
-            yield decode_mapping(self.eva, w)
+        return self.ws.enumerate()
 
     def count(self) -> float:
         """|⟦A⟧(d)| — exact when unambiguous, FPRAS estimate otherwise."""
-        if self._ul is not None:
-            return self._ul.count()
-        return self._nl.count_approx()
+        if self.ws.is_unambiguous:
+            return self.ws.count_exact()
+        return self.ws.count(backend="fpras")
 
     def count_exact(self) -> int:
         """Exact |⟦A⟧(d)| regardless of ambiguity (may be exponential)."""
-        if self._ul is not None:
-            return self._ul.count()
-        return self._nl.count_exact()
+        return self.ws.count_exact()
 
     def sample(self, rng: random.Random | int | None = None) -> Mapping | None:
         """A uniform mapping (None when ⟦A⟧(d) is empty)."""
-        if self._ul is not None:
-            w = self._ul.sample_or_none(rng)
-        else:
-            w = self._nl.sample()
-        if w is None:
-            return None
-        return decode_mapping(self.eva, w)
+        return self.ws.sample(rng=rng)
