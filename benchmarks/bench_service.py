@@ -1,0 +1,270 @@
+"""S1 — the witness service: warm-store startup, engine throughput,
+and scheduling-invariant sampling.
+
+Claims measured (and asserted, so regressions fail the suite):
+
+* S1a: a warm :class:`KernelStore` start answers its first query with
+  zero lowering work — the kernel and the ambiguity certificate both
+  come off disk (store hit) — and is ≥ 5x faster than the cold start on
+  a 200-state NFA at n = 100.
+* S1b: a 4-worker engine sustains higher throughput than the
+  single-process engine on a mixed count/sample workload.  The ≥ 2x
+  bound is asserted when the machine actually has ≥ 4 usable cores
+  (CI runners do); on smaller machines the numbers are recorded as an
+  observation only — a fork pool cannot beat physics.
+* S1c: seeded ``sample`` results are **byte-identical** between
+  in-process execution (workers=0), a single-worker pool and a 4-worker
+  pool — the deterministic-substream contract makes worker scheduling
+  invisible in the output.  Asserted unconditionally.
+* S1d: coalescing same-spec sample requests into one ``sample_batch``
+  kernel pass beats answering them one at a time (recorded; this is the
+  server's batching win, independent of core count).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.api import WitnessSet
+from repro.automata.random_gen import random_ufa
+from repro.automata.serialization import nfa_to_json
+from repro.service import Engine, KernelStore
+
+M = 200          # automaton states (the ISSUE-2/ISSUE-4 acceptance instance)
+N = 100          # witness length
+SEED = 20190621
+
+#: Throughput workload shape: WAVES rounds of the mixed request batch.
+WAVES = 5
+SPECS = 8
+SAMPLES_PER_REQUEST = 150
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _instance(seed: int = SEED, states: int = M, length: int = N):
+    return random_ufa(
+        states, rng=seed, completeness=0.95, ensure_nonempty_length=length
+    )
+
+
+# ----------------------------------------------------------------------
+# S1a — warm-store startup
+# ----------------------------------------------------------------------
+
+
+def _first_query_seconds(nfa, store) -> tuple[int, float]:
+    """Fresh witness set → first count answered (the startup path)."""
+    started = time.perf_counter()
+    ws = WitnessSet.from_nfa(nfa, N, store=store)
+    count = ws.count()
+    return count, time.perf_counter() - started
+
+
+def test_warm_store_start_beats_cold(observe):
+    nfa = _instance()
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = KernelStore(root)
+        cold_count, cold_seconds = _first_query_seconds(nfa, store)
+        assert store.stats.stores >= 1, "cold start must persist its kernel"
+
+        warm = KernelStore(root)  # fresh stats: a new process's view
+        warm_count, warm_seconds = _first_query_seconds(nfa, warm)
+        assert warm_count == cold_count
+        assert warm.stats.hits >= 1 and warm.stats.misses == 0, (
+            "warm start must answer from the store alone"
+        )
+        speedup = cold_seconds / warm_seconds
+        observe(
+            "S1a",
+            f"m={M} n={N} first count: cold={cold_seconds:.3f}s "
+            f"warm={warm_seconds:.3f}s speedup={speedup:.1f}x "
+            f"(store {warm.stats.as_dict()})",
+        )
+        assert speedup >= 5.0, (
+            f"warm start ({warm_seconds:.3f}s) must be ≥5x faster than cold "
+            f"({cold_seconds:.3f}s), got {speedup:.1f}x"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_warm_start_skips_all_preprocessing(observe):
+    """Zero lowering work on the warm path: the facade never builds the
+    stripped automaton, the unrolled DAG, or the self-product check."""
+    nfa = _instance(SEED + 1)
+    root = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        WitnessSet.from_nfa(nfa, N, store=KernelStore(root)).count()
+        warm_ws = WitnessSet.from_nfa(nfa, N, store=KernelStore(root))
+        warm_ws.count()
+        warm_ws.sample_batch(10, rng=1, use_substreams=True)
+        built = set(warm_ws._cache)
+        assert "stripped" not in built and "dag" not in built, (
+            f"warm path built preprocessing artifacts: {sorted(built)}"
+        )
+        observe("S1a", f"warm-path artifacts built: {sorted(built)}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# S1b / S1c — engine throughput and scheduling invariance
+# ----------------------------------------------------------------------
+
+
+def _specs() -> list[dict]:
+    """Distinct mid-size instances, shipped by content (nfa JSON)."""
+    specs = []
+    for index in range(SPECS):
+        nfa = _instance(SEED + 10 + index, states=80, length=60)
+        specs.append({"kind": "nfa", "nfa": json.loads(nfa_to_json(nfa)), "n": 60})
+    return specs
+
+
+def _mixed_wave(specs: list[dict], wave: int) -> list[dict]:
+    """One traffic wave: a count plus two seeded sample requests per spec."""
+    requests: list[dict] = []
+    rid = wave * 1000
+    for spec_index, spec in enumerate(specs):
+        requests.append({"id": rid, "op": "count", "spec": spec})
+        rid += 1
+        for burst in range(2):
+            requests.append(
+                {
+                    "id": rid,
+                    "op": "sample",
+                    "spec": spec,
+                    "k": SAMPLES_PER_REQUEST,
+                    "seed": wave * 100 + spec_index * 10 + burst,
+                }
+            )
+            rid += 1
+    return requests
+
+
+def _run_waves(engine: Engine, specs: list[dict]) -> tuple[float, int]:
+    """Total wall-clock and request count for the full workload."""
+    engine.execute(_mixed_wave(specs, 99))  # warm resident caches
+    served = 0
+    started = time.perf_counter()
+    for wave in range(WAVES):
+        served += len(engine.execute(_mixed_wave(specs, wave)))
+    return time.perf_counter() - started, served
+
+
+def test_engine_throughput_and_identity(observe):
+    specs = _specs()
+    store_root = tempfile.mkdtemp(prefix="repro-bench-engine-")
+    try:
+        # Pre-warm the shared store so worker cold misses restore
+        # snapshots instead of lowering (the deployment configuration).
+        with Engine(workers=0, store_root=store_root) as warmup:
+            warmup.execute(
+                [{"id": i, "op": "count", "spec": spec} for i, spec in enumerate(specs)]
+            )
+
+        identity_wave = _mixed_wave(specs, 7)
+
+        with Engine(workers=0, store_root=store_root) as single:
+            single_seconds, served = _run_waves(single, specs)
+            single_results = [
+                response.get("result") for response in single.execute(identity_wave)
+            ]
+        single_rps = served / single_seconds
+
+        with Engine(workers=1, store_root=store_root) as one_worker:
+            one_results = [
+                response.get("result") for response in one_worker.execute(identity_wave)
+            ]
+
+        with Engine(workers=4, store_root=store_root) as pool:
+            pool_seconds, pool_served = _run_waves(pool, specs)
+            pool_results = [
+                response.get("result") for response in pool.execute(identity_wave)
+            ]
+        pool_rps = pool_served / pool_seconds
+
+        # S1c — byte identity across scheduling regimes (always binding).
+        canonical = json.dumps(single_results, sort_keys=True)
+        assert json.dumps(one_results, sort_keys=True) == canonical, (
+            "single-worker results differ from in-process results"
+        )
+        assert json.dumps(pool_results, sort_keys=True) == canonical, (
+            "4-worker results differ from in-process results"
+        )
+
+        cores = _usable_cores()
+        ratio = pool_rps / single_rps
+        observe(
+            "S1b",
+            f"mixed workload ({served} requests): single={single_rps:.0f} req/s "
+            f"4-worker={pool_rps:.0f} req/s ratio={ratio:.2f}x (cores={cores})",
+        )
+        observe("S1c", "sample bytes identical across workers=0/1/4")
+        if cores >= 4:
+            assert ratio >= 2.0, (
+                f"4-worker engine must sustain ≥2x single-process throughput "
+                f"on {cores} cores, got {ratio:.2f}x"
+            )
+        else:
+            observe(
+                "S1b",
+                f"≥2x gate skipped: only {cores} usable core(s) on this machine",
+            )
+    finally:
+        shutil.rmtree(store_root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# S1d — coalescing win
+# ----------------------------------------------------------------------
+
+
+def test_coalescing_beats_one_at_a_time(observe):
+    # The classic serving shape: many independent single-sample requests
+    # on one hot instance — exactly what the server's batch window
+    # coalesces into one kernel pass.
+    spec = _specs()[0]
+    burst = [
+        {"id": i, "op": "sample", "spec": spec, "k": 1, "seed": i}
+        for i in range(120)
+    ]
+    with Engine(workers=0) as engine:
+        engine.execute(burst)  # warm the kernel and weight caches
+
+        single_seconds = batched_seconds = float("inf")
+        singles = batched = None
+        for _ in range(3):  # best-of-3 against scheduler noise
+            started = time.perf_counter()
+            singles = [engine.execute([request])[0] for request in burst]
+            single_seconds = min(single_seconds, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            batched = engine.execute(burst)
+            batched_seconds = min(batched_seconds, time.perf_counter() - started)
+
+    assert [r["result"] for r in singles] == [r["result"] for r in batched], (
+        "coalescing must not change any response"
+    )
+    assert all(r.get("coalesced") == len(burst) for r in batched)
+    speedup = single_seconds / batched_seconds
+    observe(
+        "S1d",
+        f"{len(burst)} same-spec single-sample requests: one-at-a-time="
+        f"{single_seconds * 1000:.1f}ms coalesced={batched_seconds * 1000:.1f}ms "
+        f"({speedup:.2f}x)",
+    )
+    assert batched_seconds < single_seconds, (
+        "one coalesced kernel pass must beat one-at-a-time execution"
+    )

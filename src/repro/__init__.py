@@ -31,6 +31,14 @@ general NFAs the FPRAS and Las Vegas generator of RelationNL (Theorem
 the paper measures against — are selected by name through the pluggable
 registry in :mod:`repro.backends`.
 
+Serving (:mod:`repro.service`): compiled kernels snapshot to a
+content-addressed on-disk :class:`~repro.service.store.KernelStore`
+(``ws.fingerprint()`` is the key; set ``$REPRO_KERNEL_STORE`` to turn it
+on process-wide), a multiprocess :class:`~repro.service.engine.Engine`
+routes requests by fingerprint affinity with deterministic per-request
+RNG substreams, and ``repro serve`` / ``repro query`` expose the whole
+facade as a batching JSON-lines service over stdio or TCP.
+
 .. deprecated:: 1.1
    The free functions :func:`count_words`, :func:`uniform_sample` and
    :func:`uniform_samples` predate the facade.  They now delegate to a
@@ -102,7 +110,18 @@ from repro.errors import (
 )
 from repro.utils.rng import make_rng
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name: str):
+    """Lazy ``repro.service``: the serving stack (sockets, selectors,
+    multiprocessing) loads only when first touched, so plain library and
+    CLI use never pays for it."""
+    if name == "service":
+        import repro.service as service
+
+        return service
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _deprecated(name: str, replacement: str) -> None:
@@ -171,6 +190,8 @@ __all__ = [
     "CacheStats",
     "backends",
     "shared_witness_set",
+    # the serving subsystem (persistent kernels, worker pool, server)
+    "service",
     # automata
     "NFA",
     "DFA",

@@ -54,6 +54,7 @@ O(1) after the first query on a given automaton.
 from __future__ import annotations
 
 import itertools
+import os
 import random
 from collections import OrderedDict
 from typing import Iterator
@@ -76,7 +77,7 @@ from repro.errors import (
     GenerationFailedError,
     InvalidRelationInputError,
 )
-from repro.utils.rng import make_rng
+from repro.utils.rng import make_rng, substreams
 
 
 class CacheStats:
@@ -137,6 +138,14 @@ class WitnessSet:
     delta, params, rng:
         Default FPRAS accuracy, parameters and randomness for the
         approximate/randomized routes.
+    store:
+        A :class:`~repro.service.store.KernelStore` for cross-process
+        kernel persistence.  ``None`` (the default) consults the
+        process-default store (the ``$REPRO_KERNEL_STORE`` environment
+        switch); pass ``False`` to disable persistence explicitly.  With
+        a store attached, compiled kernels are snapshotted on build and
+        restored on later constructions of the same instance — a warm
+        process answers its first query with zero lowering work.
     """
 
     def __init__(
@@ -151,6 +160,7 @@ class WitnessSet:
         delta: float = 0.1,
         params: FprasParameters | None = None,
         rng: random.Random | int | None = None,
+        store=None,
     ):
         if n < 0:
             raise ValueError("witness length must be ≥ 0")
@@ -167,6 +177,17 @@ class WitnessSet:
         self.delta = delta
         self.params = params
         self.rng = make_rng(rng)
+        if store is None:
+            # Probe the env switch before importing anything: plain
+            # library use without $REPRO_KERNEL_STORE never loads the
+            # service stack.
+            if os.environ.get("REPRO_KERNEL_STORE"):
+                from repro.service.store import default_store
+
+                store = default_store()
+        elif store is False:
+            store = None
+        self.store = store
         self.stats = CacheStats()
         self._cache: dict = {}
 
@@ -197,6 +218,39 @@ class WitnessSet:
             return self._cached("stripped", lambda: self.plan.to_nfa().trim())
         return self._cached("stripped", lambda: self.nfa.without_epsilon().trim())
 
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the language source.
+
+        The canonical SHA-256 of the automaton / plan
+        (:func:`repro.service.fingerprint.fingerprint_source`): identical
+        across processes, platforms and hash seeds, so it addresses
+        kernels in the on-disk :class:`~repro.service.store.KernelStore`
+        and routes requests in the service engine.  Covers the source
+        only — compose with ``n`` for per-length artifacts.  Raises
+        :class:`~repro.service.fingerprint.FingerprintError` when states
+        or symbols have no canonical serialization.
+        """
+        from repro.service.fingerprint import fingerprint_source
+
+        return self._cached(
+            "fingerprint",
+            lambda: fingerprint_source(
+                self.plan if self.plan is not None else self.nfa
+            ),
+        )
+
+    def _store_key(self):
+        """``(store, fingerprint)`` when persistence is usable, else
+        ``(None, None)`` — unfingerprintable sources opt out silently."""
+        if self.store is None:
+            return None, None
+        from repro.service.fingerprint import FingerprintError
+
+        try:
+            return self.store, self.fingerprint()
+        except FingerprintError:
+            return None, None
+
     @property
     def is_unambiguous(self) -> bool:
         """The class-membership certificate (RelationUL vs RelationNL).
@@ -204,19 +258,47 @@ class WitnessSet:
         Plan-backed sets run the self-product check on the lazy
         interface — only the forward-reachable pairs of the product's
         self-product are ever expanded, never the operand automaton.
+        With a kernel store attached, the certificate is persisted per
+        fingerprint (it is a property of the source, not of ``n``), so
+        warm processes skip the self-product walk too.
         """
-        if self.plan is not None:
-            return self._cached("unambiguous", lambda: is_unambiguous(self.plan))
-        return self._cached("unambiguous", lambda: is_unambiguous(self.stripped))
+
+        def build() -> bool:
+            store, fp = self._store_key()
+            if store is not None:
+                meta = store.get_meta(fp)
+                if meta is not None and "unambiguous" in meta:
+                    return meta["unambiguous"]
+            value = is_unambiguous(
+                self.plan if self.plan is not None else self.stripped
+            )
+            if store is not None:
+                store.put_meta(fp, {"unambiguous": value})
+            return value
+
+        return self._cached("unambiguous", build)
 
     @property
     def nonempty(self) -> bool:
         """Exact emptiness test (a reachability check, Lemma 15)."""
-        if self.plan is not None:
-            return self._cached("nonempty", lambda: not self.kernel.is_empty)
-        return self._cached(
-            "nonempty", lambda: accepted_word_exists(self.stripped, self.n)
-        )
+
+        def build() -> bool:
+            if self.plan is not None or "kernel" in self._cache:
+                return not self.kernel.is_empty
+            store, fp = self._store_key()
+            if store is not None:
+                # A warm store answers from the snapshot (and primes the
+                # kernel cache); a cold miss falls through to the cheap
+                # reachability walk rather than forcing a full compile.
+                restored = store.get(
+                    fp, self.n, True, source_resolver=self._source_resolver()
+                )
+                if restored is not None:
+                    self._cache.setdefault("kernel", restored)
+                    return not restored.is_empty
+            return accepted_word_exists(self.stripped, self.n)
+
+        return self._cached("nonempty", build)
 
     @property
     def dag(self) -> UnrolledDAG:
@@ -239,16 +321,10 @@ class WitnessSet:
         fragment directly (:func:`repro.core.plan.lower_plan`) — no
         intermediate NFA; the lowering's
         :class:`~repro.core.plan.LoweringStats` are surfaced by
-        :meth:`describe`.
+        :meth:`describe`.  With a kernel store attached, a snapshot of
+        the same instance (any process) is restored instead of lowering.
         """
-        if self.plan is not None:
-            return self._cached(
-                "kernel",
-                lambda: lower_plan(
-                    self.plan, self.n, trimmed=True, adjacency=self._plan_adjacency
-                ),
-            )
-        return self._cached("kernel", lambda: CompiledDAG.from_unrolled(self.dag))
+        return self._cached("kernel", lambda: self._load_or_build_kernel(trimmed=True))
 
     @property
     def _plan_adjacency(self) -> dict:
@@ -265,18 +341,55 @@ class WitnessSet:
         spectrum's per-length finals need every reachable vertex.
         Supports in-place :meth:`~repro.core.kernel.CompiledDAG.
         extend_to` for spectra beyond ``n`` (plan-backed kernels extend
-        by exploring further plan layers on demand).
+        by exploring further plan layers on demand; snapshot-restored
+        kernels resolve their source lazily for the same purpose).
         """
-        if self.plan is not None:
-            return self._cached(
-                "reachable_kernel",
-                lambda: lower_plan(
-                    self.plan, self.n, trimmed=False, adjacency=self._plan_adjacency
-                ),
-            )
         return self._cached(
-            "reachable_kernel", lambda: compile_nfa(self.stripped, self.n, trimmed=False)
+            "reachable_kernel", lambda: self._load_or_build_kernel(trimmed=False)
         )
+
+    def _source_resolver(self):
+        """Zero-argument resolver a snapshot-restored kernel uses to reach
+        the original transitions (only if it is later extended)."""
+        if self.plan is not None:
+            from repro.core.plan import _MemoSource
+
+            return lambda: _MemoSource(self.plan, self._plan_adjacency)
+        return lambda: self.stripped
+
+    def _build_kernel(self, trimmed: bool) -> CompiledDAG:
+        """The cold path: lower the plan / compile the automaton."""
+        if self.plan is not None:
+            return lower_plan(
+                self.plan, self.n, trimmed=trimmed, adjacency=self._plan_adjacency
+            )
+        if trimmed:
+            return CompiledDAG.from_unrolled(self.dag)
+        return compile_nfa(self.stripped, self.n, trimmed=False)
+
+    def _load_or_build_kernel(self, trimmed: bool) -> CompiledDAG:
+        """Restore the kernel from the store, or build it and persist it.
+
+        Snapshots are stored *with* the run-count table the mode's
+        queries need (backward for the trimmed count/sample kernel,
+        forward for the reachable spectrum/FPRAS kernel), so a warm
+        process answers its first query from the snapshot alone.
+        """
+        store, fp = self._store_key()
+        if store is not None:
+            restored = store.get(
+                fp, self.n, trimmed, source_resolver=self._source_resolver()
+            )
+            if restored is not None:
+                return restored
+        kernel = self._build_kernel(trimmed)
+        if store is not None:
+            if trimmed:
+                kernel.backward_counts()
+            else:
+                kernel.forward_counts()
+            store.put(fp, self.n, trimmed, kernel)
+        return kernel
 
     @property
     def backward_table(self) -> list:
@@ -443,7 +556,13 @@ class WitnessSet:
         # own rejection budget internally and raises on exhaustion).
         return [self.decode(self._sample_word_or_none(generator)) for _ in range(k)]
 
-    def sample_batch(self, k: int, rng: random.Random | int | None = None) -> list:
+    def sample_batch(
+        self,
+        k: int,
+        rng: random.Random | int | None = None,
+        *,
+        use_substreams: bool = False,
+    ) -> list:
         """``k`` uniform witnesses drawn in one table-guided kernel pass.
 
         Same distribution as :meth:`sample` with ``k`` (each draw walks
@@ -452,16 +571,51 @@ class WitnessSet:
         lookups are paid once per layer instead of once per draw —
         the bulk-generation API.  Ambiguous sources fall back to ``k``
         independent Las Vegas draws.
+
+        With ``use_substreams=True``, draw ``i`` consumes the ``i``-th
+        deterministic substream of the seed
+        (:func:`repro.utils.rng.spawn_seq`) instead of one shared
+        stream: each draw's result then depends only on ``(seed, i)``,
+        never on how draws are grouped, coalesced with other requests,
+        or scheduled across worker processes — the service protocol's
+        reproducibility mode.  (When ``rng`` is a live shared generator
+        — or omitted — the parent is ticked once after deriving the
+        streams, so *repeated* calls still produce fresh batches; an
+        integer seed gives the same batch every time, as a seed should.)
         """
         if k < 0:
             raise ValueError("sample count must be ≥ 0")
         generator = self.rng if rng is None else make_rng(rng)
         if not self.nonempty:
             raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
+        if use_substreams:
+            streams = substreams(generator, k)
+            if rng is None or isinstance(rng, random.Random):
+                generator.getrandbits(32)  # advance the shared stream
+            return self.sample_with_streams(streams)
         if self.is_unambiguous:
             words = self.exact_sampler.sample_batch(k, generator)
             return [self.decode(w) for w in words]
         return [self.decode(self._sample_word_or_none(generator)) for _ in range(k)]
+
+    def sample_with_streams(self, streams: list) -> list:
+        """One kernel pass drawing ``len(streams)`` witnesses, draw ``i``
+        consuming only ``streams[i]``.
+
+        The coalescing primitive behind the service layer: requests for
+        the same witness set are merged into a single table-guided pass,
+        and because each draw owns its stream, every request's results
+        are identical to serving it alone (see
+        :meth:`~repro.core.kernel.CompiledDAG.sample_batch`).
+        """
+        if not streams:
+            return []
+        if not self.nonempty:
+            raise EmptyWitnessSetError(f"no witnesses of length {self.n}")
+        if self.is_unambiguous:
+            words = self.exact_sampler.sample_batch(len(streams), list(streams))
+            return [self.decode(w) for w in words]
+        return [self.decode(self._sample_word_or_none(g)) for g in streams]
 
     # ------------------------------------------------------------------
     # Witness codec and reports
@@ -534,7 +688,11 @@ class WitnessSet:
                     "states": num_states,
                     "transitions": num_transitions,
                     "alphabet": self.plan.alphabet,
-                    "lowering": kernel.lowering.as_dict(),
+                    "lowering": (
+                        kernel.lowering.as_dict()
+                        if kernel.lowering is not None
+                        else None
+                    ),
                 }
             )
             return info

@@ -113,14 +113,45 @@ def _check_kernel(witness_set, kernel, trimmed: bool) -> None:
 
 
 def _check_kernel_source(witness_set, kernel) -> None:
-    """Reject a kernel built from a different automaton or plan."""
+    """Reject a kernel built from a different automaton or plan.
+
+    The facade's own cached kernels pass by identity.  NFA-compiled
+    kernels compare automata by value, plan-lowered ones by plan
+    identity.  Snapshot-restored kernels (whose source is a store
+    stand-in) are verified by content fingerprint — the address they
+    were stored under must equal the witness set's own fingerprint.
+    """
+    cache = getattr(witness_set, "_cache", {})
+    if kernel is cache.get("kernel") or kernel is cache.get("reachable_kernel"):
+        return
     from repro.automata.nfa import NFA
 
-    if isinstance(kernel.nfa, NFA):
-        if kernel.nfa != witness_set.stripped:
+    source = kernel.nfa
+    if isinstance(source, NFA):
+        if source != witness_set.stripped:
             raise BackendError("kernel mismatch: compiled from a different automaton")
-    elif getattr(kernel.nfa, "plan", None) is not witness_set.plan:
-        raise BackendError("kernel mismatch: lowered from a different plan")
+        return
+    plan = getattr(source, "plan", None)
+    if plan is not None:
+        if plan is not witness_set.plan:
+            raise BackendError("kernel mismatch: lowered from a different plan")
+        return
+    fingerprint = getattr(kernel, "fingerprint", None)
+    if fingerprint is not None:
+        from repro.service.fingerprint import FingerprintError
+
+        try:
+            if fingerprint == witness_set.fingerprint():
+                return
+        except FingerprintError:
+            pass
+        raise BackendError(
+            "kernel mismatch: snapshot restored from a different source"
+        )
+    raise BackendError(
+        "kernel source cannot be verified against this witness set "
+        "(snapshot restored without its store fingerprint)"
+    )
 
 
 _REGISTRY: dict[str, SolverBackend] = {}

@@ -7,6 +7,10 @@ sample    uniform witnesses (exact / Las Vegas, per the class dispatch)
 enum      enumerate witnesses (constant/polynomial delay)
 inspect   automaton facts: size, ambiguity, per-length spectrum
 dot       Graphviz DOT of the automaton or its unrolled DAG
+serve     the witness service: JSON-lines over stdio or TCP
+          (``--workers`` forks the affinity-routed engine pool,
+          ``--store`` persists kernels for warm starts)
+query     send one operation to a running ``repro serve --port`` server
 
 Every command goes through the :class:`repro.api.WitnessSet` facade, so
 within one process repeated queries on the same input reuse all
@@ -39,6 +43,9 @@ seedable (``--seed``) for reproducible pipelines.
 
 Examples::
 
+    repro serve --port 7411 --workers 4 --store /var/cache/repro-kernels
+    repro query count  --port 7411 --regex '(ab|ba)*' --alphabet ab -n 10
+    repro query sample --port 7411 --regex '(ab|ba)*' --alphabet ab -n 10 --batch 5 --seed 1
     python -m repro count  --regex '(ab|ba)*' --alphabet ab -n 10
     python -m repro count  --regex '(ab|ba)*' --intersect '(a|b)*aa(a|b)*' --alphabet ab -n 10
     python -m repro sample --regex '(a|b)*' --intersect '(ab|ba)*' --alphabet ab -n 8 --batch 5 --seed 1
@@ -62,7 +69,7 @@ from typing import Hashable
 from repro import backends
 from repro.api import WitnessSet
 from repro.automata.nfa import word_str
-from repro.automata.serialization import nfa_from_json, nfa_to_dot, unrolled_dag_to_dot
+from repro.automata.serialization import nfa_to_dot, unrolled_dag_to_dot
 from repro.core.fpras import FprasParameters
 from repro.core.unroll import unroll_trimmed
 from repro.errors import ReproError
@@ -92,11 +99,6 @@ def _nonnegative(text: str) -> int:
     return value
 
 
-def _read_nfa_json(path: str):
-    with open(path, "r", encoding="utf-8") as handle:
-        return nfa_from_json(handle.read())
-
-
 def _require_length(args) -> int:
     if args.length is not None:
         return args.length
@@ -106,80 +108,30 @@ def _require_length(args) -> int:
 
 
 def _load_witness_set(args) -> WitnessSet:
-    """Build the WitnessSet the command operates on, from any input kind."""
+    """Build the WitnessSet the command operates on, from any input kind.
+
+    One input-parsing path for local commands and ``repro query``: the
+    CLI arguments compile to the same self-contained spec the query
+    client ships to a server (:func:`_spec_from_args`), and the witness
+    set is built from that spec — so input validation can never drift
+    between the two routes.  (This costs a second parse of the input
+    file locally; CLI inputs are small and the anti-drift guarantee is
+    worth it.)
+    """
+    from repro.service.protocol import witness_set_from_spec
+
     params = (
         FprasParameters(sample_size=args.sketch_size)
         if getattr(args, "sketch_size", None)
         else None
     )
-    kwargs = {
-        "delta": getattr(args, "delta", 0.1),
-        "params": params,
-        "rng": getattr(args, "seed", None),
-    }
-    if getattr(args, "intersect", None) is not None and (
-        args.dnf is not None
-        or getattr(args, "cfg", None) is not None
-        or getattr(args, "rpq", False)
-    ):
-        raise SystemExit("--intersect requires a --regex or --nfa-json input")
-    if getattr(args, "rpq", False):
-        if args.graph_json is None or args.regex is None:
-            raise SystemExit("--rpq requires --graph-json and --regex")
-        if args.source is None or args.target is None:
-            raise SystemExit("--rpq requires --source and --target")
-        from repro.graphdb.graph import graph_from_json
-
-        with open(args.graph_json, "r", encoding="utf-8") as handle:
-            graph = graph_from_json(handle.read())
-        return WitnessSet.from_rpq(
-            graph,
-            args.regex,
-            _parse_vertex(graph, args.source),
-            _parse_vertex(graph, args.target),
-            _require_length(args),
-            **kwargs,
-        )
-    if args.dnf is not None:
-        from repro.dnf.formulas import parse_dnf
-
-        with open(args.dnf, "r", encoding="utf-8") as handle:
-            formula = parse_dnf(handle.read().strip())
-        if args.length is not None and args.length != formula.num_variables:
-            raise SystemExit(
-                f"-n {args.length} contradicts the formula's "
-                f"{formula.num_variables} variables (omit -n for --dnf)"
-            )
-        return WitnessSet.from_dnf(formula, **kwargs)
-    if getattr(args, "cfg", None) is not None:
-        from repro.grammars.cfg import parse_cnf
-
-        with open(args.cfg, "r", encoding="utf-8") as handle:
-            grammar = parse_cnf(handle.read())
-        if args.length is None:
-            raise SystemExit("-n/--length is required for --cfg")
-        return WitnessSet.from_cfg(grammar, args.length, **kwargs)
-    if args.regex is not None or args.nfa_json is not None:
-        alphabet = args.alphabet if args.alphabet else None
-        if args.regex is not None and getattr(args, "intersect", None) is None:
-            return WitnessSet.from_regex(
-                args.regex, _require_length(args), alphabet=alphabet, **kwargs
-            )
-        from repro.automata.regex import compile_regex
-
-        alphabet_list = list(alphabet) if alphabet else None
-        base = (
-            compile_regex(args.regex, alphabet=alphabet_list)
-            if args.regex is not None
-            else _read_nfa_json(args.nfa_json)
-        )
-        if getattr(args, "intersect", None) is not None:
-            other = compile_regex(args.intersect, alphabet=alphabet_list)
-            return WitnessSet.from_intersection(
-                base, other, _require_length(args), **kwargs
-            )
-        return WitnessSet.from_nfa(base, _require_length(args), **kwargs)
-    raise SystemExit("one of --regex, --nfa-json, --dnf, --cfg or --rpq is required")
+    return witness_set_from_spec(
+        _spec_from_args(args),
+        store=None,  # the $REPRO_KERNEL_STORE process default applies
+        delta=getattr(args, "delta", 0.1),
+        params=params,
+        rng=getattr(args, "seed", None),
+    )
 
 
 def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
@@ -253,9 +205,10 @@ def _command_inspect(args) -> int:
     if "plan" in facts:
         lowering = facts["lowering"]
         print(f"plan          : {facts['plan']}")
-        print(f"lowering      : explored {lowering['explored_states']} of "
-              f"{lowering['nominal_states']} nominal product states "
-              f"({lowering['kernel_vertices']} kernel vertices)")
+        if lowering:  # absent on a store-restored kernel without stats
+            print(f"lowering      : explored {lowering['explored_states']} of "
+                  f"{lowering['nominal_states']} nominal product states "
+                  f"({lowering['kernel_vertices']} kernel vertices)")
     if args.spectrum:
         for length, count in ws.spectrum(args.spectrum).items():
             print(f"|L_{length:<3}|       : {count}")
@@ -271,13 +224,186 @@ def _command_dot(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# The witness service: serve / query
+# ----------------------------------------------------------------------
+
+
+def _spec_from_args(args) -> dict:
+    """The self-contained request spec for the CLI's input arguments.
+
+    Mirrors :func:`_load_witness_set`, but instead of compiling locally
+    it embeds the instance *content* (file contents, not paths) so the
+    server needs no shared filesystem.
+    """
+    import json as _json
+
+    if getattr(args, "intersect", None) is not None and (
+        args.dnf is not None
+        or getattr(args, "cfg", None) is not None
+        or getattr(args, "rpq", False)
+    ):
+        raise SystemExit("--intersect requires a --regex or --nfa-json input")
+    if getattr(args, "rpq", False):
+        if args.graph_json is None or args.regex is None:
+            raise SystemExit("--rpq requires --graph-json and --regex")
+        if args.source is None or args.target is None:
+            raise SystemExit("--rpq requires --source and --target")
+        from repro.automata.serialization import _encode_atom
+        from repro.graphdb.graph import graph_from_json
+
+        with open(args.graph_json, "r", encoding="utf-8") as handle:
+            graph_text = handle.read()
+        graph = graph_from_json(graph_text)
+        return {
+            "kind": "rpq",
+            "graph": _json.loads(graph_text),
+            "pattern": args.regex,
+            "source": _encode_atom(_parse_vertex(graph, args.source)),
+            "target": _encode_atom(_parse_vertex(graph, args.target)),
+            "n": _require_length(args),
+        }
+    if args.dnf is not None:
+        from repro.dnf.formulas import parse_dnf
+
+        with open(args.dnf, "r", encoding="utf-8") as handle:
+            text = handle.read().strip()
+        length = getattr(args, "length", None)
+        if length is not None:
+            num_variables = parse_dnf(text).num_variables
+            if length != num_variables:
+                raise SystemExit(
+                    f"-n {length} contradicts the formula's "
+                    f"{num_variables} variables (omit -n for --dnf)"
+                )
+        return {"kind": "dnf", "formula": text}
+    if getattr(args, "cfg", None) is not None:
+        if args.length is None:
+            raise SystemExit("-n/--length is required for --cfg")
+        with open(args.cfg, "r", encoding="utf-8") as handle:
+            return {"kind": "cfg", "grammar": handle.read(), "n": args.length}
+    if args.regex is not None or args.nfa_json is not None:
+        if args.regex is not None:
+            base = {"kind": "regex", "pattern": args.regex}
+            if args.alphabet:
+                base["alphabet"] = args.alphabet
+        else:
+            with open(args.nfa_json, "r", encoding="utf-8") as handle:
+                base = {"kind": "nfa", "nfa": _json.loads(handle.read())}
+        if getattr(args, "intersect", None) is not None:
+            right = {"kind": "regex", "pattern": args.intersect}
+            if args.alphabet:
+                right["alphabet"] = args.alphabet
+            return {
+                "kind": "intersection",
+                "left": base,
+                "right": right,
+                "n": _require_length(args),
+            }
+        return dict(base, n=_require_length(args))
+    raise SystemExit("one of --regex, --nfa-json, --dnf, --cfg or --rpq is required")
+
+
+def _command_serve(args) -> int:
+    from repro.service.engine import Engine
+    from repro.service.server import serve_stdio, serve_tcp
+
+    engine = Engine(
+        workers=args.workers,
+        store_root=args.store,
+        max_resident=args.max_resident,
+    )
+    window = args.batch_window / 1000.0
+    try:
+        if args.port is None:
+            return serve_stdio(engine, batch_window=window)
+
+        def announce(address) -> None:
+            print(f"listening on {address[0]}:{address[1]}", file=sys.stderr, flush=True)
+
+        return serve_tcp(
+            engine,
+            host=args.host,
+            port=args.port,
+            batch_window=window,
+            ready_callback=announce,
+        )
+    finally:
+        engine.close()
+
+
+def _command_query(args) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceClient
+
+    op = args.op
+    request: dict = {"op": op}
+    if op not in ("ping", "stats", "shutdown"):
+        request["spec"] = _spec_from_args(args)
+    if op == "count":
+        if args.backend or args.approx:
+            request["backend"] = args.backend or "fpras"
+        request["delta"] = args.delta
+        if args.seed is not None:
+            request["seed"] = args.seed
+    elif op in ("sample", "sample_batch"):
+        request["k"] = args.batch if args.batch is not None else args.count
+        if args.seed is not None:
+            request["seed"] = args.seed
+    elif op == "enum":
+        request["op"] = "enumerate"
+        if args.limit is not None:
+            request["limit"] = args.limit
+    elif op == "spectrum":
+        if args.max_length is not None:
+            request["max_length"] = args.max_length
+    with ServiceClient(args.host, args.port) as client:
+        response = client.send([request])[0]
+    if not response.get("ok"):
+        print(
+            f"error: {response.get('error_type', 'error')}: {response.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    result = response["result"]
+    if isinstance(result, list) and result and isinstance(result[0], list):
+        for length, count in result:  # a spectrum
+            print(f"{length} {count}")
+    elif isinstance(result, list):
+        for item in result:
+            print(item)
+    elif isinstance(result, dict):
+        print(_json.dumps(result, indent=2, ensure_ascii=False, default=str))
+    else:
+        print(result)
+    return 0
+
+
+def _distribution_version() -> str:
+    """The installed package version, falling back to the module's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro-witness-sets")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="enumerate / count / uniformly sample witness sets "
         "(Arenas et al., PODS 2019)",
     )
-    commands = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_distribution_version()}",
+    )
+    commands = parser.add_subparsers(dest="command")
 
     count = commands.add_parser("count", help="count witnesses")
     _add_input_arguments(count)
@@ -317,17 +443,69 @@ def build_parser() -> argparse.ArgumentParser:
                      help="render the pruned n-step unrolling instead")
     dot.set_defaults(run=_command_dot, needs_length=False)
 
+    serve = commands.add_parser(
+        "serve", help="run the witness service (JSON-lines, stdio or TCP)"
+    )
+    serve.add_argument("--port", type=int, default=None,
+                       help="listen on TCP (0 = ephemeral; default: stdio)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--workers", type=_nonnegative, default=0,
+                       help="engine worker processes (0 = in-process)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="KernelStore directory for warm-start persistence")
+    serve.add_argument("--batch-window", type=float, default=5.0, metavar="MS",
+                       help="coalescing grace period in milliseconds")
+    serve.add_argument("--max-resident", type=int, default=64,
+                       help="witness sets kept hot per worker")
+    serve.set_defaults(run=_command_serve)
+
+    query = commands.add_parser(
+        "query", help="send one operation to a repro serve --port server"
+    )
+    query.add_argument(
+        "op",
+        choices=["count", "sample", "sample_batch", "enum", "spectrum",
+                 "describe", "ping", "stats", "shutdown"],
+    )
+    _add_input_arguments(query)
+    query.add_argument("--port", type=int, required=True)
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--backend", default=None)
+    query.add_argument("--approx", action="store_true")
+    query.add_argument("--delta", type=float, default=0.1)
+    query.add_argument("--seed", type=int, default=None)
+    query.add_argument("--count", type=_nonnegative, default=1)
+    query.add_argument("--batch", type=_nonnegative, default=None, metavar="K")
+    query.add_argument("--limit", type=int, default=None)
+    query.add_argument("--max-length", type=int, default=None)
+    query.set_defaults(run=_command_query)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "command", None) is None:
+        # No subcommand: usage + exit 2, never a traceback.
+        parser.print_usage(sys.stderr)
+        print("repro: error: a command is required (see repro --help)",
+              file=sys.stderr)
+        return 2
     try:
         return args.run(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except OSError as error:
+        # Unreadable input files, connection refused, port in use, ...:
+        # a clean one-line error, never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # Ctrl-C on a serving loop is a normal way to stop it.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()

@@ -99,14 +99,19 @@ class ExactUniformSampler:
         """
         return self.kernel.sample_word(make_rng(rng))
 
-    def sample_batch(self, count: int, rng: random.Random | int | None = None) -> list[Word]:
+    def sample_batch(self, count: int, rng=None) -> list[Word]:
         """``count`` independent uniform witnesses in one table-guided pass.
 
         Same distribution as ``count`` calls to :meth:`sample` (each
         draw walks the identical Section 5.3.3 chain) but the per-layer
         grouping resolves each vertex's weights once per layer, not once
-        per draw.  Raises :class:`EmptyWitnessSetError` when ``W = ∅``.
+        per draw.  ``rng`` may also be a sequence of ``count`` per-draw
+        generators (deterministic substreams — see
+        :meth:`CompiledDAG.sample_batch`).  Raises
+        :class:`EmptyWitnessSetError` when ``W = ∅``.
         """
+        if isinstance(rng, (list, tuple)):
+            return self.kernel.sample_batch(count, rng)
         return self.kernel.sample_batch(count, make_rng(rng))
 
     def sample_many(self, count: int, rng: random.Random | int | None = None) -> list[Word]:

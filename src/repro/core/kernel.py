@@ -111,6 +111,7 @@ class CompiledDAG:
         "_layer_sets",
         "_finals_idx",
         "lowering",
+        "fingerprint",
     )
 
     def __init__(
@@ -150,6 +151,10 @@ class CompiledDAG:
         self._finals_idx: dict[int, tuple] = {}
         #: LoweringStats when this kernel came from a plan lowering.
         self.lowering = None
+        #: Content fingerprint of the source when the kernel came out of
+        #: a KernelStore (lets the backend guard verify snapshot-restored
+        #: kernels, whose source object is a snapshot stand-in).
+        self.fingerprint = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -473,7 +478,7 @@ class CompiledDAG:
             state = self._edge_dst[t][e]
         return tuple(out)
 
-    def sample_batch(self, k: int, generator: Random) -> list[Word]:
+    def sample_batch(self, k: int, generator: "Random | Sequence[Random]") -> list[Word]:
         """``k`` independent uniform draws in one table-guided pass.
 
         Walks all ``k`` samples layer by layer, grouping the in-flight
@@ -482,6 +487,14 @@ class CompiledDAG:
         once per sample — same chain, same distribution, much less
         interpreter overhead than ``k`` independent :meth:`sample_word`
         walks.
+
+        ``generator`` may be one shared ``Random`` (the classic batched
+        draw) or a sequence of ``k`` per-sample generators (deterministic
+        substreams, see :func:`repro.utils.rng.spawn_seq`).  With
+        per-sample streams, draw ``i`` consumes only ``generator[i]``, so
+        its result depends solely on its own stream and not on which
+        other draws share the pass — what makes coalesced service
+        batches byte-identical to serving each request alone.
         """
         if k < 0:
             raise ValueError("sample count must be ≥ 0")
@@ -489,9 +502,16 @@ class CompiledDAG:
             return []
         if self.total_runs == 0:
             raise EmptyWitnessSetError(f"the automaton accepts no word of length {self.n}")
+        if isinstance(generator, Random):
+            randranges = [generator.randrange] * k
+        else:
+            if len(generator) != k:
+                raise ValueError(
+                    f"need one generator per draw: got {len(generator)} for k={k}"
+                )
+            randranges = [g.randrange for g in generator]
         backward = self.backward_counts()
         symbols = self.symbols
-        randrange = generator.randrange
         states = [self._index[0][self.nfa.initial]] * k
         words: list[list] = [[] for _ in range(k)]
         for t in range(self.n):
@@ -510,10 +530,41 @@ class CompiledDAG:
                 cum = self._cum_weights(t, i)
                 total = backward[t][i]
                 for sample_id in members:
-                    e = base + bisect_right(cum, randrange(total))
+                    e = base + bisect_right(cum, randranges[sample_id](total))
                     words[sample_id].append(symbols[edge_symbol[e]])
                     states[sample_id] = edge_dst[e]
         return [tuple(w) for w in words]
+
+    # ------------------------------------------------------------------
+    # Snapshots (the service layer's persistence format)
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize this kernel into the compact binary snapshot format.
+
+        Round-trips the CSR edge arrays, the per-layer state index maps
+        and whichever run-count tables (including bignum-spill rows) have
+        been built, so a restored kernel answers count / sample /
+        spectrum queries without re-lowering.  See
+        :mod:`repro.service.snapshot` for the format.
+        """
+        from repro.service.snapshot import kernel_to_bytes
+
+        return kernel_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, source_resolver=None) -> "CompiledDAG":
+        """Restore a kernel from :meth:`to_bytes` output.
+
+        ``source_resolver`` optionally supplies a zero-argument callable
+        returning the original automaton/plan source; it is only invoked
+        if the restored kernel is asked to :meth:`extend_to` a greater
+        length (the one operation that needs transitions beyond the
+        snapshot).
+        """
+        from repro.service.snapshot import kernel_from_bytes
+
+        return kernel_from_bytes(data, source_resolver=source_resolver)
 
     # ------------------------------------------------------------------
     # UnrolledDAG-compatible adapter views (the paper-facing s_t^j API)

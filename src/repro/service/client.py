@@ -1,0 +1,107 @@
+"""A minimal JSON-lines client for the witness service.
+
+Used by ``repro query``, the CI smoke checks and the service benchmark.
+Deliberately tiny: open a TCP connection, write request lines, read
+response lines until every id is answered.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """The server hung up or answered garbage."""
+
+
+class ServiceClient:
+    """One connection to a ``repro serve --port`` server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buffer:
+            data = self.sock.recv(1 << 20)
+            if not data:
+                raise ServiceClientError("server closed the connection")
+            self._buffer += data
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return line
+
+    def send(self, requests: list[dict]) -> list[dict]:
+        """Send requests (ids filled in when missing) and collect all
+        responses, returned in request order."""
+        prepared = []
+        for request in requests:
+            request = dict(request)
+            if "id" not in request:
+                request["id"] = f"c{self._next_id}"
+                self._next_id += 1
+            prepared.append(request)
+        payload = b"".join(
+            json.dumps(request, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+            + b"\n"
+            for request in prepared
+        )
+        self.sock.sendall(payload)
+        pending: dict = {}
+        order = [request["id"] for request in prepared]
+        remaining = {request_id: order.count(request_id) for request_id in order}
+        responses: list[dict] = []
+        while sum(remaining.values()) > 0:
+            response = json.loads(self._read_line())
+            rid = response.get("id")
+            if rid in remaining and remaining[rid] > 0:
+                remaining[rid] -= 1
+                pending.setdefault(rid, []).append(response)
+            # Unknown ids (another client's? impossible on one conn) dropped.
+        for rid in order:
+            responses.append(pending[rid].pop(0))
+        return responses
+
+    def request(self, op: str, spec: dict | None = None, **fields) -> dict:
+        """One request/response round-trip; returns the response dict."""
+        request: dict = {"op": op}
+        if spec is not None:
+            request["spec"] = spec
+        request.update(fields)
+        return self.send([request])[0]
+
+    def result(self, op: str, spec: dict | None = None, **fields):
+        """Like :meth:`request` but unwraps ``result`` (raises on error)."""
+        response = self.request(op, spec, **fields)
+        if not response.get("ok"):
+            raise ServiceClientError(
+                f"{response.get('error_type', 'error')}: {response.get('error')}"
+            )
+        return response["result"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (best-effort)."""
+        try:
+            self.request("shutdown")
+        except (OSError, ServiceClientError):  # pragma: no cover - racing exit
+            pass
+
+
+__all__ = ["ServiceClient", "ServiceClientError"]

@@ -1,0 +1,362 @@
+""":class:`Engine` — the multiprocess execution pool with kernel affinity.
+
+The preprocessing economics cut two ways in a serving deployment: the
+compiled kernel is expensive to build and cheap to query, so the worst
+thing a scheduler can do is bounce queries for one instance across
+processes that each compile it from scratch.  The engine therefore
+routes **by fingerprint affinity**: every request carries a spec whose
+deterministic key (:func:`repro.service.protocol.spec_key`) maps to a
+fixed worker, so each worker's bounded
+:class:`~repro.service.protocol.WitnessSetCache` keeps exactly the hot
+kernels *its* traffic needs resident — ship the task to where the
+prepared data lives, never the data to the task.  A shared
+:class:`~repro.service.store.KernelStore` (optional) backs the caches,
+so even a worker's cold miss restores a snapshot instead of lowering.
+
+Reproducibility: sampling ops follow the protocol's substream contract
+(draw ``i`` of a request consumes substream ``i`` of the request seed),
+so seeded results are byte-identical whether a request is answered
+in-process (``workers=0``), by one worker, or by any of N workers —
+scheduling is invisible in the output.
+
+``workers=0`` runs everything in the calling process through the same
+code path (the single-process baseline the benchmarks compare against);
+``workers>0`` forks stdlib ``multiprocessing`` workers, one task queue
+each (affinity is the queue choice) and one shared result queue.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import queue as queue_module
+import time
+from collections import defaultdict
+
+from repro.service.protocol import (
+    CONTROL_OPS,
+    WitnessSetCache,
+    execute_group,
+    spec_key,
+)
+
+#: How long Engine.execute waits on the result queue before checking
+#: worker liveness (seconds).
+_POLL_SECONDS = 0.25
+
+
+def _worker_main(worker_id, tasks, results, store_root, max_resident):
+    """One pool worker: drain grouped requests, keep hot kernels resident."""
+    from repro.service.store import KernelStore
+
+    store = KernelStore(store_root) if store_root else None
+    cache = WitnessSetCache(max_resident=max_resident, store=store)
+    while True:
+        item = tasks.get()
+        if item is None:
+            break
+        batch_id, group_index, group = item
+        if len(group) == 1 and group[0].get("op") in CONTROL_OPS:
+            request = group[0]
+            response = {"id": request.get("id"), "ok": True, "worker": worker_id}
+            if "__seq" in request:
+                response["__seq"] = request["__seq"]
+            response["result"] = (
+                cache.stats() if request["op"] == "stats" else "pong"
+            )
+            results.put((batch_id, group_index, [response]))
+            continue
+        results.put(
+            (batch_id, group_index, execute_group(cache, group, worker=worker_id))
+        )
+
+
+class Engine:
+    """Execute protocol requests, in-process or across a worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``0`` (default) executes in the calling process —
+        same protocol, no IPC — which is both the embedded mode and the
+        single-process baseline.
+    store_root:
+        Directory of the shared :class:`KernelStore` each worker (and
+        the in-process cache) attaches to.  ``None`` falls back to the
+        ``$REPRO_KERNEL_STORE`` process default (the same switch the
+        facade honours); pass ``False`` to disable persistence
+        explicitly.
+    max_resident:
+        Per-worker bound on resident witness sets.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        store_root: "str | os.PathLike | None | bool" = None,
+        max_resident: int = 64,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be ≥ 0")
+        self.workers = workers
+        if store_root is None:
+            store_root = os.environ.get("REPRO_KERNEL_STORE") or False
+        self.store_root = os.fspath(store_root) if store_root else None
+        self.max_resident = max_resident
+        self._batch_ids = itertools.count()
+        self._processes: list = []
+        self._task_queues: list = []
+        self._results = None
+        self._local_cache: WitnessSetCache | None = None
+        if workers == 0:
+            store = None
+            if self.store_root is not None:
+                from repro.service.store import KernelStore
+
+                store = KernelStore(self.store_root)
+            self._local_cache = WitnessSetCache(
+                max_resident=max_resident, store=store
+            )
+        else:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+            self._results = context.Queue()
+            for worker_id in range(workers):
+                tasks = context.Queue()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id,
+                        tasks,
+                        self._results,
+                        self.store_root,
+                        max_resident,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                self._task_queues.append(tasks)
+                self._processes.append(process)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, key: str) -> int:
+        """The worker owning fingerprint-affinity key ``key``.
+
+        Accepts any string (spec keys are SHA-256 hex, but control ops
+        route by their request id); non-hex keys are hashed first.
+        """
+        if self.workers == 0:
+            return 0
+        try:
+            value = int(key[:16], 16)
+        except ValueError:
+            value = int.from_bytes(
+                hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+            )
+        return value % self.workers
+
+    @staticmethod
+    def group_requests(requests: list[dict]) -> list[list[dict]]:
+        """Partition a batch into per-spec groups (order-stable).
+
+        Control ops (``ping`` / ``stats``) become singleton groups;
+        everything else groups by spec key so
+        :func:`~repro.service.protocol.execute_group` can coalesce the
+        sample ops inside each group into one kernel pass.
+        """
+        grouped: "defaultdict[str, list]" = defaultdict(list)
+        singletons: list[list[dict]] = []
+        for request in requests:
+            if request.get("op") in CONTROL_OPS or "spec" not in request:
+                singletons.append([request])
+            else:
+                grouped[spec_key(request["spec"])].append(request)
+        return list(grouped.values()) + singletons
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(self, requests: list[dict]) -> list[dict]:
+        """Answer a batch of requests; responses in request order.
+
+        Groups by spec, routes each group to its affinity worker, waits
+        for every response.  With ``workers=0`` the same grouping and
+        coalescing run inline.
+        """
+        if not requests:
+            return []
+        # Tag every request with its batch position: responses are
+        # matched back by this tag, never by the client-chosen id (two
+        # clients in one batch may both say id "c0").
+        tagged = [
+            dict(request, __seq=index) for index, request in enumerate(requests)
+        ]
+        groups = self.group_requests(tagged)
+        if self.workers == 0:
+            responses: list[dict] = []
+            for group in groups:
+                if len(group) == 1 and group[0].get("op") in CONTROL_OPS:
+                    responses.append(self._control_response(group[0]))
+                else:
+                    responses.extend(execute_group(self._local_cache, group))
+        else:
+            responses = self._execute_pooled(groups)
+        return self._order_responses(requests, responses)
+
+    @staticmethod
+    def _order_responses(requests: list[dict], responses: list[dict]) -> list[dict]:
+        """Match responses back to ``requests`` by the ``__seq`` tag."""
+        by_seq: dict[int, dict] = {}
+        for response in responses:
+            seq = response.pop("__seq", None)
+            if seq is not None and seq not in by_seq:
+                by_seq[seq] = response
+        ordered = []
+        for index, request in enumerate(requests):
+            response = by_seq.get(index)
+            if response is None:  # pragma: no cover - a worker died mid-batch
+                response = {
+                    "id": request.get("id"),
+                    "ok": False,
+                    "error": "no response from worker",
+                    "error_type": "EngineError",
+                }
+            ordered.append(response)
+        return ordered
+
+    def _control_response(self, request: dict) -> dict:
+        response = {"id": request.get("id"), "ok": True, "worker": 0}
+        if "__seq" in request:
+            response["__seq"] = request["__seq"]
+        response["result"] = (
+            self._local_cache.stats() if request["op"] == "stats" else "pong"
+        )
+        return response
+
+    def _execute_pooled(self, groups: list[list[dict]]) -> list[dict]:
+        batch_id = next(self._batch_ids)
+        pending: dict[int, tuple[int, list[dict]]] = {}
+        for group_index, group in enumerate(groups):
+            key = spec_key(group[0]["spec"]) if "spec" in group[0] else str(
+                group[0].get("id")
+            )
+            worker = self.route(key)
+            self._task_queues[worker].put((batch_id, group_index, group))
+            pending[group_index] = (worker, group)
+        responses: list[dict] = []
+        while pending:
+            try:
+                got_batch, group_index, group_responses = self._results.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                # A dead worker never answers: fail its pending groups
+                # instead of waiting forever (siblings keep serving).
+                dead = {
+                    worker
+                    for worker, process in enumerate(self._processes)
+                    if not process.is_alive()
+                }
+                if dead:
+                    for group_index, (worker, group) in list(pending.items()):
+                        if worker in dead:
+                            pending.pop(group_index)
+                            responses.extend(
+                                {
+                                    "id": request.get("id"),
+                                    "__seq": request.get("__seq"),
+                                    "ok": False,
+                                    "error": f"worker {worker} died",
+                                    "error_type": "EngineError",
+                                    "worker": worker,
+                                }
+                                for request in group
+                            )
+                continue
+            if got_batch != batch_id:  # pragma: no cover - stale batch remnants
+                continue
+            if pending.pop(group_index, None) is not None:
+                responses.extend(group_responses)
+        return responses
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+
+    def stats(self) -> list[dict]:
+        """Per-worker cache stats (one entry for workers=0).
+
+        Dead workers are reported as ``{"worker": i, "alive": False}``
+        instead of hanging the caller — a monitoring query must never
+        take the server down.
+        """
+        if self.workers == 0:
+            return [dict(self._local_cache.stats(), worker=0, alive=True)]
+        batch_id = next(self._batch_ids)
+        out: list[dict] = []
+        expected: set[int] = set()
+        # Broadcast: one stats request directly to each live worker.
+        for worker in range(self.workers):
+            if not self._processes[worker].is_alive():
+                out.append({"worker": worker, "alive": False})
+                continue
+            self._task_queues[worker].put(
+                (batch_id, worker, [{"id": f"stats-{worker}", "op": "stats"}])
+            )
+            expected.add(worker)
+        deadline = time.monotonic() + 10.0
+        answered: set[int] = set()
+        while answered < expected and time.monotonic() < deadline:
+            try:
+                got_batch, worker, group_responses = self._results.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                for worker in expected - answered:
+                    if not self._processes[worker].is_alive():
+                        answered.add(worker)
+                        out.append({"worker": worker, "alive": False})
+                continue
+            if got_batch != batch_id:  # pragma: no cover - stale remnants
+                continue
+            response = group_responses[0]
+            answered.add(worker)
+            out.append(dict(response["result"], worker=worker, alive=True))
+        for worker in expected - answered:  # pragma: no cover - mid-query death
+            out.append({"worker": worker, "alive": False})
+        return sorted(out, key=lambda entry: entry["worker"])
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        for tasks in self._task_queues:
+            try:
+                tasks.put(None)
+            except (ValueError, OSError):  # pragma: no cover - already closed
+                pass
+        for process in self._processes:
+            process.join(timeout=5)
+        for process in self._processes:
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1)
+        self._processes.clear()
+        self._task_queues.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"<Engine workers={self.workers} store={self.store_root!r}>"
+
+
+__all__ = ["Engine"]

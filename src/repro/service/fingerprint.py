@@ -1,0 +1,192 @@
+"""Stable content fingerprints for automata and symbolic plans.
+
+The :class:`~repro.service.store.KernelStore` is content-addressed: two
+processes that compile the same instance must agree on its key without
+talking to each other.  Python's builtin ``hash`` is randomized per
+process and ``repr`` of sets is hash-ordered, so neither is usable.
+This module canonicalizes an automaton / plan into a deterministic
+JSON-able structure (states and symbols through the same tagged-atom
+codec the serializers use; every set sorted by its canonical encoding)
+and hashes that with SHA-256.
+
+The fingerprint covers the *language source* only — not the witness
+length ``n`` and not the trimmed/reachable mode; the store composes
+those into the storage key, so one source shares a fingerprint across
+all its compilations.
+
+Sources that contain non-serializable states (arbitrary objects as NFA
+states are legal) raise :class:`FingerprintError`; callers that use
+fingerprints opportunistically (the facade's store wiring) catch it and
+simply skip caching.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.errors import ReproError
+
+FINGERPRINT_VERSION = 1
+
+
+class FingerprintError(ReproError):
+    """The source contains values with no canonical serialization."""
+
+
+def _canon_atom(value: Any) -> Any:
+    """Canonical JSON-able form of a state/symbol (tagged, order-stable)."""
+    if value is EPSILON:
+        return ["ε"]
+    if isinstance(value, tuple):
+        return ["t", [_canon_atom(item) for item in value]]
+    if isinstance(value, (frozenset, set)):
+        encoded = [_canon_atom(item) for item in value]
+        encoded.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return ["s", encoded]
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, (str, int, float)) or value is None:
+        return ["a", value]
+    raise FingerprintError(
+        f"cannot fingerprint {value!r}: states/symbols must be strings, "
+        "numbers, tuples or frozensets thereof"
+    )
+
+
+def _sort_key(item: Any) -> str:
+    return json.dumps(item, sort_keys=True)
+
+
+def _canon_nfa(nfa: NFA) -> list:
+    return [
+        "nfa",
+        sorted((_canon_atom(state) for state in nfa.states), key=_sort_key),
+        sorted((_canon_atom(symbol) for symbol in nfa.alphabet), key=_sort_key),
+        _canon_atom(nfa.initial),
+        sorted((_canon_atom(state) for state in nfa.finals), key=_sort_key),
+        sorted(
+            (
+                [_canon_atom(source), _canon_atom(symbol), _canon_atom(target)]
+                for source, symbol, target in nfa.transitions
+            ),
+            key=_sort_key,
+        ),
+    ]
+
+
+def _canon_graph(graph) -> list:
+    return [
+        "graph",
+        sorted((_canon_atom(vertex) for vertex in graph.vertices), key=_sort_key),
+        sorted(
+            (
+                [_canon_atom(u), _canon_atom(label), _canon_atom(v)]
+                for u, label, v in graph.edges
+            ),
+            key=_sort_key,
+        ),
+    ]
+
+
+def _canon_eva(eva) -> list:
+    return [
+        "eva",
+        sorted((_canon_atom(state) for state in eva.states), key=_sort_key),
+        _canon_atom(eva.initial),
+        sorted((_canon_atom(state) for state in eva.finals), key=_sort_key),
+        sorted(
+            (
+                [_canon_atom(t.source), _canon_atom(t.symbol), _canon_atom(t.target)]
+                for t in eva.letter
+            ),
+            key=_sort_key,
+        ),
+        sorted(
+            (
+                [_canon_atom(t.source), _canon_atom(t.markers), _canon_atom(t.target)]
+                for t in eva.variable
+            ),
+            key=_sort_key,
+        ),
+        sorted((_canon_atom(variable) for variable in eva.variables), key=_sort_key),
+    ]
+
+
+def _canon_plan(plan) -> list:
+    # Imported here to avoid a module cycle (plan → kernel → snapshot).
+    from repro.core.plan import (
+        Atom,
+        Concat,
+        DocProduct,
+        GraphProduct,
+        Product,
+        Relabel,
+        Star,
+        Union,
+    )
+
+    if isinstance(plan, Atom):
+        return ["atom", _canon_nfa(plan.nfa)]
+    if isinstance(plan, Product):
+        return ["product", _canon_plan(plan.left), _canon_plan(plan.right)]
+    if isinstance(plan, Union):
+        return ["union", _canon_plan(plan.left), _canon_plan(plan.right)]
+    if isinstance(plan, Concat):
+        return ["concat", _canon_plan(plan.left), _canon_plan(plan.right)]
+    if isinstance(plan, Star):
+        return ["star", _canon_plan(plan.child)]
+    if isinstance(plan, Relabel):
+        mapping = sorted(
+            ([_canon_atom(old), _canon_atom(new)] for old, new in plan.mapping.items()),
+            key=_sort_key,
+        )
+        return ["relabel", _canon_plan(plan.child), mapping]
+    if isinstance(plan, GraphProduct):
+        return [
+            "graphproduct",
+            _canon_graph(plan.graph),
+            _canon_nfa(plan.query),
+            _canon_atom(plan.source),
+            _canon_atom(plan.target),
+        ]
+    if isinstance(plan, DocProduct):
+        return ["docproduct", _canon_eva(plan.eva), plan.document]
+    payload = getattr(plan, "fingerprint_payload", None)
+    if payload is not None:
+        return ["custom", type(plan).__name__, payload()]
+    raise FingerprintError(
+        f"no canonical serialization for plan node {type(plan).__name__}; "
+        "implement fingerprint_payload() to make it store-cacheable"
+    )
+
+
+def canonical_source(source) -> list:
+    """The canonical JSON-able structure behind :func:`fingerprint_source`."""
+    from repro.core.plan import Plan
+
+    if isinstance(source, NFA):
+        return _canon_nfa(source)
+    if isinstance(source, Plan):
+        return _canon_plan(source)
+    raise FingerprintError(
+        f"cannot fingerprint a {type(source).__name__}; expected an NFA or Plan"
+    )
+
+
+def fingerprint_source(source) -> str:
+    """SHA-256 hex fingerprint of an automaton or plan, stable across
+    processes, platforms and hash seeds.
+
+    Structurally identical sources (same states, symbols, transitions —
+    regardless of construction order) produce identical fingerprints;
+    any semantic difference in the canonical structure changes it.
+    """
+    canonical = ["repro.fingerprint", FINGERPRINT_VERSION, canonical_source(source)]
+    text = json.dumps(canonical, sort_keys=True, ensure_ascii=False, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+__all__ = ["FingerprintError", "canonical_source", "fingerprint_source", "FINGERPRINT_VERSION"]

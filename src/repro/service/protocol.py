@@ -1,0 +1,387 @@
+"""The wire protocol: specs, requests, and the shared op executor.
+
+Everything the server and the multiprocess engine exchange is plain
+JSON, one object per line (JSON-lines).  A **request** is::
+
+    {"id": 7, "op": "count", "spec": {...}, "backend": "exact", ...}
+
+and its **response**::
+
+    {"id": 7, "ok": true, "result": 42}
+    {"id": 7, "ok": false, "error": "...", "error_type": "ReproError"}
+
+The **spec** describes the witness set *by content* (never by file
+path), so any worker process can rebuild it and the engine can route by
+fingerprint without the client and server sharing a filesystem:
+
+======================  ================================================
+kind                    fields
+======================  ================================================
+``regex``               ``pattern``, ``alphabet`` (optional), ``n``
+``nfa``                 ``nfa`` (a ``repro.nfa`` JSON document), ``n``
+``intersection``        ``left`` / ``right`` (each a ``regex``/``nfa``
+                        sub-spec without ``n``), ``n``
+``dnf``                 ``formula`` (the ``"x0 & !x1 | x2"`` text)
+``cfg``                 ``grammar`` (CNF text), ``n``
+``rpq``                 ``graph`` (a ``repro.graph`` JSON document),
+                        ``pattern``, ``source`` / ``target`` (tagged
+                        atoms), ``n``, ``deterministic_query``
+======================  ================================================
+
+Operations: ``count`` (``backend`` / ``delta`` / ``seed``), ``sample``
+and ``sample_batch`` (``k`` / ``seed``), ``spectrum`` (``max_length``),
+``enumerate`` (``limit``), ``describe``, plus the connection-level
+``ping`` / ``stats`` / ``shutdown``.
+
+Reproducibility contract: every ``sample`` / ``sample_batch`` draw uses
+deterministic per-draw substreams of the request seed
+(:func:`repro.utils.rng.spawn_seq`), so a request's results depend only
+on ``(spec, seed, k)`` — never on which worker serves it, nor on which
+other requests were coalesced into the same kernel pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+
+from repro.errors import ReproError
+from repro.utils.rng import make_rng, substreams
+
+PROTOCOL_VERSION = 1
+
+#: Ops that draw witnesses and therefore coalesce per witness set.
+SAMPLE_OPS = frozenset({"sample", "sample_batch"})
+
+#: Ops answered without a witness set.
+CONTROL_OPS = frozenset({"ping", "stats", "shutdown"})
+
+
+class ProtocolError(ReproError):
+    """A malformed request or spec."""
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+
+def spec_key(spec: dict) -> str:
+    """Deterministic routing/caching key of a spec (canonical JSON hash).
+
+    This is the *request-level* fingerprint: cheap (no automaton is
+    built) and stable across processes, so the engine can route by it
+    before any compilation happens.  Two different specs may compile to
+    the same automaton fingerprint; they then share store entries but
+    not necessarily a worker — affinity is best-effort by design.
+    """
+    text = json.dumps(spec, sort_keys=True, separators=(",", ":"), ensure_ascii=False)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _sub_source(sub: dict):
+    """An NFA from an ``intersection`` operand sub-spec."""
+    from repro.automata.regex import compile_regex
+    from repro.automata.serialization import nfa_from_json
+
+    kind = sub.get("kind", "regex")
+    if kind == "regex":
+        alphabet = sub.get("alphabet")
+        return compile_regex(
+            sub["pattern"], alphabet=list(alphabet) if alphabet else None
+        )
+    if kind == "nfa":
+        return nfa_from_json(json.dumps(sub["nfa"]))
+    raise ProtocolError(f"unsupported intersection operand kind {kind!r}")
+
+
+def witness_set_from_spec(spec: dict, store=False, **kwargs):
+    """Build the :class:`~repro.api.WitnessSet` a spec describes.
+
+    ``store`` follows the facade convention (``False`` — the default
+    here — disables persistence, ``None`` consults the process default,
+    a :class:`KernelStore` is used directly); remaining keyword
+    arguments (``delta`` / ``params`` / ``rng``) are forwarded to the
+    constructor — the CLI builds its local witness sets through this
+    same function, so the spec is the single source of input semantics.
+    """
+    from repro.api import WitnessSet
+
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ProtocolError("spec must be an object with a 'kind'")
+    kind = spec["kind"]
+    kwargs = dict(kwargs, store=store)
+    try:
+        if kind == "regex":
+            alphabet = spec.get("alphabet")
+            return WitnessSet.from_regex(
+                spec["pattern"], spec["n"], alphabet=alphabet, **kwargs
+            )
+        if kind == "nfa":
+            from repro.automata.serialization import nfa_from_json
+
+            return WitnessSet.from_nfa(
+                nfa_from_json(json.dumps(spec["nfa"])), spec["n"], **kwargs
+            )
+        if kind == "intersection":
+            return WitnessSet.from_intersection(
+                _sub_source(spec["left"]), _sub_source(spec["right"]),
+                spec["n"], **kwargs,
+            )
+        if kind == "dnf":
+            return WitnessSet.from_dnf(
+                spec["formula"],
+                via_transducer=spec.get("via_transducer", False),
+                **kwargs,
+            )
+        if kind == "cfg":
+            from repro.grammars.cfg import parse_cnf
+
+            return WitnessSet.from_cfg(
+                parse_cnf(spec["grammar"]), spec["n"], **kwargs
+            )
+        if kind == "rpq":
+            from repro.automata.serialization import _decode_atom
+            from repro.graphdb.graph import graph_from_json
+
+            graph = graph_from_json(json.dumps(spec["graph"]))
+            return WitnessSet.from_rpq(
+                graph,
+                spec["pattern"],
+                _decode_atom(spec["source"]),
+                _decode_atom(spec["target"]),
+                spec["n"],
+                deterministic_query=spec.get("deterministic_query", False),
+                **kwargs,
+            )
+    except KeyError as error:
+        raise ProtocolError(f"spec kind {kind!r} is missing field {error}") from error
+    raise ProtocolError(f"unsupported spec kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Result rendering (JSON-able, renderer shared by every execution path)
+# ----------------------------------------------------------------------
+
+
+def render_witness(witness) -> str:
+    """One witness as a display string (the CLI's rendering)."""
+    from repro.cli import _format_witness
+
+    return _format_witness(witness)
+
+
+def _render_describe(facts: dict) -> dict:
+    rendered = dict(facts)
+    alphabet = rendered.get("alphabet")
+    if alphabet is not None:
+        rendered["alphabet"] = sorted(map(str, alphabet))
+    return rendered
+
+
+# ----------------------------------------------------------------------
+# Sampling helpers (the substream reproducibility contract)
+# ----------------------------------------------------------------------
+
+
+def draw_samples(ws, k: int, seed) -> list:
+    """``k`` witnesses for one request: draw ``i`` uses substream ``i``
+    of the request seed."""
+    return ws.sample_with_streams(substreams(make_rng(seed), k))
+
+
+def draw_samples_coalesced(ws, requests: list[tuple[int, object]]) -> list[list]:
+    """Serve several ``(k, seed)`` sample requests in ONE kernel pass.
+
+    Each request's streams are derived from its own seed exactly as
+    :func:`draw_samples` derives them, and each draw consumes only its
+    own stream — so the split results are byte-identical to serving the
+    requests separately, while the kernel walk (the per-layer grouping
+    and weight lookups) is paid once for the whole batch.
+    """
+    streams: list = []
+    slices: list[tuple[int, int]] = []
+    for k, seed in requests:
+        if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+            raise ProtocolError("sample requests need an integer k ≥ 0")
+        start = len(streams)
+        streams.extend(substreams(make_rng(seed), k))
+        slices.append((start, start + k))
+    drawn = ws.sample_with_streams(streams)
+    return [drawn[start:end] for start, end in slices]
+
+
+# ----------------------------------------------------------------------
+# The op executor (shared by in-process serving and pool workers)
+# ----------------------------------------------------------------------
+
+
+class WitnessSetCache:
+    """Bounded LRU of resident witness sets, keyed by spec key.
+
+    This is a worker's hot-kernel memory: the reason the engine routes
+    by affinity is so repeated queries on one spec land where this cache
+    already holds the compiled artifacts.
+    """
+
+    def __init__(self, max_resident: int = 64, store=None):
+        self.max_resident = max_resident
+        self.store = store
+        self.hits = 0
+        self.misses = 0
+        self._cache: "OrderedDict[str, object]" = OrderedDict()
+
+    def get(self, key: str, spec: dict):
+        ws = self._cache.get(key)
+        if ws is not None:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            return ws
+        self.misses += 1
+        ws = witness_set_from_spec(
+            spec, store=self.store if self.store is not None else False
+        )
+        self._cache[key] = ws
+        while len(self._cache) > self.max_resident:
+            self._cache.popitem(last=False)
+        return ws
+
+    def stats(self) -> dict:
+        stats = {
+            "resident": len(self._cache),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self.store is not None:
+            stats["store"] = self.store.stats.as_dict()
+        return stats
+
+
+def _execute_one(ws, request: dict):
+    op = request["op"]
+    if op == "count":
+        backend = request.get("backend") or "exact"
+        options = dict(request.get("options") or {})
+        from repro import backends as _backends
+
+        if _backends.get(backend).exact:
+            return ws.count(backend, **options)
+        return ws.count(
+            backend,
+            delta=request.get("delta"),
+            rng=request.get("seed"),
+            **options,
+        )
+    if op in SAMPLE_OPS:
+        k = request.get("k", 1)
+        if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+            raise ProtocolError("sample requests need an integer k ≥ 0")
+        witnesses = draw_samples(ws, k, request.get("seed"))
+        return [render_witness(w) for w in witnesses]
+    if op == "spectrum":
+        spectrum = ws.spectrum(request.get("max_length"))
+        return [[length, count] for length, count in sorted(spectrum.items())]
+    if op == "enumerate":
+        return [render_witness(w) for w in ws.enumerate(limit=request.get("limit"))]
+    if op == "describe":
+        return _render_describe(ws.describe())
+    raise ProtocolError(f"unknown op {request.get('op')!r}")
+
+
+def execute_group(cache: WitnessSetCache, requests: list[dict], worker: int | None = None) -> list[dict]:
+    """Execute requests that share one spec key; coalesce the sample ops.
+
+    Returns one response per request, in request order.  Failures are
+    per-request: one bad request never poisons its batch siblings.
+    """
+    responses: dict[int, dict] = {}
+    sampleable: list[dict] = []
+    for request in requests:
+        k = request.get("k", 1)
+        if (
+            request.get("op") in SAMPLE_OPS
+            and isinstance(k, int)
+            and not isinstance(k, bool)
+            and k >= 0
+        ):
+            sampleable.append(request)
+            continue
+        # Non-sample ops and invalid-k sample requests (which must get
+        # their own validation error, never a sibling's witnesses).
+        responses[id(request)] = _respond(cache, request, worker)
+    if len(sampleable) == 1:
+        responses[id(sampleable[0])] = _respond(cache, sampleable[0], worker)
+    elif sampleable:
+        responses.update(_respond_coalesced(cache, sampleable, worker))
+    return [responses[id(request)] for request in requests]
+
+
+def _base_response(request: dict, worker: int | None) -> dict:
+    response: dict = {"id": request.get("id")}
+    if "__seq" in request:
+        # The engine's batch-position tag: responses are matched back to
+        # requests by it (client-chosen ids may collide across clients).
+        response["__seq"] = request["__seq"]
+    if worker is not None:
+        response["worker"] = worker
+    return response
+
+
+def _respond(cache: WitnessSetCache, request: dict, worker: int | None) -> dict:
+    response = _base_response(request, worker)
+    spec = request.get("spec")
+    if spec is None:
+        response.update(
+            ok=False, error="missing field 'spec'", error_type="ProtocolError"
+        )
+        return response
+    try:
+        ws = cache.get(spec_key(spec), spec)
+        response.update(ok=True, result=_execute_one(ws, request))
+    except Exception as error:  # per-request isolation; a KeyError deep
+        # in backend/kernel code reports as KeyError, not as a protocol
+        # complaint about the client's request.
+        response.update(ok=False, error=str(error), error_type=type(error).__name__)
+    return response
+
+
+def _respond_coalesced(
+    cache: WitnessSetCache, requests: list[dict], worker: int | None
+) -> dict[int, dict]:
+    """Sample requests on one witness set → one coalesced kernel pass."""
+    out: dict[int, dict] = {}
+    try:
+        ws = cache.get(spec_key(requests[0]["spec"]), requests[0]["spec"])
+        batches = draw_samples_coalesced(
+            ws, [(request.get("k", 1), request.get("seed")) for request in requests]
+        )
+        for request, witnesses in zip(requests, batches):
+            response = _base_response(request, worker)
+            response.update(
+                ok=True,
+                result=[render_witness(w) for w in witnesses],
+                coalesced=len(requests),
+            )
+            out[id(request)] = response
+    except Exception:
+        # Fall back to independent execution so one odd request (bad k,
+        # empty set, ...) gets its own error and the others still answer.
+        for request in requests:
+            out[id(request)] = _respond(cache, request, worker)
+    return out
+
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "SAMPLE_OPS",
+    "CONTROL_OPS",
+    "spec_key",
+    "witness_set_from_spec",
+    "render_witness",
+    "draw_samples",
+    "draw_samples_coalesced",
+    "WitnessSetCache",
+    "execute_group",
+]

@@ -1,0 +1,344 @@
+"""The JSON-lines witness service: stdin/stdout and TCP front-ends.
+
+One request per line in, one response per line out (see
+:mod:`repro.service.protocol` for the shapes).  The server's job is
+**batching**: instead of answering arrivals one by one, each loop
+iteration drains every request that has already arrived (plus a short
+``batch_window`` grace for stragglers), hands the whole batch to the
+:class:`~repro.service.engine.Engine` — which groups by spec and
+coalesces same-spec sample requests into a single ``sample_batch``
+kernel pass — and then writes all responses back.  Under concurrent
+load this turns N same-instance requests costing N kernel walks into
+one walk, without changing any response byte (the substream contract).
+
+Front-ends:
+
+* :func:`serve_stdio` — JSON-lines over stdin/stdout, the subprocess /
+  pipeline embedding (``repro serve --stdio``);
+* :func:`serve_tcp` — a ``selectors``-based TCP loop (``repro serve
+  --port N``) multiplexing any number of client connections; batching
+  naturally spans connections.
+
+Control ops: ``ping`` answers ``"pong"``; ``stats`` reports per-worker
+cache/store counters; ``shutdown`` acknowledges, flushes, and stops the
+server.  Malformed lines get an ``ok: false`` response rather than
+killing the connection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import socket
+import sys
+import time
+
+from repro.service.engine import Engine
+
+#: Default grace period for coalescing stragglers into a batch (seconds).
+DEFAULT_BATCH_WINDOW = 0.005
+
+_MAX_LINE = 64 * 1024 * 1024
+
+
+def _parse_line(line: bytes | str) -> dict:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8")
+    request = json.loads(line)
+    if not isinstance(request, dict):
+        raise ValueError("request must be a JSON object")
+    return request
+
+
+def _error_response(request_id, error: Exception) -> dict:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": str(error),
+        "error_type": type(error).__name__,
+    }
+
+
+def encode_response(response: dict) -> bytes:
+    return json.dumps(response, separators=(",", ":"), ensure_ascii=False).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+class _Connection:
+    """Buffered line framing for one TCP client."""
+
+    __slots__ = ("sock", "inbuf", "outbuf")
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.inbuf = b""
+        self.outbuf = b""
+
+    def take_lines(self, data: bytes) -> list[bytes]:
+        self.inbuf += data
+        if len(self.inbuf) > _MAX_LINE:
+            raise ValueError("request line too long")
+        *lines, self.inbuf = self.inbuf.split(b"\n")
+        return [line for line in lines if line.strip()]
+
+
+class WitnessServer:
+    """The batching request loop over one :class:`Engine`.
+
+    Responses are delivered through per-request callbacks, so the same
+    core serves both front-ends (and the tests drive it directly).
+    """
+
+    def __init__(self, engine: Engine, batch_window: float = DEFAULT_BATCH_WINDOW):
+        self.engine = engine
+        self.batch_window = batch_window
+        self.served = 0
+        self.batches = 0
+        self.shutting_down = False
+
+    def process(self, parsed: list[tuple[dict, object]]) -> list[tuple[dict, object]]:
+        """Answer a drained batch of ``(request, reply_to)`` pairs.
+
+        A ``shutdown`` op is acknowledged immediately and flips
+        :attr:`shutting_down`; the remaining requests of the batch are
+        still answered.  ``stats`` is answered here so it aggregates
+        *every* worker's counters (routed through the engine it would
+        reach only one).
+        """
+        executable: list[dict] = []
+        sinks: list[object] = []
+        out: list[tuple[dict, object]] = []
+        for request, reply_to in parsed:
+            op = request.get("op")
+            if op == "shutdown":
+                self.shutting_down = True
+                out.append(({"id": request.get("id"), "ok": True, "result": "bye"}, reply_to))
+                continue
+            if op == "stats":
+                result = {
+                    "served": self.served,
+                    "batches": self.batches,
+                    "workers": self.engine.stats(),
+                }
+                out.append(({"id": request.get("id"), "ok": True, "result": result}, reply_to))
+                continue
+            executable.append(request)
+            sinks.append(reply_to)
+        if executable:
+            self.batches += 1
+            responses = self.engine.execute(executable)
+            self.served += len(responses)
+            out.extend(zip(responses, sinks))
+        return out
+
+
+def _answer_lines(server: WitnessServer, lines, stdout) -> None:
+    """Parse a batch of request lines, execute, write response lines."""
+    parsed: list[tuple[dict, object]] = []
+    for text in lines:
+        if isinstance(text, bytes):
+            text = text.decode("utf-8", errors="replace")
+        if not text.strip():
+            continue
+        try:
+            parsed.append((_parse_line(text), None))
+        except ValueError as error:
+            stdout.write(encode_response(_error_response(None, error)).decode("utf-8"))
+    for response, _ in server.process(parsed):
+        stdout.write(encode_response(response).decode("utf-8"))
+    stdout.flush()
+
+
+def serve_stdio(
+    engine: Engine,
+    stdin=None,
+    stdout=None,
+    batch_window: float = DEFAULT_BATCH_WINDOW,
+) -> int:
+    """Serve JSON-lines over stdin/stdout until EOF or ``shutdown``.
+
+    Batching: on a real pipe the loop reads raw bytes from the file
+    descriptor (its own line framing, no stdio buffering in the way), so
+    everything the client has already written — plus a ``batch_window``
+    grace for stragglers — lands in one engine batch and same-spec
+    sample requests coalesce.  Non-selectable inputs (tests passing
+    ``StringIO``) fall back to line-at-a-time processing.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    server = WitnessServer(engine, batch_window)
+
+    try:
+        fileno = stdin.fileno()
+    except (OSError, ValueError, AttributeError):
+        fileno = None
+
+    if fileno is None:
+        # Fallback framing for in-memory streams: no fd to select on,
+        # so no cross-line batching — process each line as it comes.
+        while not server.shutting_down:
+            line = stdin.readline()
+            if not line:
+                break
+            _answer_lines(server, [line], stdout)
+        return 0
+
+    selector = selectors.DefaultSelector()
+    selector.register(fileno, selectors.EVENT_READ)
+    buffer = b""
+    eof = False
+    try:
+        while not server.shutting_down and not eof:
+            selector.select()  # block until the first bytes arrive
+            chunk = os.read(fileno, 1 << 20)
+            if not chunk:
+                break
+            buffer += chunk
+            # Straggler grace: drain whatever else arrives in the window.
+            deadline = time.monotonic() + server.batch_window
+            while True:
+                timeout = deadline - time.monotonic()
+                if timeout <= 0 or not selector.select(timeout):
+                    break
+                chunk = os.read(fileno, 1 << 20)
+                if not chunk:
+                    eof = True
+                    break
+                buffer += chunk
+            *lines, buffer = buffer.split(b"\n")
+            if lines:
+                _answer_lines(server, lines, stdout)
+        if buffer.strip() and not server.shutting_down:
+            _answer_lines(server, [buffer], stdout)  # unterminated last line
+    finally:
+        selector.close()
+    return 0
+
+
+def serve_tcp(
+    engine: Engine,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    batch_window: float = DEFAULT_BATCH_WINDOW,
+    ready_callback=None,
+) -> int:
+    """Serve JSON-lines over TCP until a client sends ``shutdown``.
+
+    Binds ``host:port`` (port 0 picks an ephemeral port), then calls
+    ``ready_callback((host, actual_port))`` — the hook tests and the CLI
+    use to learn the address.  One ``selectors`` loop multiplexes all
+    clients; every iteration drains whatever arrived, waits
+    ``batch_window`` for stragglers, and answers the batch in one engine
+    call, so coalescing spans connections.
+    """
+    server = WitnessServer(engine, batch_window)
+    selector = selectors.DefaultSelector()
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(128)
+    listener.setblocking(False)
+    selector.register(listener, selectors.EVENT_READ, data=None)
+    address = listener.getsockname()
+    if ready_callback is not None:
+        ready_callback(address)
+
+    connections: dict[socket.socket, _Connection] = {}
+
+    def close_connection(conn: _Connection) -> None:
+        try:
+            selector.unregister(conn.sock)
+        except (KeyError, ValueError):  # pragma: no cover
+            pass
+        connections.pop(conn.sock, None)
+        conn.sock.close()
+
+    def gather(timeout: float) -> list[tuple[dict, object]]:
+        parsed: list[tuple[dict, object]] = []
+        for key, _ in selector.select(timeout):
+            if key.data is None:
+                try:
+                    client, _ = listener.accept()
+                except OSError:  # pragma: no cover - racing accept
+                    continue
+                client.setblocking(False)
+                conn = _Connection(client)
+                connections[client] = conn
+                selector.register(client, selectors.EVENT_READ, data=conn)
+                continue
+            conn: _Connection = key.data
+            try:
+                data = conn.sock.recv(1 << 20)
+            except (BlockingIOError, InterruptedError):  # pragma: no cover
+                continue
+            except OSError:
+                close_connection(conn)
+                continue
+            if not data:
+                close_connection(conn)
+                continue
+            try:
+                lines = conn.take_lines(data)
+            except ValueError as error:
+                conn.outbuf += encode_response(_error_response(None, error))
+                flush(conn)
+                close_connection(conn)
+                continue
+            for line in lines:
+                try:
+                    parsed.append((_parse_line(line), conn))
+                except ValueError as error:
+                    conn.outbuf += encode_response(_error_response(None, error))
+        return parsed
+
+    def flush(conn: _Connection, deadline_seconds: float = 5.0) -> None:
+        # Bounded: a client that stops reading cannot stall the (single
+        # threaded) loop forever — after the budget it is disconnected.
+        deadline = time.monotonic() + deadline_seconds
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                if time.monotonic() > deadline:
+                    close_connection(conn)
+                    return
+                time.sleep(0.001)
+                continue
+            except OSError:
+                close_connection(conn)
+                return
+            conn.outbuf = conn.outbuf[sent:]
+
+    try:
+        while not server.shutting_down:
+            parsed = gather(timeout=0.1)
+            if parsed:
+                # Straggler grace: requests already in flight join this batch.
+                parsed.extend(gather(timeout=server.batch_window))
+                for response, conn in server.process(parsed):
+                    if conn is None:  # pragma: no cover - stdio sink unused here
+                        continue
+                    conn.outbuf += encode_response(response)
+            # Flush even when nothing parsed: gather() may have queued
+            # error responses for malformed lines.
+            for conn in list(connections.values()):
+                if conn.outbuf:
+                    flush(conn)
+    finally:
+        for conn in list(connections.values()):
+            flush(conn)
+            conn.sock.close()
+        selector.close()
+        listener.close()
+    return 0
+
+
+__all__ = [
+    "WitnessServer",
+    "serve_stdio",
+    "serve_tcp",
+    "encode_response",
+    "DEFAULT_BATCH_WINDOW",
+]

@@ -1,0 +1,322 @@
+"""The compact binary snapshot format for compiled kernels.
+
+A :class:`~repro.core.kernel.CompiledDAG` is the expensive artifact of
+the whole pipeline — lowering (especially from a symbolic plan) costs
+polynomial work while every query on the finished kernel is near-free.
+Snapshots make that work durable: ``kernel.to_bytes()`` serializes the
+complete execution state and ``CompiledDAG.from_bytes`` restores a
+kernel that answers count / sample / enumerate / spectrum queries
+without touching the original automaton.
+
+Layout::
+
+    magic  b"RPROKRN1"
+    u32    header length
+    bytes  header — JSON (UTF-8) with the structural metadata:
+           n, trimmed, symbols, per-layer states (tagged-atom codec),
+           the initial index, per-layer final indices, LoweringStats,
+           and the section directory for the binary payload
+    bytes  payload — the CSR edge arrays and any *packed* run-count
+           rows, each dumped as a little-endian ``array('q')``
+
+Count rows that spilled to bignums (entries beyond 64 bits) are encoded
+as JSON integer lists inside the header — JSON integers are arbitrary
+precision, so exactness survives the round-trip.  State and symbol
+objects go through the same tagged-atom codec as the NFA serializer, so
+tuples, frozensets (spanner marker sets) and plan product states
+round-trip by value.
+
+A restored kernel carries a :class:`_SnapshotSource` in place of its
+automaton: initial state, accepting-state membership and alphabet are
+answered from the snapshot itself; only
+:meth:`~repro.core.kernel.CompiledDAG.extend_to` — the one operation
+needing transitions beyond the recorded layers — requires the original
+source, which callers may supply lazily via ``source_resolver``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from array import array
+
+from repro.automata.serialization import _decode_atom, _encode_atom
+from repro.errors import InvalidAutomatonError, ReproError
+
+MAGIC = b"RPROKRN1"
+SNAPSHOT_VERSION = 1
+
+#: Largest count representable in a packed ``array('q')`` row.
+_INT64_MAX = 2**63 - 1
+
+
+class SnapshotError(ReproError):
+    """The bytes are not a valid kernel snapshot (or the kernel is not
+    snapshot-serializable)."""
+
+
+class _SnapshotSource:
+    """The automaton stand-in a restored kernel carries.
+
+    Serves the queries a finished kernel still makes against its source
+    (initial state, accepting membership, alphabet) from snapshot data.
+    Transition queries (``out_edges``, needed only by ``extend_to``)
+    delegate to the lazily resolved original source when a resolver was
+    supplied, and fail with a clear error otherwise.
+    """
+
+    __slots__ = ("initial", "_finals", "_alphabet", "_resolver", "_resolved")
+
+    has_epsilon = False
+
+    def __init__(self, initial, finals, alphabet, resolver=None):
+        self.initial = initial
+        self._finals = finals
+        self._alphabet = alphabet
+        self._resolver = resolver
+        self._resolved = None
+
+    def _resolve(self):
+        if self._resolved is None:
+            if self._resolver is None:
+                raise InvalidAutomatonError(
+                    "this kernel was restored from a snapshot without its "
+                    "source automaton; extending it requires from_bytes("
+                    "..., source_resolver=...)"
+                )
+            self._resolved = self._resolver()
+        return self._resolved
+
+    @property
+    def finals(self):
+        if self._resolved is not None:
+            return self._resolved.finals
+        return self._finals
+
+    @property
+    def alphabet(self):
+        return self._alphabet
+
+    def out_edges(self, state):
+        return self._resolve().out_edges(state)
+
+    def successors(self, state, symbol):
+        return frozenset(t for s, t in self.out_edges(state) if s == symbol)
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"<SnapshotSource resolved={self._resolved is not None}>"
+
+
+def _encode_atoms(values) -> list:
+    """A sequence of states/symbols → its header encoding.
+
+    Plain scalar sequences (strings/numbers — the overwhelmingly common
+    state shape) are stored raw under a ``["plain", ...]`` marker so the
+    restore path is a single C-level JSON parse; anything structured
+    (tuples, frozensets, ε) falls back to the tagged-atom codec.
+    """
+    items = list(values)
+    if all(
+        isinstance(item, (str, int, float)) and not isinstance(item, bool)
+        for item in items
+    ):
+        return ["plain", items]
+    return ["tagged", [_encode_atom(item) for item in items]]
+
+
+def _decode_atoms(encoded: list) -> tuple:
+    marker, items = encoded
+    if marker == "plain":
+        return tuple(items)
+    return tuple(_decode_atom(item) for item in items)
+
+
+def _encode_count_row(row) -> tuple[dict, bytes | None]:
+    """One run-count row → (directory entry, packed payload or None)."""
+    if isinstance(row, array):
+        return {"packed": len(row)}, row.tobytes()
+    # Bignum spill: JSON integers are arbitrary precision.
+    return {"spill": list(row)}, None
+
+
+def _decode_count_row(entry: dict, payload: memoryview, offset: int):
+    if "spill" in entry:
+        return list(entry["spill"]), offset
+    count = entry["packed"]
+    row = array("q")
+    end = offset + count * row.itemsize
+    if end > len(payload):
+        raise SnapshotError("truncated snapshot payload")
+    row.frombytes(bytes(payload[offset:end]))
+    return row, end
+
+
+def kernel_to_bytes(kernel) -> bytes:
+    """Serialize ``kernel`` into the snapshot format (see module docs)."""
+    try:
+        symbols = _encode_atoms(kernel.symbols)
+        states = [
+            _encode_atoms(kernel.layer_states(t)) for t in range(kernel.n + 1)
+        ]
+    except InvalidAutomatonError as error:
+        raise SnapshotError(f"kernel is not snapshot-serializable: {error}") from error
+
+    initial_index = kernel.index_of(0, kernel.nfa.initial)
+    finals_idx = [list(kernel.final_indices(t)) for t in range(kernel.n + 1)]
+
+    sections: list[bytes] = []
+    edges = []
+    for t in range(kernel.n):
+        start_row = array("q", kernel._edge_start[t])
+        symbol_row = array("q", kernel._edge_symbol[t])
+        dst_row = array("q", kernel._edge_dst[t])
+        sections.extend((start_row.tobytes(), symbol_row.tobytes(), dst_row.tobytes()))
+        edges.append(
+            {"start": len(start_row), "symbol": len(symbol_row), "dst": len(dst_row)}
+        )
+
+    def encode_table(table):
+        if table is None:
+            return None
+        entries = []
+        for row in table:
+            entry, payload = _encode_count_row(row)
+            entries.append(entry)
+            if payload is not None:
+                sections.append(payload)
+        return entries
+
+    forward = encode_table(kernel._forward)
+    backward = encode_table(kernel._backward)
+
+    header = {
+        "version": SNAPSHOT_VERSION,
+        "n": kernel.n,
+        "trimmed": kernel.trimmed,
+        "symbols": symbols,
+        "states": states,
+        "initial_index": initial_index,
+        "finals_idx": finals_idx,
+        "edges": edges,
+        "forward": forward,
+        "backward": backward,
+        "lowering": kernel.lowering.as_dict() if kernel.lowering else None,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":"), ensure_ascii=False).encode(
+        "utf-8"
+    )
+    return b"".join(
+        [MAGIC, struct.pack("<I", len(header_bytes)), header_bytes, *sections]
+    )
+
+
+def kernel_from_bytes(data: bytes, source_resolver=None):
+    """Restore a :class:`~repro.core.kernel.CompiledDAG` from snapshot
+    bytes (inverse of :func:`kernel_to_bytes`)."""
+    from repro.core.kernel import CompiledDAG
+    from repro.core.plan import LoweringStats
+
+    view = memoryview(data)
+    if bytes(view[: len(MAGIC)]) != MAGIC:
+        raise SnapshotError("not a repro kernel snapshot (bad magic)")
+    try:
+        (header_len,) = struct.unpack_from("<I", view, len(MAGIC))
+        header_start = len(MAGIC) + 4
+        header = json.loads(bytes(view[header_start : header_start + header_len]))
+    except (struct.error, ValueError) as error:
+        raise SnapshotError(f"corrupt snapshot header: {error}") from error
+    if header.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {header.get('version')!r}"
+        )
+
+    try:
+        n = header["n"]
+        symbols = _decode_atoms(header["symbols"])
+        states = [_decode_atoms(layer) for layer in header["states"]]
+        offset = header_start + header_len
+        itemsize = array("q").itemsize
+
+        long_matches_q = array("l").itemsize == itemsize
+
+        def read_long_row(count: int) -> array:
+            nonlocal offset
+            end = offset + count * itemsize
+            if end > len(view):
+                raise SnapshotError("truncated snapshot payload")
+            payload = bytes(view[offset:end])
+            offset = end
+            # Snapshots store 'q' (8-byte) rows; on LP64 platforms 'l'
+            # has the same layout, so the bytes load directly.
+            row = array("l" if long_matches_q else "q")
+            row.frombytes(payload)
+            return row if long_matches_q else array("l", row)
+
+        edge_start, edge_symbol, edge_dst = [], [], []
+        for entry in header["edges"]:
+            edge_start.append(read_long_row(entry["start"]))
+            edge_symbol.append(read_long_row(entry["symbol"]))
+            edge_dst.append(read_long_row(entry["dst"]))
+
+        def read_table(entries):
+            nonlocal offset
+            if entries is None:
+                return None
+            table = []
+            for entry in entries:
+                if offset > len(view):
+                    raise SnapshotError("truncated snapshot payload")
+                row, offset = _decode_count_row(entry, view, offset)
+                table.append(row)
+            return table
+
+        forward = read_table(header["forward"])
+        backward = read_table(header["backward"])
+        if offset != len(view):
+            # Trailing or missing bytes: the payload must be consumed
+            # exactly, or a tail-truncated/padded file would restore
+            # "successfully" and crash later instead of being
+            # quarantined by the store.
+            raise SnapshotError("snapshot payload size mismatch")
+        finals_idx = {t: tuple(row) for t, row in enumerate(header["finals_idx"])}
+        initial_index = header["initial_index"]
+    except (KeyError, IndexError, TypeError, ValueError, OverflowError) as error:
+        raise SnapshotError(f"corrupt snapshot body: {error}") from error
+
+    if len(states) != n + 1 or len(header["edges"]) != n:
+        raise SnapshotError("snapshot layer structure does not match n")
+
+    initial = states[0][initial_index] if initial_index is not None else None
+    finals_union = frozenset(
+        states[t][i] for t, row in finals_idx.items() for i in row
+    )
+    source = _SnapshotSource(
+        initial, finals_union, frozenset(symbols), resolver=source_resolver
+    )
+
+    kernel = CompiledDAG.__new__(CompiledDAG)
+    kernel.nfa = source
+    kernel.n = n
+    kernel.trimmed = header["trimmed"]
+    kernel.symbols = symbols
+    kernel._symbol_index = {s: i for i, s in enumerate(symbols)}
+    kernel._states = states
+    kernel._index = [
+        {state: i for i, state in enumerate(layer)} for layer in states
+    ]
+    kernel._edge_start = edge_start
+    kernel._edge_symbol = edge_symbol
+    kernel._edge_dst = edge_dst
+    kernel._redge = {}
+    kernel._forward = forward
+    kernel._backward = backward
+    kernel._cum = {}
+    kernel._layer_sets = {}
+    kernel._finals_idx = finals_idx
+    lowering = header.get("lowering")
+    kernel.lowering = LoweringStats(**lowering) if lowering else None
+    kernel.fingerprint = None  # the store stamps its key after restore
+    return kernel
+
+
+__all__ = ["SnapshotError", "kernel_to_bytes", "kernel_from_bytes", "MAGIC"]

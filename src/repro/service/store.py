@@ -1,0 +1,319 @@
+""":class:`KernelStore` — the content-addressed on-disk kernel cache.
+
+A cold process pays the full preprocessing bill (ε-elimination,
+unrolling, lowering, count tables) before its first answer; a warm one
+should not.  The store persists kernel snapshots keyed by
+``(fingerprint, n, mode)`` so any later process — or a sibling worker in
+the :class:`~repro.service.engine.Engine` pool — starts from the
+finished artifact:
+
+* **content-addressed**: the key's fingerprint half is the canonical
+  SHA-256 of the automaton / plan (:mod:`repro.service.fingerprint`), so
+  structurally identical instances share an entry no matter who wrote
+  it, and a stale entry for a *different* automaton is impossible by
+  construction;
+* **atomic writes**: snapshots are written to a temp file in the same
+  directory and ``os.replace``-d into place, so concurrent readers and
+  writers (the multiprocess engine) never observe half a snapshot;
+* **LRU size bounding**: when the store grows past ``max_bytes``, the
+  least-recently-*used* entries (access bumps mtime) are evicted;
+* **corruption recovery**: an unreadable entry (truncated write, bad
+  magic, garbage) is quarantined — deleted and counted — and the caller
+  simply rebuilds, as for a miss;
+* **stats**: hits / misses / stores / evictions / corrupt counts on
+  :attr:`KernelStore.stats`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.service.snapshot import SnapshotError, kernel_from_bytes, kernel_to_bytes
+
+#: Default size bound: plenty for thousands of mid-size kernels.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Environment variable naming the default store directory.
+STORE_ENV = "REPRO_KERNEL_STORE"
+
+_SUFFIX = ".kern"
+
+
+@dataclass
+class StoreStats:
+    """Counters for one :class:`KernelStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    skipped: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "skipped": self.skipped,
+        }
+
+
+class KernelStore:
+    """Content-addressed kernel snapshots under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the snapshots (created on demand).  Safe to
+        share between processes: writes are atomic and keys are
+        content-addressed.
+    max_bytes:
+        Total snapshot size bound; exceeding it evicts least-recently
+        used entries after each store.
+    """
+
+    def __init__(self, root: str | os.PathLike, max_bytes: int = DEFAULT_MAX_BYTES):
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+
+    def path_for(self, fingerprint: str, n: int, trimmed: bool) -> Path:
+        """The snapshot path for ``(fingerprint, n, mode)``.
+
+        Two-level fan-out (first byte of the fingerprint) keeps
+        directories small under many entries.
+        """
+        mode = "trimmed" if trimmed else "reachable"
+        return self.root / fingerprint[:2] / f"{fingerprint}-n{n}-{mode}{_SUFFIX}"
+
+    # ------------------------------------------------------------------
+    # Get / put
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str, n: int, trimmed: bool, source_resolver=None):
+        """The stored kernel, or ``None`` on miss / corrupt entry.
+
+        A hit bumps the entry's mtime (the LRU clock).  A corrupt entry
+        is deleted so the subsequent :meth:`put` heals the store.
+        """
+        path = self.path_for(fingerprint, n, trimmed)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            kernel = kernel_from_bytes(data, source_resolver=source_resolver)
+            kernel.fingerprint = fingerprint  # the content-address it was stored under
+        except SnapshotError:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink is fine
+                pass
+            return None
+        self.stats.hits += 1
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry may have been evicted
+            pass
+        return kernel
+
+    def put(self, fingerprint: str, n: int, trimmed: bool, kernel) -> bool:
+        """Persist ``kernel`` under ``(fingerprint, n, mode)``; atomic.
+
+        Returns False (and counts ``skipped``) when the kernel has no
+        snapshot serialization — callers treat the store as best-effort.
+        """
+        try:
+            data = kernel_to_bytes(kernel)
+        except SnapshotError:
+            self.stats.skipped += 1
+            return False
+        path = self.path_for(fingerprint, n, trimmed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        self._evict_over_budget()
+        return True
+
+    # ------------------------------------------------------------------
+    # Per-fingerprint metadata (tiny JSON sidecars, e.g. the ambiguity
+    # certificate — a property of the source, not of any single n)
+    # ------------------------------------------------------------------
+
+    def meta_path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.meta.json"
+
+    def get_meta(self, fingerprint: str) -> dict | None:
+        """The metadata dict recorded for ``fingerprint`` (None if absent
+        or unreadable — unreadable sidecars are quarantined like corrupt
+        snapshots)."""
+        path = self.meta_path_for(fingerprint)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            meta = json.loads(text)
+            if not isinstance(meta, dict):
+                raise ValueError("metadata must be a JSON object")
+        except ValueError:
+            self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover
+                pass
+            return None
+        return meta
+
+    def put_meta(self, fingerprint: str, values: dict) -> None:
+        """Merge ``values`` into the fingerprint's metadata (atomic)."""
+        merged = dict(self.get_meta(fingerprint) or {})
+        merged.update(values)
+        path = self.meta_path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(merged, handle)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Bounding and introspection
+    # ------------------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """All snapshot files currently in the store."""
+        if not self.root.is_dir():
+            return []
+        return [path for path in self.root.glob(f"*/*{_SUFFIX}") if path.is_file()]
+
+    def _sidecars(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return [path for path in self.root.glob("*/*.meta.json") if path.is_file()]
+
+    def total_bytes(self) -> int:
+        """Store footprint: snapshots plus metadata sidecars."""
+        return sum(
+            path.stat().st_size for path in self.entries() + self._sidecars()
+        )
+
+    def _evict_over_budget(self) -> None:
+        entries = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        sidecars = self._sidecars()
+        for path in sidecars:
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - racing eviction
+                pass
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest access first
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            total -= size
+            self.stats.evictions += 1
+        # A sidecar whose every snapshot is gone is stranded: drop it so
+        # the directory stays bounded along with the byte budget.
+        live = {path.name.split("-n", 1)[0] for path in self.entries()}
+        for path in sidecars:
+            fingerprint = path.name[: -len(".meta.json")]
+            if fingerprint not in live:
+                try:
+                    path.unlink()
+                    self.stats.evictions += 1
+                except OSError:  # pragma: no cover - racing eviction
+                    pass
+
+    def clear(self) -> int:
+        """Delete every entry (snapshots and metadata sidecars)."""
+        removed = 0
+        sidecars = (
+            list(self.root.glob("*/*.meta.json")) if self.root.is_dir() else []
+        )
+        for path in self.entries() + sidecars:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return (
+            f"<KernelStore root={str(self.root)!r} entries={len(self.entries())} "
+            f"stats={self.stats.as_dict()}>"
+        )
+
+
+#: Process-wide default store, memoized per root so stats accumulate.
+_default: KernelStore | None = None
+
+
+def default_store() -> KernelStore | None:
+    """The process-default store, from ``$REPRO_KERNEL_STORE`` (or None).
+
+    The facade consults this when no explicit ``store=`` was passed, so
+    pointing the environment variable at a directory turns on warm-start
+    caching for every WitnessSet in the process — the zero-code-change
+    deployment switch.  One instance per process (per root), so its
+    stats accumulate across witness sets.
+    """
+    global _default
+    root = os.environ.get(STORE_ENV)
+    if not root:
+        return None
+    if _default is None or Path(root) != _default.root:
+        _default = KernelStore(root)
+    return _default
+
+
+__all__ = ["KernelStore", "StoreStats", "default_store", "DEFAULT_MAX_BYTES", "STORE_ENV"]

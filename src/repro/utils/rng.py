@@ -4,10 +4,22 @@ All randomized algorithms in this library (the FPRAS, the samplers, the
 workload generators) take randomness through an explicit
 ``random.Random`` instance.  This module centralizes the "seed or
 generator or nothing" convention so call sites stay uniform.
+
+Two derivation helpers exist for components that need *child* streams:
+
+* :func:`spawn` — draw a child seed from the parent stream (advances the
+  parent, so the child depends on how many draws preceded it);
+* :func:`spawn_seq` — derive the ``index``-th substream of the parent
+  *without* advancing it.  Substreams depend only on the parent's
+  current state and the index, so ``spawn_seq(rng, i)`` yields the same
+  stream no matter in which order (or on which worker process) the
+  substreams are materialized — the reproducibility contract the
+  service engine and batched sampling rely on.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 RngLike = "random.Random | int | None"
@@ -38,3 +50,42 @@ def spawn(rng: random.Random) -> random.Random:
     when one leg of a comparison changes its sampling behaviour).
     """
     return random.Random(rng.getrandbits(64))
+
+
+def _state_digest(rng: random.Random) -> bytes:
+    """SHA-256 of the generator's full current state (not advanced)."""
+    return hashlib.sha256(repr(rng.getstate()).encode("utf-8")).digest()
+
+
+def _child_from_digest(digest: bytes, index: int) -> random.Random:
+    child = hashlib.sha256(digest)
+    child.update(index.to_bytes(8, "big"))
+    return random.Random(int.from_bytes(child.digest()[:16], "big"))
+
+
+def spawn_seq(rng: random.Random, index: int) -> random.Random:
+    """The ``index``-th deterministic substream of ``rng``.
+
+    Unlike :func:`spawn`, the parent stream is *not* advanced: the child
+    seed is a hash of the parent's current state together with ``index``,
+    so for a fixed parent state the family ``{spawn_seq(rng, i)}`` is
+    fully determined and order-independent.  This is what makes batched
+    and multi-worker sampling reproducible: each logical draw ``i`` gets
+    substream ``i`` regardless of scheduling, coalescing, or which
+    process performs it.
+    """
+    if index < 0:
+        raise ValueError("substream index must be ≥ 0")
+    return _child_from_digest(_state_digest(rng), index)
+
+
+def substreams(rng: random.Random, count: int) -> list[random.Random]:
+    """The first ``count`` substreams of ``rng`` (see :func:`spawn_seq`).
+
+    The parent's (multi-KB Mersenne) state is serialized and hashed
+    **once** for the whole family — per index only a small second-stage
+    hash runs, which keeps large batched draws out of the derivation's
+    shadow.
+    """
+    digest = _state_digest(rng)
+    return [_child_from_digest(digest, index) for index in range(count)]

@@ -268,3 +268,98 @@ class TestBatchSampling:
         )
         assert code == 0
         assert out.strip() == ""
+
+
+class TestVersionAndUsage:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        import repro
+
+        assert repro.__version__ in out
+
+    def test_no_subcommand_exits_2_with_usage(self, capsys):
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert "command is required" in err
+
+
+class TestServeAndQuery:
+    """End-to-end: a real ``repro serve --port`` subprocess answered by
+    ``repro query`` subprocesses (the CI smoke scenario)."""
+
+    @pytest.fixture
+    def server(self):
+        import os
+        import subprocess
+        import sys as _sys
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(root, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve", "--port", "0"],
+            env=env,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=root,
+        )
+        announce = proc.stderr.readline().strip()
+        port = int(announce.rsplit(":", 1)[1])
+
+        def query(*argv):
+            return subprocess.run(
+                [_sys.executable, "-m", "repro", "query", *argv, "--port", str(port)],
+                env=env,
+                capture_output=True,
+                text=True,
+                cwd=root,
+                timeout=60,
+            )
+
+        yield query
+        query("shutdown")
+        proc.wait(timeout=10)
+
+    def test_query_count_matches_local(self, capsys, server):
+        remote = server("count", "--regex", "(ab|ba)*", "--alphabet", "ab", "-n", "10")
+        assert remote.returncode == 0, remote.stderr
+        code, local, _ = run_cli(
+            capsys, "count", "--regex", "(ab|ba)*", "--alphabet", "ab", "-n", "10"
+        )
+        assert code == 0
+        assert remote.stdout.strip() == local.strip()
+
+    def test_query_seeded_sample_matches_local(self, capsys, server):
+        argv = ["--regex", "(ab|ba)*", "--alphabet", "ab", "-n", "8",
+                "--batch", "3", "--seed", "5"]
+        remote = server("sample", *argv)
+        assert remote.returncode == 0, remote.stderr
+        # The protocol's substream contract: identical to the in-process
+        # facade with use_substreams.
+        from repro.api import WitnessSet
+
+        ws = WitnessSet.from_regex("(ab|ba)*", 8, alphabet="ab", store=False)
+        expected = [
+            "".join(map(str, w))
+            for w in ws.sample_batch(3, rng=5, use_substreams=True)
+        ]
+        assert remote.stdout.strip().splitlines() == expected
+
+    def test_query_ping(self, server):
+        result = server("ping")
+        assert result.returncode == 0
+        assert result.stdout.strip() == "pong"
+
+    def test_query_without_server_is_a_clean_error(self, capsys):
+        # Connection refused must print a one-line error, not a traceback.
+        code = main(["query", "ping", "--port", "1", "--host", "127.0.0.1"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")

@@ -1,0 +1,746 @@
+"""Tests for the serving subsystem: fingerprints, snapshots, the kernel
+store, deterministic substreams, the engine and the JSON-lines server."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import random
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.api import WitnessSet
+from repro.automata.nfa import NFA
+from repro.automata.random_gen import random_nfa, random_ufa
+from repro.core.kernel import CompiledDAG, compile_nfa
+from repro.core.plan import Product, as_plan, lower_plan
+from repro.errors import InvalidAutomatonError
+from repro.service import (
+    Engine,
+    FingerprintError,
+    KernelStore,
+    ServiceClient,
+    SnapshotError,
+    draw_samples,
+    draw_samples_coalesced,
+    fingerprint_source,
+    kernel_from_bytes,
+    kernel_to_bytes,
+    serve_stdio,
+    serve_tcp,
+    spec_key,
+    witness_set_from_spec,
+)
+from repro.utils.rng import make_rng, spawn_seq, substreams
+
+SEED = 20190621
+
+SPEC = {"kind": "regex", "pattern": "(ab|ba)*", "alphabet": "ab", "n": 10}
+SPEC2 = {
+    "kind": "intersection",
+    "left": {"kind": "regex", "pattern": "(ab|ba)*", "alphabet": "ab"},
+    "right": {"kind": "regex", "pattern": "(a|b)*aa(a|b)*", "alphabet": "ab"},
+    "n": 10,
+}
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+class TestFingerprint:
+    def test_structural_identity(self):
+        a = random_ufa(20, rng=SEED, completeness=0.9, ensure_nonempty_length=8)
+        b = NFA(a.states, a.alphabet, a.transitions, a.initial, a.finals)
+        assert fingerprint_source(a) == fingerprint_source(b)
+
+    def test_different_automata_differ(self):
+        a = random_ufa(20, rng=SEED, completeness=0.9, ensure_nonempty_length=8)
+        b = random_ufa(20, rng=SEED + 1, completeness=0.9, ensure_nonempty_length=8)
+        assert fingerprint_source(a) != fingerprint_source(b)
+
+    def test_plan_fingerprints(self):
+        left, right = as_plan("(ab|ba)*"), as_plan("(a|b)*")
+        product = Product(left, right)
+        again = Product(as_plan("(ab|ba)*"), as_plan("(a|b)*"))
+        assert fingerprint_source(product) == fingerprint_source(again)
+        assert fingerprint_source(product) != fingerprint_source(left)
+        # Operand order matters (products are not canonicalized across
+        # commutation — two spellings are two plans).
+        assert fingerprint_source(product) != fingerprint_source(
+            Product(as_plan("(a|b)*"), as_plan("(ab|ba)*"))
+        )
+
+    def test_witness_set_fingerprint_cached(self):
+        ws = WitnessSet.from_regex("(ab|ba)*", 8, alphabet="ab", store=False)
+        assert ws.fingerprint() == ws.fingerprint()
+        assert ws.stats.hits.get("fingerprint", 0) >= 1
+
+    def test_unserializable_state_raises(self):
+        marker = object()
+        nfa = NFA([marker], ["a"], [(marker, "a", marker)], marker, [marker])
+        with pytest.raises(FingerprintError):
+            fingerprint_source(nfa)
+
+    def test_stable_across_hash_seeds(self):
+        """The store contract: the fingerprint must not depend on the
+        process's hash randomization."""
+        nfa = random_ufa(12, rng=SEED, completeness=0.9, ensure_nonempty_length=6)
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.automata.random_gen import random_ufa\n"
+            "from repro.service import fingerprint_source\n"
+            f"nfa = random_ufa(12, rng={SEED}, completeness=0.9, "
+            "ensure_nonempty_length=6)\n"
+            "print(fingerprint_source(nfa))\n"
+        )
+        outputs = set()
+        for hash_seed in ("1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            )
+            assert result.returncode == 0, result.stderr
+            outputs.add(result.stdout.strip())
+        outputs.add(fingerprint_source(nfa))
+        assert len(outputs) == 1
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+
+
+def _assert_kernel_equivalent(kernel: CompiledDAG, restored: CompiledDAG):
+    assert restored.n == kernel.n
+    assert restored.trimmed == kernel.trimmed
+    assert restored.symbols == kernel.symbols
+    assert restored.total_runs == kernel.total_runs
+    assert restored.vertex_count() == kernel.vertex_count()
+    assert restored.edge_count() == kernel.edge_count()
+    for t in range(kernel.n + 1):
+        assert restored.layer_states(t) == kernel.layer_states(t)
+        assert restored.final_indices(t) == kernel.final_indices(t)
+    if kernel.total_runs:
+        assert kernel.sample_batch(8, random.Random(3)) == restored.sample_batch(
+            8, random.Random(3)
+        )
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_ufa_round_trip(self, seed):
+        nfa = random_ufa(
+            10 + seed * 3, rng=SEED + seed, completeness=0.85,
+            ensure_nonempty_length=8,
+        )
+        kernel = compile_nfa(nfa.without_epsilon(), 8, trimmed=True)
+        kernel.backward_counts()
+        _assert_kernel_equivalent(kernel, kernel_from_bytes(kernel_to_bytes(kernel)))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_nfa_reachable_round_trip(self, seed):
+        nfa = random_nfa(
+            8 + seed * 2, rng=SEED + seed, density=1.6, ensure_nonempty_length=6
+        )
+        kernel = compile_nfa(nfa.without_epsilon(), 6, trimmed=False)
+        kernel.forward_counts()
+        restored = kernel_from_bytes(kernel_to_bytes(kernel))
+        assert restored.spectrum_counts() == kernel.spectrum_counts()
+        _assert_kernel_equivalent(kernel, restored)
+
+    def test_plan_kernel_round_trip_keeps_lowering(self):
+        plan = Product(as_plan("(ab|ba)*"), as_plan("(a|b)*aa(a|b)*"))
+        kernel = lower_plan(plan, 10, trimmed=True)
+        kernel.backward_counts()
+        restored = kernel_from_bytes(kernel_to_bytes(kernel))
+        _assert_kernel_equivalent(kernel, restored)
+        assert restored.lowering is not None
+        assert restored.lowering.as_dict() == kernel.lowering.as_dict()
+
+    def test_bignum_spill_round_trip(self):
+        # (a|b)* at n=80 counts 2^80 ≫ 2^63: the backward table spills.
+        ws = WitnessSet.from_regex("(a|b)*", 80, alphabet="ab", store=False)
+        kernel = ws.kernel
+        assert kernel.total_runs == 2**80
+        restored = kernel_from_bytes(kernel_to_bytes(kernel))
+        assert restored.total_runs == 2**80
+        assert kernel.sample_batch(4, random.Random(1)) == restored.sample_batch(
+            4, random.Random(1)
+        )
+
+    def test_seeded_sample_streams_identical(self):
+        nfa = random_ufa(25, rng=SEED, completeness=0.9, ensure_nonempty_length=12)
+        kernel = compile_nfa(nfa.without_epsilon(), 12, trimmed=True)
+        restored = kernel_from_bytes(kernel_to_bytes(kernel))
+        for seed in range(5):
+            a, b = random.Random(seed), random.Random(seed)
+            assert [kernel.sample_word(a) for _ in range(5)] == [
+                restored.sample_word(b) for _ in range(5)
+            ]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SnapshotError):
+            kernel_from_bytes(b"garbage that is not a snapshot")
+
+    def test_truncated_rejected(self):
+        nfa = random_ufa(10, rng=SEED, completeness=0.9, ensure_nonempty_length=6)
+        data = kernel_to_bytes(compile_nfa(nfa.without_epsilon(), 6, trimmed=True))
+        with pytest.raises(SnapshotError):
+            kernel_from_bytes(data[: len(data) // 2])
+
+    def test_tail_truncation_and_padding_rejected(self):
+        """Losing (or gaining) whole 8-byte rows at the end must fail the
+        restore, not produce a kernel that crashes later."""
+        nfa = random_ufa(12, rng=SEED, completeness=0.9, ensure_nonempty_length=8)
+        kernel = compile_nfa(nfa.without_epsilon(), 8, trimmed=True)
+        kernel.backward_counts()
+        data = kernel_to_bytes(kernel)
+        for mutated in (data[:-8], data[:-16], data + b"\x00" * 8):
+            with pytest.raises(SnapshotError):
+                kernel_from_bytes(mutated)
+
+    def test_extend_requires_resolver(self):
+        nfa = random_ufa(10, rng=SEED, completeness=0.9, ensure_nonempty_length=8)
+        stripped = nfa.without_epsilon()
+        kernel = compile_nfa(stripped, 4, trimmed=False)
+        blind = kernel_from_bytes(kernel_to_bytes(kernel))
+        with pytest.raises(InvalidAutomatonError):
+            blind.extend_to(6)
+        resolved = kernel_from_bytes(
+            kernel_to_bytes(kernel), source_resolver=lambda: stripped
+        )
+        resolved.extend_to(6)
+        assert resolved.spectrum_counts() == compile_nfa(
+            stripped, 6, trimmed=False
+        ).spectrum_counts()
+
+
+# ----------------------------------------------------------------------
+# KernelStore
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def store(tmp_path):
+    return KernelStore(tmp_path / "kernels")
+
+
+class TestKernelStore:
+    def _kernel(self, seed=0, n=8):
+        nfa = random_ufa(
+            12, rng=SEED + seed, completeness=0.9, ensure_nonempty_length=n
+        )
+        kernel = compile_nfa(nfa.without_epsilon(), n, trimmed=True)
+        kernel.backward_counts()
+        return fingerprint_source(nfa), kernel
+
+    def test_put_get_round_trip(self, store):
+        fp, kernel = self._kernel()
+        assert store.get(fp, 8, True) is None
+        assert store.put(fp, 8, True, kernel)
+        restored = store.get(fp, 8, True)
+        assert restored is not None
+        assert restored.total_runs == kernel.total_runs
+        assert store.stats.hits == 1 and store.stats.misses == 1
+
+    def test_keys_distinguish_mode_and_length(self, store):
+        fp, kernel = self._kernel()
+        store.put(fp, 8, True, kernel)
+        assert store.get(fp, 8, False) is None
+        assert store.get(fp, 9, True) is None
+
+    def test_corruption_recovery(self, store):
+        fp, kernel = self._kernel()
+        store.put(fp, 8, True, kernel)
+        path = store.path_for(fp, 8, True)
+        path.write_bytes(b"RPROKRN1" + b"\x00" * 16)  # valid magic, garbage body
+        assert store.get(fp, 8, True) is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()  # quarantined
+        # The store heals: a fresh put serves hits again.
+        store.put(fp, 8, True, kernel)
+        assert store.get(fp, 8, True) is not None
+
+    def test_truncated_entry_recovery(self, store):
+        fp, kernel = self._kernel()
+        store.put(fp, 8, True, kernel)
+        path = store.path_for(fp, 8, True)
+        path.write_bytes(path.read_bytes()[:40])
+        assert store.get(fp, 8, True) is None
+        assert store.stats.corrupt == 1
+
+    def test_lru_eviction(self, store):
+        fp0, kernel0 = self._kernel(0)
+        entry_size = len(kernel_to_bytes(kernel0))
+        store.max_bytes = int(entry_size * 2.5)  # room for two entries
+        store.put(fp0, 8, True, kernel0)
+        fp1, kernel1 = self._kernel(1)
+        store.put(fp1, 8, True, kernel1)
+        assert store.stats.evictions == 0
+        # Touch fp0 so fp1 becomes the LRU victim.
+        os.utime(store.path_for(fp1, 8, True), (1, 1))
+        assert store.get(fp0, 8, True) is not None
+        fp2, kernel2 = self._kernel(2)
+        store.put(fp2, 8, True, kernel2)
+        assert store.stats.evictions >= 1
+        assert store.get(fp1, 8, True) is None      # evicted
+        assert store.get(fp0, 8, True) is not None  # kept (recently used)
+        assert store.get(fp2, 8, True) is not None  # newest
+
+    def test_orphaned_sidecars_evicted_with_their_snapshots(self, store):
+        fp0, kernel0 = self._kernel(0)
+        store.put_meta(fp0, {"unambiguous": True})
+        store.put(fp0, 8, True, kernel0)
+        # A budget that fits one snapshot: storing fp1 evicts fp0's
+        # snapshot, and fp0's now-stranded sidecar goes with it.
+        store.max_bytes = int(len(kernel_to_bytes(kernel0)) * 1.5)
+        fp1, kernel1 = self._kernel(1)
+        store.put(fp1, 8, True, kernel1)
+        assert store.get(fp0, 8, True) is None
+        assert store.get_meta(fp0) is None
+        assert store.get(fp1, 8, True) is not None
+
+    def test_meta_round_trip(self, store):
+        store.put_meta("ab" * 32, {"unambiguous": True})
+        store.put_meta("ab" * 32, {"other": 1})
+        assert store.get_meta("ab" * 32) == {"unambiguous": True, "other": 1}
+        assert store.get_meta("cd" * 32) is None
+
+
+class TestWitnessSetStoreWiring:
+    def test_warm_start_hits_store(self, store):
+        nfa = random_ufa(30, rng=SEED, completeness=0.9, ensure_nonempty_length=16)
+        cold = WitnessSet.from_nfa(nfa, 16, store=store)
+        count = cold.count()
+        samples = cold.sample_batch(5, rng=3, use_substreams=True)
+        warm = WitnessSet.from_nfa(nfa, 16, store=store)
+        assert warm.count() == count
+        assert warm.sample_batch(5, rng=3, use_substreams=True) == samples
+        assert store.stats.hits >= 1
+        # The warm set never unrolled or lowered anything: its kernel
+        # came from the snapshot, so the dag/stripped artifacts were
+        # never built.
+        assert "dag" not in warm._cache and "stripped" not in warm._cache
+
+    def test_ambiguity_certificate_persisted(self, store):
+        nfa = random_ufa(20, rng=SEED, completeness=0.9, ensure_nonempty_length=10)
+        assert WitnessSet.from_nfa(nfa, 10, store=store).is_unambiguous
+        warm = WitnessSet.from_nfa(nfa, 10, store=store)
+        assert warm.is_unambiguous
+        assert "stripped" not in warm._cache  # certificate came from meta
+
+    def test_plan_backed_sets_round_trip(self, store):
+        # An unambiguous product, so count/sample run on the kernel
+        # (ambiguous plans fall back to the subset counter, which never
+        # compiles — nothing to persist).
+        operands = ("(ab|ba)*", "(ab)*(a|b)?", 10)
+        baseline = WitnessSet.from_intersection(*operands, store=False)
+        assert baseline.is_unambiguous
+        cold = WitnessSet.from_intersection(*operands, store=store)
+        assert cold.count() == baseline.count()
+        warm = WitnessSet.from_intersection(*operands, store=store)
+        assert warm.count() == baseline.count()
+        assert store.stats.hits >= 1
+        assert warm.describe()["lowering"] is not None
+
+    def test_unfingerprintable_source_opts_out(self, store):
+        marker = object()
+        nfa = NFA([marker], ["a"], [(marker, "a", marker)], marker, [marker])
+        ws = WitnessSet.from_nfa(nfa, 4, store=store)
+        assert ws.count() == 1  # still answers, just without persistence
+        assert store.stats.stores == 0
+
+    def test_backend_guard_verifies_restored_kernels(self, store):
+        """A snapshot-restored kernel passes the kernel= guard for its
+        own instance (fingerprint match) and is rejected for another."""
+        from repro.errors import BackendError
+
+        operands = ("(ab|ba)*", "(ab)*(a|b)?", 10)
+        baseline = WitnessSet.from_intersection(*operands, store=False)
+        WitnessSet.from_intersection(*operands, store=store).count()
+        restored = WitnessSet.from_intersection(*operands, store=store).kernel
+        assert restored.fingerprint is not None
+        # A *different* witness set over the same instance accepts it...
+        fresh = WitnessSet.from_intersection(*operands, store=False)
+        assert fresh.count("exact", kernel=restored) == baseline.count()
+        # ...and an unrelated witness set rejects it.
+        other = WitnessSet.from_regex("(a|b)*", 10, alphabet="ab", store=False)
+        with pytest.raises(BackendError):
+            other.count("exact", kernel=restored)
+
+    def test_spectrum_past_n_on_restored_kernel(self, store):
+        nfa = random_ufa(15, rng=SEED, completeness=0.95, ensure_nonempty_length=12)
+        cold = WitnessSet.from_nfa(nfa, 6, store=store)
+        baseline = WitnessSet.from_nfa(nfa, 6, store=False)
+        assert cold.spectrum() == baseline.spectrum()
+        warm = WitnessSet.from_nfa(nfa, 6, store=store)
+        # Extending past the snapshot resolves the source lazily.
+        assert warm.spectrum(10) == baseline.spectrum(10)
+
+
+# ----------------------------------------------------------------------
+# Deterministic substreams
+# ----------------------------------------------------------------------
+
+
+class TestSubstreams:
+    def test_spawn_seq_deterministic_and_order_free(self):
+        streams_a = [spawn_seq(make_rng(5), i) for i in (0, 1, 2)]
+        streams_b = [spawn_seq(make_rng(5), i) for i in (2, 1, 0)][::-1]
+        assert [g.random() for g in streams_a] == [g.random() for g in streams_b]
+
+    def test_spawn_seq_does_not_advance_parent(self):
+        parent = make_rng(5)
+        before = parent.getstate()
+        spawn_seq(parent, 3)
+        assert parent.getstate() == before
+
+    def test_distinct_indices_distinct_streams(self):
+        parent = make_rng(5)
+        values = {spawn_seq(parent, i).getrandbits(64) for i in range(32)}
+        assert len(values) == 32
+
+    def test_sample_batch_substreams_prefix_stable(self):
+        """Draw i depends only on (seed, i): a longer batch extends a
+        shorter one instead of reshuffling it."""
+        ws = WitnessSet.from_regex("(ab|ba)*", 12, alphabet="ab", store=False)
+        small = ws.sample_batch(3, rng=9, use_substreams=True)
+        large = ws.sample_batch(7, rng=9, use_substreams=True)
+        assert large[:3] == small
+
+    def test_repeated_batches_on_live_rng_differ(self):
+        """use_substreams with a shared generator must not replay the
+        same batch (the parent is ticked once per call); an integer seed
+        replays by design."""
+        ws = WitnessSet.from_regex("(a|b)*", 16, alphabet="ab", store=False)
+        shared_rng = make_rng(3)
+        first = ws.sample_batch(4, rng=shared_rng, use_substreams=True)
+        second = ws.sample_batch(4, rng=shared_rng, use_substreams=True)
+        assert first != second
+        assert ws.sample_batch(4, rng=3, use_substreams=True) == ws.sample_batch(
+            4, rng=3, use_substreams=True
+        )
+
+    def test_coalesced_equals_separate(self):
+        ws = WitnessSet.from_regex("(ab|ba)*(a|b)?", 11, alphabet="ab", store=False)
+        requests = [(3, 7), (2, 8), (4, 7)]
+        coalesced = draw_samples_coalesced(ws, requests)
+        separate = [draw_samples(ws, k, seed) for k, seed in requests]
+        assert coalesced == separate
+
+    def test_ambiguous_route_coalesced_equals_separate(self):
+        ws = WitnessSet.from_regex("(a|b)*a(a|b)*", 8, alphabet="ab", store=False)
+        assert not ws.is_unambiguous
+        requests = [(2, 1), (3, 2)]
+        assert draw_samples_coalesced(ws, requests) == [
+            draw_samples(ws, k, seed) for k, seed in requests
+        ]
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+def _mixed_requests():
+    return [
+        {"id": 1, "op": "count", "spec": SPEC},
+        {"id": 2, "op": "sample", "spec": SPEC, "k": 3, "seed": 7},
+        {"id": 3, "op": "sample", "spec": SPEC, "k": 2, "seed": 8},
+        {"id": 4, "op": "count", "spec": SPEC2},
+        {"id": 5, "op": "sample_batch", "spec": SPEC2, "k": 4, "seed": 9},
+        {"id": 6, "op": "spectrum", "spec": SPEC, "max_length": 6},
+        {"id": 7, "op": "describe", "spec": SPEC2},
+        {"id": 8, "op": "ping"},
+    ]
+
+
+def _results(responses):
+    return {response["id"]: response.get("result") for response in responses}
+
+
+class TestEngine:
+    def test_in_process_execution(self):
+        with Engine(workers=0) as engine:
+            responses = engine.execute(_mixed_requests())
+        assert all(response["ok"] for response in responses)
+        results = _results(responses)
+        assert results[1] == 32
+        assert len(results[2]) == 3 and len(results[3]) == 2
+        assert results[6][0] == [0, 1]
+
+    def test_same_spec_samples_coalesce(self):
+        with Engine(workers=0) as engine:
+            responses = engine.execute(_mixed_requests())
+        by_id = {response["id"]: response for response in responses}
+        assert by_id[2].get("coalesced") == 2
+        assert by_id[3].get("coalesced") == 2
+
+    def test_multiworker_matches_in_process(self):
+        requests = _mixed_requests()
+        with Engine(workers=0) as local:
+            base = _results(local.execute(requests))
+        with Engine(workers=2) as pool:
+            assert _results(pool.execute(requests)) == base
+            # Affinity: repeating the batch lands specs on the same
+            # workers, so every kernel is already resident.
+            pool.execute(requests)
+            stats = pool.stats()
+        assert sum(entry["hits"] for entry in stats) > 0
+
+    def test_affinity_routing_is_deterministic(self):
+        with Engine(workers=4) as engine:
+            key = spec_key(SPEC)
+            assert engine.route(key) == engine.route(key)
+            engine.close()
+
+    def test_error_isolation(self):
+        requests = [
+            {"id": 1, "op": "count", "spec": SPEC},
+            {"id": 2, "op": "nonsense", "spec": SPEC},
+            {"id": 3, "op": "count", "spec": {"kind": "bogus"}},
+        ]
+        with Engine(workers=0) as engine:
+            responses = engine.execute(requests)
+        assert responses[0]["ok"]
+        assert not responses[1]["ok"] and not responses[2]["ok"]
+        assert responses[2]["error_type"] == "ProtocolError"
+
+    def test_duplicate_ids_across_clients_stay_positional(self):
+        """Two clients may both say id 'c0' in one batch: responses are
+        matched by batch position, never by the client-chosen id."""
+        requests = [
+            {"id": "c0", "op": "count", "spec": SPEC},
+            {"id": "c0", "op": "count", "spec": SPEC2},
+        ]
+        for workers in (0, 2):
+            with Engine(workers=workers) as engine:
+                for _ in range(3):  # repeat: completion order varies
+                    responses = engine.execute([dict(r) for r in requests])
+                    assert [r["result"] for r in responses] == [32, 26]
+                    assert all("__seq" not in r for r in responses)
+
+    def test_dead_worker_fails_fast_instead_of_hanging(self):
+        with Engine(workers=2) as engine:
+            victim = engine.route(spec_key(SPEC))
+            engine._processes[victim].terminate()
+            engine._processes[victim].join(timeout=5)
+            responses = engine.execute(
+                [
+                    {"id": 1, "op": "count", "spec": SPEC},
+                    {"id": 2, "op": "count", "spec": SPEC2},
+                ]
+            )
+        by_id = {response["id"]: response for response in responses}
+        assert not by_id[1]["ok"] and by_id[1]["error_type"] == "EngineError"
+        # The surviving worker keeps serving (unless SPEC2 shares the
+        # dead worker's route, in which case it also fails fast).
+        if engine.route(spec_key(SPEC2)) != victim:
+            assert by_id[2]["ok"] and by_id[2]["result"] == 26
+
+    def test_invalid_k_never_steals_sibling_witnesses(self):
+        good = {"id": 2, "op": "sample", "spec": SPEC, "k": 2, "seed": 5}
+        with Engine(workers=0) as engine:
+            solo = engine.execute([dict(good)])[0]["result"]
+            responses = engine.execute(
+                [{"id": 1, "op": "sample", "spec": SPEC, "k": -1, "seed": 4}, good]
+            )
+        assert not responses[0]["ok"]
+        assert responses[0]["error_type"] == "ProtocolError"
+        assert responses[1]["ok"] and responses[1]["result"] == solo
+
+    def test_shared_store_across_workers(self, tmp_path):
+        root = tmp_path / "kernels"
+        requests = [{"id": 1, "op": "count", "spec": SPEC}]
+        with Engine(workers=0, store_root=root) as engine:
+            engine.execute(requests)
+        assert KernelStore(root).entries()
+        with Engine(workers=2, store_root=root) as pool:
+            responses = pool.execute(requests)
+        assert responses[0]["result"] == 32
+
+    def test_engine_honours_store_env_default(self, tmp_path, monkeypatch):
+        root = tmp_path / "env-kernels"
+        monkeypatch.setenv("REPRO_KERNEL_STORE", str(root))
+        with Engine(workers=0) as engine:
+            engine.execute([{"id": 1, "op": "count", "spec": SPEC}])
+        assert KernelStore(root).entries(), "env-default store must persist kernels"
+        with Engine(workers=0, store_root=False) as engine:
+            assert engine.store_root is None  # explicit opt-out wins
+
+
+# ----------------------------------------------------------------------
+# Specs
+# ----------------------------------------------------------------------
+
+
+class TestSpecs:
+    def test_witness_set_from_spec_matches_facade(self):
+        assert witness_set_from_spec(SPEC).count() == WitnessSet.from_regex(
+            "(ab|ba)*", 10, alphabet="ab", store=False
+        ).count()
+
+    def test_spec_key_stable_under_field_order(self):
+        shuffled = {"n": 10, "pattern": "(ab|ba)*", "kind": "regex", "alphabet": "ab"}
+        assert spec_key(SPEC) == spec_key(shuffled)
+
+    def test_dnf_spec(self):
+        ws = witness_set_from_spec({"kind": "dnf", "formula": "x0 & !x1 | x2"})
+        assert ws.count() == WitnessSet.from_dnf("x0 & !x1 | x2", store=False).count()
+
+    def test_nfa_spec_round_trip(self):
+        from repro.automata.serialization import nfa_to_json
+
+        nfa = random_ufa(8, rng=SEED, completeness=0.9, ensure_nonempty_length=5)
+        spec = {"kind": "nfa", "nfa": json.loads(nfa_to_json(nfa)), "n": 5}
+        assert witness_set_from_spec(spec).count() == WitnessSet.from_nfa(
+            nfa, 5, store=False
+        ).count()
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+
+
+def _request_lines(requests):
+    return "".join(json.dumps(request) + "\n" for request in requests)
+
+
+class TestServeStdio:
+    def test_round_trip(self):
+        stdin = io.StringIO(
+            _request_lines(
+                [
+                    {"id": 1, "op": "count", "spec": SPEC},
+                    {"id": 2, "op": "sample", "spec": SPEC, "k": 2, "seed": 7},
+                ]
+            )
+        )
+        stdout = io.StringIO()
+        with Engine(workers=0) as engine:
+            assert serve_stdio(engine, stdin=stdin, stdout=stdout) == 0
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        results = {response["id"]: response["result"] for response in responses}
+        assert results[1] == 32 and len(results[2]) == 2
+
+    def test_malformed_line_answers_error(self):
+        stdin = io.StringIO("this is not json\n")
+        stdout = io.StringIO()
+        with Engine(workers=0) as engine:
+            serve_stdio(engine, stdin=stdin, stdout=stdout)
+        response = json.loads(stdout.getvalue().splitlines()[0])
+        assert not response["ok"]
+
+    def test_shutdown_stops_loop(self):
+        stdin = io.StringIO(_request_lines([{"id": 1, "op": "shutdown"}]))
+        stdout = io.StringIO()
+        with Engine(workers=0) as engine:
+            serve_stdio(engine, stdin=stdin, stdout=stdout)
+        assert json.loads(stdout.getvalue().splitlines()[0])["result"] == "bye"
+
+    def test_real_pipe_batches_and_coalesces(self):
+        """Over an actual pipe (fd framing), a pipelined burst lands in
+        one engine batch, so same-spec samples coalesce."""
+        read_fd, write_fd = os.pipe()
+        requests = [
+            {"id": i, "op": "sample", "spec": SPEC, "k": 1, "seed": i}
+            for i in range(4)
+        ]
+        payload = _request_lines(requests) + _request_lines(
+            [{"id": 99, "op": "shutdown"}]
+        )
+        os.write(write_fd, payload.encode("utf-8"))
+        os.close(write_fd)
+        stdout = io.StringIO()
+        with Engine(workers=0) as engine:
+            with os.fdopen(read_fd, "r") as stdin:
+                assert serve_stdio(engine, stdin=stdin, stdout=stdout) == 0
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        samples = [r for r in responses if isinstance(r.get("id"), int) and r["id"] < 4]
+        assert len(samples) == 4 and all(r["ok"] for r in samples)
+        assert all(r.get("coalesced") == 4 for r in samples)
+
+
+@pytest.fixture
+def tcp_server():
+    engine = Engine(workers=0)
+    ready = threading.Event()
+    address: dict = {}
+
+    def on_ready(addr):
+        address["addr"] = addr
+        ready.set()
+
+    thread = threading.Thread(
+        target=serve_tcp,
+        args=(engine,),
+        kwargs={"port": 0, "ready_callback": on_ready},
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(10), "server did not come up"
+    host, port = address["addr"]
+    yield host, port
+    try:
+        with ServiceClient(host, port, timeout=5) as client:
+            client.shutdown()
+    except OSError:
+        pass
+    thread.join(timeout=10)
+    engine.close()
+
+
+class TestServeTcp:
+    def test_count_and_sample(self, tcp_server):
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            assert client.result("count", SPEC) == 32
+            samples = client.result("sample", SPEC, k=3, seed=7)
+        with Engine(workers=0) as engine:
+            local = engine.execute(
+                [{"id": 0, "op": "sample", "spec": SPEC, "k": 3, "seed": 7}]
+            )[0]["result"]
+        assert samples == local
+
+    def test_pipelined_batch_coalesces(self, tcp_server):
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            responses = client.send(
+                [
+                    {"op": "sample", "spec": SPEC, "k": 2, "seed": 1},
+                    {"op": "sample", "spec": SPEC, "k": 2, "seed": 2},
+                    {"op": "count", "spec": SPEC},
+                ]
+            )
+        assert all(response["ok"] for response in responses)
+        # Both samples arrived in one socket write → one kernel pass.
+        assert responses[0].get("coalesced") == 2
+
+    def test_ping_and_stats(self, tcp_server):
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            assert client.result("ping") == "pong"
+            stats = client.result("stats")
+        # Server-level stats aggregate every worker's counters.
+        assert "served" in stats
+        assert all("resident" in worker for worker in stats["workers"])
+
+    def test_malformed_line_gets_error_response(self, tcp_server):
+        import socket as socket_module
+
+        host, port = tcp_server
+        with socket_module.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            response = json.loads(sock.makefile().readline())
+        assert not response["ok"]
