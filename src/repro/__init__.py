@@ -152,6 +152,8 @@ def uniform_sample(
     n: int,
     rng: random.Random | int | None = None,
     delta: float = 0.1,
+    *,
+    seed: int | None = None,
 ):
     """One uniform witness of ``L_n(nfa)`` (None when the set is empty).
 
@@ -160,10 +162,11 @@ def uniform_sample(
     Unambiguous automata get the exact uniform sampler of Section 5.3.3;
     general NFAs the Las Vegas generator of Corollary 23 — both through
     the shared :class:`WitnessSet` cache, so the per-automaton
-    preprocessing is paid once across calls.
+    preprocessing is paid once across calls.  ``seed=`` is an integer
+    alias for ``rng=``; both spellings draw the identical stream.
     """
     _deprecated("uniform_sample", "WitnessSet.from_nfa(nfa, n).sample(rng=...)")
-    return shared_witness_set(nfa, n, delta=delta).sample(rng=make_rng(rng))
+    return shared_witness_set(nfa, n, delta=delta).sample(rng=rng, seed=seed)
 
 
 def uniform_samples(
@@ -172,15 +175,18 @@ def uniform_samples(
     count: int,
     rng: random.Random | int | None = None,
     delta: float = 0.1,
+    *,
+    seed: int | None = None,
 ) -> list:
     """``count`` independent uniform witnesses of ``L_n(nfa)``.
 
     .. deprecated:: 1.1  Use ``WitnessSet.from_nfa(nfa, n).sample(count)``.
 
     Raises :class:`EmptyWitnessSetError` if there are no witnesses.
+    ``seed=`` is an integer alias for ``rng=``.
     """
     _deprecated("uniform_samples", "WitnessSet.from_nfa(nfa, n).sample(count)")
-    return shared_witness_set(nfa, n, delta=delta).sample(count, rng=make_rng(rng))
+    return shared_witness_set(nfa, n, delta=delta).sample(count, rng=rng, seed=seed)
 
 
 __all__ = [

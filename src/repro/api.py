@@ -63,7 +63,11 @@ from repro import backends as _backends
 from repro.automata.nfa import NFA, Word
 from repro.automata.regex import compile_regex
 from repro.automata.unambiguous import is_unambiguous
-from repro.core.enumeration import enumerate_words_dag, enumerate_words_nfa
+from repro.core.enumeration import (
+    algorithm1_page,
+    enumerate_words_dag,
+    enumerate_words_nfa,
+)
 from repro.core.exact import count_words_exact, length_spectrum
 from repro.core.exact_sampler import ExactUniformSampler
 from repro.core.fpras import FprasParameters, FprasState
@@ -107,6 +111,19 @@ class CacheStats:
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics
         return f"<CacheStats hits={self.hit_count} misses={self.miss_count}>"
+
+
+def _resolve_seed_alias(
+    rng: random.Random | int | None, seed: int | None
+) -> random.Random | int | None:
+    """Merge the ``seed=`` integer alias into ``rng`` (one spelling only)."""
+    if seed is None:
+        return rng
+    if rng is not None:
+        raise ValueError("pass either rng= or its alias seed=, not both")
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+    return seed
 
 
 class WitnessSet:
@@ -523,6 +540,43 @@ class WitnessSet:
         for w in self.words(limit=limit):
             yield self.decode(w)
 
+    def enumerate_page(self, count: int, cursor=None) -> tuple[list, object]:
+        """One resumable page: up to ``count`` decoded witnesses plus the
+        cursor for the next page (``None`` when exhausted).
+
+        This is the service layer's streamed-enumeration primitive: a
+        client pages through a huge witness set chunk by chunk without
+        the server ever materializing it.  Unambiguous sources resume in
+        O(n) from an Algorithm 1 decision-point cursor
+        (:func:`repro.core.enumeration.algorithm1_page`); ambiguous
+        sources fall back to an integer offset cursor over the
+        polynomial-delay flashlight enumeration (resuming re-walks the
+        skipped prefix).  Cursors are opaque JSON-able values — pass
+        them back verbatim; a corrupt or stale cursor raises
+        ``ValueError`` rather than returning a wrong page.  Page
+        boundaries never change the output: concatenating pages of any
+        sizes equals :meth:`enumerate`.
+        """
+        if count < 0:
+            raise ValueError("page size must be ≥ 0")
+        if self.is_unambiguous:
+            words, next_cursor = algorithm1_page(self.kernel, cursor, count)
+            return [self.decode(w) for w in words], next_cursor
+        if cursor is None:
+            offset = 0
+        elif isinstance(cursor, int) and not isinstance(cursor, bool) and cursor >= 0:
+            offset = cursor
+        else:
+            raise ValueError("invalid enumeration cursor")
+        iterator = self.words()
+        skipped = sum(1 for _ in itertools.islice(iterator, offset))
+        if skipped < offset:
+            raise ValueError("invalid enumeration cursor")
+        page = [self.decode(w) for w in itertools.islice(iterator, count)]
+        if len(page) < count or next(iterator, None) is None:
+            return page, None
+        return page, offset + count
+
     # ------------------------------------------------------------------
     # GEN
     # ------------------------------------------------------------------
@@ -539,11 +593,25 @@ class WitnessSet:
                 return w
         raise GenerationFailedError(DEFAULT_ATTEMPTS_PER_CALL)
 
-    def sample(self, k: int | None = None, rng: random.Random | int | None = None):
+    def sample(
+        self,
+        k: int | None = None,
+        rng: random.Random | int | None = None,
+        *,
+        seed: int | None = None,
+    ):
         """Uniform witnesses: one (or ``None`` when ``W = ∅``) by default,
         a list of ``k`` independent draws when ``k`` is given (raising
         :class:`EmptyWitnessSetError` on an empty set, mirroring the
-        batched samplers)."""
+        batched samplers).
+
+        ``seed=`` is an integer alias for ``rng=`` (the spelling the
+        service protocol and the deprecated top-level shims use):
+        ``sample(5, seed=7)`` and ``sample(5, rng=7)`` draw the identical
+        stream.  ``rng`` additionally accepts a live ``random.Random`` to
+        share a stream across calls; passing both is an error.
+        """
+        rng = _resolve_seed_alias(rng, seed)
         generator = self.rng if rng is None else make_rng(rng)
         if k is None:
             w = self._sample_word_or_none(generator)
@@ -561,6 +629,7 @@ class WitnessSet:
         k: int,
         rng: random.Random | int | None = None,
         *,
+        seed: int | None = None,
         use_substreams: bool = False,
     ) -> list:
         """``k`` uniform witnesses drawn in one table-guided kernel pass.
@@ -582,9 +651,12 @@ class WitnessSet:
         — or omitted — the parent is ticked once after deriving the
         streams, so *repeated* calls still produce fresh batches; an
         integer seed gives the same batch every time, as a seed should.)
+
+        ``seed=`` is an integer alias for ``rng=`` (see :meth:`sample`).
         """
         if k < 0:
             raise ValueError("sample count must be ≥ 0")
+        rng = _resolve_seed_alias(rng, seed)
         generator = self.rng if rng is None else make_rng(rng)
         if not self.nonempty:
             raise EmptyWitnessSetError(f"no witnesses of length {self.n}")

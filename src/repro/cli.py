@@ -7,10 +7,14 @@ sample    uniform witnesses (exact / Las Vegas, per the class dispatch)
 enum      enumerate witnesses (constant/polynomial delay)
 inspect   automaton facts: size, ambiguity, per-length spectrum
 dot       Graphviz DOT of the automaton or its unrolled DAG
-serve     the witness service: JSON-lines over stdio or TCP
+serve     the witness service: JSON-lines over stdio or async TCP
           (``--workers`` forks the affinity-routed engine pool,
-          ``--store`` persists kernels for warm starts)
-query     send one operation to a running ``repro serve --port`` server
+          ``--store`` persists kernels for warm starts; ``--max-line``,
+          ``--request-timeout`` and ``--max-connections`` bound the
+          concurrent front-end)
+query     send one operation to a running ``repro serve --port`` server;
+          ``repro query enum`` / ``--enumerate`` streams witnesses as
+          chunked responses (``--chunk-size``, resumable ``--cursor``)
 
 Every command goes through the :class:`repro.api.WitnessSet` facade, so
 within one process repeated queries on the same input reuse all
@@ -306,7 +310,12 @@ def _spec_from_args(args) -> dict:
 
 def _command_serve(args) -> int:
     from repro.service.engine import Engine
-    from repro.service.server import serve_stdio, serve_tcp
+    from repro.service.server import (
+        DEFAULT_MAX_CONNECTIONS,
+        DEFAULT_MAX_LINE,
+        serve_stdio,
+        serve_tcp,
+    )
 
     engine = Engine(
         workers=args.workers,
@@ -314,9 +323,15 @@ def _command_serve(args) -> int:
         max_resident=args.max_resident,
     )
     window = args.batch_window / 1000.0
+    max_line = args.max_line if args.max_line is not None else DEFAULT_MAX_LINE
+    max_connections = (
+        args.max_connections
+        if args.max_connections is not None
+        else DEFAULT_MAX_CONNECTIONS
+    )
     try:
         if args.port is None:
-            return serve_stdio(engine, batch_window=window)
+            return serve_stdio(engine, batch_window=window, max_line=max_line)
 
         def announce(address) -> None:
             print(f"listening on {address[0]}:{address[1]}", file=sys.stderr, flush=True)
@@ -327,17 +342,66 @@ def _command_serve(args) -> int:
             port=args.port,
             batch_window=window,
             ready_callback=announce,
+            max_line=max_line,
+            request_timeout=args.request_timeout or None,
+            max_connections=max_connections,
         )
     finally:
         engine.close()
 
 
+def _print_resume_cursor(cursor) -> None:
+    """Tell the user how to continue a stream that stopped early
+    (``--limit`` reached, or interrupted) — on stderr, so piped witness
+    output stays clean."""
+    if cursor is None:
+        return
+    import json as _json
+
+    print(
+        f"resume with: --cursor '{_json.dumps(cursor, separators=(',', ':'))}'",
+        file=sys.stderr,
+    )
+
+
 def _command_query(args) -> int:
     import json as _json
 
-    from repro.service.client import ServiceClient
+    from repro.service.client import ServiceClient, ServiceClientError
 
     op = args.op
+    if getattr(args, "enumerate", False):
+        if op is not None and op not in ("enum", "enumerate"):
+            raise SystemExit("--enumerate cannot be combined with another op")
+        op = "enum"
+    if op is None:
+        raise SystemExit("repro query needs an op (or --enumerate)")
+    if op in ("enum", "enumerate"):
+        # Streamed enumeration: chunked response lines printed as they
+        # arrive — the witness set is never materialized on either side.
+        try:
+            cursor = _json.loads(args.cursor) if args.cursor is not None else None
+        except ValueError as error:
+            raise SystemExit(f"--cursor is not valid JSON: {error}") from error
+        with ServiceClient(args.host, args.port) as client:
+            try:
+                for item in client.enumerate(
+                    _spec_from_args(args),
+                    limit=args.limit,
+                    chunk_size=args.chunk_size,
+                    cursor=cursor,
+                ):
+                    print(item, flush=True)
+            except ServiceClientError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 1
+            except KeyboardInterrupt:
+                _print_resume_cursor(client.last_cursor)
+                return 130
+            # A --limit-terminated stream is resumable: surface where it
+            # stopped so the next run can pass it back via --cursor.
+            _print_resume_cursor(client.last_cursor)
+        return 0
     request: dict = {"op": op}
     if op not in ("ping", "stats", "shutdown"):
         request["spec"] = _spec_from_args(args)
@@ -351,10 +415,6 @@ def _command_query(args) -> int:
         request["k"] = args.batch if args.batch is not None else args.count
         if args.seed is not None:
             request["seed"] = args.seed
-    elif op == "enum":
-        request["op"] = "enumerate"
-        if args.limit is not None:
-            request["limit"] = args.limit
     elif op == "spectrum":
         if args.max_length is not None:
             request["max_length"] = args.max_length
@@ -457,6 +517,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coalescing grace period in milliseconds")
     serve.add_argument("--max-resident", type=int, default=64,
                        help="witness sets kept hot per worker")
+    serve.add_argument("--max-line", type=int, default=None, metavar="BYTES",
+                       help="bound on one request line (default 8 MiB); longer "
+                            "lines get a one-line JSON error")
+    serve.add_argument("--request-timeout", type=float, default=0.0, metavar="SECONDS",
+                       help="per-request deadline while waiting for engine "
+                            "capacity (0 = none; requests may override via "
+                            "timeout_ms)")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="cap on simultaneous TCP connections (default 1024)")
     serve.set_defaults(run=_command_serve)
 
     query = commands.add_parser(
@@ -464,8 +533,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "op",
-        choices=["count", "sample", "sample_batch", "enum", "spectrum",
-                 "describe", "ping", "stats", "shutdown"],
+        nargs="?",
+        default=None,
+        choices=["count", "sample", "sample_batch", "enum", "enumerate",
+                 "spectrum", "describe", "ping", "stats", "shutdown"],
     )
     _add_input_arguments(query)
     query.add_argument("--port", type=int, required=True)
@@ -478,6 +549,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--batch", type=_nonnegative, default=None, metavar="K")
     query.add_argument("--limit", type=int, default=None)
     query.add_argument("--max-length", type=int, default=None)
+    query.add_argument("--enumerate", action="store_true",
+                       help="stream witnesses (chunked constant-delay "
+                            "enumeration; same as the enum op)")
+    query.add_argument("--chunk-size", type=_nonnegative, default=None,
+                       help="witnesses per streamed enumeration chunk")
+    query.add_argument("--cursor", default=None, metavar="JSON",
+                       help="resume a streamed enumeration from this cursor "
+                            "(as printed/kept by a previous run)")
     query.set_defaults(run=_command_query)
 
     return parser

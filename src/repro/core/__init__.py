@@ -50,6 +50,7 @@ from repro.core.exact import (
     run_count_by_word,
 )
 from repro.core.enumeration import (
+    algorithm1_page,
     enumerate_words,
     enumerate_words_dag,
     enumerate_words_nfa,
@@ -128,6 +129,7 @@ __all__ = [
     "length_spectrum",
     "run_count_by_word",
     "enumerate_words",
+    "algorithm1_page",
     "enumerate_words_ufa",
     "enumerate_words_nfa",
     "enumerate_words_dag",

@@ -144,6 +144,136 @@ def _algorithm1(kernel: CompiledDAG) -> Iterator[Word]:
         decisions[-1][2] += 1
 
 
+def algorithm1_page(
+    kernel: CompiledDAG, cursor: list | None, count: int
+) -> tuple[list[Word], list | None]:
+    """One resumable *page* of Algorithm 1: up to ``count`` words plus the
+    cursor for the next page.
+
+    The cursor is the paper's decision-point list itself — the
+    ``[layer, state_index, edge_index]`` triples describing the path of
+    the *next* word to emit — so resuming costs one O(n) replay, never a
+    re-walk of the ``offset`` words already served.  ``cursor=None``
+    starts from the beginning; a returned cursor of ``None`` means the
+    enumeration is exhausted.  Cursors are plain JSON-able integer lists
+    (the service's paging protocol ships them to clients verbatim), and a
+    malformed or stale cursor raises ``ValueError`` instead of yielding
+    wrong words: every replayed triple is checked against the kernel's
+    actual layers, states and degrees.
+
+    Page boundaries are invisible in the output: concatenating pages of
+    any sizes reproduces :func:`enumerate_words_dag` exactly.
+    """
+    if count < 0:
+        raise ValueError("page size must be ≥ 0")
+    words: list[Word] = []
+    if kernel.is_empty:
+        return words, None
+    n = kernel.n
+    if n == 0:
+        # Only the empty word exists; an empty cursor (or none) is the
+        # start, anything else is stale.
+        if cursor not in (None, []):
+            raise ValueError("invalid enumeration cursor")
+        if count:
+            return [()], None
+        return words, []
+    decisions = _validated_cursor(kernel, cursor)
+    symbols = kernel.symbols
+    edge_start = kernel._edge_start
+    edge_symbol = kernel._edge_symbol
+    edge_dst = kernel._edge_dst
+    start_index = kernel.index_of(0, kernel.nfa.initial)
+    while len(words) < count:
+        word_out: list[Symbol] = []
+        state = start_index
+        replay = 0
+        for t in range(n):
+            starts = edge_start[t]
+            base = starts[state]
+            degree = starts[state + 1] - base
+            if replay < len(decisions) and decisions[replay][0] == t:
+                index = decisions[replay][2]
+                replay += 1
+            else:
+                index = 0
+                if degree > 1:
+                    decisions.append([t, state, 0])
+                    replay = len(decisions)
+            word_out.append(symbols[edge_symbol[t][base + index]])
+            state = edge_dst[t][base + index]
+        words.append(tuple(word_out))
+        while decisions:
+            t, vertex, index = decisions[-1]
+            starts = edge_start[t]
+            if index + 1 < starts[vertex + 1] - starts[vertex]:
+                break
+            decisions.pop()
+        if not decisions:
+            return words, None
+        decisions[-1][2] += 1
+    return words, decisions
+
+
+def _validated_cursor(kernel: CompiledDAG, cursor: list | None) -> list:
+    """The cursor as a fresh mutable decisions list, or ``ValueError``.
+
+    Replays the cursor's path through the kernel, checking that each
+    triple names a real decision point (layers strictly increasing,
+    state index matching the replayed walk, edge index within degree and
+    on a vertex with ≥ 2 successors) *and* that no branching vertex
+    along the replayed prefix is missing its triple — Algorithm 1
+    records every decision point it passes, so a gap means the cursor
+    was not produced by this enumeration and replaying it would emit
+    wrong (or endlessly repeating) words.  A client can never crash the
+    kernel walk, or silently receive the wrong page, with a corrupt or
+    stale cursor.
+    """
+    if cursor is None:
+        return []
+    bad = ValueError("invalid enumeration cursor")
+    if not isinstance(cursor, list):
+        raise bad
+    decisions: list[list[int]] = []
+    for entry in cursor:
+        if (
+            not isinstance(entry, (list, tuple))
+            or len(entry) != 3
+            or not all(isinstance(v, int) and not isinstance(v, bool) for v in entry)
+        ):
+            raise bad
+        decisions.append(list(entry))
+    state = kernel.index_of(0, kernel.nfa.initial)
+    replay = 0
+    for t in range(kernel.n):
+        starts = kernel._edge_start[t]
+        if not 0 <= state < len(starts) - 1:  # pragma: no cover - defensive
+            raise bad
+        base = starts[state]
+        degree = starts[state + 1] - base
+        if replay < len(decisions):
+            if decisions[replay][0] == t:
+                entry = decisions[replay]
+                if entry[1] != state or not 0 <= entry[2] < degree or degree < 2:
+                    raise bad
+                index = entry[2]
+                replay += 1
+            else:
+                # Still replaying recorded decisions: every branching
+                # vertex up to the last triple must have its own triple.
+                if degree > 1:
+                    raise bad
+                index = 0
+        else:
+            # Past the recorded prefix: fresh branching is fine (the
+            # walk discovers new decision points here, as in the paper).
+            index = 0
+        state = kernel._edge_dst[t][base + index]
+    if replay != len(decisions):
+        raise bad
+    return decisions
+
+
 def enumerate_words_nfa(nfa: NFA, n: int) -> Iterator[Word]:
     """Enumerate ``L_n(nfa)`` with polynomial delay (any NFA).
 

@@ -25,10 +25,14 @@ package turns the single-process facade into a service:
   affinity (each worker keeps its hot kernels resident) with
   deterministic per-request RNG substreams, so seeded ``sample`` results
   are byte-identical no matter which worker serves them.
-* :mod:`repro.service.server` — the JSON-lines request/response server
-  (stdin/stdout and TCP) behind ``repro serve`` / ``repro query``, with
-  request batching: same-fingerprint sample requests coalesce into one
-  ``sample_batch`` kernel pass.
+* :mod:`repro.service.server` — the JSON-lines server (stdin/stdout,
+  and an ``asyncio`` TCP front-end multiplexing concurrent connections)
+  behind ``repro serve`` / ``repro query``, with request batching —
+  same-fingerprint sample requests coalesce into one ``sample_batch``
+  kernel pass, across connections — plus bounded request lines,
+  per-request deadlines, backpressured writes, graceful drain, and
+  streamed constant-delay ``enumerate`` (chunked responses paged by
+  resumable cursors, so huge witness sets are never materialized).
 """
 
 from importlib import import_module
@@ -54,6 +58,7 @@ _EXPORTS = {
     "draw_samples": "protocol",
     "draw_samples_coalesced": "protocol",
     "WitnessServer": "server",
+    "AsyncWitnessServer": "server",
     "serve_stdio": "server",
     "serve_tcp": "server",
     "ServiceClient": "client",

@@ -24,6 +24,12 @@ class ServiceClient:
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self._buffer = b""
         self._next_id = 0
+        #: Cursor of the last enumerate chunk received (resume support).
+        self.last_cursor = None
+        #: Live stream id → lines read on its behalf by *other* calls.
+        #: Interleaving a paused enumerate() generator with send() would
+        #: otherwise drop the stream's in-flight chunks on the floor.
+        self._stream_lines: dict = {}
 
     def close(self) -> None:
         try:
@@ -74,7 +80,12 @@ class ServiceClient:
             if rid in remaining and remaining[rid] > 0:
                 remaining[rid] -= 1
                 pending.setdefault(rid, []).append(response)
-            # Unknown ids (another client's? impossible on one conn) dropped.
+            elif rid in self._stream_lines:
+                # A live (paused) enumerate generator's chunk: keep it
+                # for the generator instead of dropping it.
+                self._stream_lines[rid].append(response)
+            # Anything else (stale cancel acks, cancelled-stream tails)
+            # is dropped.
         for rid in order:
             responses.append(pending[rid].pop(0))
         return responses
@@ -95,6 +106,85 @@ class ServiceClient:
                 f"{response.get('error_type', 'error')}: {response.get('error')}"
             )
         return response["result"]
+
+    def enumerate(
+        self,
+        spec: dict,
+        limit: int | None = None,
+        chunk_size: int | None = None,
+        cursor=None,
+    ):
+        """Stream witnesses of ``spec`` from the server, one at a time.
+
+        Sends a single ``{"op": "enumerate", "stream": true}`` request;
+        the async server answers with chunked response lines and this
+        generator yields their items as the chunks arrive — the first
+        witnesses are available long before (and regardless of whether)
+        the enumeration finishes, and neither side ever materializes
+        the witness set.  ``cursor`` resumes a previous stream (each
+        chunk's cursor is remembered on :attr:`last_cursor`, so a
+        dropped connection can pick up where it left off); ``limit``
+        bounds the total and ``chunk_size`` the per-chunk batch.
+
+        Abandoning the generator sends a best-effort ``cancel`` op so
+        the server stops paging (its ack and any in-flight chunk lines
+        are skipped by id on later calls); closing the client cancels
+        the stream server-side too.
+        """
+        request: dict = {"op": "enumerate", "spec": spec, "stream": True}
+        request["id"] = f"c{self._next_id}"
+        self._next_id += 1
+        if limit is not None:
+            request["limit"] = limit
+        if chunk_size is not None:
+            request["chunk_size"] = chunk_size
+        if cursor is not None:
+            request["cursor"] = cursor
+        self.last_cursor = cursor
+        self.sock.sendall(
+            json.dumps(request, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
+            + b"\n"
+        )
+        done = False
+        buffered = self._stream_lines.setdefault(request["id"], [])
+        try:
+            while True:
+                if buffered:
+                    response = buffered.pop(0)
+                else:
+                    response = json.loads(self._read_line())
+                rid = response.get("id")
+                if rid != request["id"]:
+                    if rid in self._stream_lines:
+                        self._stream_lines[rid].append(response)
+                    continue  # a stale cancel ack or cancelled-stream tail
+                if not response.get("ok"):
+                    done = response.get("done", True)
+                    raise ServiceClientError(
+                        f"{response.get('error_type', 'error')}: {response.get('error')}"
+                    )
+                # Recorded before yielding: resuming from last_cursor
+                # continues after the last chunk *received* (a consumer
+                # abandoning mid-chunk skips that chunk's remainder).
+                self.last_cursor = response.get("cursor")
+                yield from response.get("chunk") or ()
+                if response.get("done"):
+                    done = True
+                    return
+        finally:
+            self._stream_lines.pop(request["id"], None)
+            if not done:
+                # Abandoned mid-stream: stop the server's paging.  The
+                # ack (and any chunk already in flight) carries an id no
+                # later call waits for, so it is skipped transparently.
+                cancel = {"op": "cancel", "target": request["id"], "id": f"c{self._next_id}"}
+                self._next_id += 1
+                try:
+                    self.sock.sendall(
+                        json.dumps(cancel, separators=(",", ":")).encode("utf-8") + b"\n"
+                    )
+                except OSError:  # pragma: no cover - connection already gone
+                    pass
 
     def shutdown(self) -> None:
         """Ask the server to stop (best-effort)."""

@@ -210,6 +210,37 @@ class Engine:
             responses = self._execute_pooled(groups)
         return self._order_responses(requests, responses)
 
+    def execute_stream(self, request: dict, chunk_size: int | None = None):
+        """Stream one ``enumerate`` request as a generator of chunk
+        responses.
+
+        Each yielded response answers one page: the worker that owns the
+        spec's fingerprint walks ``chunk_size`` more witnesses off its
+        hot kernel and hands back the items plus the resume cursor; the
+        next iteration sends that cursor straight back to the same
+        worker (affinity routing), so the stream costs one O(n) cursor
+        replay per chunk and never materializes the witness set — in any
+        process.  The generator ends after the page whose result says
+        ``done`` (or after an error response, which is yielded too so
+        the consumer can forward it).
+
+        Between pages the engine is free: the server interleaves other
+        clients' batches with a long-running stream.
+        """
+        if request.get("op") != "enumerate":
+            raise ValueError("execute_stream only serves enumerate requests")
+        from repro.service.protocol import paging_rounds
+
+        rounds = paging_rounds(request, chunk_size)
+        page_request = next(rounds)
+        while True:
+            response = self.execute([page_request])[0]
+            yield response
+            try:
+                page_request = rounds.send(response)
+            except StopIteration:
+                return
+
     @staticmethod
     def _order_responses(requests: list[dict], responses: list[dict]) -> list[dict]:
         """Match responses back to ``requests`` by the ``__seq`` tag."""

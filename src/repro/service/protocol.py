@@ -30,8 +30,19 @@ kind                    fields
 
 Operations: ``count`` (``backend`` / ``delta`` / ``seed``), ``sample``
 and ``sample_batch`` (``k`` / ``seed``), ``spectrum`` (``max_length``),
-``enumerate`` (``limit``), ``describe``, plus the connection-level
-``ping`` / ``stats`` / ``shutdown``.
+``enumerate`` (``limit`` / ``cursor`` / ``chunk_size``), ``describe``,
+plus the connection-level ``ping`` / ``stats`` / ``shutdown``.
+
+``enumerate`` is **paged**: one request answers one page —
+``{"items": [...], "cursor": ..., "done": bool}`` with at most
+``chunk_size`` (default :data:`DEFAULT_ENUM_CHUNK`) witnesses — and the
+returned cursor resumes exactly where the page stopped (in O(n) for
+unambiguous sources, via the Algorithm 1 decision-point list), so a
+client walks a witness set of any size without the server ever
+materializing it.  ``limit`` bounds the *total* items from the given
+cursor onward.  The async TCP server turns one client request with
+``"stream": true`` into a sequence of chunked response lines driven by
+this same paging (see :mod:`repro.service.server`).
 
 Reproducibility contract: every ``sample`` / ``sample_batch`` draw uses
 deterministic per-draw substreams of the request seed
@@ -56,6 +67,11 @@ SAMPLE_OPS = frozenset({"sample", "sample_batch"})
 
 #: Ops answered without a witness set.
 CONTROL_OPS = frozenset({"ping", "stats", "shutdown"})
+
+#: Default page size for the paged ``enumerate`` op: small enough that a
+#: page is one cheap kernel walk burst, big enough that paging overhead
+#: (one request round-trip per page) stays negligible.
+DEFAULT_ENUM_CHUNK = 500
 
 
 class ProtocolError(ReproError):
@@ -212,6 +228,88 @@ def draw_samples_coalesced(ws, requests: list[tuple[int, object]]) -> list[list]
     return [drawn[start:end] for start, end in slices]
 
 
+def _positive_int_or_none(request: dict, field: str) -> int | None:
+    value = request.get(field)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ProtocolError(f"{field} must be an integer ≥ 0")
+    return value
+
+
+def _enumerate_page(ws, request: dict) -> dict:
+    """One page of the paged ``enumerate`` op (the streaming primitive).
+
+    Honors ``cursor`` (resume point; omit to start), ``chunk_size`` (page
+    bound, default :data:`DEFAULT_ENUM_CHUNK`) and ``limit`` (total items
+    from this cursor onward).  Never materializes more than one page.
+    """
+    limit = _positive_int_or_none(request, "limit")
+    chunk = _positive_int_or_none(request, "chunk_size")
+    if chunk is None:
+        chunk = DEFAULT_ENUM_CHUNK
+    elif chunk == 0:
+        # A zero-item page can never be "done", so a paging loop over it
+        # would spin forever on empty chunks.
+        raise ProtocolError("chunk_size must be ≥ 1")
+    count = chunk if limit is None else min(chunk, limit)
+    try:
+        witnesses, cursor = ws.enumerate_page(count, request.get("cursor"))
+    except ValueError as error:
+        raise ProtocolError(str(error)) from error
+    exhausted_limit = limit is not None and limit <= len(witnesses)
+    done = cursor is None or exhausted_limit
+    # The cursor is returned even on a limit-terminated final page: it
+    # is the resume point for a later request (None only when the
+    # enumeration itself is exhausted).
+    return {
+        "items": [render_witness(w) for w in witnesses],
+        "cursor": cursor,
+        "done": done,
+    }
+
+
+def paging_rounds(request: dict, chunk_size: int | None = None):
+    """Sans-IO driver for streamed enumeration: the one page-request
+    construction both streaming front-ends share.
+
+    A generator speaking the send protocol: it *yields* the next page
+    request to execute; the consumer executes it (however it likes —
+    inline, through a worker pool, through an async queue) and
+    ``send()``-s the response back; the generator then yields the
+    following page request, or returns when the stream is finished
+    (limit exhausted, cursor gone, ``done`` page, or an error
+    response).  Keeping the cursor/limit bookkeeping here means
+    :meth:`Engine.execute_stream` and the async server's chunked
+    responses cannot drift apart.
+    """
+    remaining = request.get("limit")
+    cursor = request.get("cursor")
+    while True:
+        page_request = {
+            key: value
+            for key, value in request.items()
+            if key not in ("cursor", "limit", "stream")
+        }
+        if chunk_size is not None:
+            page_request["chunk_size"] = chunk_size
+        if cursor is not None:
+            page_request["cursor"] = cursor
+        if remaining is not None:
+            page_request["limit"] = remaining
+        response = yield page_request
+        if not response.get("ok"):
+            return
+        page = response.get("result") or {}
+        if remaining is not None:
+            remaining -= len(page.get("items") or ())
+        cursor = page.get("cursor")
+        if page.get("done") or cursor is None:
+            return
+        if remaining is not None and remaining <= 0:
+            return
+
+
 # ----------------------------------------------------------------------
 # The op executor (shared by in-process serving and pool workers)
 # ----------------------------------------------------------------------
@@ -283,7 +381,7 @@ def _execute_one(ws, request: dict):
         spectrum = ws.spectrum(request.get("max_length"))
         return [[length, count] for length, count in sorted(spectrum.items())]
     if op == "enumerate":
-        return [render_witness(w) for w in ws.enumerate(limit=request.get("limit"))]
+        return _enumerate_page(ws, request)
     if op == "describe":
         return _render_describe(ws.describe())
     raise ProtocolError(f"unknown op {request.get('op')!r}")
@@ -377,6 +475,8 @@ __all__ = [
     "ProtocolError",
     "SAMPLE_OPS",
     "CONTROL_OPS",
+    "DEFAULT_ENUM_CHUNK",
+    "paging_rounds",
     "spec_key",
     "witness_set_from_spec",
     "render_witness",

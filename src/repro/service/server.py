@@ -1,36 +1,72 @@
-"""The JSON-lines witness service: stdin/stdout and TCP front-ends.
+"""The JSON-lines witness service: stdin/stdout and async TCP front-ends.
 
 One request per line in, one response per line out (see
 :mod:`repro.service.protocol` for the shapes).  The server's job is
-**batching**: instead of answering arrivals one by one, each loop
-iteration drains every request that has already arrived (plus a short
-``batch_window`` grace for stragglers), hands the whole batch to the
-:class:`~repro.service.engine.Engine` — which groups by spec and
-coalesces same-spec sample requests into a single ``sample_batch``
-kernel pass — and then writes all responses back.  Under concurrent
-load this turns N same-instance requests costing N kernel walks into
-one walk, without changing any response byte (the substream contract).
+**batching**: instead of answering arrivals one by one, requests that
+have already arrived (plus a short ``batch_window`` grace for
+stragglers) are handed to the :class:`~repro.service.engine.Engine` as
+one batch — which groups by spec and coalesces same-spec sample
+requests into a single ``sample_batch`` kernel pass — and the responses
+are written back.  Under concurrent load this turns N same-instance
+requests costing N kernel walks into one walk, without changing any
+response byte (the substream contract).
 
 Front-ends:
 
 * :func:`serve_stdio` — JSON-lines over stdin/stdout, the subprocess /
   pipeline embedding (``repro serve --stdio``);
-* :func:`serve_tcp` — a ``selectors``-based TCP loop (``repro serve
-  --port N``) multiplexing any number of client connections; batching
-  naturally spans connections.
+* :func:`serve_tcp` — an ``asyncio`` server (``repro serve --port N``)
+  multiplexing any number of concurrent client connections.  All
+  connections feed one shared batching queue, so same-spec sample
+  bursts coalesce **across connections**, not just within one client's
+  pipelined write.
 
-Control ops: ``ping`` answers ``"pong"``; ``stats`` reports per-worker
-cache/store counters; ``shutdown`` acknowledges, flushes, and stops the
-server.  Malformed lines get an ``ok: false`` response rather than
-killing the connection.
+Concurrency semantics of the TCP server:
+
+* **Per-connection isolation** — every connection has its own reader
+  task and its own write path; one client's malformed input, slow
+  reading or disconnect never affects another's responses.
+* **Bounded request size** — a request line longer than ``max_line``
+  bytes is answered with a one-line JSON error and the connection is
+  closed (line framing is unrecoverable past that point); the reader
+  never buffers an endless line.
+* **Backpressure** — reads stop while a connection's earlier requests
+  are still being enqueued (the shared queue is bounded), and writes
+  await the socket drain, so a client that stops reading pauses its own
+  stream instead of growing server memory.  A connection whose write
+  stalls longer than ``write_timeout`` is dropped.
+* **Per-request deadlines** — ``request_timeout`` (overridable per
+  request via ``"timeout_ms"``) bounds how long a request may wait for
+  engine capacity; an expired request is answered with a
+  ``TimeoutError`` response instead of executing.  Requests from a
+  connection that has gone away are cancelled (dropped before
+  execution).
+* **Graceful drain** — ``shutdown`` stops accepting new connections,
+  answers everything already queued, flushes every live connection and
+  only then exits.
+
+Streamed enumeration: a client request ``{"op": "enumerate", "stream":
+true, ...}`` is answered with a *sequence* of chunked response lines
+``{"id": ..., "ok": true, "chunk": [...], "cursor": ..., "done":
+false}`` ending with a ``"done": true`` line.  Each chunk is one paged
+engine round (the affinity worker resumes from the cursor in O(n)), so
+other clients' batches interleave with a long-running stream, the
+witness set is never materialized, and the per-chunk ``cursor`` lets a
+disconnected client resume exactly where it stopped.
+
+Control ops: ``ping`` answers ``"pong"``; ``stats`` reports server
+counters plus per-worker cache/store counters; ``shutdown``
+acknowledges, drains, and stops the server.  Malformed lines get an
+``ok: false`` response rather than killing the connection.
 """
 
 from __future__ import annotations
 
+import asyncio
+import itertools
 import json
 import os
 import selectors
-import socket
 import sys
 import time
 
@@ -39,7 +75,25 @@ from repro.service.engine import Engine
 #: Default grace period for coalescing stragglers into a batch (seconds).
 DEFAULT_BATCH_WINDOW = 0.005
 
-_MAX_LINE = 64 * 1024 * 1024
+#: Default bound on one request line (bytes); longer lines are answered
+#: with a one-line JSON error instead of being buffered without bound.
+DEFAULT_MAX_LINE = 8 * 1024 * 1024
+
+#: Default cap on simultaneously served connections.
+DEFAULT_MAX_CONNECTIONS = 1024
+
+#: Default budget for one response write before the client is considered
+#: gone (seconds).
+DEFAULT_WRITE_TIMEOUT = 5.0
+
+#: Bound on requests waiting for engine capacity; enqueueing past it
+#: blocks the connection's reader (backpressure), never server memory.
+_QUEUE_LIMIT = 4096
+
+#: Cap on concurrent enumeration streams per connection.
+MAX_STREAMS_PER_CONNECTION = 8
+
+_MAX_LINE = DEFAULT_MAX_LINE  # backwards-compatible alias
 
 
 def _parse_line(line: bytes | str) -> dict:
@@ -66,29 +120,11 @@ def encode_response(response: dict) -> bytes:
     ) + b"\n"
 
 
-class _Connection:
-    """Buffered line framing for one TCP client."""
-
-    __slots__ = ("sock", "inbuf", "outbuf")
-
-    def __init__(self, sock: socket.socket):
-        self.sock = sock
-        self.inbuf = b""
-        self.outbuf = b""
-
-    def take_lines(self, data: bytes) -> list[bytes]:
-        self.inbuf += data
-        if len(self.inbuf) > _MAX_LINE:
-            raise ValueError("request line too long")
-        *lines, self.inbuf = self.inbuf.split(b"\n")
-        return [line for line in lines if line.strip()]
-
-
 class WitnessServer:
     """The batching request loop over one :class:`Engine`.
 
     Responses are delivered through per-request callbacks, so the same
-    core serves both front-ends (and the tests drive it directly).
+    core serves the stdio front-end (and the tests drive it directly).
     """
 
     def __init__(self, engine: Engine, batch_window: float = DEFAULT_BATCH_WINDOW):
@@ -134,13 +170,22 @@ class WitnessServer:
         return out
 
 
-def _answer_lines(server: WitnessServer, lines, stdout) -> None:
+def _answer_lines(server: WitnessServer, lines, stdout, max_line: int) -> None:
     """Parse a batch of request lines, execute, write response lines."""
     parsed: list[tuple[dict, object]] = []
     for text in lines:
         if isinstance(text, bytes):
             text = text.decode("utf-8", errors="replace")
         if not text.strip():
+            continue
+        if len(text) > max_line:
+            stdout.write(
+                encode_response(
+                    _error_response(
+                        None, ValueError(f"request line too long (max {max_line} bytes)")
+                    )
+                ).decode("utf-8")
+            )
             continue
         try:
             parsed.append((_parse_line(text), None))
@@ -156,6 +201,7 @@ def serve_stdio(
     stdin=None,
     stdout=None,
     batch_window: float = DEFAULT_BATCH_WINDOW,
+    max_line: int = DEFAULT_MAX_LINE,
 ) -> int:
     """Serve JSON-lines over stdin/stdout until EOF or ``shutdown``.
 
@@ -165,6 +211,11 @@ def serve_stdio(
     grace for stragglers — lands in one engine batch and same-spec
     sample requests coalesce.  Non-selectable inputs (tests passing
     ``StringIO``) fall back to line-at-a-time processing.
+
+    A line longer than ``max_line`` is answered with a one-line JSON
+    error and *discarded up to its newline* — the reader never grows an
+    unbounded buffer, and the stream stays usable afterwards (unlike
+    TCP, stdio has exactly one client, so closing is not an option).
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
@@ -176,26 +227,76 @@ def serve_stdio(
         fileno = None
 
     if fileno is None:
-        # Fallback framing for in-memory streams: no fd to select on,
-        # so no cross-line batching — process each line as it comes.
+        # Fallback framing for non-selectable streams: no fd to select
+        # on, so no cross-line batching — process each line as it comes.
+        # readline is capped so an endless line is bounded here too: the
+        # oversized head gets the error, the tail is discarded in
+        # max_line-sized reads.
         while not server.shutting_down:
-            line = stdin.readline()
+            line = stdin.readline(max_line + 1)
             if not line:
                 break
-            _answer_lines(server, [line], stdout)
+            newline = "\n" if isinstance(line, str) else b"\n"
+            if len(line) > max_line and not line.endswith(newline):
+                stdout.write(
+                    encode_response(
+                        _error_response(
+                            None,
+                            ValueError(
+                                f"request line too long (max {max_line} bytes)"
+                            ),
+                        )
+                    ).decode("utf-8")
+                )
+                stdout.flush()
+                while True:  # discard the rest of the oversized line
+                    tail = stdin.readline(max_line)
+                    if not tail or tail.endswith(newline):
+                        break
+                continue
+            _answer_lines(server, [line], stdout, max_line)
         return 0
 
     selector = selectors.DefaultSelector()
     selector.register(fileno, selectors.EVENT_READ)
     buffer = b""
     eof = False
+    discarding = False
+
+    def frame(chunk: bytes) -> list[bytes]:
+        """Append a chunk, splitting complete lines off the buffer and
+        enforcing ``max_line`` (oversized partial lines flip the reader
+        into discard-until-newline mode)."""
+        nonlocal buffer, discarding
+        buffer += chunk
+        if discarding and b"\n" not in buffer:
+            buffer = b""  # still inside the oversized line: drop it all
+            return []
+        *lines, buffer = buffer.split(b"\n")
+        if discarding and lines:
+            # The tail of the oversized line ends at the first newline.
+            lines = lines[1:]
+            discarding = False
+        if not discarding and len(buffer) > max_line:
+            stdout.write(
+                encode_response(
+                    _error_response(
+                        None, ValueError(f"request line too long (max {max_line} bytes)")
+                    )
+                ).decode("utf-8")
+            )
+            stdout.flush()
+            buffer = b""
+            discarding = True
+        return lines
+
     try:
         while not server.shutting_down and not eof:
             selector.select()  # block until the first bytes arrive
             chunk = os.read(fileno, 1 << 20)
             if not chunk:
                 break
-            buffer += chunk
+            lines = frame(chunk)
             # Straggler grace: drain whatever else arrives in the window.
             deadline = time.monotonic() + server.batch_window
             while True:
@@ -206,15 +307,523 @@ def serve_stdio(
                 if not chunk:
                     eof = True
                     break
-                buffer += chunk
-            *lines, buffer = buffer.split(b"\n")
+                lines.extend(frame(chunk))
             if lines:
-                _answer_lines(server, lines, stdout)
-        if buffer.strip() and not server.shutting_down:
-            _answer_lines(server, [buffer], stdout)  # unterminated last line
+                _answer_lines(server, lines, stdout, max_line)
+        if buffer.strip() and not discarding and not server.shutting_down:
+            _answer_lines(server, [buffer], stdout, max_line)  # unterminated last line
     finally:
         selector.close()
     return 0
+
+
+# ----------------------------------------------------------------------
+# The async TCP front-end
+# ----------------------------------------------------------------------
+
+
+class _Pending:
+    """One queued request awaiting engine capacity."""
+
+    __slots__ = ("request", "conn", "deadline", "future")
+
+    def __init__(self, request: dict, conn, deadline, future=None):
+        self.request = request
+        self.conn = conn
+        self.deadline = deadline
+        #: When set, the pump resolves this future instead of writing to
+        #: the connection (internal rounds, e.g. one page of a stream).
+        self.future = future
+
+
+class _Connection:
+    """One TCP client: its writer plus liveness/ordering state."""
+
+    __slots__ = ("writer", "closed", "write_lock", "streams")
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.closed = False
+        self.write_lock = asyncio.Lock()
+        #: Live enumeration streams: unique key → (request id, task).
+        self.streams: dict = {}
+
+    async def write(self, payload: bytes) -> None:
+        async with self.write_lock:
+            self.writer.write(payload)
+            await self.writer.drain()
+
+
+class AsyncWitnessServer:
+    """The concurrent TCP server: many connections, one batching pump.
+
+    Every connection's requests land in one bounded queue; a single pump
+    task drains it (first arrival plus a ``batch_window`` straggler
+    grace), executes the whole batch in one engine call on a worker
+    thread, and fans the responses back out.  The engine is only ever
+    driven by the pump, so multiprocess result-queue consumption stays
+    single-consumer while any number of clients talk concurrently.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+        max_line: int = DEFAULT_MAX_LINE,
+        request_timeout: float | None = None,
+        max_connections: int = DEFAULT_MAX_CONNECTIONS,
+        write_timeout: float = DEFAULT_WRITE_TIMEOUT,
+    ):
+        self.engine = engine
+        self.batch_window = batch_window
+        self.max_line = max_line
+        self.request_timeout = request_timeout
+        self.max_connections = max_connections
+        self.write_timeout = write_timeout
+        self.served = 0
+        self.batches = 0
+        self.shutting_down = False
+        self.connections: set[_Connection] = set()
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._stop: asyncio.Event | None = None
+        self._stream_keys = itertools.count()
+        #: In-flight response writes, detached from the pump so a slow
+        #: reader only ever stalls its own connection.
+        self._send_tasks: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def run(self, host: str, port: int, ready_callback=None) -> int:
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=_QUEUE_LIMIT)
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(
+            self._handle_connection, host, port, limit=self.max_line
+        )
+        address = server.sockets[0].getsockname()
+        if ready_callback is not None:
+            ready_callback(address)
+        pump = loop.create_task(self._pump())
+        try:
+            await self._stop.wait()
+            # Graceful drain: no new connections, answer what's queued,
+            # flush what's written, then leave.  (The listener closes
+            # immediately; Server.wait_closed is *not* awaited before the
+            # drain because since 3.12 it waits for every connection
+            # handler — and idle clients may hold connections open.)
+            server.close()
+            await self._queue.join()
+            if self._send_tasks:
+                # Responses are written by detached tasks: flush them
+                # (bounded — a stalled write gives up at write_timeout).
+                await asyncio.wait(
+                    list(self._send_tasks), timeout=self.write_timeout + 1.0
+                )
+        finally:
+            pump.cancel()
+            # Unblock any stream task still waiting on an unprocessed
+            # page round, then drop the connections (which ends their
+            # handler tasks and lets the listener fully close).
+            while self._queue is not None and not self._queue.empty():
+                pending = self._queue.get_nowait()
+                if pending.future is not None and not pending.future.done():
+                    pending.future.set_result(None)
+                self._queue.task_done()
+            for conn in list(self.connections):
+                await self._close_connection(conn)
+            try:
+                await asyncio.wait_for(server.wait_closed(), timeout=1.0)
+            except asyncio.TimeoutError:  # pragma: no cover - stuck handler
+                pass
+        return 0
+
+    def _begin_shutdown(self) -> None:
+        self.shutting_down = True
+        if self._stop is not None:
+            self._stop.set()
+
+    async def _close_connection(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self.connections.discard(conn)
+        for _, task in list(conn.streams.values()):
+            task.cancel()
+        conn.streams.clear()
+        try:
+            conn.writer.close()
+            await asyncio.wait_for(conn.writer.wait_closed(), timeout=1.0)
+        except (OSError, asyncio.TimeoutError):  # pragma: no cover - racing close
+            pass
+
+    # ------------------------------------------------------------------
+    # Per-connection reader
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        if self.shutting_down or len(self.connections) >= self.max_connections:
+            reason = (
+                "server is shutting down"
+                if self.shutting_down
+                else f"too many connections (max {self.max_connections})"
+            )
+            await self._send(conn, _error_response(None, ConnectionError(reason)))
+            await self._close_connection(conn)
+            return
+        self.connections.add(conn)
+        try:
+            while not conn.closed and not self.shutting_down:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized line: one JSON error, then close — the
+                    # frame boundary is lost, resyncing is impossible.
+                    await self._send(
+                        conn,
+                        _error_response(
+                            None,
+                            ValueError(
+                                f"request line too long (max {self.max_line} bytes)"
+                            ),
+                        ),
+                    )
+                    break
+                except (OSError, ConnectionError):
+                    break
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                try:
+                    request = _parse_line(line)
+                except ValueError as error:
+                    await self._send(conn, _error_response(None, error))
+                    continue
+                op = request.get("op")
+                if op == "shutdown":
+                    await self._send(
+                        conn, {"id": request.get("id"), "ok": True, "result": "bye"}
+                    )
+                    self._begin_shutdown()
+                    break
+                if op == "cancel":
+                    await self._cancel_stream(request, conn)
+                    continue
+                if op == "enumerate" and request.get("stream"):
+                    await self._start_stream(request, conn)
+                    continue
+                await self._enqueue(request, conn)
+        finally:
+            # Marks the connection closed, which cancels its queued
+            # requests, and stops its stream tasks.
+            await self._close_connection(conn)
+
+    def _deadline_for(self, request: dict) -> float | None:
+        timeout = self.request_timeout
+        timeout_ms = request.get("timeout_ms")
+        if isinstance(timeout_ms, (int, float)) and not isinstance(timeout_ms, bool):
+            timeout = timeout_ms / 1000.0
+        if timeout is None or timeout <= 0:
+            return None
+        return asyncio.get_running_loop().time() + timeout
+
+    async def _enqueue(self, request: dict, conn: _Connection, future=None) -> None:
+        await self._queue.put(_Pending(request, conn, self._deadline_for(request), future))
+
+    async def _send(self, conn: _Connection, response: dict) -> None:
+        """Write one response line with backpressure; a write stalled
+        past ``write_timeout`` (client stopped reading) drops the
+        connection instead of stalling the server."""
+        if conn.closed:
+            return
+        try:
+            await asyncio.wait_for(
+                conn.write(encode_response(response)), timeout=self.write_timeout
+            )
+        except (asyncio.TimeoutError, OSError, ConnectionError):
+            await self._close_connection(conn)
+
+    # ------------------------------------------------------------------
+    # Streamed enumeration
+    # ------------------------------------------------------------------
+
+    async def _start_stream(self, request: dict, conn: _Connection) -> None:
+        """Launch one enumeration stream as its own task.
+
+        The connection's reader keeps reading while the stream runs, so
+        further requests (including ``cancel``) are served concurrently
+        and an abandoned stream can always be stopped without dropping
+        the connection.  Streams are capped per connection; the response
+        lines of concurrent streams interleave and carry their request
+        id, like any pipelined response.
+        """
+        stream_id = request.get("id")
+        if len(conn.streams) >= MAX_STREAMS_PER_CONNECTION:
+            await self._send(
+                conn,
+                _error_response(
+                    stream_id,
+                    RuntimeError(
+                        "too many concurrent streams on this connection "
+                        f"(max {MAX_STREAMS_PER_CONNECTION})"
+                    ),
+                ),
+            )
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._stream_enumerate(request, conn)
+        )
+        # Registry keys are unique per task (a client may reuse an id);
+        # cancel matches on the request id, so it stops every stream the
+        # client called by that name.
+        key = next(self._stream_keys)
+        conn.streams[key] = (stream_id, task)
+        task.add_done_callback(lambda _: conn.streams.pop(key, None))
+
+    async def _cancel_stream(self, request: dict, conn: _Connection) -> None:
+        """The ``cancel`` op: stop live streams by their request id."""
+        target = request.get("target")
+        matched = [
+            task for stream_id, task in conn.streams.values() if stream_id == target
+        ]
+        for task in matched:
+            task.cancel()
+        await self._send(
+            conn,
+            {
+                "id": request.get("id"),
+                "ok": True,
+                "result": "cancelled" if matched else "no such stream",
+            },
+        )
+
+    async def _stream_enumerate(self, request: dict, conn: _Connection) -> None:
+        """Serve one ``stream: true`` enumerate request as chunk lines.
+
+        Each chunk is one paged engine round through the shared pump (so
+        concurrent batches interleave and coalescing keeps working), and
+        each chunk line is written with backpressure before the next
+        page is fetched — a slow client pauses its own stream, bounding
+        server memory at one chunk.
+        """
+        request_id = request.get("id")
+        try:
+            await self._stream_pages(request, conn, request_id)
+        except asyncio.CancelledError:
+            # A cancel op (or connection teardown): tell the client where
+            # the stream stopped — the cursor in the last chunk it
+            # received resumes the enumeration exactly there.
+            if not conn.closed:
+                await self._send(
+                    conn,
+                    {
+                        "id": request_id,
+                        "ok": False,
+                        "stream": True,
+                        "error": "stream cancelled",
+                        "error_type": "CancelledError",
+                        "done": True,
+                    },
+                )
+            raise
+
+    async def _stream_pages(
+        self, request: dict, conn: _Connection, request_id
+    ) -> None:
+        from repro.service.protocol import paging_rounds
+
+        rounds = paging_rounds(request)
+        page_request = next(rounds)
+        while not conn.closed:
+            future = asyncio.get_running_loop().create_future()
+            await self._enqueue(page_request, conn, future)
+            response = await future
+            if response is None:  # cancelled (disconnect or shutdown)
+                return
+            if not response.get("ok"):
+                await self._send(conn, dict(response, stream=True, done=True))
+                return
+            page = response.get("result") or {}
+            try:
+                page_request = rounds.send(response)
+                done = False
+            except StopIteration:
+                done = True
+            await self._send(
+                conn,
+                {
+                    "id": request_id,
+                    "ok": True,
+                    "stream": True,
+                    "chunk": page.get("items") or [],
+                    # Present even on the final chunk of a limit-bounded
+                    # stream: the client's resume point (None only when
+                    # the enumeration is exhausted).
+                    "cursor": page.get("cursor"),
+                    "done": done,
+                },
+            )
+            if done:
+                return
+            if self.shutting_down:
+                await self._send(
+                    conn,
+                    {
+                        "id": request_id,
+                        "ok": False,
+                        "stream": True,
+                        "error": "server shutting down",
+                        "error_type": "ConnectionError",
+                        "done": True,
+                        "cursor": page.get("cursor"),
+                    },
+                )
+                return
+
+    # ------------------------------------------------------------------
+    # The pump: sole engine driver
+    # ------------------------------------------------------------------
+
+    async def _pump(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            # Straggler grace: whatever any connection enqueues within
+            # the window joins this batch (cross-connection coalescing).
+            deadline = loop.time() + self.batch_window
+            while True:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), timeout=timeout)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            try:
+                await self._execute_batch(loop, batch)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                # A batch must never kill the pump: with no pump the
+                # whole server wedges silently (every client hangs until
+                # its socket timeout).  Answer the batch with an error
+                # and keep serving — the next batch gets a fresh start.
+                await self._fail_batch(batch, error)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+
+    async def _fail_batch(self, batch: list[_Pending], error: Exception) -> None:
+        print(
+            f"witness-server: batch of {len(batch)} failed: "
+            f"{type(error).__name__}: {error}",
+            file=sys.stderr,
+            flush=True,
+        )
+        sends = []
+        for pending in batch:
+            if pending.conn.closed:
+                if pending.future is not None and not pending.future.done():
+                    pending.future.set_result(None)
+                continue
+            sends.append(
+                self._resolve(
+                    pending,
+                    {
+                        "id": pending.request.get("id"),
+                        "ok": False,
+                        "error": f"internal server error: {error}",
+                        "error_type": type(error).__name__,
+                    },
+                )
+            )
+        self._dispatch(sends)
+
+    async def _execute_batch(self, loop, batch: list[_Pending]) -> None:
+        now = loop.time()
+        live: list[_Pending] = []
+        sends: list = []
+        stats_items: list[_Pending] = []
+        for pending in batch:
+            if pending.conn.closed:
+                # Cancelled: the client is gone; never execute, and
+                # resolve any internal waiter so its task can exit.
+                if pending.future is not None and not pending.future.done():
+                    pending.future.set_result(None)
+                continue
+            if pending.deadline is not None and now > pending.deadline:
+                response = {
+                    "id": pending.request.get("id"),
+                    "ok": False,
+                    "error": "request deadline exceeded before execution",
+                    "error_type": "TimeoutError",
+                }
+                sends.append(self._resolve(pending, response))
+                continue
+            if pending.request.get("op") == "stats":
+                stats_items.append(pending)
+                continue
+            live.append(pending)
+        # Dispatch as soon as each group's responses exist: a failure in
+        # a later group then cannot strand earlier, undispatched sends.
+        self._dispatch(sends)
+        sends = []
+        if live:
+            requests = [pending.request for pending in live]
+            self.batches += 1
+            responses = await loop.run_in_executor(None, self.engine.execute, requests)
+            self.served += len(responses)
+            self._dispatch(
+                [self._resolve(p, r) for p, r in zip(live, responses)]
+            )
+        if stats_items:
+            # Aggregated at the server so every worker's counters show up
+            # (through engine.execute a stats op reaches one worker).
+            workers = await loop.run_in_executor(None, self.engine.stats)
+            self.served += len(stats_items)
+            for pending in stats_items:
+                result = {
+                    "served": self.served,
+                    "batches": self.batches,
+                    "connections": len(self.connections),
+                    "workers": workers,
+                }
+                sends.append(
+                    self._resolve(
+                        pending,
+                        {"id": pending.request.get("id"), "ok": True, "result": result},
+                    )
+                )
+        self._dispatch(sends)
+
+    def _dispatch(self, sends: list) -> None:
+        """Fire response deliveries as independent tasks.
+
+        The pump must not await them: one client that has stopped
+        reading would otherwise stall every other client's batches for
+        up to ``write_timeout`` (writes are already serialized per
+        connection by its write lock, and a stalled connection is
+        dropped by :meth:`_send`, which bounds the task backlog)."""
+        loop = asyncio.get_running_loop()
+        for coroutine in sends:
+            task = loop.create_task(coroutine)
+            self._send_tasks.add(task)
+            task.add_done_callback(self._send_tasks.discard)
+
+    async def _resolve(self, pending: _Pending, response: dict) -> None:
+        if pending.future is not None:
+            if not pending.future.done():
+                pending.future.set_result(response)
+            return
+        await self._send(pending.conn, response)
 
 
 def serve_tcp(
@@ -223,122 +832,72 @@ def serve_tcp(
     port: int = 0,
     batch_window: float = DEFAULT_BATCH_WINDOW,
     ready_callback=None,
+    *,
+    max_line: int = DEFAULT_MAX_LINE,
+    request_timeout: float | None = None,
+    max_connections: int = DEFAULT_MAX_CONNECTIONS,
+    write_timeout: float = DEFAULT_WRITE_TIMEOUT,
 ) -> int:
     """Serve JSON-lines over TCP until a client sends ``shutdown``.
 
     Binds ``host:port`` (port 0 picks an ephemeral port), then calls
     ``ready_callback((host, actual_port))`` — the hook tests and the CLI
-    use to learn the address.  One ``selectors`` loop multiplexes all
-    clients; every iteration drains whatever arrived, waits
-    ``batch_window`` for stragglers, and answers the batch in one engine
-    call, so coalescing spans connections.
+    use to learn the address.  The implementation is an ``asyncio``
+    event loop (:class:`AsyncWitnessServer`): any number of connections
+    are multiplexed concurrently, all feeding one batching pump, so
+    same-spec sample coalescing spans connections.  See the module
+    docstring for the concurrency semantics (bounded lines, deadlines,
+    backpressure, streamed enumeration, graceful drain).
     """
-    server = WitnessServer(engine, batch_window)
-    selector = selectors.DefaultSelector()
-    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-    listener.bind((host, port))
-    listener.listen(128)
-    listener.setblocking(False)
-    selector.register(listener, selectors.EVENT_READ, data=None)
-    address = listener.getsockname()
-    if ready_callback is not None:
-        ready_callback(address)
+    server = AsyncWitnessServer(
+        engine,
+        batch_window=batch_window,
+        max_line=max_line,
+        request_timeout=request_timeout,
+        max_connections=max_connections,
+        write_timeout=write_timeout,
+    )
+    return asyncio.run(server.run(host, port, ready_callback))
 
-    connections: dict[socket.socket, _Connection] = {}
 
-    def close_connection(conn: _Connection) -> None:
-        try:
-            selector.unregister(conn.sock)
-        except (KeyError, ValueError):  # pragma: no cover
-            pass
-        connections.pop(conn.sock, None)
-        conn.sock.close()
+def start_tcp_server_thread(engine: Engine, **kwargs):
+    """Run :func:`serve_tcp` in a daemon thread; returns
+    ``(thread, (host, port))`` once the listener is bound.
 
-    def gather(timeout: float) -> list[tuple[dict, object]]:
-        parsed: list[tuple[dict, object]] = []
-        for key, _ in selector.select(timeout):
-            if key.data is None:
-                try:
-                    client, _ = listener.accept()
-                except OSError:  # pragma: no cover - racing accept
-                    continue
-                client.setblocking(False)
-                conn = _Connection(client)
-                connections[client] = conn
-                selector.register(client, selectors.EVENT_READ, data=conn)
-                continue
-            conn: _Connection = key.data
-            try:
-                data = conn.sock.recv(1 << 20)
-            except (BlockingIOError, InterruptedError):  # pragma: no cover
-                continue
-            except OSError:
-                close_connection(conn)
-                continue
-            if not data:
-                close_connection(conn)
-                continue
-            try:
-                lines = conn.take_lines(data)
-            except ValueError as error:
-                conn.outbuf += encode_response(_error_response(None, error))
-                flush(conn)
-                close_connection(conn)
-                continue
-            for line in lines:
-                try:
-                    parsed.append((_parse_line(line), conn))
-                except ValueError as error:
-                    conn.outbuf += encode_response(_error_response(None, error))
-        return parsed
+    The embedding convenience (tests, benchmarks, notebooks): an
+    ephemeral-port server whose address is known when this returns.
+    Keyword arguments are forwarded to :func:`serve_tcp`; stop it with a
+    ``shutdown`` request and ``thread.join()``.
+    """
+    import threading
 
-    def flush(conn: _Connection, deadline_seconds: float = 5.0) -> None:
-        # Bounded: a client that stops reading cannot stall the (single
-        # threaded) loop forever — after the budget it is disconnected.
-        deadline = time.monotonic() + deadline_seconds
-        while conn.outbuf:
-            try:
-                sent = conn.sock.send(conn.outbuf)
-            except (BlockingIOError, InterruptedError):
-                if time.monotonic() > deadline:
-                    close_connection(conn)
-                    return
-                time.sleep(0.001)
-                continue
-            except OSError:
-                close_connection(conn)
-                return
-            conn.outbuf = conn.outbuf[sent:]
+    ready = threading.Event()
+    address: dict = {}
 
-    try:
-        while not server.shutting_down:
-            parsed = gather(timeout=0.1)
-            if parsed:
-                # Straggler grace: requests already in flight join this batch.
-                parsed.extend(gather(timeout=server.batch_window))
-                for response, conn in server.process(parsed):
-                    if conn is None:  # pragma: no cover - stdio sink unused here
-                        continue
-                    conn.outbuf += encode_response(response)
-            # Flush even when nothing parsed: gather() may have queued
-            # error responses for malformed lines.
-            for conn in list(connections.values()):
-                if conn.outbuf:
-                    flush(conn)
-    finally:
-        for conn in list(connections.values()):
-            flush(conn)
-            conn.sock.close()
-        selector.close()
-        listener.close()
-    return 0
+    def on_ready(addr) -> None:
+        address["addr"] = addr
+        ready.set()
+
+    kwargs.setdefault("port", 0)
+    kwargs["ready_callback"] = on_ready
+    thread = threading.Thread(
+        target=serve_tcp, args=(engine,), kwargs=kwargs, daemon=True
+    )
+    thread.start()
+    if not ready.wait(10):
+        raise RuntimeError("TCP server did not come up within 10s")
+    return thread, address["addr"]
 
 
 __all__ = [
     "WitnessServer",
+    "AsyncWitnessServer",
     "serve_stdio",
     "serve_tcp",
+    "start_tcp_server_thread",
     "encode_response",
     "DEFAULT_BATCH_WINDOW",
+    "DEFAULT_MAX_LINE",
+    "DEFAULT_MAX_CONNECTIONS",
+    "DEFAULT_WRITE_TIMEOUT",
 ]

@@ -216,22 +216,43 @@ class KernelStore:
     # Bounding and introspection
     # ------------------------------------------------------------------
 
+    def _listing(self, pattern: str) -> list[Path]:
+        """Matching files, tolerating concurrent deletion mid-listing.
+
+        The store is shared between processes: a sibling's evictor (or
+        quarantine, or ``clear``) may unlink entries — or whole fan-out
+        directories — while this process is scanning.  A vanished path
+        is simply not part of the listing; it must never crash the scan.
+        """
+        try:
+            return [path for path in self.root.glob(pattern) if path.is_file()]
+        except OSError:  # pragma: no cover - directory vanished mid-glob
+            return []
+
     def entries(self) -> list[Path]:
         """All snapshot files currently in the store."""
         if not self.root.is_dir():
             return []
-        return [path for path in self.root.glob(f"*/*{_SUFFIX}") if path.is_file()]
+        return self._listing(f"*/*{_SUFFIX}")
 
     def _sidecars(self) -> list[Path]:
         if not self.root.is_dir():
             return []
-        return [path for path in self.root.glob("*/*.meta.json") if path.is_file()]
+        return self._listing("*/*.meta.json")
 
     def total_bytes(self) -> int:
-        """Store footprint: snapshots plus metadata sidecars."""
-        return sum(
-            path.stat().st_size for path in self.entries() + self._sidecars()
-        )
+        """Store footprint: snapshots plus metadata sidecars.
+
+        An entry deleted between the listing and its ``stat`` (a racing
+        evictor in another process) counts as zero, not as a crash.
+        """
+        total = 0
+        for path in self.entries() + self._sidecars():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def _evict_over_budget(self) -> None:
         entries = []

@@ -357,6 +357,29 @@ class TestServeAndQuery:
         assert result.returncode == 0
         assert result.stdout.strip() == "pong"
 
+    def test_query_enum_streams_and_matches_local(self, capsys, server):
+        argv = ["--regex", "(ab|ba)*", "--alphabet", "ab", "-n", "8"]
+        remote = server("enum", *argv, "--chunk-size", "3")
+        assert remote.returncode == 0, remote.stderr
+        code, local, _ = run_cli(capsys, "enum", *argv)
+        assert code == 0
+        assert remote.stdout.splitlines() == local.splitlines()
+        # The --enumerate spelling without a positional op.
+        flagged = server("--enumerate", *argv, "--limit", "4")
+        assert flagged.returncode == 0, flagged.stderr
+        assert flagged.stdout.splitlines() == local.splitlines()[:4]
+
+    def test_query_enumerate_huge_set_streams_immediately(self, server):
+        # 2^48 witnesses: any output at all proves the server streams
+        # instead of materializing.
+        result = server(
+            "enum", "--regex", "(a|b)*", "--alphabet", "ab", "-n", "48",
+            "--limit", "3",
+        )
+        assert result.returncode == 0, result.stderr
+        lines = result.stdout.splitlines()
+        assert len(lines) == 3 and all(len(line) == 48 for line in lines)
+
     def test_query_without_server_is_a_clean_error(self, capsys):
         # Connection refused must print a one-line error, not a traceback.
         code = main(["query", "ping", "--port", "1", "--host", "127.0.0.1"])

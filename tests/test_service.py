@@ -316,6 +316,54 @@ class TestKernelStore:
         assert store.get_meta("ab" * 32) == {"unambiguous": True, "other": 1}
         assert store.get_meta("cd" * 32) is None
 
+    def test_tolerates_entries_vanishing_under_it(self, store):
+        """A sibling process's evictor may unlink entries (or whole
+        fan-out dirs) between a listing and the stat/read that follows;
+        every store operation must treat that as a miss, not a crash."""
+        fingerprints = []
+        for seed in range(4):
+            fp, kernel = self._kernel(seed)
+            store.put(fp, 8, True, kernel)
+            store.put_meta(fp, {"unambiguous": True})
+            fingerprints.append(fp)
+        # Simulate the concurrent evictor: delete files behind the
+        # store's back, including one whole fan-out directory.
+        victims = store.entries()[:2]
+        for path in victims:
+            path.unlink()
+        import shutil
+
+        shutil.rmtree(store.path_for(fingerprints[0], 8, True).parent, ignore_errors=True)
+        # Listing, sizing, reads and eviction scans all stay calm.
+        assert isinstance(store.total_bytes(), int)
+        store._evict_over_budget()
+        for fp in fingerprints:
+            store.get(fp, 8, True)  # hit or clean miss, never a crash
+        fp_new, kernel_new = self._kernel(9)
+        assert store.put(fp_new, 8, True, kernel_new)
+        assert store.get(fp_new, 8, True) is not None
+
+    def test_lru_scan_tolerates_race_on_stat(self, store, monkeypatch):
+        """The exact race: an entry vanishes between the LRU scan's
+        listing and its stat call."""
+        from pathlib import Path
+
+        fp, kernel = self._kernel(0)
+        store.put(fp, 8, True, kernel)
+        store.max_bytes = 1  # force an eviction pass on next put
+        real_stat = Path.stat
+
+        def racing_stat(self, **kwargs):
+            if self.suffix == ".kern" and os.path.exists(self):
+                os.unlink(self)  # another process just evicted it
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        fp2, kernel2 = self._kernel(1)
+        store.put(fp2, 8, True, kernel2)  # must not raise
+        monkeypatch.setattr(Path, "stat", real_stat)
+        assert isinstance(store.total_bytes(), int)
+
 
 class TestWitnessSetStoreWiring:
     def test_warm_start_hits_store(self, store):
@@ -569,6 +617,36 @@ class TestEngine:
             responses = pool.execute(requests)
         assert responses[0]["result"] == 32
 
+    def test_execute_stream_pages_enumeration(self):
+        """execute_stream yields paged chunk responses whose items
+        concatenate to the full enumeration, for workers=0 and a pool."""
+        from repro.service.protocol import render_witness
+
+        expected = [render_witness(w) for w in witness_set_from_spec(SPEC).enumerate()]
+        for workers in (0, 2):
+            with Engine(workers=workers) as engine:
+                chunks = list(
+                    engine.execute_stream(
+                        {"id": 1, "op": "enumerate", "spec": SPEC}, chunk_size=6
+                    )
+                )
+            assert all(chunk["ok"] for chunk in chunks)
+            items = [item for chunk in chunks for item in chunk["result"]["items"]]
+            assert items == expected
+            assert chunks[-1]["result"]["done"]
+            assert all(len(c["result"]["items"]) <= 6 for c in chunks)
+
+    def test_execute_stream_honours_limit(self):
+        with Engine(workers=0) as engine:
+            chunks = list(
+                engine.execute_stream(
+                    {"id": 1, "op": "enumerate", "spec": SPEC, "limit": 10},
+                    chunk_size=4,
+                )
+            )
+        items = [item for chunk in chunks for item in chunk["result"]["items"]]
+        assert len(items) == 10
+
     def test_engine_honours_store_env_default(self, tmp_path, monkeypatch):
         root = tmp_path / "env-kernels"
         monkeypatch.setenv("REPRO_KERNEL_STORE", str(root))
@@ -649,6 +727,74 @@ class TestServeStdio:
             serve_stdio(engine, stdin=stdin, stdout=stdout)
         assert json.loads(stdout.getvalue().splitlines()[0])["result"] == "bye"
 
+    def test_oversized_line_answers_error_and_recovers(self):
+        """The unbounded-buffering regression: a huge line gets a
+        one-line JSON error and later requests still work."""
+        stdin = io.StringIO(
+            "x" * 5000 + "\n" + _request_lines([{"id": 1, "op": "count", "spec": SPEC}])
+        )
+        stdout = io.StringIO()
+        with Engine(workers=0) as engine:
+            serve_stdio(engine, stdin=stdin, stdout=stdout, max_line=1024)
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert not responses[0]["ok"] and "too long" in responses[0]["error"]
+        assert responses[1]["ok"] and responses[1]["result"] == 32
+
+    def test_non_selectable_fallback_is_bounded_too(self):
+        """The no-fd fallback path must cap every readline call: a
+        100 KB line against a 1 KB bound is read in bounded slices, gets
+        the error, and the stream stays usable."""
+        payload = "x" * 100_000 + "\n" + _request_lines(
+            [{"id": 1, "op": "count", "spec": SPEC}]
+        )
+
+        class NoFilenoReader:
+            def __init__(self, text):
+                self.text = text
+                self.offset = 0
+                self.max_requested = 0
+
+            def readline(self, size=-1):
+                assert size >= 0, "the fallback reader must cap readline"
+                self.max_requested = max(self.max_requested, size)
+                end = self.text.find("\n", self.offset, self.offset + size)
+                end = self.offset + size if end == -1 else end + 1
+                chunk = self.text[self.offset:end]
+                self.offset = end
+                return chunk
+
+        reader = NoFilenoReader(payload)
+        stdout = io.StringIO()
+        with Engine(workers=0) as engine:
+            serve_stdio(engine, stdin=reader, stdout=stdout, max_line=1024)
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert not responses[0]["ok"] and "too long" in responses[0]["error"]
+        assert responses[1]["ok"] and responses[1]["result"] == 32
+        assert reader.max_requested <= 1025  # never a whole-line read
+
+    def test_real_pipe_oversized_line_discards_bounded(self):
+        """Over a real pipe the reader never buffers past max_line: the
+        oversized line is discarded up to its newline (even when it
+        spans many reads) and the stream stays usable."""
+        read_fd, write_fd = os.pipe()
+        payload = (
+            b"y" * 4000
+            + b" more of the same line\n"
+            + _request_lines([{"id": 2, "op": "count", "spec": SPEC}]).encode()
+            + _request_lines([{"id": 9, "op": "shutdown"}]).encode()
+        )
+        os.write(write_fd, payload)
+        os.close(write_fd)
+        stdout = io.StringIO()
+        with Engine(workers=0) as engine:
+            with os.fdopen(read_fd, "r") as stdin:
+                serve_stdio(engine, stdin=stdin, stdout=stdout, max_line=1024)
+        responses = [json.loads(line) for line in stdout.getvalue().splitlines()]
+        assert any(
+            not r["ok"] and "too long" in r.get("error", "") for r in responses
+        )
+        assert any(r.get("id") == 2 and r.get("result") == 32 for r in responses)
+
     def test_real_pipe_batches_and_coalesces(self):
         """Over an actual pipe (fd framing), a pipelined burst lands in
         one engine batch, so same-spec samples coalesce."""
@@ -672,25 +818,16 @@ class TestServeStdio:
         assert all(r.get("coalesced") == 4 for r in samples)
 
 
+def _start_tcp_server(engine, **kwargs):
+    from repro.service.server import start_tcp_server_thread
+
+    return start_tcp_server_thread(engine, **kwargs)
+
+
 @pytest.fixture
 def tcp_server():
     engine = Engine(workers=0)
-    ready = threading.Event()
-    address: dict = {}
-
-    def on_ready(addr):
-        address["addr"] = addr
-        ready.set()
-
-    thread = threading.Thread(
-        target=serve_tcp,
-        args=(engine,),
-        kwargs={"port": 0, "ready_callback": on_ready},
-        daemon=True,
-    )
-    thread.start()
-    assert ready.wait(10), "server did not come up"
-    host, port = address["addr"]
+    thread, (host, port) = _start_tcp_server(engine, batch_window=0.05)
     yield host, port
     try:
         with ServiceClient(host, port, timeout=5) as client:
@@ -744,3 +881,413 @@ class TestServeTcp:
             sock.sendall(b"this is not json\n")
             response = json.loads(sock.makefile().readline())
         assert not response["ok"]
+
+
+# ----------------------------------------------------------------------
+# The async TCP server: concurrency, bounds, deadlines, streaming
+# ----------------------------------------------------------------------
+
+
+BIG_SPEC = {"kind": "regex", "pattern": "(a|b)*", "alphabet": "ab", "n": 40}
+
+
+class TestAsyncServe:
+    def test_32_concurrent_clients_with_isolation(self, tcp_server):
+        """≥ 32 simultaneous connections, each with its own seeded
+        requests; every response matches the in-process facade."""
+        host, port = tcp_server
+        outcomes: list = [None] * 32
+        errors: list = []
+
+        def client_main(index):
+            try:
+                with ServiceClient(host, port, timeout=30) as client:
+                    count = client.result("count", SPEC)
+                    samples = client.result("sample", SPEC, k=2, seed=index)
+                    outcomes[index] = (count, samples)
+            except Exception as error:  # pragma: no cover - diagnostic
+                errors.append((index, error))
+
+        threads = [
+            threading.Thread(target=client_main, args=(i,)) for i in range(32)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors, errors
+        assert all(outcome is not None for outcome in outcomes)
+        with Engine(workers=0) as local:
+            for index, (count, samples) in enumerate(outcomes):
+                assert count == 32
+                expected = local.execute(
+                    [{"id": 0, "op": "sample", "spec": SPEC, "k": 2, "seed": index}]
+                )[0]["result"]
+                assert samples == expected, f"client {index} diverged"
+
+    def test_oversized_line_answers_error_and_closes(self):
+        """An endless line is answered with a one-line JSON error at the
+        max-line bound — the reader never buffers it."""
+        import socket as socket_module
+
+        engine = Engine(workers=0)
+        thread, (host, port) = _start_tcp_server(engine, max_line=4096)
+        try:
+            with socket_module.create_connection((host, port), timeout=10) as sock:
+                sock.sendall(b"z" * 300_000)  # no newline, 73x the bound
+                sock.settimeout(10)
+                data = b""
+                while b"\n" not in data:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                response = json.loads(data.split(b"\n")[0])
+            assert not response["ok"]
+            assert "too long" in response["error"]
+            # The server stays healthy for the next client.
+            with ServiceClient(host, port) as client:
+                assert client.result("count", SPEC) == 32
+                client.shutdown()
+        finally:
+            thread.join(timeout=10)
+            engine.close()
+
+    def test_request_deadline_answers_timeout(self):
+        engine = Engine(workers=0)
+        thread, (host, port) = _start_tcp_server(
+            engine, request_timeout=0.0001, batch_window=0.05
+        )
+        try:
+            with ServiceClient(host, port) as client:
+                response = client.request("count", SPEC)
+                assert not response["ok"]
+                assert response["error_type"] == "TimeoutError"
+                # A per-request override beats the server default.
+                response = client.request("count", SPEC, timeout_ms=30_000)
+                assert response["ok"] and response["result"] == 32
+                client.shutdown()
+        finally:
+            thread.join(timeout=10)
+            engine.close()
+
+    def test_cross_connection_coalescing(self, tcp_server):
+        """Same-spec sample bursts from *different* connections land in
+        one engine batch (the old server only coalesced within one)."""
+        host, port = tcp_server
+        barrier = threading.Barrier(6)
+        coalesced: list = []
+
+        def one_client(seed):
+            with ServiceClient(host, port, timeout=30) as client:
+                barrier.wait(timeout=10)
+                response = client.request("sample", SPEC, k=1, seed=seed)
+                assert response["ok"]
+                coalesced.append(response.get("coalesced", 1))
+
+        threads = [threading.Thread(target=one_client, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(coalesced) == 6
+        # At least one batch merged requests from distinct connections.
+        assert max(coalesced) >= 2, coalesced
+
+    def test_streamed_enumeration_pages_through(self, tcp_server):
+        host, port = tcp_server
+        ws = witness_set_from_spec(SPEC)
+        from repro.service.protocol import render_witness
+
+        expected = [render_witness(w) for w in ws.enumerate()]
+        with ServiceClient(host, port) as client:
+            streamed = list(client.enumerate(SPEC, chunk_size=5))
+        assert streamed == expected
+
+    def test_streamed_enumeration_never_materializes(self, tcp_server):
+        """First witnesses of a 2^40-word set arrive immediately; the
+        abandoned stream is cancelled and the connection stays usable."""
+        host, port = tcp_server
+        with ServiceClient(host, port, timeout=30) as client:
+            stream = client.enumerate(BIG_SPEC, chunk_size=20)
+            first = [next(stream) for _ in range(50)]
+            stream.close()  # sends cancel; residual chunks are skipped
+            assert len(set(first)) == 50
+            assert all(len(w) == 40 for w in first)
+            # Same connection keeps serving after the abandoned stream.
+            assert client.result("count", SPEC) == 32
+            assert list(client.enumerate(SPEC, limit=7, chunk_size=3)) == [
+                w for w in list(client.enumerate(SPEC, chunk_size=50))[:7]
+            ]
+
+    def test_stream_resumes_from_cursor(self, tcp_server):
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            full = list(client.enumerate(SPEC, chunk_size=4))
+            stream = client.enumerate(SPEC, chunk_size=4)
+            head = [next(stream) for _ in range(4)]  # exactly one chunk
+            cursor = client.last_cursor
+            stream.close()
+            assert cursor is not None
+            tail = list(client.enumerate(SPEC, chunk_size=4, cursor=cursor))
+        assert head + tail == full
+
+    def test_paged_enumerate_request_response(self, tcp_server):
+        """The non-streamed op: one request, one page, explicit cursor."""
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            page = client.result("enumerate", SPEC, chunk_size=10)
+            assert len(page["items"]) == 10 and not page["done"]
+            rest = client.result("enumerate", SPEC, cursor=page["cursor"])
+            assert rest["done"] and len(page["items"]) + len(rest["items"]) == 32
+            bogus = client.request("enumerate", SPEC, cursor=[[0, 0, 99]])
+            assert not bogus["ok"] and bogus["error_type"] == "ProtocolError"
+
+    def test_gapped_cursor_is_rejected_not_mispaged(self):
+        """A cursor missing a decision triple at a branching vertex must
+        raise, never replay wrong words (or loop forever server-side)."""
+        from repro.core.enumeration import algorithm1_page
+
+        ws = witness_set_from_spec(
+            {"kind": "regex", "pattern": "(a|b)(a|b)", "alphabet": "ab", "n": 2}
+        )
+        with pytest.raises(ValueError):
+            algorithm1_page(ws.kernel, [[1, 0, 1]], 10)
+        with Engine(workers=0) as engine:
+            response = engine.execute(
+                [
+                    {
+                        "id": 1,
+                        "op": "enumerate",
+                        "spec": {
+                            "kind": "regex",
+                            "pattern": "(a|b)(a|b)",
+                            "alphabet": "ab",
+                            "n": 2,
+                        },
+                        "cursor": [[1, 0, 1]],
+                    }
+                ]
+            )[0]
+        assert not response["ok"] and response["error_type"] == "ProtocolError"
+
+    def test_zero_chunk_size_is_rejected_not_spun(self):
+        """chunk_size=0 would page empty chunks forever; it must be a
+        protocol error on every route."""
+        with Engine(workers=0) as engine:
+            response = engine.execute(
+                [{"id": 1, "op": "enumerate", "spec": SPEC, "chunk_size": 0}]
+            )[0]
+            assert not response["ok"] and response["error_type"] == "ProtocolError"
+            chunks = list(
+                engine.execute_stream(
+                    {"id": 1, "op": "enumerate", "spec": SPEC}, chunk_size=0
+                )
+            )
+        assert len(chunks) == 1 and not chunks[0]["ok"]
+
+    def test_zero_chunk_stream_errors_cleanly_over_tcp(self, tcp_server):
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            with pytest.raises(Exception) as excinfo:
+                list(client.enumerate(SPEC, chunk_size=0))
+            assert "chunk_size" in str(excinfo.value)
+            assert client.result("count", SPEC) == 32  # connection survives
+
+    def test_pump_survives_engine_exceptions(self):
+        """An exploding batch is answered with error responses; the pump
+        (and therefore the server) keeps serving the next batch."""
+
+        class FlakyEngine(Engine):
+            def __init__(self):
+                super().__init__(workers=0)
+                self.boom = True
+
+            def execute(self, requests):
+                if self.boom:
+                    self.boom = False
+                    raise RuntimeError("engine exploded")
+                return super().execute(requests)
+
+        engine = FlakyEngine()
+        thread, (host, port) = _start_tcp_server(engine)
+        try:
+            with ServiceClient(host, port) as client:
+                first = client.request("count", SPEC)
+                assert not first["ok"] and first["error_type"] == "RuntimeError"
+                assert "engine exploded" in first["error"]
+                # The pump survived: the very next request succeeds.
+                assert client.result("count", SPEC) == 32
+                client.shutdown()
+        finally:
+            thread.join(timeout=10)
+            engine.close()
+
+    def test_cancel_matches_every_stream_with_that_id(self, tcp_server):
+        """Two streams reusing one request id: cancel stops them both
+        (the registry must not lose track of the survivor)."""
+        import socket as socket_module
+
+        host, port = tcp_server
+        with socket_module.create_connection((host, port), timeout=15) as sock:
+            stream_request = {
+                "id": "dup",
+                "op": "enumerate",
+                "spec": BIG_SPEC,
+                "stream": True,
+                "chunk_size": 5,
+            }
+            reader = sock.makefile()
+            sock.sendall(
+                json.dumps(stream_request).encode() + b"\n"
+                + json.dumps(stream_request).encode() + b"\n"
+            )
+            for _ in range(2):  # one chunk from each stream
+                assert json.loads(reader.readline())["ok"]
+            sock.sendall(
+                json.dumps({"id": "kill", "op": "cancel", "target": "dup"}).encode()
+                + b"\n"
+            )
+            cancelled = 0
+            deadline = 200  # lines, not seconds: both streams are fast
+            while cancelled < 2 and deadline:
+                response = json.loads(reader.readline())
+                if response.get("id") == "kill":
+                    assert response["result"] == "cancelled"
+                if (
+                    response.get("id") == "dup"
+                    and not response.get("ok")
+                    and response.get("error_type") == "CancelledError"
+                ):
+                    cancelled += 1
+                deadline -= 1
+            assert cancelled == 2, "both duplicate-id streams must be cancelled"
+            # And the connection still serves regular requests.
+            sock.sendall(
+                json.dumps({"id": "after", "op": "count", "spec": SPEC}).encode()
+                + b"\n"
+            )
+            while True:
+                response = json.loads(reader.readline())
+                if response.get("id") == "after":
+                    assert response["ok"] and response["result"] == 32
+                    break
+
+    def test_paused_stream_survives_interleaved_requests(self, tcp_server):
+        """Other requests on the same client while a stream generator is
+        paused must not swallow the stream's in-flight chunks."""
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            expected = list(client.enumerate(SPEC, chunk_size=50))
+            stream = client.enumerate(SPEC, chunk_size=4)
+            head = [next(stream) for _ in range(2)]
+            # Interleave: send() reads the socket and must buffer (not
+            # drop) any stream chunks it encounters.
+            assert client.result("count", SPEC) == 32
+            rest = list(stream)
+        assert head + rest == expected
+
+    def test_slow_reader_does_not_stall_other_clients(self):
+        """A client that stops reading its (large) response only stalls
+        itself: response writes are detached from the batching pump."""
+        import socket as socket_module
+        import time as time_module
+
+        engine = Engine(workers=0)
+        thread, (host, port) = _start_tcp_server(engine, write_timeout=5.0)
+        try:
+            slow = socket_module.create_connection((host, port), timeout=60)
+            slow.setsockopt(socket_module.SOL_SOCKET, socket_module.SO_RCVBUF, 4096)
+            slow.sendall(
+                json.dumps(
+                    {"id": "s", "op": "sample", "spec": SPEC, "k": 40_000, "seed": 1}
+                ).encode()
+                + b"\n"
+            )
+            time_module.sleep(1.5)  # execution done; the write now stalls
+            started = time_module.perf_counter()
+            with ServiceClient(host, port) as quick:
+                assert quick.result("ping") == "pong"
+                assert quick.result("count", SPEC) == 32
+            elapsed = time_module.perf_counter() - started
+            assert elapsed < 2.0, (
+                f"other clients stalled {elapsed:.1f}s behind a slow reader"
+            )
+            slow.close()
+            with ServiceClient(host, port) as client:
+                client.shutdown()
+        finally:
+            thread.join(timeout=15)
+            engine.close()
+
+    def test_limit_terminated_stream_is_resumable(self, tcp_server):
+        """A --limit-bounded stream's final chunk carries the resume
+        cursor; continuing from it completes the enumeration exactly."""
+        host, port = tcp_server
+        with ServiceClient(host, port) as client:
+            expected = list(client.enumerate(SPEC, chunk_size=50))
+            first = list(client.enumerate(SPEC, limit=10, chunk_size=5))
+            cursor = client.last_cursor
+            assert len(first) == 10 and cursor is not None
+            rest = list(client.enumerate(SPEC, cursor=cursor, chunk_size=50))
+        assert first + rest == expected
+
+    def test_connection_cap_refuses_politely(self):
+        import socket as socket_module
+
+        engine = Engine(workers=0)
+        thread, (host, port) = _start_tcp_server(engine, max_connections=2)
+        try:
+            first = ServiceClient(host, port)
+            second = ServiceClient(host, port)
+            assert first.result("ping") == "pong"  # both fully admitted
+            assert second.result("ping") == "pong"
+            with socket_module.create_connection((host, port), timeout=10) as sock:
+                response = json.loads(sock.makefile().readline())
+            assert not response["ok"]
+            assert "too many connections" in response["error"]
+            first.close()
+            second.shutdown()
+            second.close()
+        finally:
+            thread.join(timeout=10)
+            engine.close()
+
+    def test_graceful_shutdown_drains_pending(self):
+        """Requests already queued when shutdown arrives are answered."""
+        engine = Engine(workers=0)
+        thread, (host, port) = _start_tcp_server(engine, batch_window=0.2)
+        try:
+            with ServiceClient(host, port) as client, ServiceClient(
+                host, port
+            ) as other:
+                # Queue work, then shut down within the same batch window.
+                other.sock.sendall(
+                    json.dumps({"id": "w1", "op": "count", "spec": SPEC}).encode()
+                    + b"\n"
+                )
+                client.shutdown()
+                response = json.loads(other._read_line())
+            assert response["id"] == "w1"
+            assert response["ok"] and response["result"] == 32
+        finally:
+            thread.join(timeout=15)
+            assert not thread.is_alive(), "server did not drain and exit"
+            engine.close()
+
+    def test_streaming_with_worker_pool(self):
+        """Chunks page through the multiprocess engine's affinity worker
+        and stay byte-identical to the in-process enumeration."""
+        engine = Engine(workers=2)
+        thread, (host, port) = _start_tcp_server(engine)
+        try:
+            with ServiceClient(host, port, timeout=30) as client:
+                streamed = list(client.enumerate(SPEC, chunk_size=7))
+                client.shutdown()
+            ws = witness_set_from_spec(SPEC)
+            from repro.service.protocol import render_witness
+
+            assert streamed == [render_witness(w) for w in ws.enumerate()]
+        finally:
+            thread.join(timeout=15)
+            engine.close()
