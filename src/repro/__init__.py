@@ -212,6 +212,8 @@ __all__ = [
     "count_words",
     "uniform_sample",
     "uniform_samples",
+    # rng plumbing (the "seed or generator or nothing" convention)
+    "make_rng",
     # core
     "enumerate_words",
     "enumerate_words_ufa",

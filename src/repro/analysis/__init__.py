@@ -1,0 +1,44 @@
+"""Project-invariant static analysis (the ``repro-lint`` engine).
+
+The codebase carries invariants no general-purpose linter knows about:
+the asyncio witness server must never block its event loop, the engine
+promises byte-identical seeded samples across worker counts, run-count
+rows must route through the int64 bignum-spill guard, and the service
+layers must agree on the wire-op vocabulary.  This package enforces
+them mechanically:
+
+* :mod:`repro.analysis.engine` — the driver (parsing, rule registry,
+  inline suppressions with mandatory reasons, JSON/text reporting);
+* :mod:`repro.analysis.rules` — the project rules;
+* :mod:`repro.analysis.cli` — the ``repro-lint`` console entry point.
+
+Programmatic use::
+
+    from repro.analysis import run_lint
+    result = run_lint(["src/repro"])
+    assert result.ok, result.findings
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    Finding,
+    LintResult,
+    Rule,
+    SourceModule,
+    Suppression,
+    default_rules,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SourceModule",
+    "Suppression",
+    "default_rules",
+    "register",
+    "run_lint",
+]

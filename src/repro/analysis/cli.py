@@ -1,0 +1,89 @@
+"""The ``repro-lint`` command-line entry point.
+
+Usage::
+
+    repro-lint src/                       # human-readable report
+    repro-lint src/ --format json         # machine-readable (CI)
+    repro-lint src/ --select async-blocking,bare-except
+    repro-lint --list-rules
+
+Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.engine import default_rules, run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="project-invariant static analysis for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id:22s} {rule.description}")
+        return 0
+
+    paths = options.paths or ["src/"]
+    select = (
+        [part.strip() for part in options.select.split(",") if part.strip()]
+        if options.select
+        else None
+    )
+    try:
+        result = run_lint(paths, select=select)
+    except ValueError as error:
+        parser.error(str(error))  # exits 2
+
+    if options.format == "json":
+        print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    else:
+        for finding in result.findings:
+            print(finding.render())
+        summary = (
+            f"{len(result.findings)} finding(s) in {len(result.files)} file(s)"
+            f" [{len(result.rules)} rule(s), {result.suppressed} suppressed]"
+        )
+        print(("FAIL: " if result.findings else "OK: ") + summary)
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = ["build_parser", "main"]

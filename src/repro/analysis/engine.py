@@ -1,0 +1,332 @@
+"""The lint driver: parse sources, run rules, honour suppressions.
+
+The engine is deliberately small — rules carry all project knowledge.
+A rule subclasses :class:`Rule` and overrides either
+
+* :meth:`Rule.check_module` — called once per parsed file, for purely
+  local properties (blocking calls in ``async def``, bare ``except``);
+  or
+* :meth:`Rule.check_project` — called once with *every* parsed file,
+  for cross-file invariants (protocol-op exhaustiveness).
+
+Findings land on a source line and can be silenced there with an
+inline comment::
+
+    risky_call()  # repro-lint: ignore[rule-id] -- why this is safe
+
+The reason after ``--`` is mandatory: a suppression without one is
+itself reported (``bad-suppression``), so every silenced finding in the
+tree carries a written justification.  ``ignore[*]`` silences all rules
+on the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: ``# repro-lint: ignore[rule, rule2] -- reason`` (reason optional in the
+#: grammar, but its absence is a finding).
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([^\]]*)\]\s*(?:--\s*(\S.*?)\s*)?$"
+)
+
+#: Findings the engine itself emits; always active, never suppressible.
+ENGINE_RULES = ("parse-error", "bad-suppression")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``repro-lint: ignore[...]`` comment."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+    def covers(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+class SourceModule:
+    """One parsed Python file handed to every rule."""
+
+    __slots__ = ("path", "rel_path", "text", "tree", "suppressions")
+
+    def __init__(
+        self,
+        path: Path,
+        rel_path: str,
+        text: str,
+        tree: ast.Module,
+        suppressions: dict[int, Suppression],
+    ) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.text = text
+        self.tree = tree
+        self.suppressions = suppressions
+
+    @property
+    def name(self) -> str:
+        """Basename, the key rules use for module-scoped applicability."""
+        return self.path.name
+
+    def posix(self) -> str:
+        """``rel_path`` with forward slashes, for suffix matching."""
+        return self.rel_path.replace("\\", "/")
+
+    @classmethod
+    def parse(cls, path: Path, rel_path: str) -> "SourceModule":
+        """Read, tokenize (for suppressions) and ``ast.parse`` a file.
+
+        Raises ``SyntaxError`` (propagated to the driver, which turns it
+        into a ``parse-error`` finding) when the file does not parse.
+        """
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        return cls(path, rel_path, text, tree, _extract_suppressions(text))
+
+
+def _extract_suppressions(text: str) -> dict[int, Suppression]:
+    """Map line number → suppression for every ``repro-lint:`` comment.
+
+    Uses the tokenizer rather than a per-line regex so ``#`` characters
+    inside string literals can never be mistaken for comments.
+    """
+    suppressions: dict[int, Suppression] = {}
+    lines = iter(text.splitlines(keepends=True))
+    try:
+        for token in tokenize.generate_tokens(lambda: next(lines, "")):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            rules = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            suppressions[token.start[0]] = Suppression(
+                line=token.start[0],
+                rules=rules or frozenset({"*"}),
+                reason=(match.group(2) or "").strip(),
+            )
+    except tokenize.TokenError:
+        # A tokenize failure will surface as a parse-error finding via
+        # ast.parse; suppression extraction just degrades gracefully.
+        pass
+    return suppressions
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id`` (the name used in reports and suppression
+    comments), ``description`` (one line, shown by ``--list-rules``) and
+    optionally ``hint`` (the default fix hint attached to findings).
+    """
+
+    id: str = ""
+    description: str = ""
+    hint: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        """Findings local to one file; default: none."""
+        return ()
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        """Findings needing the whole file set; default: none."""
+        return ()
+
+    def finding(
+        self,
+        module: SourceModule,
+        node: ast.AST | None,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` (or the file top)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            path=module.rel_path,
+            line=line,
+            col=col,
+            rule=self.id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the default set."""
+    if not rule_class.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule_class.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class
+    return rule_class
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    # Importing the package registers the built-in rules exactly once.
+    from repro.analysis import rules as _rules  # repro-lint: ignore[unused-symbol] -- imported for its registration side effect
+
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+    rules: list[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files": len(self.files),
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+def iter_source_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to lint."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                parts = child.relative_to(path).parts
+                if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                    continue
+                yield child
+        else:
+            yield path
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint ``paths`` (files and/or directories) and return the result.
+
+    ``rules`` overrides the registered default set (used by the tests to
+    exercise one rule against a fixture); ``select`` filters the default
+    set down to the named rule ids.
+    """
+    active = list(rules) if rules is not None else default_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.id for rule in active}
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        active = [rule for rule in active if rule.id in wanted]
+
+    result = LintResult(rules=[rule.id for rule in active])
+    modules: list[SourceModule] = []
+    raw_findings: list[Finding] = []
+
+    for path in iter_source_files(paths):
+        rel = _relative_path(path)
+        try:
+            module = SourceModule.parse(path, rel)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            line = getattr(error, "lineno", 1) or 1
+            raw_findings.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=0,
+                    rule="parse-error",
+                    message=f"file does not parse: {error}",
+                    hint="",
+                )
+            )
+            result.files.append(rel)
+            continue
+        modules.append(module)
+        result.files.append(rel)
+
+    for module in modules:
+        for rule in active:
+            raw_findings.extend(rule.check_module(module))
+    for rule in active:
+        raw_findings.extend(rule.check_project(modules))
+
+    by_path = {module.rel_path: module for module in modules}
+    kept: list[Finding] = []
+    for finding in raw_findings:
+        module = by_path.get(finding.path)
+        suppression = (
+            module.suppressions.get(finding.line) if module is not None else None
+        )
+        if (
+            suppression is not None
+            and finding.rule not in ENGINE_RULES
+            and suppression.covers(finding.rule)
+        ):
+            result.suppressed += 1
+            continue
+        kept.append(finding)
+
+    # A suppression without a written reason is itself a violation —
+    # the policy is "every silenced finding carries a justification".
+    for module in modules:
+        for suppression in module.suppressions.values():
+            if not suppression.reason:
+                kept.append(
+                    Finding(
+                        path=module.rel_path,
+                        line=suppression.line,
+                        col=0,
+                        rule="bad-suppression",
+                        message=(
+                            "suppression comment has no reason; write "
+                            "'# repro-lint: ignore[rule] -- <why this is safe>'"
+                        ),
+                        hint="",
+                    )
+                )
+
+    result.findings = sorted(kept)
+    return result
+
+
+def _relative_path(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+__all__ = [
+    "ENGINE_RULES",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SourceModule",
+    "Suppression",
+    "default_rules",
+    "iter_source_files",
+    "register",
+    "run_lint",
+]

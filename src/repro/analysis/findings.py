@@ -1,0 +1,44 @@
+"""The finding record every lint rule emits.
+
+A :class:`Finding` is one diagnosed violation: which rule, where
+(``path:line:col``), what is wrong, and — when the rule knows one — the
+concrete fix hint.  Findings are value objects ordered by location so
+reports are stable regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON-output shape (see ``repro-lint --format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        """The human-readable one-per-line report form."""
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+__all__ = ["Finding"]

@@ -1,0 +1,42 @@
+"""Built-in project rules for ``repro-lint``.
+
+Importing this package registers every rule with the engine registry
+(:func:`repro.analysis.engine.default_rules` does that import).  Each
+module holds one invariant family:
+
+* :mod:`~repro.analysis.rules.async_blocking` — nothing blocking on the
+  asyncio event loop;
+* :mod:`~repro.analysis.rules.determinism` — no nondeterminism sources
+  in modules whose outputs are part of the reproducibility contract;
+* :mod:`~repro.analysis.rules.overflow` — ``array('q')`` arithmetic
+  must route through the bignum-spill helpers;
+* :mod:`~repro.analysis.rules.protocol_ops` — the service op registry,
+  server, client and CLI agree on the wire vocabulary;
+* :mod:`~repro.analysis.rules.exceptions` — no bare ``except``, no
+  swallowed ``CancelledError``;
+* :mod:`~repro.analysis.rules.exports` — ``__all__`` is present where
+  required, complete, and only names real bindings;
+* :mod:`~repro.analysis.rules.unused` — unused imports/locals and
+  unreachable statements.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.determinism import NondeterminismRule
+from repro.analysis.rules.exceptions import BareExceptRule, SwallowedCancelRule
+from repro.analysis.rules.exports import ExportConsistencyRule
+from repro.analysis.rules.overflow import Int64OverflowRule
+from repro.analysis.rules.protocol_ops import ProtocolExhaustiveRule
+from repro.analysis.rules.unused import UnusedSymbolRule
+
+__all__ = [
+    "AsyncBlockingRule",
+    "BareExceptRule",
+    "ExportConsistencyRule",
+    "Int64OverflowRule",
+    "NondeterminismRule",
+    "ProtocolExhaustiveRule",
+    "SwallowedCancelRule",
+    "UnusedSymbolRule",
+]

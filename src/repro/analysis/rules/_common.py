@@ -1,0 +1,48 @@
+"""Small AST helpers shared by the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Call expressions inside the chain (``foo().bar``) break the chain —
+    those are dynamic receivers the rules treat as unknown.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def string_constants(node: ast.AST) -> list[str]:
+    """Every string literal anywhere under ``node``, in source order."""
+    return [
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    ]
+
+
+def assigned_names(target: ast.AST) -> list[ast.Name]:
+    """The plain ``Name`` nodes bound by an assignment target."""
+    if isinstance(target, ast.Name):
+        return [target]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[ast.Name] = []
+        for element in target.elts:
+            names.extend(assigned_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return assigned_names(target.value)
+    return []
+
+
+__all__ = ["assigned_names", "dotted_name", "string_constants"]

@@ -1,0 +1,190 @@
+"""Rule ``async-blocking`` — no blocking work on the asyncio event loop.
+
+The witness server (PR 5) runs a single event loop whose batching pump
+must stay responsive; one synchronous disk read or ``time.sleep`` stalls
+every connected client.  The project convention is that anything
+blocking inside ``async def`` goes through ``asyncio.to_thread`` /
+``loop.run_in_executor`` (that is exactly how the server calls the
+multiprocess engine).
+
+Flagged inside ``async def`` bodies (nested *sync* ``def``/``lambda``
+bodies are exempt — those run wherever they are called):
+
+* known-blocking stdlib calls — ``time.sleep``, ``subprocess.*``,
+  ``os.system`` and friends, ``socket.create_connection``,
+  ``urllib.request.urlopen``;
+* synchronous file/console I/O — ``open(...)``, ``print(...)``,
+  ``input(...)``, ``Path.read_text``-style methods;
+* synchronous socket methods — ``.recv`` / ``.sendall`` / ``.accept``;
+* project blocking surfaces — ``KernelStore`` access (``*store.get`` /
+  ``put`` / ``entries`` …, disk I/O) and direct ``Engine`` calls
+  (``*engine.execute`` / ``stats`` / ``close``, multiprocess queue
+  waits).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules._common import dotted_name
+
+#: Fully dotted calls that always block.
+BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "use 'await asyncio.sleep(...)' instead",
+    "os.system": "run subprocesses via asyncio.create_subprocess_exec",
+    "os.popen": "run subprocesses via asyncio.create_subprocess_exec",
+    "os.wait": "await an asyncio subprocess instead",
+    "os.waitpid": "await an asyncio subprocess instead",
+    "subprocess.run": "use asyncio.create_subprocess_exec, or wrap in asyncio.to_thread",
+    "subprocess.call": "use asyncio.create_subprocess_exec, or wrap in asyncio.to_thread",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec, or wrap in asyncio.to_thread",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec, or wrap in asyncio.to_thread",
+    "subprocess.Popen": "use asyncio.create_subprocess_exec",
+    "socket.create_connection": "use asyncio.open_connection",
+    "urllib.request.urlopen": "wrap the request in asyncio.to_thread",
+}
+
+#: Bare built-in calls that hit the filesystem or the console.
+BLOCKING_BUILTINS: dict[str, str] = {
+    "open": "wrap file I/O in asyncio.to_thread / run_in_executor",
+    "input": "reading stdin blocks the loop; use a reader thread",
+    "print": (
+        "a console write can block on a slow pipe; route it through "
+        "loop.run_in_executor (or queue it to a writer thread)"
+    ),
+}
+
+#: Method names that are synchronous file I/O wherever they appear.
+FILE_METHODS = frozenset(
+    {"read_text", "read_bytes", "write_text", "write_bytes"}
+)
+
+#: Synchronous socket methods.
+SOCKET_METHODS = frozenset({"recv", "recv_into", "sendall", "accept", "connect"})
+
+#: ``KernelStore`` methods that hit the disk; flagged when the receiver
+#: looks like a store (its name ends with ``store``).
+STORE_METHODS = frozenset(
+    {"get", "put", "get_meta", "put_meta", "entries", "total_bytes", "clear"}
+)
+
+#: ``Engine`` methods that wait on multiprocess queues; flagged when the
+#: receiver looks like an engine.
+ENGINE_METHODS = frozenset({"execute", "stats", "close"})
+
+
+def _receiver_tail(node: ast.Attribute) -> str:
+    """Lower-cased last name component of a method call's receiver."""
+    value = node.value
+    if isinstance(value, ast.Attribute):
+        return value.attr.lower()
+    if isinstance(value, ast.Name):
+        return value.id.lower()
+    return ""
+
+
+def _async_bodies(tree: ast.Module) -> Iterator[ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _own_statements(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk ``func``'s body without descending into nested *sync*
+    functions/lambdas (their bodies run off-loop or via executors)."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            continue  # a nested sync scope: nothing under it runs on-loop
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+@register
+class AsyncBlockingRule(Rule):
+    id = "async-blocking"
+    description = "blocking call inside 'async def' (event-loop stall)"
+    hint = "move the blocking work to asyncio.to_thread / loop.run_in_executor"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for func in _async_bodies(module.tree):
+            for node in _own_statements(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                findings.extend(self._check_call(module, func, node))
+        return findings
+
+    def _check_call(
+        self, module: SourceModule, func: ast.AsyncFunctionDef, call: ast.Call
+    ) -> Iterator[Finding]:
+        name = dotted_name(call.func)
+        if name is not None and name in BLOCKING_CALLS:
+            yield self.finding(
+                module,
+                call,
+                f"blocking call {name}() inside 'async def {func.name}'",
+                hint=BLOCKING_CALLS[name],
+            )
+            return
+        if isinstance(call.func, ast.Name) and call.func.id in BLOCKING_BUILTINS:
+            yield self.finding(
+                module,
+                call,
+                f"synchronous {call.func.id}() inside 'async def {func.name}'",
+                hint=BLOCKING_BUILTINS[call.func.id],
+            )
+            return
+        if not isinstance(call.func, ast.Attribute):
+            return
+        attr = call.func.attr
+        receiver = _receiver_tail(call.func)
+        if attr in FILE_METHODS:
+            yield self.finding(
+                module,
+                call,
+                f"synchronous file I/O .{attr}() inside 'async def {func.name}'",
+            )
+        elif attr in SOCKET_METHODS and (
+            "sock" in receiver or "conn" in receiver or receiver == "client"
+        ):
+            yield self.finding(
+                module,
+                call,
+                f"synchronous socket .{attr}() inside 'async def {func.name}'",
+                hint="use the asyncio stream reader/writer instead",
+            )
+        elif attr in STORE_METHODS and receiver.endswith("store"):
+            yield self.finding(
+                module,
+                call,
+                f"KernelStore disk I/O .{attr}() inside 'async def {func.name}'",
+                hint=(
+                    "store reads/writes hit the filesystem; call them via "
+                    "loop.run_in_executor like the engine calls"
+                ),
+            )
+        elif attr in ENGINE_METHODS and receiver.endswith("engine"):
+            yield self.finding(
+                module,
+                call,
+                f"Engine .{attr}() inside 'async def {func.name}' blocks on "
+                "multiprocess queues",
+                hint="dispatch engine work via loop.run_in_executor",
+            )
+
+
+__all__ = [
+    "AsyncBlockingRule",
+    "BLOCKING_BUILTINS",
+    "BLOCKING_CALLS",
+    "ENGINE_METHODS",
+    "FILE_METHODS",
+    "SOCKET_METHODS",
+    "STORE_METHODS",
+]

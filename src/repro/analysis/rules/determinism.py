@@ -1,0 +1,176 @@
+"""Rule ``nondeterminism`` — reproducibility-critical modules must not
+consult ambient randomness or hash/identity order.
+
+The engine (PR 4) promises byte-identical seeded samples across worker
+counts, and the store keys kernels by content fingerprint.  Both break
+silently if a module on that path draws from the process-global RNG,
+keys anything by ``id()``, folds values through the salted builtin
+``hash()``, or iterates a ``set`` in hash order into an output.
+
+The rule only applies to the modules that carry the contract (see
+``MODULE_NAMES``); elsewhere ambient randomness is someone's explicit
+choice.  Flagged:
+
+* module-level RNG — ``random.random()``, ``random.randint`` …, and an
+  *unseeded* ``random.Random()``;
+* other ambient entropy — ``os.urandom``, ``uuid.uuid4``, ``secrets.*``;
+* ``id(...)`` — identity is allocation order, not value;
+* builtin ``hash(...)`` — salted per process for str/bytes;
+* iterating a ``set``/``frozenset`` display or constructor directly
+  (``for x in {…}``, ``list(set(...))``) — wrap it in ``sorted()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules._common import dotted_name
+
+#: Basenames of the modules whose outputs are reproducibility-critical.
+MODULE_NAMES = frozenset(
+    {
+        "fingerprint.py",
+        "snapshot.py",
+        "engine.py",
+        "protocol.py",
+        "store.py",
+        "kernel.py",
+        "rng.py",
+    }
+)
+
+_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "getrandbits",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "betavariate",
+        "seed",
+    }
+)
+
+_ENTROPY_CALLS = frozenset(
+    {"os.urandom", "uuid.uuid4", "uuid.uuid1", "secrets.token_bytes",
+     "secrets.token_hex", "secrets.randbelow"}
+)
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+@register
+class NondeterminismRule(Rule):
+    id = "nondeterminism"
+    description = (
+        "ambient randomness / hash-order dependence in a "
+        "reproducibility-critical module"
+    )
+    hint = "route randomness through repro.utils.rng; sort before iterating sets"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.name not in MODULE_NAMES:
+            return ()
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expression(node.iter):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node.iter,
+                            "iterating a set in hash order",
+                            hint="iterate sorted(...) so the order is a pure "
+                            "function of the values",
+                        )
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        findings.append(
+                            self.finding(
+                                module,
+                                generator.iter,
+                                "comprehension iterates a set in hash order",
+                                hint="iterate sorted(...) so the order is a "
+                                "pure function of the values",
+                            )
+                        )
+        return findings
+
+    def _check_call(
+        self, module: SourceModule, call: ast.Call
+    ) -> Iterable[Finding]:
+        name = dotted_name(call.func)
+        if name is not None:
+            head, _, tail = name.partition(".")
+            if head == "random" and tail in _RANDOM_FUNCS:
+                return [
+                    self.finding(
+                        module,
+                        call,
+                        f"module-level RNG call {name}() (process-global state)",
+                        hint="take an explicit random.Random via "
+                        "repro.utils.rng.make_rng",
+                    )
+                ]
+            if name in _ENTROPY_CALLS:
+                return [
+                    self.finding(
+                        module,
+                        call,
+                        f"ambient entropy source {name}()",
+                    )
+                ]
+            if name in {"random.Random", "Random"} and not call.args:
+                return [
+                    self.finding(
+                        module,
+                        call,
+                        "unseeded random.Random() (OS-seeded, non-reproducible)",
+                        hint="seed it, or document the non-reproducible path "
+                        "with a suppression",
+                    )
+                ]
+        if isinstance(call.func, ast.Name):
+            if call.func.id == "id":
+                return [
+                    self.finding(
+                        module,
+                        call,
+                        "id(...) used in a reproducibility-critical module "
+                        "(identity is allocation order)",
+                        hint="key by a stable index or by value instead",
+                    )
+                ]
+            if call.func.id == "hash":
+                return [
+                    self.finding(
+                        module,
+                        call,
+                        "builtin hash(...) is salted per process",
+                        hint="use hashlib over a canonical serialization",
+                    )
+                ]
+            if call.func.id in {"set", "frozenset"}:
+                return ()
+        return ()
+
+
+__all__ = ["MODULE_NAMES", "NondeterminismRule"]

@@ -1,0 +1,86 @@
+"""Rules ``bare-except`` and ``swallowed-cancel``.
+
+``bare-except`` — a bare ``except:`` catches ``SystemExit``,
+``KeyboardInterrupt`` and ``asyncio.CancelledError`` alike, which in
+the server means a cancelled task can be resurrected as "handled".
+Catch a concrete exception type, or ``Exception`` when the intent is
+"any application error".
+
+``swallowed-cancel`` — a handler that catches ``CancelledError`` (or
+``BaseException``, which includes it) must re-raise: cancellation is a
+control-flow signal, and swallowing it leaves ``await task`` hanging
+forever from the canceller's point of view.  A handler body containing
+a ``raise`` is accepted (the common log-and-reraise shape).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules._common import dotted_name
+
+_CANCEL_NAMES = frozenset(
+    {"CancelledError", "asyncio.CancelledError", "BaseException"}
+)
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+@register
+class BareExceptRule(Rule):
+    id = "bare-except"
+    description = "bare 'except:' (catches SystemExit/KeyboardInterrupt/CancelledError)"
+    hint = "catch a concrete exception type, or 'except Exception' at worst"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        return [
+            self.finding(module, node, "bare 'except:' clause")
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+
+
+@register
+class SwallowedCancelRule(Rule):
+    id = "swallowed-cancel"
+    description = "except handler swallows CancelledError/BaseException"
+    hint = "re-raise after cleanup: cancellation is control flow, not an error"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = [
+                name for name in _caught_names(node) if name in _CANCEL_NAMES
+            ]
+            if caught and not _reraises(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        f"handler catches {caught[0]} without re-raising",
+                    )
+                )
+        return findings
+
+
+__all__ = ["BareExceptRule", "SwallowedCancelRule"]

@@ -1,0 +1,215 @@
+"""Rule ``export-consistency`` — ``__all__`` is honest and complete.
+
+Three checks:
+
+* **presence** — modules in the designated public-API surface (the
+  service package, the analysis package, and the core kernel/plan/
+  enumeration trio) must define ``__all__`` at all, so ``from m import
+  *`` and documentation tooling agree on the API;
+* **soundness** — every name listed in ``__all__`` must actually be
+  bound at module top level (modules providing a module-level
+  ``__getattr__``, like the lazy service facade, are exempt — their
+  names resolve dynamically);
+* **completeness** — a public ``def``/``class``/ALL_CAPS constant
+  defined (not merely imported) at top level of an API-surface module
+  must appear in ``__all__``; otherwise star-importers and the docs see
+  a different API than direct importers.
+
+``__all__`` built as ``list(SOME_DICT)`` / ``sorted(SOME_DICT)`` over a
+top-level dict literal is resolved through the dict's keys.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+
+#: Posix path fragments selecting the public-API surface.
+API_SURFACE = (
+    "repro/service/",
+    "repro/analysis/",
+    "repro/core/kernel.py",
+    "repro/core/plan.py",
+    "repro/core/enumeration.py",
+)
+
+_CONSTANT_RE = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module body, descending into top-level ``if``/``try`` blocks
+    (``if TYPE_CHECKING:`` guards, import fallbacks)."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop(0)
+        yield node
+        if isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+
+
+def _resolve_all(
+    tree: ast.Module,
+) -> tuple[ast.stmt | None, list[str] | None]:
+    """The ``__all__`` assignment and its names (None = dynamic)."""
+    dict_keys: dict[str, list[str]] = {}
+    for node in _top_level_statements(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, ast.Dict
+                ):
+                    keys = [
+                        key.value
+                        for key in node.value.keys
+                        if isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                    ]
+                    dict_keys[target.id] = keys
+    for node in _top_level_statements(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            continue
+        value = node.value
+        if isinstance(value, (ast.List, ast.Tuple)):
+            names = [
+                e.value
+                for e in value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            ]
+            return node, names
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in {"list", "sorted"}
+            and len(value.args) == 1
+            and isinstance(value.args[0], ast.Name)
+            and value.args[0].id in dict_keys
+        ):
+            return node, dict_keys[value.args[0].id]
+        return node, None
+    return None, None
+
+
+def _top_level_bindings(tree: ast.Module) -> dict[str, ast.stmt]:
+    """name → defining statement for every top-level binding."""
+    bindings: dict[str, ast.stmt] = {}
+    for node in _top_level_statements(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bindings.setdefault(node.name, node)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in _target_names(target):
+                    bindings.setdefault(name, node)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bindings.setdefault(node.target.id, node)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                bindings.setdefault(bound, node)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings.setdefault(alias.asname or alias.name, node)
+    return bindings
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+
+
+def _in_api_surface(module: SourceModule) -> bool:
+    posix = module.posix()
+    return any(
+        posix.endswith(fragment) or f"/{fragment}" in f"/{posix}"
+        for fragment in API_SURFACE
+    )
+
+
+@register
+class ExportConsistencyRule(Rule):
+    id = "export-consistency"
+    description = "__all__ missing, lists an unbound name, or omits a public symbol"
+    hint = "keep __all__ in sync with the module's public definitions"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        all_node, all_names = _resolve_all(module.tree)
+        in_surface = _in_api_surface(module)
+
+        if all_node is None:
+            if in_surface:
+                findings.append(
+                    self.finding(
+                        module,
+                        None,
+                        "public-API module defines no __all__",
+                        hint="declare the exported names explicitly",
+                    )
+                )
+            return findings
+        if all_names is None:
+            # Dynamic __all__ we cannot resolve: nothing checkable.
+            return findings
+
+        bindings = _top_level_bindings(module.tree)
+        has_getattr = "__getattr__" in bindings
+        if not has_getattr:
+            for name in all_names:
+                if name not in bindings:
+                    findings.append(
+                        self.finding(
+                            module,
+                            all_node,
+                            f"__all__ lists {name!r} but the module never "
+                            "binds it",
+                            hint="remove the stale entry or define the name",
+                        )
+                    )
+
+        if in_surface:
+            listed = set(all_names)
+            for name, node in bindings.items():
+                if name.startswith("_") or name in listed:
+                    continue
+                if isinstance(node, (ast.Import, ast.ImportFrom)):
+                    continue
+                is_def = isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+                is_constant = (
+                    isinstance(node, (ast.Assign, ast.AnnAssign))
+                    and _CONSTANT_RE.match(name) is not None
+                )
+                if is_def or is_constant:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"public name {name!r} is not in __all__",
+                            hint="add it to __all__ or rename it with a "
+                            "leading underscore",
+                        )
+                    )
+        return findings
+
+
+__all__ = ["API_SURFACE", "ExportConsistencyRule"]

@@ -1,0 +1,153 @@
+"""Rule ``int64-overflow`` — no unguarded arithmetic into ``array('q')``.
+
+The kernel stores run-count tables as ``array('q')`` rows for memory
+density, but witness counts grow exponentially with word length and
+*will* exceed ``2**63 - 1`` on real inputs.  The project convention
+(see ``_pack_counts`` in ``core/kernel.py``) is: accumulate counts in a
+plain Python list (arbitrary precision), then pack the finished row,
+spilling to a list when any entry exceeds the int64 range.
+
+Writing an arithmetic result directly into an ``array('q')`` element
+bypasses that guard — ``array`` raises ``OverflowError`` at best and on
+some platforms silently wraps.  Within the configured modules the rule
+flags, for any name bound from ``array('q', ...)`` in the same scope:
+
+* ``row[i] += expr`` / ``row[i] = a + b`` (any arithmetic result);
+* ``row.append(a * b)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules._common import assigned_names
+
+#: Basenames of the modules that own packed count rows.
+MODULE_NAMES = frozenset({"kernel.py", "snapshot.py"})
+
+_ARITH_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Pow, ast.LShift)
+
+
+def _is_q_array_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if name != "array":
+        return False
+    return bool(
+        node.args
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "q"
+    )
+
+
+def _has_arithmetic(node: ast.AST) -> bool:
+    return any(
+        isinstance(child, ast.BinOp) and isinstance(child.op, _ARITH_OPS)
+        for child in ast.walk(node)
+    )
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.stmt]]:
+    yield tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node.body
+
+
+def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # nested functions are their own scope (yielded by _scopes)
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+@register
+class Int64OverflowRule(Rule):
+    id = "int64-overflow"
+    description = "arithmetic written into array('q') without the bignum-spill guard"
+    hint = (
+        "accumulate counts in a plain list and pack the finished row with "
+        "_pack_counts (spills past 2**63-1)"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.name not in MODULE_NAMES:
+            return ()
+        findings: list[Finding] = []
+        for body in _scopes(module.tree):
+            findings.extend(self._check_scope(module, body))
+        return findings
+
+    def _check_scope(
+        self, module: SourceModule, body: list[ast.stmt]
+    ) -> Iterator[Finding]:
+        tracked: set[str] = set()
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Assign) and _is_q_array_call(node.value):
+                for name in assigned_names(node.targets[0]):
+                    tracked.add(name.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_q_array_call(node.value) and isinstance(
+                    node.target, ast.Name
+                ):
+                    tracked.add(node.target.id)
+        if not tracked:
+            return
+        for node in _walk_scope(body):
+            if isinstance(node, ast.AugAssign):
+                target = node.target
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in tracked
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"in-place arithmetic into array('q') row "
+                        f"'{target.value.id}' can overflow int64",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in tracked
+                        and _has_arithmetic(node.value)
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"arithmetic result stored into array('q') row "
+                            f"'{target.value.id}' can overflow int64",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "append"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in tracked
+                    and any(_has_arithmetic(arg) for arg in node.args)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"arithmetic result appended to array('q') row "
+                        f"'{func.value.id}' can overflow int64",
+                    )
+
+
+__all__ = ["Int64OverflowRule", "MODULE_NAMES"]

@@ -1,0 +1,357 @@
+"""Rule ``protocol-exhaustive`` — the wire vocabulary agrees everywhere.
+
+The service speaks NDJSON requests tagged with an ``op``.  The full
+vocabulary is declared once, in ``service/protocol.py``::
+
+    SERVICE_OPS     every op a client may send
+    CONTROL_OPS     ops answered by the engine control path (ping/stats/…)
+    SAMPLE_OPS      the sampling ops (shared spec grouping)
+    CONNECTION_OPS  ops handled purely at the connection layer (cancel)
+
+This project rule cross-checks the declaration against every layer that
+dispatches on op strings:
+
+* every registered executable op has a handler — an ``op == "…"`` /
+  ``op in SOME_OPS`` branch in ``_execute_one`` or the engine's control
+  path;
+* every op literal dispatched or emitted anywhere in the service stack
+  (server, client, engine, protocol) is registered — no phantom ops;
+* the connection-layer ops are actually handled by the async server;
+* the CLI ``query`` subcommand offers every client-sendable op (the
+  ``enum`` → ``enumerate`` spelling alias is allowed), and offers
+  nothing unregistered.
+
+When a layer's module is not among the linted files its checks are
+skipped, so linting a subtree stays meaningful.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+
+#: CLI spellings accepted as aliases for a registered op.
+OP_ALIASES = {"enum": "enumerate"}
+
+_REGISTRY_NAMES = ("SERVICE_OPS", "CONTROL_OPS", "SAMPLE_OPS", "CONNECTION_OPS")
+
+
+def _frozenset_literals(tree: ast.Module) -> dict[str, frozenset[str]]:
+    """Top-level ``NAME = frozenset({...})`` string-set assignments."""
+    sets: dict[str, frozenset[str]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        value = node.value
+        if not isinstance(target, ast.Name):
+            continue
+        if not (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id == "frozenset"
+        ):
+            continue
+        strings: list[str] = []
+        literal = True
+        for arg in value.args:
+            elements = arg.elts if isinstance(arg, (ast.Set, ast.List, ast.Tuple)) else []
+            for element in elements:
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, str
+                ):
+                    strings.append(element.value)
+                elif isinstance(element, ast.Name) or isinstance(
+                    element, ast.Starred
+                ):
+                    literal = False
+        # ``frozenset(A | B)`` style: union of other registries.
+        if value.args and isinstance(value.args[0], ast.BinOp):
+            names = [
+                child.id
+                for child in ast.walk(value.args[0])
+                if isinstance(child, ast.Name)
+            ]
+            combined: set[str] = set(
+                child.value
+                for child in ast.walk(value.args[0])
+                if isinstance(child, ast.Constant) and isinstance(child.value, str)
+            )
+            for name in names:
+                combined.update(sets.get(name, frozenset()))
+            strings = sorted(combined)
+            literal = True
+        if literal:
+            sets[target.id] = frozenset(strings)
+    return sets
+
+
+def _is_op_expr(node: ast.AST) -> bool:
+    """Does this expression read the request's op?  (``op`` name or
+    ``something.get("op")`` / ``something["op"]``.)"""
+    if isinstance(node, ast.Name) and node.id == "op":
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == "op"
+    ):
+        return True
+    if (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == "op"
+    ):
+        return True
+    return False
+
+
+def _dispatched_ops(
+    tree: ast.AST, registries: dict[str, frozenset[str]]
+) -> tuple[set[str], set[str]]:
+    """(op literals dispatched on or emitted, registry names referenced).
+
+    Covers ``op == "x"`` comparisons, ``op in SOME_OPS`` / ``op in
+    ("x", "y")`` membership, and ``{"op": "x"}`` request construction.
+    """
+    literals: set[str] = set()
+    referenced: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Compare):
+            sides = [node.left, *node.comparators]
+            if not any(_is_op_expr(side) for side in sides):
+                continue
+            for operator, comparator in zip(node.ops, node.comparators):
+                if isinstance(operator, (ast.Eq, ast.NotEq)) and isinstance(
+                    comparator, ast.Constant
+                ):
+                    if isinstance(comparator.value, str):
+                        literals.add(comparator.value)
+                elif isinstance(operator, (ast.In, ast.NotIn)):
+                    if isinstance(comparator, ast.Name):
+                        if comparator.id in registries:
+                            referenced.add(comparator.id)
+                    elif isinstance(comparator, (ast.Tuple, ast.Set, ast.List)):
+                        literals.update(
+                            e.value
+                            for e in comparator.elts
+                            if isinstance(e, ast.Constant)
+                            and isinstance(e.value, str)
+                        )
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and key.value == "op"
+                    and isinstance(value, ast.Constant)
+                    and isinstance(value.value, str)
+                ):
+                    literals.add(value.value)
+    return literals, referenced
+
+
+def _find(modules: Sequence[SourceModule], suffix: str) -> SourceModule | None:
+    for module in modules:
+        if module.posix().endswith(suffix):
+            return module
+    return None
+
+
+def _function(tree: ast.Module, name: str) -> ast.AST | None:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node
+    return None
+
+
+def _cli_query_choices(tree: ast.Module) -> tuple[ast.AST | None, set[str]]:
+    """The ``choices=[...]`` of the CLI's ``op`` positional argument."""
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "add_argument"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "op"
+        ):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "choices" and isinstance(
+                keyword.value, (ast.List, ast.Tuple)
+            ):
+                return node, {
+                    e.value
+                    for e in keyword.value.elts
+                    if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                }
+    return None, set()
+
+
+@register
+class ProtocolExhaustiveRule(Rule):
+    id = "protocol-exhaustive"
+    description = (
+        "a registered service op lacks a handler/CLI path, or a layer "
+        "dispatches an unregistered op"
+    )
+    hint = "keep SERVICE_OPS in service/protocol.py and the dispatch layers in sync"
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        protocol = _find(modules, "service/protocol.py")
+        if protocol is None:
+            return ()
+        findings: list[Finding] = []
+        registries = _frozenset_literals(protocol.tree)
+        service_ops = registries.get("SERVICE_OPS")
+        if service_ops is None:
+            findings.append(
+                self.finding(
+                    protocol,
+                    None,
+                    "service/protocol.py declares no SERVICE_OPS registry",
+                    hint="declare SERVICE_OPS = frozenset({...}) listing every "
+                    "wire op",
+                )
+            )
+            return findings
+        control_ops = registries.get("CONTROL_OPS", frozenset())
+        connection_ops = registries.get("CONNECTION_OPS", frozenset())
+
+        # --- executor coverage -----------------------------------------
+        handled: set[str] = set()
+        executor = _function(protocol.tree, "_execute_one")
+        if executor is not None:
+            literals, referenced = _dispatched_ops(executor, registries)
+            handled.update(literals)
+            for name in referenced:
+                handled.update(registries[name])
+        engine = _find(modules, "service/engine.py")
+        if engine is not None:
+            literals, referenced = _dispatched_ops(engine.tree, registries)
+            if "CONTROL_OPS" in referenced:
+                handled.update(control_ops)
+            handled.update(literals & control_ops)
+        else:
+            # Engine not linted: assume its control path handles these.
+            handled.update(control_ops)
+        for op in sorted(service_ops - connection_ops - handled):
+            findings.append(
+                self.finding(
+                    protocol,
+                    None,
+                    f"registered op {op!r} has no handler in _execute_one or "
+                    "the engine control path",
+                )
+            )
+
+        # --- phantom ops anywhere in the service stack ------------------
+        known = service_ops | set(OP_ALIASES)
+        for suffix in (
+            "service/protocol.py",
+            "service/server.py",
+            "service/client.py",
+            "service/engine.py",
+        ):
+            module = _find(modules, suffix)
+            if module is None:
+                continue
+            literals, _ = _dispatched_ops(module.tree, registries)
+            for op in sorted(literals - known):
+                findings.append(
+                    self.finding(
+                        module,
+                        None,
+                        f"dispatches/emits op {op!r} which is not in "
+                        "SERVICE_OPS",
+                    )
+                )
+
+        # --- connection-layer coverage ----------------------------------
+        server = _find(modules, "service/server.py")
+        if server is not None and connection_ops:
+            literals, _ = _dispatched_ops(server.tree, registries)
+            for op in sorted(connection_ops - literals):
+                findings.append(
+                    self.finding(
+                        server,
+                        None,
+                        f"connection-layer op {op!r} is not handled by the "
+                        "async server",
+                    )
+                )
+
+        # --- client coverage --------------------------------------------
+        client = _find(modules, "service/client.py")
+        if client is not None:
+            has_generic = any(
+                _function(client.tree, name) is not None
+                for name in ("request", "send")
+            )
+            literals, _ = _dispatched_ops(client.tree, registries)
+            missing = (
+                (connection_ops - literals)
+                if has_generic
+                else (service_ops - literals)
+            )
+            for op in sorted(missing):
+                findings.append(
+                    self.finding(
+                        client,
+                        None,
+                        f"client offers no path for op {op!r}",
+                        hint="add a method (or route it through the generic "
+                        "request() passthrough)",
+                    )
+                )
+
+        # --- CLI coverage -----------------------------------------------
+        cli = None
+        for module in modules:
+            posix = module.posix()
+            if posix.endswith("repro/cli.py") or posix == "cli.py":
+                cli = module
+                break
+        if cli is not None:
+            node, choices = _cli_query_choices(cli.tree)
+            if node is None:
+                findings.append(
+                    self.finding(
+                        cli,
+                        None,
+                        "CLI declares no 'op' argument with choices for the "
+                        "query subcommand",
+                    )
+                )
+            else:
+                normalized = {OP_ALIASES.get(op, op) for op in choices}
+                for op in sorted(service_ops - connection_ops - normalized):
+                    findings.append(
+                        self.finding(
+                            cli,
+                            node,
+                            f"registered op {op!r} is not offered by the CLI "
+                            "query subcommand",
+                        )
+                    )
+                for op in sorted(normalized - service_ops):
+                    findings.append(
+                        self.finding(
+                            cli,
+                            node,
+                            f"CLI offers op {op!r} which is not in SERVICE_OPS",
+                        )
+                    )
+        return findings
+
+
+__all__ = ["OP_ALIASES", "ProtocolExhaustiveRule"]

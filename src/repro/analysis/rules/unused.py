@@ -1,0 +1,157 @@
+"""Rule ``unused-symbol`` — dead imports, dead locals, dead statements.
+
+Three local checks, all purely syntactic (no type inference, no
+cross-module analysis — a name is "used" if it is ever read anywhere in
+the module):
+
+* an imported name never read and not re-exported via ``__all__``;
+* a function-local name assigned by a plain assignment but never read
+  (underscore-prefixed names are conventionally intentional and
+  skipped, as are functions that call ``locals()``/``eval``/``exec``);
+* statements following an unconditional ``return``/``raise``/``break``/
+  ``continue`` in the same block.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules._common import assigned_names
+
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+_DYNAMIC_SCOPE_CALLS = frozenset({"locals", "vars", "eval", "exec", "globals"})
+
+
+def _read_names(tree: ast.AST) -> set[str]:
+    """Every name read (Load context) anywhere under ``tree``, plus the
+    strings of ``__all__`` (re-export counts as a read)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            names.add(node.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.update(node.names)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            )
+        ):
+            for child in ast.walk(node.value):
+                if isinstance(child, ast.Constant) and isinstance(
+                    child.value, str
+                ):
+                    names.add(child.value)
+    return names
+
+
+def _statement_blocks(tree: ast.AST) -> Iterator[list[ast.stmt]]:
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list) and block and isinstance(
+                block[0], ast.stmt
+            ):
+                yield block
+
+
+def _calls_dynamic_scope(func: ast.AST) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _DYNAMIC_SCOPE_CALLS
+        for node in ast.walk(func)
+    )
+
+
+@register
+class UnusedSymbolRule(Rule):
+    id = "unused-symbol"
+    description = "unused import/local, or unreachable statement"
+    hint = "delete the dead code (or prefix an intentionally unused name with '_')"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._unused_imports(module))
+        findings.extend(self._unused_locals(module))
+        findings.extend(self._unreachable(module))
+        return findings
+
+    def _unused_imports(self, module: SourceModule) -> Iterator[Finding]:
+        used = _read_names(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if bound not in used:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import '{alias.asname or alias.name}' is never used",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    if bound not in used:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import '{bound}' from "
+                            f"'{node.module or '.'}' is never used",
+                        )
+
+    def _unused_locals(self, module: SourceModule) -> Iterator[Finding]:
+        for func in ast.walk(module.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if _calls_dynamic_scope(func):
+                continue
+            read = _read_names(func)
+            declared_elsewhere: set[str] = set()
+            for node in ast.walk(func):
+                if isinstance(node, (ast.Global, ast.Nonlocal)):
+                    declared_elsewhere.update(node.names)
+            reported: set[str] = set()
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    for name in assigned_names(target):
+                        if (
+                            name.id.startswith("_")
+                            or name.id in read
+                            or name.id in declared_elsewhere
+                            or name.id in reported
+                        ):
+                            continue
+                        reported.add(name.id)
+                        yield self.finding(
+                            module,
+                            node,
+                            f"local '{name.id}' in {func.name}() is assigned "
+                            "but never read",
+                        )
+
+    def _unreachable(self, module: SourceModule) -> Iterator[Finding]:
+        for block in _statement_blocks(module.tree):
+            for index, statement in enumerate(block[:-1]):
+                if isinstance(statement, _TERMINATORS):
+                    yield self.finding(
+                        module,
+                        block[index + 1],
+                        "statement is unreachable (follows "
+                        f"'{type(statement).__name__.lower()}')",
+                    )
+                    break
+
+
+__all__ = ["UnusedSymbolRule"]

@@ -18,7 +18,7 @@ their minimal DFAs.
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable, Mapping
+from typing import Iterable, Mapping
 
 from repro.automata.nfa import EPSILON, NFA, State, Symbol
 from repro.errors import InvalidAutomatonError
@@ -219,7 +219,6 @@ def minimize(dfa: DFA) -> DFA:
     state naming — states are frozensets of merged original states).
     """
     total = dfa.completed().reachable()
-    states = list(total.states)
     finals = total.finals
     nonfinals = total.states - finals
 

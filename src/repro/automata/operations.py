@@ -27,10 +27,10 @@ Two construction styles coexist:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.automata.dfa import determinize, minimize
-from repro.automata.nfa import EPSILON, NFA, State, Symbol
+from repro.automata.nfa import EPSILON, NFA
 
 
 def _tagged(nfa: NFA, tag: object) -> NFA:

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.automata.nfa import EPSILON, NFA
+from repro.automata.nfa import NFA
 from repro.automata import operations as ops
 from repro.errors import InvalidRegexError
 

@@ -23,7 +23,7 @@ counting, exact uniform model sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.automata.nfa import NFA, Word
 from repro.core.relations import AutomatonBackedRelation, CompiledInstance

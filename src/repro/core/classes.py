@@ -29,7 +29,7 @@ from repro.automata.unambiguous import is_unambiguous, require_unambiguous
 from repro.core.enumeration import enumerate_words_nfa, enumerate_words_ufa
 from repro.core.exact import count_accepting_runs_of_length, count_words_exact
 from repro.core.exact_sampler import ExactUniformSampler
-from repro.core.fpras import FprasParameters, FprasState, approx_count_nfa
+from repro.core.fpras import FprasParameters, approx_count_nfa
 from repro.core.plvug import LasVegasUniformGenerator
 from repro.core.relations import AutomatonBackedRelation, CompiledInstance
 from repro.core.transducers import Transducer, compile_to_nfa

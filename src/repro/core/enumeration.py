@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.automata.nfa import NFA, Symbol, Word
+from repro.automata.nfa import NFA, State, Symbol, Word
 from repro.automata.unambiguous import require_unambiguous
 from repro.core.kernel import CompiledDAG, as_kernel, compile_nfa
 from repro.core.unroll import UnrolledDAG, unroll_trimmed
@@ -106,6 +106,8 @@ def _algorithm1(kernel: CompiledDAG) -> Iterator[Word]:
     edge_symbol = kernel._edge_symbol
     edge_dst = kernel._edge_dst
     start_index = kernel.index_of(0, kernel.nfa.initial)
+    if start_index is None:  # pragma: no cover - is_empty ruled this out
+        return
 
     decisions: list[list[int]] = []  # [layer, state index, edge index]
 
@@ -145,8 +147,8 @@ def _algorithm1(kernel: CompiledDAG) -> Iterator[Word]:
 
 
 def algorithm1_page(
-    kernel: CompiledDAG, cursor: list | None, count: int
-) -> tuple[list[Word], list | None]:
+    kernel: CompiledDAG, cursor: list[object] | None, count: int
+) -> tuple[list[Word], list[list[int]] | None]:
     """One resumable *page* of Algorithm 1: up to ``count`` words plus the
     cursor for the next page.
 
@@ -184,6 +186,8 @@ def algorithm1_page(
     edge_symbol = kernel._edge_symbol
     edge_dst = kernel._edge_dst
     start_index = kernel.index_of(0, kernel.nfa.initial)
+    if start_index is None:  # pragma: no cover - is_empty ruled this out
+        return words, None
     while len(words) < count:
         word_out: list[Symbol] = []
         state = start_index
@@ -215,7 +219,9 @@ def algorithm1_page(
     return words, decisions
 
 
-def _validated_cursor(kernel: CompiledDAG, cursor: list | None) -> list:
+def _validated_cursor(
+    kernel: CompiledDAG, cursor: list[object] | None
+) -> list[list[int]]:
     """The cursor as a fresh mutable decisions list, or ``ValueError``.
 
     Replays the cursor's path through the kernel, checking that each
@@ -244,6 +250,8 @@ def _validated_cursor(kernel: CompiledDAG, cursor: list | None) -> list:
             raise bad
         decisions.append(list(entry))
     state = kernel.index_of(0, kernel.nfa.initial)
+    if state is None:  # pragma: no cover - callers check is_empty first
+        raise bad
     replay = 0
     for t in range(kernel.n):
         starts = kernel._edge_start[t]
@@ -293,7 +301,9 @@ def enumerate_words_nfa(nfa: NFA, n: int) -> Iterator[Word]:
 
     # stack holds (prefix, live state set at len(prefix)); DFS in reverse
     # symbol order so words come out in lexicographic symbol-repr order.
-    stack: list[tuple[tuple, frozenset]] = [((), frozenset({prepared.initial}) & dag.layer(0))]
+    stack: list[tuple[Word, frozenset[State]]] = [
+        ((), frozenset({prepared.initial}) & dag.layer(0))
+    ]
     while stack:
         prefix, states = stack.pop()
         if len(prefix) == n:
@@ -302,7 +312,7 @@ def enumerate_words_nfa(nfa: NFA, n: int) -> Iterator[Word]:
         t = len(prefix)
         layer_next = dag.layer(t + 1)
         for symbol in reversed(symbols):
-            nxt: set = set()
+            nxt: set[State] = set()
             for state in states:
                 nxt |= prepared.successors(state, symbol)
             nxt &= layer_next
@@ -323,3 +333,12 @@ def enumerate_words(nfa: NFA, n: int) -> Iterator[Word]:
     if is_unambiguous(stripped):
         return enumerate_words_ufa(stripped, n, check=False)
     return enumerate_words_nfa(stripped, n)
+
+
+__all__ = [
+    "enumerate_words",
+    "enumerate_words_ufa",
+    "enumerate_words_dag",
+    "enumerate_words_nfa",
+    "algorithm1_page",
+]

@@ -51,10 +51,10 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
-from repro.automata.nfa import NFA, State, Symbol, Word
+from repro.automata.nfa import NFA, Symbol, Word
 from repro.core.exact import count_words_exact
 from repro.core.kernel import CompiledDAG, compile_nfa, kernel_matches_nfa
 from repro.errors import EmptyWitnessSetError, InvalidAutomatonError

@@ -50,16 +50,61 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_right
 from random import Random
-from typing import Iterator, Sequence
+from typing import (
+    TYPE_CHECKING,
+    AbstractSet,
+    Callable,
+    Container,
+    Iterable,
+    Iterator,
+    Protocol,
+    Sequence,
+    TypeAlias,
+)
 
 from repro.automata.nfa import NFA, State, Symbol, Word
 from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
 
+if TYPE_CHECKING:
+    from repro.core.plan import LoweringStats
+    from repro.core.unroll import UnrolledDAG
+
 #: Largest count representable in the packed ``array('q')`` spine.
 _INT64_MAX = 2**63 - 1
 
+#: One run-count row: packed when every entry fits int64, spilled to a
+#: plain list when the bignum counts overflow.  Both answer ``row[i]``
+#: with a Python int, so consumers never branch.
+CountRow: TypeAlias = "array[int] | list[int]"
 
-def _pack_counts(counts: list) -> "array | list":
+#: One CSR integer block (offsets / symbol indices / dst indices).
+_IntArray: TypeAlias = "array[int]"
+
+
+class AutomatonSource(Protocol):
+    """The read interface kernel compilation needs from its source.
+
+    Satisfied by :class:`~repro.automata.nfa.NFA`, by the memoized
+    symbolic source :func:`repro.core.plan.lower_plan` builds, and by
+    the snapshot stand-in a restored kernel carries.
+    """
+
+    @property
+    def initial(self) -> State: ...
+
+    @property
+    def finals(self) -> Container[State]: ...
+
+    @property
+    def alphabet(self) -> AbstractSet[Symbol]: ...
+
+    @property
+    def has_epsilon(self) -> bool: ...
+
+    def out_edges(self, state: State) -> Iterable[tuple[Symbol, State]]: ...
+
+
+def _pack_counts(counts: list[int]) -> CountRow:
     """Pack a per-layer count row into ``array('q')``, spilling to a list.
 
     The spill keeps exact bignum arithmetic available: both containers
@@ -114,13 +159,32 @@ class CompiledDAG:
         "fingerprint",
     )
 
+    nfa: AutomatonSource
+    n: int
+    trimmed: bool
+    symbols: tuple[Symbol, ...]
+    _symbol_index: dict[Symbol, int]
+    _states: list[tuple[State, ...]]
+    _index: list[dict[State, int]]
+    _edge_start: list[_IntArray]
+    _edge_symbol: list[_IntArray]
+    _edge_dst: list[_IntArray]
+    _redge: dict[int, tuple[_IntArray, _IntArray, _IntArray]]
+    _forward: list[CountRow] | None
+    _backward: list[CountRow] | None
+    _cum: dict[tuple[int, int], list[int]]
+    _layer_sets: dict[int, frozenset[State]]
+    _finals_idx: dict[int, tuple[int, ...]]
+    lowering: LoweringStats | None
+    fingerprint: str | None
+
     def __init__(
         self,
-        nfa: NFA,
+        nfa: AutomatonSource,
         n: int,
         trimmed: bool,
-        layers: Sequence[frozenset] | None = None,
-    ):
+        layers: Sequence[frozenset[State]] | None = None,
+    ) -> None:
         if nfa.has_epsilon:
             raise InvalidAutomatonError("kernel compilation requires an ε-free NFA")
         if n < 0:
@@ -132,23 +196,23 @@ class CompiledDAG:
             from repro.core.unroll import UnrolledDAG
 
             layers = UnrolledDAG(nfa, n, trimmed).layers
-        self.symbols: tuple = tuple(sorted(nfa.alphabet, key=repr))
-        self._symbol_index: dict = {s: i for i, s in enumerate(self.symbols)}
-        self._states: list[tuple] = [tuple(sorted(layer, key=repr)) for layer in layers]
-        self._index: list[dict] = [
+        self.symbols = tuple(sorted(nfa.alphabet, key=repr))
+        self._symbol_index = {s: i for i, s in enumerate(self.symbols)}
+        self._states = [tuple(sorted(layer, key=repr)) for layer in layers]
+        self._index = [
             {state: i for i, state in enumerate(states)} for states in self._states
         ]
-        self._edge_start: list = []
-        self._edge_symbol: list = []
-        self._edge_dst: list = []
+        self._edge_start = []
+        self._edge_symbol = []
+        self._edge_dst = []
         for t in range(n):
             self._append_edge_layer(t)
-        self._redge: dict[int, tuple] = {}
-        self._forward: list | None = None
-        self._backward: list | None = None
-        self._cum: dict[tuple[int, int], list] = {}
-        self._layer_sets: dict[int, frozenset] = {}
-        self._finals_idx: dict[int, tuple] = {}
+        self._redge = {}
+        self._forward = None
+        self._backward = None
+        self._cum = {}
+        self._layer_sets = {}
+        self._finals_idx = {}
         #: LoweringStats when this kernel came from a plan lowering.
         self.lowering = None
         #: Content fingerprint of the source when the kernel came out of
@@ -161,7 +225,7 @@ class CompiledDAG:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_unrolled(cls, dag) -> "CompiledDAG":
+    def from_unrolled(cls, dag: UnrolledDAG | CompiledDAG) -> "CompiledDAG":
         """Lower an already-built :class:`UnrolledDAG` (live sets reused)."""
         if isinstance(dag, CompiledDAG):
             return dag
@@ -212,7 +276,7 @@ class CompiledDAG:
             return self
         out_edges = self.nfa.out_edges
         for t in range(self.n, new_n):
-            nxt: set = set()
+            nxt: set[State] = set()
             for state in self._states[t]:
                 for _, target in out_edges(state):
                     nxt.add(target)
@@ -238,7 +302,7 @@ class CompiledDAG:
         """Number of live states at layer ``t``."""
         return len(self._states[t])
 
-    def layer_states(self, t: int) -> tuple:
+    def layer_states(self, t: int) -> tuple[State, ...]:
         """Live states at layer ``t`` in index (= repr) order."""
         return self._states[t]
 
@@ -270,7 +334,7 @@ class CompiledDAG:
             self._finals_idx[t] = cached
         return cached
 
-    def _reverse_edges(self, t: int) -> tuple:
+    def _reverse_edges(self, t: int) -> tuple[_IntArray, _IntArray, _IntArray]:
         """Reverse CSR for edges into layer ``t`` (``1 ≤ t ≤ n``), keyed by dst."""
         cached = self._redge.get(t)
         if cached is not None:
@@ -307,7 +371,9 @@ class CompiledDAG:
         for e in range(starts[i], starts[i + 1]):
             yield r_symbol[e], r_src[e]
 
-    def predecessor_groups(self, t: int, indices) -> dict[Symbol, frozenset]:
+    def predecessor_groups(
+        self, t: int, indices: Iterable[int]
+    ) -> dict[Symbol, frozenset[int]]:
         """``{b: T_b}`` with ``T_b`` the layer-``t-1`` predecessor *indices*.
 
         The integer-indexed form of the paper's Algorithm 4 step 3 / the
@@ -317,14 +383,16 @@ class CompiledDAG:
         if t <= 0:
             return {}
         starts, r_symbol, r_src = self._reverse_edges(t)
-        grouped: dict[int, set] = {}
+        grouped: dict[int, set[int]] = {}
         for i in indices:
             for e in range(starts[i], starts[i + 1]):
                 grouped.setdefault(r_symbol[e], set()).add(r_src[e])
         symbols = self.symbols
         return {symbols[si]: frozenset(group) for si, group in grouped.items()}
 
-    def step_indices(self, t: int, indices, symbol: Symbol) -> frozenset:
+    def step_indices(
+        self, t: int, indices: Iterable[int], symbol: Symbol
+    ) -> frozenset[int]:
         """Layer-``t+1`` indices reachable from ``indices`` by one ``symbol`` edge.
 
         The prefix-set step the FPRAS's membership machinery uses:
@@ -337,7 +405,7 @@ class CompiledDAG:
         starts = self._edge_start[t]
         edge_symbol = self._edge_symbol[t]
         edge_dst = self._edge_dst[t]
-        out: set = set()
+        out: set[int] = set()
         for i in indices:
             for e in range(starts[i], starts[i + 1]):
                 if edge_symbol[e] == symbol_i:
@@ -348,7 +416,7 @@ class CompiledDAG:
     # Run-count tables (array-backed, bignum-spill)
     # ------------------------------------------------------------------
 
-    def _forward_step(self, t: int, current: Sequence[int]) -> list:
+    def _forward_step(self, t: int, current: Sequence[int]) -> list[int]:
         nxt = [0] * len(self._states[t + 1])
         starts = self._edge_start[t]
         edge_dst = self._edge_dst[t]
@@ -359,7 +427,7 @@ class CompiledDAG:
                 nxt[edge_dst[e]] += ways
         return nxt
 
-    def forward_counts(self) -> list:
+    def forward_counts(self) -> list[CountRow]:
         """``table[t][i]`` = number of length-``t`` paths start → ``(t, i)``."""
         if self._forward is None:
             first = [0] * len(self._states[0])
@@ -372,27 +440,29 @@ class CompiledDAG:
             self._forward = table
         return self._forward
 
-    def backward_counts(self) -> list:
+    def backward_counts(self) -> list[CountRow]:
         """``table[t][i]`` = number of paths ``(t, i)`` → accepting layer-``n`` states."""
         if self._backward is None:
             n = self.n
             last = [0] * len(self._states[n])
             for i in self.final_indices(n):
                 last[i] = 1
-            table: list = [None] * (n + 1)
-            table[n] = _pack_counts(last)
+            # Built back-to-front (rows[-1] is always table[t + 1]),
+            # then reversed into layer order.
+            rows: list[CountRow] = [_pack_counts(last)]
             for t in range(n - 1, -1, -1):
                 starts = self._edge_start[t]
                 edge_dst = self._edge_dst[t]
-                nxt = table[t + 1]
+                nxt = rows[-1]
                 current = [0] * len(self._states[t])
                 for i in range(len(current)):
                     total = 0
                     for e in range(starts[i], starts[i + 1]):
                         total += nxt[edge_dst[e]]
                     current[i] = total
-                table[t] = _pack_counts(current)
-            self._backward = table
+                rows.append(_pack_counts(current))
+            rows.reverse()
+            self._backward = rows
         return self._backward
 
     @property
@@ -402,7 +472,7 @@ class CompiledDAG:
         i0 = self._index[0].get(self.nfa.initial)
         return back[0][i0] if i0 is not None else 0
 
-    def spectrum_counts(self) -> list:
+    def spectrum_counts(self) -> list[int]:
         """``[|runs_0|, …, |runs_n|]`` — per-length accepting-run counts.
 
         One forward table read per layer: the whole spectrum costs a
@@ -417,7 +487,7 @@ class CompiledDAG:
             for t in range(self.n + 1)
         ]
 
-    def forward_dicts(self) -> list[dict]:
+    def forward_dicts(self) -> list[dict[State, int]]:
         """The forward table in the seed ``list[dict[State, int]]`` shape."""
         forward = self.forward_counts()
         return [
@@ -429,7 +499,7 @@ class CompiledDAG:
             for t in range(self.n + 1)
         ]
 
-    def backward_dicts(self) -> list[dict]:
+    def backward_dicts(self) -> list[dict[State, int]]:
         """The backward table in the seed ``list[dict[State, int]]`` shape."""
         backward = self.backward_counts()
         return [
@@ -445,7 +515,7 @@ class CompiledDAG:
     # Uniform run sampling (table-guided walks)
     # ------------------------------------------------------------------
 
-    def _cum_weights(self, t: int, i: int) -> list:
+    def _cum_weights(self, t: int, i: int) -> list[int]:
         """Cumulative backward weights over vertex ``(t, i)``'s edge block."""
         key = (t, i)
         cached = self._cum.get(key)
@@ -454,7 +524,7 @@ class CompiledDAG:
             nxt = self.backward_counts()[t + 1]
             edge_dst = self._edge_dst[t]
             cached = []
-            running = 0
+            running = 0  # exact bignum accumulation; never packed
             for e in range(start, end):
                 running += nxt[edge_dst[e]]
                 cached.append(running)
@@ -469,7 +539,7 @@ class CompiledDAG:
         backward = self.backward_counts()
         symbols = self.symbols
         state = self._index[0][self.nfa.initial]
-        out: list = []
+        out: list[Symbol] = []
         for t in range(self.n):
             cum = self._cum_weights(t, state)
             pick = generator.randrange(backward[t][state])
@@ -478,7 +548,7 @@ class CompiledDAG:
             state = self._edge_dst[t][e]
         return tuple(out)
 
-    def sample_batch(self, k: int, generator: "Random | Sequence[Random]") -> list[Word]:
+    def sample_batch(self, k: int, generator: Random | Sequence[Random]) -> list[Word]:
         """``k`` independent uniform draws in one table-guided pass.
 
         Walks all ``k`` samples layer by layer, grouping the in-flight
@@ -502,6 +572,7 @@ class CompiledDAG:
             return []
         if self.total_runs == 0:
             raise EmptyWitnessSetError(f"the automaton accepts no word of length {self.n}")
+        randranges: list[Callable[[int], int]]
         if isinstance(generator, Random):
             randranges = [generator.randrange] * k
         else:
@@ -513,9 +584,9 @@ class CompiledDAG:
         backward = self.backward_counts()
         symbols = self.symbols
         states = [self._index[0][self.nfa.initial]] * k
-        words: list[list] = [[] for _ in range(k)]
+        words: list[list[Symbol]] = [[] for _ in range(k)]
         for t in range(self.n):
-            groups: dict[int, list] = {}
+            groups: dict[int, list[int]] = {}
             for sample_id, i in enumerate(states):
                 group = groups.get(i)
                 if group is None:
@@ -553,7 +624,11 @@ class CompiledDAG:
         return kernel_to_bytes(self)
 
     @classmethod
-    def from_bytes(cls, data: bytes, source_resolver=None) -> "CompiledDAG":
+    def from_bytes(
+        cls,
+        data: bytes,
+        source_resolver: Callable[[], AutomatonSource] | None = None,
+    ) -> "CompiledDAG":
         """Restore a kernel from :meth:`to_bytes` output.
 
         ``source_resolver`` optionally supplies a zero-argument callable
@@ -571,11 +646,11 @@ class CompiledDAG:
     # ------------------------------------------------------------------
 
     @property
-    def layers(self) -> list[frozenset]:
+    def layers(self) -> list[frozenset[State]]:
         """All live-state sets, in the :class:`UnrolledDAG` shape."""
         return [self.layer(t) for t in range(self.n + 1)]
 
-    def layer(self, t: int) -> frozenset:
+    def layer(self, t: int) -> frozenset[State]:
         """Live states at layer ``t`` (0 ≤ t ≤ n)."""
         cached = self._layer_sets.get(t)
         if cached is None:
@@ -584,7 +659,7 @@ class CompiledDAG:
         return cached
 
     @property
-    def final_states(self) -> frozenset:
+    def final_states(self) -> frozenset[State]:
         """Live accepting states at the last layer."""
         states = self._states[self.n]
         return frozenset(states[i] for i in self.final_indices(self.n))
@@ -617,7 +692,7 @@ class CompiledDAG:
         """
         return list(self.successors(t, state))
 
-    def predecessors(self, t: int, state: State, symbol: Symbol) -> frozenset:
+    def predecessors(self, t: int, state: State, symbol: Symbol) -> frozenset[State]:
         """Live states ``p`` at layer ``t - 1`` with ``p --symbol--> state``."""
         if t <= 0:
             return frozenset()
@@ -632,7 +707,9 @@ class CompiledDAG:
             states_prev[src] for si, src in self.in_edges_idx(t, i) if si == symbol_i
         )
 
-    def predecessor_sets(self, t: int, states: frozenset) -> dict[Symbol, frozenset]:
+    def predecessor_sets(
+        self, t: int, states: frozenset[State]
+    ) -> dict[Symbol, frozenset[State]]:
         """For each symbol b, the set ``T_b`` of layer-(t-1) predecessors (as states)."""
         index = self._index[t]
         indices = [index[state] for state in states if state in index]
@@ -690,8 +767,18 @@ def kernel_matches_nfa(kernel: CompiledDAG, nfa: NFA) -> bool:
     return source.initial == nfa.initial and source.alphabet == nfa.alphabet
 
 
-def as_kernel(dag) -> CompiledDAG:
+def as_kernel(dag: UnrolledDAG | CompiledDAG) -> CompiledDAG:
     """Coerce an :class:`UnrolledDAG` (or kernel) into a :class:`CompiledDAG`."""
     if isinstance(dag, CompiledDAG):
         return dag
     return CompiledDAG.from_unrolled(dag)
+
+
+__all__ = [
+    "AutomatonSource",
+    "CompiledDAG",
+    "CountRow",
+    "as_kernel",
+    "compile_nfa",
+    "kernel_matches_nfa",
+]

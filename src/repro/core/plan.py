@@ -50,11 +50,19 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, Mapping, TypeAlias, cast
 
 from repro.automata.nfa import NFA, State, Symbol
 from repro.core.kernel import CompiledDAG
 from repro.errors import InvalidAutomatonError
+
+if TYPE_CHECKING:
+    from repro.graphdb.graph import GraphDatabase, Vertex
+    from repro.spanners.eva import EVA
+
+#: The successor memo shared between :func:`lower_plan` and
+#: :class:`_MemoSource`: plan state → its (symbol, target) block.
+_Adjacency: TypeAlias = "dict[State, tuple[tuple[Symbol, State], ...]]"
 
 
 @dataclass(frozen=True)
@@ -93,7 +101,7 @@ class LoweringStats:
     n: int
     trimmed: bool
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | bool]:
         return {
             "nominal_states": self.nominal_states,
             "explored_states": self.explored_states,
@@ -116,7 +124,9 @@ class _LazyFinals:
 
     __slots__ = ("_plan",)
 
-    def __init__(self, plan: "Plan"):
+    _plan: "Plan"
+
+    def __init__(self, plan: "Plan") -> None:
         self._plan = plan
 
     def __contains__(self, state: object) -> bool:
@@ -154,7 +164,7 @@ class Plan:
         raise NotImplementedError
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         raise NotImplementedError
 
     def nominal_states(self) -> int:
@@ -172,15 +182,15 @@ class Plan:
         """Membership-only view of the accepting states."""
         return _LazyFinals(self)
 
-    def successors(self, state: State, symbol: Symbol) -> frozenset:
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
         """Targets of ``state`` on ``symbol`` (the NFA-compatible form)."""
         return frozenset(t for s, t in self.out_edges(state) if s == symbol)
 
     def accepts(self, input_word: Iterable[Symbol]) -> bool:
         """On-the-fly subset simulation — no materialization."""
-        current = {self.initial}
+        current: set[State] = {self.initial}
         for symbol in input_word:
-            nxt: set = set()
+            nxt: set[State] = set()
             for state in current:
                 for edge_symbol, target in self.out_edges(state):
                     if edge_symbol == symbol:
@@ -199,9 +209,9 @@ class Plan:
         lazy pipeline otherwise avoids.
         """
         initial = self.initial
-        states = {initial}
-        transitions: list[tuple] = []
-        frontier = deque([initial])
+        states: set[State] = {initial}
+        transitions: list[tuple[State, Symbol, State]] = []
+        frontier: deque[State] = deque([initial])
         while frontier:
             state = frontier.popleft()
             for symbol, target in self.out_edges(state):
@@ -212,17 +222,17 @@ class Plan:
         finals = [state for state in states if self.is_final(state)]
         return NFA(states, self.alphabet, transitions, initial, finals)
 
-    def __and__(self, other: "Plan | NFA") -> "Product":
+    def __and__(self, other: "Plan | NFA | str") -> "Product":
         return Product(self, as_plan(other))
 
-    def __or__(self, other: "Plan | NFA") -> "Union":
+    def __or__(self, other: "Plan | NFA | str") -> "Union":
         return Union(self, as_plan(other))
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics
         return f"<Plan {self.describe()}>"
 
 
-def as_plan(source) -> Plan:
+def as_plan(source: "Plan | NFA | str") -> Plan:
     """Coerce an operand into a plan: plans pass through, NFAs wrap in
     :class:`Atom`, strings compile as regexes."""
     if isinstance(source, Plan):
@@ -244,7 +254,9 @@ class Atom(Plan):
 
     __slots__ = ("nfa",)
 
-    def __init__(self, nfa: NFA):
+    nfa: NFA
+
+    def __init__(self, nfa: NFA) -> None:
         self.nfa = nfa.without_epsilon()
 
     @property
@@ -254,14 +266,14 @@ class Atom(Plan):
     def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
         return self.nfa.out_edges(state)
 
-    def successors(self, state: State, symbol: Symbol) -> frozenset:
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
         return self.nfa.successors(state, symbol)
 
     def is_final(self, state: State) -> bool:
         return state in self.nfa.finals
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return self.nfa.alphabet
 
     def nominal_states(self) -> int:
@@ -283,7 +295,10 @@ class Product(Plan):
 
     __slots__ = ("left", "right")
 
-    def __init__(self, left, right):
+    left: Plan
+    right: Plan
+
+    def __init__(self, left: "Plan | NFA | str", right: "Plan | NFA | str") -> None:
         self.left = as_plan(left)
         self.right = as_plan(right)
 
@@ -292,13 +307,13 @@ class Product(Plan):
         return (self.left.initial, self.right.initial)
 
     def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
-        left_state, right_state = state
+        left_state, right_state = cast("tuple[State, State]", state)
         for symbol, left_target in self.left.out_edges(left_state):
             for right_target in self.right.successors(right_state, symbol):
                 yield symbol, (left_target, right_target)
 
-    def successors(self, state: State, symbol: Symbol) -> frozenset:
-        left_state, right_state = state
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
+        left_state, right_state = cast("tuple[State, State]", state)
         return frozenset(
             (left_target, right_target)
             for left_target in self.left.successors(left_state, symbol)
@@ -306,10 +321,11 @@ class Product(Plan):
         )
 
     def is_final(self, state: State) -> bool:
-        return self.left.is_final(state[0]) and self.right.is_final(state[1])
+        pair = cast("tuple[State, State]", state)
+        return self.left.is_final(pair[0]) and self.right.is_final(pair[1])
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return self.left.alphabet & self.right.alphabet
 
     def nominal_states(self) -> int:
@@ -334,9 +350,12 @@ class Union(Plan):
 
     __slots__ = ("left", "right")
 
-    _INITIAL = ("∪", 0)
+    left: Plan
+    right: Plan
 
-    def __init__(self, left, right):
+    _INITIAL: ClassVar[tuple[str, int]] = ("∪", 0)
+
+    def __init__(self, left: "Plan | NFA | str", right: "Plan | NFA | str") -> None:
         self.left = as_plan(left)
         self.right = as_plan(right)
 
@@ -351,7 +370,7 @@ class Union(Plan):
             for symbol, target in self.right.out_edges(self.right.initial):
                 yield symbol, (1, target)
             return
-        tag, inner = state
+        tag, inner = cast("tuple[int, State]", state)
         child = self.left if tag == 0 else self.right
         for symbol, target in child.out_edges(inner):
             yield symbol, (tag, target)
@@ -361,11 +380,11 @@ class Union(Plan):
             return self.left.is_final(self.left.initial) or self.right.is_final(
                 self.right.initial
             )
-        tag, inner = state
+        tag, inner = cast("tuple[int, State]", state)
         return (self.left if tag == 0 else self.right).is_final(inner)
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return self.left.alphabet | self.right.alphabet
 
     def nominal_states(self) -> int:
@@ -386,7 +405,10 @@ class Concat(Plan):
 
     __slots__ = ("left", "right")
 
-    def __init__(self, left, right):
+    left: Plan
+    right: Plan
+
+    def __init__(self, left: "Plan | NFA | str", right: "Plan | NFA | str") -> None:
         self.left = as_plan(left)
         self.right = as_plan(right)
 
@@ -395,7 +417,7 @@ class Concat(Plan):
         return (0, self.left.initial)
 
     def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
-        tag, inner = state
+        tag, inner = cast("tuple[int, State]", state)
         if tag == 1:
             for symbol, target in self.right.out_edges(inner):
                 yield symbol, (1, target)
@@ -410,13 +432,13 @@ class Concat(Plan):
                 yield symbol, (1, target)
 
     def is_final(self, state: State) -> bool:
-        tag, inner = state
+        tag, inner = cast("tuple[int, State]", state)
         if tag == 1:
             return self.right.is_final(inner)
         return self.left.is_final(inner) and self.right.is_final(self.right.initial)
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return self.left.alphabet | self.right.alphabet
 
     def nominal_states(self) -> int:
@@ -432,9 +454,11 @@ class Star(Plan):
 
     __slots__ = ("child",)
 
-    _HUB = ("★", 0)
+    child: Plan
 
-    def __init__(self, child):
+    _HUB: ClassVar[tuple[str, int]] = ("★", 0)
+
+    def __init__(self, child: "Plan | NFA | str") -> None:
         self.child = as_plan(child)
 
     @property
@@ -447,8 +471,8 @@ class Star(Plan):
             for symbol, target in child.out_edges(child.initial):
                 yield symbol, (0, target)
             return
-        _, inner = state
-        seen: set = set()
+        _, inner = cast("tuple[int, State]", state)
+        seen: set[tuple[Symbol, State]] = set()
         for symbol, target in child.out_edges(inner):
             edge = (symbol, (0, target))
             seen.add(edge)
@@ -461,10 +485,13 @@ class Star(Plan):
                     yield edge
 
     def is_final(self, state: State) -> bool:
-        return state == self._HUB or self.child.is_final(state[1])
+        if state == self._HUB:
+            return True
+        _, inner = cast("tuple[int, State]", state)
+        return self.child.is_final(inner)
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return self.child.alphabet
 
     def nominal_states(self) -> int:
@@ -479,7 +506,11 @@ class Relabel(Plan):
 
     __slots__ = ("child", "mapping", "_inverse")
 
-    def __init__(self, child, mapping: Mapping[Symbol, Symbol]):
+    child: Plan
+    mapping: dict[Symbol, Symbol]
+    _inverse: dict[Symbol, Symbol]
+
+    def __init__(self, child: "Plan | NFA | str", mapping: Mapping[Symbol, Symbol]) -> None:
         if len(set(mapping.values())) != len(mapping):
             raise InvalidAutomatonError("symbol mapping must be injective")
         self.child = as_plan(child)
@@ -500,7 +531,7 @@ class Relabel(Plan):
         for symbol, target in self.child.out_edges(state):
             yield mapping[symbol], target
 
-    def successors(self, state: State, symbol: Symbol) -> frozenset:
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
         original = self._inverse.get(symbol)
         if original is None:
             return frozenset()
@@ -510,7 +541,7 @@ class Relabel(Plan):
         return self.child.is_final(state)
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return frozenset(self.mapping[s] for s in self.child.alphabet)
 
     def nominal_states(self) -> int:
@@ -536,7 +567,15 @@ class GraphProduct(Plan):
 
     __slots__ = ("graph", "query", "source", "target", "_alphabet")
 
-    def __init__(self, graph, query: NFA, source, target):
+    graph: GraphDatabase
+    query: NFA
+    source: Vertex
+    target: Vertex
+    _alphabet: frozenset[Symbol] | None
+
+    def __init__(
+        self, graph: GraphDatabase, query: NFA, source: Vertex, target: Vertex
+    ) -> None:
         from repro.errors import InvalidRelationInputError
 
         if source not in graph.vertices or target not in graph.vertices:
@@ -545,22 +584,22 @@ class GraphProduct(Plan):
         self.query = query.without_epsilon()
         self.source = source
         self.target = target
-        self._alphabet: frozenset | None = None
+        self._alphabet = None
 
     @property
     def initial(self) -> State:
         return (self.source, self.query.initial)
 
     def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
-        vertex, q = state
+        vertex, q = cast("tuple[Vertex, State]", state)
         query = self.query
         for label, next_vertex in self.graph.out_edges(vertex):
             for q_next in query.successors(q, label):
                 yield (label, next_vertex), (next_vertex, q_next)
 
-    def successors(self, state: State, symbol: Symbol) -> frozenset:
-        vertex, q = state
-        label, next_vertex = symbol
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
+        vertex, q = cast("tuple[Vertex, State]", state)
+        label, next_vertex = cast("tuple[str, Vertex]", symbol)
         if not self.graph.has_edge(vertex, label, next_vertex):
             return frozenset()
         return frozenset(
@@ -568,11 +607,11 @@ class GraphProduct(Plan):
         )
 
     def is_final(self, state: State) -> bool:
-        vertex, q = state
+        vertex, q = cast("tuple[Vertex, State]", state)
         return vertex == self.target and q in self.query.finals
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         if self._alphabet is None:
             self._alphabet = frozenset(
                 (label, target) for _, label, target in self.graph.edges
@@ -602,9 +641,14 @@ class DocProduct(Plan):
 
     __slots__ = ("eva", "document", "_choices", "_options")
 
-    _ACCEPT = ("accept",)
+    eva: EVA
+    document: str
+    _choices: frozenset[Symbol]
+    _options: dict[State, tuple[tuple[Symbol, State], ...]]
 
-    def __init__(self, eva, document: str):
+    _ACCEPT: ClassVar[tuple[str]] = ("accept",)
+
+    def __init__(self, eva: EVA, document: str) -> None:
         eva.require_functional()
         self.eva = eva
         self.document = document
@@ -626,11 +670,11 @@ class DocProduct(Plan):
     def out_edges(self, state: State) -> Iterator[tuple[Symbol, State]]:
         if state == self._ACCEPT:
             return
-        q, position = state
+        q, position = cast("tuple[State, int]", state)
         eva = self.eva
         document = self.document
         n = len(document)
-        seen: set = set()
+        seen: set[tuple[Symbol, State]] = set()
         for symbol, q_mid in self._options[q]:
             if position < n:
                 for q_next in eva.letter_successors(q_mid, document[position]):
@@ -648,7 +692,7 @@ class DocProduct(Plan):
         return state == self._ACCEPT
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return self._choices
 
     def nominal_states(self) -> int:
@@ -679,9 +723,12 @@ class _MemoSource:
 
     __slots__ = ("plan", "adjacency")
 
+    plan: Plan
+    adjacency: _Adjacency
+
     has_epsilon = False
 
-    def __init__(self, plan: Plan, adjacency: dict):
+    def __init__(self, plan: Plan, adjacency: _Adjacency) -> None:
         self.plan = plan
         self.adjacency = adjacency
 
@@ -694,24 +741,24 @@ class _MemoSource:
         return self.plan.finals
 
     @property
-    def alphabet(self) -> frozenset:
+    def alphabet(self) -> frozenset[Symbol]:
         return self.plan.alphabet
 
-    def out_edges(self, state: State) -> tuple:
+    def out_edges(self, state: State) -> tuple[tuple[Symbol, State], ...]:
         edges = self.adjacency.get(state)
         if edges is None:
             edges = tuple(self.plan.out_edges(state))
             self.adjacency[state] = edges
         return edges
 
-    def successors(self, state: State, symbol: Symbol) -> frozenset:
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
         return frozenset(t for s, t in self.out_edges(state) if s == symbol)
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics
         return f"<MemoSource {self.plan.describe()} states={len(self.adjacency)}>"
 
 
-def memoized_source(plan: Plan) -> _MemoSource:
+def memoized_source(plan: "Plan | NFA | str") -> _MemoSource:
     """Wrap ``plan`` so each state's successor block is computed once.
 
     Used by consumers that revisit states many times (the self-product
@@ -721,10 +768,10 @@ def memoized_source(plan: Plan) -> _MemoSource:
 
 
 def lower_plan(
-    plan: Plan,
+    plan: "Plan | NFA | str",
     n: int,
     trimmed: bool = True,
-    adjacency: dict | None = None,
+    adjacency: _Adjacency | None = None,
 ) -> CompiledDAG:
     """Lower ``plan``'s length-``n`` unrolling straight into a kernel.
 
@@ -755,29 +802,36 @@ def lower_plan(
         adjacency = {}
     source = _MemoSource(plan, adjacency)
 
-    layers: list[frozenset] = [frozenset({plan.initial})]
+    layers: list[frozenset[State]] = [frozenset({plan.initial})]
     for _ in range(n):
-        nxt: set = set()
+        nxt: set[State] = set()
         for state in layers[-1]:
             for _, target in source.out_edges(state):
                 nxt.add(target)
         layers.append(frozenset(nxt))
 
-    reached: set = set()
+    reached: set[State] = set()
     for layer in layers:
         reached |= layer
 
     if trimmed:
         finals = plan.finals
-        alive: list[frozenset] = [None] * (n + 1)  # type: ignore[list-item]
-        alive[n] = frozenset(state for state in layers[n] if state in finals)
+        # The backward-useful layers, built back to front (appending the
+        # earlier layer each step, then reversing) so no placeholder slots
+        # ever hold a non-frozenset.
+        alive: list[frozenset[State]] = [
+            frozenset(state for state in layers[n] if state in finals)
+        ]
         for t in range(n - 1, -1, -1):
-            later = alive[t + 1]
-            alive[t] = frozenset(
-                state
-                for state in layers[t]
-                if any(target in later for _, target in adjacency[state])
+            later = alive[-1]
+            alive.append(
+                frozenset(
+                    state
+                    for state in layers[t]
+                    if any(target in later for _, target in adjacency[state])
+                )
             )
+        alive.reverse()
         layers = alive
 
     kernel = CompiledDAG(source, n, trimmed, layers=layers)

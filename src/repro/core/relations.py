@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+from typing import Generic, Hashable, Iterator, TypeVar
 
 from repro.automata.nfa import NFA, Word
 

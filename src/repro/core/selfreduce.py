@@ -30,7 +30,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.automata.nfa import NFA, Symbol
-from repro.errors import InvalidAutomatonError
 
 
 FRESH_INITIAL = ("psi", "q0'")

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import abc
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Iterator
 
 from repro.automata.nfa import EPSILON, NFA

@@ -26,7 +26,7 @@ correspondence above holds verbatim on either representation.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.automata.nfa import NFA, State, Symbol
 from repro.errors import InvalidAutomatonError

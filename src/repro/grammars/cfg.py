@@ -160,8 +160,6 @@ class CNFGrammar:
 
     def word_multiplicities(self, n: int) -> dict[tuple, int]:
         """word → number of derivation trees (ambiguity profile)."""
-        counts = count_derivations(self, n)
-        sampler = derivation_sampler(self, n, counts=counts)
         # Exact route: recompute per word by constrained DP.
         result: dict[tuple, int] = {}
         for w in self.words_of_length(n):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable
 
 from repro.errors import InvalidAutomatonError
 from repro.utils.rng import make_rng

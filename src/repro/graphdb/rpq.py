@@ -40,7 +40,6 @@ from repro.automata.nfa import NFA, Word
 from repro.automata.regex import compile_regex
 from repro.core.plan import GraphProduct
 from repro.core.relations import AutomatonBackedRelation, CompiledInstance
-from repro.errors import InvalidRelationInputError
 from repro.graphdb.graph import GraphDatabase, Vertex
 
 

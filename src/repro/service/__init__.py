@@ -36,6 +36,7 @@ package turns the single-process facade into a service:
 """
 
 from importlib import import_module
+from typing import Any
 
 #: Public name → home submodule.  Resolved lazily (PEP 562) so that,
 #: e.g., the facade touching only the store never imports the engine's
@@ -68,7 +69,7 @@ _EXPORTS = {
 __all__ = list(_EXPORTS)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     submodule = _EXPORTS.get(name)
     if submodule is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
@@ -77,5 +78,5 @@ def __getattr__(name: str):
     return value
 
 
-def __dir__():  # pragma: no cover - introspection nicety
+def __dir__() -> list[str]:  # pragma: no cover - introspection nicety
     return sorted(set(globals()) | set(_EXPORTS))

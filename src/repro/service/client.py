@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import json
 import socket
+from types import TracebackType
+from typing import Any, Iterator
 
 from repro.errors import ReproError
 
@@ -20,7 +22,15 @@ class ServiceClientError(ReproError):
 class ServiceClient:
     """One connection to a ``repro serve --port`` server."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0):
+    sock: socket.socket
+    last_cursor: Any
+    _buffer: bytes
+    _next_id: int
+    _stream_lines: dict[str, list[dict[str, Any]]]
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+    ) -> None:
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self._buffer = b""
         self._next_id = 0
@@ -29,7 +39,7 @@ class ServiceClient:
         #: Live stream id → lines read on its behalf by *other* calls.
         #: Interleaving a paused enumerate() generator with send() would
         #: otherwise drop the stream's in-flight chunks on the floor.
-        self._stream_lines: dict = {}
+        self._stream_lines = {}
 
     def close(self) -> None:
         try:
@@ -40,7 +50,12 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -54,10 +69,10 @@ class ServiceClient:
         line, self._buffer = self._buffer.split(b"\n", 1)
         return line
 
-    def send(self, requests: list[dict]) -> list[dict]:
+    def send(self, requests: list[dict[str, Any]]) -> list[dict[str, Any]]:
         """Send requests (ids filled in when missing) and collect all
         responses, returned in request order."""
-        prepared = []
+        prepared: list[dict[str, Any]] = []
         for request in requests:
             request = dict(request)
             if "id" not in request:
@@ -70,10 +85,10 @@ class ServiceClient:
             for request in prepared
         )
         self.sock.sendall(payload)
-        pending: dict = {}
+        pending: dict[str, list[dict[str, Any]]] = {}
         order = [request["id"] for request in prepared]
         remaining = {request_id: order.count(request_id) for request_id in order}
-        responses: list[dict] = []
+        responses: list[dict[str, Any]] = []
         while sum(remaining.values()) > 0:
             response = json.loads(self._read_line())
             rid = response.get("id")
@@ -90,15 +105,17 @@ class ServiceClient:
             responses.append(pending[rid].pop(0))
         return responses
 
-    def request(self, op: str, spec: dict | None = None, **fields) -> dict:
+    def request(
+        self, op: str, spec: dict[str, Any] | None = None, **fields: Any
+    ) -> dict[str, Any]:
         """One request/response round-trip; returns the response dict."""
-        request: dict = {"op": op}
+        request: dict[str, Any] = {"op": op}
         if spec is not None:
             request["spec"] = spec
         request.update(fields)
         return self.send([request])[0]
 
-    def result(self, op: str, spec: dict | None = None, **fields):
+    def result(self, op: str, spec: dict[str, Any] | None = None, **fields: Any) -> Any:
         """Like :meth:`request` but unwraps ``result`` (raises on error)."""
         response = self.request(op, spec, **fields)
         if not response.get("ok"):
@@ -109,11 +126,11 @@ class ServiceClient:
 
     def enumerate(
         self,
-        spec: dict,
+        spec: dict[str, Any],
         limit: int | None = None,
         chunk_size: int | None = None,
-        cursor=None,
-    ):
+        cursor: Any = None,
+    ) -> Iterator[Any]:
         """Stream witnesses of ``spec`` from the server, one at a time.
 
         Sends a single ``{"op": "enumerate", "stream": true}`` request;
@@ -131,7 +148,7 @@ class ServiceClient:
         are skipped by id on later calls); closing the client cancels
         the stream server-side too.
         """
-        request: dict = {"op": "enumerate", "spec": spec, "stream": True}
+        request: dict[str, Any] = {"op": "enumerate", "spec": spec, "stream": True}
         request["id"] = f"c{self._next_id}"
         self._next_id += 1
         if limit is not None:

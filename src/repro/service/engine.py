@@ -34,6 +34,8 @@ import os
 import queue as queue_module
 import time
 from collections import defaultdict
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Iterator, TypeAlias
 
 from repro.service.protocol import (
     CONTROL_OPS,
@@ -42,12 +44,29 @@ from repro.service.protocol import (
     spec_key,
 )
 
+if TYPE_CHECKING:
+    from multiprocessing.process import BaseProcess
+    from multiprocessing.queues import Queue as MPQueue
+
+#: One routed work item: (batch id, group index, request group); ``None``
+#: is the worker shutdown sentinel.
+_Task: TypeAlias = "tuple[int, int, list[dict[str, Any]]] | None"
+
+#: One worker answer: (batch id, group index, response group).
+_Result: TypeAlias = "tuple[int, int, list[dict[str, Any]]]"
+
 #: How long Engine.execute waits on the result queue before checking
 #: worker liveness (seconds).
 _POLL_SECONDS = 0.25
 
 
-def _worker_main(worker_id, tasks, results, store_root, max_resident):
+def _worker_main(
+    worker_id: int,
+    tasks: MPQueue[_Task],
+    results: MPQueue[_Result],
+    store_root: str | None,
+    max_resident: int,
+) -> None:
     """One pool worker: drain grouped requests, keep hot kernels resident."""
     from repro.service.store import KernelStore
 
@@ -60,7 +79,11 @@ def _worker_main(worker_id, tasks, results, store_root, max_resident):
         batch_id, group_index, group = item
         if len(group) == 1 and group[0].get("op") in CONTROL_OPS:
             request = group[0]
-            response = {"id": request.get("id"), "ok": True, "worker": worker_id}
+            response: dict[str, Any] = {
+                "id": request.get("id"),
+                "ok": True,
+                "worker": worker_id,
+            }
             if "__seq" in request:
                 response["__seq"] = request["__seq"]
             response["result"] = (
@@ -92,24 +115,37 @@ class Engine:
         Per-worker bound on resident witness sets.
     """
 
+    workers: int
+    store_root: str | None
+    max_resident: int
+    _batch_ids: Iterator[int]
+    _processes: list[BaseProcess]
+    _task_queues: list[MPQueue[_Task]]
+    _results: MPQueue[_Result] | None
+    _local_cache: WitnessSetCache | None
+
     def __init__(
         self,
         workers: int = 0,
-        store_root: "str | os.PathLike | None | bool" = None,
+        store_root: str | os.PathLike[str] | bool | None = None,
         max_resident: int = 64,
-    ):
+    ) -> None:
         if workers < 0:
             raise ValueError("workers must be ≥ 0")
         self.workers = workers
         if store_root is None:
             store_root = os.environ.get("REPRO_KERNEL_STORE") or False
-        self.store_root = os.fspath(store_root) if store_root else None
+        self.store_root = (
+            None
+            if isinstance(store_root, bool) or not store_root
+            else os.fspath(store_root)
+        )
         self.max_resident = max_resident
         self._batch_ids = itertools.count()
-        self._processes: list = []
-        self._task_queues: list = []
+        self._processes = []
+        self._task_queues = []
         self._results = None
-        self._local_cache: WitnessSetCache | None = None
+        self._local_cache = None
         if workers == 0:
             store = None
             if self.store_root is not None:
@@ -120,9 +156,10 @@ class Engine:
                 max_resident=max_resident, store=store
             )
         else:
-            context = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-            )
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            else:
+                context = multiprocessing.get_context()
             self._results = context.Queue()
             for worker_id in range(workers):
                 tasks = context.Queue()
@@ -162,7 +199,7 @@ class Engine:
         return value % self.workers
 
     @staticmethod
-    def group_requests(requests: list[dict]) -> list[list[dict]]:
+    def group_requests(requests: list[dict[str, Any]]) -> list[list[dict[str, Any]]]:
         """Partition a batch into per-spec groups (order-stable).
 
         Control ops (``ping`` / ``stats``) become singleton groups;
@@ -170,8 +207,8 @@ class Engine:
         :func:`~repro.service.protocol.execute_group` can coalesce the
         sample ops inside each group into one kernel pass.
         """
-        grouped: "defaultdict[str, list]" = defaultdict(list)
-        singletons: list[list[dict]] = []
+        grouped: defaultdict[str, list[dict[str, Any]]] = defaultdict(list)
+        singletons: list[list[dict[str, Any]]] = []
         for request in requests:
             if request.get("op") in CONTROL_OPS or "spec" not in request:
                 singletons.append([request])
@@ -183,7 +220,7 @@ class Engine:
     # Execution
     # ------------------------------------------------------------------
 
-    def execute(self, requests: list[dict]) -> list[dict]:
+    def execute(self, requests: list[dict[str, Any]]) -> list[dict[str, Any]]:
         """Answer a batch of requests; responses in request order.
 
         Groups by spec, routes each group to its affinity worker, waits
@@ -200,17 +237,21 @@ class Engine:
         ]
         groups = self.group_requests(tagged)
         if self.workers == 0:
-            responses: list[dict] = []
+            cache = self._local_cache
+            assert cache is not None  # always built when workers == 0
+            responses: list[dict[str, Any]] = []
             for group in groups:
                 if len(group) == 1 and group[0].get("op") in CONTROL_OPS:
                     responses.append(self._control_response(group[0]))
                 else:
-                    responses.extend(execute_group(self._local_cache, group))
+                    responses.extend(execute_group(cache, group))
         else:
             responses = self._execute_pooled(groups)
         return self._order_responses(requests, responses)
 
-    def execute_stream(self, request: dict, chunk_size: int | None = None):
+    def execute_stream(
+        self, request: dict[str, Any], chunk_size: int | None = None
+    ) -> Iterator[dict[str, Any]]:
         """Stream one ``enumerate`` request as a generator of chunk
         responses.
 
@@ -242,14 +283,16 @@ class Engine:
                 return
 
     @staticmethod
-    def _order_responses(requests: list[dict], responses: list[dict]) -> list[dict]:
+    def _order_responses(
+        requests: list[dict[str, Any]], responses: list[dict[str, Any]]
+    ) -> list[dict[str, Any]]:
         """Match responses back to ``requests`` by the ``__seq`` tag."""
-        by_seq: dict[int, dict] = {}
+        by_seq: dict[int, dict[str, Any]] = {}
         for response in responses:
             seq = response.pop("__seq", None)
             if seq is not None and seq not in by_seq:
                 by_seq[seq] = response
-        ordered = []
+        ordered: list[dict[str, Any]] = []
         for index, request in enumerate(requests):
             response = by_seq.get(index)
             if response is None:  # pragma: no cover - a worker died mid-batch
@@ -262,18 +305,20 @@ class Engine:
             ordered.append(response)
         return ordered
 
-    def _control_response(self, request: dict) -> dict:
-        response = {"id": request.get("id"), "ok": True, "worker": 0}
+    def _control_response(self, request: dict[str, Any]) -> dict[str, Any]:
+        cache = self._local_cache
+        assert cache is not None  # only reached when workers == 0
+        response: dict[str, Any] = {"id": request.get("id"), "ok": True, "worker": 0}
         if "__seq" in request:
             response["__seq"] = request["__seq"]
-        response["result"] = (
-            self._local_cache.stats() if request["op"] == "stats" else "pong"
-        )
+        response["result"] = cache.stats() if request["op"] == "stats" else "pong"
         return response
 
-    def _execute_pooled(self, groups: list[list[dict]]) -> list[dict]:
+    def _execute_pooled(self, groups: list[list[dict[str, Any]]]) -> list[dict[str, Any]]:
+        results = self._results
+        assert results is not None  # always built when workers > 0
         batch_id = next(self._batch_ids)
-        pending: dict[int, tuple[int, list[dict]]] = {}
+        pending: dict[int, tuple[int, list[dict[str, Any]]]] = {}
         for group_index, group in enumerate(groups):
             key = spec_key(group[0]["spec"]) if "spec" in group[0] else str(
                 group[0].get("id")
@@ -281,10 +326,10 @@ class Engine:
             worker = self.route(key)
             self._task_queues[worker].put((batch_id, group_index, group))
             pending[group_index] = (worker, group)
-        responses: list[dict] = []
+        responses: list[dict[str, Any]] = []
         while pending:
             try:
-                got_batch, group_index, group_responses = self._results.get(
+                got_batch, group_index, group_responses = results.get(
                     timeout=_POLL_SECONDS
                 )
             except queue_module.Empty:
@@ -321,7 +366,7 @@ class Engine:
     # Introspection and lifecycle
     # ------------------------------------------------------------------
 
-    def stats(self) -> list[dict]:
+    def stats(self) -> list[dict[str, Any]]:
         """Per-worker cache stats (one entry for workers=0).
 
         Dead workers are reported as ``{"worker": i, "alive": False}``
@@ -329,9 +374,13 @@ class Engine:
         take the server down.
         """
         if self.workers == 0:
-            return [dict(self._local_cache.stats(), worker=0, alive=True)]
+            cache = self._local_cache
+            assert cache is not None  # always built when workers == 0
+            return [dict(cache.stats(), worker=0, alive=True)]
+        results = self._results
+        assert results is not None  # always built when workers > 0
         batch_id = next(self._batch_ids)
-        out: list[dict] = []
+        out: list[dict[str, Any]] = []
         expected: set[int] = set()
         # Broadcast: one stats request directly to each live worker.
         for worker in range(self.workers):
@@ -346,7 +395,7 @@ class Engine:
         answered: set[int] = set()
         while answered < expected and time.monotonic() < deadline:
             try:
-                got_batch, worker, group_responses = self._results.get(
+                got_batch, worker, group_responses = results.get(
                     timeout=_POLL_SECONDS
                 )
             except queue_module.Empty:
@@ -383,7 +432,12 @@ class Engine:
     def __enter__(self) -> "Engine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics

@@ -24,10 +24,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.automata.nfa import EPSILON, NFA
 from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from repro.core.plan import Plan
+    from repro.graphdb.graph import GraphDatabase
+    from repro.spanners.eva import EVA
 
 FINGERPRINT_VERSION = 1
 
@@ -60,7 +65,7 @@ def _sort_key(item: Any) -> str:
     return json.dumps(item, sort_keys=True)
 
 
-def _canon_nfa(nfa: NFA) -> list:
+def _canon_nfa(nfa: NFA) -> list[Any]:
     return [
         "nfa",
         sorted((_canon_atom(state) for state in nfa.states), key=_sort_key),
@@ -77,7 +82,7 @@ def _canon_nfa(nfa: NFA) -> list:
     ]
 
 
-def _canon_graph(graph) -> list:
+def _canon_graph(graph: GraphDatabase) -> list[Any]:
     return [
         "graph",
         sorted((_canon_atom(vertex) for vertex in graph.vertices), key=_sort_key),
@@ -91,7 +96,7 @@ def _canon_graph(graph) -> list:
     ]
 
 
-def _canon_eva(eva) -> list:
+def _canon_eva(eva: EVA) -> list[Any]:
     return [
         "eva",
         sorted((_canon_atom(state) for state in eva.states), key=_sort_key),
@@ -115,7 +120,7 @@ def _canon_eva(eva) -> list:
     ]
 
 
-def _canon_plan(plan) -> list:
+def _canon_plan(plan: Plan) -> list[Any]:
     # Imported here to avoid a module cycle (plan → kernel → snapshot).
     from repro.core.plan import (
         Atom,
@@ -163,7 +168,7 @@ def _canon_plan(plan) -> list:
     )
 
 
-def canonical_source(source) -> list:
+def canonical_source(source: NFA | Plan) -> list[Any]:
     """The canonical JSON-able structure behind :func:`fingerprint_source`."""
     from repro.core.plan import Plan
 
@@ -176,7 +181,7 @@ def canonical_source(source) -> list:
     )
 
 
-def fingerprint_source(source) -> str:
+def fingerprint_source(source: NFA | Plan) -> str:
     """SHA-256 hex fingerprint of an automaton or plan, stable across
     processes, platforms and hash seeds.
 

@@ -56,9 +56,15 @@ from __future__ import annotations
 import hashlib
 import json
 from collections import OrderedDict
+from typing import TYPE_CHECKING, Any, Generator
 
 from repro.errors import ReproError
 from repro.utils.rng import make_rng, substreams
+
+if TYPE_CHECKING:
+    from repro.api import WitnessSet
+    from repro.automata.nfa import NFA
+    from repro.service.store import KernelStore
 
 PROTOCOL_VERSION = 1
 
@@ -67,6 +73,21 @@ SAMPLE_OPS = frozenset({"sample", "sample_batch"})
 
 #: Ops answered without a witness set.
 CONTROL_OPS = frozenset({"ping", "stats", "shutdown"})
+
+#: Ops handled entirely at the connection layer of the async server
+#: (stream control); they never reach the engine or ``_execute_one``.
+CONNECTION_OPS = frozenset({"cancel"})
+
+#: The complete wire vocabulary: every ``op`` a client may send.  The
+#: ``protocol-exhaustive`` lint rule cross-checks this registry against
+#: ``_execute_one``, the engine control path, the async server, the
+#: client, and the CLI ``query`` choices.
+SERVICE_OPS = frozenset(
+    {"count", "spectrum", "enumerate", "describe"}
+    | SAMPLE_OPS
+    | CONTROL_OPS
+    | CONNECTION_OPS
+)
 
 #: Default page size for the paged ``enumerate`` op: small enough that a
 #: page is one cheap kernel walk burst, big enough that paging overhead
@@ -83,7 +104,7 @@ class ProtocolError(ReproError):
 # ----------------------------------------------------------------------
 
 
-def spec_key(spec: dict) -> str:
+def spec_key(spec: dict[str, Any]) -> str:
     """Deterministic routing/caching key of a spec (canonical JSON hash).
 
     This is the *request-level* fingerprint: cheap (no automaton is
@@ -96,7 +117,7 @@ def spec_key(spec: dict) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
-def _sub_source(sub: dict):
+def _sub_source(sub: dict[str, Any]) -> NFA:
     """An NFA from an ``intersection`` operand sub-spec."""
     from repro.automata.regex import compile_regex
     from repro.automata.serialization import nfa_from_json
@@ -112,7 +133,11 @@ def _sub_source(sub: dict):
     raise ProtocolError(f"unsupported intersection operand kind {kind!r}")
 
 
-def witness_set_from_spec(spec: dict, store=False, **kwargs):
+def witness_set_from_spec(
+    spec: dict[str, Any],
+    store: KernelStore | bool | None = False,
+    **kwargs: Any,
+) -> WitnessSet:
     """Build the :class:`~repro.api.WitnessSet` a spec describes.
 
     ``store`` follows the facade convention (``False`` — the default
@@ -181,14 +206,14 @@ def witness_set_from_spec(spec: dict, store=False, **kwargs):
 # ----------------------------------------------------------------------
 
 
-def render_witness(witness) -> str:
+def render_witness(witness: object) -> str:
     """One witness as a display string (the CLI's rendering)."""
     from repro.cli import _format_witness
 
     return _format_witness(witness)
 
 
-def _render_describe(facts: dict) -> dict:
+def _render_describe(facts: dict[str, Any]) -> dict[str, Any]:
     rendered = dict(facts)
     alphabet = rendered.get("alphabet")
     if alphabet is not None:
@@ -201,13 +226,15 @@ def _render_describe(facts: dict) -> dict:
 # ----------------------------------------------------------------------
 
 
-def draw_samples(ws, k: int, seed) -> list:
+def draw_samples(ws: WitnessSet, k: int, seed: Any) -> list[Any]:
     """``k`` witnesses for one request: draw ``i`` uses substream ``i``
     of the request seed."""
     return ws.sample_with_streams(substreams(make_rng(seed), k))
 
 
-def draw_samples_coalesced(ws, requests: list[tuple[int, object]]) -> list[list]:
+def draw_samples_coalesced(
+    ws: WitnessSet, requests: list[tuple[int, object]]
+) -> list[list[Any]]:
     """Serve several ``(k, seed)`` sample requests in ONE kernel pass.
 
     Each request's streams are derived from its own seed exactly as
@@ -216,7 +243,7 @@ def draw_samples_coalesced(ws, requests: list[tuple[int, object]]) -> list[list]
     requests separately, while the kernel walk (the per-layer grouping
     and weight lookups) is paid once for the whole batch.
     """
-    streams: list = []
+    streams: list[Any] = []
     slices: list[tuple[int, int]] = []
     for k, seed in requests:
         if not isinstance(k, int) or isinstance(k, bool) or k < 0:
@@ -228,7 +255,7 @@ def draw_samples_coalesced(ws, requests: list[tuple[int, object]]) -> list[list]
     return [drawn[start:end] for start, end in slices]
 
 
-def _positive_int_or_none(request: dict, field: str) -> int | None:
+def _positive_int_or_none(request: dict[str, Any], field: str) -> int | None:
     value = request.get(field)
     if value is None:
         return None
@@ -237,7 +264,7 @@ def _positive_int_or_none(request: dict, field: str) -> int | None:
     return value
 
 
-def _enumerate_page(ws, request: dict) -> dict:
+def _enumerate_page(ws: WitnessSet, request: dict[str, Any]) -> dict[str, Any]:
     """One page of the paged ``enumerate`` op (the streaming primitive).
 
     Honors ``cursor`` (resume point; omit to start), ``chunk_size`` (page
@@ -269,7 +296,9 @@ def _enumerate_page(ws, request: dict) -> dict:
     }
 
 
-def paging_rounds(request: dict, chunk_size: int | None = None):
+def paging_rounds(
+    request: dict[str, Any], chunk_size: int | None = None
+) -> Generator[dict[str, Any], dict[str, Any], None]:
     """Sans-IO driver for streamed enumeration: the one page-request
     construction both streaming front-ends share.
 
@@ -323,14 +352,20 @@ class WitnessSetCache:
     already holds the compiled artifacts.
     """
 
-    def __init__(self, max_resident: int = 64, store=None):
+    max_resident: int
+    store: KernelStore | None
+    hits: int
+    misses: int
+    _cache: OrderedDict[str, WitnessSet]
+
+    def __init__(self, max_resident: int = 64, store: KernelStore | None = None) -> None:
         self.max_resident = max_resident
         self.store = store
         self.hits = 0
         self.misses = 0
-        self._cache: "OrderedDict[str, object]" = OrderedDict()
+        self._cache = OrderedDict()
 
-    def get(self, key: str, spec: dict):
+    def get(self, key: str, spec: dict[str, Any]) -> WitnessSet:
         ws = self._cache.get(key)
         if ws is not None:
             self.hits += 1
@@ -345,8 +380,8 @@ class WitnessSetCache:
             self._cache.popitem(last=False)
         return ws
 
-    def stats(self) -> dict:
-        stats = {
+    def stats(self) -> dict[str, Any]:
+        stats: dict[str, Any] = {
             "resident": len(self._cache),
             "hits": self.hits,
             "misses": self.misses,
@@ -356,7 +391,7 @@ class WitnessSetCache:
         return stats
 
 
-def _execute_one(ws, request: dict):
+def _execute_one(ws: WitnessSet, request: dict[str, Any]) -> Any:
     op = request["op"]
     if op == "count":
         backend = request.get("backend") or "exact"
@@ -387,15 +422,24 @@ def _execute_one(ws, request: dict):
     raise ProtocolError(f"unknown op {request.get('op')!r}")
 
 
-def execute_group(cache: WitnessSetCache, requests: list[dict], worker: int | None = None) -> list[dict]:
+def execute_group(
+    cache: WitnessSetCache,
+    requests: list[dict[str, Any]],
+    worker: int | None = None,
+) -> list[dict[str, Any]]:
     """Execute requests that share one spec key; coalesce the sample ops.
 
     Returns one response per request, in request order.  Failures are
     per-request: one bad request never poisons its batch siblings.
     """
-    responses: dict[int, dict] = {}
-    sampleable: list[dict] = []
-    for request in requests:
+    # Responses are keyed by batch position, never by object identity:
+    # a request object submitted twice in one group (client retry reusing
+    # the dict) must still produce one response per slot, and identity
+    # keys are exactly the allocation-order dependence the determinism
+    # audit bans from this module.
+    responses: dict[int, dict[str, Any]] = {}
+    sampleable: list[tuple[int, dict[str, Any]]] = []
+    for position, request in enumerate(requests):
         k = request.get("k", 1)
         if (
             request.get("op") in SAMPLE_OPS
@@ -403,20 +447,21 @@ def execute_group(cache: WitnessSetCache, requests: list[dict], worker: int | No
             and not isinstance(k, bool)
             and k >= 0
         ):
-            sampleable.append(request)
+            sampleable.append((position, request))
             continue
         # Non-sample ops and invalid-k sample requests (which must get
         # their own validation error, never a sibling's witnesses).
-        responses[id(request)] = _respond(cache, request, worker)
+        responses[position] = _respond(cache, request, worker)
     if len(sampleable) == 1:
-        responses[id(sampleable[0])] = _respond(cache, sampleable[0], worker)
+        position, request = sampleable[0]
+        responses[position] = _respond(cache, request, worker)
     elif sampleable:
         responses.update(_respond_coalesced(cache, sampleable, worker))
-    return [responses[id(request)] for request in requests]
+    return [responses[position] for position in range(len(requests))]
 
 
-def _base_response(request: dict, worker: int | None) -> dict:
-    response: dict = {"id": request.get("id")}
+def _base_response(request: dict[str, Any], worker: int | None) -> dict[str, Any]:
+    response: dict[str, Any] = {"id": request.get("id")}
     if "__seq" in request:
         # The engine's batch-position tag: responses are matched back to
         # requests by it (client-chosen ids may collide across clients).
@@ -426,7 +471,9 @@ def _base_response(request: dict, worker: int | None) -> dict:
     return response
 
 
-def _respond(cache: WitnessSetCache, request: dict, worker: int | None) -> dict:
+def _respond(
+    cache: WitnessSetCache, request: dict[str, Any], worker: int | None
+) -> dict[str, Any]:
     response = _base_response(request, worker)
     spec = request.get("spec")
     if spec is None:
@@ -445,36 +492,46 @@ def _respond(cache: WitnessSetCache, request: dict, worker: int | None) -> dict:
 
 
 def _respond_coalesced(
-    cache: WitnessSetCache, requests: list[dict], worker: int | None
-) -> dict[int, dict]:
-    """Sample requests on one witness set → one coalesced kernel pass."""
-    out: dict[int, dict] = {}
+    cache: WitnessSetCache,
+    indexed: list[tuple[int, dict[str, Any]]],
+    worker: int | None,
+) -> dict[int, dict[str, Any]]:
+    """Sample requests on one witness set → one coalesced kernel pass.
+
+    ``indexed`` carries each request with its batch position; the result
+    maps positions to responses (see :func:`execute_group`).
+    """
+    out: dict[int, dict[str, Any]] = {}
     try:
-        ws = cache.get(spec_key(requests[0]["spec"]), requests[0]["spec"])
+        first = indexed[0][1]
+        ws = cache.get(spec_key(first["spec"]), first["spec"])
         batches = draw_samples_coalesced(
-            ws, [(request.get("k", 1), request.get("seed")) for request in requests]
+            ws,
+            [(request.get("k", 1), request.get("seed")) for _, request in indexed],
         )
-        for request, witnesses in zip(requests, batches):
+        for (position, request), witnesses in zip(indexed, batches):
             response = _base_response(request, worker)
             response.update(
                 ok=True,
                 result=[render_witness(w) for w in witnesses],
-                coalesced=len(requests),
+                coalesced=len(indexed),
             )
-            out[id(request)] = response
+            out[position] = response
     except Exception:
         # Fall back to independent execution so one odd request (bad k,
         # empty set, ...) gets its own error and the others still answer.
-        for request in requests:
-            out[id(request)] = _respond(cache, request, worker)
+        for position, request in indexed:
+            out[position] = _respond(cache, request, worker)
     return out
 
 
 __all__ = [
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "SERVICE_OPS",
     "SAMPLE_OPS",
     "CONTROL_OPS",
+    "CONNECTION_OPS",
     "DEFAULT_ENUM_CHUNK",
     "paging_rounds",
     "spec_key",

@@ -69,8 +69,12 @@ import os
 import selectors
 import sys
 import time
+from typing import IO, TYPE_CHECKING, Any, Callable, Coroutine
 
 from repro.service.engine import Engine
+
+if TYPE_CHECKING:
+    import threading
 
 #: Default grace period for coalescing stragglers into a batch (seconds).
 DEFAULT_BATCH_WINDOW = 0.005
@@ -96,7 +100,13 @@ MAX_STREAMS_PER_CONNECTION = 8
 _MAX_LINE = DEFAULT_MAX_LINE  # backwards-compatible alias
 
 
-def _parse_line(line: bytes | str) -> dict:
+def _write_stderr(message: str) -> None:
+    """Executor target for diagnostics emitted from the event loop."""
+    sys.stderr.write(message)
+    sys.stderr.flush()
+
+
+def _parse_line(line: bytes | str) -> dict[str, Any]:
     if isinstance(line, bytes):
         line = line.decode("utf-8")
     request = json.loads(line)
@@ -105,7 +115,7 @@ def _parse_line(line: bytes | str) -> dict:
     return request
 
 
-def _error_response(request_id, error: Exception) -> dict:
+def _error_response(request_id: object, error: Exception) -> dict[str, Any]:
     return {
         "id": request_id,
         "ok": False,
@@ -114,7 +124,7 @@ def _error_response(request_id, error: Exception) -> dict:
     }
 
 
-def encode_response(response: dict) -> bytes:
+def encode_response(response: dict[str, Any]) -> bytes:
     return json.dumps(response, separators=(",", ":"), ensure_ascii=False).encode(
         "utf-8"
     ) + b"\n"
@@ -127,14 +137,16 @@ class WitnessServer:
     core serves the stdio front-end (and the tests drive it directly).
     """
 
-    def __init__(self, engine: Engine, batch_window: float = DEFAULT_BATCH_WINDOW):
+    def __init__(self, engine: Engine, batch_window: float = DEFAULT_BATCH_WINDOW) -> None:
         self.engine = engine
         self.batch_window = batch_window
         self.served = 0
         self.batches = 0
         self.shutting_down = False
 
-    def process(self, parsed: list[tuple[dict, object]]) -> list[tuple[dict, object]]:
+    def process(
+        self, parsed: list[tuple[dict[str, Any], object]]
+    ) -> list[tuple[dict[str, Any], object]]:
         """Answer a drained batch of ``(request, reply_to)`` pairs.
 
         A ``shutdown`` op is acknowledged immediately and flips
@@ -143,9 +155,9 @@ class WitnessServer:
         *every* worker's counters (routed through the engine it would
         reach only one).
         """
-        executable: list[dict] = []
+        executable: list[dict[str, Any]] = []
         sinks: list[object] = []
-        out: list[tuple[dict, object]] = []
+        out: list[tuple[dict[str, Any], object]] = []
         for request, reply_to in parsed:
             op = request.get("op")
             if op == "shutdown":
@@ -170,9 +182,11 @@ class WitnessServer:
         return out
 
 
-def _answer_lines(server: WitnessServer, lines, stdout, max_line: int) -> None:
+def _answer_lines(
+    server: WitnessServer, lines: list[Any], stdout: IO[Any], max_line: int
+) -> None:
     """Parse a batch of request lines, execute, write response lines."""
-    parsed: list[tuple[dict, object]] = []
+    parsed: list[tuple[dict[str, Any], object]] = []
     for text in lines:
         if isinstance(text, bytes):
             text = text.decode("utf-8", errors="replace")
@@ -198,8 +212,8 @@ def _answer_lines(server: WitnessServer, lines, stdout, max_line: int) -> None:
 
 def serve_stdio(
     engine: Engine,
-    stdin=None,
-    stdout=None,
+    stdin: IO[Any] | None = None,
+    stdout: IO[Any] | None = None,
     batch_window: float = DEFAULT_BATCH_WINDOW,
     max_line: int = DEFAULT_MAX_LINE,
 ) -> int:
@@ -221,6 +235,7 @@ def serve_stdio(
     stdout = stdout if stdout is not None else sys.stdout
     server = WitnessServer(engine, batch_window)
 
+    fileno: int | None
     try:
         fileno = stdin.fileno()
     except (OSError, ValueError, AttributeError):
@@ -327,7 +342,18 @@ class _Pending:
 
     __slots__ = ("request", "conn", "deadline", "future")
 
-    def __init__(self, request: dict, conn, deadline, future=None):
+    request: dict[str, Any]
+    conn: _Connection
+    deadline: float | None
+    future: asyncio.Future[dict[str, Any] | None] | None
+
+    def __init__(
+        self,
+        request: dict[str, Any],
+        conn: _Connection,
+        deadline: float | None,
+        future: asyncio.Future[dict[str, Any] | None] | None = None,
+    ) -> None:
         self.request = request
         self.conn = conn
         self.deadline = deadline
@@ -341,12 +367,17 @@ class _Connection:
 
     __slots__ = ("writer", "closed", "write_lock", "streams")
 
-    def __init__(self, writer: asyncio.StreamWriter):
+    writer: asyncio.StreamWriter
+    closed: bool
+    write_lock: asyncio.Lock
+    streams: dict[int, tuple[Any, asyncio.Task[None]]]
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
         self.closed = False
         self.write_lock = asyncio.Lock()
         #: Live enumeration streams: unique key → (request id, task).
-        self.streams: dict = {}
+        self.streams = {}
 
     async def write(self, payload: bytes) -> None:
         async with self.write_lock:
@@ -373,7 +404,7 @@ class AsyncWitnessServer:
         request_timeout: float | None = None,
         max_connections: int = DEFAULT_MAX_CONNECTIONS,
         write_timeout: float = DEFAULT_WRITE_TIMEOUT,
-    ):
+    ) -> None:
         self.engine = engine
         self.batch_window = batch_window
         self.max_line = max_line
@@ -389,13 +420,18 @@ class AsyncWitnessServer:
         self._stream_keys = itertools.count()
         #: In-flight response writes, detached from the pump so a slow
         #: reader only ever stalls its own connection.
-        self._send_tasks: set = set()
+        self._send_tasks: set[asyncio.Task[None]] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
-    async def run(self, host: str, port: int, ready_callback=None) -> int:
+    async def run(
+        self,
+        host: str,
+        port: int,
+        ready_callback: Callable[[Any], None] | None = None,
+    ) -> int:
         loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=_QUEUE_LIMIT)
         self._stop = asyncio.Event()
@@ -523,7 +559,7 @@ class AsyncWitnessServer:
             # requests, and stops its stream tasks.
             await self._close_connection(conn)
 
-    def _deadline_for(self, request: dict) -> float | None:
+    def _deadline_for(self, request: dict[str, Any]) -> float | None:
         timeout = self.request_timeout
         timeout_ms = request.get("timeout_ms")
         if isinstance(timeout_ms, (int, float)) and not isinstance(timeout_ms, bool):
@@ -532,10 +568,17 @@ class AsyncWitnessServer:
             return None
         return asyncio.get_running_loop().time() + timeout
 
-    async def _enqueue(self, request: dict, conn: _Connection, future=None) -> None:
-        await self._queue.put(_Pending(request, conn, self._deadline_for(request), future))
+    async def _enqueue(
+        self,
+        request: dict[str, Any],
+        conn: _Connection,
+        future: asyncio.Future[dict[str, Any] | None] | None = None,
+    ) -> None:
+        queue = self._queue
+        assert queue is not None  # run() builds the queue before any reader starts
+        await queue.put(_Pending(request, conn, self._deadline_for(request), future))
 
-    async def _send(self, conn: _Connection, response: dict) -> None:
+    async def _send(self, conn: _Connection, response: dict[str, Any]) -> None:
         """Write one response line with backpressure; a write stalled
         past ``write_timeout`` (client stopped reading) drops the
         connection instead of stalling the server."""
@@ -552,7 +595,7 @@ class AsyncWitnessServer:
     # Streamed enumeration
     # ------------------------------------------------------------------
 
-    async def _start_stream(self, request: dict, conn: _Connection) -> None:
+    async def _start_stream(self, request: dict[str, Any], conn: _Connection) -> None:
         """Launch one enumeration stream as its own task.
 
         The connection's reader keeps reading while the stream runs, so
@@ -585,7 +628,7 @@ class AsyncWitnessServer:
         conn.streams[key] = (stream_id, task)
         task.add_done_callback(lambda _: conn.streams.pop(key, None))
 
-    async def _cancel_stream(self, request: dict, conn: _Connection) -> None:
+    async def _cancel_stream(self, request: dict[str, Any], conn: _Connection) -> None:
         """The ``cancel`` op: stop live streams by their request id."""
         target = request.get("target")
         matched = [
@@ -602,7 +645,7 @@ class AsyncWitnessServer:
             },
         )
 
-    async def _stream_enumerate(self, request: dict, conn: _Connection) -> None:
+    async def _stream_enumerate(self, request: dict[str, Any], conn: _Connection) -> None:
         """Serve one ``stream: true`` enumerate request as chunk lines.
 
         Each chunk is one paged engine round through the shared pump (so
@@ -633,7 +676,7 @@ class AsyncWitnessServer:
             raise
 
     async def _stream_pages(
-        self, request: dict, conn: _Connection, request_id
+        self, request: dict[str, Any], conn: _Connection, request_id: object
     ) -> None:
         from repro.service.protocol import paging_rounds
 
@@ -691,8 +734,10 @@ class AsyncWitnessServer:
 
     async def _pump(self) -> None:
         loop = asyncio.get_running_loop()
+        queue = self._queue
+        assert queue is not None  # run() builds the queue before starting the pump
         while True:
-            first = await self._queue.get()
+            first = await queue.get()
             batch = [first]
             # Straggler grace: whatever any connection enqueues within
             # the window joins this batch (cross-connection coalescing).
@@ -703,7 +748,7 @@ class AsyncWitnessServer:
                     break
                 try:
                     batch.append(
-                        await asyncio.wait_for(self._queue.get(), timeout=timeout)
+                        await asyncio.wait_for(queue.get(), timeout=timeout)
                     )
                 except asyncio.TimeoutError:
                     break
@@ -719,16 +764,21 @@ class AsyncWitnessServer:
                 await self._fail_batch(batch, error)
             finally:
                 for _ in batch:
-                    self._queue.task_done()
+                    queue.task_done()
 
     async def _fail_batch(self, batch: list[_Pending], error: Exception) -> None:
-        print(
+        # The diagnostic goes through the executor: stderr may be a pipe
+        # with a slow (or stuck) reader, and a blocking write here would
+        # stall the pump — the exact failure mode this path exists to
+        # contain.
+        message = (
             f"witness-server: batch of {len(batch)} failed: "
-            f"{type(error).__name__}: {error}",
-            file=sys.stderr,
-            flush=True,
+            f"{type(error).__name__}: {error}\n"
         )
-        sends = []
+        await asyncio.get_running_loop().run_in_executor(
+            None, _write_stderr, message
+        )
+        sends: list[Coroutine[Any, Any, None]] = []
         for pending in batch:
             if pending.conn.closed:
                 if pending.future is not None and not pending.future.done():
@@ -747,10 +797,12 @@ class AsyncWitnessServer:
             )
         self._dispatch(sends)
 
-    async def _execute_batch(self, loop, batch: list[_Pending]) -> None:
+    async def _execute_batch(
+        self, loop: asyncio.AbstractEventLoop, batch: list[_Pending]
+    ) -> None:
         now = loop.time()
         live: list[_Pending] = []
-        sends: list = []
+        sends: list[Coroutine[Any, Any, None]] = []
         stats_items: list[_Pending] = []
         for pending in batch:
             if pending.conn.closed:
@@ -804,7 +856,7 @@ class AsyncWitnessServer:
                 )
         self._dispatch(sends)
 
-    def _dispatch(self, sends: list) -> None:
+    def _dispatch(self, sends: list[Coroutine[Any, Any, None]]) -> None:
         """Fire response deliveries as independent tasks.
 
         The pump must not await them: one client that has stopped
@@ -818,7 +870,7 @@ class AsyncWitnessServer:
             self._send_tasks.add(task)
             task.add_done_callback(self._send_tasks.discard)
 
-    async def _resolve(self, pending: _Pending, response: dict) -> None:
+    async def _resolve(self, pending: _Pending, response: dict[str, Any]) -> None:
         if pending.future is not None:
             if not pending.future.done():
                 pending.future.set_result(response)
@@ -831,7 +883,7 @@ def serve_tcp(
     host: str = "127.0.0.1",
     port: int = 0,
     batch_window: float = DEFAULT_BATCH_WINDOW,
-    ready_callback=None,
+    ready_callback: Callable[[Any], None] | None = None,
     *,
     max_line: int = DEFAULT_MAX_LINE,
     request_timeout: float | None = None,
@@ -860,7 +912,9 @@ def serve_tcp(
     return asyncio.run(server.run(host, port, ready_callback))
 
 
-def start_tcp_server_thread(engine: Engine, **kwargs):
+def start_tcp_server_thread(
+    engine: Engine, **kwargs: Any
+) -> tuple[threading.Thread, Any]:
     """Run :func:`serve_tcp` in a daemon thread; returns
     ``(thread, (host, port))`` once the listener is bound.
 
@@ -872,9 +926,9 @@ def start_tcp_server_thread(engine: Engine, **kwargs):
     import threading
 
     ready = threading.Event()
-    address: dict = {}
+    address: dict[str, Any] = {}
 
-    def on_ready(addr) -> None:
+    def on_ready(addr: Any) -> None:
         address["addr"] = addr
         ready.set()
 
@@ -900,4 +954,5 @@ __all__ = [
     "DEFAULT_MAX_LINE",
     "DEFAULT_MAX_CONNECTIONS",
     "DEFAULT_WRITE_TIMEOUT",
+    "MAX_STREAMS_PER_CONNECTION",
 ]

@@ -39,9 +39,14 @@ from __future__ import annotations
 import json
 import struct
 from array import array
+from typing import TYPE_CHECKING, Any, Callable, Container, Iterable
 
 from repro.automata.serialization import _decode_atom, _encode_atom
 from repro.errors import InvalidAutomatonError, ReproError
+
+if TYPE_CHECKING:
+    from repro.automata.nfa import State, Symbol
+    from repro.core.kernel import AutomatonSource, CompiledDAG, CountRow
 
 MAGIC = b"RPROKRN1"
 SNAPSHOT_VERSION = 1
@@ -67,16 +72,28 @@ class _SnapshotSource:
 
     __slots__ = ("initial", "_finals", "_alphabet", "_resolver", "_resolved")
 
+    initial: State
+    _finals: frozenset[State]
+    _alphabet: frozenset[Symbol]
+    _resolver: Callable[[], AutomatonSource] | None
+    _resolved: AutomatonSource | None
+
     has_epsilon = False
 
-    def __init__(self, initial, finals, alphabet, resolver=None):
+    def __init__(
+        self,
+        initial: State,
+        finals: frozenset[State],
+        alphabet: frozenset[Symbol],
+        resolver: Callable[[], AutomatonSource] | None = None,
+    ) -> None:
         self.initial = initial
         self._finals = finals
         self._alphabet = alphabet
         self._resolver = resolver
         self._resolved = None
 
-    def _resolve(self):
+    def _resolve(self) -> AutomatonSource:
         if self._resolved is None:
             if self._resolver is None:
                 raise InvalidAutomatonError(
@@ -88,26 +105,26 @@ class _SnapshotSource:
         return self._resolved
 
     @property
-    def finals(self):
+    def finals(self) -> Container[State]:
         if self._resolved is not None:
             return self._resolved.finals
         return self._finals
 
     @property
-    def alphabet(self):
+    def alphabet(self) -> frozenset[Symbol]:
         return self._alphabet
 
-    def out_edges(self, state):
+    def out_edges(self, state: State) -> Iterable[tuple[Symbol, State]]:
         return self._resolve().out_edges(state)
 
-    def successors(self, state, symbol):
+    def successors(self, state: State, symbol: Symbol) -> frozenset[State]:
         return frozenset(t for s, t in self.out_edges(state) if s == symbol)
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics
         return f"<SnapshotSource resolved={self._resolved is not None}>"
 
 
-def _encode_atoms(values) -> list:
+def _encode_atoms(values: Iterable[object]) -> list[Any]:
     """A sequence of states/symbols → its header encoding.
 
     Plain scalar sequences (strings/numbers — the overwhelmingly common
@@ -124,14 +141,14 @@ def _encode_atoms(values) -> list:
     return ["tagged", [_encode_atom(item) for item in items]]
 
 
-def _decode_atoms(encoded: list) -> tuple:
+def _decode_atoms(encoded: list[Any]) -> tuple[Any, ...]:
     marker, items = encoded
     if marker == "plain":
         return tuple(items)
     return tuple(_decode_atom(item) for item in items)
 
 
-def _encode_count_row(row) -> tuple[dict, bytes | None]:
+def _encode_count_row(row: CountRow) -> tuple[dict[str, Any], bytes | None]:
     """One run-count row → (directory entry, packed payload or None)."""
     if isinstance(row, array):
         return {"packed": len(row)}, row.tobytes()
@@ -139,7 +156,9 @@ def _encode_count_row(row) -> tuple[dict, bytes | None]:
     return {"spill": list(row)}, None
 
 
-def _decode_count_row(entry: dict, payload: memoryview, offset: int):
+def _decode_count_row(
+    entry: dict[str, Any], payload: memoryview, offset: int
+) -> tuple[CountRow, int]:
     if "spill" in entry:
         return list(entry["spill"]), offset
     count = entry["packed"]
@@ -151,7 +170,7 @@ def _decode_count_row(entry: dict, payload: memoryview, offset: int):
     return row, end
 
 
-def kernel_to_bytes(kernel) -> bytes:
+def kernel_to_bytes(kernel: CompiledDAG) -> bytes:
     """Serialize ``kernel`` into the snapshot format (see module docs)."""
     try:
         symbols = _encode_atoms(kernel.symbols)
@@ -175,10 +194,10 @@ def kernel_to_bytes(kernel) -> bytes:
             {"start": len(start_row), "symbol": len(symbol_row), "dst": len(dst_row)}
         )
 
-    def encode_table(table):
+    def encode_table(table: list[CountRow] | None) -> list[dict[str, Any]] | None:
         if table is None:
             return None
-        entries = []
+        entries: list[dict[str, Any]] = []
         for row in table:
             entry, payload = _encode_count_row(row)
             entries.append(entry)
@@ -210,7 +229,9 @@ def kernel_to_bytes(kernel) -> bytes:
     )
 
 
-def kernel_from_bytes(data: bytes, source_resolver=None):
+def kernel_from_bytes(
+    data: bytes, source_resolver: Callable[[], AutomatonSource] | None = None
+) -> CompiledDAG:
     """Restore a :class:`~repro.core.kernel.CompiledDAG` from snapshot
     bytes (inverse of :func:`kernel_to_bytes`)."""
     from repro.core.kernel import CompiledDAG
@@ -239,7 +260,7 @@ def kernel_from_bytes(data: bytes, source_resolver=None):
 
         long_matches_q = array("l").itemsize == itemsize
 
-        def read_long_row(count: int) -> array:
+        def read_long_row(count: int) -> array[int]:
             nonlocal offset
             end = offset + count * itemsize
             if end > len(view):
@@ -252,17 +273,19 @@ def kernel_from_bytes(data: bytes, source_resolver=None):
             row.frombytes(payload)
             return row if long_matches_q else array("l", row)
 
-        edge_start, edge_symbol, edge_dst = [], [], []
+        edge_start: list[array[int]] = []
+        edge_symbol: list[array[int]] = []
+        edge_dst: list[array[int]] = []
         for entry in header["edges"]:
             edge_start.append(read_long_row(entry["start"]))
             edge_symbol.append(read_long_row(entry["symbol"]))
             edge_dst.append(read_long_row(entry["dst"]))
 
-        def read_table(entries):
+        def read_table(entries: list[dict[str, Any]] | None) -> list[CountRow] | None:
             nonlocal offset
             if entries is None:
                 return None
-            table = []
+            table: list[CountRow] = []
             for entry in entries:
                 if offset > len(view):
                     raise SnapshotError("truncated snapshot payload")
@@ -319,4 +342,10 @@ def kernel_from_bytes(data: bytes, source_resolver=None):
     return kernel
 
 
-__all__ = ["SnapshotError", "kernel_to_bytes", "kernel_from_bytes", "MAGIC"]
+__all__ = [
+    "SnapshotError",
+    "kernel_to_bytes",
+    "kernel_from_bytes",
+    "MAGIC",
+    "SNAPSHOT_VERSION",
+]

@@ -31,8 +31,12 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.service.snapshot import SnapshotError, kernel_from_bytes, kernel_to_bytes
+
+if TYPE_CHECKING:
+    from repro.core.kernel import AutomatonSource, CompiledDAG
 
 #: Default size bound: plenty for thousands of mid-size kernels.
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -53,9 +57,9 @@ class StoreStats:
     evictions: int = 0
     corrupt: int = 0
     skipped: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -80,7 +84,13 @@ class KernelStore:
         used entries after each store.
     """
 
-    def __init__(self, root: str | os.PathLike, max_bytes: int = DEFAULT_MAX_BYTES):
+    root: Path
+    max_bytes: int
+    stats: StoreStats
+
+    def __init__(
+        self, root: str | os.PathLike[str], max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
         self.stats = StoreStats()
@@ -102,7 +112,13 @@ class KernelStore:
     # Get / put
     # ------------------------------------------------------------------
 
-    def get(self, fingerprint: str, n: int, trimmed: bool, source_resolver=None):
+    def get(
+        self,
+        fingerprint: str,
+        n: int,
+        trimmed: bool,
+        source_resolver: Callable[[], AutomatonSource] | None = None,
+    ) -> CompiledDAG | None:
         """The stored kernel, or ``None`` on miss / corrupt entry.
 
         A hit bumps the entry's mtime (the LRU clock).  A corrupt entry
@@ -132,7 +148,7 @@ class KernelStore:
             pass
         return kernel
 
-    def put(self, fingerprint: str, n: int, trimmed: bool, kernel) -> bool:
+    def put(self, fingerprint: str, n: int, trimmed: bool, kernel: CompiledDAG) -> bool:
         """Persist ``kernel`` under ``(fingerprint, n, mode)``; atomic.
 
         Returns False (and counts ``skipped``) when the kernel has no
@@ -170,7 +186,7 @@ class KernelStore:
     def meta_path_for(self, fingerprint: str) -> Path:
         return self.root / fingerprint[:2] / f"{fingerprint}.meta.json"
 
-    def get_meta(self, fingerprint: str) -> dict | None:
+    def get_meta(self, fingerprint: str) -> dict[str, Any] | None:
         """The metadata dict recorded for ``fingerprint`` (None if absent
         or unreadable — unreadable sidecars are quarantined like corrupt
         snapshots)."""
@@ -192,7 +208,7 @@ class KernelStore:
             return None
         return meta
 
-    def put_meta(self, fingerprint: str, values: dict) -> None:
+    def put_meta(self, fingerprint: str, values: dict[str, Any]) -> None:
         """Merge ``values`` into the fingerprint's metadata (atomic)."""
         merged = dict(self.get_meta(fingerprint) or {})
         merged.update(values)
@@ -255,7 +271,7 @@ class KernelStore:
         return total
 
     def _evict_over_budget(self) -> None:
-        entries = []
+        entries: list[tuple[float, int, Path]] = []
         total = 0
         for path in self.entries():
             try:

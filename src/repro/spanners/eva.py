@@ -268,8 +268,6 @@ def extraction_eva(pattern_before: str, variable: str, content_symbols: Iterable
     for a in alphabet:
         letter.append(("scan", a, "scan"))
     # Nondeterministically start matching the pattern.
-    start = prefix_states[0]
-    variable_transitions_needed = False
     # scan -> p0 by reading the first pattern char? We model the guess by
     # sharing: from scan, reading pattern[0] may also enter p1.
     if pattern_before:

@@ -34,7 +34,7 @@ def make_rng(rng: random.Random | int | None = None) -> random.Random:
       single stream across several components.
     """
     if rng is None:
-        return random.Random()
+        return random.Random()  # repro-lint: ignore[nondeterminism] -- the documented non-reproducible path: rng=None explicitly requests an OS-seeded stream
     if isinstance(rng, random.Random):
         return rng
     if isinstance(rng, int):

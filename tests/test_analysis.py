@@ -1,0 +1,511 @@
+"""Tests for the ``repro-lint`` static-analysis engine and its rules.
+
+Each built-in rule gets a golden pair: one fixture that violates it and
+one that is clean.  On top of that: suppression semantics (a reasoned
+suppression silences, a reasonless one is itself a finding), the JSON
+output schema, CLI exit codes, and the self-check — the repo's own
+``src/repro`` tree must lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import ENGINE_RULES, default_rules, run_lint
+from repro.analysis.rules import (
+    AsyncBlockingRule,
+    BareExceptRule,
+    ExportConsistencyRule,
+    Int64OverflowRule,
+    NondeterminismRule,
+    ProtocolExhaustiveRule,
+    SwallowedCancelRule,
+    UnusedSymbolRule,
+)
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def lint_snippet(tmp_path, filename, source, rule):
+    """Write ``source`` as ``filename`` and lint it with one rule."""
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return run_lint([path], rules=[rule])
+
+
+def rules_hit(result):
+    return {finding.rule for finding in result.findings}
+
+
+# ----------------------------------------------------------------------
+# Rule registry
+# ----------------------------------------------------------------------
+
+
+def test_default_rules_registered():
+    rules = default_rules()
+    ids = [rule.id for rule in rules]
+    assert len(ids) == len(set(ids)), "duplicate rule ids"
+    assert len(ids) >= 6, "the issue requires at least six project rules"
+    assert set(ids) >= {
+        "async-blocking",
+        "nondeterminism",
+        "int64-overflow",
+        "protocol-exhaustive",
+        "bare-except",
+        "swallowed-cancel",
+        "export-consistency",
+        "unused-symbol",
+    }
+    for rule in rules:
+        assert rule.description, f"rule {rule.id} has no description"
+
+
+# ----------------------------------------------------------------------
+# async-blocking
+# ----------------------------------------------------------------------
+
+ASYNC_BLOCKING_BAD = """\
+import time
+
+
+async def handler(conn):
+    time.sleep(0.1)
+    print("served")
+"""
+
+ASYNC_BLOCKING_CLEAN = """\
+import asyncio
+
+
+async def handler(conn):
+    await asyncio.sleep(0.1)
+
+    def log_later(message):
+        print(message)  # nested sync def: runs off-loop / via executor
+
+    await asyncio.get_running_loop().run_in_executor(None, log_later, "served")
+"""
+
+
+def test_async_blocking_flags_sleep_and_print(tmp_path):
+    result = lint_snippet(tmp_path, "srv.py", ASYNC_BLOCKING_BAD, AsyncBlockingRule())
+    assert rules_hit(result) == {"async-blocking"}
+    messages = " ".join(f.message for f in result.findings)
+    assert "time.sleep" in messages
+    assert "print" in messages
+    assert all(f.hint for f in result.findings), "blocking findings carry fix hints"
+
+
+def test_async_blocking_clean_and_nested_sync_exempt(tmp_path):
+    result = lint_snippet(tmp_path, "srv.py", ASYNC_BLOCKING_CLEAN, AsyncBlockingRule())
+    assert result.ok, [f.render() for f in result.findings]
+
+
+def test_async_blocking_flags_engine_and_store_calls(tmp_path):
+    source = (
+        "async def pump(self):\n"
+        "    responses = self.engine.execute(batch)\n"
+        "    self.store.put(key, kernel)\n"
+        "    return responses\n"
+    )
+    result = lint_snippet(tmp_path, "srv.py", source, AsyncBlockingRule())
+    assert len(result.findings) == 2
+    assert rules_hit(result) == {"async-blocking"}
+
+
+# ----------------------------------------------------------------------
+# nondeterminism
+# ----------------------------------------------------------------------
+
+NONDET_BAD = """\
+import random
+
+
+def pick(items):
+    for item in {1, 2, 3}:
+        random.shuffle(items)
+    return hash(tuple(items))
+"""
+
+NONDET_CLEAN = """\
+import hashlib
+
+
+def pick(items):
+    ordered = sorted(set(items))
+    return hashlib.sha256(repr(ordered).encode()).hexdigest()
+"""
+
+
+def test_nondeterminism_flags_rng_hash_and_set_iteration(tmp_path):
+    result = lint_snippet(tmp_path, "engine.py", NONDET_BAD, NondeterminismRule())
+    messages = " ".join(f.message for f in result.findings)
+    assert "random.shuffle" in messages
+    assert "hash" in messages
+    assert "set in hash order" in messages
+
+
+def test_nondeterminism_clean(tmp_path):
+    result = lint_snippet(tmp_path, "engine.py", NONDET_CLEAN, NondeterminismRule())
+    assert result.ok, [f.render() for f in result.findings]
+
+
+def test_nondeterminism_scoped_to_critical_modules(tmp_path):
+    # The same ambient randomness in a non-contract module is fine.
+    result = lint_snippet(tmp_path, "helpers.py", NONDET_BAD, NondeterminismRule())
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# int64-overflow
+# ----------------------------------------------------------------------
+
+OVERFLOW_BAD = """\
+from array import array
+
+
+def accumulate(counts):
+    row = array("q", [0] * len(counts))
+    for index, value in enumerate(counts):
+        row[index] += value * 2
+    row.append(counts[0] * counts[-1])
+    return row
+"""
+
+OVERFLOW_CLEAN = """\
+from array import array
+
+
+def accumulate(counts):
+    totals = [0] * len(counts)
+    for index, value in enumerate(counts):
+        totals[index] += value * 2
+    return array("q", totals)
+"""
+
+
+def test_overflow_flags_arithmetic_into_q_array(tmp_path):
+    result = lint_snippet(tmp_path, "kernel.py", OVERFLOW_BAD, Int64OverflowRule())
+    assert len(result.findings) == 2  # the += and the .append
+    assert rules_hit(result) == {"int64-overflow"}
+
+
+def test_overflow_clean_list_accumulation(tmp_path):
+    result = lint_snippet(tmp_path, "kernel.py", OVERFLOW_CLEAN, Int64OverflowRule())
+    assert result.ok, [f.render() for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# protocol-exhaustive (project rule: needs a file *set*)
+# ----------------------------------------------------------------------
+
+PROTOCOL_TEMPLATE = """\
+SAMPLE_OPS = frozenset({{"sample"}})
+CONTROL_OPS = frozenset({{"ping"}})
+CONNECTION_OPS = frozenset({{"cancel"}})
+SERVICE_OPS = frozenset(
+    SAMPLE_OPS | CONTROL_OPS | CONNECTION_OPS | {{{extra_ops}}}
+)
+
+
+def _execute_one(ws, request):
+    op = request.get("op")
+    if op in SAMPLE_OPS:
+        return "sampled"
+    if op == "count":
+        return "counted"
+    raise ValueError(op)
+"""
+
+
+def _write_protocol_fixture(tmp_path, extra_ops):
+    service = tmp_path / "service"
+    service.mkdir()
+    (service / "protocol.py").write_text(
+        PROTOCOL_TEMPLATE.format(extra_ops=extra_ops), encoding="utf-8"
+    )
+    return service
+
+
+def test_protocol_exhaustive_clean(tmp_path):
+    service = _write_protocol_fixture(tmp_path, '"count"')
+    result = run_lint([service], rules=[ProtocolExhaustiveRule()])
+    assert result.ok, [f.render() for f in result.findings]
+
+
+def test_protocol_exhaustive_flags_unhandled_op(tmp_path):
+    service = _write_protocol_fixture(tmp_path, '"count", "frobnicate"')
+    result = run_lint([service], rules=[ProtocolExhaustiveRule()])
+    assert rules_hit(result) == {"protocol-exhaustive"}
+    assert any("frobnicate" in f.message for f in result.findings)
+
+
+def test_protocol_exhaustive_flags_phantom_op(tmp_path):
+    service = _write_protocol_fixture(tmp_path, '"count"')
+    (service / "client.py").write_text(
+        'def request(op):\n    return {"op": "mystery"}\n', encoding="utf-8"
+    )
+    result = run_lint([service], rules=[ProtocolExhaustiveRule()])
+    assert any(
+        "mystery" in f.message and "not in" in f.message for f in result.findings
+    )
+
+
+# ----------------------------------------------------------------------
+# bare-except / swallowed-cancel
+# ----------------------------------------------------------------------
+
+
+def test_bare_except_flagged_and_typed_clean(tmp_path):
+    bad = "def load(path):\n    try:\n        return open(path).read()\n    except:\n        return None\n"
+    result = lint_snippet(tmp_path, "io_util.py", bad, BareExceptRule())
+    assert rules_hit(result) == {"bare-except"}
+
+    clean = bad.replace("except:", "except OSError:")
+    result = lint_snippet(tmp_path, "io_util.py", clean, BareExceptRule())
+    assert result.ok
+
+
+SWALLOW_BAD = """\
+import asyncio
+
+
+async def wait_for(task):
+    try:
+        await task
+    except asyncio.CancelledError:
+        pass
+"""
+
+
+def test_swallowed_cancel_flagged_and_reraise_clean(tmp_path):
+    result = lint_snippet(tmp_path, "tasks.py", SWALLOW_BAD, SwallowedCancelRule())
+    assert rules_hit(result) == {"swallowed-cancel"}
+
+    clean = SWALLOW_BAD.replace("        pass\n", "        raise\n")
+    result = lint_snippet(tmp_path, "tasks.py", clean, SwallowedCancelRule())
+    assert result.ok
+
+
+# ----------------------------------------------------------------------
+# export-consistency
+# ----------------------------------------------------------------------
+
+
+def _surface_path(tmp_path):
+    # Any path containing /repro/service/ is in the designated API surface.
+    return "repro/service/widgets.py"
+
+
+def test_export_missing_all_flagged(tmp_path):
+    source = "def public_helper():\n    return 1\n"
+    result = lint_snippet(
+        tmp_path, _surface_path(tmp_path), source, ExportConsistencyRule()
+    )
+    assert any("no __all__" in f.message for f in result.findings)
+
+
+def test_export_stale_and_missing_names_flagged(tmp_path):
+    source = (
+        "def public_helper():\n"
+        "    return 1\n"
+        "\n"
+        "\n"
+        "def forgotten():\n"
+        "    return 2\n"
+        "\n"
+        "\n"
+        '__all__ = ["public_helper", "ghost"]\n'
+    )
+    result = lint_snippet(
+        tmp_path, _surface_path(tmp_path), source, ExportConsistencyRule()
+    )
+    messages = " ".join(f.message for f in result.findings)
+    assert "ghost" in messages  # listed but never bound
+    assert "forgotten" in messages  # public but not listed
+
+
+def test_export_clean(tmp_path):
+    source = (
+        "def public_helper():\n"
+        "    return 1\n"
+        "\n"
+        "\n"
+        '__all__ = ["public_helper"]\n'
+    )
+    result = lint_snippet(
+        tmp_path, _surface_path(tmp_path), source, ExportConsistencyRule()
+    )
+    assert result.ok, [f.render() for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# unused-symbol
+# ----------------------------------------------------------------------
+
+UNUSED_BAD = """\
+import json
+import os
+
+
+def dump():
+    payload = {"a": 1}
+    leftover = 3
+    return json.dumps(payload)
+    print("unreachable")
+"""
+
+UNUSED_CLEAN = """\
+import json
+
+
+def dump():
+    payload = {"a": 1}
+    return json.dumps(payload)
+"""
+
+
+def test_unused_symbols_flagged(tmp_path):
+    result = lint_snippet(tmp_path, "mod.py", UNUSED_BAD, UnusedSymbolRule())
+    messages = " ".join(f.message for f in result.findings)
+    assert "'os' is never used" in messages
+    assert "leftover" in messages
+    assert "unreachable" in messages
+
+
+def test_unused_clean(tmp_path):
+    result = lint_snippet(tmp_path, "mod.py", UNUSED_CLEAN, UnusedSymbolRule())
+    assert result.ok, [f.render() for f in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+SUPPRESSED_OK = """\
+import time
+
+
+async def handler():
+    time.sleep(0.1)  # repro-lint: ignore[async-blocking] -- test fixture exercising suppression
+"""
+
+SUPPRESSED_NO_REASON = """\
+import time
+
+
+async def handler():
+    time.sleep(0.1)  # repro-lint: ignore[async-blocking]
+"""
+
+SUPPRESSED_WILDCARD = """\
+import time
+
+
+async def handler():
+    time.sleep(0.1)  # repro-lint: ignore[*] -- wildcard silences every rule here
+"""
+
+
+def test_reasoned_suppression_silences(tmp_path):
+    result = lint_snippet(tmp_path, "srv.py", SUPPRESSED_OK, AsyncBlockingRule())
+    assert result.ok
+    assert result.suppressed == 1
+
+
+def test_reasonless_suppression_is_a_finding(tmp_path):
+    result = lint_snippet(
+        tmp_path, "srv.py", SUPPRESSED_NO_REASON, AsyncBlockingRule()
+    )
+    # The target finding is silenced, but the naked suppression is not free.
+    assert rules_hit(result) == {"bad-suppression"}
+    assert result.suppressed == 1
+
+
+def test_wildcard_suppression(tmp_path):
+    result = lint_snippet(tmp_path, "srv.py", SUPPRESSED_WILDCARD, AsyncBlockingRule())
+    assert result.ok
+    assert result.suppressed == 1
+
+
+def test_suppression_comment_inside_string_ignored(tmp_path):
+    source = 'TEXT = "# repro-lint: ignore[*]"\n'
+    result = lint_snippet(tmp_path, "mod.py", source, UnusedSymbolRule())
+    assert result.ok
+    assert result.suppressed == 0
+
+
+def test_parse_error_reported_not_raised(tmp_path):
+    result = lint_snippet(tmp_path, "broken.py", "def broken(:\n", UnusedSymbolRule())
+    assert rules_hit(result) == {"parse-error"}
+    assert "parse-error" in ENGINE_RULES
+
+
+# ----------------------------------------------------------------------
+# CLI: output formats and exit codes
+# ----------------------------------------------------------------------
+
+
+def test_cli_json_schema(tmp_path, capsys):
+    bad = tmp_path / "srv.py"
+    bad.write_text(ASYNC_BLOCKING_BAD, encoding="utf-8")
+    code = lint_main(["--format", "json", str(bad)])
+    assert code == 1
+    report = json.loads(capsys.readouterr().out)
+    assert set(report) == {"version", "ok", "files", "rules", "suppressed", "findings"}
+    assert report["version"] == 1
+    assert report["ok"] is False
+    assert report["files"] == 1
+    assert isinstance(report["rules"], list) and len(report["rules"]) >= 6
+    for finding in report["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col", "message", "hint"}
+        assert isinstance(finding["line"], int) and finding["line"] >= 1
+
+
+def test_cli_clean_exit_zero(tmp_path, capsys):
+    clean = tmp_path / "mod.py"
+    clean.write_text(UNUSED_CLEAN, encoding="utf-8")
+    code = lint_main([str(clean)])
+    assert code == 0
+    assert capsys.readouterr().out.startswith("OK: ")
+
+
+def test_cli_select_and_unknown_rule(tmp_path, capsys):
+    bad = tmp_path / "srv.py"
+    bad.write_text(ASYNC_BLOCKING_BAD, encoding="utf-8")
+    code = lint_main(["--select", "bare-except", str(bad)])
+    assert code == 0  # async-blocking not selected, so nothing fires
+    capsys.readouterr()
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(["--select", "no-such-rule", str(bad)])
+    assert excinfo.value.code == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "async-blocking" in out
+    assert len(out.strip().splitlines()) >= 6
+
+
+# ----------------------------------------------------------------------
+# Self-check: the repo's own sources must be clean
+# ----------------------------------------------------------------------
+
+
+def test_repo_sources_lint_clean():
+    result = run_lint([REPO_SRC])
+    assert len(result.rules) >= 6
+    assert result.ok, "repro-lint findings in src/repro:\n" + "\n".join(
+        finding.render() for finding in result.findings
+    )
+    # Every suppression in the tree carries a reason (bad-suppression
+    # would have fired otherwise), and some suppressions exist.
+    assert result.suppressed >= 1
