@@ -13,6 +13,9 @@ Claims measured (and asserted, so regressions fail the suite):
   distributions are the same chain) across the application reductions —
   DNF, RPQ and CFG witness sets give identical exact counts through the
   registry.
+* K1d: the NumPy kernel backend is ≥ 10x faster than the pure path on a
+  large count + 1000-sample-burst workload, with byte-identical seeded
+  samples (skipped when NumPy is not installed).
 
 The seed implementations are inlined below (verbatim logic from the
 pre-kernel tree) so the comparison stays honest as the library moves on.
@@ -22,8 +25,12 @@ from __future__ import annotations
 
 import time
 
+import pytest
+
 from repro.api import WitnessSet
+from repro.automata.nfa import NFA
 from repro.automata.random_gen import random_ufa
+from repro.core import accel
 from repro.core.exact_sampler import ExactUniformSampler
 from repro.core.kernel import compile_nfa
 from repro.core.unroll import UnrolledDAG, unroll_trimmed
@@ -154,6 +161,89 @@ def test_sample_batch_beats_single_draws(observe):
     assert batch_seconds < single_seconds, (
         f"sample_batch ({batch_seconds:.3f}s) must beat {BATCH} single draws "
         f"({single_seconds:.3f}s)"
+    )
+
+
+# ----------------------------------------------------------------------
+# K1d — the NumPy backend vs the pure path (ISSUE-8 acceptance gate)
+# ----------------------------------------------------------------------
+
+# A "trapdoor" rolling-hash DFA sized so the count-table sweeps carry
+# real vector width (~3000-state layers, out-degree 512, ~10.5M DAG
+# edges) while the witness count stays packed (32 live symbols per
+# state → 32^9 ≈ 2^46 words, far below the int64 spill point).  The
+# dead mirror keeps every layer's CSR block full without inflating the
+# count: 480 of the 512 edges per live state carry weight 0.
+ACCEL_N = 9          # witness length (layers)
+ACCEL_M = 1543       # rolling-hash modulus (prime)
+ACCEL_SYMS = 512     # alphabet size = out-degree of every state
+ACCEL_LIVE = 32      # live (non-trapdoor) symbols per state
+ACCEL_MULT = 769     # mixing multiplier (fills layers within 2 steps)
+ACCEL_MIN_SPEEDUP = 10.0
+
+
+def _trapdoor_dfa() -> NFA:
+    """Complete DFA: states are (hash, alive); dead states never accept."""
+    transitions = []
+    for c in range(ACCEL_M):
+        alive, dead = c * 2 + 1, c * 2
+        for i in range(ACCEL_SYMS):
+            target = (ACCEL_MULT * c + i) % ACCEL_M
+            transitions.append((dead, i, target * 2))
+            trapdoor = (c + i) % (ACCEL_SYMS // ACCEL_LIVE) != 3
+            transitions.append((alive, i, target * 2 if trapdoor else target * 2 + 1))
+    return NFA(
+        states=set(range(2 * ACCEL_M)),
+        alphabet=set(range(ACCEL_SYMS)),
+        transitions=set(transitions),
+        initial=1,
+        finals=set(range(1, 2 * ACCEL_M, 2)),
+    )
+
+
+def _reset_kernel_caches(kernel) -> None:
+    """Drop every derived table so the next workload is a cold build."""
+    kernel._forward = None
+    kernel._backward = None
+    kernel._cum.clear()
+    kernel._redge.clear()
+    kernel._accel_state.clear()
+
+
+def _count_and_burst(kernel) -> tuple:
+    started = time.perf_counter()
+    count = kernel.total_runs          # cold backward count-table build
+    words = kernel.sample_batch(BATCH, make_rng(7))
+    return (count, words), time.perf_counter() - started
+
+
+def test_numpy_backend_speedup_over_pure(observe):
+    """K1d: ≥ 10x on count + burst, samples byte-identical (gated)."""
+    if accel.resolve("numpy") is None:
+        pytest.skip("NumPy backend unavailable (pure-only environment)")
+    kernel = compile_nfa(_trapdoor_dfa(), ACCEL_N, trimmed=False)
+    results = {}
+    seconds = {}
+    for backend in ("pure", "numpy", "pure", "numpy"):
+        kernel.set_kernel_backend(backend)
+        _reset_kernel_caches(kernel)
+        result, elapsed = _count_and_burst(kernel)
+        results[backend] = result
+        seconds[backend] = min(seconds.get(backend, float("inf")), elapsed)
+    assert results["pure"][0] == results["numpy"][0] == 32**ACCEL_N
+    assert results["pure"][1] == results["numpy"][1], (
+        "seeded samples must be byte-identical between backends"
+    )
+    speedup = seconds["pure"] / seconds["numpy"]
+    observe(
+        "K1d",
+        f"states/layer={2 * ACCEL_M} degree={ACCEL_SYMS} n={ACCEL_N} "
+        f"count+{BATCH}-burst: pure={seconds['pure']:.3f}s "
+        f"numpy={seconds['numpy']:.3f}s speedup={speedup:.2f}x",
+    )
+    assert speedup >= ACCEL_MIN_SPEEDUP, (
+        f"NumPy backend speedup {speedup:.2f}x below the "
+        f"{ACCEL_MIN_SPEEDUP:.0f}x acceptance gate"
     )
 
 

@@ -27,6 +27,11 @@ Claims measured (and asserted, so regressions fail the suite):
   seconds on a 2⁶⁰-word witness set — the constant-delay guarantee as a
   user-visible first-result latency, impossible if the server
   materialized the set.
+* S1g: a warm ``KernelStore`` start through the mmap tier
+  (``KernelStore(root, mmap=True)``, snapshot format v2) beats the
+  full-deserialize restore on a payload-heavy kernel — the zero-copy
+  views skip the array copies, so only the JSON header is parsed
+  eagerly.  Gated at ≥ 1.5x; answers are identical either way.
 """
 
 from __future__ import annotations
@@ -39,9 +44,12 @@ import threading
 import time
 
 from repro.api import WitnessSet
+from repro.automata.nfa import NFA
 from repro.automata.random_gen import random_ufa
 from repro.automata.serialization import nfa_to_json
+from repro.core.kernel import compile_nfa
 from repro.service import Engine, KernelStore, ServiceClient
+from repro.service.fingerprint import fingerprint_source
 from repro.service.server import start_tcp_server_thread
 
 M = 200          # automaton states (the ISSUE-2/ISSUE-4 acceptance instance)
@@ -124,6 +132,78 @@ def test_warm_start_skips_all_preprocessing(observe):
             f"warm path built preprocessing artifacts: {sorted(built)}"
         )
         observe("S1a", f"warm-path artifacts built: {sorted(built)}")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# S1g — mmap zero-copy warm start (ISSUE-8 acceptance gate)
+# ----------------------------------------------------------------------
+
+MMAP_MIN_SPEEDUP = 1.5
+
+
+def _payload_heavy_kernel():
+    """A kernel whose snapshot is dominated by CSR/count payload (~30MB):
+    a 2048-state complete DFA on 64 symbols with a dead mirror keeping
+    the count packed (4 live symbols per state → 4^30 = 2^60 words)."""
+    m, nsym, live, mult, n = 1024, 64, 4, 769, 30
+    transitions = []
+    for c in range(m):
+        alive, dead = c * 2 + 1, c * 2
+        for i in range(nsym):
+            target = (mult * c + i) % m
+            transitions.append((dead, i, target * 2))
+            trapdoor = (c + i) % (nsym // live) != 3
+            transitions.append((alive, i, target * 2 if trapdoor else target * 2 + 1))
+    nfa = NFA(
+        states=set(range(2 * m)),
+        alphabet=set(range(nsym)),
+        transitions=set(transitions),
+        initial=1,
+        finals=set(range(1, 2 * m, 2)),
+    )
+    kernel = compile_nfa(nfa, n, trimmed=False)
+    kernel.backward_counts()
+    kernel.forward_counts()
+    return nfa, kernel, n
+
+
+def test_mmap_store_beats_full_deserialize(observe):
+    nfa, kernel, n = _payload_heavy_kernel()
+    root = tempfile.mkdtemp(prefix="repro-bench-mmap-")
+    try:
+        fingerprint = fingerprint_source(nfa)
+        KernelStore(root).put(fingerprint, n, False, kernel)
+        size_mb = os.path.getsize(KernelStore(root).path_for(fingerprint, n, False)) / 1e6
+
+        seconds = {False: float("inf"), True: float("inf")}
+        counts = {}
+        for _ in range(3):  # best-of-3, alternating so page cache is fair
+            for mmap_mode in (False, True):
+                store = KernelStore(root, mmap=mmap_mode)
+                started = time.perf_counter()
+                restored = store.get(fingerprint, n, False)
+                counts[mmap_mode] = restored.total_runs
+                seconds[mmap_mode] = min(
+                    seconds[mmap_mode], time.perf_counter() - started
+                )
+                if mmap_mode and restored._borrow_owner is not None:
+                    assert store.stats.extra.get("mmap_hits", 0) == 1, (
+                        "mmap store must hand out a borrowed (zero-copy) kernel"
+                    )
+        assert counts[False] == counts[True] == kernel.total_runs
+        speedup = seconds[False] / seconds[True]
+        observe(
+            "S1g",
+            f"{size_mb:.0f}MB snapshot warm get(): full-deserialize="
+            f"{seconds[False] * 1000:.1f}ms mmap={seconds[True] * 1000:.1f}ms "
+            f"speedup={speedup:.2f}x",
+        )
+        assert speedup >= MMAP_MIN_SPEEDUP, (
+            f"mmap warm start {speedup:.2f}x below the "
+            f"{MMAP_MIN_SPEEDUP}x acceptance gate"
+        )
     finally:
         shutil.rmtree(root, ignore_errors=True)
 

@@ -4,6 +4,8 @@ Importing this package registers every rule with the engine registry
 (:func:`repro.analysis.engine.default_rules` does that import).  Each
 module holds one invariant family:
 
+* :mod:`~repro.analysis.rules.accel_isolation` — ``numpy`` stays inside
+  the optional accelerated backend (``core/accel.py``);
 * :mod:`~repro.analysis.rules.async_blocking` — nothing blocking on the
   asyncio event loop;
 * :mod:`~repro.analysis.rules.determinism` — no nondeterminism sources
@@ -22,6 +24,7 @@ module holds one invariant family:
 
 from __future__ import annotations
 
+from repro.analysis.rules.accel_isolation import AccelIsolationRule
 from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.determinism import NondeterminismRule
 from repro.analysis.rules.exceptions import BareExceptRule, SwallowedCancelRule
@@ -31,6 +34,7 @@ from repro.analysis.rules.protocol_ops import ProtocolExhaustiveRule
 from repro.analysis.rules.unused import UnusedSymbolRule
 
 __all__ = [
+    "AccelIsolationRule",
     "AsyncBlockingRule",
     "BareExceptRule",
     "ExportConsistencyRule",

@@ -1,0 +1,67 @@
+"""Rule ``accel-isolation`` — ``numpy`` may only be imported in
+``core/accel.py``.
+
+The accelerated kernel backend (:mod:`repro.core.accel`) is strictly
+optional: the pure-Python path is the canonical implementation, the one
+the differential suite trusts and the one that must stay importable on
+a NumPy-free interpreter.  That contract only holds if NumPy never
+leaks into any other module — a stray ``import numpy`` elsewhere makes
+the "pure" leg of every pure-vs-NumPy differential quietly depend on
+the thing it is supposed to be independent of, and breaks minimal
+installs.
+
+Flagged: any ``import numpy`` / ``import numpy.x`` / ``from numpy
+import ...`` outside ``core/accel.py`` (including inside functions —
+lazy imports are how such a leak would most likely arrive).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+
+#: The one module allowed to import numpy (posix path suffix).
+ALLOWED_SUFFIX = "core/accel.py"
+
+
+def _is_numpy(name: str | None) -> bool:
+    return name is not None and (name == "numpy" or name.startswith("numpy."))
+
+
+@register
+class AccelIsolationRule(Rule):
+    id = "accel-isolation"
+    description = (
+        "numpy is imported outside core/accel.py (the optional accelerated "
+        "backend must stay isolated so the pure path remains canonical)"
+    )
+    hint = (
+        "route numpy use through repro.core.accel; the pure path must be "
+        "importable and authoritative without it"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if module.posix().endswith(ALLOWED_SUFFIX):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_numpy(alias.name):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"import of {alias.name!r} outside {ALLOWED_SUFFIX}",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and _is_numpy(node.module):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"from-import of {node.module!r} outside {ALLOWED_SUFFIX}",
+                    )
+
+
+__all__ = ["AccelIsolationRule", "ALLOWED_SUFFIX"]

@@ -163,6 +163,12 @@ class WitnessSet:
         a store attached, compiled kernels are snapshotted on build and
         restored on later constructions of the same instance — a warm
         process answers its first query with zero lowering work.
+    kernel_backend:
+        Kernel execution backend: ``"pure"`` (the canonical Python
+        path), ``"numpy"`` / ``"auto"`` (vectorized CSR sweeps when
+        NumPy is importable, silently falling back to pure otherwise).
+        ``None`` consults ``$REPRO_KERNEL_BACKEND``.  Results are
+        bit-identical across backends — the choice is purely speed.
     """
 
     def __init__(
@@ -178,6 +184,7 @@ class WitnessSet:
         params: FprasParameters | None = None,
         rng: random.Random | int | None = None,
         store=None,
+        kernel_backend: str | None = None,
     ):
         if n < 0:
             raise ValueError("witness length must be ≥ 0")
@@ -205,6 +212,12 @@ class WitnessSet:
         elif store is False:
             store = None
         self.store = store
+        # Resolve the execution backend eagerly: an unknown name raises
+        # here, not on the first hot-path query.  None consults
+        # $REPRO_KERNEL_BACKEND (default: the canonical pure path).
+        from repro.core import accel as _accel_mod
+
+        self._accel = _accel_mod.resolve(kernel_backend)
         self.stats = CacheStats()
         self._cache: dict = {}
 
@@ -398,8 +411,10 @@ class WitnessSet:
                 fp, self.n, trimmed, source_resolver=self._source_resolver()
             )
             if restored is not None:
+                restored.accel = self._accel
                 return restored
         kernel = self._build_kernel(trimmed)
+        kernel.accel = self._accel
         if store is not None:
             if trimmed:
                 kernel.backward_counts()
@@ -734,6 +749,9 @@ class WitnessSet:
             "length": self.n,
             "unambiguous": self.is_unambiguous,
             "class": "RelationUL" if self.is_unambiguous else "RelationNL",
+            "kernel_backend": (
+                self._accel.name if self._accel is not None else "pure"
+            ),
         }
         if self.plan is not None:
             kernel = self.kernel

@@ -62,6 +62,12 @@ class SolverBackend:
     own compilation can override per call via the ``kernel=`` option
     (accepted by the built-in ``exact``, ``fpras`` and ``montecarlo``
     backends).
+
+    Orthogonally to the *counting strategy* chosen here, every kernel
+    carries its own *execution backend* (pure Python or the NumPy
+    vectorized path, see :mod:`repro.core.accel`): the facade's
+    ``kernel_backend=`` selection flows through its cached kernels into
+    whichever solver backend runs on them, with bit-identical results.
     """
 
     #: Registry key; also what callers pass as ``backend=``.

@@ -135,6 +135,7 @@ def _load_witness_set(args) -> WitnessSet:
         delta=getattr(args, "delta", 0.1),
         params=params,
         rng=getattr(args, "seed", None),
+        kernel_backend=getattr(args, "kernel_backend", None),
     )
 
 
@@ -155,6 +156,11 @@ def _add_input_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--target", help="RPQ target vertex")
     parser.add_argument("-n", "--length", type=int, default=None,
                         help="witness length (optional for --dnf)")
+    parser.add_argument("--kernel-backend", default=None,
+                        choices=("pure", "numpy", "auto"),
+                        help="kernel execution backend (default: "
+                             "$REPRO_KERNEL_BACKEND, else pure; numpy/auto "
+                             "fall back to pure when NumPy is unavailable)")
 
 
 def _format_witness(witness) -> str:
@@ -204,6 +210,7 @@ def _command_inspect(args) -> int:
     print(f"transitions   : {facts['transitions']}")
     print(f"alphabet      : {''.join(sorted(map(str, facts['alphabet'])))}")
     print(f"unambiguous   : {facts['unambiguous']}")
+    print(f"kernel backend: {facts['kernel_backend']}")
     print(f"class         : "
           f"{'RelationUL (exact suite)' if facts['unambiguous'] else 'RelationNL (FPRAS/PLVUG)'}")
     if "plan" in facts:

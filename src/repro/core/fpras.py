@@ -191,6 +191,14 @@ class FprasState:
     kernel's flat edge arrays.  A caller holding a reachable-mode kernel
     for ``(nfa, n)`` (e.g. the :class:`repro.api.WitnessSet` facade)
     passes it as ``kernel`` to skip recompilation.
+
+    The prefix-set steps and predecessor partitions execute on whatever
+    execution backend the kernel carries
+    (:meth:`~repro.core.kernel.CompiledDAG.set_kernel_backend`): with
+    the NumPy backend the flat-array sweeps vectorize, and because every
+    consumer here iterates the resulting frozensets through ``sorted``
+    / ``min`` order, fixed-seed estimates are bit-identical across
+    backends.
     """
 
     def __init__(

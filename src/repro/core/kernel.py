@@ -63,9 +63,13 @@ from typing import (
 )
 
 from repro.automata.nfa import NFA, State, Symbol, Word
+from repro.core import accel as _accel
 from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
 
 if TYPE_CHECKING:
+    import os
+
+    from repro.core.accel import NumpyAccel
     from repro.core.plan import LoweringStats
     from repro.core.unroll import UnrolledDAG
 
@@ -73,12 +77,15 @@ if TYPE_CHECKING:
 _INT64_MAX = 2**63 - 1
 
 #: One run-count row: packed when every entry fits int64, spilled to a
-#: plain list when the bignum counts overflow.  Both answer ``row[i]``
-#: with a Python int, so consumers never branch.
-CountRow: TypeAlias = "array[int] | list[int]"
+#: plain list when the bignum counts overflow — or, on an mmap-restored
+#: kernel, an int64 ``memoryview`` borrowed from the snapshot buffer.
+#: All three answer ``row[i]`` with a Python int, so consumers never
+#: branch.
+CountRow: TypeAlias = "array[int] | list[int] | memoryview[int]"
 
-#: One CSR integer block (offsets / symbol indices / dst indices).
-_IntArray: TypeAlias = "array[int]"
+#: One CSR integer block (offsets / symbol indices / dst indices);
+#: borrowed as an int64 ``memoryview`` on mmap-restored kernels.
+_IntArray: TypeAlias = "array[int] | memoryview[int]"
 
 
 class AutomatonSource(Protocol):
@@ -157,6 +164,9 @@ class CompiledDAG:
         "_finals_idx",
         "lowering",
         "fingerprint",
+        "accel",
+        "_accel_state",
+        "_borrow_owner",
     )
 
     nfa: AutomatonSource
@@ -177,6 +187,9 @@ class CompiledDAG:
     _finals_idx: dict[int, tuple[int, ...]]
     lowering: LoweringStats | None
     fingerprint: str | None
+    accel: NumpyAccel | None
+    _accel_state: dict[tuple[str, int], object]
+    _borrow_owner: object | None
 
     def __init__(
         self,
@@ -219,6 +232,15 @@ class CompiledDAG:
         #: a KernelStore (lets the backend guard verify snapshot-restored
         #: kernels, whose source object is a snapshot stand-in).
         self.fingerprint = None
+        #: Accelerated execution backend (None = the canonical pure
+        #: path); defaults from $REPRO_KERNEL_BACKEND.
+        self.accel = _accel.resolve(None)
+        #: Per-kernel caches owned by the accel backend (NumPy views of
+        #: the CSR arrays and derived per-layer arrays).
+        self._accel_state = {}
+        #: The buffer (e.g. an mmap) whose memory this kernel borrows;
+        #: None when every array is owned.  See kernel_from_mmap.
+        self._borrow_owner = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -230,6 +252,23 @@ class CompiledDAG:
         if isinstance(dag, CompiledDAG):
             return dag
         return cls(dag.nfa, dag.n, dag.trimmed, layers=dag.layers)
+
+    def set_kernel_backend(self, name: str | None) -> "CompiledDAG":
+        """Select the execution backend (``"pure"``, ``"numpy"``, ``"auto"``).
+
+        ``None`` re-reads ``$REPRO_KERNEL_BACKEND`` (default pure).  The
+        NumPy backend silently falls back to the pure path when NumPy is
+        not importable — results are bit-identical either way, so the
+        choice is purely about speed.  Returns ``self`` for chaining.
+        """
+        self.accel = _accel.resolve(name)
+        self._accel_state = {}
+        return self
+
+    @property
+    def kernel_backend(self) -> str:
+        """Name of the active execution backend (``"numpy"`` / ``"pure"``)."""
+        return self.accel.name if self.accel is not None else "pure"
 
     def _append_edge_layer(self, t: int) -> None:
         """Build the CSR edge block for layer ``t`` → ``t + 1``."""
@@ -274,6 +313,12 @@ class CompiledDAG:
             )
         if new_n <= self.n:
             return self
+        if self._borrow_owner is not None:
+            # An mmap-restored kernel borrows its arrays from the
+            # snapshot buffer; appending layers must never mutate (or
+            # resize away from) memory the store still owns, so the
+            # kernel first copies itself onto owned arrays.
+            self._materialize_owned()
         out_edges = self.nfa.out_edges
         for t in range(self.n, new_n):
             nxt: set[State] = set()
@@ -285,14 +330,50 @@ class CompiledDAG:
             self._index.append({state: i for i, state in enumerate(states_next)})
             self._append_edge_layer(t)
             if self._forward is not None:
-                self._forward.append(_pack_counts(self._forward_step(t, self._forward[t])))
+                row = (
+                    self.accel.forward_step_row(self, t, self._forward[t])
+                    if self.accel is not None
+                    else None
+                )
+                if row is None:
+                    row = _pack_counts(self._forward_step(t, self._forward[t]))
+                self._forward.append(row)
         self.n = new_n
         # Backward counts, cumulative-weight caches and final-layer
         # adapters depend on n; drop them (forward rows stay valid).
+        # Accel caches go wholesale: their per-layer cumulative weights
+        # derive from the backward table being dropped.
         self._backward = None
         self._cum.clear()
         self._finals_idx.clear()
+        self._accel_state = {}
         return self
+
+    def _materialize_owned(self) -> None:
+        """Copy every borrowed (snapshot-backed) buffer into owned arrays.
+
+        After this the kernel holds no reference into its snapshot
+        buffer: edge blocks become fresh ``array('l')`` and count rows
+        fresh ``array('q')`` (byte-identical contents — the borrow mode
+        only engages on LP64), so in-place mutation is safe and the
+        buffer can be unmapped.
+        """
+        for blocks in (self._edge_start, self._edge_symbol, self._edge_dst):
+            for t, block in enumerate(blocks):
+                if isinstance(block, memoryview):
+                    fresh = array("l")
+                    fresh.frombytes(block.tobytes())
+                    blocks[t] = fresh
+        for table in (self._forward, self._backward):
+            if table is None:
+                continue
+            for t, row in enumerate(table):
+                if isinstance(row, memoryview):
+                    owned = array("q")
+                    owned.frombytes(row.tobytes())
+                    table[t] = owned
+        self._accel_state = {}
+        self._borrow_owner = None
 
     # ------------------------------------------------------------------
     # Integer-level structure
@@ -382,6 +463,11 @@ class CompiledDAG:
         """
         if t <= 0:
             return {}
+        if self.accel is not None:
+            indices = list(indices)
+            accelerated = self.accel.predecessor_groups(self, t, indices)
+            if accelerated is not None:
+                return accelerated
         starts, r_symbol, r_src = self._reverse_edges(t)
         grouped: dict[int, set[int]] = {}
         for i in indices:
@@ -402,6 +488,11 @@ class CompiledDAG:
         symbol_i = self._symbol_index.get(symbol)
         if symbol_i is None or t >= self.n:
             return frozenset()
+        if self.accel is not None:
+            indices = list(indices)
+            accelerated = self.accel.step_indices(self, t, indices, symbol_i)
+            if accelerated is not None:
+                return accelerated
         starts = self._edge_start[t]
         edge_symbol = self._edge_symbol[t]
         edge_dst = self._edge_dst[t]
@@ -430,18 +521,22 @@ class CompiledDAG:
     def forward_counts(self) -> list[CountRow]:
         """``table[t][i]`` = number of length-``t`` paths start → ``(t, i)``."""
         if self._forward is None:
-            first = [0] * len(self._states[0])
-            i0 = self._index[0].get(self.nfa.initial)
-            if i0 is not None:
-                first[i0] = 1
-            table = [_pack_counts(first)]
-            for t in range(self.n):
-                table.append(_pack_counts(self._forward_step(t, table[t])))
+            table = self.accel.forward_table(self) if self.accel is not None else None
+            if table is None:
+                first = [0] * len(self._states[0])
+                i0 = self._index[0].get(self.nfa.initial)
+                if i0 is not None:
+                    first[i0] = 1
+                table = [_pack_counts(first)]
+                for t in range(self.n):
+                    table.append(_pack_counts(self._forward_step(t, table[t])))
             self._forward = table
         return self._forward
 
     def backward_counts(self) -> list[CountRow]:
         """``table[t][i]`` = number of paths ``(t, i)`` → accepting layer-``n`` states."""
+        if self._backward is None and self.accel is not None:
+            self._backward = self.accel.backward_table(self)
         if self._backward is None:
             n = self.n
             last = [0] * len(self._states[n])
@@ -581,6 +676,12 @@ class CompiledDAG:
                     f"need one generator per draw: got {len(generator)} for k={k}"
                 )
             randranges = [g.randrange for g in generator]
+        if self.accel is not None:
+            # Consumes the randrange draws in exactly the pure order, so
+            # a None fallback (spilled rows) happens before any draw.
+            accelerated = self.accel.sample_batch(self, k, randranges)
+            if accelerated is not None:
+                return accelerated
         backward = self.backward_counts()
         symbols = self.symbols
         states = [self._index[0][self.nfa.initial]] * k
@@ -640,6 +741,26 @@ class CompiledDAG:
         from repro.service.snapshot import kernel_from_bytes
 
         return kernel_from_bytes(data, source_resolver=source_resolver)
+
+    @classmethod
+    def from_mmap(
+        cls,
+        path: str | os.PathLike[str],
+        source_resolver: Callable[[], AutomatonSource] | None = None,
+    ) -> "CompiledDAG":
+        """Restore a kernel that *borrows* its arrays from an mmap of ``path``.
+
+        Instead of copying the snapshot into fresh arrays, the CSR
+        blocks and packed count rows become int64 memoryviews over the
+        mapped file, so a warm start pages data in lazily on first
+        touch.  :meth:`extend_to` copies-on-extend before mutating.
+        Requires a version ≥ 2 snapshot and an LP64 platform; otherwise
+        this quietly degrades to a full-copy restore (and the mapping is
+        closed).  See :func:`repro.service.snapshot.kernel_from_mmap`.
+        """
+        from repro.service.snapshot import kernel_from_mmap
+
+        return kernel_from_mmap(path, source_resolver=source_resolver)
 
     # ------------------------------------------------------------------
     # UnrolledDAG-compatible adapter views (the paper-facing s_t^j API)

@@ -84,6 +84,7 @@ class SpectrumSolver:
         delta: float = 0.1,
         rng: random.Random | int | None = None,
         params: FprasParameters | None = None,
+        kernel_backend: str | None = None,
     ):
         if max_length < 0:
             raise ValueError("max_length must be ≥ 0")
@@ -98,7 +99,12 @@ class SpectrumSolver:
             # One reachable-mode kernel answers every length ℓ ≤ n from
             # its per-layer forward counts — a linear sweep instead of
             # one unrolling per length, and extend() grows it in place.
-            self._kernel = compile_nfa(self.nfa, max_length, trimmed=False)
+            # kernel_backend selects the execution backend for the sweep
+            # (None → $REPRO_KERNEL_BACKEND); counts are identical
+            # either way.
+            self._kernel = compile_nfa(
+                self.nfa, max_length, trimmed=False
+            ).set_kernel_backend(kernel_backend)
             self._counts = dict(enumerate(self._kernel.spectrum_counts()))
         else:
             self._kernel = None

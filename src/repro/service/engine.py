@@ -70,7 +70,9 @@ def _worker_main(
     """One pool worker: drain grouped requests, keep hot kernels resident."""
     from repro.service.store import KernelStore
 
-    store = KernelStore(store_root) if store_root else None
+    # Workers restore via mmap: a warm pool start pages snapshot bytes
+    # in lazily instead of copying every kernel up front.
+    store = KernelStore(store_root, mmap=True) if store_root else None
     cache = WitnessSetCache(max_resident=max_resident, store=store)
     while True:
         item = tasks.get()
@@ -151,7 +153,7 @@ class Engine:
             if self.store_root is not None:
                 from repro.service.store import KernelStore
 
-                store = KernelStore(self.store_root)
+                store = KernelStore(self.store_root, mmap=True)
             self._local_cache = WitnessSetCache(
                 max_resident=max_resident, store=store
             )

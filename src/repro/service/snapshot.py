@@ -37,6 +37,8 @@ source, which callers may supply lazily via ``source_resolver``.
 from __future__ import annotations
 
 import json
+import mmap
+import os
 import struct
 from array import array
 from typing import TYPE_CHECKING, Any, Callable, Container, Iterable
@@ -49,7 +51,22 @@ if TYPE_CHECKING:
     from repro.core.kernel import AutomatonSource, CompiledDAG, CountRow
 
 MAGIC = b"RPROKRN1"
-SNAPSHOT_VERSION = 1
+
+#: Version 2 pads the payload to an 8-byte file offset so every ``'q'``
+#: section is naturally aligned — what lets :func:`kernel_from_mmap`
+#: hand out int64 views straight over the mapped file.  Version-1
+#: snapshots still load (with a copying restore).
+SNAPSHOT_VERSION = 2
+
+#: Payload sections are little-endian int64 rows; version ≥ 2 aligns
+#: their start (and hence, all of them) to this boundary.
+_ALIGN = 8
+
+#: Buffer borrowing assumes ``array('l')`` is 8 bytes (LP64): a
+#: materializing copy-on-extend moves borrowed edge bytes into ``'l'``
+#: arrays verbatim.  Elsewhere the borrow mode quietly degrades to a
+#: full-copy restore.
+_LP64 = array("l").itemsize == array("q").itemsize
 
 #: Largest count representable in a packed ``array('q')`` row.
 _INT64_MAX = 2**63 - 1
@@ -150,14 +167,15 @@ def _decode_atoms(encoded: list[Any]) -> tuple[Any, ...]:
 
 def _encode_count_row(row: CountRow) -> tuple[dict[str, Any], bytes | None]:
     """One run-count row → (directory entry, packed payload or None)."""
-    if isinstance(row, array):
-        return {"packed": len(row)}, row.tobytes()
-    # Bignum spill: JSON integers are arbitrary precision.
-    return {"spill": list(row)}, None
+    if isinstance(row, list):
+        # Bignum spill: JSON integers are arbitrary precision.
+        return {"spill": row}, None
+    # array('q') or a borrowed int64 memoryview — both are packed.
+    return {"packed": len(row)}, row.tobytes()
 
 
 def _decode_count_row(
-    entry: dict[str, Any], payload: memoryview, offset: int
+    entry: dict[str, Any], payload: memoryview, offset: int, borrow: bool = False
 ) -> tuple[CountRow, int]:
     if "spill" in entry:
         return list(entry["spill"]), offset
@@ -166,12 +184,21 @@ def _decode_count_row(
     end = offset + count * row.itemsize
     if end > len(payload):
         raise SnapshotError("truncated snapshot payload")
+    if borrow:
+        return payload[offset:end].cast("q"), end
     row.frombytes(bytes(payload[offset:end]))
     return row, end
 
 
-def kernel_to_bytes(kernel: CompiledDAG) -> bytes:
-    """Serialize ``kernel`` into the snapshot format (see module docs)."""
+def kernel_to_bytes(kernel: CompiledDAG, version: int = SNAPSHOT_VERSION) -> bytes:
+    """Serialize ``kernel`` into the snapshot format (see module docs).
+
+    ``version`` selects the on-disk layout: 2 (the default) pads the
+    payload start to an 8-byte offset for mmap borrowing; 1 writes the
+    legacy unpadded layout (kept for compatibility tests).
+    """
+    if version not in (1, 2):
+        raise SnapshotError(f"unsupported snapshot version {version!r}")
     try:
         symbols = _encode_atoms(kernel.symbols)
         states = [
@@ -209,7 +236,7 @@ def kernel_to_bytes(kernel: CompiledDAG) -> bytes:
     backward = encode_table(kernel._backward)
 
     header = {
-        "version": SNAPSHOT_VERSION,
+        "version": version,
         "n": kernel.n,
         "trimmed": kernel.trimmed,
         "symbols": symbols,
@@ -224,16 +251,35 @@ def kernel_to_bytes(kernel: CompiledDAG) -> bytes:
     header_bytes = json.dumps(header, separators=(",", ":"), ensure_ascii=False).encode(
         "utf-8"
     )
-    return b"".join(
-        [MAGIC, struct.pack("<I", len(header_bytes)), header_bytes, *sections]
-    )
+    prefix = [MAGIC, struct.pack("<I", len(header_bytes)), header_bytes]
+    if version >= 2:
+        # Align the payload start; every section is a whole number of
+        # int64s, so this one pad aligns them all.  The reader derives
+        # the pad width from the header length — it is not stored.
+        pad = (-(len(MAGIC) + 4 + len(header_bytes))) % _ALIGN
+        if pad:
+            prefix.append(b"\x00" * pad)
+    return b"".join(prefix + sections)
 
 
 def kernel_from_bytes(
-    data: bytes, source_resolver: Callable[[], AutomatonSource] | None = None
+    data: bytes | bytearray | memoryview | mmap.mmap,
+    source_resolver: Callable[[], AutomatonSource] | None = None,
+    *,
+    borrow: bool = False,
 ) -> CompiledDAG:
     """Restore a :class:`~repro.core.kernel.CompiledDAG` from snapshot
-    bytes (inverse of :func:`kernel_to_bytes`)."""
+    bytes (inverse of :func:`kernel_to_bytes`).
+
+    With ``borrow=True`` the restored kernel *borrows* its CSR edge
+    blocks and packed count rows as int64 memoryviews over ``data``
+    instead of copying them out — the caller keeps ``data`` (typically
+    an mmap) alive; the kernel records it in ``_borrow_owner`` and
+    copies-on-extend.  Borrowing needs the aligned version-2 layout and
+    an LP64 platform; otherwise this silently falls back to the
+    copying restore (``_borrow_owner`` stays None).
+    """
+    from repro.core import accel as accel_mod
     from repro.core.kernel import CompiledDAG
     from repro.core.plan import LoweringStats
 
@@ -246,25 +292,33 @@ def kernel_from_bytes(
         header = json.loads(bytes(view[header_start : header_start + header_len]))
     except (struct.error, ValueError) as error:
         raise SnapshotError(f"corrupt snapshot header: {error}") from error
-    if header.get("version") != SNAPSHOT_VERSION:
-        raise SnapshotError(
-            f"unsupported snapshot version {header.get('version')!r}"
-        )
+    version = header.get("version")
+    if version not in (1, SNAPSHOT_VERSION):
+        raise SnapshotError(f"unsupported snapshot version {version!r}")
+    borrow = borrow and version >= 2 and _LP64
+    borrowed_any = False
 
     try:
         n = header["n"]
         symbols = _decode_atoms(header["symbols"])
         states = [_decode_atoms(layer) for layer in header["states"]]
         offset = header_start + header_len
+        if version >= 2:
+            offset += (-offset) % _ALIGN
         itemsize = array("q").itemsize
 
-        long_matches_q = array("l").itemsize == itemsize
+        long_matches_q = _LP64
 
-        def read_long_row(count: int) -> array[int]:
-            nonlocal offset
+        def read_long_row(count: int) -> "array[int] | memoryview[int]":
+            nonlocal offset, borrowed_any
             end = offset + count * itemsize
             if end > len(view):
                 raise SnapshotError("truncated snapshot payload")
+            if borrow:
+                chunk = view[offset:end].cast("q")
+                offset = end
+                borrowed_any = True
+                return chunk
             payload = bytes(view[offset:end])
             offset = end
             # Snapshots store 'q' (8-byte) rows; on LP64 platforms 'l'
@@ -273,23 +327,25 @@ def kernel_from_bytes(
             row.frombytes(payload)
             return row if long_matches_q else array("l", row)
 
-        edge_start: list[array[int]] = []
-        edge_symbol: list[array[int]] = []
-        edge_dst: list[array[int]] = []
+        edge_start: list[array[int] | memoryview[int]] = []
+        edge_symbol: list[array[int] | memoryview[int]] = []
+        edge_dst: list[array[int] | memoryview[int]] = []
         for entry in header["edges"]:
             edge_start.append(read_long_row(entry["start"]))
             edge_symbol.append(read_long_row(entry["symbol"]))
             edge_dst.append(read_long_row(entry["dst"]))
 
         def read_table(entries: list[dict[str, Any]] | None) -> list[CountRow] | None:
-            nonlocal offset
+            nonlocal offset, borrowed_any
             if entries is None:
                 return None
             table: list[CountRow] = []
             for entry in entries:
                 if offset > len(view):
                     raise SnapshotError("truncated snapshot payload")
-                row, offset = _decode_count_row(entry, view, offset)
+                row, offset = _decode_count_row(entry, view, offset, borrow=borrow)
+                if borrow and isinstance(row, memoryview):
+                    borrowed_any = True
                 table.append(row)
             return table
 
@@ -339,6 +395,45 @@ def kernel_from_bytes(
     lowering = header.get("lowering")
     kernel.lowering = LoweringStats(**lowering) if lowering else None
     kernel.fingerprint = None  # the store stamps its key after restore
+    kernel.accel = accel_mod.resolve(None)
+    kernel._accel_state = {}
+    kernel._borrow_owner = data if borrowed_any else None
+    return kernel
+
+
+def kernel_from_mmap(
+    path: str | os.PathLike[str],
+    source_resolver: Callable[[], AutomatonSource] | None = None,
+) -> CompiledDAG:
+    """Restore a kernel over a read-only memory map of the snapshot file.
+
+    The kernel's CSR arrays and packed count rows become int64 views
+    straight into the mapping, so a warm start pages data lazily on
+    first touch instead of copying the whole payload up front.  The
+    mapping stays open for the kernel's lifetime (it is the kernel's
+    ``_borrow_owner``); on Linux the file may be unlinked (store
+    eviction) while the kernel keeps using it.  A version-1 snapshot —
+    or a non-LP64 platform — restores by copy and the mapping is closed
+    immediately.
+    """
+    try:
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except ValueError as error:
+        # Zero-length file (classic truncation corruption).
+        raise SnapshotError(f"cannot map snapshot: {error}") from error
+    try:
+        kernel = kernel_from_bytes(mapped, source_resolver=source_resolver, borrow=True)
+    except SnapshotError:
+        try:
+            mapped.close()
+        except BufferError:
+            # The exception traceback pins partially-decoded views into
+            # the map; it closes when the last of them is collected.
+            pass
+        raise
+    if kernel._borrow_owner is None:
+        mapped.close()
     return kernel
 
 
@@ -346,6 +441,7 @@ __all__ = [
     "SnapshotError",
     "kernel_to_bytes",
     "kernel_from_bytes",
+    "kernel_from_mmap",
     "MAGIC",
     "SNAPSHOT_VERSION",
 ]

@@ -33,7 +33,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.service.snapshot import SnapshotError, kernel_from_bytes, kernel_to_bytes
+from repro.service.snapshot import (
+    SnapshotError,
+    kernel_from_bytes,
+    kernel_from_mmap,
+    kernel_to_bytes,
+)
 
 if TYPE_CHECKING:
     from repro.core.kernel import AutomatonSource, CompiledDAG
@@ -82,17 +87,29 @@ class KernelStore:
     max_bytes:
         Total snapshot size bound; exceeding it evicts least-recently
         used entries after each store.
+    mmap:
+        When True, :meth:`get` restores kernels as zero-copy views over
+        a memory map of the snapshot file instead of reading and
+        copying it — a warm start pages CSR arrays in lazily.  Safe
+        alongside eviction on POSIX (an unlinked mapping stays valid);
+        old (version-1) snapshots transparently fall back to the
+        copying restore.
     """
 
     root: Path
     max_bytes: int
+    mmap: bool
     stats: StoreStats
 
     def __init__(
-        self, root: str | os.PathLike[str], max_bytes: int = DEFAULT_MAX_BYTES
+        self,
+        root: str | os.PathLike[str],
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        mmap: bool = False,
     ) -> None:
         self.root = Path(root)
         self.max_bytes = max_bytes
+        self.mmap = mmap
         self.stats = StoreStats()
 
     # ------------------------------------------------------------------
@@ -126,9 +143,29 @@ class KernelStore:
         """
         path = self.path_for(fingerprint, n, trimmed)
         try:
+            if self.mmap:
+                kernel = kernel_from_mmap(path, source_resolver=source_resolver)
+                kernel.fingerprint = fingerprint
+                if kernel._borrow_owner is not None:
+                    count = self.stats.extra.get("mmap_hits", 0)
+                    self.stats.extra["mmap_hits"] = count + 1
+                self.stats.hits += 1
+                try:
+                    os.utime(path)
+                except OSError:  # pragma: no cover - entry may have been evicted
+                    pass
+                return kernel
             data = path.read_bytes()
         except OSError:
             self.stats.misses += 1
+            return None
+        except SnapshotError:
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing unlink is fine
+                pass
             return None
         try:
             kernel = kernel_from_bytes(data, source_resolver=source_resolver)

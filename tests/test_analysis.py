@@ -17,6 +17,7 @@ import pytest
 from repro.analysis.cli import main as lint_main
 from repro.analysis.engine import ENGINE_RULES, default_rules, run_lint
 from repro.analysis.rules import (
+    AccelIsolationRule,
     AsyncBlockingRule,
     BareExceptRule,
     ExportConsistencyRule,
@@ -53,6 +54,7 @@ def test_default_rules_registered():
     assert len(ids) == len(set(ids)), "duplicate rule ids"
     assert len(ids) >= 6, "the issue requires at least six project rules"
     assert set(ids) >= {
+        "accel-isolation",
         "async-blocking",
         "nondeterminism",
         "int64-overflow",
@@ -64,6 +66,56 @@ def test_default_rules_registered():
     }
     for rule in rules:
         assert rule.description, f"rule {rule.id} has no description"
+
+
+# ----------------------------------------------------------------------
+# accel-isolation
+# ----------------------------------------------------------------------
+
+ACCEL_LEAK_TOP = """\
+import numpy as np
+
+
+def fast(row):
+    return np.asarray(row)
+"""
+
+ACCEL_LEAK_LAZY = """\
+def fast(row):
+    from numpy import asarray
+
+    return asarray(row)
+"""
+
+ACCEL_LEAK_SUBMODULE = """\
+import numpy.linalg
+"""
+
+ACCEL_CLEAN = """\
+import math
+
+
+def slow(row):
+    return [math.sqrt(x) for x in row]
+"""
+
+
+def test_accel_isolation_flags_numpy_imports(tmp_path):
+    for source in (ACCEL_LEAK_TOP, ACCEL_LEAK_LAZY, ACCEL_LEAK_SUBMODULE):
+        result = lint_snippet(tmp_path, "core/kernel.py", source, AccelIsolationRule())
+        assert rules_hit(result) == {"accel-isolation"}, source
+        assert all(f.hint for f in result.findings)
+
+
+def test_accel_isolation_allows_accel_module_and_clean_files(tmp_path):
+    # The one sanctioned home for numpy imports...
+    result = lint_snippet(
+        tmp_path, "core/accel.py", ACCEL_LEAK_TOP, AccelIsolationRule()
+    )
+    assert result.ok, [f.message for f in result.findings]
+    # ...and numpy-free modules anywhere.
+    result = lint_snippet(tmp_path, "core/other.py", ACCEL_CLEAN, AccelIsolationRule())
+    assert result.ok
 
 
 # ----------------------------------------------------------------------
