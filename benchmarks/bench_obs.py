@@ -1,0 +1,151 @@
+"""S2 — observability overhead: the instrumented serving stack must
+cost < 2% wall-clock on the gated service benches (ISSUE-9 acceptance).
+
+The workload is the S1e shape from :mod:`bench_service` — 8 parallel
+clients, 15 single-sample requests each, one hot spec coalesced by the
+async server — because that is the bench the overhead gate protects.
+The comparison toggles :func:`repro.obs.set_enabled` (the in-process
+switch behind ``REPRO_OBS=off``) between rounds, alternating on/off so
+page-cache and frequency-scaling drift land on both sides equally, and
+takes min-of-N per side before comparing:
+
+* S2a: ``min(instrumented) <= min(disabled) * 1.02 + epsilon`` — the
+  kill-switch path and the enabled path are indistinguishable within
+  the gate.  The epsilon absorbs timer quantization on sub-second
+  rounds; the multiplicative 2% is the real budget.
+* S2b: the instrumented rounds actually instrumented — the request
+  counter and latency histogram grew by the round's request count
+  (a guard against "zero overhead because nothing was recorded").
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro import obs
+from repro.automata.random_gen import random_ufa
+from repro.automata.serialization import nfa_to_json
+from repro.obs import names as metric_names
+from repro.service import Engine, ServiceClient
+from repro.service.server import start_tcp_server_thread
+
+SEED = 20190621
+CLIENTS = 8
+REQUESTS_PER_CLIENT = 15
+ROUNDS_PER_SIDE = 3
+
+#: The acceptance budget: instrumented ≤ 2% over the kill-switch path.
+MAX_OVERHEAD_FACTOR = 1.02
+#: Absolute slack for timer quantization on sub-second rounds (seconds).
+EPSILON_SECONDS = 0.015
+
+
+def _spec() -> dict:
+    nfa = random_ufa(80, rng=SEED + 10, completeness=0.95,
+                     ensure_nonempty_length=60)
+    return {"kind": "nfa", "nfa": json.loads(nfa_to_json(nfa)), "n": 60}
+
+
+def _burst(client_index: int) -> list[tuple[str, int]]:
+    return [("sample", client_index * 1000 + i)
+            for i in range(REQUESTS_PER_CLIENT)]
+
+
+def _run_round(host: str, port: int, spec: dict) -> tuple[float, list]:
+    """One S1e-shaped round: CLIENTS parallel connections, wall-clock."""
+    results: list = [None] * CLIENTS
+    barrier = threading.Barrier(CLIENTS)
+
+    def client_main(index: int) -> None:
+        with ServiceClient(host, port, timeout=60) as client:
+            barrier.wait(timeout=10)
+            rows = []
+            for op, seed in _burst(index):
+                rows.append(client.result(op, spec, k=1, seed=seed))
+            results[index] = rows
+
+    threads = [threading.Thread(target=client_main, args=(index,))
+               for index in range(CLIENTS)]
+    started = time.perf_counter()
+    for worker in threads:
+        worker.start()
+    for worker in threads:
+        worker.join(timeout=120)
+    seconds = time.perf_counter() - started
+    return seconds, [row for rows in results for row in rows]
+
+
+def _request_series_total(snapshot: dict) -> int:
+    return sum(
+        value
+        for key, value in snapshot.get("counters", {}).items()
+        if key.startswith(metric_names.SERVER_REQUESTS)
+    )
+
+
+def test_observability_overhead_under_two_percent(observe):
+    spec = _spec()
+    engine = Engine(workers=0)
+    thread, (host, port) = start_tcp_server_thread(engine)
+    was_enabled = obs.enabled()
+    try:
+        with ServiceClient(host, port, timeout=60) as warm:
+            warm.request("count", spec)  # compile once before timing
+        _run_round(host, port, spec)  # warm the socket/coalescing path
+
+        per_round = CLIENTS * REQUESTS_PER_CLIENT
+        seconds = {True: float("inf"), False: float("inf")}
+        reference: list | None = None
+        recorded_deltas: list[int] = []
+        for _ in range(ROUNDS_PER_SIDE):
+            for instrumented in (True, False):  # alternate: drift is fair
+                obs.set_enabled(instrumented)
+                before = _request_series_total(obs.metrics().snapshot())
+                round_seconds, results = _run_round(host, port, spec)
+                seconds[instrumented] = min(seconds[instrumented], round_seconds)
+                if reference is None:
+                    reference = results
+                assert results == reference, (
+                    "toggling observability must not change any response"
+                )
+                if instrumented:
+                    after = _request_series_total(obs.metrics().snapshot())
+                    recorded_deltas.append(after - before)
+
+        # S2b — the enabled rounds really recorded: every front-door
+        # request of every instrumented round hit the op-labelled counter.
+        assert all(delta >= per_round for delta in recorded_deltas), (
+            f"instrumented rounds under-recorded: {recorded_deltas} "
+            f"(expected ≥ {per_round} each)"
+        )
+
+        budget = seconds[False] * MAX_OVERHEAD_FACTOR + EPSILON_SECONDS
+        overhead = seconds[True] / seconds[False] - 1.0
+        observe(
+            "S2a",
+            f"{per_round} requests x best-of-{ROUNDS_PER_SIDE}: "
+            f"instrumented={seconds[True] * 1000:.1f}ms "
+            f"disabled={seconds[False] * 1000:.1f}ms "
+            f"overhead={overhead * 100:+.2f}%",
+        )
+        observe(
+            "S2b",
+            f"request counter grew by {recorded_deltas} per instrumented "
+            f"round (≥ {per_round} required)",
+        )
+        assert seconds[True] <= budget, (
+            f"instrumented round ({seconds[True]:.3f}s) exceeds the 2% "
+            f"overhead budget over the kill-switch path "
+            f"({seconds[False]:.3f}s, budget {budget:.3f}s)"
+        )
+    finally:
+        obs.set_enabled(was_enabled)
+        try:
+            with ServiceClient(host, port, timeout=5) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        thread.join(timeout=10)
+        engine.close()

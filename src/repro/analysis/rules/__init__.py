@@ -12,6 +12,9 @@ module holds one invariant family:
   in modules whose outputs are part of the reproducibility contract;
 * :mod:`~repro.analysis.rules.overflow` — ``array('q')`` arithmetic
   must route through the bignum-spill helpers;
+* :mod:`~repro.analysis.rules.metrics_discipline` — metric series are
+  named by :mod:`repro.obs.names` constants and slow-log writes stay
+  off the event loop;
 * :mod:`~repro.analysis.rules.protocol_ops` — the service op registry,
   server, client and CLI agree on the wire vocabulary;
 * :mod:`~repro.analysis.rules.exceptions` — no bare ``except``, no
@@ -29,6 +32,7 @@ from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.determinism import NondeterminismRule
 from repro.analysis.rules.exceptions import BareExceptRule, SwallowedCancelRule
 from repro.analysis.rules.exports import ExportConsistencyRule
+from repro.analysis.rules.metrics_discipline import MetricsDisciplineRule
 from repro.analysis.rules.overflow import Int64OverflowRule
 from repro.analysis.rules.protocol_ops import ProtocolExhaustiveRule
 from repro.analysis.rules.unused import UnusedSymbolRule
@@ -39,6 +43,7 @@ __all__ = [
     "BareExceptRule",
     "ExportConsistencyRule",
     "Int64OverflowRule",
+    "MetricsDisciplineRule",
     "NondeterminismRule",
     "ProtocolExhaustiveRule",
     "SwallowedCancelRule",

@@ -1,0 +1,107 @@
+"""Rule ``metrics-discipline`` — telemetry stays cheap and greppable.
+
+The observability layer (:mod:`repro.obs`) has two conventions this
+rule enforces outside the obs package itself:
+
+* **Named series only** — every ``.counter(...)`` / ``.gauge(...)`` /
+  ``.histogram(...)`` record site names its series with a constant from
+  :mod:`repro.obs.names`, never an inline string literal.  One
+  vocabulary module means one grep finds every emitter of a series, and
+  a renamed metric cannot silently fork into two spellings.
+* **Slow-log writes stay off the event loop** — the slow-query log is a
+  synchronous file append; calling ``.record()`` (or ``.write()`` /
+  ``.maybe_record()``) on a slow-log object directly inside ``async
+  def`` blocks the loop.  Route it through ``loop.run_in_executor(None,
+  log.record, event)`` — a method *reference*, not a call, which this
+  rule therefore never flags.
+
+The obs package is exempt: the registry's own plumbing and the names
+vocabulary necessarily spell out strings.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules.async_blocking import (
+    _async_bodies,
+    _own_statements,
+    _receiver_tail,
+)
+
+#: Registry factory methods whose first argument is a series name.
+METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+#: Slow-log methods that append to a file synchronously.
+LOG_WRITE_METHODS = frozenset({"record", "maybe_record", "write"})
+
+
+def _is_obs_module(module: SourceModule) -> bool:
+    return "repro/obs/" in module.posix()
+
+
+@register
+class MetricsDisciplineRule(Rule):
+    id = "metrics-discipline"
+    description = (
+        "metric names come from repro.obs.names; "
+        "slow-log writes stay off the event loop"
+    )
+    hint = "name the series with a repro.obs.names constant"
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        if _is_obs_module(module):
+            return ()
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in METRIC_FACTORIES and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"inline metric name {first.value!r} passed to "
+                            f".{func.attr}()",
+                        )
+                    )
+        for async_func in _async_bodies(module.tree):
+            for node in _own_statements(async_func):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in LOG_WRITE_METHODS:
+                    continue
+                receiver = _receiver_tail(func)
+                if "slow" in receiver or receiver.endswith("log"):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"synchronous slow-log .{func.attr}() inside "
+                            f"'async def {async_func.name}'",
+                            hint=(
+                                "file appends block the loop; pass the bound "
+                                "method to loop.run_in_executor(None, "
+                                "log.record, event)"
+                            ),
+                        )
+                    )
+        return findings
+
+
+__all__ = [
+    "LOG_WRITE_METHODS",
+    "METRIC_FACTORIES",
+    "MetricsDisciplineRule",
+]

@@ -56,6 +56,7 @@ from __future__ import annotations
 import itertools
 import os
 import random
+import time
 from collections import OrderedDict
 from typing import Iterator
 
@@ -81,6 +82,9 @@ from repro.errors import (
     GenerationFailedError,
     InvalidRelationInputError,
 )
+from repro.obs import add_stage
+from repro.obs import metrics as obs_metrics
+from repro.obs import names as metric_names
 from repro.utils.rng import make_rng, substreams
 
 
@@ -220,6 +224,9 @@ class WitnessSet:
         self._accel = _accel_mod.resolve(kernel_backend)
         self.stats = CacheStats()
         self._cache: dict = {}
+        #: Cumulative wall time spent lowering (building) kernels for
+        #: this witness set; 0.0 when every kernel came from the store.
+        self._lowering_seconds = 0.0
 
     # ------------------------------------------------------------------
     # The cache: every expensive artifact goes through here exactly once.
@@ -413,7 +420,15 @@ class WitnessSet:
             if restored is not None:
                 restored.accel = self._accel
                 return restored
+        # Lowering (plan/NFA → compiled kernel) is the expensive build
+        # step a kernel store exists to amortize; its wall time feeds the
+        # per-stage histogram, the per-request trace, and describe().
+        started = time.perf_counter()
         kernel = self._build_kernel(trimmed)
+        elapsed = time.perf_counter() - started
+        self._lowering_seconds += elapsed
+        add_stage(metric_names.STAGE_LOWERING, elapsed)
+        obs_metrics().histogram(metric_names.LOWERING_SECONDS).record(elapsed)
         kernel.accel = self._accel
         if store is not None:
             if trimmed:
@@ -743,6 +758,12 @@ class WitnessSet:
         ``reached_states``) against the ``nominal_states`` cross-product
         size the eager pipeline would have allocated — the blow-up
         avoided.
+
+        ``kernel_backend`` names the accelerated backend in use (or
+        ``"pure"``), and ``lowering_seconds`` is the cumulative wall
+        time this set spent building kernels — the in-process view of
+        the ``repro_lowering_seconds`` metric; ``0.0`` means every
+        kernel so far came off the store.
         """
         info = {
             "source": self.source,
@@ -752,6 +773,10 @@ class WitnessSet:
             "kernel_backend": (
                 self._accel.name if self._accel is not None else "pure"
             ),
+            # Cumulative wall time this set spent building kernels;
+            # 0.0 means every kernel so far was restored from the store
+            # (or none has been needed yet).
+            "lowering_seconds": self._lowering_seconds,
         }
         if self.plan is not None:
             kernel = self.kernel

@@ -336,6 +336,19 @@ def _command_serve(args) -> int:
         if args.max_connections is not None
         else DEFAULT_MAX_CONNECTIONS
     )
+    slow_query_log = None
+    if args.slow_query_log is not None:
+        from repro import obs
+
+        if args.slow_query_ms is not None:
+            slow_query_log = obs.SlowQueryLog(
+                args.slow_query_log,
+                threshold_seconds=args.slow_query_ms / 1000.0,
+            )
+        else:
+            slow_query_log = obs.SlowQueryLog(args.slow_query_log)
+    elif args.slow_query_ms is not None:
+        raise SystemExit("--slow-query-ms requires --slow-query-log")
     try:
         if args.port is None:
             return serve_stdio(engine, batch_window=window, max_line=max_line)
@@ -352,6 +365,7 @@ def _command_serve(args) -> int:
             max_line=max_line,
             request_timeout=args.request_timeout or None,
             max_connections=max_connections,
+            slow_query_log=slow_query_log,
         )
     finally:
         engine.close()
@@ -447,6 +461,58 @@ def _command_query(args) -> int:
     return 0
 
 
+def _command_stats(args) -> int:
+    """``repro stats``: one stats round-trip, rendered for humans.
+
+    ``--json`` prints the full aggregated payload; the default rendering
+    shows the server headline counters, the engine summary, and the
+    merged metrics registry as an aligned table.
+    """
+    import json as _json
+
+    from repro import obs
+    from repro.service.client import ServiceClient
+
+    request: dict = {"op": "stats"}
+    if args.per_worker:
+        request["per_worker"] = True
+    with ServiceClient(args.host, args.port) as client:
+        response = client.send([request])[0]
+    if not response.get("ok"):
+        print(
+            f"error: {response.get('error_type', 'error')}: {response.get('error')}",
+            file=sys.stderr,
+        )
+        return 1
+    result = response["result"]
+    if args.json:
+        print(_json.dumps(result, indent=2, ensure_ascii=False, default=str))
+        return 0
+    engine = result.get("engine") or {}
+    print(
+        f"served {result.get('served', 0)} requests "
+        f"in {result.get('batches', 0)} batches; "
+        f"{result.get('connections', 0)} connection(s) open"
+    )
+    print(
+        f"engine: {engine.get('workers', 0)} worker(s) "
+        f"({engine.get('alive', 0)} alive), "
+        f"{engine.get('resident', 0)} resident witness set(s), "
+        f"cache {engine.get('hits', 0)} hit(s) / {engine.get('misses', 0)} miss(es)"
+    )
+    store = engine.get("store")
+    if store:
+        pairs = ", ".join(f"{key}={value}" for key, value in sorted(store.items()))
+        print(f"store: {pairs}")
+    print()
+    print(obs.render_text(result.get("metrics") or {}), end="")
+    if args.per_worker:
+        print()
+        for entry in result.get("workers") or []:
+            print(_json.dumps(entry, ensure_ascii=False, default=str))
+    return 0
+
+
 def _distribution_version() -> str:
     """The installed package version, falling back to the module's."""
     try:
@@ -533,7 +599,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "timeout_ms)")
     serve.add_argument("--max-connections", type=int, default=None,
                        help="cap on simultaneous TCP connections (default 1024)")
+    serve.add_argument("--slow-query-log", default=None, metavar="PATH",
+                       help="append over-threshold requests to this JSON-lines "
+                            "file (also $REPRO_SLOW_QUERY_LOG)")
+    serve.add_argument("--slow-query-ms", type=float, default=None, metavar="MS",
+                       help="slow-query threshold in milliseconds "
+                            "(default 1000; also $REPRO_SLOW_QUERY_MS)")
     serve.set_defaults(run=_command_serve)
+
+    stats = commands.add_parser(
+        "stats", help="fetch and render a running server's metrics"
+    )
+    stats.add_argument("--port", type=int, required=True)
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw aggregated stats payload as JSON")
+    stats.add_argument("--per-worker", action="store_true",
+                       help="include the per-worker cache/store entry list")
+    stats.set_defaults(run=_command_stats)
 
     query = commands.add_parser(
         "query", help="send one operation to a repro serve --port server"

@@ -65,6 +65,8 @@ from typing import (
 from repro.automata.nfa import NFA, State, Symbol, Word
 from repro.core import accel as _accel
 from repro.errors import EmptyWitnessSetError, InvalidAutomatonError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import names as metric_names
 
 if TYPE_CHECKING:
     import os
@@ -235,6 +237,10 @@ class CompiledDAG:
         #: Accelerated execution backend (None = the canonical pure
         #: path); defaults from $REPRO_KERNEL_BACKEND.
         self.accel = _accel.resolve(None)
+        _obs_metrics().counter(
+            metric_names.KERNEL_BACKEND_SELECTED,
+            labels={"backend": self.kernel_backend},
+        ).inc()
         #: Per-kernel caches owned by the accel backend (NumPy views of
         #: the CSR arrays and derived per-layer arrays).
         self._accel_state = {}
@@ -263,12 +269,23 @@ class CompiledDAG:
         """
         self.accel = _accel.resolve(name)
         self._accel_state = {}
+        _obs_metrics().counter(
+            metric_names.KERNEL_BACKEND_SELECTED,
+            labels={"backend": self.kernel_backend},
+        ).inc()
         return self
 
     @property
     def kernel_backend(self) -> str:
         """Name of the active execution backend (``"numpy"`` / ``"pure"``)."""
         return self.accel.name if self.accel is not None else "pure"
+
+    def _note_spill(self, site: str) -> None:
+        """Count one accel → pure fallback (the backend declined the
+        call — e.g. bignum-spilled rows NumPy int64 cannot hold)."""
+        _obs_metrics().counter(
+            metric_names.ACCEL_SPILLS, labels={"site": site}
+        ).inc()
 
     def _append_edge_layer(self, t: int) -> None:
         """Build the CSR edge block for layer ``t`` → ``t + 1``."""
@@ -336,6 +353,8 @@ class CompiledDAG:
                     else None
                 )
                 if row is None:
+                    if self.accel is not None:
+                        self._note_spill("forward_step_row")
                     row = _pack_counts(self._forward_step(t, self._forward[t]))
                 self._forward.append(row)
         self.n = new_n
@@ -468,6 +487,7 @@ class CompiledDAG:
             accelerated = self.accel.predecessor_groups(self, t, indices)
             if accelerated is not None:
                 return accelerated
+            self._note_spill("predecessor_groups")
         starts, r_symbol, r_src = self._reverse_edges(t)
         grouped: dict[int, set[int]] = {}
         for i in indices:
@@ -493,6 +513,7 @@ class CompiledDAG:
             accelerated = self.accel.step_indices(self, t, indices, symbol_i)
             if accelerated is not None:
                 return accelerated
+            self._note_spill("step_indices")
         starts = self._edge_start[t]
         edge_symbol = self._edge_symbol[t]
         edge_dst = self._edge_dst[t]
@@ -523,6 +544,8 @@ class CompiledDAG:
         if self._forward is None:
             table = self.accel.forward_table(self) if self.accel is not None else None
             if table is None:
+                if self.accel is not None:
+                    self._note_spill("forward_table")
                 first = [0] * len(self._states[0])
                 i0 = self._index[0].get(self.nfa.initial)
                 if i0 is not None:
@@ -537,6 +560,8 @@ class CompiledDAG:
         """``table[t][i]`` = number of paths ``(t, i)`` → accepting layer-``n`` states."""
         if self._backward is None and self.accel is not None:
             self._backward = self.accel.backward_table(self)
+            if self._backward is None:
+                self._note_spill("backward_table")
         if self._backward is None:
             n = self.n
             last = [0] * len(self._states[n])
@@ -682,6 +707,7 @@ class CompiledDAG:
             accelerated = self.accel.sample_batch(self, k, randranges)
             if accelerated is not None:
                 return accelerated
+            self._note_spill("sample_batch")
         backward = self.backward_counts()
         symbols = self.symbols
         states = [self._index[0][self.nfa.initial]] * k

@@ -1,0 +1,70 @@
+"""``repro.obs`` — unified metrics, tracing, and profiling layer.
+
+One dependency-free package backs every piece of telemetry in the
+serving stack:
+
+* :mod:`repro.obs.registry` — counters, gauges, log-bucketed histograms
+  with mergeable p50/p95/p99/max summaries; ``REPRO_OBS=off`` kill
+  switch.
+* :mod:`repro.obs.names` — the full metric-name vocabulary as
+  constants (enforced by the ``metrics-discipline`` lint rule).
+* :mod:`repro.obs.trace` — per-request spans carrying a per-stage
+  timing breakdown (parse → coalesce wait → queue wait → store fetch →
+  lowering → execution → serialization).
+* :mod:`repro.obs.slowlog` — JSON-lines slow-query log.
+* :mod:`repro.obs.exposition` — Prometheus text format and the
+  human-readable ``repro stats`` rendering.
+
+The usual entry points are re-exported here::
+
+    from repro import obs
+    obs.metrics().counter(obs.names.SERVER_REQUESTS).inc()
+    with obs.request_span() as span:
+        ...
+"""
+
+from __future__ import annotations
+
+from . import names
+from .exposition import render_prometheus, render_text
+from .registry import (
+    OBS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    merge_snapshots,
+    metrics,
+    reset_metrics,
+    series_key,
+    set_enabled,
+)
+from .slowlog import SlowQueryLog
+from .slowlog import from_env as slow_log_from_env
+from .trace import NULL_SPAN, Span, add_stage, current_span, request_span, stage
+
+__all__ = [
+    "OBS_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SlowQueryLog",
+    "Span",
+    "add_stage",
+    "current_span",
+    "enabled",
+    "merge_snapshots",
+    "metrics",
+    "names",
+    "render_prometheus",
+    "render_text",
+    "request_span",
+    "reset_metrics",
+    "series_key",
+    "set_enabled",
+    "slow_log_from_env",
+    "stage",
+]

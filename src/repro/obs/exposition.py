@@ -1,0 +1,112 @@
+"""Exposition: render a registry snapshot for Prometheus and humans.
+
+Two renderers over the same mergeable snapshot shape
+(:meth:`repro.obs.registry.MetricsRegistry.snapshot`):
+
+* :func:`render_prometheus` — the text exposition format (version
+  0.0.4) served by the TCP server's ``GET /metrics`` endpoint.
+  Histograms are rendered as summaries (``_count``/``_sum``/``_max``
+  plus ``quantile``-labelled series) because the log buckets are an
+  implementation detail; the quantiles are what SLO dashboards consume.
+* :func:`render_text` — an aligned, human-readable snapshot for the
+  ``repro stats`` CLI.
+
+Both sort series lexicographically so output is deterministic — the
+golden-format test in ``tests/test_obs.py`` depends on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from .registry import Histogram
+
+_QUANTILES = (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99))
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # bools are ints; never expected, be safe
+        return str(int(value))
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _split_series(key: str) -> tuple[str, str]:
+    """Split an encoded series key into (bare name, label suffix)."""
+
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace:]
+
+
+def _with_label(suffix: str, extra: str) -> str:
+    """Append one ``k="v"`` pair to an existing ``{...}`` suffix."""
+
+    if not suffix:
+        return "{" + extra + "}"
+    return suffix[:-1] + "," + extra + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """Render a (possibly merged) snapshot in Prometheus text format."""
+
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        name, suffix = _split_series(key)
+        declare(name, "counter")
+        lines.append(f"{name}{suffix} {_format_value(snapshot['counters'][key])}")
+    for key in sorted(snapshot.get("gauges", {})):
+        name, suffix = _split_series(key)
+        declare(name, "gauge")
+        lines.append(f"{name}{suffix} {_format_value(snapshot['gauges'][key])}")
+    for key in sorted(snapshot.get("histograms", {})):
+        name, suffix = _split_series(key)
+        histogram = Histogram.from_dict(snapshot["histograms"][key])
+        declare(name, "summary")
+        for label, quantile in _QUANTILES:
+            series = _with_label(suffix, f'quantile="{label}"')
+            lines.append(f"{name}{series} {repr(histogram.percentile(quantile))}")
+        lines.append(f"{name}_sum{suffix} {repr(histogram.total)}")
+        lines.append(f"{name}_count{suffix} {_format_value(histogram.count)}")
+        lines.append(f"{name}_max{suffix} {repr(histogram.max)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_text(snapshot: Mapping[str, Any]) -> str:
+    """Render a snapshot as an aligned human-readable table."""
+
+    rows: list[tuple[str, str]] = []
+    for key in sorted(snapshot.get("counters", {})):
+        rows.append((key, _format_value(snapshot["counters"][key])))
+    for key in sorted(snapshot.get("gauges", {})):
+        rows.append((key, _format_value(snapshot["gauges"][key])))
+    for key in sorted(snapshot.get("histograms", {})):
+        histogram = Histogram.from_dict(snapshot["histograms"][key])
+        summary = histogram.summary()
+        # Latency histograms get a seconds suffix; dimensionless ones
+        # (e.g. batch size) are printed bare.
+        unit = "s" if "_seconds" in _split_series(key)[0] else ""
+        detail = (
+            f"count={int(summary['count'])}"
+            f" p50={summary['p50']:.6f}{unit}"
+            f" p95={summary['p95']:.6f}{unit}"
+            f" p99={summary['p99']:.6f}{unit}"
+            f" max={summary['max']:.6f}{unit}"
+        )
+        rows.append((key, detail))
+    if not rows:
+        return "(no metrics recorded)\n"
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name.ljust(width)}  {value}" for name, value in rows) + "\n"
+
+
+__all__ = ["render_prometheus", "render_text"]

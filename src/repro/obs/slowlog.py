@@ -1,0 +1,87 @@
+"""Slow-query log: JSON-lines capture of requests over a threshold.
+
+Each event is one JSON object per line — the request id and op, the
+total wall seconds, and the per-stage timing breakdown — so the log can
+be tailed with ``jq`` or replayed into analysis without parsing state.
+
+Writes are synchronous file appends guarded by a lock: the async server
+must therefore call :meth:`SlowQueryLog.record` via
+``loop.run_in_executor`` (the ``metrics-discipline`` lint rule flags a
+direct call inside ``async def``).  The executor hop only happens for
+over-threshold requests, so the hot path never touches the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Any, Mapping, Optional
+
+#: Path of the slow-query log file; unset/empty disables the log.
+SLOW_LOG_ENV = "REPRO_SLOW_QUERY_LOG"
+
+#: Threshold in milliseconds (default 1000 ms when only the path is set).
+SLOW_MS_ENV = "REPRO_SLOW_QUERY_MS"
+
+DEFAULT_THRESHOLD_SECONDS = 1.0
+
+
+class SlowQueryLog:
+    """Append-only JSONL sink for over-threshold request events."""
+
+    __slots__ = ("path", "threshold_seconds", "_lock")
+
+    def __init__(
+        self,
+        path: str,
+        threshold_seconds: float = DEFAULT_THRESHOLD_SECONDS,
+    ) -> None:
+        self.path = path
+        self.threshold_seconds = max(0.0, threshold_seconds)
+        self._lock = threading.Lock()
+
+    def should_record(self, total_seconds: float) -> bool:
+        return total_seconds >= self.threshold_seconds
+
+    def record(self, event: Mapping[str, Any]) -> None:
+        """Append one event as a JSON line (thread-safe, blocking)."""
+
+        line = json.dumps(event, sort_keys=True, default=str)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    def maybe_record(self, total_seconds: float, event: Mapping[str, Any]) -> bool:
+        """Record ``event`` iff it crossed the threshold; report whether."""
+
+        if not self.should_record(total_seconds):
+            return False
+        self.record(event)
+        return True
+
+
+def from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[SlowQueryLog]:
+    """Build a log from ``REPRO_SLOW_QUERY_LOG`` / ``REPRO_SLOW_QUERY_MS``."""
+
+    env = os.environ if environ is None else environ
+    path = env.get(SLOW_LOG_ENV, "").strip()
+    if not path:
+        return None
+    raw_ms = env.get(SLOW_MS_ENV, "").strip()
+    threshold = DEFAULT_THRESHOLD_SECONDS
+    if raw_ms:
+        try:
+            threshold = float(raw_ms) / 1000.0
+        except ValueError:
+            threshold = DEFAULT_THRESHOLD_SECONDS
+    return SlowQueryLog(path, threshold)
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD_SECONDS",
+    "SLOW_LOG_ENV",
+    "SLOW_MS_ENV",
+    "SlowQueryLog",
+    "from_env",
+]

@@ -37,6 +37,8 @@ from collections import defaultdict
 from types import TracebackType
 from typing import TYPE_CHECKING, Any, Iterator, TypeAlias
 
+from repro import obs
+from repro.obs import names as metric_names
 from repro.service.protocol import (
     CONTROL_OPS,
     WitnessSetCache,
@@ -45,6 +47,7 @@ from repro.service.protocol import (
 )
 
 if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
     from multiprocessing.process import BaseProcess
     from multiprocessing.queues import Queue as MPQueue
 
@@ -70,6 +73,10 @@ def _worker_main(
     """One pool worker: drain grouped requests, keep hot kernels resident."""
     from repro.service.store import KernelStore
 
+    # Fork-started workers inherit a copy of the parent's metrics
+    # registry; start from a clean one so the pool-wide aggregation
+    # (which sums worker snapshots) never double-counts parent activity.
+    obs.reset_metrics()
     # Workers restore via mmap: a warm pool start pages snapshot bytes
     # in lazily instead of copying every kernel up front.
     store = KernelStore(store_root, mmap=True) if store_root else None
@@ -89,7 +96,12 @@ def _worker_main(
             if "__seq" in request:
                 response["__seq"] = request["__seq"]
             response["result"] = (
-                cache.stats() if request["op"] == "stats" else "pong"
+                # The stats payload carries this worker's registry
+                # snapshot alongside the classic cache view, so the
+                # engine can merge pool-wide histograms/counters.
+                dict(cache.stats(), metrics=obs.metrics().snapshot())
+                if request["op"] == "stats"
+                else "pong"
             )
             results.put((batch_id, group_index, [response]))
             continue
@@ -125,6 +137,7 @@ class Engine:
     _task_queues: list[MPQueue[_Task]]
     _results: MPQueue[_Result] | None
     _local_cache: WitnessSetCache | None
+    _mp_context: BaseContext | None
 
     def __init__(
         self,
@@ -148,6 +161,7 @@ class Engine:
         self._task_queues = []
         self._results = None
         self._local_cache = None
+        self._mp_context = None
         if workers == 0:
             store = None
             if self.store_root is not None:
@@ -162,23 +176,33 @@ class Engine:
                 context = multiprocessing.get_context("fork")
             else:
                 context = multiprocessing.get_context()
+            self._mp_context = context
             self._results = context.Queue()
             for worker_id in range(workers):
-                tasks = context.Queue()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(
-                        worker_id,
-                        tasks,
-                        self._results,
-                        self.store_root,
-                        max_resident,
-                    ),
-                    daemon=True,
-                )
-                process.start()
-                self._task_queues.append(tasks)
-                self._processes.append(process)
+                self._task_queues.append(context.Queue())
+                self._spawn_worker(worker_id)
+
+    def _spawn_worker(self, worker_id: int) -> None:
+        """Start (or replace) pool worker ``worker_id`` on its queue."""
+        context = self._mp_context
+        results = self._results
+        assert context is not None and results is not None
+        process = context.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._task_queues[worker_id],
+                results,
+                self.store_root,
+                self.max_resident,
+            ),
+            daemon=True,
+        )
+        process.start()
+        if worker_id < len(self._processes):
+            self._processes[worker_id] = process
+        else:
+            self._processes.append(process)
 
     # ------------------------------------------------------------------
     # Routing
@@ -233,9 +257,14 @@ class Engine:
             return []
         # Tag every request with its batch position: responses are
         # matched back by this tag, never by the client-chosen id (two
-        # clients in one batch may both say id "c0").
+        # clients in one batch may both say id "c0").  The ``__enq``
+        # monotonic stamp is the anchor of the ``queue_wait`` timing
+        # stage measured at execution start — comparable across
+        # fork-started workers because CLOCK_MONOTONIC is system-wide.
+        enqueued = time.monotonic()
         tagged = [
-            dict(request, __seq=index) for index, request in enumerate(requests)
+            dict(request, __seq=index, __enq=enqueued)
+            for index, request in enumerate(requests)
         ]
         groups = self.group_requests(tagged)
         if self.workers == 0:
@@ -357,6 +386,10 @@ class Engine:
                                 }
                                 for request in group
                             )
+                    # The in-flight batch has been failed fast; respawn
+                    # the dead workers so the *next* batch is served by
+                    # a full pool instead of a shrinking one.
+                    self._restart_workers(dead)
                 continue
             if got_batch != batch_id:  # pragma: no cover - stale batch remnants
                 continue
@@ -364,11 +397,79 @@ class Engine:
                 responses.extend(group_responses)
         return responses
 
+    def _restart_workers(self, dead: set[int]) -> None:
+        """Replace dead pool workers (counted as deaths + restarts).
+
+        The replacement worker keeps the dead worker's slot (affinity
+        routing untouched) but gets a *fresh* task queue: a process
+        terminated while blocked in ``Queue.get`` may die holding the
+        queue's reader lock, which would deadlock any successor on the
+        same queue.  Tasks stranded on the old queue were already failed
+        fast above.  The replacement's witness-set cache starts cold but
+        warm-starts from the shared kernel store.
+        """
+        context = self._mp_context
+        assert context is not None  # only reached when workers > 0
+        registry = obs.metrics()
+        for worker in sorted(dead):
+            if self._processes[worker].is_alive():  # pragma: no cover - raced back
+                continue
+            registry.counter(metric_names.ENGINE_WORKER_DEATHS).inc()
+            self._task_queues[worker] = context.Queue()
+            self._spawn_worker(worker)
+            registry.counter(metric_names.ENGINE_WORKER_RESTARTS).inc()
+
     # ------------------------------------------------------------------
     # Introspection and lifecycle
     # ------------------------------------------------------------------
 
-    def stats(self) -> list[dict[str, Any]]:
+    def stats(
+        self, per_worker: bool = False
+    ) -> dict[str, Any] | list[dict[str, Any]]:
+        """Pool statistics: aggregated by default, per-worker on request.
+
+        The default returns one merged dict — counters summed,
+        histograms merged bucket-wise (see
+        :func:`repro.obs.merge_snapshots`) — plus ``workers``/``alive``
+        pool gauges.  ``per_worker=True`` returns the raw per-worker
+        entries (one for ``workers=0``), each carrying that worker's
+        cache view and metrics snapshot.
+        """
+        entries = self._worker_stats()
+        if per_worker:
+            return entries
+        return self.aggregate_stats(entries)
+
+    @staticmethod
+    def aggregate_stats(entries: list[dict[str, Any]]) -> dict[str, Any]:
+        """Merge per-worker stats entries into one pool-wide summary."""
+        aggregated: dict[str, Any] = {
+            "workers": len(entries),
+            "alive": sum(1 for entry in entries if entry.get("alive")),
+            "resident": 0,
+            "hits": 0,
+            "misses": 0,
+        }
+        store_totals: dict[str, int] = {}
+        snapshots: list[dict[str, Any]] = []
+        for entry in entries:
+            aggregated["resident"] += entry.get("resident", 0)
+            aggregated["hits"] += entry.get("hits", 0)
+            aggregated["misses"] += entry.get("misses", 0)
+            for key, value in (entry.get("store") or {}).items():
+                store_totals[key] = store_totals.get(key, 0) + value
+            snapshot = entry.get("metrics")
+            if snapshot:
+                snapshots.append(snapshot)
+        if store_totals:
+            aggregated["store"] = store_totals
+        # Worker-process metrics only: with workers=0 the engine shares
+        # the embedding process's registry, which the caller (the server
+        # layer) merges in itself — merging it here would double-count.
+        aggregated["metrics"] = obs.merge_snapshots(snapshots)
+        return aggregated
+
+    def _worker_stats(self) -> list[dict[str, Any]]:
         """Per-worker cache stats (one entry for workers=0).
 
         Dead workers are reported as ``{"worker": i, "alive": False}``

@@ -55,10 +55,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any, Generator
 
+from repro import obs
 from repro.errors import ReproError
+from repro.obs import names as metric_names
 from repro.utils.rng import make_rng, substreams
 
 if TYPE_CHECKING:
@@ -289,8 +292,10 @@ def _enumerate_page(ws: WitnessSet, request: dict[str, Any]) -> dict[str, Any]:
     # The cursor is returned even on a limit-terminated final page: it
     # is the resume point for a later request (None only when the
     # enumeration itself is exhausted).
+    with obs.stage(metric_names.STAGE_SERIALIZATION):
+        items = [render_witness(w) for w in witnesses]
     return {
-        "items": [render_witness(w) for w in witnesses],
+        "items": items,
         "cursor": cursor,
         "done": done,
     }
@@ -361,6 +366,12 @@ class WitnessSetCache:
     def __init__(self, max_resident: int = 64, store: KernelStore | None = None) -> None:
         self.max_resident = max_resident
         self.store = store
+        # Exact per-instance counts (functional state: tests and the
+        # ``stats`` view read them regardless of REPRO_OBS); every
+        # increment is mirrored into the process metrics registry so the
+        # exposition layer can aggregate hit rates across workers —
+        # this is also the engine's affinity hit rate, since affinity
+        # routing exists exactly to land repeats on a resident entry.
         self.hits = 0
         self.misses = 0
         self._cache = OrderedDict()
@@ -369,9 +380,11 @@ class WitnessSetCache:
         ws = self._cache.get(key)
         if ws is not None:
             self.hits += 1
+            obs.metrics().counter(metric_names.CACHE_HITS).inc()
             self._cache.move_to_end(key)
             return ws
         self.misses += 1
+        obs.metrics().counter(metric_names.CACHE_MISSES).inc()
         ws = witness_set_from_spec(
             spec, store=self.store if self.store is not None else False
         )
@@ -411,7 +424,8 @@ def _execute_one(ws: WitnessSet, request: dict[str, Any]) -> Any:
         if not isinstance(k, int) or isinstance(k, bool) or k < 0:
             raise ProtocolError("sample requests need an integer k ≥ 0")
         witnesses = draw_samples(ws, k, request.get("seed"))
-        return [render_witness(w) for w in witnesses]
+        with obs.stage(metric_names.STAGE_SERIALIZATION):
+            return [render_witness(w) for w in witnesses]
     if op == "spectrum":
         spectrum = ws.spectrum(request.get("max_length"))
         return [[length, count] for length, count in sorted(spectrum.items())]
@@ -452,6 +466,10 @@ def execute_group(
         # Non-sample ops and invalid-k sample requests (which must get
         # their own validation error, never a sibling's witnesses).
         responses[position] = _respond(cache, request, worker)
+    if sampleable:
+        # Denominator of the coalescing ratio: every sampleable request,
+        # whether or not it ends up sharing a kernel pass.
+        obs.metrics().counter(metric_names.SAMPLE_REQUESTS).inc(len(sampleable))
     if len(sampleable) == 1:
         position, request = sampleable[0]
         responses[position] = _respond(cache, request, worker)
@@ -471,23 +489,66 @@ def _base_response(request: dict[str, Any], worker: int | None) -> dict[str, Any
     return response
 
 
+def _op_label(op: Any) -> str:
+    """Clamp a client-supplied op to the registered vocabulary.
+
+    Metric labels must stay a bounded set; an unknown/garbage op would
+    otherwise mint one series per typo.
+    """
+    return op if isinstance(op, str) and op in SERVICE_OPS else "other"
+
+
+def _record_queue_wait(request: dict[str, Any], span: obs.Span) -> None:
+    """Turn the engine's enqueue stamp into the ``queue_wait`` stage.
+
+    ``__enq`` is ``time.monotonic()`` taken when the engine accepted the
+    batch; CLOCK_MONOTONIC is system-wide on Linux, so the stamp is
+    comparable across the fork-started worker processes (``Span.add``
+    clamps negatives on platforms where it is not).
+    """
+    enqueued = request.get("__enq")
+    if isinstance(enqueued, (int, float)) and not isinstance(enqueued, bool):
+        span.add(metric_names.STAGE_QUEUE_WAIT, time.monotonic() - float(enqueued))
+
+
+def _attach_timing(
+    request: dict[str, Any], response: dict[str, Any], span: obs.Span
+) -> None:
+    """Carry the per-stage breakdown when the client asked to trace."""
+    if request.get("trace") and span.stages:
+        response["timing"] = span.as_dict()
+
+
 def _respond(
     cache: WitnessSetCache, request: dict[str, Any], worker: int | None
 ) -> dict[str, Any]:
+    registry = obs.metrics()
+    registry.counter(
+        metric_names.PROTOCOL_REQUESTS, labels={"op": _op_label(request.get("op"))}
+    ).inc()
     response = _base_response(request, worker)
     spec = request.get("spec")
     if spec is None:
+        registry.counter(metric_names.PROTOCOL_ERRORS).inc()
         response.update(
             ok=False, error="missing field 'spec'", error_type="ProtocolError"
         )
         return response
-    try:
-        ws = cache.get(spec_key(spec), spec)
-        response.update(ok=True, result=_execute_one(ws, request))
-    except Exception as error:  # per-request isolation; a KeyError deep
-        # in backend/kernel code reports as KeyError, not as a protocol
-        # complaint about the client's request.
-        response.update(ok=False, error=str(error), error_type=type(error).__name__)
+    with obs.request_span() as span:
+        _record_queue_wait(request, span)
+        try:
+            ws = cache.get(spec_key(spec), spec)
+            with span.stage(metric_names.STAGE_EXECUTION):
+                result = _execute_one(ws, request)
+            response.update(ok=True, result=result)
+        except Exception as error:  # per-request isolation; a KeyError deep
+            # in backend/kernel code reports as KeyError, not as a protocol
+            # complaint about the client's request.
+            registry.counter(metric_names.PROTOCOL_ERRORS).inc()
+            response.update(
+                ok=False, error=str(error), error_type=type(error).__name__
+            )
+    _attach_timing(request, response, span)
     return response
 
 
@@ -502,20 +563,44 @@ def _respond_coalesced(
     maps positions to responses (see :func:`execute_group`).
     """
     out: dict[int, dict[str, Any]] = {}
+    registry = obs.metrics()
     try:
         first = indexed[0][1]
-        ws = cache.get(spec_key(first["spec"]), first["spec"])
-        batches = draw_samples_coalesced(
-            ws,
-            [(request.get("k", 1), request.get("seed")) for _, request in indexed],
-        )
-        for (position, request), witnesses in zip(indexed, batches):
+        # One span for the shared kernel pass: every coalesced sibling
+        # paid the same store fetch / lowering / execution, so each
+        # response carries the same breakdown (queue wait included — the
+        # group was enqueued as one engine batch).
+        with obs.request_span() as span:
+            _record_queue_wait(first, span)
+            ws = cache.get(spec_key(first["spec"]), first["spec"])
+            with span.stage(metric_names.STAGE_EXECUTION):
+                batches = draw_samples_coalesced(
+                    ws,
+                    [
+                        (request.get("k", 1), request.get("seed"))
+                        for _, request in indexed
+                    ],
+                )
+            with span.stage(metric_names.STAGE_SERIALIZATION):
+                rendered = [
+                    [render_witness(w) for w in witnesses] for witnesses in batches
+                ]
+        registry.counter(metric_names.COALESCED_REQUESTS).inc(len(indexed))
+        for _, request in indexed:
+            # Counted here, after the pass succeeded: the fallback path
+            # below routes through _respond, which counts for itself.
+            registry.counter(
+                metric_names.PROTOCOL_REQUESTS,
+                labels={"op": _op_label(request.get("op"))},
+            ).inc()
+        for (position, request), witnesses in zip(indexed, rendered):
             response = _base_response(request, worker)
             response.update(
                 ok=True,
-                result=[render_witness(w) for w in witnesses],
+                result=witnesses,
                 coalesced=len(indexed),
             )
+            _attach_timing(request, response, span)
             out[position] = response
     except Exception:
         # Fall back to independent execution so one odd request (bad k,

@@ -55,9 +55,20 @@ witness set is never materialized, and the per-chunk ``cursor`` lets a
 disconnected client resume exactly where it stopped.
 
 Control ops: ``ping`` answers ``"pong"``; ``stats`` reports server
-counters plus per-worker cache/store counters; ``shutdown``
-acknowledges, drains, and stops the server.  Malformed lines get an
-``ok: false`` response rather than killing the connection.
+counters, the aggregated engine summary, and the pool-wide merged
+metrics snapshot (request the classic per-worker entry list with
+``"per_worker": true``); ``shutdown`` acknowledges, drains, and stops
+the server.  Malformed lines get an ``ok: false`` response rather than
+killing the connection.
+
+Observability (see :mod:`repro.obs`): every front-door request is
+counted and timed (``repro_request_seconds``), server-side stages
+(parse, coalesce wait) join the per-stage histogram and — for requests
+sent with ``"trace": true`` — the response's ``timing`` breakdown; a
+plain HTTP ``GET`` on the TCP port answers with the Prometheus text
+exposition of the pool-wide registry; requests slower than the
+slow-query threshold are appended to a JSON-lines slow-query log
+(``--slow-query-log`` / ``$REPRO_SLOW_QUERY_LOG``).
 """
 
 from __future__ import annotations
@@ -71,7 +82,10 @@ import sys
 import time
 from typing import IO, TYPE_CHECKING, Any, Callable, Coroutine
 
+from repro import obs
+from repro.obs import names as metric_names
 from repro.service.engine import Engine
+from repro.service.protocol import _op_label
 
 if TYPE_CHECKING:
     import threading
@@ -106,6 +120,13 @@ def _write_stderr(message: str) -> None:
     sys.stderr.flush()
 
 
+def _swallow_exception(future: asyncio.Future[Any]) -> None:
+    """Done-callback for fire-and-forget futures: retrieve the exception
+    so the event loop never logs "exception was never retrieved"."""
+    if not future.cancelled():
+        future.exception()
+
+
 def _parse_line(line: bytes | str) -> dict[str, Any]:
     if isinstance(line, bytes):
         line = line.decode("utf-8")
@@ -128,6 +149,32 @@ def encode_response(response: dict[str, Any]) -> bytes:
     return json.dumps(response, separators=(",", ":"), ensure_ascii=False).encode(
         "utf-8"
     ) + b"\n"
+
+
+def _aggregate_server_stats(
+    engine: Engine, per_worker: bool = False
+) -> dict[str, Any]:
+    """The enriched ``stats`` payload: engine summary plus merged metrics.
+
+    The metrics snapshot merges this process's registry (server counters,
+    request/stage histograms, and — with ``workers=0`` — the embedded
+    cache/store counters) with every worker's snapshot, so one scrape
+    sees the whole pool.  ``per_worker`` additionally returns the classic
+    per-worker entry list under ``"workers"``.
+    """
+    entries = engine.stats(per_worker=True)
+    assert isinstance(entries, list)
+    summary = Engine.aggregate_stats(entries)
+    worker_metrics = summary.pop("metrics", None) or {}
+    result: dict[str, Any] = {
+        "engine": summary,
+        "metrics": obs.merge_snapshots(
+            [obs.metrics().snapshot(), worker_metrics]
+        ),
+    }
+    if per_worker:
+        result["workers"] = entries
+    return result
 
 
 class WitnessServer:
@@ -165,11 +212,14 @@ class WitnessServer:
                 out.append(({"id": request.get("id"), "ok": True, "result": "bye"}, reply_to))
                 continue
             if op == "stats":
-                result = {
-                    "served": self.served,
-                    "batches": self.batches,
-                    "workers": self.engine.stats(),
-                }
+                result = dict(
+                    _aggregate_server_stats(
+                        self.engine,
+                        per_worker=bool(request.get("per_worker")),
+                    ),
+                    served=self.served,
+                    batches=self.batches,
+                )
                 out.append(({"id": request.get("id"), "ok": True, "result": result}, reply_to))
                 continue
             executable.append(request)
@@ -340,12 +390,15 @@ def serve_stdio(
 class _Pending:
     """One queued request awaiting engine capacity."""
 
-    __slots__ = ("request", "conn", "deadline", "future")
+    __slots__ = ("request", "conn", "deadline", "future", "received", "parse_seconds", "exec_start")
 
     request: dict[str, Any]
     conn: _Connection
     deadline: float | None
     future: asyncio.Future[dict[str, Any] | None] | None
+    received: float
+    parse_seconds: float
+    exec_start: float | None
 
     def __init__(
         self,
@@ -353,6 +406,8 @@ class _Pending:
         conn: _Connection,
         deadline: float | None,
         future: asyncio.Future[dict[str, Any] | None] | None = None,
+        received: float = 0.0,
+        parse_seconds: float = 0.0,
     ) -> None:
         self.request = request
         self.conn = conn
@@ -360,6 +415,14 @@ class _Pending:
         #: When set, the pump resolves this future instead of writing to
         #: the connection (internal rounds, e.g. one page of a stream).
         self.future = future
+        #: loop.time() at enqueue — the front-door timestamp every
+        #: latency/wait stage is measured against.
+        self.received = received
+        #: Wall time spent decoding this request's line.
+        self.parse_seconds = parse_seconds
+        #: loop.time() when the batch containing this request started
+        #: executing (None for requests answered before execution).
+        self.exec_start = None
 
 
 class _Connection:
@@ -404,6 +467,7 @@ class AsyncWitnessServer:
         request_timeout: float | None = None,
         max_connections: int = DEFAULT_MAX_CONNECTIONS,
         write_timeout: float = DEFAULT_WRITE_TIMEOUT,
+        slow_query_log: obs.SlowQueryLog | None = None,
     ) -> None:
         self.engine = engine
         self.batch_window = batch_window
@@ -411,6 +475,9 @@ class AsyncWitnessServer:
         self.request_timeout = request_timeout
         self.max_connections = max_connections
         self.write_timeout = write_timeout
+        self.slow_query_log = (
+            slow_query_log if slow_query_log is not None else obs.slow_log_from_env()
+        )
         self.served = 0
         self.batches = 0
         self.shutting_down = False
@@ -421,6 +488,34 @@ class AsyncWitnessServer:
         #: In-flight response writes, detached from the pump so a slow
         #: reader only ever stalls its own connection.
         self._send_tasks: set[asyncio.Task[None]] = set()
+        # Metric handles are bound per instance (not at import) so a
+        # registry reset in tests/benchmarks never strands live servers
+        # on stale objects.
+        registry = obs.metrics()
+        self._m_malformed = registry.counter(metric_names.SERVER_MALFORMED)
+        self._m_connections = registry.counter(metric_names.SERVER_CONNECTIONS)
+        self._m_dropped = registry.counter(metric_names.SERVER_DROPPED_CONNECTIONS)
+        self._m_stalls = registry.counter(metric_names.SERVER_BACKPRESSURE_STALLS)
+        self._m_active_connections = registry.gauge(
+            metric_names.SERVER_ACTIVE_CONNECTIONS
+        )
+        self._m_active_streams = registry.gauge(metric_names.SERVER_ACTIVE_STREAMS)
+        self._m_queue_depth = registry.gauge(metric_names.SERVER_QUEUE_DEPTH)
+        self._m_batch_size = registry.histogram(metric_names.SERVER_BATCH_SIZE)
+        self._m_request_seconds = registry.histogram(metric_names.REQUEST_SECONDS)
+        self._m_slow_queries = registry.counter(metric_names.SLOW_QUERIES)
+        self._m_stage_parse = registry.histogram(
+            metric_names.STAGE_SECONDS, labels={"stage": metric_names.STAGE_PARSE}
+        )
+        self._m_stage_coalesce = registry.histogram(
+            metric_names.STAGE_SECONDS,
+            labels={"stage": metric_names.STAGE_COALESCE_WAIT},
+        )
+
+    def _count_request(self, op: Any) -> None:
+        obs.metrics().counter(
+            metric_names.SERVER_REQUESTS, labels={"op": _op_label(op)}
+        ).inc()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -485,6 +580,7 @@ class AsyncWitnessServer:
             return
         conn.closed = True
         self.connections.discard(conn)
+        self._m_active_connections.set(len(self.connections))
         for _, task in list(conn.streams.values()):
             task.cancel()
         conn.streams.clear()
@@ -509,9 +605,13 @@ class AsyncWitnessServer:
                 else f"too many connections (max {self.max_connections})"
             )
             await self._send(conn, _error_response(None, ConnectionError(reason)))
+            self._m_dropped.inc()
             await self._close_connection(conn)
             return
         self.connections.add(conn)
+        self._m_connections.inc()
+        self._m_active_connections.set(len(self.connections))
+        saw_request = False
         try:
             while not conn.closed and not self.shutting_down:
                 try:
@@ -519,6 +619,7 @@ class AsyncWitnessServer:
                 except (asyncio.LimitOverrunError, ValueError):
                     # Oversized line: one JSON error, then close — the
                     # frame boundary is lost, resyncing is impossible.
+                    self._m_malformed.inc()
                     await self._send(
                         conn,
                         _error_response(
@@ -535,12 +636,24 @@ class AsyncWitnessServer:
                     break  # EOF
                 if not line.strip():
                     continue
+                if not saw_request and line.startswith(b"GET "):
+                    # A Prometheus scrape (plain HTTP GET) on the same
+                    # port: answer the text exposition and close — no
+                    # JSON framing was established yet, so nothing on
+                    # this connection is lost.
+                    await self._serve_metrics_http(reader, conn)
+                    break
+                saw_request = True
+                parse_started = time.perf_counter()
                 try:
                     request = _parse_line(line)
                 except ValueError as error:
+                    self._m_malformed.inc()
                     await self._send(conn, _error_response(None, error))
                     continue
+                parse_seconds = time.perf_counter() - parse_started
                 op = request.get("op")
+                self._count_request(op)
                 if op == "shutdown":
                     await self._send(
                         conn, {"id": request.get("id"), "ok": True, "result": "bye"}
@@ -553,11 +666,50 @@ class AsyncWitnessServer:
                 if op == "enumerate" and request.get("stream"):
                     await self._start_stream(request, conn)
                     continue
-                await self._enqueue(request, conn)
+                await self._enqueue(request, conn, parse_seconds=parse_seconds)
         finally:
             # Marks the connection closed, which cancels its queued
             # requests, and stops its stream tasks.
             await self._close_connection(conn)
+
+    async def _serve_metrics_http(
+        self, reader: asyncio.StreamReader, conn: _Connection
+    ) -> None:
+        """Answer a plain HTTP ``GET`` on the JSON-lines port with the
+        Prometheus text exposition (pool-wide merged registry).
+
+        Scrapers speak one request per connection here: the headers are
+        drained, the body written, and the connection closed — the JSON
+        protocol is never entered.
+        """
+        try:
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=1.0)
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+        except (asyncio.TimeoutError, OSError, ConnectionError):
+            return
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(None, self._metrics_exposition)
+        encoded = body.encode("utf-8")
+        head = (
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+            f"Content-Length: {len(encoded)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            await asyncio.wait_for(
+                conn.write(head + encoded), timeout=self.write_timeout
+            )
+        except (asyncio.TimeoutError, OSError, ConnectionError):
+            pass
+
+    def _metrics_exposition(self) -> str:
+        """Executor target: gather pool-wide metrics, render Prometheus."""
+        stats = _aggregate_server_stats(self.engine)
+        return obs.render_prometheus(stats["metrics"])
 
     def _deadline_for(self, request: dict[str, Any]) -> float | None:
         timeout = self.request_timeout
@@ -573,10 +725,21 @@ class AsyncWitnessServer:
         request: dict[str, Any],
         conn: _Connection,
         future: asyncio.Future[dict[str, Any] | None] | None = None,
+        parse_seconds: float = 0.0,
     ) -> None:
         queue = self._queue
         assert queue is not None  # run() builds the queue before any reader starts
-        await queue.put(_Pending(request, conn, self._deadline_for(request), future))
+        await queue.put(
+            _Pending(
+                request,
+                conn,
+                self._deadline_for(request),
+                future,
+                received=asyncio.get_running_loop().time(),
+                parse_seconds=parse_seconds,
+            )
+        )
+        self._m_queue_depth.set(queue.qsize())
 
     async def _send(self, conn: _Connection, response: dict[str, Any]) -> None:
         """Write one response line with backpressure; a write stalled
@@ -588,7 +751,14 @@ class AsyncWitnessServer:
             await asyncio.wait_for(
                 conn.write(encode_response(response)), timeout=self.write_timeout
             )
-        except (asyncio.TimeoutError, OSError, ConnectionError):
+        except asyncio.TimeoutError:
+            # The client stopped reading: a backpressure stall that
+            # exhausted its budget costs it the connection.
+            self._m_stalls.inc()
+            self._m_dropped.inc()
+            await self._close_connection(conn)
+        except (OSError, ConnectionError):
+            self._m_dropped.inc()
             await self._close_connection(conn)
 
     # ------------------------------------------------------------------
@@ -626,7 +796,13 @@ class AsyncWitnessServer:
         # client called by that name.
         key = next(self._stream_keys)
         conn.streams[key] = (stream_id, task)
-        task.add_done_callback(lambda _: conn.streams.pop(key, None))
+        self._m_active_streams.inc()
+
+        def _forget(_: asyncio.Task[None]) -> None:
+            conn.streams.pop(key, None)
+            self._m_active_streams.dec()
+
+        task.add_done_callback(_forget)
 
     async def _cancel_stream(self, request: dict[str, Any], conn: _Connection) -> None:
         """The ``cancel`` op: stop live streams by their request id."""
@@ -752,6 +928,8 @@ class AsyncWitnessServer:
                     )
                 except asyncio.TimeoutError:
                     break
+            self._m_batch_size.record(float(len(batch)))
+            self._m_queue_depth.set(queue.qsize())
             try:
                 await self._execute_batch(loop, batch)
             except asyncio.CancelledError:
@@ -831,6 +1009,9 @@ class AsyncWitnessServer:
         if live:
             requests = [pending.request for pending in live]
             self.batches += 1
+            exec_start = loop.time()
+            for pending in live:
+                pending.exec_start = exec_start
             responses = await loop.run_in_executor(None, self.engine.execute, requests)
             self.served += len(responses)
             self._dispatch(
@@ -839,15 +1020,22 @@ class AsyncWitnessServer:
         if stats_items:
             # Aggregated at the server so every worker's counters show up
             # (through engine.execute a stats op reaches one worker).
-            workers = await loop.run_in_executor(None, self.engine.stats)
+            per_worker = any(
+                pending.request.get("per_worker") for pending in stats_items
+            )
+            stats = await loop.run_in_executor(
+                None, _aggregate_server_stats, self.engine, per_worker
+            )
             self.served += len(stats_items)
             for pending in stats_items:
-                result = {
-                    "served": self.served,
-                    "batches": self.batches,
-                    "connections": len(self.connections),
-                    "workers": workers,
-                }
+                result = dict(
+                    stats,
+                    served=self.served,
+                    batches=self.batches,
+                    connections=len(self.connections),
+                )
+                if not pending.request.get("per_worker"):
+                    result.pop("workers", None)
                 sends.append(
                     self._resolve(
                         pending,
@@ -872,10 +1060,54 @@ class AsyncWitnessServer:
 
     async def _resolve(self, pending: _Pending, response: dict[str, Any]) -> None:
         if pending.future is not None:
+            # Internal page rounds of a stream: the front-door request is
+            # the stream itself, so pages don't count as requests here.
             if not pending.future.done():
                 pending.future.set_result(response)
             return
+        self._observe_response(pending, response)
         await self._send(pending.conn, response)
+
+    def _observe_response(
+        self, pending: _Pending, response: dict[str, Any]
+    ) -> None:
+        """Account one finished front-door request: latency histogram,
+        server-side stage timings, and the slow-query log."""
+        loop = asyncio.get_running_loop()
+        total = pending.parse_seconds + max(0.0, loop.time() - pending.received)
+        if obs.enabled():
+            self._m_request_seconds.record(total)
+            if pending.parse_seconds > 0:
+                self._m_stage_parse.record(pending.parse_seconds)
+            coalesce_wait = (
+                max(0.0, pending.exec_start - pending.received)
+                if pending.exec_start is not None
+                else None
+            )
+            if coalesce_wait is not None:
+                self._m_stage_coalesce.record(coalesce_wait)
+            if pending.request.get("trace"):
+                timing = response.setdefault("timing", {})
+                if isinstance(timing, dict):
+                    timing[metric_names.STAGE_PARSE] = pending.parse_seconds
+                    if coalesce_wait is not None:
+                        timing[metric_names.STAGE_COALESCE_WAIT] = coalesce_wait
+        log = self.slow_query_log
+        if log is not None and log.should_record(total):
+            self._m_slow_queries.inc()
+            event = {
+                "ts": time.time(),
+                "id": pending.request.get("id"),
+                "op": pending.request.get("op"),
+                "ok": response.get("ok"),
+                "total_seconds": total,
+                "timing": response.get("timing"),
+            }
+            # File appends never run on the event loop; fire-and-forget
+            # on the default executor (failures are swallowed — a broken
+            # slow log must not break serving).
+            writer = loop.run_in_executor(None, log.record, event)
+            writer.add_done_callback(_swallow_exception)
 
 
 def serve_tcp(
@@ -889,6 +1121,7 @@ def serve_tcp(
     request_timeout: float | None = None,
     max_connections: int = DEFAULT_MAX_CONNECTIONS,
     write_timeout: float = DEFAULT_WRITE_TIMEOUT,
+    slow_query_log: obs.SlowQueryLog | None = None,
 ) -> int:
     """Serve JSON-lines over TCP until a client sends ``shutdown``.
 
@@ -908,6 +1141,7 @@ def serve_tcp(
         request_timeout=request_timeout,
         max_connections=max_connections,
         write_timeout=write_timeout,
+        slow_query_log=slow_query_log,
     )
     return asyncio.run(server.run(host, port, ready_callback))
 

@@ -29,10 +29,12 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.obs import add_stage, metrics
+from repro.obs import names as metric_names
 from repro.service.snapshot import (
     SnapshotError,
     kernel_from_bytes,
@@ -52,17 +54,106 @@ STORE_ENV = "REPRO_KERNEL_STORE"
 _SUFFIX = ".kern"
 
 
-@dataclass
 class StoreStats:
-    """Counters for one :class:`KernelStore` instance."""
+    """Counters for one :class:`KernelStore` instance.
 
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    evictions: int = 0
-    corrupt: int = 0
-    skipped: int = 0
-    extra: dict[str, Any] = field(default_factory=dict)
+    Re-based onto :mod:`repro.obs`: the per-instance fields stay exact
+    plain integers (they are functional state — tests and callers read
+    them regardless of the ``REPRO_OBS`` switch), and every increment is
+    mirrored into the process metrics registry
+    (``repro_store_*_total``), where the exposition layer aggregates
+    them across stores and worker processes.  :meth:`as_dict` is the
+    same view it always was.
+    """
+
+    __slots__ = ("_hits", "_misses", "_stores", "_evictions", "_corrupt",
+                 "_skipped", "extra")
+
+    _SERIES = {
+        "hits": metric_names.STORE_HITS,
+        "misses": metric_names.STORE_MISSES,
+        "stores": metric_names.STORE_STORES,
+        "evictions": metric_names.STORE_EVICTIONS,
+        "corrupt": metric_names.STORE_CORRUPT,
+        "skipped": metric_names.STORE_SKIPPED,
+    }
+
+    def __init__(
+        self,
+        hits: int = 0,
+        misses: int = 0,
+        stores: int = 0,
+        evictions: int = 0,
+        corrupt: int = 0,
+        skipped: int = 0,
+        extra: dict[str, Any] | None = None,
+    ) -> None:
+        self._hits = hits
+        self._misses = misses
+        self._stores = stores
+        self._evictions = evictions
+        self._corrupt = corrupt
+        self._skipped = skipped
+        self.extra: dict[str, Any] = dict(extra) if extra else {}
+
+    @staticmethod
+    def _mirror(series: str, delta: int) -> None:
+        if delta > 0:
+            metrics().counter(series).inc(delta)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._mirror(self._SERIES["hits"], value - self._hits)
+        self._hits = value
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._mirror(self._SERIES["misses"], value - self._misses)
+        self._misses = value
+
+    @property
+    def stores(self) -> int:
+        return self._stores
+
+    @stores.setter
+    def stores(self, value: int) -> None:
+        self._mirror(self._SERIES["stores"], value - self._stores)
+        self._stores = value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._mirror(self._SERIES["evictions"], value - self._evictions)
+        self._evictions = value
+
+    @property
+    def corrupt(self) -> int:
+        return self._corrupt
+
+    @corrupt.setter
+    def corrupt(self, value: int) -> None:
+        self._mirror(self._SERIES["corrupt"], value - self._corrupt)
+        self._corrupt = value
+
+    @property
+    def skipped(self) -> int:
+        return self._skipped
+
+    @skipped.setter
+    def skipped(self, value: int) -> None:
+        self._mirror(self._SERIES["skipped"], value - self._skipped)
+        self._skipped = value
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -73,6 +164,9 @@ class StoreStats:
             "corrupt": self.corrupt,
             "skipped": self.skipped,
         }
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"StoreStats({self.as_dict()!r}, extra={self.extra!r})"
 
 
 class KernelStore:
@@ -141,6 +235,21 @@ class KernelStore:
         A hit bumps the entry's mtime (the LRU clock).  A corrupt entry
         is deleted so the subsequent :meth:`put` heals the store.
         """
+        started = time.perf_counter()
+        try:
+            return self._get(fingerprint, n, trimmed, source_resolver)
+        finally:
+            elapsed = time.perf_counter() - started
+            add_stage(metric_names.STAGE_STORE_FETCH, elapsed)
+            metrics().histogram(metric_names.STORE_GET_SECONDS).record(elapsed)
+
+    def _get(
+        self,
+        fingerprint: str,
+        n: int,
+        trimmed: bool,
+        source_resolver: Callable[[], AutomatonSource] | None = None,
+    ) -> CompiledDAG | None:
         path = self.path_for(fingerprint, n, trimmed)
         try:
             if self.mmap:
@@ -149,6 +258,7 @@ class KernelStore:
                 if kernel._borrow_owner is not None:
                     count = self.stats.extra.get("mmap_hits", 0)
                     self.stats.extra["mmap_hits"] = count + 1
+                    metrics().counter(metric_names.STORE_MMAP_HITS).inc()
                 self.stats.hits += 1
                 try:
                     os.utime(path)

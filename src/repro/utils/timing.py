@@ -26,7 +26,9 @@ class DelayRecorder:
         words = rec.drain(enumerate_words(nfa, n))
         print(rec.max_delay, rec.mean_delay)
 
-    Delays are wall-clock seconds.  ``delays[0]`` is the time from calling
+    Delays are measured with the monotonic ``time.perf_counter`` clock
+    (in seconds), so system clock adjustments never distort a
+    constant-delay measurement.  ``delays[0]`` is the time from calling
     :meth:`drain` to the first output (the paper allows this to be the
     whole preprocessing when the enumeration is two-phase; our enumerators
     do preprocessing before returning the iterator, so ``delays[0]`` is a

@@ -22,6 +22,7 @@ from repro.analysis.rules import (
     BareExceptRule,
     ExportConsistencyRule,
     Int64OverflowRule,
+    MetricsDisciplineRule,
     NondeterminismRule,
     ProtocolExhaustiveRule,
     SwallowedCancelRule,
@@ -56,6 +57,7 @@ def test_default_rules_registered():
     assert set(ids) >= {
         "accel-isolation",
         "async-blocking",
+        "metrics-discipline",
         "nondeterminism",
         "int64-overflow",
         "protocol-exhaustive",
@@ -169,6 +171,67 @@ def test_async_blocking_flags_engine_and_store_calls(tmp_path):
     result = lint_snippet(tmp_path, "srv.py", source, AsyncBlockingRule())
     assert len(result.findings) == 2
     assert rules_hit(result) == {"async-blocking"}
+
+
+# ----------------------------------------------------------------------
+# metrics-discipline
+# ----------------------------------------------------------------------
+
+METRICS_DISCIPLINE_BAD = """\
+from repro import obs
+
+
+def serve_one(registry):
+    registry.counter("repro_requests_total").inc()
+    registry.histogram("repro_request_seconds").record(0.1)
+
+
+async def resolve(self, pending, response):
+    self.slow_query_log.record({"id": 1})
+"""
+
+METRICS_DISCIPLINE_CLEAN = """\
+from repro import obs
+from repro.obs import names as metric_names
+
+
+def serve_one(registry):
+    registry.counter(metric_names.SERVER_REQUESTS).inc()
+    registry.histogram(metric_names.REQUEST_SECONDS).record(0.1)
+
+
+async def resolve(self, pending, response, loop):
+    # A bound-method *reference* handed to the executor, never a call.
+    loop.run_in_executor(None, self.slow_query_log.record, {"id": 1})
+"""
+
+
+def test_metrics_discipline_flags_inline_names_and_async_log_writes(tmp_path):
+    result = lint_snippet(
+        tmp_path, "srv.py", METRICS_DISCIPLINE_BAD, MetricsDisciplineRule()
+    )
+    assert rules_hit(result) == {"metrics-discipline"}
+    messages = " ".join(f.message for f in result.findings)
+    assert "repro_requests_total" in messages
+    assert "repro_request_seconds" in messages
+    assert "slow-log" in messages
+    assert len(result.findings) == 3
+
+
+def test_metrics_discipline_clean_constants_and_executor(tmp_path):
+    result = lint_snippet(
+        tmp_path, "srv.py", METRICS_DISCIPLINE_CLEAN, MetricsDisciplineRule()
+    )
+    assert result.ok, [f.render() for f in result.findings]
+
+
+def test_metrics_discipline_exempts_obs_package(tmp_path):
+    source = 'metrics().counter("repro_internal_total").inc()\n'
+    path = tmp_path / "repro" / "obs" / "registry.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    result = run_lint([path], rules=[MetricsDisciplineRule()])
+    assert result.ok, [f.render() for f in result.findings]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,508 @@
+"""The observability layer: registry, tracing, exposition, slow log.
+
+Covers the PR's acceptance checklist:
+
+* histogram percentile estimates against exact quantiles;
+* snapshot merging is associative (pool-wide aggregation is
+  order-independent);
+* trace propagation — a ``"trace": true`` request returns non-negative
+  per-stage seconds whether executed in-process or across a pool;
+* a golden test for the Prometheus text exposition;
+* slow-query threshold behavior, including the server's JSONL sink;
+* the classic ``StoreStats.as_dict()`` / ``WitnessSetCache.stats()``
+  views stay intact on top of the registry re-base.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+import socket
+
+import pytest
+
+from repro import obs
+from repro.obs import names as metric_names
+
+SPEC = {"kind": "regex", "pattern": "(ab|ba)*", "alphabet": "ab", "n": 12}
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    """Each test sees its own registry with recording enabled."""
+    obs.set_enabled(True)
+    obs.reset_metrics()
+    yield
+    obs.set_enabled(True)
+    obs.reset_metrics()
+
+
+# ----------------------------------------------------------------------
+# Registry basics
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_gauge_roundtrip(self):
+        registry = obs.metrics()
+        registry.counter("c_total").inc()
+        registry.counter("c_total").inc(4)
+        registry.gauge("g").set(7)
+        registry.gauge("g").dec(2)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["c_total"] == 5
+        assert snapshot["gauges"]["g"] == 5
+
+    def test_labels_make_distinct_series(self):
+        registry = obs.metrics()
+        registry.counter("ops_total", labels={"op": "sample"}).inc()
+        registry.counter("ops_total", labels={"op": "count"}).inc(2)
+        counters = registry.snapshot()["counters"]
+        assert counters['ops_total{op="sample"}'] == 1
+        assert counters['ops_total{op="count"}'] == 2
+
+    def test_series_key_sorts_labels(self):
+        assert (
+            obs.series_key("m", {"b": "2", "a": "1"})
+            == 'm{a="1",b="2"}'
+        )
+
+    def test_kind_mismatch_raises(self):
+        registry = obs.metrics()
+        registry.counter("thing")
+        with pytest.raises(ValueError):
+            registry.gauge("thing")
+
+    def test_kill_switch_stops_recording(self):
+        registry = obs.metrics()
+        counter = registry.counter("gated_total")
+        histogram = registry.histogram("gated_seconds")
+        obs.set_enabled(False)
+        counter.inc()
+        histogram.record(1.0)
+        assert counter.value == 0
+        assert histogram.count == 0
+        obs.set_enabled(True)
+        counter.inc()
+        assert counter.value == 1
+
+    def test_always_counter_ignores_kill_switch(self):
+        counter = obs.Counter(always=True)
+        obs.set_enabled(False)
+        counter.inc(3)
+        assert counter.value == 3
+
+
+# ----------------------------------------------------------------------
+# Histogram percentiles vs exact quantiles
+# ----------------------------------------------------------------------
+
+
+class TestHistogramAccuracy:
+    def test_percentiles_match_exact_quantiles(self):
+        rng = random.Random(20190621)
+        samples = [rng.lognormvariate(-4.0, 1.2) for _ in range(5000)]
+        histogram = obs.Histogram()
+        for value in samples:
+            histogram.record(value)
+        ordered = sorted(samples)
+        for quantile in (0.50, 0.95, 0.99):
+            exact = ordered[min(len(ordered) - 1, int(quantile * len(ordered)))]
+            estimate = histogram.percentile(quantile)
+            # Log buckets at 4/doubling bound the relative error at the
+            # ~19% bucket width; interpolation does much better in
+            # practice.
+            assert estimate == pytest.approx(exact, rel=0.2)
+
+    def test_exact_count_sum_max(self):
+        histogram = obs.Histogram()
+        for value in (0.5, 1.5, 2.5):
+            histogram.record(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(4.5)
+        assert histogram.max == 2.5
+
+    def test_zero_and_negative_land_in_zero_bucket(self):
+        histogram = obs.Histogram()
+        histogram.record(0.0)
+        histogram.record(-1.0)
+        assert histogram.count == 2
+        assert histogram.percentile(0.5) == 0.0
+
+    def test_percentile_clamped_to_max(self):
+        histogram = obs.Histogram()
+        histogram.record(1.0)
+        assert histogram.percentile(0.99) <= histogram.max
+
+
+# ----------------------------------------------------------------------
+# Merge associativity
+# ----------------------------------------------------------------------
+
+
+def _snapshot_with(counter: float, histogram_values: list[float]) -> dict:
+    registry = obs.MetricsRegistry()
+    registry.counter("c_total").inc(counter)
+    registry.gauge("depth").inc(counter)
+    hist = registry.histogram("h_seconds")
+    for value in histogram_values:
+        hist.record(value)
+    return registry.snapshot()
+
+
+class TestMerge:
+    def test_merge_is_associative(self):
+        a = _snapshot_with(1, [0.001, 0.01])
+        b = _snapshot_with(2, [0.1])
+        c = _snapshot_with(4, [1.0, 10.0, 0.5])
+        left = obs.merge_snapshots([obs.merge_snapshots([a, b]), c])
+        right = obs.merge_snapshots([a, obs.merge_snapshots([b, c])])
+        # Histogram sums are float additions, associative only up to
+        # rounding; everything else must match exactly.
+        left_sum = left["histograms"]["h_seconds"].pop("sum")
+        right_sum = right["histograms"]["h_seconds"].pop("sum")
+        assert left == right
+        assert left_sum == pytest.approx(right_sum)
+        assert left["counters"]["c_total"] == 7
+        assert left["gauges"]["depth"] == 7
+        assert left["histograms"]["h_seconds"]["count"] == 6
+
+    def test_merged_percentiles_equal_union(self):
+        values_a = [0.002, 0.004, 0.008]
+        values_b = [0.5, 1.0]
+        merged = obs.merge_snapshots(
+            [_snapshot_with(0, values_a), _snapshot_with(0, values_b)]
+        )
+        union = obs.Histogram()
+        for value in values_a + values_b:
+            union.record(value)
+        restored = obs.Histogram.from_dict(merged["histograms"]["h_seconds"])
+        for quantile in (0.5, 0.95):
+            assert restored.percentile(quantile) == pytest.approx(
+                union.percentile(quantile)
+            )
+
+    def test_empty_snapshots_are_ignored(self):
+        merged = obs.merge_snapshots([{}, _snapshot_with(3, []), {}])
+        assert merged["counters"]["c_total"] == 3
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+
+
+class TestTracing:
+    def test_span_stages_accumulate(self):
+        with obs.request_span() as span:
+            span.add("execution", 0.25)
+            span.add("execution", 0.25)
+            with span.stage("serialization"):
+                pass
+        stages = span.as_dict()
+        assert stages["execution"] == pytest.approx(0.5)
+        assert stages["serialization"] >= 0.0
+
+    def test_negative_seconds_are_clamped(self):
+        with obs.request_span() as span:
+            span.add("queue_wait", -1.0)
+        assert span.as_dict()["queue_wait"] == 0.0
+
+    def test_null_span_when_disabled(self):
+        obs.set_enabled(False)
+        with obs.request_span() as span:
+            span.add("execution", 1.0)
+        assert span is obs.NULL_SPAN
+        assert span.as_dict() == {}
+
+    def test_add_stage_outside_span_feeds_histogram(self):
+        obs.add_stage(metric_names.STAGE_LOWERING, 0.125)
+        key = obs.series_key(
+            metric_names.STAGE_SECONDS,
+            {"stage": metric_names.STAGE_LOWERING},
+        )
+        assert obs.metrics().snapshot()["histograms"][key]["count"] == 1
+
+    @pytest.mark.parametrize("workers", [0, 1, 4])
+    def test_trace_propagates_across_workers(self, workers):
+        from repro.service.engine import Engine
+
+        with Engine(workers=workers, store_root=False) as engine:
+            responses = engine.execute(
+                [
+                    {
+                        "id": index,
+                        "op": "sample",
+                        "spec": SPEC,
+                        "seed": index,
+                        "k": 2,
+                        "trace": True,
+                    }
+                    for index in range(3)
+                ]
+            )
+        assert len(responses) == 3
+        for response in responses:
+            assert response["ok"], response
+            timing = response.get("timing")
+            assert timing, "trace: true must attach a timing breakdown"
+            assert set(timing) <= set(metric_names.STAGES)
+            assert all(seconds >= 0.0 for seconds in timing.values())
+            assert metric_names.STAGE_EXECUTION in timing
+            assert metric_names.STAGE_QUEUE_WAIT in timing
+
+    def test_untraced_requests_carry_no_timing(self):
+        from repro.service.engine import Engine
+
+        with Engine(workers=0, store_root=False) as engine:
+            (response,) = engine.execute(
+                [{"id": 1, "op": "count", "spec": SPEC}]
+            )
+        assert response["ok"]
+        assert "timing" not in response
+
+
+# ----------------------------------------------------------------------
+# Exposition
+# ----------------------------------------------------------------------
+
+
+GOLDEN_SNAPSHOT = {
+    "counters": {'repro_requests_total{op="sample"}': 3},
+    "gauges": {"repro_server_queue_depth": 2},
+    "histograms": {
+        "repro_request_seconds": {
+            "count": 2,
+            "sum": 3.0,
+            "max": 2.0,
+            "buckets": {"0": 2},
+        }
+    },
+}
+
+GOLDEN_PROMETHEUS = (
+    "# TYPE repro_requests_total counter\n"
+    'repro_requests_total{op="sample"} 3\n'
+    "# TYPE repro_server_queue_depth gauge\n"
+    "repro_server_queue_depth 2\n"
+    "# TYPE repro_request_seconds summary\n"
+    'repro_request_seconds{quantile="0.5"} 0.9204482076268572\n'
+    'repro_request_seconds{quantile="0.95"} 0.9920448207626857\n'
+    'repro_request_seconds{quantile="0.99"} 0.9984089641525371\n'
+    "repro_request_seconds_sum 3.0\n"
+    "repro_request_seconds_count 2\n"
+    "repro_request_seconds_max 2.0\n"
+)
+
+
+class TestExposition:
+    def test_prometheus_golden(self):
+        assert obs.render_prometheus(GOLDEN_SNAPSHOT) == GOLDEN_PROMETHEUS
+
+    def test_render_text_units(self):
+        text = obs.render_text(GOLDEN_SNAPSHOT)
+        assert 'repro_requests_total{op="sample"}' in text
+        assert "p95=0.992045s" in text  # latency histograms carry seconds
+        assert obs.render_text({}) == "(no metrics recorded)\n"
+
+    def test_every_declared_name_is_prometheus_safe(self):
+        for attribute in metric_names.__all__:
+            value = getattr(metric_names, attribute)
+            if attribute.startswith("STAGE") or attribute == "STAGES":
+                continue
+            assert isinstance(value, str)
+            assert value.startswith("repro_"), value
+            assert " " not in value and "{" not in value
+
+
+# ----------------------------------------------------------------------
+# Slow-query log
+# ----------------------------------------------------------------------
+
+
+class TestSlowLog:
+    def test_threshold(self, tmp_path):
+        log = obs.SlowQueryLog(str(tmp_path / "slow.jsonl"), threshold_seconds=0.5)
+        assert not log.maybe_record(0.4, {"id": 1})
+        assert log.maybe_record(0.6, {"id": 2, "op": "sample"})
+        lines = (tmp_path / "slow.jsonl").read_text().splitlines()
+        assert len(lines) == 1
+        event = json.loads(lines[0])
+        assert event["id"] == 2 and event["op"] == "sample"
+
+    def test_from_env(self, tmp_path):
+        path = str(tmp_path / "slow.jsonl")
+        log = obs.slow_log_from_env(
+            {"REPRO_SLOW_QUERY_LOG": path, "REPRO_SLOW_QUERY_MS": "250"}
+        )
+        assert log is not None
+        assert log.threshold_seconds == pytest.approx(0.25)
+        assert obs.slow_log_from_env({}) is None
+
+    def test_server_writes_slow_events(self, tmp_path):
+        from repro.service.client import ServiceClient
+        from repro.service.engine import Engine
+        from repro.service.server import start_tcp_server_thread
+
+        path = tmp_path / "slow.jsonl"
+        engine = Engine(workers=0, store_root=False)
+        thread, (host, port) = start_tcp_server_thread(
+            engine,
+            slow_query_log=obs.SlowQueryLog(str(path), threshold_seconds=0.0),
+        )
+        try:
+            with ServiceClient(host, port) as client:
+                client.result("sample", SPEC, seed=1, k=2, trace=True)
+        finally:
+            with ServiceClient(host, port) as client:
+                client.request("shutdown")
+            thread.join(timeout=10)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events, "threshold 0 records every request"
+        sample = next(e for e in events if e.get("op") == "sample")
+        assert sample["total_seconds"] >= 0.0
+        assert metric_names.STAGE_EXECUTION in (sample.get("timing") or {})
+
+
+# ----------------------------------------------------------------------
+# Classic stats views stay intact on the registry re-base
+# ----------------------------------------------------------------------
+
+
+class TestBackCompatViews:
+    def test_store_stats_as_dict(self):
+        from repro.service.store import StoreStats
+
+        stats = StoreStats()
+        stats.hits += 2
+        stats.misses += 1
+        stats.extra["mmap_hits"] = 1
+        view = stats.as_dict()
+        assert view["hits"] == 2 and view["misses"] == 1
+        assert set(view) == {
+            "hits", "misses", "stores", "evictions", "corrupt", "skipped"
+        }
+        assert stats.extra["mmap_hits"] == 1
+        # The registry mirrored the functional counters.
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters[metric_names.STORE_HITS] == 2
+        assert counters[metric_names.STORE_MISSES] == 1
+
+    def test_witness_set_cache_stats(self):
+        from repro.service.protocol import WitnessSetCache, spec_key
+
+        cache = WitnessSetCache(max_resident=4)
+        cache.get(spec_key(SPEC), SPEC)
+        cache.get(spec_key(SPEC), SPEC)
+        view = cache.stats()
+        assert view["hits"] == 1 and view["misses"] == 1
+        assert view["resident"] == 1
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters[metric_names.CACHE_HITS] == 1
+        assert counters[metric_names.CACHE_MISSES] == 1
+
+    def test_store_stats_exact_under_kill_switch(self):
+        from repro.service.store import StoreStats
+
+        obs.set_enabled(False)
+        stats = StoreStats()
+        stats.hits += 3
+        assert stats.as_dict()["hits"] == 3  # the functional view is exact
+        obs.set_enabled(True)
+
+
+# ----------------------------------------------------------------------
+# The serving surfaces: stats op, metrics endpoint, CLI
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def live_server():
+    from repro.service.engine import Engine
+    from repro.service.server import start_tcp_server_thread
+
+    engine = Engine(workers=2, store_root=False)
+    thread, (host, port) = start_tcp_server_thread(engine)
+    yield host, port
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(host, port) as client:
+        client.request("shutdown")
+    thread.join(timeout=10)
+    engine.close()
+
+
+class TestServingSurfaces:
+    def test_stats_op_aggregates_pool(self, live_server):
+        from repro.service.client import ServiceClient
+
+        host, port = live_server
+        with ServiceClient(host, port) as client:
+            for index in range(4):
+                client.result("sample", SPEC, seed=index, k=2)
+            stats = client.result("stats")
+            detailed = client.result("stats", per_worker=True)
+        assert stats["served"] >= 4
+        assert stats["engine"]["workers"] == 2
+        counters = stats["metrics"]["counters"]
+        sample_series = obs.series_key(
+            metric_names.PROTOCOL_REQUESTS, {"op": "sample"}
+        )
+        assert counters[sample_series] == 4
+        assert any(
+            key.startswith(metric_names.REQUEST_SECONDS)
+            for key in stats["metrics"]["histograms"]
+        )
+        assert len(detailed["workers"]) == 2
+
+    def test_metrics_endpoint_scrapes(self, live_server):
+        from repro.service.client import ServiceClient
+
+        host, port = live_server
+        with ServiceClient(host, port) as client:
+            client.result("sample", SPEC, seed=9, k=1)
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+            payload = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                payload += chunk
+        head, _, body = payload.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.0 200 OK")
+        assert b"text/plain; version=0.0.4" in head
+        text = body.decode("utf-8")
+        assert "# TYPE repro_server_requests_total counter" in text
+        assert 'repro_request_seconds{quantile="0.95"}' in text
+
+    def test_stats_cli_renders(self, live_server, capsys):
+        from repro.cli import main
+
+        host, port = live_server
+        assert main(["stats", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert "repro_server_requests_total" in out
+        assert main(
+            ["stats", "--host", host, "--port", str(port), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" in payload and "engine" in payload
+
+
+# ----------------------------------------------------------------------
+# Bucket math sanity (implementation invariants the merge relies on)
+# ----------------------------------------------------------------------
+
+
+def test_bucket_width_bounds_percentile_error():
+    """One bucket spans a factor of 2**0.25 ≈ 1.19, so any in-bucket
+    estimate is within ~19% of any sample in that bucket."""
+    histogram = obs.Histogram()
+    value = 0.0123
+    histogram.record(value)
+    estimate = histogram.percentile(0.5)
+    assert estimate <= value
+    assert estimate >= value / math.pow(2, 1 / 4)

@@ -543,8 +543,11 @@ class TestEngine:
             # Affinity: repeating the batch lands specs on the same
             # workers, so every kernel is already resident.
             pool.execute(requests)
-            stats = pool.stats()
-        assert sum(entry["hits"] for entry in stats) > 0
+            aggregated = pool.stats()
+            per_worker = pool.stats(per_worker=True)
+        assert aggregated["hits"] > 0
+        assert aggregated["hits"] == sum(entry["hits"] for entry in per_worker)
+        assert aggregated["workers"] == 2 and aggregated["alive"] == 2
 
     def test_affinity_routing_is_deterministic(self):
         with Engine(workers=4) as engine:
@@ -595,6 +598,18 @@ class TestEngine:
         # dead worker's route, in which case it also fails fast).
         if engine.route(spec_key(SPEC2)) != victim:
             assert by_id[2]["ok"] and by_id[2]["result"] == 26
+
+    def test_dead_worker_restarts_for_next_batch(self):
+        with Engine(workers=2) as engine:
+            victim = engine.route(spec_key(SPEC))
+            engine._processes[victim].terminate()
+            engine._processes[victim].join(timeout=5)
+            first = engine.execute([{"id": 1, "op": "count", "spec": SPEC}])
+            assert not first[0]["ok"]  # in-flight batch still fails fast
+            # Failing the batch respawned the worker: the same spec
+            # routes to the live replacement and answers again.
+            second = engine.execute([{"id": 2, "op": "count", "spec": SPEC}])
+            assert second[0]["ok"] and second[0]["result"] == 32
 
     def test_invalid_k_never_steals_sibling_witnesses(self):
         good = {"id": 2, "op": "sample", "spec": SPEC, "k": 2, "seed": 5}
@@ -869,9 +884,14 @@ class TestServeTcp:
         with ServiceClient(host, port) as client:
             assert client.result("ping") == "pong"
             stats = client.result("stats")
-        # Server-level stats aggregate every worker's counters.
+            detailed = client.result("stats", per_worker=True)
+        # Server-level stats aggregate every worker's counters plus the
+        # pool-wide merged metrics snapshot.
         assert "served" in stats
-        assert all("resident" in worker for worker in stats["workers"])
+        assert "workers" not in stats  # per-worker list is opt-in
+        assert stats["engine"]["workers"] >= 1
+        assert "counters" in stats["metrics"]
+        assert all("resident" in worker for worker in detailed["workers"])
 
     def test_malformed_line_gets_error_response(self, tcp_server):
         import socket as socket_module
