@@ -315,6 +315,34 @@ def _spec_from_args(args) -> dict:
     raise SystemExit("one of --regex, --nfa-json, --dnf, --cfg or --rpq is required")
 
 
+def _resolve_slow_query_log(path_arg, ms_arg):
+    """Build the serve command's slow-query log from flags + environment.
+
+    ``--slow-query-log`` names the file; ``--slow-query-ms`` sets the
+    threshold.  Either flag alone completes itself from the environment
+    (``$REPRO_SLOW_QUERY_LOG`` / ``$REPRO_SLOW_QUERY_MS``): in
+    particular ``--slow-query-ms`` without ``--slow-query-log`` adjusts
+    the env-configured log's threshold instead of being rejected.
+    """
+    if path_arg is None and ms_arg is None:
+        return None
+    from repro import obs
+
+    env_log = obs.slow_log_from_env()
+    path = path_arg if path_arg is not None else (
+        env_log.path if env_log is not None else None
+    )
+    if path is None:
+        raise SystemExit(
+            "--slow-query-ms requires --slow-query-log (or $REPRO_SLOW_QUERY_LOG)"
+        )
+    if ms_arg is not None:
+        return obs.SlowQueryLog(path, threshold_seconds=ms_arg / 1000.0)
+    if env_log is not None and path == env_log.path:
+        return env_log  # keeps the $REPRO_SLOW_QUERY_MS threshold
+    return obs.SlowQueryLog(path)
+
+
 def _command_serve(args) -> int:
     from repro.service.engine import Engine
     from repro.service.server import (
@@ -336,19 +364,7 @@ def _command_serve(args) -> int:
         if args.max_connections is not None
         else DEFAULT_MAX_CONNECTIONS
     )
-    slow_query_log = None
-    if args.slow_query_log is not None:
-        from repro import obs
-
-        if args.slow_query_ms is not None:
-            slow_query_log = obs.SlowQueryLog(
-                args.slow_query_log,
-                threshold_seconds=args.slow_query_ms / 1000.0,
-            )
-        else:
-            slow_query_log = obs.SlowQueryLog(args.slow_query_log)
-    elif args.slow_query_ms is not None:
-        raise SystemExit("--slow-query-ms requires --slow-query-log")
+    slow_query_log = _resolve_slow_query_log(args.slow_query_log, args.slow_query_ms)
     try:
         if args.port is None:
             return serve_stdio(engine, batch_window=window, max_line=max_line)

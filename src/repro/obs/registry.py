@@ -34,7 +34,7 @@ from __future__ import annotations
 import math
 import os
 import threading
-from typing import Any, Iterable, Mapping, TypeVar, Union
+from typing import Any, Callable, Iterable, Mapping, TypeVar, Union
 
 OBS_ENV = "REPRO_OBS"
 
@@ -215,12 +215,27 @@ Metric = Union[Counter, Gauge, Histogram]
 _M = TypeVar("_M", Counter, Gauge, Histogram)
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: ``\\``, ``"`` and newlines."""
+
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def series_key(name: str, labels: Mapping[str, str] | None = None) -> str:
-    """Encode ``name`` + sorted labels as one Prometheus-style key."""
+    """Encode ``name`` + sorted labels as one Prometheus-style key.
+
+    Label values are escaped per the Prometheus exposition rules, so a
+    value carrying a quote or backslash can neither corrupt the rendered
+    text format nor confuse the key-splitting in ``exposition.py``.
+    """
 
     if not labels:
         return name
-    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    inner = ",".join(
+        f'{key}="{_escape_label_value(labels[key])}"' for key in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 
@@ -233,13 +248,18 @@ class MetricsRegistry:
         self._metrics: dict[str, Metric] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, key: str, kind: type[_M]) -> _M:
+    def _get_or_create(
+        self,
+        key: str,
+        kind: type[_M],
+        factory: Callable[[], _M] | None = None,
+    ) -> _M:
         metric = self._metrics.get(key)
         if metric is None:
             with self._lock:
                 metric = self._metrics.get(key)
                 if metric is None:
-                    metric = kind()
+                    metric = factory() if factory is not None else kind()
                     self._metrics[key] = metric
         if not isinstance(metric, kind):
             raise ValueError(
@@ -248,8 +268,22 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
-        return self._get_or_create(series_key(name, labels), Counter)
+    def counter(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        *,
+        always: bool = False,
+    ) -> Counter:
+        """The named counter; ``always=True`` opts it out of ``REPRO_OBS``.
+
+        The flag only matters at first registration (later lookups get
+        the existing metric unchanged), so every record site of an
+        always-on series should pass it.
+        """
+
+        factory = (lambda: Counter(always=True)) if always else None
+        return self._get_or_create(series_key(name, labels), Counter, factory)
 
     def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
         return self._get_or_create(series_key(name, labels), Gauge)

@@ -32,6 +32,7 @@ import itertools
 import multiprocessing
 import os
 import queue as queue_module
+import threading
 import time
 from collections import defaultdict
 from types import TracebackType
@@ -61,6 +62,11 @@ _Result: TypeAlias = "tuple[int, int, list[dict[str, Any]]]"
 #: How long Engine.execute waits on the result queue before checking
 #: worker liveness (seconds).
 _POLL_SECONDS = 0.25
+
+#: How long a stats broadcast waits for worker answers before falling
+#: back to cached/busy entries (seconds).  Short on purpose: a
+#: monitoring query must never pin its caller for long.
+_STATS_DEADLINE_SECONDS = 5.0
 
 
 def _worker_main(
@@ -138,6 +144,8 @@ class Engine:
     _results: MPQueue[_Result] | None
     _local_cache: WitnessSetCache | None
     _mp_context: BaseContext | None
+    _pool_lock: threading.Lock
+    _stats_cache: dict[int, dict[str, Any]]
 
     def __init__(
         self,
@@ -162,6 +170,16 @@ class Engine:
         self._results = None
         self._local_cache = None
         self._mp_context = None
+        # The shared result queue has exactly one legitimate consumer at
+        # a time: a batch execution and a stats broadcast racing on it
+        # would steal (and drop) each other's replies.  The lock makes
+        # Engine safe to monitor from any thread, whatever the caller's
+        # discipline.
+        self._pool_lock = threading.Lock()
+        #: Last answered stats entry per worker — the fallback a stats
+        #: query reports for a worker that is alive but too busy to
+        #: answer before the deadline.
+        self._stats_cache = {}
         if workers == 0:
             store = None
             if self.store_root is not None:
@@ -348,6 +366,12 @@ class Engine:
     def _execute_pooled(self, groups: list[list[dict[str, Any]]]) -> list[dict[str, Any]]:
         results = self._results
         assert results is not None  # always built when workers > 0
+        with self._pool_lock:
+            return self._drain_batch(groups, results)
+
+    def _drain_batch(
+        self, groups: list[list[dict[str, Any]]], results: MPQueue[_Result]
+    ) -> list[dict[str, Any]]:
         batch_id = next(self._batch_ids)
         pending: dict[int, tuple[int, list[dict[str, Any]]]] = {}
         for group_index, group in enumerate(groups):
@@ -415,6 +439,9 @@ class Engine:
             if self._processes[worker].is_alive():  # pragma: no cover - raced back
                 continue
             registry.counter(metric_names.ENGINE_WORKER_DEATHS).inc()
+            # The replacement starts cold: its predecessor's snapshot
+            # must not resurface as a "busy" stats fallback.
+            self._stats_cache.pop(worker, None)
             self._task_queues[worker] = context.Queue()
             self._spawn_worker(worker)
             registry.counter(metric_names.ENGINE_WORKER_RESTARTS).inc()
@@ -474,7 +501,10 @@ class Engine:
 
         Dead workers are reported as ``{"worker": i, "alive": False}``
         instead of hanging the caller — a monitoring query must never
-        take the server down.
+        take the server down.  A worker that is alive but too busy to
+        answer before the deadline is reported as ``alive`` and
+        ``busy`` (with its last answered snapshot, marked ``stale``,
+        when one exists) — never misdiagnosed as dead.
         """
         if self.workers == 0:
             cache = self._local_cache
@@ -482,38 +512,49 @@ class Engine:
             return [dict(cache.stats(), worker=0, alive=True)]
         results = self._results
         assert results is not None  # always built when workers > 0
-        batch_id = next(self._batch_ids)
-        out: list[dict[str, Any]] = []
-        expected: set[int] = set()
-        # Broadcast: one stats request directly to each live worker.
-        for worker in range(self.workers):
-            if not self._processes[worker].is_alive():
-                out.append({"worker": worker, "alive": False})
-                continue
-            self._task_queues[worker].put(
-                (batch_id, worker, [{"id": f"stats-{worker}", "op": "stats"}])
-            )
-            expected.add(worker)
-        deadline = time.monotonic() + 10.0
-        answered: set[int] = set()
-        while answered < expected and time.monotonic() < deadline:
-            try:
-                got_batch, worker, group_responses = results.get(
-                    timeout=_POLL_SECONDS
+        with self._pool_lock:
+            batch_id = next(self._batch_ids)
+            out: list[dict[str, Any]] = []
+            expected: set[int] = set()
+            # Broadcast: one stats request directly to each live worker.
+            for worker in range(self.workers):
+                if not self._processes[worker].is_alive():
+                    out.append({"worker": worker, "alive": False})
+                    continue
+                self._task_queues[worker].put(
+                    (batch_id, worker, [{"id": f"stats-{worker}", "op": "stats"}])
                 )
-            except queue_module.Empty:
-                for worker in expected - answered:
-                    if not self._processes[worker].is_alive():
-                        answered.add(worker)
-                        out.append({"worker": worker, "alive": False})
-                continue
-            if got_batch != batch_id:  # pragma: no cover - stale remnants
-                continue
-            response = group_responses[0]
-            answered.add(worker)
-            out.append(dict(response["result"], worker=worker, alive=True))
-        for worker in expected - answered:  # pragma: no cover - mid-query death
-            out.append({"worker": worker, "alive": False})
+                expected.add(worker)
+            deadline = time.monotonic() + _STATS_DEADLINE_SECONDS
+            answered: set[int] = set()
+            while answered < expected and time.monotonic() < deadline:
+                try:
+                    got_batch, worker, group_responses = results.get(
+                        timeout=_POLL_SECONDS
+                    )
+                except queue_module.Empty:
+                    for worker in expected - answered:
+                        if not self._processes[worker].is_alive():
+                            answered.add(worker)
+                            out.append({"worker": worker, "alive": False})
+                    continue
+                if got_batch != batch_id:  # pragma: no cover - stale remnants
+                    continue
+                response = group_responses[0]
+                answered.add(worker)
+                entry = dict(response["result"], worker=worker, alive=True)
+                self._stats_cache[worker] = entry
+                out.append(entry)
+            for worker in expected - answered:  # pragma: no cover - busy worker
+                if not self._processes[worker].is_alive():
+                    out.append({"worker": worker, "alive": False})
+                    continue
+                cached = self._stats_cache.get(worker)
+                entry = dict(cached) if cached else {}
+                entry.update(worker=worker, alive=True, busy=True)
+                if cached:
+                    entry["stale"] = True
+                out.append(entry)
         return sorted(out, key=lambda entry: entry["worker"])
 
     def close(self) -> None:

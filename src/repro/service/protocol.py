@@ -380,11 +380,11 @@ class WitnessSetCache:
         ws = self._cache.get(key)
         if ws is not None:
             self.hits += 1
-            obs.metrics().counter(metric_names.CACHE_HITS).inc()
+            obs.metrics().counter(metric_names.CACHE_HITS, always=True).inc()
             self._cache.move_to_end(key)
             return ws
         self.misses += 1
-        obs.metrics().counter(metric_names.CACHE_MISSES).inc()
+        obs.metrics().counter(metric_names.CACHE_MISSES, always=True).inc()
         ws = witness_set_from_spec(
             spec, store=self.store if self.store is not None else False
         )

@@ -680,7 +680,11 @@ class AsyncWitnessServer:
 
         Scrapers speak one request per connection here: the headers are
         drained, the body written, and the connection closed — the JSON
-        protocol is never entered.
+        protocol is never entered.  The scrape rides the pump queue as
+        an internal ``stats`` round, so the pump stays the engine's only
+        driver: a scrape arriving mid-batch waits its turn instead of
+        racing the pump for the worker pool's shared result queue (where
+        it could steal — and drop — an in-flight batch's responses).
         """
         try:
             while True:
@@ -689,27 +693,38 @@ class AsyncWitnessServer:
                     break
         except (asyncio.TimeoutError, OSError, ConnectionError):
             return
-        loop = asyncio.get_running_loop()
-        body = await loop.run_in_executor(None, self._metrics_exposition)
-        encoded = body.encode("utf-8")
-        head = (
-            "HTTP/1.0 200 OK\r\n"
-            "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-            f"Content-Length: {len(encoded)}\r\n"
-            "Connection: close\r\n"
-            "\r\n"
-        ).encode("ascii")
+        future: asyncio.Future[dict[str, Any] | None] = (
+            asyncio.get_running_loop().create_future()
+        )
+        await self._enqueue({"op": "stats"}, conn, future)
+        response = await future
+        if response is None or not response.get("ok"):
+            # Shutdown drain or a stats failure: a scrape-friendly
+            # status line beats silently dropping the connection.
+            head = (
+                "HTTP/1.0 503 Service Unavailable\r\n"
+                "Content-Length: 0\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
+            encoded = b""
+        else:
+            result = response.get("result") or {}
+            body = obs.render_prometheus(result.get("metrics") or {})
+            encoded = body.encode("utf-8")
+            head = (
+                "HTTP/1.0 200 OK\r\n"
+                "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                f"Content-Length: {len(encoded)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("ascii")
         try:
             await asyncio.wait_for(
                 conn.write(head + encoded), timeout=self.write_timeout
             )
         except (asyncio.TimeoutError, OSError, ConnectionError):
             pass
-
-    def _metrics_exposition(self) -> str:
-        """Executor target: gather pool-wide metrics, render Prometheus."""
-        stats = _aggregate_server_stats(self.engine)
-        return obs.render_prometheus(stats["metrics"])
 
     def _deadline_for(self, request: dict[str, Any]) -> float | None:
         timeout = self.request_timeout
@@ -1026,7 +1041,11 @@ class AsyncWitnessServer:
             stats = await loop.run_in_executor(
                 None, _aggregate_server_stats, self.engine, per_worker
             )
-            self.served += len(stats_items)
+            # Internal rounds (HTTP metrics scrapes resolve a future)
+            # are monitoring plumbing, not served client requests.
+            self.served += sum(
+                1 for pending in stats_items if pending.future is None
+            )
             for pending in stats_items:
                 result = dict(
                     stats,

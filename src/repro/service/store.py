@@ -98,8 +98,10 @@ class StoreStats:
 
     @staticmethod
     def _mirror(series: str, delta: int) -> None:
+        # always=True: the mirrored registry series must stay exact
+        # alongside the functional view, whatever REPRO_OBS says.
         if delta > 0:
-            metrics().counter(series).inc(delta)
+            metrics().counter(series, always=True).inc(delta)
 
     @property
     def hits(self) -> int:
@@ -258,7 +260,9 @@ class KernelStore:
                 if kernel._borrow_owner is not None:
                     count = self.stats.extra.get("mmap_hits", 0)
                     self.stats.extra["mmap_hits"] = count + 1
-                    metrics().counter(metric_names.STORE_MMAP_HITS).inc()
+                    metrics().counter(
+                        metric_names.STORE_MMAP_HITS, always=True
+                    ).inc()
                 self.stats.hits += 1
                 try:
                     os.utime(path)

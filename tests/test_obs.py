@@ -68,6 +68,16 @@ class TestRegistry:
             == 'm{a="1",b="2"}'
         )
 
+    def test_series_key_escapes_label_values(self):
+        key = obs.series_key("m", {"v": 'say "hi"\\now'})
+        assert key == 'm{v="say \\"hi\\"\\\\now"}'
+        # The rendered exposition stays one well-formed line per series.
+        registry = obs.metrics()
+        registry.counter("m", labels={"v": 'say "hi"\\now'}).inc()
+        text = obs.render_prometheus(registry.snapshot())
+        line = next(l for l in text.splitlines() if l.startswith("m{"))
+        assert line == 'm{v="say \\"hi\\"\\\\now"} 1'
+
     def test_kind_mismatch_raises(self):
         registry = obs.metrics()
         registry.counter("thing")
@@ -92,6 +102,12 @@ class TestRegistry:
         obs.set_enabled(False)
         counter.inc(3)
         assert counter.value == 3
+
+    def test_registry_always_counter_ignores_kill_switch(self):
+        counter = obs.metrics().counter("functional_total", always=True)
+        obs.set_enabled(False)
+        counter.inc(2)
+        assert obs.metrics().snapshot()["counters"]["functional_total"] == 2
 
 
 # ----------------------------------------------------------------------
@@ -340,6 +356,31 @@ class TestSlowLog:
         assert log.threshold_seconds == pytest.approx(0.25)
         assert obs.slow_log_from_env({}) is None
 
+    def test_serve_flag_resolution(self, tmp_path, monkeypatch):
+        from repro.cli import _resolve_slow_query_log
+
+        monkeypatch.delenv("REPRO_SLOW_QUERY_LOG", raising=False)
+        monkeypatch.delenv("REPRO_SLOW_QUERY_MS", raising=False)
+        # Neither flag: the server builds its own log from the env.
+        assert _resolve_slow_query_log(None, None) is None
+        # --slow-query-ms with no path anywhere is a usage error.
+        with pytest.raises(SystemExit):
+            _resolve_slow_query_log(None, 250)
+        flag_path = str(tmp_path / "flag.jsonl")
+        log = _resolve_slow_query_log(flag_path, 250)
+        assert log.path == flag_path
+        assert log.threshold_seconds == pytest.approx(0.25)
+        env_path = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv("REPRO_SLOW_QUERY_LOG", env_path)
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "500")
+        # --slow-query-ms alone adjusts the env-configured log's threshold.
+        log = _resolve_slow_query_log(None, 100)
+        assert log.path == env_path
+        assert log.threshold_seconds == pytest.approx(0.1)
+        # A path flag matching the env keeps the env threshold.
+        log = _resolve_slow_query_log(env_path, None)
+        assert log.threshold_seconds == pytest.approx(0.5)
+
     def test_server_writes_slow_events(self, tmp_path):
         from repro.service.client import ServiceClient
         from repro.service.engine import Engine
@@ -409,6 +450,22 @@ class TestBackCompatViews:
         stats = StoreStats()
         stats.hits += 3
         assert stats.as_dict()["hits"] == 3  # the functional view is exact
+        # ... and the mirrored registry series tracks it even with
+        # REPRO_OBS off: the snapshot never diverges from the exact view.
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters[metric_names.STORE_HITS] == 3
+        obs.set_enabled(True)
+
+    def test_cache_counters_exact_under_kill_switch(self):
+        from repro.service.protocol import WitnessSetCache, spec_key
+
+        obs.set_enabled(False)
+        cache = WitnessSetCache(max_resident=4)
+        cache.get(spec_key(SPEC), SPEC)
+        cache.get(spec_key(SPEC), SPEC)
+        counters = obs.metrics().snapshot()["counters"]
+        assert counters[metric_names.CACHE_HITS] == cache.hits == 1
+        assert counters[metric_names.CACHE_MISSES] == cache.misses == 1
         obs.set_enabled(True)
 
 
@@ -476,6 +533,40 @@ class TestServingSurfaces:
         text = body.decode("utf-8")
         assert "# TYPE repro_server_requests_total counter" in text
         assert 'repro_request_seconds{quantile="0.95"}' in text
+
+    def test_scrape_during_load_steals_no_responses(self, live_server):
+        """A Prometheus scrape rides the pump queue, so it can never
+        consume the worker pool's shared result queue concurrently with
+        an in-flight batch (which would silently drop that batch's
+        responses and hang the clients)."""
+        import threading
+
+        from repro.service.client import ServiceClient
+
+        host, port = live_server
+        scrape_errors: list[Exception] = []
+
+        def scrape_loop() -> None:
+            try:
+                for _ in range(5):
+                    with socket.create_connection((host, port), timeout=10) as sock:
+                        sock.sendall(b"GET /metrics HTTP/1.0\r\n\r\n")
+                        while sock.recv(65536):
+                            pass
+            except Exception as error:  # pragma: no cover - fails the test
+                scrape_errors.append(error)
+
+        scraper = threading.Thread(target=scrape_loop)
+        scraper.start()
+        try:
+            with ServiceClient(host, port, timeout=30.0) as client:
+                for index in range(20):
+                    witnesses = client.result("sample", SPEC, seed=index, k=1)
+                    assert len(witnesses) == 1
+        finally:
+            scraper.join(timeout=30)
+        assert not scraper.is_alive()
+        assert not scrape_errors
 
     def test_stats_cli_renders(self, live_server, capsys):
         from repro.cli import main
