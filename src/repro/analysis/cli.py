@@ -4,8 +4,10 @@ Usage::
 
     repro-lint src/                       # human-readable report
     repro-lint src/ --format json         # machine-readable (CI)
+    repro-lint src/ --format github       # ::error annotations (CI)
     repro-lint src/ --select async-blocking,bare-except
     repro-lint --list-rules
+    repro-lint --explain guarded-by       # what a rule means, with examples
 
 Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage error.
 """
@@ -14,10 +16,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 
-from repro.analysis.engine import default_rules, run_lint
+from repro.analysis.engine import Rule, default_rules, run_lint
+from repro.analysis.findings import Finding
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -32,9 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); 'github' emits workflow "
+        "::error annotations that surface inline on pull requests",
     )
     parser.add_argument(
         "--select",
@@ -46,7 +51,67 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the registered rules and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="describe one rule — what it catches and why — with a "
+        "violating and a clean example, then exit",
+    )
     return parser
+
+
+def _escape_annotation(value: str, *, property_value: bool = False) -> str:
+    """GitHub workflow-command escaping (docs: 'Workflow commands')."""
+
+    escaped = value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        escaped = escaped.replace(",", "%2C").replace(":", "%3A")
+    return escaped
+
+
+def render_github(finding: Finding) -> str:
+    """One ``::error`` annotation line for ``finding``."""
+
+    file = _escape_annotation(finding.path, property_value=True)
+    title = _escape_annotation(
+        f"repro-lint [{finding.rule}]", property_value=True
+    )
+    message = finding.message
+    if finding.hint:
+        message = f"{message} (hint: {finding.hint})"
+    return (
+        f"::error file={file},line={finding.line},col={finding.col},"
+        f"title={title}::{_escape_annotation(message)}"
+    )
+
+
+def _explain_rule(rule: Rule) -> str:
+    """The ``--explain`` payload: description, rationale, examples.
+
+    Falls back to the docstring of the module defining the rule when
+    the rule declares no ``explain`` text of its own.
+    """
+
+    sections = [f"{rule.id}: {rule.description}"]
+    explain = rule.explain.strip()
+    if not explain:
+        module = sys.modules.get(type(rule).__module__)
+        explain = ((module.__doc__ or "") if module else "").strip()
+    if explain:
+        sections.append(explain)
+    if rule.hint:
+        sections.append(f"hint: {rule.hint}")
+    if rule.example_bad.strip():
+        sections.append("violates:\n" + _indent(rule.example_bad))
+    if rule.example_good.strip():
+        sections.append("clean:\n" + _indent(rule.example_good))
+    return "\n\n".join(sections)
+
+
+def _indent(snippet: str) -> str:
+    return "\n".join(
+        "    " + line for line in snippet.strip("\n").rstrip().splitlines()
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -56,6 +121,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if options.list_rules:
         for rule in default_rules():
             print(f"{rule.id:22s} {rule.description}")
+        return 0
+
+    if options.explain:
+        by_id = {rule.id: rule for rule in default_rules()}
+        rule = by_id.get(options.explain)
+        if rule is None:
+            known = ", ".join(sorted(by_id))
+            parser.error(
+                f"unknown rule {options.explain!r} (known: {known})"
+            )  # exits 2
+        print(_explain_rule(rule))
         return 0
 
     paths = options.paths or ["src/"]
@@ -71,6 +147,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if options.format == "json":
         print(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+    elif options.format == "github":
+        for finding in result.findings:
+            print(render_github(finding))
+        summary = (
+            f"{len(result.findings)} finding(s) in {len(result.files)} file(s)"
+            f" [{len(result.rules)} rule(s), {result.suppressed} suppressed]"
+        )
+        print(("FAIL: " if result.findings else "OK: ") + summary)
     else:
         for finding in result.findings:
             print(finding.render())
@@ -83,7 +167,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into `head` etc. closed early: exit quietly
+        # (point stdout at devnull so the interpreter's exit-time flush
+        # does not raise a second time).
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)
 
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "render_github"]

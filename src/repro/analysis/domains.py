@@ -1,0 +1,97 @@
+"""Concurrency-domain inference over the project call graph.
+
+Every function in the serving stack runs in one (or more) of four
+**concurrency domains**:
+
+* ``event-loop`` — coroutines and callbacks scheduled on the asyncio
+  loop (the pump, protocol handlers, ``call_soon`` callbacks);
+* ``executor`` — functions handed to ``loop.run_in_executor`` /
+  ``asyncio.to_thread`` / ``Executor.submit`` or run as a
+  ``threading.Thread`` target;
+* ``worker`` — ``multiprocessing.Process`` targets (a separate address
+  space: worker-domain code shares no memory with the other three);
+* ``main`` — functions reached from module top level (CLI entry points,
+  ``if __name__ == "__main__"`` blocks) or literally named ``main``.
+
+Inference seeds the known entry points, then propagates along the call
+graph: a synchronous callee runs wherever its callers run, so it
+accumulates the union of its callers' domains.  ``async def`` bodies
+only ever execute on the event loop, so async functions are pinned to
+``event-loop`` and do not inherit caller domains (calling an async
+function from sync code merely *creates* the coroutine).
+
+The result is deliberately a *may* analysis: a function with domains
+``{event-loop, executor}`` has at least one call path from each, which
+is exactly the situation in which its attribute writes need a
+``# guarded-by:`` declaration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.project import ProjectIndex
+
+EVENT_LOOP = "event-loop"
+EXECUTOR = "executor"
+WORKER = "worker"
+MAIN = "main"
+
+#: All recognised domain names, in display order.
+ALL_DOMAINS = (EVENT_LOOP, EXECUTOR, MAIN, WORKER)
+
+#: Domains that share one address space.  ``worker`` code lives in a
+#: forked process: a worker-domain write can never race an event-loop
+#: or executor access to the parent's copy of the object.
+SHARED_MEMORY_DOMAINS = frozenset({EVENT_LOOP, EXECUTOR, MAIN})
+
+
+def infer_domains(index: ProjectIndex) -> dict[str, frozenset[str]]:
+    """Map every indexed qualname to the domains it may run in."""
+
+    domains: dict[str, set[str]] = {
+        qualname: set() for qualname in index.functions
+    }
+    for qualname, info in index.functions.items():
+        if info.is_async:
+            domains[qualname].add(EVENT_LOOP)
+        if info.name == "main":
+            domains[qualname].add(MAIN)
+    for qualname in index.main_seeds:
+        if qualname in domains:
+            domains[qualname].add(MAIN)
+    for seed in index.seeds:
+        info = index.functions.get(seed.callee)
+        if info is None or info.is_async:
+            continue  # async callees stay pinned to the event loop
+        domains[seed.callee].add(seed.domain)
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname, info in index.functions.items():
+            source = domains[qualname]
+            if not source:
+                continue
+            for site in info.calls:
+                for callee in site.callees:
+                    target = index.functions.get(callee)
+                    if target is None or target.is_async:
+                        continue
+                    sink = domains[callee]
+                    before = len(sink)
+                    sink |= source
+                    if len(sink) != before:
+                        changed = True
+    return {
+        qualname: frozenset(found) for qualname, found in domains.items()
+    }
+
+
+__all__ = [
+    "ALL_DOMAINS",
+    "EVENT_LOOP",
+    "EXECUTOR",
+    "MAIN",
+    "SHARED_MEMORY_DOMAINS",
+    "WORKER",
+    "infer_domains",
+]

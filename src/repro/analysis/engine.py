@@ -129,11 +129,19 @@ class Rule:
     Subclasses set ``id`` (the name used in reports and suppression
     comments), ``description`` (one line, shown by ``--list-rules``) and
     optionally ``hint`` (the default fix hint attached to findings).
+
+    For ``repro-lint --explain``, a rule may also provide ``explain``
+    (long-form prose; falls back to the defining module's docstring)
+    plus ``example_bad`` / ``example_good`` — a minimal violating
+    snippet and its clean counterpart.
     """
 
     id: str = ""
     description: str = ""
     hint: str = ""
+    explain: str = ""
+    example_bad: str = ""
+    example_good: str = ""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         """Findings local to one file; default: none."""

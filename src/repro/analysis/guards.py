@@ -1,0 +1,177 @@
+"""Declared-ownership model: ``# guarded-by:`` / ``# owned-by:`` comments.
+
+Shared attributes in the serving stack declare their synchronisation
+discipline with a trailing comment on the line that introduces them —
+either a class-level annotation or the ``self.<attr> = ...`` assignment
+in ``__init__``::
+
+    class Engine:
+        _processes: list[Process]  # guarded-by: _pool_lock
+
+    class AsyncWitnessServer:
+        def __init__(self) -> None:
+            self.served = 0  # owned-by: event-loop
+
+``guarded-by: <lock>`` means every access outside construction must
+hold ``self.<lock>``; ``owned-by: <domain>`` means every access must
+happen in that concurrency domain (see :mod:`repro.analysis.domains`).
+
+This module is the single parser for both consumers: the static
+``guarded-by`` rule reads declarations straight from lint sources, and
+the runtime :class:`~repro.analysis.sanitizer.ReproSanitizer` loads
+them for a live class via :func:`declarations_for_class`.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import re
+import tokenize
+from dataclasses import dataclass
+
+GUARDED_BY = "guarded-by"
+OWNED_BY = "owned-by"
+
+_DECL_RE = re.compile(
+    r"#\s*(guarded-by|owned-by):\s*([A-Za-z_][A-Za-z0-9_.\-]*)"
+)
+
+
+@dataclass(frozen=True)
+class GuardDecl:
+    """One declared attribute: who owns it and how it is protected."""
+
+    class_name: str
+    attr: str
+    kind: str  #: ``guarded-by`` | ``owned-by``
+    target: str  #: bare lock attribute name, or a domain name
+    line: int
+
+
+def _comment_declarations(text: str) -> dict[int, tuple[str, str]]:
+    """Line number -> (kind, target) for every declaration comment."""
+
+    declarations: dict[int, tuple[str, str]] = {}
+    lines = iter(text.splitlines(keepends=True))
+    try:
+        for token in tokenize.generate_tokens(lambda: next(lines, "")):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DECL_RE.search(token.string)
+            if match is None:
+                continue
+            target = match.group(2)
+            if target.startswith("self."):
+                target = target[len("self.") :]
+            declarations[token.start[0]] = (match.group(1), target)
+    except tokenize.TokenError:
+        pass  # unparsable file surfaces as parse-error elsewhere
+    return declarations
+
+
+def _declared_attr_lines(cls: ast.ClassDef) -> list[tuple[str, int]]:
+    """(attr, line) for every statement that can carry a declaration:
+    class-level (annotated) assignments and ``self.<attr> = ...`` inside
+    methods."""
+
+    sites: list[tuple[str, int]] = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            sites.append((stmt.target.id, stmt.lineno))
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    sites.append((target.id, stmt.lineno))
+    for method in cls.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(method):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    sites.append((target.attr, node.lineno))
+    return sites
+
+
+def collect_declarations(text: str, tree: ast.Module) -> list[GuardDecl]:
+    """Every guard declaration in one parsed source file."""
+
+    comments = _comment_declarations(text)
+    if not comments:
+        return []
+    declarations: list[GuardDecl] = []
+    seen: set[tuple[str, str]] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for attr, line in _declared_attr_lines(node):
+            comment = comments.get(line)
+            if comment is None:
+                continue
+            key = (node.name, attr)
+            if key in seen:
+                continue
+            seen.add(key)
+            declarations.append(
+                GuardDecl(
+                    class_name=node.name,
+                    attr=attr,
+                    kind=comment[0],
+                    target=comment[1],
+                    line=line,
+                )
+            )
+    return declarations
+
+
+@functools.lru_cache(maxsize=None)
+def _declarations_for_source(source_path: str) -> tuple[GuardDecl, ...]:
+    with open(source_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return tuple(collect_declarations(text, ast.parse(text)))
+
+
+def declarations_for_class(cls: type) -> dict[str, GuardDecl]:
+    """Runtime loader: declarations for ``cls`` (and its base classes),
+    read back from the defining source files.  Returns an empty mapping
+    for classes whose source is unavailable (REPLs, C extensions)."""
+
+    declarations: dict[str, GuardDecl] = {}
+    for base in reversed(cls.__mro__):
+        if base is object:
+            continue
+        try:
+            source_path = inspect.getsourcefile(base)
+        except TypeError:
+            continue
+        if source_path is None:
+            continue
+        try:
+            found = _declarations_for_source(source_path)
+        except (OSError, SyntaxError):
+            continue
+        for decl in found:
+            if decl.class_name == base.__name__:
+                declarations[decl.attr] = decl
+    return declarations
+
+
+__all__ = [
+    "GUARDED_BY",
+    "GuardDecl",
+    "OWNED_BY",
+    "collect_declarations",
+    "declarations_for_class",
+]

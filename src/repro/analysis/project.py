@@ -1,0 +1,620 @@
+"""Project-wide symbol table, call graph and concurrency facts.
+
+The per-file rules from PR 6 see one ``ast.Module`` at a time; the
+concurrency rules need whole-program structure.  This module builds it
+once per lint run (see :func:`project_index`) and exposes:
+
+* a **symbol table** — every top-level function and every method of
+  every class, keyed by a stable qualname ``<posix-path>::Class.method``;
+* a best-effort **call graph** — ``self.method`` resolves within the
+  defining class, bare names resolve through the defining module and its
+  ``from``-imports, ``module.func`` resolves through ``import`` aliases,
+  and an ``obj.method`` attribute call falls back to the *unique* class
+  in the project defining that method name (ambiguity resolves to
+  nothing rather than guessing);
+* per-function **concurrency facts** gathered in a single flow-sensitive
+  walk: ``self.<attr>`` accesses with the set of locks lexically held,
+  lock acquisitions (``with``/``async with`` on a lock-like name) with
+  the locks already held, call sites with the locks held around them,
+  and ``await`` expressions with the *sync* locks held;
+* **callback seeds** — call sites that move a callable into another
+  concurrency domain (``run_in_executor``, ``asyncio.to_thread``,
+  ``Thread(target=...)``, ``Process(target=...)``, ``call_soon`` and
+  friends), resolved to the target function where possible;
+* a **held-at-entry** fixpoint: the set of locks guaranteed held when a
+  function is entered, computed as the intersection over all resolved
+  call sites of (locks held at the site ∪ locks held at the caller's
+  entry).  Call sites inside ``__init__`` are ignored — construction
+  happens before the object is shared.
+
+Lock identity is the attribute tail (``_pool_lock``); acquisitions via
+``self.<lock>`` inside a class additionally carry a class-qualified id
+(``Engine._pool_lock``) so the lock-order graph does not conflate
+same-named locks of different classes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import SourceModule
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Local twin of :func:`repro.analysis.rules._common.dotted_name`:
+    importing the rules package from here would be circular (the rule
+    modules import this one).
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+#: Methods whose accesses and outgoing calls are construction-time and
+#: therefore exempt from lock-discipline checking.
+CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__", "__del__"})
+
+#: Call tails that hand their callable argument to another domain.
+#: Maps tail -> (domain, positional index of the callable argument).
+_SEED_CALLS: dict[str, tuple[str, int]] = {
+    "run_in_executor": ("executor", 1),
+    "to_thread": ("executor", 0),
+    "submit": ("executor", 0),
+    "call_soon": ("event-loop", 0),
+    "call_soon_threadsafe": ("event-loop", 0),
+    "call_later": ("event-loop", 1),
+    "call_at": ("event-loop", 1),
+}
+
+#: Constructor tails taking a ``target=`` callable run in another domain.
+_SEED_TARGETS: dict[str, str] = {
+    "Thread": "executor",
+    "Timer": "executor",
+    "Process": "worker",
+}
+
+
+#: Method tails too generic for the unique-method fallback: stdlib and
+#: protocol objects (writers, queues, files, locks) share these names,
+#: so "only one project class defines it" is weak evidence the call
+#: lands there.  Direct ``self.method`` and module-function resolution
+#: are unaffected.
+_GENERIC_METHOD_TAILS = frozenset(
+    {
+        "acquire",
+        "add",
+        "append",
+        "cancel",
+        "clear",
+        "close",
+        "connect",
+        "done",
+        "flush",
+        "get",
+        "items",
+        "join",
+        "keys",
+        "open",
+        "pop",
+        "put",
+        "read",
+        "record",
+        "recv",
+        "release",
+        "result",
+        "run",
+        "send",
+        "set",
+        "start",
+        "stop",
+        "update",
+        "values",
+        "wait",
+        "write",
+    }
+)
+
+
+def _is_lockish(tail: str) -> bool:
+    """Heuristic: attribute/name tails that denote a mutex.
+
+    Condition variables count: ``with self._cond:`` acquires the
+    condition's underlying lock, so a condition is a valid guard.
+    """
+
+    lowered = tail.lower()
+    return lowered.endswith(("lock", "mutex", "cond", "condition"))
+
+
+@dataclass(frozen=True)
+class LockToken:
+    """One lock identity as seen at an acquisition or access site."""
+
+    name: str  #: bare attribute tail, e.g. ``_pool_lock``
+    qual: str  #: class-qualified id when acquired via ``self.<lock>``
+    is_async: bool  #: acquired with ``async with`` (asyncio lock)
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """``with <lock>:`` — the lock plus everything already held."""
+
+    lock: LockToken
+    line: int
+    col: int
+    held_before: tuple[LockToken, ...]
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """A ``self.<attr>`` read/write/delete and the locks held there."""
+
+    attr: str
+    line: int
+    col: int
+    kind: str  #: ``read`` | ``write`` | ``del``
+    held: tuple[LockToken, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression with its resolved targets and held locks."""
+
+    callees: tuple[str, ...]
+    line: int
+    col: int
+    held: tuple[LockToken, ...]
+
+
+@dataclass(frozen=True)
+class AwaitSite:
+    """An ``await`` and the *synchronous* locks held across it."""
+
+    line: int
+    col: int
+    sync_locks: tuple[LockToken, ...]
+
+
+@dataclass(frozen=True)
+class CallbackSeed:
+    """A call site handing ``callee`` to another concurrency domain."""
+
+    domain: str
+    callee: str
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    """Symbol-table record for one function or method."""
+
+    qualname: str
+    name: str
+    class_name: str | None
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    accesses: list[AttrAccess] = field(default_factory=list)
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    awaits: list[AwaitSite] = field(default_factory=list)
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.name in CONSTRUCTORS
+
+
+def _module_dotted(module: SourceModule) -> str:
+    """Dotted import path derived from the file's posix path."""
+
+    posix = module.posix()
+    if posix.endswith(".py"):
+        posix = posix[: -len(".py")]
+    if posix.endswith("/__init__"):
+        posix = posix[: -len("/__init__")]
+    return posix.replace("/", ".")
+
+
+class ProjectIndex:
+    """Symbol table + call graph + concurrency facts for one file set."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules: tuple[SourceModule, ...] = tuple(modules)
+        self.functions: dict[str, FunctionInfo] = {}
+        self.seeds: list[CallbackSeed] = []
+        self.main_seeds: set[str] = set()
+        #: posix path -> {top-level function name -> info}
+        self._module_funcs: dict[str, dict[str, FunctionInfo]] = {}
+        #: (posix, class name) -> {method name -> info}
+        self._class_methods: dict[tuple[str, str], dict[str, FunctionInfo]] = {}
+        #: method name -> every info across the project
+        self._methods_global: dict[str, list[FunctionInfo]] = {}
+        #: posix path -> {alias -> (module dotted path, symbol or None)}
+        self._imports: dict[str, dict[str, tuple[str, str | None]]] = {}
+        self._by_dotted: dict[str, str] = {}
+
+        for module in self.modules:
+            self._index_module(module)
+        for module in self.modules:
+            self._collect_module_facts(module)
+
+        #: callee qualname -> [(caller qualname, call site)], skipping
+        #: call sites inside constructors.
+        self.callers: dict[str, list[tuple[str, CallSite]]] = {}
+        for qualname, info in self.functions.items():
+            if info.is_constructor:
+                continue
+            for site in info.calls:
+                for callee in site.callees:
+                    self.callers.setdefault(callee, []).append((qualname, site))
+
+    # ------------------------------------------------------------------
+    # pass 1: symbols and imports
+
+    def _index_module(self, module: SourceModule) -> None:
+        posix = module.posix()
+        self._by_dotted[_module_dotted(module)] = posix
+        funcs: dict[str, FunctionInfo] = {}
+        imports: dict[str, tuple[str, str | None]] = {}
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    imports[bound] = (alias.name, None)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    imports[bound] = (node.module, alias.name)
+
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._make_info(module, stmt, None)
+                funcs[stmt.name] = info
+            elif isinstance(stmt, ast.ClassDef):
+                methods: dict[str, FunctionInfo] = {}
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        info = self._make_info(module, item, stmt.name)
+                        methods[item.name] = info
+                        self._methods_global.setdefault(item.name, []).append(info)
+                self._class_methods[(posix, stmt.name)] = methods
+
+        self._module_funcs[posix] = funcs
+        self._imports[posix] = imports
+
+    def _make_info(
+        self,
+        module: SourceModule,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+    ) -> FunctionInfo:
+        scope = f"{class_name}.{node.name}" if class_name else node.name
+        info = FunctionInfo(
+            qualname=f"{module.posix()}::{scope}",
+            name=node.name,
+            class_name=class_name,
+            module=module,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        self.functions[info.qualname] = info
+        return info
+
+    # ------------------------------------------------------------------
+    # resolution helpers
+
+    def _module_for(self, dotted: str) -> str | None:
+        """Posix path of the indexed module matching an import target."""
+
+        posix = self._by_dotted.get(dotted)
+        if posix is not None:
+            return posix
+        for known, candidate in self._by_dotted.items():
+            if known.endswith("." + dotted):
+                return candidate
+        return None
+
+    def _unique_method(self, name: str) -> FunctionInfo | None:
+        if name in _GENERIC_METHOD_TAILS:
+            return None
+        candidates = self._methods_global.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def resolve_callable(
+        self, expr: ast.AST, module: SourceModule, class_name: str | None
+    ) -> tuple[str, ...]:
+        """Qualnames a call/reference expression may denote (best effort)."""
+
+        name = dotted_name(expr)
+        if name is None:
+            return ()
+        posix = module.posix()
+        parts = name.split(".")
+        if len(parts) == 1:
+            local = self._module_funcs.get(posix, {}).get(parts[0])
+            if local is not None:
+                return (local.qualname,)
+            imported = self._imports.get(posix, {}).get(parts[0])
+            if imported is not None and imported[1] is not None:
+                target = self._module_for(imported[0])
+                if target is not None:
+                    func = self._module_funcs.get(target, {}).get(imported[1])
+                    if func is not None:
+                        return (func.qualname,)
+            return ()
+        if parts[0] == "self" and class_name is not None:
+            if len(parts) == 2:
+                method = self._class_methods.get((posix, class_name), {}).get(
+                    parts[1]
+                )
+                if method is not None:
+                    return (method.qualname,)
+            fallback = self._unique_method(parts[-1])
+            return (fallback.qualname,) if fallback is not None else ()
+        imported = self._imports.get(posix, {}).get(parts[0])
+        if imported is not None and imported[1] is None and len(parts) == 2:
+            target = self._module_for(imported[0])
+            if target is not None:
+                func = self._module_funcs.get(target, {}).get(parts[1])
+                if func is not None:
+                    return (func.qualname,)
+        fallback = self._unique_method(parts[-1])
+        return (fallback.qualname,) if fallback is not None else ()
+
+    # ------------------------------------------------------------------
+    # pass 2: per-function facts
+
+    def _collect_module_facts(self, module: SourceModule) -> None:
+        posix = module.posix()
+        for info in self._module_funcs.get(posix, {}).values():
+            _FactsWalker(self, info).run()
+        for (owner_posix, _cls), methods in self._class_methods.items():
+            if owner_posix != posix:
+                continue
+            for info in methods.values():
+                _FactsWalker(self, info).run()
+        self._seed_top_level(module)
+
+    def _seed_top_level(self, module: SourceModule) -> None:
+        """Functions invoked from module top level run in the main domain."""
+
+        stack: list[ast.stmt] = [
+            stmt
+            for stmt in module.tree.body
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        while stack:
+            stmt = stack.pop()
+            for child in ast.walk(stmt):
+                if isinstance(child, ast.Call):
+                    for callee in self.resolve_callable(child.func, module, None):
+                        self.main_seeds.add(callee)
+
+    # ------------------------------------------------------------------
+    # held-at-entry fixpoint
+
+    def held_at_entry(self) -> dict[str, frozenset[LockToken]]:
+        """Locks guaranteed held when each function is entered.
+
+        Intersection over all resolved, non-constructor call sites of
+        (locks held at the site ∪ caller's held-at-entry).  Functions
+        with no such call sites get the empty set — nothing is
+        guaranteed.  The fixpoint starts optimistic (⊤, represented as
+        ``None``) and only shrinks, so recursion converges.
+        """
+
+        entry: dict[str, frozenset[LockToken] | None] = {
+            qualname: (None if self.callers.get(qualname) else frozenset())
+            for qualname in self.functions
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, sites in self.callers.items():
+                met: frozenset[LockToken] | None = None
+                for caller, site in sites:
+                    caller_entry = entry.get(caller)
+                    if caller_entry is None:
+                        continue  # still ⊤ — contributes nothing
+                    here = frozenset(site.held) | caller_entry
+                    met = here if met is None else (met & here)
+                if met is None:
+                    continue
+                current = entry[qualname]
+                updated = met if current is None else (current & met)
+                if updated != current:
+                    entry[qualname] = updated
+                    changed = True
+        return {
+            qualname: (held if held is not None else frozenset())
+            for qualname, held in entry.items()
+        }
+
+
+class _FactsWalker:
+    """One recursive walk over a function body, tracking held locks."""
+
+    def __init__(self, index: ProjectIndex, info: FunctionInfo) -> None:
+        self.index = index
+        self.info = info
+        self.held: list[LockToken] = []
+        methods = index._class_methods.get(
+            (info.module.posix(), info.class_name or ""), {}
+        )
+        self.method_names = frozenset(methods)
+
+    def run(self) -> None:
+        for stmt in self.info.node.body:
+            self._visit(stmt)
+
+    def _lock_token(self, expr: ast.expr) -> LockToken | None:
+        name = dotted_name(expr)
+        if name is None:
+            return None
+        tail = name.rsplit(".", 1)[-1]
+        if not _is_lockish(tail):
+            return None
+        qual = tail
+        if (
+            name.startswith("self.")
+            and "." not in name[len("self.") :]
+            and self.info.class_name is not None
+        ):
+            qual = f"{self.info.class_name}.{tail}"
+        return LockToken(name=tail, qual=qual, is_async=False)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested scope: separate function, not this one's facts
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.Await):
+            sync_locks = tuple(t for t in self.held if not t.is_async)
+            self.info.awaits.append(
+                AwaitSite(node.lineno, node.col_offset, sync_locks)
+            )
+        elif isinstance(node, ast.Call):
+            self._visit_call(node)
+        elif isinstance(node, ast.Attribute):
+            self._visit_attribute(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        pushed = 0
+        for item in node.items:
+            self._visit(item.context_expr)
+            if item.optional_vars is not None:
+                self._visit(item.optional_vars)
+            token = self._lock_token(item.context_expr)
+            if token is not None:
+                if isinstance(node, ast.AsyncWith):
+                    token = LockToken(token.name, token.qual, is_async=True)
+                self.info.acquisitions.append(
+                    Acquisition(
+                        lock=token,
+                        line=item.context_expr.lineno,
+                        col=item.context_expr.col_offset,
+                        held_before=tuple(self.held),
+                    )
+                )
+                self.held.append(token)
+                pushed += 1
+        for stmt in node.body:
+            self._visit(stmt)
+        for _ in range(pushed):
+            self.held.pop()
+
+    def _visit_call(self, node: ast.Call) -> None:
+        callees = self.index.resolve_callable(
+            node.func, self.info.module, self.info.class_name
+        )
+        self.info.calls.append(
+            CallSite(
+                callees=callees,
+                line=node.lineno,
+                col=node.col_offset,
+                held=tuple(self.held),
+            )
+        )
+        self._collect_seeds(node)
+
+    def _collect_seeds(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        tail = name.rsplit(".", 1)[-1]
+        seeded = _SEED_CALLS.get(tail)
+        if seeded is not None:
+            domain, position = seeded
+            if len(node.args) > position:
+                self._seed_reference(node.args[position], domain, node.lineno)
+            return
+        target_domain = _SEED_TARGETS.get(tail)
+        if target_domain is not None:
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    self._seed_reference(
+                        keyword.value, target_domain, node.lineno
+                    )
+
+    def _seed_reference(self, expr: ast.expr, domain: str, line: int) -> None:
+        for callee in self.index.resolve_callable(
+            expr, self.info.module, self.info.class_name
+        ):
+            self.index.seeds.append(CallbackSeed(domain, callee, line))
+
+    def _visit_attribute(self, node: ast.Attribute) -> None:
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        # ``self.method(...)`` is a method lookup, not state access; a
+        # call through a *stored callable* attribute still counts.
+        if isinstance(node.ctx, ast.Load) and node.attr in self.method_names:
+            return
+        if isinstance(node.ctx, ast.Store):
+            kind = "write"
+        elif isinstance(node.ctx, ast.Del):
+            kind = "del"
+        else:
+            kind = "read"
+        self.info.accesses.append(
+            AttrAccess(
+                attr=node.attr,
+                line=node.lineno,
+                col=node.col_offset,
+                kind=kind,
+                held=tuple(self.held),
+            )
+        )
+
+
+_CACHE: dict[tuple[int, ...], ProjectIndex] = {}
+
+
+def project_index(modules: Sequence[SourceModule]) -> ProjectIndex:
+    """Build (or reuse) the index for this exact module sequence.
+
+    All concurrency rules in one ``run_lint`` call receive the same
+    module list object, so keying on identity makes the index build
+    once per run; the cache keeps a single entry to avoid pinning old
+    module trees.
+    """
+
+    key = tuple(id(module) for module in modules)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    _CACHE.clear()
+    index = ProjectIndex(modules)
+    _CACHE[key] = index
+    return index
+
+
+__all__ = [
+    "CONSTRUCTORS",
+    "Acquisition",
+    "AttrAccess",
+    "AwaitSite",
+    "CallSite",
+    "CallbackSeed",
+    "FunctionInfo",
+    "LockToken",
+    "ProjectIndex",
+    "dotted_name",
+    "project_index",
+]

@@ -22,7 +22,14 @@ module holds one invariant family:
 * :mod:`~repro.analysis.rules.exports` — ``__all__`` is present where
   required, complete, and only names real bindings;
 * :mod:`~repro.analysis.rules.unused` — unused imports/locals and
-  unreachable statements.
+  unreachable statements;
+* :mod:`~repro.analysis.rules.guarded_by` — declared-ownership
+  discipline for shared attributes (``# guarded-by:`` /
+  ``# owned-by:``) and no ``await`` under a sync lock;
+* :mod:`~repro.analysis.rules.lock_order` — a single global lock
+  acquisition order (cycle detection over the acquisition graph);
+* :mod:`~repro.analysis.rules.task_leak` — no fire-and-forget
+  ``create_task`` whose handle (and exceptions) vanish.
 """
 
 from __future__ import annotations
@@ -32,20 +39,30 @@ from repro.analysis.rules.async_blocking import AsyncBlockingRule
 from repro.analysis.rules.determinism import NondeterminismRule
 from repro.analysis.rules.exceptions import BareExceptRule, SwallowedCancelRule
 from repro.analysis.rules.exports import ExportConsistencyRule
+from repro.analysis.rules.guarded_by import (
+    AwaitInCriticalSectionRule,
+    GuardedByRule,
+)
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.metrics_discipline import MetricsDisciplineRule
 from repro.analysis.rules.overflow import Int64OverflowRule
 from repro.analysis.rules.protocol_ops import ProtocolExhaustiveRule
+from repro.analysis.rules.task_leak import TaskLeakRule
 from repro.analysis.rules.unused import UnusedSymbolRule
 
 __all__ = [
     "AccelIsolationRule",
     "AsyncBlockingRule",
+    "AwaitInCriticalSectionRule",
     "BareExceptRule",
     "ExportConsistencyRule",
+    "GuardedByRule",
     "Int64OverflowRule",
+    "LockOrderRule",
     "MetricsDisciplineRule",
     "NondeterminismRule",
     "ProtocolExhaustiveRule",
     "SwallowedCancelRule",
+    "TaskLeakRule",
     "UnusedSymbolRule",
 ]

@@ -42,6 +42,20 @@ class AccelIsolationRule(Rule):
         "route numpy use through repro.core.accel; the pure path must be "
         "importable and authoritative without it"
     )
+    example_bad = """\
+# src/repro/core/dfa.py
+import numpy as np
+
+def step(vec, matrix):
+    return np.matmul(vec, matrix)
+"""
+    example_good = """\
+# src/repro/core/dfa.py
+from repro.core import accel
+
+def step(vec, matrix):
+    return accel.matmul(vec, matrix)  # pure fallback lives inside accel
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         if module.posix().endswith(ALLOWED_SUFFIX):

@@ -110,6 +110,16 @@ class AsyncBlockingRule(Rule):
     id = "async-blocking"
     description = "blocking call inside 'async def' (event-loop stall)"
     hint = "move the blocking work to asyncio.to_thread / loop.run_in_executor"
+    example_bad = """\
+async def handler(request):
+    time.sleep(0.1)          # stalls every connection on the loop
+    return respond(request)
+"""
+    example_good = """\
+async def handler(request):
+    await asyncio.sleep(0.1)
+    return respond(request)
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         findings: list[Finding] = []

@@ -81,6 +81,18 @@ class NondeterminismRule(Rule):
         "reproducibility-critical module"
     )
     hint = "route randomness through repro.utils.rng; sort before iterating sets"
+    example_bad = """\
+# src/repro/core/kernel.py
+import random
+
+def sample_state(states):
+    return random.choice(sorted(states))  # ambient, unseeded RNG
+"""
+    example_good = """\
+# src/repro/core/kernel.py
+def sample_state(states, rng):
+    return rng.choice(sorted(states))     # caller-threaded seeded stream
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         if module.name not in MODULE_NAMES:

@@ -49,6 +49,18 @@ class BareExceptRule(Rule):
     id = "bare-except"
     description = "bare 'except:' (catches SystemExit/KeyboardInterrupt/CancelledError)"
     hint = "catch a concrete exception type, or 'except Exception' at worst"
+    example_bad = """\
+try:
+    serve()
+except:                      # also catches KeyboardInterrupt
+    log("failed")
+"""
+    example_good = """\
+try:
+    serve()
+except OSError as error:
+    log(f"failed: {error}")
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         return [
@@ -63,6 +75,21 @@ class SwallowedCancelRule(Rule):
     id = "swallowed-cancel"
     description = "except handler swallows CancelledError/BaseException"
     hint = "re-raise after cleanup: cancellation is control flow, not an error"
+    example_bad = """\
+async def drain():
+    try:
+        await pump()
+    except BaseException:
+        pass                 # cancellation silently vanishes
+"""
+    example_good = """\
+async def drain():
+    try:
+        await pump()
+    except asyncio.CancelledError:
+        await flush()
+        raise                # cancellation is control flow
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         findings: list[Finding] = []

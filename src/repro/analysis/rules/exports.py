@@ -149,6 +149,18 @@ class ExportConsistencyRule(Rule):
     id = "export-consistency"
     description = "__all__ missing, lists an unbound name, or omits a public symbol"
     hint = "keep __all__ in sync with the module's public definitions"
+    example_bad = """\
+def public_helper():
+    ...
+
+__all__ = ["missing_name"]   # unbound — and public_helper is omitted
+"""
+    example_good = """\
+def public_helper():
+    ...
+
+__all__ = ["public_helper"]
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         findings: list[Finding] = []

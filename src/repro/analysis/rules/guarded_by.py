@@ -1,0 +1,272 @@
+"""Rules ``guarded-by`` and ``await-in-critical-section``.
+
+``guarded-by`` enforces the declared-ownership model from
+:mod:`repro.analysis.guards` across the whole project:
+
+* an attribute declared ``# guarded-by: <lock>`` must be accessed with
+  ``self.<lock>`` held — either lexically (``with self.<lock>:``) or
+  guaranteed by every caller (the held-at-entry fixpoint from
+  :mod:`repro.analysis.project`);
+* an attribute declared ``# owned-by: <domain>`` must only be touched
+  by functions whose inferred concurrency domains stay inside that
+  domain (see :mod:`repro.analysis.domains`);
+* inside the serving surface (``repro/service/``, ``repro/obs/``), an
+  *undeclared* attribute mutated from two or more shared-memory domains
+  is itself a finding — shared mutable state must state its discipline.
+
+Construction is exempt throughout: ``__init__`` (and friends) run
+before the object escapes to other domains.
+
+``await-in-critical-section`` flags an ``await`` executed while a
+*synchronous* lock is held: the coroutine suspends, the loop runs other
+tasks, and any of them blocking on that lock deadlocks the loop thread.
+``async with`` on an ``asyncio.Lock`` is the sanctioned shape and is
+not flagged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.domains import SHARED_MEMORY_DOMAINS, infer_domains
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.guards import GUARDED_BY, GuardDecl, collect_declarations
+from repro.analysis.project import (
+    AttrAccess,
+    FunctionInfo,
+    LockToken,
+    ProjectIndex,
+    project_index,
+)
+
+#: Posix path fragments of the modules where *undeclared* multi-domain
+#: mutations are reported (the serving + observability surface).
+DECLARATION_SURFACE = ("repro/service/", "repro/obs/")
+
+
+def _on_surface(module: SourceModule) -> bool:
+    posix = module.posix()
+    return any(fragment in posix for fragment in DECLARATION_SURFACE)
+
+
+def _held_names(
+    access: AttrAccess, entry_locks: frozenset[LockToken]
+) -> set[str]:
+    names = {token.name for token in access.held}
+    names.update(token.name for token in entry_locks)
+    return names
+
+
+@register
+class GuardedByRule(Rule):
+    id = "guarded-by"
+    description = (
+        "shared attributes declare their lock/domain and every access "
+        "honours the declaration"
+    )
+    hint = (
+        "hold the declared lock ('with self.<lock>:') at every access, "
+        "or declare the attribute's discipline with '# guarded-by: "
+        "<lock>' / '# owned-by: <domain>'"
+    )
+    example_bad = (
+        "import threading\n"
+        "\n"
+        "class Tally:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.total = 0  # guarded-by: _lock\n"
+        "\n"
+        "    def bump(self) -> None:\n"
+        "        self.total += 1  # lock not held\n"
+    )
+    example_good = (
+        "import threading\n"
+        "\n"
+        "class Tally:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.total = 0  # guarded-by: _lock\n"
+        "\n"
+        "    def bump(self) -> None:\n"
+        "        with self._lock:\n"
+        "            self.total += 1\n"
+    )
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        index = project_index(modules)
+        declarations: dict[tuple[str, str, str], GuardDecl] = {}
+        for module in modules:
+            for decl in collect_declarations(module.text, module.tree):
+                declarations[(module.posix(), decl.class_name, decl.attr)] = decl
+
+        entry = index.held_at_entry()
+        domains = infer_domains(index)
+        findings: list[Finding] = []
+
+        for qualname, info in index.functions.items():
+            if info.class_name is None or info.is_constructor:
+                continue
+            posix = info.module.posix()
+            for access in info.accesses:
+                decl = declarations.get((posix, info.class_name, access.attr))
+                if decl is None:
+                    continue
+                if decl.kind == GUARDED_BY:
+                    held = _held_names(access, entry.get(qualname, frozenset()))
+                    if decl.target not in held:
+                        findings.append(
+                            self._at(
+                                info,
+                                access,
+                                f"{info.class_name}.{access.attr} is "
+                                f"guarded-by {decl.target!r} but accessed "
+                                f"in {info.name}() without holding it",
+                            )
+                        )
+                else:  # owned-by
+                    runs_in = domains.get(qualname, frozenset())
+                    foreign = (
+                        runs_in & SHARED_MEMORY_DOMAINS
+                    ) - {decl.target}
+                    if foreign:
+                        listed = ", ".join(sorted(foreign))
+                        findings.append(
+                            self._at(
+                                info,
+                                access,
+                                f"{info.class_name}.{access.attr} is "
+                                f"owned-by {decl.target!r} but {info.name}()"
+                                f" may run in: {listed}",
+                            )
+                        )
+
+        findings.extend(self._undeclared(index, declarations, domains))
+        return findings
+
+    def _undeclared(
+        self,
+        index: ProjectIndex,
+        declarations: dict[tuple[str, str, str], GuardDecl],
+        domains: dict[str, frozenset[str]],
+    ) -> list[Finding]:
+        """Undeclared attributes mutated from >= 2 shared-memory domains."""
+
+        mutation_sites: dict[
+            tuple[str, str, str], list[tuple[FunctionInfo, AttrAccess]]
+        ] = {}
+        for info in index.functions.values():
+            if info.class_name is None or info.is_constructor:
+                continue
+            if not _on_surface(info.module):
+                continue
+            for access in info.accesses:
+                if access.kind != "write":
+                    continue
+                key = (info.module.posix(), info.class_name, access.attr)
+                if key in declarations:
+                    continue
+                mutation_sites.setdefault(key, []).append((info, access))
+
+        findings: list[Finding] = []
+        for key, sites in sorted(mutation_sites.items()):
+            touched: set[str] = set()
+            for info, _access in sites:
+                touched |= domains.get(info.qualname, frozenset())
+            shared = touched & SHARED_MEMORY_DOMAINS
+            if len(shared) < 2:
+                continue
+            info, access = min(sites, key=lambda pair: pair[1].line)
+            listed = ", ".join(sorted(shared))
+            findings.append(
+                self._at(
+                    info,
+                    access,
+                    f"{key[1]}.{key[2]} is mutated from domains "
+                    f"{{{listed}}} but declares no guarded-by/owned-by "
+                    "discipline",
+                )
+            )
+        return findings
+
+    def _at(
+        self, info: FunctionInfo, access: AttrAccess, message: str
+    ) -> Finding:
+        return Finding(
+            path=info.module.rel_path,
+            line=access.line,
+            col=access.col,
+            rule=self.id,
+            message=message,
+            hint=self.hint,
+        )
+
+
+@register
+class AwaitInCriticalSectionRule(Rule):
+    id = "await-in-critical-section"
+    description = (
+        "an 'await' suspends while a synchronous lock is held, "
+        "deadlocking any task that blocks on it"
+    )
+    hint = (
+        "release the lock before awaiting, or use asyncio.Lock with "
+        "'async with'"
+    )
+    example_bad = (
+        "import threading\n"
+        "\n"
+        "class Cache:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._lock = threading.Lock()\n"
+        "\n"
+        "    async def refresh(self) -> None:\n"
+        "        with self._lock:\n"
+        "            self.data = await fetch()\n"
+    )
+    example_good = (
+        "import asyncio\n"
+        "\n"
+        "class Cache:\n"
+        "    def __init__(self) -> None:\n"
+        "        self._lock = asyncio.Lock()\n"
+        "\n"
+        "    async def refresh(self) -> None:\n"
+        "        async with self._lock:\n"
+        "            self.data = await fetch()\n"
+    )
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        index = project_index(modules)
+        findings: list[Finding] = []
+        for info in index.functions.values():
+            for await_site in info.awaits:
+                if not await_site.sync_locks:
+                    continue
+                lock = await_site.sync_locks[-1]
+                findings.append(
+                    Finding(
+                        path=info.module.rel_path,
+                        line=await_site.line,
+                        col=await_site.col,
+                        rule=self.id,
+                        message=(
+                            f"'await' in {info.name}() while holding "
+                            f"sync lock {lock.name!r}"
+                        ),
+                        hint=self.hint,
+                    )
+                )
+        return findings
+
+
+__all__ = [
+    "AwaitInCriticalSectionRule",
+    "DECLARATION_SURFACE",
+    "GuardedByRule",
+]

@@ -1,0 +1,234 @@
+"""Rule ``lock-order`` — cycle detection over lock acquisition order.
+
+Two threads deadlock when one acquires lock A then B while the other
+acquires B then A.  The rule builds the project-wide acquisition-order
+graph — an edge A→B whenever B is acquired with A already held — and
+reports every cycle.
+
+Edges come from two places:
+
+* **lexical nesting** — ``with a_lock:`` containing ``with b_lock:``;
+* **calls under a lock** — a call made while holding A contributes an
+  edge A→B for every lock B in the callee's *transitive* acquisition
+  summary (a fixpoint over the call graph, so chains through helpers
+  are seen).
+
+Lock identity is class-qualified for ``self.<lock>`` acquisitions
+(``Engine._pool_lock``), so same-named locks of unrelated classes do
+not fabricate cycles.  A self-edge A→A (re-acquiring a lock already
+held) is reported too: it deadlocks a plain ``threading.Lock``; if the
+lock is a deliberate ``RLock``, suppress with a written reason.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.project import ProjectIndex, project_index
+
+#: (path, line, col) anchoring one acquisition-order edge.
+_Anchor = tuple[str, int, int]
+
+
+def _acquisition_edges(
+    index: ProjectIndex,
+) -> dict[tuple[str, str], _Anchor]:
+    edges: dict[tuple[str, str], _Anchor] = {}
+
+    for info in index.functions.values():
+        for acquisition in info.acquisitions:
+            for prior in acquisition.held_before:
+                edges.setdefault(
+                    (prior.qual, acquisition.lock.qual),
+                    (info.module.rel_path, acquisition.line, acquisition.col),
+                )
+
+    # Transitive acquisition summary per function (own + callees').
+    summary: dict[str, frozenset[str]] = {
+        qualname: frozenset(
+            acquisition.lock.qual for acquisition in info.acquisitions
+        )
+        for qualname, info in index.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qualname, info in index.functions.items():
+            merged = set(summary[qualname])
+            for site in info.calls:
+                for callee in site.callees:
+                    merged |= summary.get(callee, frozenset())
+            frozen = frozenset(merged)
+            if frozen != summary[qualname]:
+                summary[qualname] = frozen
+                changed = True
+
+    for info in index.functions.values():
+        if info.is_constructor:
+            continue
+        for site in info.calls:
+            if not site.held:
+                continue
+            for callee in site.callees:
+                for acquired in summary.get(callee, frozenset()):
+                    for prior in site.held:
+                        edges.setdefault(
+                            (prior.qual, acquired),
+                            (info.module.rel_path, site.line, site.col),
+                        )
+    return edges
+
+
+def _strongly_connected(
+    graph: dict[str, set[str]]
+) -> list[list[str]]:
+    """Tarjan's SCC over the (tiny) lock graph, iterative for safety."""
+
+    indices: dict[str, int] = {}
+    lowlinks: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+
+    for root in sorted(graph):
+        if root in indices:
+            continue
+        work: list[tuple[str, Iterable[str] | None]] = [(root, None)]
+        while work:
+            node, pending = work.pop()
+            if pending is None:
+                indices[node] = lowlinks[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+                pending = iter(sorted(graph.get(node, set())))
+            advanced = False
+            iterator = iter(pending)
+            for successor in iterator:
+                if successor not in indices:
+                    work.append((node, iterator))
+                    work.append((successor, None))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlinks[node] = min(
+                        lowlinks[node], indices[successor]
+                    )
+            if advanced:
+                continue
+            if lowlinks[node] == indices[node]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(sorted(component))
+            if work:
+                parent = work[-1][0]
+                lowlinks[parent] = min(lowlinks[parent], lowlinks[node])
+    return components
+
+
+@register
+class LockOrderRule(Rule):
+    id = "lock-order"
+    description = (
+        "inconsistent lock acquisition order (a cycle in the "
+        "acquisition-order graph can deadlock)"
+    )
+    hint = (
+        "acquire locks in one global order everywhere; split or merge "
+        "locks if two orders are genuinely needed"
+    )
+    example_bad = (
+        "import threading\n"
+        "\n"
+        "a_lock = threading.Lock()\n"
+        "b_lock = threading.Lock()\n"
+        "\n"
+        "def ship() -> None:\n"
+        "    with a_lock:\n"
+        "        with b_lock:\n"
+        "            pass\n"
+        "\n"
+        "def audit() -> None:\n"
+        "    with b_lock:\n"
+        "        with a_lock:\n"
+        "            pass\n"
+    )
+    example_good = (
+        "import threading\n"
+        "\n"
+        "a_lock = threading.Lock()\n"
+        "b_lock = threading.Lock()\n"
+        "\n"
+        "def ship() -> None:\n"
+        "    with a_lock:\n"
+        "        with b_lock:\n"
+        "            pass\n"
+        "\n"
+        "def audit() -> None:\n"
+        "    with a_lock:  # same order as ship()\n"
+        "        with b_lock:\n"
+        "            pass\n"
+    )
+
+    def check_project(
+        self, modules: Sequence[SourceModule]
+    ) -> Iterable[Finding]:
+        index = project_index(modules)
+        edges = _acquisition_edges(index)
+        graph: dict[str, set[str]] = {}
+        for source, target in edges:
+            graph.setdefault(source, set()).add(target)
+            graph.setdefault(target, set())
+
+        findings: list[Finding] = []
+        for component in _strongly_connected(graph):
+            if len(component) == 1:
+                node = component[0]
+                if node not in graph.get(node, set()):
+                    continue
+                anchor = edges[(node, node)]
+                findings.append(
+                    self._cycle_finding(
+                        anchor,
+                        f"lock {node} re-acquired while already held "
+                        "(self-deadlock for non-reentrant locks)",
+                    )
+                )
+                continue
+            member_edges = sorted(
+                (pair, anchor)
+                for pair, anchor in edges.items()
+                if pair[0] in component and pair[1] in component
+            )
+            anchor = min(anchor for _pair, anchor in member_edges)
+            path = " -> ".join([*component, component[0]])
+            findings.append(
+                self._cycle_finding(
+                    anchor,
+                    f"lock acquisition order cycle: {path} "
+                    "(potential deadlock)",
+                )
+            )
+        return findings
+
+    def _cycle_finding(self, anchor: _Anchor, message: str) -> Finding:
+        path, line, col = anchor
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule=self.id,
+            message=message,
+            hint=self.hint,
+        )
+
+
+__all__ = ["LockOrderRule"]

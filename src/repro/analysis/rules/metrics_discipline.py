@@ -51,6 +51,14 @@ class MetricsDisciplineRule(Rule):
         "slow-log writes stay off the event loop"
     )
     hint = "name the series with a repro.obs.names constant"
+    example_bad = """\
+obs.metrics().counter("server.requests").inc()   # inline literal
+"""
+    example_good = """\
+from repro.obs import names as metric_names
+
+obs.metrics().counter(metric_names.SERVER_REQUESTS).inc()
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         if _is_obs_module(module):

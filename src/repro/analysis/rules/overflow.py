@@ -81,6 +81,15 @@ class Int64OverflowRule(Rule):
         "accumulate counts in a plain list and pack the finished row with "
         "_pack_counts (spills past 2**63-1)"
     )
+    example_bad = """\
+row = array("q", [0]) * width
+row[j] = row[j] + count        # silently wraps past 2**63-1
+"""
+    example_good = """\
+counts = [0] * width           # Python ints are arbitrary precision
+counts[j] += count
+row = _pack_counts(counts)     # spills to bignum storage when needed
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         if module.name not in MODULE_NAMES:

@@ -203,6 +203,22 @@ class ProtocolExhaustiveRule(Rule):
         "dispatches an unregistered op"
     )
     hint = "keep SERVICE_OPS in service/protocol.py and the dispatch layers in sync"
+    example_bad = """\
+# service/protocol.py
+SERVICE_OPS = frozenset({"count", "sample"})
+
+# service/server.py dispatches an op the protocol never registered
+if op == "histogram":
+    ...
+"""
+    example_good = """\
+# service/protocol.py
+SERVICE_OPS = frozenset({"count", "sample", "histogram"})
+
+# service/server.py
+if op == "histogram":          # registered, handled, and testable
+    ...
+"""
 
     def check_project(
         self, modules: Sequence[SourceModule]

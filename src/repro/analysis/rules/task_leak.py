@@ -1,0 +1,142 @@
+"""Rule ``task-leak`` — fire-and-forget tasks lose their exceptions.
+
+``asyncio.create_task`` / ``ensure_future`` return a handle the caller
+is responsible for.  Dropping it has two failure modes: the event loop
+holds only a *weak* reference, so an un-retained task can be garbage
+collected mid-flight; and an exception inside it is reported only as a
+"Task exception was never retrieved" log line long after the fact —
+the natural backpressure (``await``) and the natural error path
+(awaiting or a done-callback) both vanish.
+
+Flagged, per function scope:
+
+* a bare expression statement ``create_task(...)`` whose result is
+  discarded outright;
+* ``handle = create_task(...)`` where ``handle`` is never read again
+  in the scope — assignment as decoration, not retention.
+
+Accepted shapes: awaiting the handle, storing it on ``self``/a
+container, passing it onward, or chaining
+``.add_done_callback(...)`` directly on the call.  ``TaskGroup``
+receivers (``tg.create_task(...)``) are exempt — the group itself
+retains and joins its tasks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.engine import Rule, SourceModule, register
+from repro.analysis.findings import Finding
+from repro.analysis.rules._common import dotted_name
+
+#: Call tails that create a task whose handle must be retained.
+TASK_FACTORIES = frozenset({"create_task", "ensure_future"})
+
+#: Receiver names that retain their tasks themselves.
+_GROUP_RECEIVERS = frozenset({"tg", "task_group", "group"})
+
+
+def _factory_call(node: ast.AST) -> ast.Call | None:
+    if not isinstance(node, ast.Call):
+        return None
+    name = dotted_name(node.func)
+    if name is None:
+        return None
+    parts = name.split(".")
+    if parts[-1] not in TASK_FACTORIES:
+        return None
+    if len(parts) > 1 and parts[-2] in _GROUP_RECEIVERS:
+        return None
+    return node
+
+
+def _scopes(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _loaded_names(scope: ast.AST) -> set[str]:
+    return {
+        node.id
+        for node in _own_nodes(scope)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+@register
+class TaskLeakRule(Rule):
+    id = "task-leak"
+    description = (
+        "create_task/ensure_future handle dropped: the task can be "
+        "garbage-collected mid-flight and its exceptions vanish"
+    )
+    hint = (
+        "retain the handle (await/cancel it, store it on self or in a "
+        "collection) or chain .add_done_callback(...)"
+    )
+    example_bad = (
+        "import asyncio\n"
+        "\n"
+        "async def serve() -> None:\n"
+        "    asyncio.create_task(flush())  # handle dropped\n"
+    )
+    example_good = (
+        "import asyncio\n"
+        "\n"
+        "async def serve() -> None:\n"
+        "    task = asyncio.create_task(flush())\n"
+        "    await task\n"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for scope in _scopes(module.tree):
+            loaded = _loaded_names(scope)
+            for node in _own_nodes(scope):
+                if isinstance(node, ast.Expr):
+                    call = _factory_call(node.value)
+                    if call is not None:
+                        findings.append(
+                            self.finding(
+                                module,
+                                call,
+                                "task handle discarded at creation",
+                            )
+                        )
+                elif isinstance(node, ast.Assign):
+                    call = _factory_call(node.value)
+                    if call is None or len(node.targets) != 1:
+                        continue
+                    target = node.targets[0]
+                    if not isinstance(target, ast.Name):
+                        continue  # self.x / container targets retain
+                    if target.id not in loaded:
+                        findings.append(
+                            self.finding(
+                                module,
+                                call,
+                                f"task assigned to {target.id!r} but the "
+                                "handle is never used afterwards",
+                            )
+                        )
+        return findings
+
+
+__all__ = ["TASK_FACTORIES", "TaskLeakRule"]

@@ -74,6 +74,17 @@ class UnusedSymbolRule(Rule):
     id = "unused-symbol"
     description = "unused import/local, or unreachable statement"
     hint = "delete the dead code (or prefix an intentionally unused name with '_')"
+    example_bad = """\
+import json                    # never used
+
+def total(items):
+    return sum(items)
+    log("done")                # unreachable
+"""
+    example_good = """\
+def total(items):
+    return sum(items)
+"""
 
     def check_module(self, module: SourceModule) -> Iterable[Finding]:
         findings: list[Finding] = []

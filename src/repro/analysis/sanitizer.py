@@ -1,0 +1,324 @@
+"""Runtime concurrency sanitizer: check declared guards against reality.
+
+The static ``guarded-by`` rule proves lock discipline from source; this
+module checks the same declarations (see :mod:`repro.analysis.guards`)
+against what a *running* program actually does, TSan-style but in pure
+Python and scoped to the attributes the serving stack declared:
+
+* :class:`TrackedLock` wraps a real lock and maintains the per-thread
+  set of held lock names.
+* :meth:`ReproSanitizer.watch` swaps a live object's class for a
+  generated subclass whose ``__getattribute__`` / ``__setattr__``
+  cross-check every access to a declared attribute: ``guarded-by``
+  attributes must see their lock in the current thread's held set,
+  ``owned-by`` attributes must be touched from a thread registered to
+  the declared domain.
+* Violations are recorded, never raised inline (the point is to observe
+  the real schedule, not to perturb it); :meth:`ReproSanitizer.assert_clean`
+  raises at the end of a test with every recorded access.
+
+This is a debug hook: attribute interception costs a dict probe per
+access on watched instances, so production code never calls ``watch``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any, Mapping, Protocol
+
+from repro.analysis.guards import (
+    GUARDED_BY,
+    GuardDecl,
+    declarations_for_class,
+)
+
+#: Class attribute naming the pre-``watch`` class on generated subclasses.
+_BASE_ATTR = "_repro_sanitizer_base_"
+
+
+class SanitizerError(AssertionError):
+    """Raised by :meth:`ReproSanitizer.assert_clean` when accesses broke
+    a declared guard."""
+
+
+class _LockLike(Protocol):
+    """The slice of the ``threading`` lock interface a guard needs."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One access that contradicted its attribute's declaration."""
+
+    class_name: str
+    attr: str
+    kind: str  #: ``guarded-by`` | ``owned-by``
+    expected: str  #: declared lock name or domain
+    access: str  #: ``read`` | ``write``
+    thread: str  #: name of the offending thread
+    note: str  #: what was actually held / registered
+
+    def render(self) -> str:
+        return (
+            f"{self.class_name}.{self.attr} [{self.kind}: {self.expected}] "
+            f"{self.access} from thread {self.thread!r}: {self.note}"
+        )
+
+
+class TrackedLock:
+    """A lock wrapper that records acquisition in the sanitizer.
+
+    Supports the context-manager protocol and the blocking/timeout
+    ``acquire`` signature shared by ``Lock`` and ``RLock``, so it can
+    replace a guard attribute (``engine._pool_lock``) transparently.
+    """
+
+    def __init__(
+        self, sanitizer: "ReproSanitizer", inner: _LockLike, name: str
+    ) -> None:
+        self._sanitizer = sanitizer
+        self._inner = inner
+        self._name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer._push(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._sanitizer._pop(self._name)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"TrackedLock({self._name!r})"
+
+
+class ReproSanitizer:
+    """Record per-thread held locks and domains; check watched objects.
+
+    Typical test usage::
+
+        sanitizer = ReproSanitizer()
+        sanitizer.register_domain("event-loop")   # current thread
+        engine = sanitizer.watch(Engine(workers=1))
+        ... drive the engine from several threads ...
+        sanitizer.assert_clean()
+    """
+
+    def __init__(self) -> None:
+        self._state_lock = threading.Lock()
+        self._held: dict[int, list[str]] = {}  # guarded-by: _state_lock
+        self._domains: dict[int, str] = {}  # guarded-by: _state_lock
+        self._violations: list[Violation] = []  # guarded-by: _state_lock
+        self._watched: dict[
+            tuple[type, tuple[tuple[str, str, str], ...]], type
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Per-thread state
+    # ------------------------------------------------------------------
+
+    def register_domain(
+        self, domain: str, thread: threading.Thread | None = None
+    ) -> None:
+        """Declare that ``thread`` (default: current) runs in ``domain``."""
+
+        ident = threading.get_ident() if thread is None else thread.ident
+        if ident is None:
+            raise ValueError("cannot register a thread that has not started")
+        with self._state_lock:
+            self._domains[ident] = domain
+
+    def held(self) -> tuple[str, ...]:
+        """Lock names the current thread holds, in acquisition order."""
+
+        with self._state_lock:
+            return tuple(self._held.get(threading.get_ident(), ()))
+
+    def track_lock(self, inner: _LockLike, name: str) -> TrackedLock:
+        """Wrap ``inner`` so acquisitions appear in the held set."""
+
+        return TrackedLock(self, inner, name)
+
+    def _push(self, name: str) -> None:
+        with self._state_lock:
+            self._held.setdefault(threading.get_ident(), []).append(name)
+
+    def _pop(self, name: str) -> None:
+        with self._state_lock:
+            stack = self._held.get(threading.get_ident())
+            if stack and name in stack:
+                # Remove the most recent acquisition (RLock re-entry
+                # pushes the name twice; each release pops one).
+                del stack[len(stack) - 1 - stack[::-1].index(name)]
+
+    # ------------------------------------------------------------------
+    # Watching
+    # ------------------------------------------------------------------
+
+    def watch(
+        self,
+        obj: Any,
+        declarations: Mapping[str, GuardDecl] | None = None,
+    ) -> Any:
+        """Intercept declared-attribute accesses on ``obj``; returns it.
+
+        Declarations default to the ``# guarded-by:`` / ``# owned-by:``
+        comments on ``type(obj)`` (and bases).  Guard locks named by
+        ``guarded-by`` declarations are transparently replaced with
+        :class:`TrackedLock` wrappers so existing ``with self._lock:``
+        sites feed the held set without modification.
+        """
+
+        cls = type(obj)
+        if getattr(cls, _BASE_ATTR, None) is not None:
+            return obj  # already watched
+        decls = (
+            dict(declarations)
+            if declarations is not None
+            else declarations_for_class(cls)
+        )
+        if not decls:
+            return obj
+        for decl in decls.values():
+            if decl.kind != GUARDED_BY:
+                continue
+            inner = getattr(obj, decl.target, None)
+            if inner is not None and not isinstance(inner, TrackedLock):
+                object.__setattr__(
+                    obj, decl.target, TrackedLock(self, inner, decl.target)
+                )
+        obj.__class__ = self._watched_class(cls, decls)
+        return obj
+
+    def unwatch(self, obj: Any) -> Any:
+        """Restore ``obj``'s original class (tracked locks stay)."""
+
+        base = getattr(type(obj), _BASE_ATTR, None)
+        if base is not None:
+            obj.__class__ = base
+        return obj
+
+    def _watched_class(
+        self, cls: type, decls: Mapping[str, GuardDecl]
+    ) -> type:
+        key = (
+            cls,
+            tuple(
+                sorted(
+                    (decl.attr, decl.kind, decl.target)
+                    for decl in decls.values()
+                )
+            ),
+        )
+        cached = self._watched.get(key)
+        if cached is not None:
+            return cached
+        sanitizer = self
+        declared = dict(decls)
+
+        def __setattr__(instance: Any, name: str, value: Any) -> None:
+            decl = declared.get(name)
+            if decl is not None and not isinstance(value, TrackedLock):
+                sanitizer._check(decl, "write")
+            super(watched, instance).__setattr__(name, value)
+
+        def __getattribute__(instance: Any, name: str) -> Any:
+            decl = declared.get(name)
+            if decl is not None:
+                sanitizer._check(decl, "read")
+            return super(watched, instance).__getattribute__(name)
+
+        watched = type(
+            f"Sanitized{cls.__name__}",
+            (cls,),
+            {
+                # Keep the instance layout identical so ``__class__``
+                # assignment works for ``__slots__`` classes too.
+                "__slots__": (),
+                "__setattr__": __setattr__,
+                "__getattribute__": __getattribute__,
+                _BASE_ATTR: cls,
+            },
+        )
+        self._watched[key] = watched
+        return watched
+
+    # ------------------------------------------------------------------
+    # Checking and reporting
+    # ------------------------------------------------------------------
+
+    def _check(self, decl: GuardDecl, access: str) -> None:
+        ident = threading.get_ident()
+        with self._state_lock:
+            held = tuple(self._held.get(ident, ()))
+            domain = self._domains.get(ident)
+        if decl.kind == GUARDED_BY:
+            if decl.target in held:
+                return
+            note = (
+                f"lock {decl.target!r} not held "
+                f"(held: {', '.join(held) if held else 'none'})"
+            )
+        else:
+            if domain == decl.target:
+                return
+            note = (
+                f"thread registered to domain "
+                f"{domain!r}" if domain is not None else "thread unregistered"
+            )
+        violation = Violation(
+            class_name=decl.class_name,
+            attr=decl.attr,
+            kind=decl.kind,
+            expected=decl.target,
+            access=access,
+            thread=threading.current_thread().name,
+            note=note,
+        )
+        with self._state_lock:
+            self._violations.append(violation)
+
+    @property
+    def violations(self) -> list[Violation]:
+        """Snapshot of every recorded violation so far."""
+
+        with self._state_lock:
+            return list(self._violations)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`SanitizerError` if any access broke a guard."""
+
+        recorded = self.violations
+        if recorded:
+            lines = "\n  ".join(v.render() for v in recorded)
+            raise SanitizerError(
+                f"{len(recorded)} guarded access violation(s):\n  {lines}"
+            )
+
+
+__all__ = [
+    "ReproSanitizer",
+    "SanitizerError",
+    "TrackedLock",
+    "Violation",
+]

@@ -1,0 +1,356 @@
+"""Seeded deterministic schedule fuzzer for threads and event loops.
+
+Concurrency bugs in the serving stack (the PR 9 scrape race: a metrics
+broadcast stealing batch responses off the engine's shared result
+queue) only surface under specific interleavings.  This module makes
+those interleavings *reproducible*: a seed fully determines the
+schedule, so a failing seed is a regression test, not a flake.
+
+Two instruments, one per concurrency style:
+
+* :class:`ScheduleFuzzer` — cooperative scheduler for threads.  Managed
+  threads run strictly one at a time and hand the turn back at
+  :meth:`~ScheduleFuzzer.point` yield gates (placed by the test, or
+  implicitly by :class:`FuzzLock` / :class:`FuzzQueue`); a seeded RNG
+  picks who runs next.  The same seed replays the same schedule because
+  every pick happens when all live threads are parked at a gate, so the
+  candidate set never depends on wall-clock timing.
+* :class:`FuzzedEventLoop` — an asyncio event loop that shuffles the
+  ready-callback queue with a seeded RNG each iteration, driving async
+  server code through adversarial (but replayable) callback orders.
+
+Design note on determinism: :meth:`FuzzQueue.get` yields **once** for
+the consume-order decision, then blocks *holding the turn* until an
+item arrives.  Polling in a yield loop instead would make the number of
+scheduler picks depend on external producer latency and break
+seed-determinism.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+import time
+from typing import Any, Callable, Coroutine, Protocol, TypeVar
+
+_T = TypeVar("_T")
+
+#: Scheduler poll interval while a thread runs its turn (seconds).
+_TICK_SECONDS = 0.05
+
+#: Slice used by blocking waits inside managed threads (seconds).
+_WAIT_SECONDS = 0.5
+
+
+class DeadlockError(RuntimeError):
+    """The schedule stalled: no managed thread can make progress."""
+
+
+class _AbortSchedule(BaseException):
+    """Internal: unwind a managed thread after a deadlock timeout.
+
+    Derives from ``BaseException`` so application ``except Exception``
+    blocks cannot swallow the abort.
+    """
+
+
+class _QueueLike(Protocol):
+    """The blocking-queue slice shared by ``queue.Queue`` and
+    ``multiprocessing.Queue``."""
+
+    def put(self, item: Any, block: bool = ..., timeout: float | None = ...) -> None:
+        ...
+
+    def get(self, block: bool = ..., timeout: float | None = ...) -> Any:
+        ...
+
+
+class ScheduleFuzzer:
+    """Serialize spawned threads; a seeded RNG picks who proceeds.
+
+    Usage::
+
+        fuzzer = ScheduleFuzzer(seed=7)
+        fuzzer.spawn("a", worker_a)
+        fuzzer.spawn("b", worker_b)
+        trace = fuzzer.run()          # e.g. ["a", "b", "a", ...]
+
+    ``run`` returns the pick trace (one label per scheduling decision);
+    the same seed with the same workload returns the same trace.  The
+    first pick happens only after *every* spawned thread has parked at
+    its initial gate, so startup timing cannot skew the schedule.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._threads: dict[str, threading.Thread] = {}
+        self._labels: dict[int, str] = {}  # guarded-by: _cond
+        self._state: dict[str, str] = {}  # guarded-by: _cond
+        self._current: str | None = None  # guarded-by: _cond
+        self._aborting = False  # guarded-by: _cond
+        self._started = False
+        self.errors: dict[str, BaseException] = {}
+        self.trace: list[str] = []
+
+    def spawn(
+        self,
+        label: str,
+        target: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> None:
+        """Register a managed thread; it starts parked inside ``run``."""
+
+        if self._started:
+            raise RuntimeError("spawn() after run() started")
+        if label in self._threads:
+            raise ValueError(f"duplicate thread label {label!r}")
+        self._threads[label] = threading.Thread(
+            target=self._runner,
+            args=(label, target, args, kwargs),
+            name=f"fuzz-{label}",
+            daemon=True,
+        )
+        with self._cond:
+            self._state[label] = "new"
+
+    def current_label(self) -> str | None:
+        """Label of the calling managed thread, or ``None``."""
+
+        with self._cond:
+            return self._labels.get(threading.get_ident())
+
+    def point(self, note: str = "") -> None:
+        """Yield gate: hand the turn back and wait to be rescheduled.
+
+        No-op when called from a thread the fuzzer does not manage, so
+        instrumented code also runs un-fuzzed (and in the main thread).
+        """
+
+        del note  # reserved for trace annotations
+        with self._cond:
+            label = self._labels.get(threading.get_ident())
+            if label is None:
+                return
+            if self._current == label:
+                self._current = None
+            self._state[label] = "waiting"
+            self._cond.notify_all()
+            while self._current != label:
+                if self._aborting:
+                    raise _AbortSchedule()
+                self._cond.wait(timeout=_WAIT_SECONDS)
+            self._state[label] = "running"
+
+    def run(self, timeout: float = 30.0) -> list[str]:
+        """Drive every spawned thread to completion; return the trace.
+
+        Raises :class:`DeadlockError` when no thread can be scheduled
+        before ``timeout``, and re-raises the first (by label) exception
+        a managed thread died with.
+        """
+
+        if self._started:
+            raise RuntimeError("run() may only be called once")
+        self._started = True
+        if not self._threads:
+            return []
+        for thread in self._threads.values():
+            thread.start()
+        deadline = time.monotonic() + timeout
+        try:
+            with self._cond:
+                while True:
+                    states = self._state
+                    if all(s == "done" for s in states.values()):
+                        break
+                    waiting = sorted(
+                        label
+                        for label, s in states.items()
+                        if s == "waiting"
+                    )
+                    starting = any(s == "new" for s in states.values())
+                    if self._current is None and waiting and not starting:
+                        pick = waiting[self._rng.randrange(len(waiting))]
+                        self.trace.append(pick)
+                        self._current = pick
+                        self._cond.notify_all()
+                        continue
+                    self._cond.wait(timeout=_TICK_SECONDS)
+                    if time.monotonic() > deadline:
+                        self._aborting = True
+                        self._cond.notify_all()
+                        raise DeadlockError(
+                            f"schedule stalled after {timeout:.0f}s "
+                            f"(states={states!r}, trace={self.trace!r})"
+                        )
+        finally:
+            for thread in self._threads.values():
+                thread.join(timeout=_WAIT_SECONDS * 4)
+        if self.errors:
+            raise self.errors[sorted(self.errors)[0]]
+        return list(self.trace)
+
+    def _runner(
+        self,
+        label: str,
+        target: Callable[..., Any],
+        args: tuple[Any, ...],
+        kwargs: dict[str, Any],
+    ) -> None:
+        with self._cond:
+            self._labels[threading.get_ident()] = label
+        try:
+            self.point()  # initial gate: wait for the first pick
+            target(*args, **kwargs)
+        except _AbortSchedule:
+            pass
+        except BaseException as exc:  # repro-lint: ignore[swallowed-cancel] -- errors are recorded per label and re-raised by run() after joining every managed thread
+            self.errors[label] = exc
+        finally:
+            with self._cond:
+                self._state[label] = "done"
+                if self._current == label:
+                    self._current = None
+                self._cond.notify_all()
+
+
+class FuzzLock:
+    """A lock whose contention is resolved by the fuzzer's schedule.
+
+    ``acquire`` yields at a gate, then tries a non-blocking acquire; on
+    failure it yields again, so a contended lock hands the turn around
+    until the holder releases — every hand-off is an RNG pick, never a
+    timing race.
+    """
+
+    def __init__(
+        self, fuzzer: ScheduleFuzzer, inner: threading.Lock | None = None
+    ) -> None:
+        self._fuzzer = fuzzer
+        self._inner = inner if inner is not None else threading.Lock()
+
+    def acquire(self) -> bool:
+        while True:
+            self._fuzzer.point("lock-acquire")
+            if self._inner.acquire(blocking=False):
+                return True
+
+    def release(self) -> None:
+        self._inner.release()
+        self._fuzzer.point("lock-release")
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+class FuzzQueue:
+    """Queue wrapper with yield gates and per-consumer receipt records.
+
+    ``received`` logs ``(consumer_label, item)`` in consumption order —
+    the instrument that makes response *stealing* observable: in the
+    scrape-race reproduction, the steal shows up as the stats thread's
+    label paired with the batch thread's reply.
+    """
+
+    def __init__(self, fuzzer: ScheduleFuzzer, inner: _QueueLike) -> None:
+        self._fuzzer = fuzzer
+        self._inner = inner
+        self.received: list[tuple[str, Any]] = []
+
+    def put(self, item: Any) -> None:
+        self._fuzzer.point("queue-put")
+        self._inner.put(item)
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Yield once (the consume-order decision), then block with the
+        turn held — see the module docstring's determinism note."""
+
+        self._fuzzer.point("queue-get")
+        item = self._inner.get(block=True, timeout=timeout)
+        label = self._fuzzer.current_label()
+        self.received.append((label if label is not None else "<main>", item))
+        return item
+
+
+class FuzzedEventLoop(asyncio.SelectorEventLoop):
+    """Event loop that shuffles coroutine resumption with a seeded RNG.
+
+    asyncio guarantees FIFO ordering of ``call_soon`` callbacks; code
+    that silently *relies* on that ordering for mutual exclusion is one
+    await away from a race.  Each loop iteration this shuffles the
+    *task-step* handles (coroutine resumptions) queued in ``_ready``,
+    surfacing such assumptions deterministically per seed.  Only
+    *contiguous runs* of task steps are permuted — no task step ever
+    crosses a transport/plumbing callback, because asyncio's own
+    internals depend on that relative order (a task resuming from
+    ``sock_connect`` must not overtake its ``_sock_write_done``).
+    Falls back to FIFO if the private ``_ready`` deque ever disappears
+    from the base loop (it is stable across CPython 3.10–3.12).
+    """
+
+    def __init__(self, seed: int) -> None:
+        super().__init__()
+        self._fuzz_rng = random.Random(seed)
+
+    @staticmethod
+    def _is_task_step(handle: object) -> bool:
+        callback = getattr(handle, "_callback", None)
+        return isinstance(getattr(callback, "__self__", None), asyncio.Task)
+
+    def _run_once(self) -> None:
+        ready = getattr(self, "_ready", None)
+        if ready is not None and len(ready) > 1:
+            handles = list(ready)
+            shuffled = False
+            run: list[int] = []
+            for index in range(len(handles) + 1):
+                if index < len(handles) and self._is_task_step(handles[index]):
+                    run.append(index)
+                    continue
+                if len(run) > 1:
+                    steps = [handles[i] for i in run]
+                    self._fuzz_rng.shuffle(steps)
+                    for i, handle in zip(run, steps):
+                        handles[i] = handle
+                    shuffled = True
+                run = []
+            if shuffled:
+                ready.clear()
+                ready.extend(handles)
+        run_once = getattr(super(), "_run_once")
+        run_once()
+
+
+def run_fuzzed(
+    coro: Coroutine[Any, Any, _T], seed: int, debug: bool = False
+) -> _T:
+    """``asyncio.run`` on a :class:`FuzzedEventLoop` with ``seed``."""
+
+    loop = FuzzedEventLoop(seed)
+    try:
+        loop.set_debug(debug)
+        asyncio.set_event_loop(loop)
+        return loop.run_until_complete(coro)
+    finally:
+        asyncio.set_event_loop(None)
+        try:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        finally:
+            loop.close()
+
+
+__all__ = [
+    "DeadlockError",
+    "FuzzLock",
+    "FuzzQueue",
+    "FuzzedEventLoop",
+    "ScheduleFuzzer",
+    "run_fuzzed",
+]

@@ -245,7 +245,7 @@ class MetricsRegistry:
     __slots__ = ("_metrics", "_lock")
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Metric] = {}
+        self._metrics: dict[str, Metric] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def _get_or_create(
@@ -254,7 +254,12 @@ class MetricsRegistry:
         kind: type[_M],
         factory: Callable[[], _M] | None = None,
     ) -> _M:
-        metric = self._metrics.get(key)
+        # Double-checked creation: the warm path is one lock-free dict
+        # probe.  Entries are only ever *added* (never removed or
+        # replaced), and a CPython dict read is atomic, so the unlocked
+        # probe either sees the final metric or misses into the locked
+        # slow path below.
+        metric = self._metrics.get(key)  # repro-lint: ignore[guarded-by] -- deliberate lock-free first probe of an insert-only dict; atomic under the GIL, re-checked under _lock below
         if metric is None:
             with self._lock:
                 metric = self._metrics.get(key)
@@ -294,18 +299,26 @@ class MetricsRegistry:
         return self._get_or_create(series_key(name, labels), Histogram)
 
     def snapshot(self) -> dict[str, Any]:
-        """Serialize every metric to a JSON-safe, mergeable dict."""
+        """Serialize every metric to a JSON-safe, mergeable dict.
+
+        Holds ``_lock`` while walking ``_metrics``: a scrape racing a
+        first-time metric registration would otherwise iterate a dict
+        being resized (``RuntimeError: dictionary changed size during
+        iteration``).  Snapshotting is off the hot path, so the lock
+        hold is free in practice.
+        """
 
         counters: dict[str, float] = {}
         gauges: dict[str, float] = {}
         histograms: dict[str, dict[str, Any]] = {}
-        for key, metric in sorted(self._metrics.items()):
-            if isinstance(metric, Counter):
-                counters[key] = metric.value
-            elif isinstance(metric, Gauge):
-                gauges[key] = metric.value
-            else:
-                histograms[key] = metric.as_dict()
+        with self._lock:
+            for key, metric in sorted(self._metrics.items()):
+                if isinstance(metric, Counter):
+                    counters[key] = metric.value
+                elif isinstance(metric, Gauge):
+                    gauges[key] = metric.value
+                else:
+                    histograms[key] = metric.as_dict()
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 

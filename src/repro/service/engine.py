@@ -138,14 +138,14 @@ class Engine:
     workers: int
     store_root: str | None
     max_resident: int
-    _batch_ids: Iterator[int]
-    _processes: list[BaseProcess]
-    _task_queues: list[MPQueue[_Task]]
+    _batch_ids: Iterator[int]  # guarded-by: _pool_lock
+    _processes: list[BaseProcess]  # guarded-by: _pool_lock
+    _task_queues: list[MPQueue[_Task]]  # guarded-by: _pool_lock
     _results: MPQueue[_Result] | None
     _local_cache: WitnessSetCache | None
     _mp_context: BaseContext | None
     _pool_lock: threading.Lock
-    _stats_cache: dict[int, dict[str, Any]]
+    _stats_cache: dict[int, dict[str, Any]]  # guarded-by: _pool_lock
 
     def __init__(
         self,
@@ -558,20 +558,29 @@ class Engine:
         return sorted(out, key=lambda entry: entry["worker"])
 
     def close(self) -> None:
-        """Shut the pool down (idempotent)."""
-        for tasks in self._task_queues:
-            try:
-                tasks.put(None)
-            except (ValueError, OSError):  # pragma: no cover - already closed
-                pass
-        for process in self._processes:
-            process.join(timeout=5)
-        for process in self._processes:
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
-                process.join(timeout=1)
-        self._processes.clear()
-        self._task_queues.clear()
+        """Shut the pool down (idempotent).
+
+        Holds ``_pool_lock`` end to end: a stats broadcast or batch
+        drain on another thread iterates ``_processes`` /
+        ``_task_queues`` and consumes the shared result queue, so
+        tearing the pool down under its feet would send sentinels into
+        a live broadcast and clear lists mid-iteration.  Taking the
+        lock sequences shutdown after any in-flight consumer.
+        """
+        with self._pool_lock:
+            for tasks in self._task_queues:
+                try:
+                    tasks.put(None)
+                except (ValueError, OSError):  # pragma: no cover - already closed
+                    pass
+            for process in self._processes:
+                process.join(timeout=5)
+            for process in self._processes:
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=1)
+            self._processes.clear()
+            self._task_queues.clear()
 
     def __enter__(self) -> "Engine":
         return self

@@ -478,16 +478,16 @@ class AsyncWitnessServer:
         self.slow_query_log = (
             slow_query_log if slow_query_log is not None else obs.slow_log_from_env()
         )
-        self.served = 0
-        self.batches = 0
-        self.shutting_down = False
-        self.connections: set[_Connection] = set()
-        self._queue: asyncio.Queue[_Pending] | None = None
-        self._stop: asyncio.Event | None = None
-        self._stream_keys = itertools.count()
+        self.served = 0  # owned-by: event-loop
+        self.batches = 0  # owned-by: event-loop
+        self.shutting_down = False  # owned-by: event-loop
+        self.connections: set[_Connection] = set()  # owned-by: event-loop
+        self._queue: asyncio.Queue[_Pending] | None = None  # owned-by: event-loop
+        self._stop: asyncio.Event | None = None  # owned-by: event-loop
+        self._stream_keys = itertools.count()  # owned-by: event-loop
         #: In-flight response writes, detached from the pump so a slow
         #: reader only ever stalls its own connection.
-        self._send_tasks: set[asyncio.Task[None]] = set()
+        self._send_tasks: set[asyncio.Task[None]] = set()  # owned-by: event-loop
         # Metric handles are bound per instance (not at import) so a
         # registry reset in tests/benchmarks never strands live servers
         # on stale objects.

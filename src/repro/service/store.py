@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable
@@ -64,10 +65,20 @@ class StoreStats:
     (``repro_store_*_total``), where the exposition layer aggregates
     them across stores and worker processes.  :meth:`as_dict` is the
     same view it always was.
+
+    A store is shared across threads (the facade's process default is
+    hit from the engine's executor thread and the caller's), so the
+    counters are guarded by ``_lock``: hot paths bump them through the
+    atomic :meth:`inc`, and the property accessors take the lock.  A
+    bare ``stats.hits += 1`` from outside remains two separate locked
+    operations — use :meth:`inc` anywhere the count must be exact.
+    ``_lock`` is never held across a call that takes another StoreStats
+    lock, and the registry mirror inside it only ever acquires the
+    registry creation lock — one global order, no cycles.
     """
 
     __slots__ = ("_hits", "_misses", "_stores", "_evictions", "_corrupt",
-                 "_skipped", "extra")
+                 "_skipped", "_lock", "extra")
 
     _SERIES = {
         "hits": metric_names.STORE_HITS,
@@ -88,12 +99,13 @@ class StoreStats:
         skipped: int = 0,
         extra: dict[str, Any] | None = None,
     ) -> None:
-        self._hits = hits
-        self._misses = misses
-        self._stores = stores
-        self._evictions = evictions
-        self._corrupt = corrupt
-        self._skipped = skipped
+        self._lock = threading.Lock()
+        self._hits = hits  # guarded-by: _lock
+        self._misses = misses  # guarded-by: _lock
+        self._stores = stores  # guarded-by: _lock
+        self._evictions = evictions  # guarded-by: _lock
+        self._corrupt = corrupt  # guarded-by: _lock
+        self._skipped = skipped  # guarded-by: _lock
         self.extra: dict[str, Any] = dict(extra) if extra else {}
 
     @staticmethod
@@ -103,69 +115,98 @@ class StoreStats:
         if delta > 0:
             metrics().counter(series, always=True).inc(delta)
 
+    def inc(self, series: str, delta: int = 1) -> None:
+        """Atomically bump one counter and its mirrored registry series.
+
+        The ``stats.hits += 1`` spelling expands to a property read and
+        a property write — two lock acquisitions with a window between
+        them where a concurrent increment is lost.  ``inc`` does the
+        read-modify-write under one hold, so it is the only spelling
+        the store's hot paths use.
+        """
+        if series not in self._SERIES:
+            raise ValueError(f"unknown store counter {series!r}")
+        name = "_" + series
+        with self._lock:
+            self._mirror(self._SERIES[series], delta)
+            setattr(self, name, getattr(self, name) + delta)
+
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @hits.setter
     def hits(self, value: int) -> None:
-        self._mirror(self._SERIES["hits"], value - self._hits)
-        self._hits = value
+        with self._lock:
+            self._mirror(self._SERIES["hits"], value - self._hits)
+            self._hits = value
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     @misses.setter
     def misses(self, value: int) -> None:
-        self._mirror(self._SERIES["misses"], value - self._misses)
-        self._misses = value
+        with self._lock:
+            self._mirror(self._SERIES["misses"], value - self._misses)
+            self._misses = value
 
     @property
     def stores(self) -> int:
-        return self._stores
+        with self._lock:
+            return self._stores
 
     @stores.setter
     def stores(self, value: int) -> None:
-        self._mirror(self._SERIES["stores"], value - self._stores)
-        self._stores = value
+        with self._lock:
+            self._mirror(self._SERIES["stores"], value - self._stores)
+            self._stores = value
 
     @property
     def evictions(self) -> int:
-        return self._evictions
+        with self._lock:
+            return self._evictions
 
     @evictions.setter
     def evictions(self, value: int) -> None:
-        self._mirror(self._SERIES["evictions"], value - self._evictions)
-        self._evictions = value
+        with self._lock:
+            self._mirror(self._SERIES["evictions"], value - self._evictions)
+            self._evictions = value
 
     @property
     def corrupt(self) -> int:
-        return self._corrupt
+        with self._lock:
+            return self._corrupt
 
     @corrupt.setter
     def corrupt(self, value: int) -> None:
-        self._mirror(self._SERIES["corrupt"], value - self._corrupt)
-        self._corrupt = value
+        with self._lock:
+            self._mirror(self._SERIES["corrupt"], value - self._corrupt)
+            self._corrupt = value
 
     @property
     def skipped(self) -> int:
-        return self._skipped
+        with self._lock:
+            return self._skipped
 
     @skipped.setter
     def skipped(self, value: int) -> None:
-        self._mirror(self._SERIES["skipped"], value - self._skipped)
-        self._skipped = value
+        with self._lock:
+            self._mirror(self._SERIES["skipped"], value - self._skipped)
+            self._skipped = value
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "evictions": self.evictions,
-            "corrupt": self.corrupt,
-            "skipped": self.skipped,
-        }
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "stores": self._stores,
+                "evictions": self._evictions,
+                "corrupt": self._corrupt,
+                "skipped": self._skipped,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - diagnostics
         return f"StoreStats({self.as_dict()!r}, extra={self.extra!r})"
@@ -263,7 +304,7 @@ class KernelStore:
                     metrics().counter(
                         metric_names.STORE_MMAP_HITS, always=True
                     ).inc()
-                self.stats.hits += 1
+                self.stats.inc("hits")
                 try:
                     os.utime(path)
                 except OSError:  # pragma: no cover - entry may have been evicted
@@ -271,11 +312,11 @@ class KernelStore:
                 return kernel
             data = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
+            self.stats.inc("misses")
             return None
         except SnapshotError:
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.inc("corrupt")
+            self.stats.inc("misses")
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - racing unlink is fine
@@ -285,14 +326,14 @@ class KernelStore:
             kernel = kernel_from_bytes(data, source_resolver=source_resolver)
             kernel.fingerprint = fingerprint  # the content-address it was stored under
         except SnapshotError:
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.inc("corrupt")
+            self.stats.inc("misses")
             try:
                 path.unlink()
             except OSError:  # pragma: no cover - racing unlink is fine
                 pass
             return None
-        self.stats.hits += 1
+        self.stats.inc("hits")
         try:
             os.utime(path)
         except OSError:  # pragma: no cover - entry may have been evicted
@@ -308,7 +349,7 @@ class KernelStore:
         try:
             data = kernel_to_bytes(kernel)
         except SnapshotError:
-            self.stats.skipped += 1
+            self.stats.inc("skipped")
             return False
         path = self.path_for(fingerprint, n, trimmed)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -325,7 +366,7 @@ class KernelStore:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
+        self.stats.inc("stores")
         self._evict_over_budget()
         return True
 
@@ -351,7 +392,7 @@ class KernelStore:
             if not isinstance(meta, dict):
                 raise ValueError("metadata must be a JSON object")
         except ValueError:
-            self.stats.corrupt += 1
+            self.stats.inc("corrupt")
             try:
                 path.unlink()
             except OSError:  # pragma: no cover
@@ -448,7 +489,7 @@ class KernelStore:
             except OSError:  # pragma: no cover - racing eviction
                 continue
             total -= size
-            self.stats.evictions += 1
+            self.stats.inc("evictions")
         # A sidecar whose every snapshot is gone is stranded: drop it so
         # the directory stays bounded along with the byte budget.
         live = {path.name.split("-n", 1)[0] for path in self.entries()}
@@ -457,7 +498,7 @@ class KernelStore:
             if fingerprint not in live:
                 try:
                     path.unlink()
-                    self.stats.evictions += 1
+                    self.stats.inc("evictions")
                 except OSError:  # pragma: no cover - racing eviction
                     pass
 

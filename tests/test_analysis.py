@@ -14,6 +14,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.cli import _explain_rule, render_github
 from repro.analysis.cli import main as lint_main
 from repro.analysis.engine import ENGINE_RULES, default_rules, run_lint
 from repro.analysis.rules import (
@@ -65,9 +66,27 @@ def test_default_rules_registered():
         "swallowed-cancel",
         "export-consistency",
         "unused-symbol",
+        # PR 10: the concurrency-safety pass.
+        "guarded-by",
+        "await-in-critical-section",
+        "lock-order",
+        "task-leak",
     }
     for rule in rules:
         assert rule.description, f"rule {rule.id} has no description"
+
+
+def test_every_rule_ships_examples_that_parse():
+    """--explain needs a violating and a clean snippet per rule, and
+    both must at least be valid Python."""
+    import ast as ast_module
+
+    for rule in default_rules():
+        assert rule.example_bad.strip(), f"rule {rule.id} has no bad example"
+        assert rule.example_good.strip(), f"rule {rule.id} has no good example"
+        ast_module.parse(rule.example_bad)
+        ast_module.parse(rule.example_good)
+        assert _explain_rule(rule), f"rule {rule.id} explains nothing"
 
 
 # ----------------------------------------------------------------------
@@ -608,6 +627,58 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     assert "async-blocking" in out
     assert len(out.strip().splitlines()) >= 6
+
+
+def test_cli_github_format(tmp_path, capsys):
+    bad = tmp_path / "srv.py"
+    bad.write_text(ASYNC_BLOCKING_BAD, encoding="utf-8")
+    code = lint_main(["--format", "github", str(bad)])
+    assert code == 1
+    out = capsys.readouterr().out
+    annotations = [line for line in out.splitlines() if line.startswith("::error ")]
+    assert annotations
+    for line in annotations:
+        assert "file=" in line and ",line=" in line and ",col=" in line
+        assert "title=repro-lint [" in line
+    assert out.strip().splitlines()[-1].startswith("FAIL: ")
+
+
+def test_cli_github_format_clean(tmp_path, capsys):
+    clean = tmp_path / "mod.py"
+    clean.write_text(UNUSED_CLEAN, encoding="utf-8")
+    assert lint_main(["--format", "github", str(clean)]) == 0
+    out = capsys.readouterr().out
+    assert "::error" not in out
+    assert out.startswith("OK: ")
+
+
+def test_github_annotation_escaping():
+    from repro.analysis.findings import Finding
+
+    finding = Finding(
+        path="src/a,b.py",
+        line=3,
+        col=1,
+        rule="demo",
+        message="50% broken\nnext line",
+        hint="",
+    )
+    rendered = render_github(finding)
+    assert rendered.startswith("::error file=src/a%2Cb.py,line=3,col=1,")
+    assert "50%25 broken%0Anext line" in rendered
+    assert "\n" not in rendered
+
+
+def test_cli_explain_known_and_unknown_rule(capsys):
+    assert lint_main(["--explain", "guarded-by"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("guarded-by: ")
+    assert "violates:" in out and "clean:" in out
+    assert "# guarded-by: _lock" in out
+    with pytest.raises(SystemExit) as excinfo:
+        lint_main(["--explain", "no-such-rule"])
+    assert excinfo.value.code == 2
+    capsys.readouterr()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,484 @@
+"""Concurrency-safety analyzer tests: domains, guards, lock order.
+
+Exercises the project-level machinery behind the four concurrency rules
+on multi-module fixtures: symbol-table + call-graph construction
+(:mod:`repro.analysis.project`), concurrency-domain inference
+(:mod:`repro.analysis.domains`), the declared-ownership model
+(:mod:`repro.analysis.guards`), and the ``check_project`` rules
+themselves — including suppression semantics on cross-file findings.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.domains import (
+    EVENT_LOOP,
+    EXECUTOR,
+    MAIN,
+    WORKER,
+    infer_domains,
+)
+from repro.analysis.engine import SourceModule, run_lint
+from repro.analysis.project import ProjectIndex
+from repro.analysis.rules import (
+    AwaitInCriticalSectionRule,
+    GuardedByRule,
+    LockOrderRule,
+    TaskLeakRule,
+)
+
+
+def make_modules(files):
+    """In-memory SourceModules from {rel_path: source} (no disk)."""
+
+    return [
+        SourceModule(Path(rel), rel, text, ast.parse(text), {})
+        for rel, text in sorted(files.items())
+    ]
+
+
+def write_project(tmp_path, files):
+    """Write {rel_path: source} under tmp_path; return the file paths."""
+
+    paths = []
+    for rel, text in sorted(files.items()):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        paths.append(path)
+    return paths
+
+
+def lint_project(tmp_path, files, rule):
+    return run_lint(write_project(tmp_path, files), rules=[rule])
+
+
+def messages(result):
+    return [finding.message for finding in result.findings]
+
+
+# ----------------------------------------------------------------------
+# Domain inference
+# ----------------------------------------------------------------------
+
+
+class TestDomainInference:
+    def test_async_pins_to_event_loop_and_executor_seed_propagates(self):
+        index = ProjectIndex(
+            make_modules(
+                {
+                    "server.py": (
+                        "import asyncio\n"
+                        "\n"
+                        "class Server:\n"
+                        "    async def pump(self):\n"
+                        "        loop = asyncio.get_running_loop()\n"
+                        "        await loop.run_in_executor(None, self.crunch)\n"
+                        "\n"
+                        "    def crunch(self):\n"
+                        "        self.helper()\n"
+                        "\n"
+                        "    def helper(self):\n"
+                        "        pass\n"
+                    )
+                }
+            )
+        )
+        domains = infer_domains(index)
+        assert domains["server.py::Server.pump"] == {EVENT_LOOP}
+        assert EXECUTOR in domains["server.py::Server.crunch"]
+        # Propagated along the call graph to the sync callee...
+        assert EXECUTOR in domains["server.py::Server.helper"]
+        # ...but an async function never inherits a caller's domain.
+        assert domains["server.py::Server.pump"] == {EVENT_LOOP}
+
+    def test_thread_process_and_main_seeds(self):
+        index = ProjectIndex(
+            make_modules(
+                {
+                    "boot.py": (
+                        "import multiprocessing\n"
+                        "import threading\n"
+                        "\n"
+                        "def worker_main():\n"
+                        "    tick()\n"
+                        "\n"
+                        "def tick():\n"
+                        "    pass\n"
+                        "\n"
+                        "def background():\n"
+                        "    pass\n"
+                        "\n"
+                        "def serve():\n"
+                        "    threading.Thread(target=background).start()\n"
+                        "    multiprocessing.Process(target=worker_main).start()\n"
+                        "\n"
+                        "def main():\n"
+                        "    serve()\n"
+                        "\n"
+                        "main()\n"
+                    )
+                }
+            )
+        )
+        domains = infer_domains(index)
+        assert WORKER in domains["boot.py::worker_main"]
+        assert WORKER in domains["boot.py::tick"]  # propagated
+        assert EXECUTOR in domains["boot.py::background"]
+        assert MAIN in domains["boot.py::main"]
+        assert MAIN in domains["boot.py::serve"]  # called from main
+
+    def test_cross_module_propagation(self):
+        index = ProjectIndex(
+            make_modules(
+                {
+                    "a.py": (
+                        "import asyncio\n"
+                        "from b import shared_sink\n"
+                        "\n"
+                        "async def pump():\n"
+                        "    loop = asyncio.get_running_loop()\n"
+                        "    await loop.run_in_executor(None, entry)\n"
+                        "\n"
+                        "def entry():\n"
+                        "    shared_sink()\n"
+                    ),
+                    "b.py": (
+                        "def shared_sink():\n"
+                        "    pass\n"
+                    ),
+                }
+            )
+        )
+        domains = infer_domains(index)
+        assert EXECUTOR in domains["a.py::entry"]
+        assert EXECUTOR in domains["b.py::shared_sink"]
+
+
+# ----------------------------------------------------------------------
+# guarded-by: declared locks, held-at-entry, owned-by, undeclared state
+# ----------------------------------------------------------------------
+
+
+POOL_OK = (
+    "import threading\n"
+    "\n"
+    "class Pool:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.resident = 0  # guarded-by: _lock\n"
+    "\n"
+    "    def refill(self):\n"
+    "        with self._lock:\n"
+    "            self._locked_refill()\n"
+    "\n"
+    "    def _locked_refill(self):\n"
+    "        self.resident += 1\n"
+)
+
+PROBE_BAD = (
+    "import threading\n"
+    "\n"
+    "class Probe:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self.depth = 0  # guarded-by: _lock\n"
+    "\n"
+    "    def peek(self):\n"
+    "        return self.depth\n"
+)
+
+
+class TestGuardedBy:
+    def test_lexical_and_held_at_entry_clean(self, tmp_path):
+        result = lint_project(tmp_path, {"pool.py": POOL_OK}, GuardedByRule())
+        assert result.ok, messages(result)
+
+    def test_unlocked_access_flagged_with_multi_module_noise(self, tmp_path):
+        # The clean module must not mask the violation next door.
+        result = lint_project(
+            tmp_path,
+            {"pool.py": POOL_OK, "probe.py": PROBE_BAD},
+            GuardedByRule(),
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert "Probe.depth" in finding.message
+        assert "peek" in finding.message
+
+    def test_owned_by_domain_violation(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "repro/service/owned.py": (
+                    "import asyncio\n"
+                    "\n"
+                    "class LoopState:\n"
+                    "    def __init__(self):\n"
+                    "        self.ticks = 0  # owned-by: event-loop\n"
+                    "\n"
+                    "    async def tick(self):\n"
+                    "        self.ticks += 1\n"
+                    "\n"
+                    "    async def serve(self):\n"
+                    "        loop = asyncio.get_running_loop()\n"
+                    "        await loop.run_in_executor(None, self.poke)\n"
+                    "\n"
+                    "    def poke(self):\n"
+                    "        self.ticks += 1\n"
+                )
+            },
+            GuardedByRule(),
+        )
+        assert len(result.findings) == 1
+        assert "LoopState.ticks" in result.findings[0].message
+        assert "poke" in result.findings[0].message
+
+    def test_undeclared_shared_write_flagged_on_surface_only(self, tmp_path):
+        hub = (
+            "import asyncio\n"
+            "\n"
+            "class Hub:\n"
+            "    def __init__(self):\n"
+            "        self.counter = 0\n"
+            "\n"
+            "    async def serve(self):\n"
+            "        loop = asyncio.get_running_loop()\n"
+            "        self.counter += 1\n"
+            "        await loop.run_in_executor(None, self.bump)\n"
+            "\n"
+            "    def bump(self):\n"
+            "        self.counter += 1\n"
+        )
+        on_surface = lint_project(
+            tmp_path, {"repro/service/shared.py": hub}, GuardedByRule()
+        )
+        assert len(on_surface.findings) == 1
+        assert "Hub.counter" in on_surface.findings[0].message
+        assert "declare" in on_surface.findings[0].message
+        # The same shape off the declaration surface is advisory-free:
+        # only the serving stack mandates declared disciplines.
+        off_surface = lint_project(
+            tmp_path, {"elsewhere/shared.py": hub}, GuardedByRule()
+        )
+        assert off_surface.ok, messages(off_surface)
+
+    def test_constructor_exempt(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "init.py": (
+                    "import threading\n"
+                    "\n"
+                    "class Warm:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self.slots = []  # guarded-by: _lock\n"
+                    "        self.slots.append(0)  # no lock: pre-escape\n"
+                )
+            },
+            GuardedByRule(),
+        )
+        assert result.ok, messages(result)
+
+
+class TestSuppressionOnProjectFindings:
+    def test_reasoned_suppression_silences_cross_file_rule(self, tmp_path):
+        suppressed = PROBE_BAD.replace(
+            "        return self.depth",
+            "        return self.depth  # repro-lint: ignore[guarded-by]"
+            " -- lock-free probe is re-checked by the caller",
+        )
+        result = lint_project(
+            tmp_path, {"probe.py": suppressed}, GuardedByRule()
+        )
+        assert result.ok, messages(result)
+        assert result.suppressed == 1
+
+    def test_reasonless_suppression_still_fails(self, tmp_path):
+        suppressed = PROBE_BAD.replace(
+            "        return self.depth",
+            "        return self.depth  # repro-lint: ignore[guarded-by]",
+        )
+        result = lint_project(
+            tmp_path, {"probe.py": suppressed}, GuardedByRule()
+        )
+        assert not result.ok
+        assert {f.rule for f in result.findings} == {"bad-suppression"}
+
+
+# ----------------------------------------------------------------------
+# await-in-critical-section
+# ----------------------------------------------------------------------
+
+
+class TestAwaitInCriticalSection:
+    def test_sync_lock_flagged_async_lock_clean(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "locks.py": (
+                    "import asyncio\n"
+                    "import threading\n"
+                    "\n"
+                    "class Mixed:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "        self._alock = asyncio.Lock()\n"
+                    "\n"
+                    "    async def bad(self):\n"
+                    "        with self._lock:\n"
+                    "            await asyncio.sleep(0)\n"
+                    "\n"
+                    "    async def fine(self):\n"
+                    "        async with self._alock:\n"
+                    "            await asyncio.sleep(0)\n"
+                )
+            },
+            AwaitInCriticalSectionRule(),
+        )
+        assert len(result.findings) == 1
+        assert "_lock" in result.findings[0].message
+        assert result.findings[0].line == 11
+
+
+# ----------------------------------------------------------------------
+# lock-order
+# ----------------------------------------------------------------------
+
+
+class TestLockOrder:
+    def test_cross_module_cycle_flagged(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "a.py": (
+                    "import threading\n"
+                    "from b import grab_b\n"
+                    "\n"
+                    "a_lock = threading.Lock()\n"
+                    "\n"
+                    "def grab_a():\n"
+                    "    with a_lock:\n"
+                    "        pass\n"
+                    "\n"
+                    "def a_then_b():\n"
+                    "    with a_lock:\n"
+                    "        grab_b()\n"
+                ),
+                "b.py": (
+                    "import threading\n"
+                    "from a import grab_a\n"
+                    "\n"
+                    "b_lock = threading.Lock()\n"
+                    "\n"
+                    "def grab_b():\n"
+                    "    with b_lock:\n"
+                    "        pass\n"
+                    "\n"
+                    "def b_then_a():\n"
+                    "    with b_lock:\n"
+                    "        grab_a()\n"
+                ),
+            },
+            LockOrderRule(),
+        )
+        assert len(result.findings) == 1
+        assert "cycle" in result.findings[0].message
+        assert "a_lock" in result.findings[0].message
+        assert "b_lock" in result.findings[0].message
+
+    def test_consistent_order_clean(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "ordered.py": (
+                    "import threading\n"
+                    "\n"
+                    "outer_lock = threading.Lock()\n"
+                    "inner_lock = threading.Lock()\n"
+                    "\n"
+                    "def both():\n"
+                    "    with outer_lock:\n"
+                    "        with inner_lock:\n"
+                    "            pass\n"
+                    "\n"
+                    "def both_again():\n"
+                    "    with outer_lock:\n"
+                    "        with inner_lock:\n"
+                    "            pass\n"
+                )
+            },
+            LockOrderRule(),
+        )
+        assert result.ok, messages(result)
+
+    def test_reacquisition_through_callee_flagged(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "box.py": (
+                    "import threading\n"
+                    "\n"
+                    "class Box:\n"
+                    "    def __init__(self):\n"
+                    "        self._lock = threading.Lock()\n"
+                    "\n"
+                    "    def outer(self):\n"
+                    "        with self._lock:\n"
+                    "            self.inner()\n"
+                    "\n"
+                    "    def inner(self):\n"
+                    "        with self._lock:\n"
+                    "            pass\n"
+                )
+            },
+            LockOrderRule(),
+        )
+        assert len(result.findings) == 1
+        assert "re-acquired" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# task-leak
+# ----------------------------------------------------------------------
+
+
+class TestTaskLeak:
+    def test_dropped_and_unused_handles_flagged(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "tasks.py": (
+                    "import asyncio\n"
+                    "\n"
+                    "async def leaky():\n"
+                    "    asyncio.create_task(work())\n"
+                    "    t = asyncio.create_task(work())\n"
+                    "    await asyncio.sleep(0)\n"
+                )
+            },
+            TaskLeakRule(),
+        )
+        assert len(result.findings) == 2
+        assert any("discarded" in m for m in messages(result))
+        assert any("never used" in m for m in messages(result))
+
+    def test_retained_chained_and_grouped_clean(self, tmp_path):
+        result = lint_project(
+            tmp_path,
+            {
+                "tasks.py": (
+                    "import asyncio\n"
+                    "\n"
+                    "async def fine():\n"
+                    "    t = asyncio.create_task(work())\n"
+                    "    await t\n"
+                    "    asyncio.create_task(work()).add_done_callback(done)\n"
+                    "    async with asyncio.TaskGroup() as tg:\n"
+                    "        tg.create_task(work())\n"
+                )
+            },
+            TaskLeakRule(),
+        )
+        assert result.ok, messages(result)
